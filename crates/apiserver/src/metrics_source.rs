@@ -1,0 +1,177 @@
+//! How the API server fetches aggregate metrics from the TSDB.
+//!
+//! The real API server speaks the Prometheus HTTP API; the simulation can
+//! also query the TSDB in-process. Both implement [`MetricSource`], and the
+//! HTTP implementation is exercised in tests against the real
+//! [`ceems_tsdb::httpapi`] server so the JSON path stays honest.
+
+use std::sync::Arc;
+
+use ceems_http::Client;
+use ceems_metrics::labels::{LabelSet, LabelSetBuilder};
+use ceems_tsdb::promql::{instant_query, parse_expr, Value};
+use ceems_tsdb::Tsdb;
+
+/// An instant-query interface.
+pub trait MetricSource: Send + Sync {
+    /// Evaluates `query` at `t_ms`; returns the instant vector (empty on
+    /// error — the updater treats missing metrics as "not yet available").
+    fn instant(&self, query: &str, t_ms: i64) -> Vec<(LabelSet, f64)>;
+
+    /// Convenience: the single scalar value of a query, if it returned
+    /// exactly one sample.
+    fn scalar(&self, query: &str, t_ms: i64) -> Option<f64> {
+        let v = self.instant(query, t_ms);
+        if v.len() == 1 {
+            Some(v[0].1)
+        } else {
+            None
+        }
+    }
+}
+
+/// In-process source over a shared TSDB.
+pub struct TsdbLocalSource {
+    db: Arc<Tsdb>,
+}
+
+impl TsdbLocalSource {
+    /// Creates the source.
+    pub fn new(db: Arc<Tsdb>) -> TsdbLocalSource {
+        TsdbLocalSource { db }
+    }
+}
+
+impl MetricSource for TsdbLocalSource {
+    fn instant(&self, query: &str, t_ms: i64) -> Vec<(LabelSet, f64)> {
+        let Ok(expr) = parse_expr(query) else {
+            return Vec::new();
+        };
+        match instant_query(self.db.as_ref(), &expr, t_ms) {
+            Ok(Value::Vector(v)) => v,
+            Ok(Value::Scalar(s)) => vec![(LabelSet::empty(), s)],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// HTTP source speaking the Prometheus API.
+pub struct PromHttpSource {
+    client: Client,
+    base_url: String,
+}
+
+impl PromHttpSource {
+    /// Creates the source against e.g. `http://127.0.0.1:9090`.
+    pub fn new(base_url: impl Into<String>) -> PromHttpSource {
+        PromHttpSource {
+            client: Client::new(),
+            base_url: base_url.into(),
+        }
+    }
+}
+
+impl MetricSource for PromHttpSource {
+    fn instant(&self, query: &str, t_ms: i64) -> Vec<(LabelSet, f64)> {
+        let url = format!(
+            "{}/api/v1/query?query={}&time={}",
+            self.base_url,
+            ceems_http::url::encode_component(query),
+            t_ms as f64 / 1000.0
+        );
+        let Ok(resp) = self.client.get(&url) else {
+            return Vec::new();
+        };
+        let Ok(json) = serde_json::from_slice::<serde_json::Value>(&resp.body) else {
+            return Vec::new();
+        };
+        if json["status"] != "success" {
+            return Vec::new();
+        }
+        let data = &json["data"];
+        match data["resultType"].as_str() {
+            Some("vector") => data["result"]
+                .as_array()
+                .map(|items| {
+                    items
+                        .iter()
+                        .filter_map(|item| {
+                            let mut b = LabelSetBuilder::new();
+                            for (k, v) in item["metric"].as_object()? {
+                                b = b.label(k.clone(), v.as_str()?.to_string());
+                            }
+                            let val: f64 = item["value"].get(1)?.as_str()?.parse().ok()?;
+                            Some((b.build(), val))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
+            Some("scalar") => data["result"]
+                .get(1)
+                .and_then(|v| v.as_str())
+                .and_then(|s| s.parse().ok())
+                .map(|v| vec![(LabelSet::empty(), v)])
+                .unwrap_or_default(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceems_http::{HttpServer, ServerConfig};
+    use ceems_metrics::labels;
+    use ceems_tsdb::httpapi::api_router;
+
+    fn db() -> Arc<Tsdb> {
+        let db = Arc::new(Tsdb::default());
+        for i in 0..10i64 {
+            db.append(
+                &labels! {"__name__" => "watts", "uuid" => "slurm-1"},
+                i * 15_000,
+                100.0,
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn local_source() {
+        let src = TsdbLocalSource::new(db());
+        let v = src.instant("watts", 150_000);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1, 100.0);
+        assert_eq!(src.scalar("sum(watts)", 150_000), Some(100.0));
+        assert!(src.instant("bad{{{", 0).is_empty());
+        assert_eq!(src.scalar("nonexistent_metric", 150_000), None);
+    }
+
+    #[test]
+    fn http_source_round_trips_through_real_api() {
+        let db = db();
+        let router = api_router(db.clone(), Arc::new(|| 150_000));
+        let server = HttpServer::serve(ServerConfig::ephemeral(), router).unwrap();
+        let src = PromHttpSource::new(server.base_url());
+
+        let v = src.instant("watts{uuid=\"slurm-1\"}", 150_000);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0.get("uuid"), Some("slurm-1"));
+        assert_eq!(v[0].1, 100.0);
+
+        // Scalar result type.
+        let v = src.instant("scalar(sum(watts))", 150_000);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1, 100.0);
+
+        // Errors come back empty.
+        assert!(src.instant("rate(watts)", 150_000).is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn http_source_with_dead_backend_is_empty() {
+        let src = PromHttpSource::new("http://127.0.0.1:1");
+        assert!(src.instant("up", 0).is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Resource-manager clients.
+//!
+//! CEEMS is resource-manager agnostic: the API server only needs "what
+//! units changed since T". [`ResourceManagerClient`] is that contract;
+//! [`SlurmRmClient`] implements it over the simulated `slurmdbd`.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ceems_slurm::{JobRecord, Scheduler};
+
+/// A unit as reported by a resource manager.
+#[derive(Clone, Debug)]
+pub struct UnitInfo {
+    /// Unique identifier (`slurm-<id>`, `openstack-<uuid>`, ...).
+    pub uuid: String,
+    /// Resource manager name.
+    pub resource_manager: String,
+    /// Owner.
+    pub user: String,
+    /// Project / account.
+    pub project: String,
+    /// Partition (or availability zone / namespace).
+    pub partition: String,
+    /// State string.
+    pub state: String,
+    /// Submit time (ms).
+    pub submitted_at_ms: i64,
+    /// Start time (ms).
+    pub started_at_ms: Option<i64>,
+    /// End time (ms).
+    pub ended_at_ms: Option<i64>,
+    /// Nodes allocated.
+    pub nnodes: usize,
+    /// Total cores.
+    pub ncpus: usize,
+    /// Total GPUs.
+    pub ngpus: usize,
+}
+
+/// "List changed units" — the only thing the API server needs.
+pub trait ResourceManagerClient: Send + Sync {
+    /// Resource manager name.
+    fn name(&self) -> &'static str;
+
+    /// Units created/updated at or after `since_ms`.
+    fn units_since(&self, since_ms: i64) -> Vec<UnitInfo>;
+}
+
+/// SLURM implementation over the simulated scheduler's accounting DB.
+pub struct SlurmRmClient {
+    scheduler: Arc<Mutex<Scheduler>>,
+}
+
+impl SlurmRmClient {
+    /// Creates the client.
+    pub fn new(scheduler: Arc<Mutex<Scheduler>>) -> SlurmRmClient {
+        SlurmRmClient { scheduler }
+    }
+
+    fn to_unit(rec: &JobRecord) -> UnitInfo {
+        UnitInfo {
+            uuid: rec.uuid.clone(),
+            resource_manager: "slurm".to_string(),
+            user: rec.user.clone(),
+            project: rec.account.clone(),
+            partition: rec.partition.clone(),
+            state: rec.state.as_str().to_string(),
+            submitted_at_ms: rec.submitted_ms,
+            started_at_ms: rec.started_ms,
+            ended_at_ms: rec.ended_ms,
+            nnodes: rec.nodes,
+            ncpus: rec.total_cores(),
+            ngpus: rec.total_gpus(),
+        }
+    }
+}
+
+impl ResourceManagerClient for SlurmRmClient {
+    fn name(&self) -> &'static str {
+        "slurm"
+    }
+
+    fn units_since(&self, since_ms: i64) -> Vec<UnitInfo> {
+        self.scheduler
+            .lock()
+            .dbd()
+            .jobs_since(since_ms)
+            .iter()
+            .map(Self::to_unit)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceems_simnode::{ClusterSpec, SimClock, SimCluster, WorkloadProfile};
+    use ceems_slurm::{JobRequest, Partition};
+
+    #[test]
+    fn slurm_client_maps_records() {
+        let cluster = SimCluster::build(&ClusterSpec::small(), SimClock::new(), 1);
+        let sched = Arc::new(Mutex::new(Scheduler::new(
+            vec![Partition::new(
+                "cpu",
+                cluster.nodes().to_vec(),
+                72 * 3600,
+            )],
+            1,
+        )));
+        sched
+            .lock()
+            .submit(
+                JobRequest {
+                    user: "alice".into(),
+                    account: "projx".into(),
+                    partition: "cpu".into(),
+                    nodes: 2,
+                    cores_per_node: 4,
+                    memory_per_node: 8 << 30,
+                    gpus_per_node: 0,
+                    walltime_s: 3600,
+                    workload: WorkloadProfile::Idle,
+                },
+                1000,
+            )
+            .unwrap();
+        sched.lock().tick(1000);
+
+        let client = SlurmRmClient::new(sched.clone());
+        assert_eq!(client.name(), "slurm");
+        let units = client.units_since(0);
+        assert_eq!(units.len(), 1);
+        let u = &units[0];
+        assert_eq!(u.uuid, "slurm-1");
+        assert_eq!(u.user, "alice");
+        assert_eq!(u.project, "projx");
+        assert_eq!(u.state, "RUNNING");
+        assert_eq!(u.ncpus, 8);
+        assert_eq!(u.nnodes, 2);
+        // Running units poll on every pass (their aggregates keep moving);
+        // only terminal units respect the watermark.
+        assert_eq!(client.units_since(5_000).len(), 1);
+    }
+}

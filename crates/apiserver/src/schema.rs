@@ -1,0 +1,174 @@
+//! The unified compute-unit schema.
+//!
+//! One row per compute unit regardless of resource manager — the
+//! abstraction layer §II.B.b describes. Aggregate metric columns are
+//! nullable: they fill in as the updater computes them.
+
+use ceems_relstore::{Column, ColumnType, Db, DbError, Schema};
+
+/// Units table name.
+pub const UNITS_TABLE: &str = "units";
+/// Usage (per user+project rollup) table name.
+pub const USAGE_TABLE: &str = "usage";
+
+/// Column order of the units table (indices used throughout the crate).
+pub mod unit_cols {
+    /// `uuid` (TEXT, pk)
+    pub const UUID: usize = 0;
+    /// `resource_manager` (TEXT)
+    pub const RESOURCE_MANAGER: usize = 1;
+    /// `user` (TEXT, indexed)
+    pub const USER: usize = 2;
+    /// `project` (TEXT, indexed)
+    pub const PROJECT: usize = 3;
+    /// `partition` (TEXT)
+    pub const PARTITION: usize = 4;
+    /// `state` (TEXT)
+    pub const STATE: usize = 5;
+    /// `submitted_at_ms` (INT)
+    pub const SUBMITTED_AT: usize = 6;
+    /// `started_at_ms` (INT, nullable)
+    pub const STARTED_AT: usize = 7;
+    /// `ended_at_ms` (INT, nullable)
+    pub const ENDED_AT: usize = 8;
+    /// `elapsed_s` (REAL)
+    pub const ELAPSED_S: usize = 9;
+    /// `nnodes` (INT)
+    pub const NNODES: usize = 10;
+    /// `ncpus` (INT, total cores)
+    pub const NCPUS: usize = 11;
+    /// `ngpus` (INT, total gpus)
+    pub const NGPUS: usize = 12;
+    /// `avg_cpu_usage_pct` (REAL, nullable)
+    pub const AVG_CPU_USAGE: usize = 13;
+    /// `avg_mem_bytes` (REAL, nullable)
+    pub const AVG_MEM: usize = 14;
+    /// `avg_gpu_usage_pct` (REAL, nullable)
+    pub const AVG_GPU_USAGE: usize = 15;
+    /// `total_energy_kwh` (REAL, nullable)
+    pub const ENERGY_KWH: usize = 16;
+    /// `total_emissions_g` (REAL, nullable)
+    pub const EMISSIONS_G: usize = 17;
+    /// `updated_at_ms` (INT)
+    pub const UPDATED_AT: usize = 18;
+    /// Number of columns.
+    pub const COUNT: usize = 19;
+}
+
+/// Builds the units table schema.
+pub fn units_schema() -> Schema {
+    Schema::new(
+        vec![
+            Column::required("uuid", ColumnType::Text),
+            Column::required("resource_manager", ColumnType::Text),
+            Column::required("user", ColumnType::Text),
+            Column::required("project", ColumnType::Text),
+            Column::required("partition", ColumnType::Text),
+            Column::required("state", ColumnType::Text),
+            Column::required("submitted_at_ms", ColumnType::Int),
+            Column::nullable("started_at_ms", ColumnType::Int),
+            Column::nullable("ended_at_ms", ColumnType::Int),
+            Column::required("elapsed_s", ColumnType::Real),
+            Column::required("nnodes", ColumnType::Int),
+            Column::required("ncpus", ColumnType::Int),
+            Column::required("ngpus", ColumnType::Int),
+            Column::nullable("avg_cpu_usage_pct", ColumnType::Real),
+            Column::nullable("avg_mem_bytes", ColumnType::Real),
+            Column::nullable("avg_gpu_usage_pct", ColumnType::Real),
+            Column::nullable("total_energy_kwh", ColumnType::Real),
+            Column::nullable("total_emissions_g", ColumnType::Real),
+            Column::required("updated_at_ms", ColumnType::Int),
+        ],
+        "uuid",
+        &["user", "project"],
+    )
+    .expect("units schema is valid")
+}
+
+/// Usage-rollup columns.
+pub mod usage_cols {
+    /// `key` = `user|project` (TEXT, pk)
+    pub const KEY: usize = 0;
+    /// `user` (TEXT, indexed)
+    pub const USER: usize = 1;
+    /// `project` (TEXT, indexed)
+    pub const PROJECT: usize = 2;
+    /// `num_units` (INT)
+    pub const NUM_UNITS: usize = 3;
+    /// `total_cpu_hours` (REAL) — core-hours consumed
+    pub const CPU_HOURS: usize = 4;
+    /// `total_gpu_hours` (REAL)
+    pub const GPU_HOURS: usize = 5;
+    /// `total_energy_kwh` (REAL)
+    pub const ENERGY_KWH: usize = 6;
+    /// `total_emissions_g` (REAL)
+    pub const EMISSIONS_G: usize = 7;
+    /// `updated_at_ms` (INT)
+    pub const UPDATED_AT: usize = 8;
+}
+
+/// Builds the usage table schema.
+pub fn usage_schema() -> Schema {
+    Schema::new(
+        vec![
+            Column::required("key", ColumnType::Text),
+            Column::required("user", ColumnType::Text),
+            Column::required("project", ColumnType::Text),
+            Column::required("num_units", ColumnType::Int),
+            Column::required("total_cpu_hours", ColumnType::Real),
+            Column::required("total_gpu_hours", ColumnType::Real),
+            Column::required("total_energy_kwh", ColumnType::Real),
+            Column::required("total_emissions_g", ColumnType::Real),
+            Column::required("updated_at_ms", ColumnType::Int),
+        ],
+        "key",
+        &["user", "project"],
+    )
+    .expect("usage schema is valid")
+}
+
+/// Creates both tables in a database.
+pub fn create_tables(db: &mut Db) -> Result<(), DbError> {
+    db.create_table(UNITS_TABLE, units_schema())?;
+    db.create_table(USAGE_TABLE, usage_schema())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceems_relstore::Value;
+
+    #[test]
+    fn schemas_build_and_tables_create() {
+        let dir = std::env::temp_dir().join(format!(
+            "ceems-apischema-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let mut db = Db::open(&dir).unwrap();
+        create_tables(&mut db).unwrap();
+        assert_eq!(db.table_names(), vec!["units", "usage"]);
+        assert_eq!(units_schema().columns.len(), unit_cols::COUNT);
+        // A minimal valid row inserts.
+        let mut row = vec![Value::Null; unit_cols::COUNT];
+        row[unit_cols::UUID] = "slurm-1".into();
+        row[unit_cols::RESOURCE_MANAGER] = "slurm".into();
+        row[unit_cols::USER] = "alice".into();
+        row[unit_cols::PROJECT] = "proj".into();
+        row[unit_cols::PARTITION] = "cpu".into();
+        row[unit_cols::STATE] = "RUNNING".into();
+        row[unit_cols::SUBMITTED_AT] = Value::Int(0);
+        row[unit_cols::ELAPSED_S] = Value::Real(0.0);
+        row[unit_cols::NNODES] = Value::Int(1);
+        row[unit_cols::NCPUS] = Value::Int(8);
+        row[unit_cols::NGPUS] = Value::Int(0);
+        row[unit_cols::UPDATED_AT] = Value::Int(0);
+        db.upsert(UNITS_TABLE, row).unwrap();
+        assert_eq!(db.table(UNITS_TABLE).unwrap().len(), 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

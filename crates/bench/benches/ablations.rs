@@ -1,0 +1,157 @@
+//! Ablation benches for the design choices called out in `DESIGN.md` §6:
+//! head lock striping, scrape fan-out parallelism, and in-process vs HTTP
+//! scrape targets.
+
+use std::sync::Arc;
+
+use ceems_metrics::labels::LabelSetBuilder;
+use ceems_tsdb::scrape::{ScrapeManager, ScrapeTarget, TargetSource};
+use ceems_tsdb::{Tsdb, TsdbConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Concurrent append throughput vs lock stripe count.
+fn bench_head_sharding(c: &mut Criterion) {
+    let labels: Vec<_> = (0..512)
+        .map(|i| {
+            LabelSetBuilder::new()
+                .label("__name__", "m")
+                .label("instance", format!("n{i}"))
+                .build()
+        })
+        .collect();
+    let mut group = c.benchmark_group("ablation_head_shards");
+    group.sample_size(20);
+    for shards in [1usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            b.iter_with_setup(
+                || {
+                    Arc::new(Tsdb::new(TsdbConfig {
+                        shards,
+                        ..Default::default()
+                    }))
+                },
+                |db| {
+                    // 8 writer threads × 512 series × 4 samples.
+                    std::thread::scope(|s| {
+                        for t in 0..8i64 {
+                            let db = db.clone();
+                            let labels = &labels;
+                            s.spawn(move || {
+                                for round in 0..4i64 {
+                                    let ts = (t * 4 + round) * 15_000;
+                                    for l in labels.iter() {
+                                        db.append(l, ts, 1.0);
+                                    }
+                                }
+                            });
+                        }
+                    });
+                    db
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+fn text_body() -> String {
+    // A realistic exporter payload: ~60 samples.
+    let mut s = String::new();
+    for i in 0..60 {
+        s.push_str(&format!("metric_{i}{{uuid=\"slurm-1\"}} {}\n", i * 3));
+    }
+    s
+}
+
+/// Scrape fan-out: same 256 in-process targets, varying thread counts.
+fn bench_scrape_threads(c: &mut Criterion) {
+    let body = Arc::new(text_body());
+    let targets: Vec<ScrapeTarget> = (0..256)
+        .map(|i| {
+            let body = body.clone();
+            ScrapeTarget {
+                instance: format!("n{i}"),
+                job: "ceems".into(),
+                extra_labels: vec![],
+                source: TargetSource::InProcess(Arc::new(move || (*body).clone())),
+            }
+        })
+        .collect();
+    let mgr = ScrapeManager::new(targets);
+    let mut group = c.benchmark_group("ablation_scrape_threads");
+    group.sample_size(10);
+    let mut t = 0i64;
+    for threads in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &n| {
+            b.iter(|| {
+                t += 15_000;
+                let db = Tsdb::default();
+                mgr.scrape_once(&db, t, n)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// In-process vs HTTP targets: what does the socket cost per target?
+fn bench_scrape_transport(c: &mut Criterion) {
+    let body = Arc::new(text_body());
+    let in_process: Vec<ScrapeTarget> = (0..16)
+        .map(|i| {
+            let body = body.clone();
+            ScrapeTarget {
+                instance: format!("n{i}"),
+                job: "ceems".into(),
+                extra_labels: vec![],
+                source: TargetSource::InProcess(Arc::new(move || (*body).clone())),
+            }
+        })
+        .collect();
+
+    let body2 = body.clone();
+    let mut router = ceems_http::Router::new();
+    router.get("/metrics", move |_| ceems_http::Response::text((*body2).clone()));
+    let server =
+        ceems_http::HttpServer::serve(ceems_http::ServerConfig::ephemeral(), router).unwrap();
+    let http: Vec<ScrapeTarget> = (0..16)
+        .map(|i| ScrapeTarget {
+            instance: format!("n{i}"),
+            job: "ceems".into(),
+            extra_labels: vec![],
+            source: TargetSource::Http {
+                url: format!("{}/metrics", server.base_url()),
+                auth: None,
+            },
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("ablation_scrape_transport_16targets");
+    group.sample_size(20);
+    let mgr_ip = ScrapeManager::new(in_process);
+    let mgr_http = ScrapeManager::new(http);
+    let mut t = 0i64;
+    group.bench_function("in_process", |b| {
+        b.iter(|| {
+            t += 15_000;
+            let db = Tsdb::default();
+            mgr_ip.scrape_once(&db, t, 4)
+        })
+    });
+    group.bench_function("http", |b| {
+        b.iter(|| {
+            t += 15_000;
+            let db = Tsdb::default();
+            mgr_http.scrape_once(&db, t, 4)
+        })
+    });
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(
+    benches,
+    bench_head_sharding,
+    bench_scrape_threads,
+    bench_scrape_transport
+);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! E5 — Eq. (1) evaluation cost and fidelity.
+//!
+//! Measures (a) the closed-form attribution, (b) a full recording-rule
+//! evaluation pass deriving per-job power from raw series, at varying
+//! node/job counts, and prints the rule-vs-closed-form deviation so the
+//! fidelity shows up next to the cost.
+
+use ceems_core::attribution::{
+    all_rule_groups, attribute, JobObservables, NodeGroup, NodeObservables,
+};
+use ceems_metrics::labels::LabelSetBuilder;
+use ceems_metrics::matcher::LabelMatcher;
+use ceems_tsdb::rules::RuleEngine;
+use ceems_tsdb::Tsdb;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn synthetic_node(jobs: usize) -> NodeObservables {
+    NodeObservables {
+        group: NodeGroup::IntelDram,
+        ipmi_w: 520.0,
+        rapl_cpu_w: 260.0,
+        rapl_dram_w: 65.0,
+        node_cpu_rate: jobs as f64 * 4.0 + 0.3,
+        node_mem_bytes: jobs as f64 * 8e9 + 2e9,
+        gpu_total_w: 0.0,
+        jobs: (0..jobs)
+            .map(|i| JobObservables {
+                uuid: format!("slurm-{i}"),
+                cpu_rate: 4.0,
+                mem_bytes: 8e9,
+                gpu_w: 0.0,
+            })
+            .collect(),
+    }
+}
+
+fn bench_closed_form(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attribution_closed_form");
+    for jobs in [1usize, 8, 64] {
+        let node = synthetic_node(jobs);
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &node, |b, node| {
+            b.iter(|| attribute(node))
+        });
+    }
+    group.finish();
+}
+
+/// Loads raw exporter-shaped series for `nodes` nodes × `jobs_per_node`.
+fn tsdb_for(nodes: usize, jobs_per_node: usize) -> Tsdb {
+    let db = Tsdb::default();
+    let g = NodeGroup::IntelDram.label();
+    for n in 0..nodes {
+        let inst = format!("node-{n}:9100");
+        for i in 0..41i64 {
+            let t = i * 15_000;
+            let secs = (i * 15) as f64;
+            let base = |name: &str| {
+                LabelSetBuilder::new()
+                    .label("__name__", name)
+                    .label("instance", inst.clone())
+                    .label("nodegroup", g)
+                    .build()
+            };
+            db.append(&base("ceems_ipmi_dcmi_power_current_watts"), t, 500.0);
+            db.append(&base("ceems_rapl_package_joules_total"), t, 240.0 * secs);
+            db.append(&base("ceems_rapl_dram_joules_total"), t, 60.0 * secs);
+            db.append(&base("ceems_memory_used_bytes"), t, 100e9);
+            for (mode, rate) in [("user", 9.0), ("system", 1.0), ("idle", 30.0)] {
+                db.append(
+                    &LabelSetBuilder::new()
+                        .label("__name__", "ceems_cpu_seconds_total")
+                        .label("mode", mode)
+                        .label("instance", inst.clone())
+                        .label("nodegroup", g)
+                        .build(),
+                    t,
+                    rate * secs,
+                );
+            }
+            for j in 0..jobs_per_node {
+                let uuid = format!("slurm-{n}-{j}");
+                let jb = |name: &str| {
+                    LabelSetBuilder::new()
+                        .label("__name__", name)
+                        .label("uuid", uuid.clone())
+                        .label("instance", inst.clone())
+                        .label("nodegroup", g)
+                        .build()
+                };
+                let cores = 10.0 / jobs_per_node as f64;
+                db.append(
+                    &jb("ceems_compute_unit_cpu_user_seconds_total"),
+                    t,
+                    cores * 0.92 * secs,
+                );
+                db.append(
+                    &jb("ceems_compute_unit_cpu_system_seconds_total"),
+                    t,
+                    cores * 0.08 * secs,
+                );
+                db.append(
+                    &jb("ceems_compute_unit_memory_used_bytes"),
+                    t,
+                    100e9 / jobs_per_node as f64,
+                );
+            }
+        }
+    }
+    db
+}
+
+fn bench_rule_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attribution_rule_pass");
+    group.sample_size(20);
+    for (nodes, jobs) in [(1usize, 4usize), (10, 4), (50, 4)] {
+        let db = tsdb_for(nodes, jobs);
+        let groups = all_rule_groups("2m", 30_000);
+        group.bench_with_input(
+            BenchmarkId::new("nodes", nodes),
+            &(nodes, jobs),
+            |b, _| {
+                b.iter(|| {
+                    let mut engine = RuleEngine::new(groups.clone());
+                    engine.force_eval(&db, 600_000)
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Fidelity: how far is the rule output from the closed form?
+    let db = tsdb_for(1, 2);
+    let mut engine = RuleEngine::new(all_rule_groups("2m", 30_000));
+    engine.force_eval(&db, 600_000);
+    let got = db.select_latest(&[LabelMatcher::eq("__name__", "uuid:ceems_power:watts")]);
+    let expected = attribute(&NodeObservables {
+        group: NodeGroup::IntelDram,
+        ipmi_w: 500.0,
+        rapl_cpu_w: 240.0,
+        rapl_dram_w: 60.0,
+        node_cpu_rate: 10.0,
+        node_mem_bytes: 100e9,
+        gpu_total_w: 0.0,
+        jobs: (0..2)
+            .map(|j| JobObservables {
+                uuid: format!("slurm-0-{j}"),
+                cpu_rate: 5.0,
+                mem_bytes: 50e9,
+                gpu_w: 0.0,
+            })
+            .collect(),
+    });
+    for (uuid, want) in expected {
+        let have = got
+            .iter()
+            .find(|(l, _)| l.get("uuid") == Some(uuid.as_str()))
+            .map(|(_, s)| s.v)
+            .unwrap_or(f64::NAN);
+        eprintln!(
+            "[E5] {uuid}: rules={have:.2} W closed-form={want:.2} W (dev {:.2}%)",
+            (have / want - 1.0) * 100.0
+        );
+    }
+}
+
+criterion_group!(benches, bench_closed_form, bench_rule_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! E10 — §II.C cardinality cleanup.
+//!
+//! "It is possible to configure the CEEMS API server to clean up TSDB by
+//! removing metrics of workloads that did not last more than the
+//! configured cutoff time. This helps in reducing the cardinality of
+//! metrics." Short-job churn inflates the series count; this bench
+//! measures delete_series throughput and shows the cardinality drop a
+//! cutoff sweep produces.
+
+use ceems_metrics::labels::LabelSetBuilder;
+use ceems_metrics::matcher::LabelMatcher;
+use ceems_tsdb::Tsdb;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// A TSDB polluted by `jobs` short-lived jobs, each with `series_per_job`
+/// uuid-labelled series of a handful of samples.
+fn churned_tsdb(jobs: usize, series_per_job: usize) -> Tsdb {
+    let db = Tsdb::default();
+    for j in 0..jobs {
+        for s in 0..series_per_job {
+            let labels = LabelSetBuilder::new()
+                .label("__name__", format!("ceems_metric_{s}"))
+                .label("uuid", format!("slurm-{j}"))
+                .label("instance", format!("node-{}", j % 100))
+                .build();
+            for i in 0..4i64 {
+                db.append(&labels, i * 15_000, i as f64);
+            }
+        }
+    }
+    db
+}
+
+fn bench_delete_series(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cardinality_cleanup");
+    group.sample_size(10);
+
+    group.bench_function("delete_one_unit_of_10k", |b| {
+        b.iter_with_setup(
+            || churned_tsdb(1000, 10),
+            |db| {
+                let n = db.delete_series(&[LabelMatcher::eq("uuid", "slurm-500")]);
+                assert_eq!(n, 10);
+                db
+            },
+        )
+    });
+
+    group.bench_function("purge_half_the_units", |b| {
+        b.iter_with_setup(
+            || churned_tsdb(500, 10),
+            |db| {
+                for j in 0..250 {
+                    db.delete_series(&[LabelMatcher::eq("uuid", format!("slurm-{j}"))]);
+                }
+                db
+            },
+        )
+    });
+    group.finish();
+
+    // The headline number: cardinality before/after a cleanup sweep.
+    let db = churned_tsdb(1000, 10);
+    let before = db.series_count();
+    for j in 0..800 {
+        // 80% of jobs were shorter than the cutoff.
+        db.delete_series(&[LabelMatcher::eq("uuid", format!("slurm-{j}"))]);
+    }
+    let after = db.series_count();
+    eprintln!(
+        "[E10] cleanup sweep: {before} series -> {after} series ({:.0}% reduction)",
+        (1.0 - after as f64 / before as f64) * 100.0
+    );
+}
+
+fn bench_query_cost_vs_cardinality(c: &mut Criterion) {
+    // Why operators care: selection cost grows with live cardinality.
+    let mut group = c.benchmark_group("select_latest_by_cardinality");
+    for jobs in [100usize, 1000, 5000] {
+        let db = churned_tsdb(jobs, 10);
+        group.bench_with_input(
+            criterion::BenchmarkId::new("series", jobs * 10),
+            &db,
+            |b, db| {
+                b.iter(|| db.select_latest(&[LabelMatcher::eq("__name__", "ceems_metric_0")]))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delete_series, bench_query_cost_vs_cardinality);
+criterion_main!(benches);

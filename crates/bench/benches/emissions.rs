@@ -1,0 +1,82 @@
+//! E9 — §II.A.c emission factors: provider lookup costs and the effect of
+//! static vs real-time factors on accounted emissions.
+
+use std::sync::Arc;
+
+use ceems_emissions::emaps::{EMapsProvider, EMapsService};
+use ceems_emissions::owid::OwidStatic;
+use ceems_emissions::rte::RteSimulated;
+use ceems_emissions::{EmissionProvider, EmissionsCalculator, ProviderChain};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_factor_lookup(c: &mut Criterion) {
+    let owid = OwidStatic;
+    let rte = RteSimulated::default();
+    let service = Arc::new(EMapsService::new("t", 1_000_000));
+    let emaps = EMapsProvider::new(service, "t");
+    let chain = ProviderChain::new(vec![
+        Arc::new(RteSimulated::default()),
+        Arc::new(OwidStatic),
+    ]);
+
+    let mut group = c.benchmark_group("factor_lookup");
+    group.bench_function("owid_static", |b| {
+        let mut t = 0i64;
+        b.iter(|| {
+            t += 60_000;
+            owid.factor("FR", t)
+        })
+    });
+    group.bench_function("rte_simulated", |b| {
+        let mut t = 0i64;
+        b.iter(|| {
+            t += 60_000;
+            rte.factor("FR", t)
+        })
+    });
+    group.bench_function("emaps_cached", |b| {
+        let mut t = 0i64;
+        b.iter(|| {
+            t += 60_000;
+            emaps.factor("FR", t)
+        })
+    });
+    group.bench_function("chain_rte_then_owid", |b| {
+        let mut t = 0i64;
+        b.iter(|| {
+            t += 60_000;
+            chain.factor("DE", t) // falls through RTE to OWID
+        })
+    });
+    group.finish();
+    eprintln!(
+        "[E9] emaps upstream calls after bench: {} (caching bounds API usage)",
+        emaps.upstream_calls()
+    );
+}
+
+fn bench_trace_integration(c: &mut Criterion) {
+    // A day of per-minute power samples integrated into gCO2e.
+    let trace: Vec<(i64, f64)> = (0..(24 * 60)).map(|m| (m * 60_000, 450.0)).collect();
+    let static_calc = EmissionsCalculator::new(Arc::new(OwidStatic), "FR");
+    let rt_calc = EmissionsCalculator::new(Arc::new(RteSimulated::default()), "FR");
+
+    let mut group = c.benchmark_group("trace_integration_24h");
+    group.bench_function("static_factor", |b| {
+        b.iter(|| static_calc.integrate_trace(&trace).unwrap())
+    });
+    group.bench_function("realtime_factor", |b| {
+        b.iter(|| rt_calc.integrate_trace(&trace).unwrap())
+    });
+    group.finish();
+
+    let g_static = static_calc.integrate_trace(&trace).unwrap();
+    let g_rt = rt_calc.integrate_trace(&trace).unwrap();
+    eprintln!(
+        "[E9] same 10.8 kWh day: static {g_static:.0} g vs real-time {g_rt:.0} g ({:+.1}%)",
+        (g_rt / g_static - 1.0) * 100.0
+    );
+}
+
+criterion_group!(benches, bench_factor_lookup, bench_trace_integration);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E1–E3 — the paper's Fig. 2 dashboard panels.
+//!
+//! Grafana's cost is dominated by its data-source queries; this bench
+//! measures generating each panel from a live monitored stack: the user's
+//! aggregate overview (2a), the per-job listing (2b) and the job
+//! time-series panel (2c). Panel contents are printed once so the rendered
+//! figures land in the bench log.
+
+use ceems_bench::small_stack_with_job;
+use ceems_core::dashboards::{render_job_list, render_job_timeseries, render_user_overview};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig2(c: &mut Criterion) {
+    let stack = small_stack_with_job();
+    let now = stack.clock.now_ms();
+
+    {
+        let upd = stack.updater.lock();
+        eprintln!("[E1] Fig 2a panel:\n{}", render_user_overview(&upd, "bench"));
+        eprintln!("[E2] Fig 2b panel:\n{}", render_job_list(&upd, "bench"));
+    }
+    eprintln!(
+        "[E3] Fig 2c panel:\n{}",
+        render_job_timeseries(stack.tsdb.as_ref(), "slurm-1", 0, now, 30_000)
+    );
+
+    let mut group = c.benchmark_group("fig2");
+    group.bench_function("2a_user_overview", |b| {
+        b.iter(|| {
+            let upd = stack.updater.lock();
+            render_user_overview(&upd, "bench")
+        })
+    });
+    group.bench_function("2b_job_list", |b| {
+        b.iter(|| {
+            let upd = stack.updater.lock();
+            render_job_list(&upd, "bench")
+        })
+    });
+    group.bench_function("2c_job_timeseries", |b| {
+        b.iter(|| render_job_timeseries(stack.tsdb.as_ref(), "slurm-1", 0, now, 30_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

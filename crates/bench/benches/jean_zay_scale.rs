@@ -1,0 +1,62 @@
+//! E6 — §III / abstract: "monitoring more than 1400 nodes that have a
+//! daily job churn rate" in the thousands.
+//!
+//! Builds the full Jean-Zay-like fleet (1,400 nodes, 3,584 GPUs) and
+//! measures one complete monitoring step — node simulation + scheduler +
+//! scrape of all 1,400 exporters + rule evaluation — which must comfortably
+//! fit inside the 15 s scrape interval for the deployment to be viable.
+
+use ceems_core::config::{CeemsConfig, ChurnSettings};
+use ceems_core::CeemsStack;
+use ceems_simnode::ClusterSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_jean_zay_step(c: &mut Criterion) {
+    let mut cfg = CeemsConfig::default();
+    cfg.cluster = ClusterSpec::jean_zay();
+    cfg.threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
+    cfg.churn = Some(ChurnSettings {
+        users: 200,
+        projects: 40,
+        arrivals_per_hour: 420.0,
+    });
+    let dir = ceems_bench::tmpdir("jz");
+    let mut stack = CeemsStack::build(cfg, &dir).expect("jean-zay stack builds");
+    // Warm up: get jobs placed and counters moving.
+    stack.run_for(120.0, 15.0);
+    eprintln!(
+        "[E6] fleet: {} nodes, {} jobs running, {} series after warm-up",
+        stack.cluster.len(),
+        stack.scheduler.lock().running_count(),
+        stack.tsdb.series_count()
+    );
+
+    let mut group = c.benchmark_group("jean_zay");
+    group.sample_size(10);
+    group.bench_function("full_monitoring_step_15s", |b| {
+        b.iter(|| stack.advance(15.0));
+    });
+    group.finish();
+
+    let st = stack.stats();
+    eprintln!(
+        "[E6] after bench: {} scrape passes ({} failures), {} samples, {} series, {:.1} MiB compressed, {} jobs submitted",
+        st.scrape_passes,
+        st.scrape_failures,
+        st.samples_scraped,
+        stack.tsdb.series_count(),
+        stack.tsdb.storage_bytes() as f64 / (1 << 20) as f64,
+        st.jobs_submitted,
+    );
+    eprintln!(
+        "[E6] attributed fleet power {:.1} kW vs simulated wall power {:.1} kW",
+        stack.total_attributed_power() / 1000.0,
+        stack.cluster.total_wall_power() / 1000.0
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+criterion_group!(benches, bench_jean_zay_step);
+criterion_main!(benches);

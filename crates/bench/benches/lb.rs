@@ -1,0 +1,129 @@
+//! E7 — §II.B.c load balancer: the cost of access control and the two
+//! balancing strategies.
+//!
+//! Measures the in-process request path (query introspection + ownership
+//! check + backend pick) for: authorized scoped queries, denied queries,
+//! admin pass-through, round-robin vs least-connection picks — i.e. what
+//! the LB adds on top of Prometheus itself.
+
+use std::sync::Arc;
+
+use ceems_bench::small_stack_with_job;
+use ceems_http::{Method, Request};
+use ceems_lb::acl::Authorizer;
+use ceems_lb::introspect::introspect;
+use ceems_lb::proxy::LbConfig;
+use ceems_lb::{Backend, BackendPool, CeemsLb, Strategy};
+use ceems_tsdb::httpapi::api_router;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_introspection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lb_introspect");
+    for (name, q) in [
+        ("simple_uuid", "uuid:ceems_power:watts{uuid=\"slurm-1\"}"),
+        (
+            "nested_rate",
+            "sum by (uuid) (rate(ceems_compute_unit_cpu_user_seconds_total{uuid=~\"slurm-1|slurm-2|slurm-3\"}[5m]))",
+        ),
+        ("unscoped", "sum(node_power_watts)"),
+    ] {
+        group.bench_function(name, |b| b.iter(|| introspect(q)));
+    }
+    group.finish();
+}
+
+fn bench_request_path(c: &mut Criterion) {
+    // Real TSDB backend over HTTP; the stack's updater provides the ACL DB.
+    let stack = small_stack_with_job();
+    let now = stack.clock.now_ms();
+    let backend_srv = ceems_http::HttpServer::serve(
+        ceems_http::ServerConfig::ephemeral(),
+        api_router(stack.tsdb.clone(), Arc::new(move || now)),
+    )
+    .unwrap();
+    let backend_srv2 = ceems_http::HttpServer::serve(
+        ceems_http::ServerConfig::ephemeral(),
+        api_router(stack.tsdb.clone(), Arc::new(move || now)),
+    )
+    .unwrap();
+
+    let mk_lb = |strategy: Strategy| {
+        Arc::new(CeemsLb::new(
+            BackendPool::new(
+                vec![
+                    Backend::new("b1", backend_srv.base_url()),
+                    Backend::new("b2", backend_srv2.base_url()),
+                ],
+                strategy,
+            ),
+            Authorizer::DirectDb(stack.updater.clone()),
+            LbConfig {
+                admin_users: vec!["op".into()],
+            },
+        ))
+    };
+
+    let authorized = Request::new(
+        Method::Get,
+        "/api/v1/query?query=uuid%3Aceems_power%3Awatts%7Buuid%3D%22slurm-1%22%7D",
+    )
+    .with_header("X-Grafana-User", "bench");
+    let denied = Request::new(
+        Method::Get,
+        "/api/v1/query?query=uuid%3Aceems_power%3Awatts%7Buuid%3D%22slurm-999%22%7D",
+    )
+    .with_header("X-Grafana-User", "bench");
+    let admin = Request::new(
+        Method::Get,
+        "/api/v1/query?query=sum%28uuid%3Aceems_power%3Awatts%29",
+    )
+    .with_header("X-Grafana-User", "op");
+
+    let mut group = c.benchmark_group("lb_request");
+    group.sample_size(30);
+    for (name, strategy) in [
+        ("round_robin", Strategy::round_robin()),
+        ("least_connection", Strategy::LeastConnection),
+    ] {
+        let lb = mk_lb(strategy);
+        group.bench_function(format!("authorized_{name}"), |b| {
+            b.iter(|| {
+                let resp = lb.handle(&authorized);
+                assert_eq!(resp.status.0, 200);
+                resp
+            })
+        });
+    }
+    let lb = mk_lb(Strategy::round_robin());
+    group.bench_function("denied_foreign_uuid", |b| {
+        b.iter(|| {
+            let resp = lb.handle(&denied);
+            assert_eq!(resp.status.0, 403);
+            resp
+        })
+    });
+    group.bench_function("admin_unscoped", |b| {
+        b.iter(|| {
+            let resp = lb.handle(&admin);
+            assert_eq!(resp.status.0, 200);
+            resp
+        })
+    });
+
+    // Baseline: the same query straight to the backend, no LB.
+    let direct = ceems_http::Client::new();
+    let direct_url = format!(
+        "{}/api/v1/query?query=uuid%3Aceems_power%3Awatts%7Buuid%3D%22slurm-1%22%7D",
+        backend_srv.base_url()
+    );
+    group.bench_function("no_lb_direct_backend", |b| {
+        b.iter(|| direct.get(&direct_url).unwrap())
+    });
+    group.finish();
+
+    backend_srv.shutdown();
+    backend_srv2.shutdown();
+}
+
+criterion_group!(benches, bench_introspection, bench_request_path);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! E11 — §II.A.b: RAPL vs IPMI-DCMI as energy sources.
+//!
+//! "The IPMI-DCMI command is not suitable to use at a high frequency (even
+//! for every few seconds) whereas RAPL counters are available at
+//! microsecond granularity." This bench measures the simulated read paths
+//! (a sysfs-style counter read vs a BMC invocation with its caching), the
+//! cost of `rate()` over wrapping RAPL counters, and verifies the wraparound
+//! correction numerically.
+
+use ceems_metrics::labels::LabelSetBuilder;
+use ceems_simnode::ipmi::IpmiDcmi;
+use ceems_simnode::power::{compute_power, IpmiCoverage, PowerSpec};
+use ceems_simnode::pseudofs::PseudoFs;
+use ceems_simnode::rapl::RaplDomain;
+use ceems_tsdb::promql::{instant_query, parse_expr, Value};
+use ceems_tsdb::Tsdb;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_source_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("power_source_read");
+
+    // RAPL: accumulate + read the counter (what a sysfs read costs us).
+    let mut domain = RaplDomain::new("package-0");
+    group.bench_function("rapl_accumulate_and_read", |b| {
+        b.iter(|| {
+            domain.accumulate(150.0, 0.015);
+            domain.energy_uj()
+        })
+    });
+
+    // RAPL through the pseudo-filesystem (string render + parse), the
+    // exporter's actual path.
+    let node = ceems_bench::busy_node(4, 0);
+    group.bench_function("rapl_via_pseudofs", |b| {
+        b.iter(|| {
+            let n = node.lock();
+            n.read_u64("/sys/class/powercap/intel-rapl:0/energy_uj")
+        })
+    });
+
+    // IPMI: most reads hit the BMC cache; refreshes carry noise modelling.
+    let spec = PowerSpec::intel_cpu_node();
+    let truth = compute_power(&spec, 0.6, 0.4, &[]);
+    let mut ipmi = IpmiDcmi::standard(IpmiCoverage::IncludesGpus);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut t = 0i64;
+    group.bench_function("ipmi_read_cached", |b| {
+        b.iter(|| {
+            t += 15; // 15 ms apart — far below the BMC refresh
+            ipmi.power_reading(t, &truth, &mut rng)
+        })
+    });
+    group.finish();
+
+    eprintln!(
+        "[E11] simulated DCMI invocation cost {} ms vs sysfs read (ns scale): the paper's frequency asymmetry",
+        ipmi.invocation_cost_ms()
+    );
+    eprintln!(
+        "[E11] BMC refreshes {} of {} reads (caching at 10s interval)",
+        ipmi.samples(),
+        ipmi.reads()
+    );
+}
+
+fn bench_rate_over_wrapping_counter(c: &mut Criterion) {
+    // A RAPL series that wraps several times inside the query window.
+    let db = Tsdb::default();
+    let labels = LabelSetBuilder::new()
+        .label("__name__", "ceems_rapl_package_joules_total")
+        .label("instance", "n1")
+        .build();
+    let wrap_at = 10_000.0;
+    let mut acc: f64 = 0.0;
+    for i in 0..241i64 {
+        acc += 200.0 * 15.0; // 200 W × 15 s
+        while acc >= wrap_at {
+            acc -= wrap_at;
+        }
+        db.append(&labels, i * 15_000, acc);
+    }
+    let expr = parse_expr("rate(ceems_rapl_package_joules_total[30m])").unwrap();
+    c.bench_function("rate_over_wrapping_rapl_counter", |b| {
+        b.iter(|| instant_query(&db, &expr, 3_600_000).unwrap())
+    });
+
+    let v = instant_query(&db, &expr, 3_600_000).unwrap();
+    if let Value::Vector(v) = v {
+        eprintln!(
+            "[E11] recovered {:.1} W from a counter wrapping every {:.0} s (true 200 W)",
+            v[0].1,
+            wrap_at / 200.0
+        );
+    }
+}
+
+criterion_group!(benches, bench_source_reads, bench_rate_over_wrapping_counter);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! TSDB engine micro-benchmarks: the substrate hot paths behind every
+//! other experiment — chunk compression, ingest, index selection and
+//! PromQL evaluation. Prints the achieved compression ratio (the reason a
+//! single host can hold a 1,400-node fleet's metrics).
+
+use ceems_bench::loaded_tsdb;
+use ceems_metrics::labels::LabelSetBuilder;
+use ceems_metrics::matcher::{LabelMatcher, MatchOp};
+use ceems_tsdb::chunk::XorChunk;
+use ceems_tsdb::promql::{instant_query, parse_expr};
+use ceems_tsdb::types::Sample;
+use ceems_tsdb::Tsdb;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_chunk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chunk");
+    group.bench_function("append_1k_samples", |b| {
+        b.iter(|| {
+            let mut chunk = XorChunk::new();
+            for i in 0..1000i64 {
+                chunk.append(Sample::new(i * 15_000, 100.0 + (i % 7) as f64)).unwrap();
+            }
+            chunk
+        })
+    });
+    let mut chunk = XorChunk::new();
+    for i in 0..1000i64 {
+        chunk.append(Sample::new(i * 15_000, 100.0 + (i % 7) as f64)).unwrap();
+    }
+    eprintln!(
+        "[tsdb] chunk: 1000 samples in {} bytes ({:.2} bytes/sample, {:.1}x vs raw 16B)",
+        chunk.byte_len(),
+        chunk.byte_len() as f64 / 1000.0,
+        16_000.0 / chunk.byte_len() as f64
+    );
+    group.bench_function("iterate_1k_samples", |b| {
+        b.iter(|| chunk.iter().map(|s| s.v).sum::<f64>())
+    });
+    group.finish();
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(20);
+    let labels: Vec<_> = (0..1000)
+        .map(|i| {
+            LabelSetBuilder::new()
+                .label("__name__", "m")
+                .label("instance", format!("n{i}"))
+                .build()
+        })
+        .collect();
+    group.bench_function("append_1k_series_x10", |b| {
+        let mut t = 0i64;
+        b.iter(|| {
+            let db = Tsdb::default();
+            for step in 0..10 {
+                t += 15_000;
+                for l in &labels {
+                    db.append(l, t + step, 1.0);
+                }
+            }
+            db
+        })
+    });
+    group.finish();
+}
+
+fn bench_select_and_query(c: &mut Criterion) {
+    let db = loaded_tsdb(5_000, 40);
+    eprintln!(
+        "[tsdb] loaded: {} series, {} samples, {} KiB compressed",
+        db.series_count(),
+        db.samples_appended(),
+        db.storage_bytes() / 1024
+    );
+    let mut group = c.benchmark_group("query");
+    group.bench_function("select_exact_1_of_5k", |b| {
+        let m = [LabelMatcher::eq("uuid", "slurm-2500")];
+        b.iter(|| db.select(&m, 0, i64::MAX))
+    });
+    group.bench_function("select_regex_10_of_5k", |b| {
+        let m = [LabelMatcher::new("uuid", MatchOp::Re, "slurm-250\\d").unwrap()];
+        b.iter(|| db.select(&m, 0, i64::MAX))
+    });
+    let exprs = [
+        ("instant_selector", "bench_metric{uuid=\"slurm-1\"}"),
+        ("rate_2m", "rate(bench_metric{uuid=\"slurm-1\"}[2m])"),
+        ("sum_all_5k", "sum(bench_metric)"),
+        (
+            "topk_over_aggregation",
+            "topk(5, avg_over_time(bench_metric[2m]))",
+        ),
+    ];
+    for (name, q) in exprs {
+        let expr = parse_expr(q).unwrap();
+        group.bench_with_input(BenchmarkId::new("promql", name), &expr, |b, expr| {
+            b.iter(|| instant_query(db.as_ref(), expr, 600_000).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunk, bench_ingest, bench_select_and_query);
+criterion_main!(benches);

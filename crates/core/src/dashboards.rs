@@ -1,0 +1,393 @@
+//! ASCII dashboards reproducing the paper's Fig. 2.
+//!
+//! Grafana builds its panels from two data sources — Prometheus for time
+//! series and the CEEMS API server for aggregates (§II.C). These renderers
+//! consume exactly those sources and print terminal panels:
+//!
+//! * [`render_user_overview`] — Fig. 2a: a user's aggregate usage (avg
+//!   CPU/GPU and memory usage, total energy, equivalent emissions).
+//! * [`render_job_list`] — Fig. 2b: the user's units with per-job
+//!   aggregates.
+//! * [`render_job_timeseries`] — Fig. 2c: time-series CPU metrics of one
+//!   job as sparklines.
+
+use std::fmt::Write as _;
+
+use ceems_apiserver::schema::{unit_cols, usage_cols, UNITS_TABLE, USAGE_TABLE};
+use ceems_apiserver::updater::Updater;
+use ceems_relstore::{Filter, Order, Query, Value};
+use ceems_tsdb::promql::{parse_expr, range_query, Queryable};
+
+/// Renders a numeric series as a block-character sparkline.
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return "·".repeat(values.len());
+    }
+    let span = (hi - lo).max(1e-12);
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                '·'
+            } else {
+                let idx = ((v - lo) / span * 7.0).round() as usize;
+                BLOCKS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+fn fmt_opt_real(v: &Value, unit: &str, digits: usize) -> String {
+    match v.as_real() {
+        Some(x) => format!("{x:.digits$}{unit}"),
+        None => "-".to_string(),
+    }
+}
+
+fn fmt_bytes(v: &Value) -> String {
+    match v.as_real() {
+        Some(b) if b >= (1i64 << 30) as f64 => format!("{:.1}GiB", b / (1i64 << 30) as f64),
+        Some(b) if b >= (1 << 20) as f64 => format!("{:.1}MiB", b / (1 << 20) as f64),
+        Some(b) => format!("{b:.0}B"),
+        None => "-".to_string(),
+    }
+}
+
+/// Fig. 2a: aggregate usage metrics of a user.
+pub fn render_user_overview(updater: &Updater, user: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "┌─ Aggregate usage — user {user} ─────────────────────────");
+
+    let usage = updater
+        .db()
+        .query(
+            USAGE_TABLE,
+            &Query::all().filter(Filter::Eq("user".into(), user.into())),
+        )
+        .unwrap_or_default();
+    let mut total_units = 0i64;
+    let (mut cpu_h, mut gpu_h, mut kwh, mut gco2) = (0.0, 0.0, 0.0, 0.0);
+    for row in &usage {
+        total_units += row[usage_cols::NUM_UNITS].as_int().unwrap_or(0);
+        cpu_h += row[usage_cols::CPU_HOURS].as_real().unwrap_or(0.0);
+        gpu_h += row[usage_cols::GPU_HOURS].as_real().unwrap_or(0.0);
+        kwh += row[usage_cols::ENERGY_KWH].as_real().unwrap_or(0.0);
+        gco2 += row[usage_cols::EMISSIONS_G].as_real().unwrap_or(0.0);
+    }
+
+    // Averages over the user's units.
+    let units = updater
+        .db()
+        .query(
+            UNITS_TABLE,
+            &Query::all().filter(Filter::Eq("user".into(), user.into())),
+        )
+        .unwrap_or_default();
+    let avg = |col: usize| -> Option<f64> {
+        let vals: Vec<f64> = units.iter().filter_map(|r| r[col].as_real()).collect();
+        (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+    };
+    let avg_cpu = avg(unit_cols::AVG_CPU_USAGE);
+    let avg_gpu = avg(unit_cols::AVG_GPU_USAGE);
+    let avg_mem = avg(unit_cols::AVG_MEM);
+
+    let _ = writeln!(out, "│ units: {total_units:<8} CPU-hours: {cpu_h:<10.1} GPU-hours: {gpu_h:<8.1}");
+    let _ = writeln!(
+        out,
+        "│ avg CPU usage: {:<8} avg GPU usage: {:<8} avg mem: {}",
+        avg_cpu.map(|v| format!("{v:.1}%")).unwrap_or("-".into()),
+        avg_gpu.map(|v| format!("{v:.1}%")).unwrap_or("-".into()),
+        avg_mem
+            .map(|v| fmt_bytes(&Value::Real(v)))
+            .unwrap_or("-".into()),
+    );
+    let _ = writeln!(out, "│ total energy: {kwh:.3} kWh    equivalent emissions: {gco2:.1} gCO2e");
+    let _ = writeln!(out, "└──────────────────────────────────────────────────────────");
+    out
+}
+
+/// Fig. 2b: the user's units with aggregated per-job metrics.
+pub fn render_job_list(updater: &Updater, user: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:<10} {:<10} {:>6} {:>6} {:>8} {:>8} {:>11} {:>12}",
+        "UUID", "PARTITION", "STATE", "CPUS", "GPUS", "ELAPSED", "CPU%", "ENERGY", "EMISSIONS"
+    );
+    let units = updater
+        .db()
+        .query(
+            UNITS_TABLE,
+            &Query::all()
+                .filter(Filter::Eq("user".into(), user.into()))
+                .order_by("submitted_at_ms", Order::Desc),
+        )
+        .unwrap_or_default();
+    for r in &units {
+        // Pre-render cells: `Value`'s Display does not honour format widths.
+        let _ = writeln!(
+            out,
+            "{:<12} {:<10} {:<10} {:>6} {:>6} {:>8} {:>8} {:>11} {:>12}",
+            r[unit_cols::UUID].to_string(),
+            r[unit_cols::PARTITION].to_string(),
+            r[unit_cols::STATE].to_string(),
+            r[unit_cols::NCPUS].to_string(),
+            r[unit_cols::NGPUS].to_string(),
+            format!("{:.0}s", r[unit_cols::ELAPSED_S].as_real().unwrap_or(0.0)),
+            fmt_opt_real(&r[unit_cols::AVG_CPU_USAGE], "%", 1),
+            fmt_opt_real(&r[unit_cols::ENERGY_KWH], "kWh", 4),
+            fmt_opt_real(&r[unit_cols::EMISSIONS_G], "g", 2),
+        );
+    }
+    out
+}
+
+/// Fig. 2c: time-series CPU metrics of one job.
+pub fn render_job_timeseries(
+    db: &dyn Queryable,
+    uuid: &str,
+    start_ms: i64,
+    end_ms: i64,
+    step_ms: i64,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Time series — unit {uuid} ({}s span)", (end_ms - start_ms) / 1000);
+    for (title, query) in [
+        (
+            "CPU cores busy ",
+            format!("sum(uuid:ceems_cpu_time:rate{{uuid=\"{uuid}\"}})"),
+        ),
+        (
+            "Memory (GiB)   ",
+            format!(
+                "sum(ceems_compute_unit_memory_used_bytes{{uuid=\"{uuid}\"}}) / 1073741824"
+            ),
+        ),
+        (
+            "Power (W)      ",
+            format!("sum(uuid:ceems_power:watts{{uuid=\"{uuid}\"}})"),
+        ),
+        (
+            "GFLOP/s        ",
+            format!(
+                "sum(rate(ceems_compute_unit_perf_flops_total{{uuid=\"{uuid}\"}}[2m])) / 1e9"
+            ),
+        ),
+        (
+            "Net RX (MB/s)  ",
+            format!(
+                "sum(rate(ceems_compute_unit_net_rx_bytes_total{{uuid=\"{uuid}\"}}[2m])) / 1e6"
+            ),
+        ),
+    ] {
+        let Ok(expr) = parse_expr(&query) else { continue };
+        let Ok(series) = range_query(db, &expr, start_ms, end_ms, step_ms) else {
+            continue;
+        };
+        match series.first() {
+            Some(s) => {
+                let values: Vec<f64> = s.samples.iter().map(|x| x.v).collect();
+                let last = values.last().copied().unwrap_or(0.0);
+                let peak = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let _ = writeln!(
+                    out,
+                    "{title} {}  last={last:.2} peak={peak:.2}",
+                    sparkline(&values)
+                );
+            }
+            None => {
+                let _ = writeln!(out, "{title} (no data)");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(s, "▁▂▃▄▅▆▇█");
+        // Constant series renders low blocks, not a crash.
+        let s = sparkline(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.chars().count(), 3);
+        // NaN becomes a dot.
+        let s = sparkline(&[1.0, f64::NAN, 2.0]);
+        assert!(s.contains('·'));
+        assert_eq!(sparkline(&[f64::NAN]), "·");
+    }
+
+    #[test]
+    fn panels_render_from_a_live_stack() {
+        use ceems_simnode::WorkloadProfile;
+        let mut stack = crate::stack::CeemsStack::build_default();
+        stack
+            .submit(ceems_slurm::JobRequest {
+                user: "dash".into(),
+                account: "proj".into(),
+                partition: "cpu-intel".into(),
+                nodes: 1,
+                cores_per_node: 8,
+                memory_per_node: 16 << 30,
+                gpus_per_node: 0,
+                walltime_s: 7200,
+                workload: WorkloadProfile::CpuBound { intensity: 0.85 },
+            })
+            .unwrap();
+        stack.run_for(600.0, 15.0);
+
+        let upd = stack.updater.lock();
+        let overview = render_user_overview(&upd, "dash");
+        assert!(overview.contains("Aggregate usage — user dash"));
+        assert!(overview.contains("total energy"));
+        assert!(!overview.contains("units: 0 "));
+
+        let list = render_job_list(&upd, "dash");
+        assert!(list.contains("slurm-1"));
+        assert!(list.contains("cpu-intel"));
+        drop(upd);
+
+        let ts = render_job_timeseries(
+            stack.tsdb.as_ref(),
+            "slurm-1",
+            60_000,
+            stack.clock.now_ms(),
+            30_000,
+        );
+        assert!(ts.contains("CPU cores busy"));
+        assert!(ts.contains("Power (W)"));
+        // At least one sparkline present.
+        assert!(ts.chars().any(|c| "▁▂▃▄▅▆▇█".contains(c)), "{ts}");
+    }
+}
+
+/// Serves the three panels over HTTP, playing Grafana's role in Fig. 1:
+/// `/d/overview` and `/d/jobs` for the requesting user (identified by
+/// `X-Grafana-User`, like Grafana's `send_user_header`), `/d/job/:uuid`
+/// for one unit (ownership enforced).
+pub fn dashboard_router(
+    updater: std::sync::Arc<parking_lot::Mutex<Updater>>,
+    tsdb: std::sync::Arc<ceems_tsdb::Tsdb>,
+    clock: ceems_simnode::SimClock,
+) -> ceems_http::Router {
+    use ceems_http::{Response, Router, Status};
+
+    let mut router = Router::new();
+    let user_of = |req: &ceems_http::Request| -> Result<String, Response> {
+        req.header("x-grafana-user")
+            .map(str::to_string)
+            .ok_or_else(|| Response::error(Status::UNAUTHORIZED, "missing X-Grafana-User"))
+    };
+
+    {
+        let updater = updater.clone();
+        router.get("/d/overview", move |req| match user_of(req) {
+            Ok(user) => Response::text(render_user_overview(&updater.lock(), &user)),
+            Err(e) => e,
+        });
+    }
+    {
+        let updater = updater.clone();
+        router.get("/d/jobs", move |req| match user_of(req) {
+            Ok(user) => Response::text(render_job_list(&updater.lock(), &user)),
+            Err(e) => e,
+        });
+    }
+    {
+        let updater = updater.clone();
+        router.get("/d/job/:uuid", move |req| {
+            let user = match user_of(req) {
+                Ok(u) => u,
+                Err(e) => return e,
+            };
+            let uuid = req.path_param("uuid").unwrap_or_default().to_string();
+            if !ceems_apiserver::updater::verify_ownership_in_db(
+                updater.lock().db(),
+                &user,
+                &uuid,
+            ) {
+                return Response::error(Status::FORBIDDEN, "not your unit");
+            }
+            let now = clock.now_ms();
+            let start = (now - 3_600_000).max(0);
+            Response::text(render_job_timeseries(
+                tsdb.as_ref(),
+                &uuid,
+                start,
+                now,
+                ((now - start) / 40).max(15_000),
+            ))
+        });
+    }
+    router
+}
+
+#[cfg(test)]
+mod http_tests {
+    use super::*;
+    use ceems_http::{Client, HttpServer, ServerConfig};
+    use ceems_simnode::WorkloadProfile;
+
+    #[test]
+    fn dashboard_server_enforces_identity() {
+        let mut stack = crate::stack::CeemsStack::build_default();
+        stack
+            .submit(ceems_slurm::JobRequest {
+                user: "webu".into(),
+                account: "proj".into(),
+                partition: "cpu-intel".into(),
+                nodes: 1,
+                cores_per_node: 8,
+                memory_per_node: 8 << 30,
+                gpus_per_node: 0,
+                walltime_s: 7200,
+                workload: WorkloadProfile::CpuBound { intensity: 0.9 },
+            })
+            .unwrap();
+        stack.run_for(300.0, 15.0);
+
+        let router = dashboard_router(
+            stack.updater.clone(),
+            stack.tsdb.clone(),
+            stack.clock.clone(),
+        );
+        let server = HttpServer::serve(ServerConfig::ephemeral(), router).unwrap();
+        let get = |path: &str, user: Option<&str>| {
+            let mut c = Client::new();
+            if let Some(u) = user {
+                c = c.with_header("X-Grafana-User", u);
+            }
+            c.get(&format!("{}{}", server.base_url(), path)).unwrap()
+        };
+
+        // Identity required.
+        assert_eq!(get("/d/overview", None).status.0, 401);
+        // The user's own panels render.
+        let overview = get("/d/overview", Some("webu"));
+        assert_eq!(overview.status.0, 200);
+        assert!(overview.body_string().contains("Aggregate usage — user webu"));
+        let jobs = get("/d/jobs", Some("webu"));
+        assert!(jobs.body_string().contains("slurm-1"));
+        let ts = get("/d/job/slurm-1", Some("webu"));
+        assert_eq!(ts.status.0, 200);
+        assert!(ts.body_string().contains("CPU cores busy"));
+        // Foreign units are forbidden.
+        assert_eq!(get("/d/job/slurm-1", Some("mallory")).status.0, 403);
+        server.shutdown();
+    }
+}

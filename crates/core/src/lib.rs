@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! CEEMS stack orchestration (S14 in `DESIGN.md`).
+//!
+//! The paper's Fig. 1 architecture, wired end to end over the simulated
+//! cluster:
+//!
+//! * [`yaml`] — a hand-rolled YAML-subset parser ("all the CEEMS components
+//!   can be configured in a single YAML file", §II.D).
+//! * [`config`] — typed configuration for every component.
+//! * [`attribution`] — Eq. (1): per-node-group recording rules that split
+//!   IPMI power across jobs using RAPL ratios, CPU-time and memory shares,
+//!   plus the closed-form reference implementation tests compare against.
+//! * [`stack`] — [`stack::CeemsStack`]: cluster + scheduler + exporters +
+//!   TSDB + rules + API server + LB, advanced on the simulated clock.
+//! * [`dashboards`] — ASCII renderings of the paper's Fig. 2 panels from
+//!   the same two data sources Grafana uses (TSDB + API server).
+
+pub mod attribution;
+pub mod config;
+pub mod dashboards;
+pub mod stack;
+pub mod yaml;
+
+pub use attribution::NodeGroup;
+pub use config::CeemsConfig;
+pub use stack::CeemsStack;

@@ -1,0 +1,452 @@
+//! Full-stack wiring (the paper's Fig. 1).
+//!
+//! [`CeemsStack`] assembles: simulated cluster → per-node exporters →
+//! scrape manager → hot TSDB → recording rules (Eq. 1 per node group) →
+//! API-server updater (backed by the relational store) → long-term store.
+//! [`CeemsStack::advance`] moves the whole system one simulation step; the
+//! 1,400-node Jean-Zay experiment is just this with the big cluster spec.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ceems_apiserver::metrics_source::TsdbLocalSource;
+use ceems_apiserver::rm::SlurmRmClient;
+use ceems_apiserver::updater::{Updater, UpdaterConfig};
+use ceems_emissions::emaps::{EMapsProvider, EMapsService};
+use ceems_emissions::owid::OwidStatic;
+use ceems_emissions::rte::RteSimulated;
+use ceems_emissions::EmissionProvider;
+use ceems_exporter::{CeemsExporter, ExporterConfig};
+use ceems_relstore::Db;
+use ceems_simnode::{SimClock, SimCluster};
+use ceems_slurm::{ChurnGenerator, JobRequest, Partition, Scheduler};
+use ceems_tsdb::rules::RuleEngine;
+use ceems_tsdb::scrape::{ScrapeManager, ScrapeStats, ScrapeTarget, TargetSource};
+use ceems_tsdb::{Tsdb, TsdbConfig};
+
+use crate::attribution::{all_rule_groups, NodeGroup};
+use crate::config::CeemsConfig;
+
+/// Cumulative stack statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StackStats {
+    /// Scrape passes performed.
+    pub scrape_passes: u64,
+    /// Samples ingested by scraping.
+    pub samples_scraped: u64,
+    /// Scrape failures.
+    pub scrape_failures: u64,
+    /// Recording-rule series written.
+    pub rule_series_written: u64,
+    /// Updater polls performed.
+    pub updater_polls: u64,
+    /// Jobs submitted by the churn generator.
+    pub jobs_submitted: u64,
+}
+
+/// The assembled CEEMS deployment.
+pub struct CeemsStack {
+    /// Shared simulated clock.
+    pub clock: SimClock,
+    /// The node fleet.
+    pub cluster: SimCluster,
+    /// The batch scheduler.
+    pub scheduler: Arc<Mutex<Scheduler>>,
+    /// The hot TSDB.
+    pub tsdb: Arc<Tsdb>,
+    /// The API-server updater (shared with the HTTP API layer).
+    pub updater: Arc<Mutex<Updater>>,
+    /// Per-node exporters, index-aligned with `cluster.nodes()`.
+    pub exporters: Vec<Arc<CeemsExporter>>,
+
+    scrape_mgr: ScrapeManager,
+    rule_engine: RuleEngine,
+    churn: Option<ChurnGenerator>,
+    config: CeemsConfig,
+    last_scrape_ms: i64,
+    last_rule_ms: i64,
+    last_update_ms: i64,
+    stats: StackStats,
+}
+
+fn build_providers(cfg: &CeemsConfig) -> Vec<Arc<dyn EmissionProvider>> {
+    cfg.emission_providers
+        .iter()
+        .filter_map(|name| -> Option<Arc<dyn EmissionProvider>> {
+            match name.as_str() {
+                "owid" => Some(Arc::new(OwidStatic)),
+                "rte" => Some(Arc::new(RteSimulated::default())),
+                "emaps" => {
+                    let service = Arc::new(EMapsService::new("ceems-sim-token", 1000));
+                    Some(Arc::new(EMapsProvider::new(service, "ceems-sim-token")))
+                }
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+impl CeemsStack {
+    /// Builds the full stack from a configuration. `db_dir` hosts the API
+    /// server's relational store.
+    pub fn build(config: CeemsConfig, db_dir: &std::path::Path) -> Result<CeemsStack, String> {
+        let clock = SimClock::new();
+        let cluster = SimCluster::build(&config.cluster, clock.clone(), config.seed);
+
+        // Partitions by hostname prefix.
+        let mut partitions: Vec<Partition> = Vec::new();
+        for (name, prefix, walltime_h) in [
+            ("cpu-intel", "jz-intel-", 72u64),
+            ("cpu-amd", "jz-amd-", 72),
+            ("gpu-v100", "jz-v100-", 20),
+            ("gpu-a100", "jz-a100-", 20),
+            ("gpu-h100", "jz-h100-", 20),
+        ] {
+            let nodes: Vec<_> = cluster
+                .nodes()
+                .iter()
+                .filter(|n| n.lock().hostname().starts_with(prefix))
+                .cloned()
+                .collect();
+            if !nodes.is_empty() {
+                partitions.push(Partition::new(name, nodes, walltime_h * 3600));
+            }
+        }
+        let partition_weights: Vec<(String, f64)> = partitions
+            .iter()
+            .map(|p| (p.name.clone(), p.nodes.len() as f64))
+            .collect();
+        let scheduler = Arc::new(Mutex::new(Scheduler::new(partitions, config.seed ^ 0x5eed)));
+
+        // Exporters + scrape targets, one per node, grouped per §III.
+        let providers = build_providers(&config);
+        let mut exporters = Vec::with_capacity(cluster.len());
+        let mut targets = Vec::with_capacity(cluster.len());
+        for node in cluster.nodes() {
+            let group = NodeGroup::for_profile(&node.lock().spec().profile);
+            let hostname = node.lock().hostname().to_string();
+            let exporter = Arc::new(CeemsExporter::new(
+                node.clone(),
+                clock.clone(),
+                ExporterConfig {
+                    emission_providers: providers.clone(),
+                    zone: config.zone.clone(),
+                    ..Default::default()
+                },
+            ));
+            targets.push(ScrapeTarget {
+                instance: format!("{hostname}:9100"),
+                job: "ceems".to_string(),
+                extra_labels: vec![("nodegroup".to_string(), group.label().to_string())],
+                source: TargetSource::InProcess(exporter.render_fn()),
+            });
+            exporters.push(exporter);
+        }
+        let scrape_mgr = ScrapeManager::new(targets);
+
+        let tsdb = Arc::new(Tsdb::new(TsdbConfig::default()));
+        let rule_engine = RuleEngine::new(all_rule_groups(
+            &config.rule_window,
+            (config.rule_interval_s * 1000.0) as i64,
+        ));
+
+        let rm = Arc::new(SlurmRmClient::new(scheduler.clone()));
+        let metrics = Arc::new(TsdbLocalSource::new(tsdb.clone()));
+        let admin: Arc<dyn ceems_apiserver::updater::TsdbAdmin> = Arc::new(tsdb.clone());
+        let updater = Updater::new(
+            Db::open(db_dir).map_err(|e| e.to_string())?,
+            rm,
+            metrics,
+            Some(admin),
+            UpdaterConfig {
+                cleanup_cutoff_s: config.cleanup_cutoff_s,
+                ..Default::default()
+            },
+        )
+        .map_err(|e| e.to_string())?;
+
+        let churn = config.churn.as_ref().map(|c| {
+            ChurnGenerator::new(
+                ceems_slurm::churn::ChurnConfig {
+                    users: c.users,
+                    projects: c.projects,
+                    mean_arrivals_per_hour: c.arrivals_per_hour,
+                    partitions: partition_weights,
+                    gpu_fraction: 0.6,
+                },
+                config.seed ^ 0xc4u64,
+            )
+        });
+
+        Ok(CeemsStack {
+            clock,
+            cluster,
+            scheduler,
+            tsdb,
+            updater: Arc::new(Mutex::new(updater)),
+            exporters,
+            scrape_mgr,
+            rule_engine,
+            churn,
+            config,
+            last_scrape_ms: i64::MIN / 2,
+            last_rule_ms: i64::MIN / 2,
+            last_update_ms: i64::MIN / 2,
+            stats: StackStats::default(),
+        })
+    }
+
+    /// Convenience: build with defaults into a temp DB dir.
+    pub fn build_default() -> CeemsStack {
+        let dir = std::env::temp_dir().join(format!(
+            "ceems-stack-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        CeemsStack::build(CeemsConfig::default(), &dir).expect("default stack builds")
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CeemsConfig {
+        &self.config
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> StackStats {
+        self.stats
+    }
+
+    /// Submits a job by hand (examples/tests that do not use churn).
+    pub fn submit(&self, req: JobRequest) -> Result<u64, ceems_slurm::sched::SubmitError> {
+        let now = self.clock.now_ms();
+        self.scheduler.lock().submit(req, now)
+    }
+
+    /// Advances the whole deployment by `dt_s` simulated seconds: cluster
+    /// step → churn submissions → scheduler tick → scrape (on interval) →
+    /// recording rules → updater poll.
+    pub fn advance(&mut self, dt_s: f64) {
+        self.cluster.step_all(dt_s, self.config.threads);
+        let now = self.clock.now_ms();
+
+        if let Some(churn) = &mut self.churn {
+            let reqs = churn.poll(now);
+            let mut sched = self.scheduler.lock();
+            for req in reqs {
+                if sched.submit(req, now).is_ok() {
+                    self.stats.jobs_submitted += 1;
+                }
+            }
+        }
+        self.scheduler.lock().tick(now);
+
+        if now - self.last_scrape_ms >= (self.config.scrape_interval_s * 1000.0) as i64 {
+            self.last_scrape_ms = now;
+            let s: ScrapeStats = self.scrape_mgr.scrape_once(&self.tsdb, now, self.config.threads);
+            self.stats.scrape_passes += 1;
+            self.stats.samples_scraped += s.samples;
+            self.stats.scrape_failures += s.failed;
+        }
+        if now - self.last_rule_ms >= (self.config.rule_interval_s * 1000.0) as i64 {
+            self.last_rule_ms = now;
+            self.stats.rule_series_written += self.rule_engine.tick(&self.tsdb, now);
+        }
+        if now - self.last_update_ms >= (self.config.updater_interval_s * 1000.0) as i64 {
+            self.last_update_ms = now;
+            if self.updater.lock().poll(now).is_ok() {
+                self.stats.updater_polls += 1;
+            }
+        }
+    }
+
+    /// Runs the stack for `seconds` of simulated time in `step_s` slices.
+    pub fn run_for(&mut self, seconds: f64, step_s: f64) {
+        let steps = (seconds / step_s).ceil() as usize;
+        for _ in 0..steps {
+            self.advance(step_s);
+        }
+    }
+
+    /// Sum of the latest per-job attributed power (W) across the cluster.
+    ///
+    /// Applies a staleness horizon of two rule intervals: finished jobs
+    /// keep their last recorded sample forever in the TSDB, and counting
+    /// those would overstate the live fleet draw (Prometheus handles the
+    /// same problem with staleness markers).
+    pub fn total_attributed_power(&self) -> f64 {
+        let horizon =
+            self.clock.now_ms() - 2 * (self.config.rule_interval_s * 1000.0) as i64 - 1000;
+        // Restrict to units the scheduler currently runs: rate() windows
+        // keep a finished job's series warm briefly after it retires, and
+        // counting that tail would double-count with its successor.
+        let running: std::collections::HashSet<String> = {
+            let sched = self.scheduler.lock();
+            sched
+                .dbd()
+                .all()
+                .filter(|r| r.state == ceems_slurm::JobState::Running)
+                .map(|r| r.uuid.clone())
+                .collect()
+        };
+        self.tsdb
+            .select_latest(&[ceems_metrics::matcher::LabelMatcher::eq(
+                "__name__",
+                "uuid:ceems_power:watts",
+            )])
+            .iter()
+            .filter(|(l, s)| {
+                s.t_ms >= horizon
+                    && l.get("uuid").is_some_and(|u| running.contains(u))
+            })
+            .map(|(_, s)| s.v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceems_metrics::matcher::LabelMatcher;
+    use ceems_simnode::WorkloadProfile;
+
+    fn cpu_job(user: &str, cores: usize) -> JobRequest {
+        JobRequest {
+            user: user.into(),
+            account: "proj".into(),
+            partition: "cpu-intel".into(),
+            nodes: 1,
+            cores_per_node: cores,
+            memory_per_node: 16 << 30,
+            gpus_per_node: 0,
+            walltime_s: 7200,
+            workload: WorkloadProfile::CpuBound { intensity: 0.9 },
+        }
+    }
+
+    #[test]
+    fn stack_builds_and_monitors_a_job() {
+        let mut stack = CeemsStack::build_default();
+        assert_eq!(stack.cluster.len(), 8);
+        assert_eq!(stack.exporters.len(), 8);
+
+        stack.submit(cpu_job("alice", 16)).unwrap();
+        // 10 simulated minutes at 15 s steps.
+        stack.run_for(600.0, 15.0);
+
+        let st = stack.stats();
+        assert!(st.scrape_passes >= 35, "passes={}", st.scrape_passes);
+        assert_eq!(st.scrape_failures, 0);
+        assert!(st.samples_scraped > 1000);
+        assert!(st.rule_series_written > 0);
+        assert!(st.updater_polls >= 9);
+
+        // Raw job metrics flowed in.
+        let cpu = stack.tsdb.select(
+            &[
+                LabelMatcher::eq("__name__", "ceems_compute_unit_cpu_user_seconds_total"),
+                LabelMatcher::eq("uuid", "slurm-1"),
+            ],
+            0,
+            i64::MAX,
+        );
+        assert_eq!(cpu.len(), 1);
+        assert!(cpu[0].samples.last().unwrap().v > 100.0);
+
+        // Eq. (1) produced attributed power for the job.
+        let power = stack.tsdb.select_latest(&[
+            LabelMatcher::eq("__name__", "uuid:ceems_power:watts"),
+            LabelMatcher::eq("uuid", "slurm-1"),
+        ]);
+        assert_eq!(power.len(), 1);
+        let w = power[0].1.v;
+        // A 16-core hot job on a ~40-core node draws a substantial share.
+        assert!(w > 30.0 && w < 500.0, "attributed {w} W");
+
+        // API server has the unit with aggregates.
+        let upd = stack.updater.lock();
+        let rows = upd
+            .db()
+            .query(
+                ceems_apiserver::schema::UNITS_TABLE,
+                &ceems_relstore::Query::all(),
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        let energy = rows[0][ceems_apiserver::schema::unit_cols::ENERGY_KWH].as_real();
+        assert!(energy.is_some(), "energy not filled: {rows:?}");
+        assert!(energy.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn gpu_job_gets_gpu_power_attributed() {
+        let mut stack = CeemsStack::build_default();
+        stack
+            .submit(JobRequest {
+                user: "ml".into(),
+                account: "proj".into(),
+                partition: "gpu-a100".into(),
+                nodes: 1,
+                cores_per_node: 8,
+                memory_per_node: 64 << 30,
+                gpus_per_node: 4,
+                walltime_s: 7200,
+                workload: WorkloadProfile::GpuTraining {
+                    intensity: 0.9,
+                    period_s: 600.0,
+                },
+            })
+            .unwrap();
+        stack.run_for(300.0, 15.0);
+
+        let comp = stack.tsdb.select_latest(&[
+            LabelMatcher::eq("__name__", "uuid:ceems_power_component:watts"),
+            LabelMatcher::eq("uuid", "slurm-1"),
+            LabelMatcher::eq("component", "gpu"),
+        ]);
+        assert_eq!(comp.len(), 1);
+        // 4 busy A100s: >1 kW of GPU power.
+        assert!(comp[0].1.v > 1000.0, "gpu component {} W", comp[0].1.v);
+
+        let total = stack.tsdb.select_latest(&[
+            LabelMatcher::eq("__name__", "uuid:ceems_power:watts"),
+            LabelMatcher::eq("uuid", "slurm-1"),
+        ]);
+        assert!(total[0].1.v > comp[0].1.v);
+    }
+
+    #[test]
+    fn churn_driven_stack_sustains_load() {
+        let mut cfg = CeemsConfig::default();
+        cfg.churn = Some(crate::config::ChurnSettings {
+            users: 10,
+            projects: 3,
+            arrivals_per_hour: 400.0,
+        });
+        let dir = std::env::temp_dir().join(format!(
+            "ceems-churnstack-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let mut stack = CeemsStack::build(cfg, &dir).unwrap();
+        stack.run_for(1800.0, 15.0);
+        let st = stack.stats();
+        assert!(st.jobs_submitted > 50, "submitted {}", st.jobs_submitted);
+        let upd = stack.updater.lock();
+        let n_units = upd
+            .db()
+            .table(ceems_apiserver::schema::UNITS_TABLE)
+            .unwrap()
+            .len();
+        assert!(n_units > 50, "units {n_units}");
+        drop(upd);
+        assert!(stack.total_attributed_power() > 0.0);
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,231 @@
+//! Simulated Electricity Maps API.
+//!
+//! The real service exposes per-zone real-time carbon intensity behind an
+//! API token, with a rate-limited free tier for non-commercial use (which
+//! is what the paper uses). This simulation reproduces the client-visible
+//! behaviour: token auth, per-hour rate limiting, and the caching a polite
+//! client layers on top.
+
+use parking_lot::Mutex;
+
+use crate::{EmissionProvider, GramsPerKwh};
+
+/// Per-zone mix parameters `(zone, base, daily_amplitude)`.
+const ZONES: &[(&str, f64, f64)] = &[
+    ("FR", 52.0, 20.0),
+    ("DE", 390.0, 120.0),
+    ("ES", 170.0, 70.0),
+    ("GB", 235.0, 90.0),
+    ("IT", 370.0, 80.0),
+    ("NL", 330.0, 100.0),
+    ("NO", 28.0, 6.0),
+    ("PL", 740.0, 90.0),
+    ("SE", 44.0, 10.0),
+    ("US", 370.0, 80.0),
+];
+
+/// API error surfaced by the simulated service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ApiError {
+    /// Missing or wrong token.
+    Unauthorized,
+    /// Free-tier hourly quota exhausted.
+    RateLimited,
+    /// Zone not covered.
+    UnknownZone,
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::Unauthorized => write!(f, "401 unauthorized"),
+            ApiError::RateLimited => write!(f, "429 too many requests"),
+            ApiError::UnknownZone => write!(f, "404 unknown zone"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// The simulated service endpoint.
+pub struct EMapsService {
+    token: String,
+    hourly_quota: u32,
+    state: Mutex<QuotaState>,
+}
+
+#[derive(Default)]
+struct QuotaState {
+    window_start_ms: i64,
+    used: u32,
+}
+
+impl EMapsService {
+    /// Creates the service with a valid token and free-tier quota.
+    pub fn new(token: impl Into<String>, hourly_quota: u32) -> EMapsService {
+        EMapsService {
+            token: token.into(),
+            hourly_quota,
+            state: Mutex::new(QuotaState::default()),
+        }
+    }
+
+    /// `GET /v3/carbon-intensity/latest?zone=<zone>`.
+    pub fn latest(
+        &self,
+        token: &str,
+        zone: &str,
+        now_ms: i64,
+    ) -> Result<GramsPerKwh, ApiError> {
+        if token != self.token {
+            return Err(ApiError::Unauthorized);
+        }
+        {
+            let mut st = self.state.lock();
+            if now_ms - st.window_start_ms >= 3_600_000 {
+                st.window_start_ms = now_ms - now_ms % 3_600_000;
+                st.used = 0;
+            }
+            if st.used >= self.hourly_quota {
+                return Err(ApiError::RateLimited);
+            }
+            st.used += 1;
+        }
+        let (_, base, amp) = ZONES
+            .iter()
+            .find(|(z, _, _)| z.eq_ignore_ascii_case(zone))
+            .ok_or(ApiError::UnknownZone)?;
+        let hour_of_day = (now_ms as f64 / 3.6e6) % 24.0;
+        // Solar dip mid-day in most zones: cleaner around 13:00.
+        let solar = (std::f64::consts::TAU * (hour_of_day - 13.0) / 24.0).cos();
+        Ok((base - amp * 0.5 * solar + amp * 0.5).max(10.0))
+    }
+}
+
+/// A caching provider over the simulated service (the CEEMS-side client:
+/// honours the rate limit by caching responses for `ttl_ms`).
+pub struct EMapsProvider {
+    service: std::sync::Arc<EMapsService>,
+    token: String,
+    ttl_ms: i64,
+    cache: Mutex<std::collections::HashMap<String, (i64, GramsPerKwh)>>,
+    /// Counts of upstream calls (observable in tests/benches).
+    upstream_calls: Mutex<u64>,
+}
+
+impl EMapsProvider {
+    /// Creates a provider with a 30-minute cache TTL.
+    pub fn new(service: std::sync::Arc<EMapsService>, token: impl Into<String>) -> EMapsProvider {
+        EMapsProvider {
+            service,
+            token: token.into(),
+            ttl_ms: 30 * 60 * 1000,
+            cache: Mutex::new(Default::default()),
+            upstream_calls: Mutex::new(0),
+        }
+    }
+
+    /// Upstream API calls made so far.
+    pub fn upstream_calls(&self) -> u64 {
+        *self.upstream_calls.lock()
+    }
+}
+
+impl EmissionProvider for EMapsProvider {
+    fn name(&self) -> &'static str {
+        "emaps"
+    }
+
+    fn factor(&self, zone: &str, now_ms: i64) -> Option<GramsPerKwh> {
+        let key = zone.to_ascii_uppercase();
+        {
+            let cache = self.cache.lock();
+            if let Some(&(at, v)) = cache.get(&key) {
+                if now_ms - at < self.ttl_ms {
+                    return Some(v);
+                }
+            }
+        }
+        *self.upstream_calls.lock() += 1;
+        match self.service.latest(&self.token, &key, now_ms) {
+            Ok(v) => {
+                self.cache.lock().insert(key, (now_ms, v));
+                Some(v)
+            }
+            Err(ApiError::RateLimited) => {
+                // Serve stale data if we have it (standard client behaviour).
+                self.cache.lock().get(&key).map(|&(_, v)| v)
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn service() -> Arc<EMapsService> {
+        Arc::new(EMapsService::new("tok123", 10))
+    }
+
+    #[test]
+    fn auth_and_zones() {
+        let s = service();
+        assert_eq!(s.latest("bad", "FR", 0), Err(ApiError::Unauthorized));
+        assert_eq!(s.latest("tok123", "XX", 0), Err(ApiError::UnknownZone));
+        assert!(s.latest("tok123", "FR", 0).is_ok());
+        assert!(s.latest("tok123", "de", 0).is_ok());
+    }
+
+    #[test]
+    fn rate_limit_and_window_reset() {
+        let s = service();
+        for _ in 0..10 {
+            s.latest("tok123", "FR", 1000).unwrap();
+        }
+        assert_eq!(s.latest("tok123", "FR", 1000), Err(ApiError::RateLimited));
+        // Next hour, quota resets.
+        assert!(s.latest("tok123", "FR", 3_700_000).is_ok());
+    }
+
+    #[test]
+    fn provider_caches() {
+        let p = EMapsProvider::new(service(), "tok123");
+        let a = p.factor("FR", 0).unwrap();
+        let b = p.factor("FR", 60_000).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(p.upstream_calls(), 1);
+        // Past TTL the provider refreshes.
+        let _ = p.factor("FR", 31 * 60_000).unwrap();
+        assert_eq!(p.upstream_calls(), 2);
+    }
+
+    #[test]
+    fn provider_serves_stale_on_rate_limit() {
+        let s = Arc::new(EMapsService::new("tok", 1));
+        let p = EMapsProvider::new(s.clone(), "tok");
+        let a = p.factor("FR", 0).unwrap();
+        // Exhaust quota via a different zone (cache miss → upstream call →
+        // rate limited → None since no cache for DE).
+        assert!(p.factor("DE", 1_000_000_000 % 3_600_000).is_none());
+        // FR, past TTL, upstream rate-limited → stale value served.
+        let b = p.factor("FR", 45 * 60_000).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_token_yields_none() {
+        let p = EMapsProvider::new(service(), "wrong");
+        assert!(p.factor("FR", 0).is_none());
+    }
+
+    #[test]
+    fn german_grid_dirtier_than_french() {
+        let s = Arc::new(EMapsService::new("t", 1000));
+        let fr = s.latest("t", "FR", 0).unwrap();
+        let de = s.latest("t", "DE", 0).unwrap();
+        assert!(de > 3.0 * fr);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! Emission-factor providers (S10 in `DESIGN.md`).
+//!
+//! §II.A.c of the paper: equivalent emissions = energy × emission factor
+//! (gCO₂e per kWh), where the factor depends on the electricity mix at the
+//! time of consumption. CEEMS pulls factors from three sources, all
+//! reproduced here:
+//!
+//! * [`owid`] — static country-level factors (OWID historical averages).
+//! * [`rte`] — a simulated RTE eco2mix real-time feed for France
+//!   (nuclear-heavy, so low and mildly diurnal).
+//! * [`emaps`] — a simulated Electricity Maps API: multi-zone, token-
+//!   authenticated, rate-limited free tier with client-side caching.
+//! * [`registry`] — a provider chain with fallback plus the emissions
+//!   calculator that turns Joules into grams of CO₂e.
+
+pub mod emaps;
+pub mod owid;
+pub mod registry;
+pub mod rte;
+
+/// Grams of CO₂-equivalent per kilowatt-hour.
+pub type GramsPerKwh = f64;
+
+/// A source of emission factors.
+pub trait EmissionProvider: Send + Sync {
+    /// Provider name (`owid`, `rte`, `emaps`).
+    fn name(&self) -> &'static str;
+
+    /// The emission factor for a zone (ISO country code, e.g. `FR`) at a
+    /// simulated instant, or `None` if the provider does not cover it.
+    fn factor(&self, zone: &str, now_ms: i64) -> Option<GramsPerKwh>;
+}
+
+pub use registry::{EmissionsCalculator, ProviderChain};

@@ -1,0 +1,92 @@
+//! Static country-level emission factors.
+//!
+//! Values are lifecycle-ish carbon intensities of electricity generation
+//! (gCO₂e/kWh) in the vein of the OWID data explorer the paper cites; they
+//! change only when the table is updated, which is precisely the limitation
+//! that motivates the real-time providers.
+
+use crate::{EmissionProvider, GramsPerKwh};
+
+/// `(ISO code, gCO₂e/kWh)` static table.
+pub const FACTORS: &[(&str, GramsPerKwh)] = &[
+    ("AT", 158.0),
+    ("AU", 531.0),
+    ("BE", 161.0),
+    ("BR", 98.0),
+    ("CA", 128.0),
+    ("CH", 46.0),
+    ("CN", 582.0),
+    ("CZ", 415.0),
+    ("DE", 381.0),
+    ("DK", 181.0),
+    ("ES", 174.0),
+    ("FI", 79.0),
+    ("FR", 56.0),
+    ("GB", 238.0),
+    ("GR", 344.0),
+    ("IE", 346.0),
+    ("IN", 713.0),
+    ("IT", 372.0),
+    ("JP", 485.0),
+    ("KR", 436.0),
+    ("NL", 328.0),
+    ("NO", 29.0),
+    ("PL", 751.0),
+    ("PT", 185.0),
+    ("RO", 264.0),
+    ("RU", 441.0),
+    ("SE", 45.0),
+    ("SG", 471.0),
+    ("TW", 560.0),
+    ("US", 369.0),
+    ("ZA", 709.0),
+];
+
+/// The OWID static provider.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OwidStatic;
+
+impl EmissionProvider for OwidStatic {
+    fn name(&self) -> &'static str {
+        "owid"
+    }
+
+    fn factor(&self, zone: &str, _now_ms: i64) -> Option<GramsPerKwh> {
+        FACTORS
+            .iter()
+            .find(|(z, _)| z.eq_ignore_ascii_case(zone))
+            .map(|(_, f)| *f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_zones_resolve() {
+        let p = OwidStatic;
+        assert_eq!(p.factor("FR", 0), Some(56.0));
+        assert_eq!(p.factor("fr", 123456), Some(56.0));
+        assert_eq!(p.factor("PL", 0), Some(751.0));
+        assert_eq!(p.factor("XX", 0), None);
+    }
+
+    #[test]
+    fn static_over_time() {
+        let p = OwidStatic;
+        assert_eq!(p.factor("DE", 0), p.factor("DE", 365 * 86_400_000));
+    }
+
+    #[test]
+    fn table_is_sane() {
+        for (zone, f) in FACTORS {
+            assert!(zone.len() == 2, "zone {zone}");
+            assert!(*f > 0.0 && *f < 1500.0, "{zone} factor {f}");
+        }
+        // Nuclear/hydro grids must sit far below coal grids.
+        let f = |z: &str| OwidStatic.factor(z, 0).unwrap();
+        assert!(f("FR") < 100.0 && f("NO") < 100.0);
+        assert!(f("PL") > 500.0 && f("IN") > 500.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Provider chains and the emissions calculator.
+
+use std::sync::Arc;
+
+use crate::{EmissionProvider, GramsPerKwh};
+
+/// An ordered chain of providers: the first one that covers the zone wins,
+/// matching how CEEMS lets operators prefer real-time feeds with a static
+/// fallback.
+pub struct ProviderChain {
+    providers: Vec<Arc<dyn EmissionProvider>>,
+}
+
+impl ProviderChain {
+    /// Builds a chain (highest priority first).
+    pub fn new(providers: Vec<Arc<dyn EmissionProvider>>) -> ProviderChain {
+        ProviderChain { providers }
+    }
+
+    /// Provider names in priority order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.providers.iter().map(|p| p.name()).collect()
+    }
+
+    /// Resolves a factor and reports which provider supplied it.
+    pub fn resolve(&self, zone: &str, now_ms: i64) -> Option<(GramsPerKwh, &'static str)> {
+        for p in &self.providers {
+            if let Some(f) = p.factor(zone, now_ms) {
+                return Some((f, p.name()));
+            }
+        }
+        None
+    }
+}
+
+impl EmissionProvider for ProviderChain {
+    fn name(&self) -> &'static str {
+        "chain"
+    }
+
+    fn factor(&self, zone: &str, now_ms: i64) -> Option<GramsPerKwh> {
+        self.resolve(zone, now_ms).map(|(f, _)| f)
+    }
+}
+
+/// Converts energy to equivalent emissions using a provider.
+pub struct EmissionsCalculator {
+    provider: Arc<dyn EmissionProvider>,
+    zone: String,
+}
+
+impl EmissionsCalculator {
+    /// Calculator pinned to a zone (a data centre does not move).
+    pub fn new(provider: Arc<dyn EmissionProvider>, zone: impl Into<String>) -> Self {
+        EmissionsCalculator {
+            provider,
+            zone: zone.into(),
+        }
+    }
+
+    /// The pinned zone.
+    pub fn zone(&self) -> &str {
+        &self.zone
+    }
+
+    /// Emissions (g CO₂e) for `energy_joules` consumed around `now_ms`.
+    pub fn emissions_g(&self, energy_joules: f64, now_ms: i64) -> Option<f64> {
+        let factor = self.provider.factor(&self.zone, now_ms)?;
+        Some(energy_joules / 3.6e6 * factor)
+    }
+
+    /// Integrates a power trace `(t_ms, watts)` sampled at irregular
+    /// intervals into total emissions, using the factor current at each
+    /// interval — the time-varying part is why real-time providers matter.
+    pub fn integrate_trace(&self, trace: &[(i64, f64)]) -> Option<f64> {
+        let mut total_g = 0.0;
+        for pair in trace.windows(2) {
+            let (t0, w) = pair[0];
+            let (t1, _) = pair[1];
+            let dt_s = ((t1 - t0).max(0)) as f64 / 1000.0;
+            let joules = w * dt_s;
+            total_g += self.emissions_g(joules, t0)?;
+        }
+        Some(total_g)
+    }
+}
+
+/// kWh for a given number of joules (shared helper).
+pub fn joules_to_kwh(j: f64) -> f64 {
+    j / 3.6e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::owid::OwidStatic;
+    use crate::rte::RteSimulated;
+
+    #[test]
+    fn chain_priority_and_fallback() {
+        // RTE first (France only), OWID fallback for everything else.
+        let chain = ProviderChain::new(vec![
+            Arc::new(RteSimulated::default()),
+            Arc::new(OwidStatic),
+        ]);
+        let (f_fr, who_fr) = chain.resolve("FR", 0).unwrap();
+        assert_eq!(who_fr, "rte");
+        assert!(f_fr > 0.0);
+        let (f_de, who_de) = chain.resolve("DE", 0).unwrap();
+        assert_eq!(who_de, "owid");
+        assert_eq!(f_de, 381.0);
+        assert!(chain.resolve("XX", 0).is_none());
+        assert_eq!(chain.names(), vec!["rte", "owid"]);
+    }
+
+    #[test]
+    fn calculator_converts_units() {
+        let calc = EmissionsCalculator::new(Arc::new(OwidStatic), "FR");
+        // 1 kWh = 3.6e6 J at 56 g/kWh.
+        let g = calc.emissions_g(3.6e6, 0).unwrap();
+        assert!((g - 56.0).abs() < 1e-9);
+        assert_eq!(calc.zone(), "FR");
+    }
+
+    #[test]
+    fn unknown_zone_yields_none() {
+        let calc = EmissionsCalculator::new(Arc::new(OwidStatic), "QQ");
+        assert!(calc.emissions_g(1e6, 0).is_none());
+    }
+
+    #[test]
+    fn trace_integration_matches_closed_form_for_static_factor() {
+        let calc = EmissionsCalculator::new(Arc::new(OwidStatic), "DE");
+        // 1000 W for 2 hours = 2 kWh at 381 g/kWh = 762 g.
+        let trace: Vec<(i64, f64)> = (0..=120).map(|m| (m * 60_000, 1000.0)).collect();
+        let g = calc.integrate_trace(&trace).unwrap();
+        assert!((g - 762.0).abs() < 1e-6, "g={g}");
+    }
+
+    #[test]
+    fn time_varying_factor_changes_total() {
+        let rte = Arc::new(RteSimulated::default());
+        let calc = EmissionsCalculator::new(rte, "FR");
+        // Same energy, consumed at night vs at the evening peak.
+        let night: Vec<(i64, f64)> = (0..=60).map(|m| (3 * 3_600_000 + m * 60_000, 1000.0)).collect();
+        let peak: Vec<(i64, f64)> = (0..=60).map(|m| (19 * 3_600_000 + m * 60_000, 1000.0)).collect();
+        let g_night = calc.integrate_trace(&night).unwrap();
+        let g_peak = calc.integrate_trace(&peak).unwrap();
+        assert!(g_peak > g_night, "peak={g_peak} night={g_night}");
+    }
+
+    #[test]
+    fn joules_to_kwh_conversion() {
+        assert_eq!(joules_to_kwh(3.6e6), 1.0);
+        assert_eq!(joules_to_kwh(0.0), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let calc = EmissionsCalculator::new(Arc::new(OwidStatic), "FR");
+        assert_eq!(calc.integrate_trace(&[]), Some(0.0));
+        assert_eq!(calc.integrate_trace(&[(0, 100.0)]), Some(0.0));
+    }
+}

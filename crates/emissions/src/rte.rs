@@ -1,0 +1,116 @@
+//! Simulated RTE eco2mix real-time feed.
+//!
+//! RTE publishes the CO₂ intensity of French electricity every few minutes.
+//! France's nuclear-heavy mix keeps it low (≈20–90 gCO₂e/kWh) with a
+//! diurnal swing: gas peakers at the evening peak push it up, and a slower
+//! seasonal term models winter heating load. The simulation is a
+//! deterministic function of simulated time, quantised to the 15-minute
+//! cadence of the real feed.
+
+use crate::{EmissionProvider, GramsPerKwh};
+
+/// The simulated RTE provider (France only).
+#[derive(Clone, Copy, Debug)]
+pub struct RteSimulated {
+    /// Mean intensity (gCO₂e/kWh).
+    pub base: f64,
+    /// Diurnal swing amplitude.
+    pub daily_amplitude: f64,
+    /// Seasonal swing amplitude.
+    pub seasonal_amplitude: f64,
+}
+
+impl Default for RteSimulated {
+    fn default() -> Self {
+        RteSimulated {
+            base: 50.0,
+            daily_amplitude: 22.0,
+            seasonal_amplitude: 12.0,
+        }
+    }
+}
+
+/// Feed publication cadence (15 minutes).
+pub const PUBLISH_INTERVAL_MS: i64 = 15 * 60 * 1000;
+
+impl RteSimulated {
+    /// Raw (unquantised) intensity at a given instant.
+    fn raw(&self, now_ms: i64) -> f64 {
+        let hours = now_ms as f64 / 3.6e6;
+        let hour_of_day = hours % 24.0;
+        let day_of_year = (hours / 24.0) % 365.25;
+        // Evening peak around 19:00; winter peak around day 15.
+        let daily = (std::f64::consts::TAU * (hour_of_day - 19.0) / 24.0).cos();
+        let seasonal = (std::f64::consts::TAU * (day_of_year - 15.0) / 365.25).cos();
+        (self.base + self.daily_amplitude * daily + self.seasonal_amplitude * seasonal).max(15.0)
+    }
+}
+
+impl EmissionProvider for RteSimulated {
+    fn name(&self) -> &'static str {
+        "rte"
+    }
+
+    fn factor(&self, zone: &str, now_ms: i64) -> Option<GramsPerKwh> {
+        if !zone.eq_ignore_ascii_case("FR") {
+            return None;
+        }
+        // Quantise to the publication cadence.
+        let published = (now_ms / PUBLISH_INTERVAL_MS) * PUBLISH_INTERVAL_MS;
+        Some(self.raw(published))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn france_only() {
+        let p = RteSimulated::default();
+        assert!(p.factor("FR", 0).is_some());
+        assert!(p.factor("fr", 0).is_some());
+        assert!(p.factor("DE", 0).is_none());
+    }
+
+    #[test]
+    fn stays_in_plausible_french_range() {
+        let p = RteSimulated::default();
+        for step in 0..(4 * 24 * 10) {
+            let t = step * PUBLISH_INTERVAL_MS;
+            let f = p.factor("FR", t).unwrap();
+            assert!((15.0..=120.0).contains(&f), "t={t} f={f}");
+        }
+    }
+
+    #[test]
+    fn diurnal_variation_visible() {
+        let p = RteSimulated::default();
+        let mut lo = f64::MAX;
+        let mut hi = f64::MIN;
+        for quarter in 0..96 {
+            let f = p.factor("FR", quarter * PUBLISH_INTERVAL_MS).unwrap();
+            lo = lo.min(f);
+            hi = hi.max(f);
+        }
+        assert!(hi - lo > 20.0, "swing {}", hi - lo);
+    }
+
+    #[test]
+    fn quantised_to_publication_interval() {
+        let p = RteSimulated::default();
+        let a = p.factor("FR", 0).unwrap();
+        let b = p.factor("FR", PUBLISH_INTERVAL_MS - 1).unwrap();
+        let c = p.factor("FR", PUBLISH_INTERVAL_MS).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn evening_dirtier_than_early_morning() {
+        let p = RteSimulated::default();
+        let early = p.factor("FR", 5 * 3_600_000).unwrap(); // 05:00
+        let peak = p.factor("FR", 19 * 3_600_000).unwrap(); // 19:00
+        assert!(peak > early, "peak={peak} early={early}");
+    }
+}

@@ -1,0 +1,13 @@
+//! Collector implementations.
+
+pub mod cgroup;
+pub mod emissions;
+pub mod gpu;
+pub mod ipmi;
+pub mod node;
+pub mod perf;
+pub mod rapl;
+pub mod selfstats;
+
+/// Metric name prefix shared by all CEEMS collectors.
+pub const PREFIX: &str = "ceems";

@@ -1,0 +1,177 @@
+//! Perf and eBPF-style collectors — §IV's future-work list, implemented.
+//!
+//! "Some of the important features in the pipeline are adding network and
+//! IO stats to CEEMS exporter using extended Berkley Packet Filtering
+//! (eBPF) framework and adding performance metrics like FLOPS, caching,
+//! and memory IO bandwidth ... from Linux's perf framework."
+//!
+//! [`PerfCollector`] exposes per-unit instruction/cycle/FLOP/cache/DRAM
+//! counters; [`NetCollector`] exposes per-unit TX/RX byte counters.
+
+use ceems_metrics::labels::LabelSet;
+use ceems_metrics::model::{Metric, MetricFamily, MetricType, Sample};
+use ceems_metrics::registry::Collector;
+use ceems_simnode::cluster::NodeHandle;
+
+/// The perf-framework collector.
+pub struct PerfCollector {
+    node: NodeHandle,
+}
+
+impl PerfCollector {
+    /// Creates a collector over a node.
+    pub fn new(node: NodeHandle) -> PerfCollector {
+        PerfCollector { node }
+    }
+}
+
+impl Collector for PerfCollector {
+    fn collect(&self) -> Vec<MetricFamily> {
+        let node = self.node.lock();
+        let mut fams: Vec<MetricFamily> = [
+            ("ceems_compute_unit_perf_instructions_total", "Retired instructions"),
+            ("ceems_compute_unit_perf_cycles_total", "CPU cycles"),
+            ("ceems_compute_unit_perf_flops_total", "Double-precision FLOPs"),
+            (
+                "ceems_compute_unit_perf_cache_references_total",
+                "Last-level cache references",
+            ),
+            (
+                "ceems_compute_unit_perf_cache_misses_total",
+                "Last-level cache misses",
+            ),
+            (
+                "ceems_compute_unit_perf_dram_bytes_total",
+                "Bytes moved to/from DRAM",
+            ),
+        ]
+        .into_iter()
+        .map(|(name, help)| MetricFamily::new(name, help, MetricType::Counter))
+        .collect();
+
+        for id in node.task_ids() {
+            let Some(perf) = node.task_perf(id) else { continue };
+            let uuid = format!("slurm-{id}");
+            let labels = LabelSet::from_pairs([("uuid", uuid.as_str())]);
+            let values = [
+                perf.instructions,
+                perf.cycles,
+                perf.flops,
+                perf.cache_references,
+                perf.cache_misses,
+                perf.dram_bytes,
+            ];
+            for (fam, v) in fams.iter_mut().zip(values) {
+                fam.metrics
+                    .push(Metric::new(labels.clone(), Sample::now(v as f64)));
+            }
+        }
+        fams
+    }
+}
+
+/// The eBPF-style network collector.
+pub struct NetCollector {
+    node: NodeHandle,
+}
+
+impl NetCollector {
+    /// Creates a collector over a node.
+    pub fn new(node: NodeHandle) -> NetCollector {
+        NetCollector { node }
+    }
+}
+
+impl Collector for NetCollector {
+    fn collect(&self) -> Vec<MetricFamily> {
+        let node = self.node.lock();
+        let mut tx = MetricFamily::new(
+            "ceems_compute_unit_net_tx_bytes_total",
+            "Bytes transmitted by the compute unit",
+            MetricType::Counter,
+        );
+        let mut rx = MetricFamily::new(
+            "ceems_compute_unit_net_rx_bytes_total",
+            "Bytes received by the compute unit",
+            MetricType::Counter,
+        );
+        for id in node.task_ids() {
+            let Some((tx_b, rx_b)) = node.task_network(id) else { continue };
+            let uuid = format!("slurm-{id}");
+            let labels = LabelSet::from_pairs([("uuid", uuid.as_str())]);
+            tx.metrics
+                .push(Metric::new(labels.clone(), Sample::now(tx_b as f64)));
+            rx.metrics.push(Metric::new(labels, Sample::now(rx_b as f64)));
+        }
+        vec![tx, rx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceems_simnode::node::{HardwareProfile, NodeSpec, SimNode, TaskSpec};
+    use ceems_simnode::workload::WorkloadProfile;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn node_running(workload: WorkloadProfile) -> NodeHandle {
+        let mut n = SimNode::new(
+            NodeSpec {
+                hostname: "n".into(),
+                profile: HardwareProfile::IntelCpu,
+            },
+            9,
+        );
+        n.add_task(
+            TaskSpec {
+                id: 1,
+                cores: 8,
+                memory_bytes: 16 << 30,
+                gpus: 0,
+                workload,
+            },
+            0,
+        )
+        .unwrap();
+        for i in 1..=10 {
+            n.step(i * 1000, 1.0);
+        }
+        Arc::new(Mutex::new(n))
+    }
+
+    #[test]
+    fn perf_families_per_unit() {
+        let c = PerfCollector::new(node_running(WorkloadProfile::CpuBound { intensity: 0.9 }));
+        let fams = c.collect();
+        assert_eq!(fams.len(), 6);
+        for f in &fams {
+            assert_eq!(f.metrics.len(), 1);
+            assert_eq!(f.metrics[0].labels.get("uuid"), Some("slurm-1"));
+            assert!(f.metrics[0].sample.value > 0.0, "{} empty", f.name);
+        }
+        // Instruction count dwarfs cache misses for CPU-bound code.
+        let insns = fams[0].metrics[0].sample.value;
+        let misses = fams[4].metrics[0].sample.value;
+        assert!(insns > 100.0 * misses);
+    }
+
+    #[test]
+    fn memory_bound_shows_high_dram_traffic() {
+        let cpu = PerfCollector::new(node_running(WorkloadProfile::CpuBound { intensity: 0.9 }));
+        let mem = PerfCollector::new(node_running(WorkloadProfile::MemoryBound { resident: 0.9 }));
+        let dram_cpu = cpu.collect()[5].metrics[0].sample.value;
+        let dram_mem = mem.collect()[5].metrics[0].sample.value;
+        assert!(dram_mem > 2.0 * dram_cpu, "mem={dram_mem} cpu={dram_cpu}");
+    }
+
+    #[test]
+    fn network_counters_accumulate() {
+        let c = NetCollector::new(node_running(WorkloadProfile::CpuBound { intensity: 0.9 }));
+        let fams = c.collect();
+        assert_eq!(fams.len(), 2);
+        // 2e7 B/s × 10 s ≈ 2e8 B on each direction for MPI-ish code.
+        assert!(fams[0].metrics[0].sample.value > 1e8);
+        assert!(fams[1].metrics[0].sample.value > 1e8);
+    }
+}

@@ -1,0 +1,94 @@
+//! RAPL collector: reads the powercap tree.
+
+use ceems_metrics::labels::LabelSet;
+use ceems_metrics::model::{Metric, MetricFamily, MetricType, Sample};
+use ceems_metrics::registry::Collector;
+use ceems_simnode::cluster::NodeHandle;
+use ceems_simnode::pseudofs::PseudoFs;
+
+/// The RAPL collector.
+pub struct RaplCollector {
+    node: NodeHandle,
+}
+
+impl RaplCollector {
+    /// Creates a collector over a node.
+    pub fn new(node: NodeHandle) -> RaplCollector {
+        RaplCollector { node }
+    }
+}
+
+impl Collector for RaplCollector {
+    fn collect(&self) -> Vec<MetricFamily> {
+        let node = self.node.lock();
+        let mut package = MetricFamily::new(
+            "ceems_rapl_package_joules_total",
+            "RAPL package domain cumulative energy",
+            MetricType::Counter,
+        );
+        let mut dram = MetricFamily::new(
+            "ceems_rapl_dram_joules_total",
+            "RAPL DRAM domain cumulative energy",
+            MetricType::Counter,
+        );
+
+        let zones = node.list_dir("/sys/class/powercap").unwrap_or_default();
+        for zone in zones {
+            let base = format!("/sys/class/powercap/{zone}");
+            let Some(name) = node.read_file(&format!("{base}/name")) else {
+                continue;
+            };
+            let Some(uj) = node.read_u64(&format!("{base}/energy_uj")) else {
+                continue;
+            };
+            let joules = uj as f64 / 1e6;
+            let labels = LabelSet::from_pairs([("path", zone.as_str())]);
+            if name.trim().starts_with("package") {
+                package.metrics.push(Metric::new(labels, Sample::now(joules)));
+            } else if name.trim() == "dram" {
+                dram.metrics.push(Metric::new(labels, Sample::now(joules)));
+            }
+        }
+        vec![package, dram]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceems_simnode::node::{HardwareProfile, NodeSpec, SimNode};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn stepped(profile: HardwareProfile) -> NodeHandle {
+        let mut n = SimNode::new(
+            NodeSpec {
+                hostname: "n".into(),
+                profile,
+            },
+            3,
+        );
+        for i in 1..=5 {
+            n.step(i * 1000, 1.0);
+        }
+        Arc::new(Mutex::new(n))
+    }
+
+    #[test]
+    fn intel_has_package_and_dram() {
+        let c = RaplCollector::new(stepped(HardwareProfile::IntelCpu));
+        let fams = c.collect();
+        assert_eq!(fams[0].metrics.len(), 2); // 2 sockets
+        assert_eq!(fams[1].metrics.len(), 2); // 2 dram domains
+        assert!(fams[0].metrics[0].sample.value > 100.0); // ≥45W*5s
+        assert_eq!(fams[0].metrics[0].labels.get("path"), Some("intel-rapl:0"));
+    }
+
+    #[test]
+    fn amd_has_no_dram_domain() {
+        let c = RaplCollector::new(stepped(HardwareProfile::AmdCpu));
+        let fams = c.collect();
+        assert_eq!(fams[0].metrics.len(), 2);
+        assert!(fams[1].metrics.is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! The exporter's self-metrics: scrape counters, durations and an estimate
+//! of its own memory footprint. §II.B.a claims 15–20 MB of memory and
+//! sub-microsecond CPU per scrape; the E4 experiment measures this
+//! collector's numbers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ceems_metrics::labels::LabelSet;
+use ceems_metrics::model::{Metric, MetricFamily, MetricType, Sample};
+use ceems_metrics::registry::Collector;
+
+/// Shared scrape statistics, updated by the exporter on each render.
+#[derive(Debug, Default)]
+pub struct SelfStats {
+    /// Scrapes served.
+    pub scrapes: AtomicU64,
+    /// Total time spent rendering, nanoseconds.
+    pub render_ns: AtomicU64,
+    /// Bytes of the last rendered payload.
+    pub last_payload_bytes: AtomicU64,
+}
+
+impl SelfStats {
+    /// Records one render.
+    pub fn record(&self, elapsed_ns: u64, payload_bytes: usize) {
+        self.scrapes.fetch_add(1, Ordering::Relaxed);
+        self.render_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+        self.last_payload_bytes
+            .store(payload_bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Mean render time in nanoseconds.
+    pub fn mean_render_ns(&self) -> f64 {
+        let n = self.scrapes.load(Ordering::Relaxed);
+        if n == 0 {
+            0.0
+        } else {
+            self.render_ns.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+}
+
+/// The self-metrics collector.
+pub struct SelfCollector {
+    stats: Arc<SelfStats>,
+}
+
+impl SelfCollector {
+    /// Creates the collector.
+    pub fn new(stats: Arc<SelfStats>) -> SelfCollector {
+        SelfCollector { stats }
+    }
+}
+
+impl Collector for SelfCollector {
+    fn collect(&self) -> Vec<MetricFamily> {
+        let mut scrapes = MetricFamily::new(
+            "ceems_exporter_scrapes_total",
+            "Scrapes served by this exporter",
+            MetricType::Counter,
+        );
+        scrapes.metrics.push(Metric::new(
+            LabelSet::empty(),
+            Sample::now(self.stats.scrapes.load(Ordering::Relaxed) as f64),
+        ));
+        let mut render = MetricFamily::new(
+            "ceems_exporter_render_seconds_total",
+            "Cumulative time spent rendering /metrics",
+            MetricType::Counter,
+        );
+        render.metrics.push(Metric::new(
+            LabelSet::empty(),
+            Sample::now(self.stats.render_ns.load(Ordering::Relaxed) as f64 / 1e9),
+        ));
+        let mut payload = MetricFamily::new(
+            "ceems_exporter_payload_bytes",
+            "Size of the last /metrics payload",
+            MetricType::Gauge,
+        );
+        payload.metrics.push(Metric::new(
+            LabelSet::empty(),
+            Sample::now(self.stats.last_payload_bytes.load(Ordering::Relaxed) as f64),
+        ));
+        vec![scrapes, render, payload]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports() {
+        let stats = Arc::new(SelfStats::default());
+        stats.record(1_000, 512);
+        stats.record(3_000, 600);
+        assert_eq!(stats.mean_render_ns(), 2_000.0);
+        let fams = SelfCollector::new(stats).collect();
+        assert_eq!(fams[0].metrics[0].sample.value, 2.0);
+        assert_eq!(fams[2].metrics[0].sample.value, 600.0);
+    }
+
+    #[test]
+    fn empty_stats_mean_is_zero() {
+        assert_eq!(SelfStats::default().mean_render_ns(), 0.0);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! CEEMS exporter (S11 in `DESIGN.md`).
+//!
+//! One exporter runs per compute node (§II.B.a). It is an HTTP server whose
+//! `/metrics` endpoint renders the enabled collectors in the Prometheus
+//! text format. Collectors mirror the real exporter's:
+//!
+//! * [`collectors::cgroup`] — per-workload CPU/memory/IO from the cgroup
+//!   pseudo-filesystem (SLURM flavour: one cgroup per job).
+//! * [`collectors::rapl`] — RAPL energy counters from the powercap tree.
+//! * [`collectors::ipmi`] — IPMI-DCMI whole-node power.
+//! * [`collectors::node`] — node-level `/proc` CPU and memory.
+//! * [`collectors::gpu`] — DCGM-style GPU metrics plus the job→GPU-ordinal
+//!   map CEEMS must persist while jobs run (§II.A.d).
+//! * [`collectors::emissions`] — current emission factors per provider.
+//! * [`collectors::selfstats`] — the exporter's own scrape counters (the
+//!   §II.B.a overhead claims are measured against these).
+//!
+//! Collectors are enabled/disabled by name, mirroring the real CLI flags.
+
+pub mod collectors;
+pub mod exporter;
+
+pub use exporter::{CeemsExporter, ExporterConfig};

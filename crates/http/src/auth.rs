@@ -1,0 +1,188 @@
+//! HTTP Basic authentication and the base64 codec it needs.
+//!
+//! Every CEEMS component supports basic auth (the paper calls this out as
+//! the DoS/DDoS protection for the exporter); servers are configured with an
+//! optional [`BasicAuth`] and reject unauthenticated requests with 401.
+
+/// Standard base64 alphabet encode.
+pub fn base64_encode(data: &[u8]) -> String {
+    const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = *chunk.get(1).unwrap_or(&0) as u32;
+        let b2 = *chunk.get(2).unwrap_or(&0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(triple >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[triple as usize & 0x3f] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Standard base64 decode; returns `None` on any malformed input.
+pub fn base64_decode(s: &str) -> Option<Vec<u8>> {
+    fn val(c: u8) -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some((c - b'A') as u32),
+            b'a'..=b'z' => Some((c - b'a' + 26) as u32),
+            b'0'..=b'9' => Some((c - b'0' + 52) as u32),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    }
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for chunk in bytes.chunks(4) {
+        let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 {
+            return None;
+        }
+        // '=' may only appear at the end.
+        if chunk[..4 - pad].contains(&b'=') {
+            return None;
+        }
+        let mut triple: u32 = 0;
+        for (i, &c) in chunk.iter().enumerate() {
+            let v = if c == b'=' { 0 } else { val(c)? };
+            triple |= v << (18 - 6 * i as u32);
+        }
+        out.push((triple >> 16) as u8);
+        if pad < 2 {
+            out.push((triple >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(triple as u8);
+        }
+    }
+    Some(out)
+}
+
+/// Basic-auth credentials.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasicAuth {
+    /// Username.
+    pub username: String,
+    /// Password.
+    pub password: String,
+}
+
+impl BasicAuth {
+    /// Creates credentials.
+    pub fn new(username: impl Into<String>, password: impl Into<String>) -> Self {
+        BasicAuth {
+            username: username.into(),
+            password: password.into(),
+        }
+    }
+
+    /// Produces the `Authorization` header value.
+    pub fn header_value(&self) -> String {
+        format!(
+            "Basic {}",
+            base64_encode(format!("{}:{}", self.username, self.password).as_bytes())
+        )
+    }
+
+    /// Verifies an `Authorization` header value in constant-ish time.
+    pub fn verify(&self, header: Option<&str>) -> bool {
+        let Some(header) = header else { return false };
+        let Some(encoded) = header.strip_prefix("Basic ") else {
+            return false;
+        };
+        let Some(decoded) = base64_decode(encoded.trim()) else {
+            return false;
+        };
+        let Ok(creds) = String::from_utf8(decoded) else {
+            return false;
+        };
+        let Some((user, pass)) = creds.split_once(':') else {
+            return false;
+        };
+        // Compare without early exit on length match, to avoid the most
+        // trivial timing side channel.
+        constant_time_eq(user.as_bytes(), self.username.as_bytes())
+            & constant_time_eq(pass.as_bytes(), self.password.as_bytes())
+    }
+}
+
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base64_vectors() {
+        // RFC 4648 test vectors.
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
+        assert_eq!(base64_encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn base64_roundtrip_binary() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn base64_decode_rejects_malformed() {
+        assert!(base64_decode("abc").is_none()); // bad length
+        assert!(base64_decode("ab=c").is_none()); // pad in middle
+        assert!(base64_decode("a$==").is_none()); // bad char
+        assert!(base64_decode("====").is_none()); // too much padding
+    }
+
+    #[test]
+    fn basic_auth_roundtrip() {
+        let auth = BasicAuth::new("ceems", "s3cret");
+        let header = auth.header_value();
+        assert_eq!(header, "Basic Y2VlbXM6czNjcmV0");
+        assert!(auth.verify(Some(&header)));
+    }
+
+    #[test]
+    fn basic_auth_rejections() {
+        let auth = BasicAuth::new("ceems", "s3cret");
+        assert!(!auth.verify(None));
+        assert!(!auth.verify(Some("Bearer token")));
+        assert!(!auth.verify(Some("Basic !!!notb64!!!")));
+        let wrong = BasicAuth::new("ceems", "wrong").header_value();
+        assert!(!auth.verify(Some(&wrong)));
+        let nocolon = format!("Basic {}", base64_encode(b"ceemss3cret"));
+        assert!(!auth.verify(Some(&nocolon)));
+    }
+
+    #[test]
+    fn password_containing_colon() {
+        let auth = BasicAuth::new("u", "p:a:s");
+        assert!(auth.verify(Some(&auth.header_value())));
+    }
+}

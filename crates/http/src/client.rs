@@ -1,0 +1,245 @@
+//! Blocking HTTP/1.1 client.
+//!
+//! One connection per request (`connection: close`), which keeps the client
+//! trivially correct; the scraper amortises cost by scraping many targets in
+//! parallel rather than by connection reuse.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::auth::BasicAuth;
+use crate::types::{Method, Response, Status};
+
+/// Client errors.
+#[derive(Debug)]
+pub enum ClientError {
+    /// URL could not be parsed.
+    BadUrl(String),
+    /// Connection / IO failure.
+    Io(std::io::Error),
+    /// Response could not be parsed.
+    BadResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::BadUrl(u) => write!(f, "bad url: {u}"),
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::BadResponse(m) => write!(f, "bad response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Parsed `http://host:port/path?query` URL.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Url {
+    /// `host:port` authority.
+    pub authority: String,
+    /// Path plus optional query, starting with `/`.
+    pub path_and_query: String,
+}
+
+impl Url {
+    /// Parses an `http://` URL. `https` is rejected (no TLS substrate).
+    pub fn parse(url: &str) -> Result<Url, ClientError> {
+        let rest = url
+            .strip_prefix("http://")
+            .ok_or_else(|| ClientError::BadUrl(url.to_string()))?;
+        let (authority, path) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        if authority.is_empty() {
+            return Err(ClientError::BadUrl(url.to_string()));
+        }
+        let authority = if authority.contains(':') {
+            authority.to_string()
+        } else {
+            format!("{authority}:80")
+        };
+        Ok(Url {
+            authority,
+            path_and_query: path.to_string(),
+        })
+    }
+}
+
+/// A blocking HTTP client.
+#[derive(Clone, Debug, Default)]
+pub struct Client {
+    basic_auth: Option<BasicAuth>,
+    headers: Vec<(String, String)>,
+    timeout: Option<Duration>,
+}
+
+impl Client {
+    /// Creates a client with a 10 s default timeout.
+    pub fn new() -> Client {
+        Client {
+            basic_auth: None,
+            headers: Vec::new(),
+            timeout: Some(Duration::from_secs(10)),
+        }
+    }
+
+    /// Attaches basic-auth credentials to every request.
+    pub fn with_basic_auth(mut self, auth: BasicAuth) -> Client {
+        self.basic_auth = Some(auth);
+        self
+    }
+
+    /// Attaches a header to every request.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Client {
+        self.headers.push((name.to_ascii_lowercase(), value.into()));
+        self
+    }
+
+    /// Overrides the socket timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Issues a GET.
+    pub fn get(&self, url: &str) -> Result<Response, ClientError> {
+        self.request(Method::Get, url, Vec::new(), None)
+    }
+
+    /// Issues a POST with a body.
+    pub fn post(
+        &self,
+        url: &str,
+        body: Vec<u8>,
+        content_type: &str,
+    ) -> Result<Response, ClientError> {
+        self.request(Method::Post, url, body, Some(content_type))
+    }
+
+    /// Issues a DELETE.
+    pub fn delete(&self, url: &str) -> Result<Response, ClientError> {
+        self.request(Method::Delete, url, Vec::new(), None)
+    }
+
+    /// Issues an arbitrary request.
+    pub fn request(
+        &self,
+        method: Method,
+        url: &str,
+        body: Vec<u8>,
+        content_type: Option<&str>,
+    ) -> Result<Response, ClientError> {
+        let url = Url::parse(url)?;
+        let stream = TcpStream::connect(&url.authority)?;
+        stream.set_read_timeout(self.timeout)?;
+        stream.set_write_timeout(self.timeout)?;
+        stream.set_nodelay(true)?;
+        let mut writer = stream.try_clone()?;
+
+        let mut head = format!(
+            "{} {} HTTP/1.1\r\nhost: {}\r\nconnection: close\r\ncontent-length: {}\r\n",
+            method.as_str(),
+            url.path_and_query,
+            url.authority,
+            body.len()
+        );
+        if let Some(ct) = content_type {
+            head.push_str(&format!("content-type: {ct}\r\n"));
+        }
+        if let Some(auth) = &self.basic_auth {
+            head.push_str(&format!("authorization: {}\r\n", auth.header_value()));
+        }
+        for (k, v) in &self.headers {
+            head.push_str(&format!("{k}: {v}\r\n"));
+        }
+        head.push_str("\r\n");
+        writer.write_all(head.as_bytes())?;
+        writer.write_all(&body)?;
+        writer.flush()?;
+
+        read_response(BufReader::new(stream))
+    }
+}
+
+fn read_response(mut reader: BufReader<TcpStream>) -> Result<Response, ClientError> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.trim_end().splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(ClientError::BadResponse(format!(
+            "bad status line: {line:?}"
+        )));
+    }
+    let code: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::BadResponse("missing status code".into()))?;
+
+    let mut headers = BTreeMap::new();
+    loop {
+        let mut hline = String::new();
+        if reader.read_line(&mut hline)? == 0 {
+            return Err(ClientError::BadResponse("eof in headers".into()));
+        }
+        let hline = hline.trim_end();
+        if hline.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = hline.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+    }
+
+    let body = match headers.get("content-length") {
+        Some(cl) => {
+            let n: usize = cl
+                .parse()
+                .map_err(|_| ClientError::BadResponse("bad content-length".into()))?;
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            buf
+        }
+        None => {
+            let mut buf = Vec::new();
+            reader.read_to_end(&mut buf)?;
+            buf
+        }
+    };
+
+    Ok(Response {
+        status: Status(code),
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_parsing() {
+        let u = Url::parse("http://127.0.0.1:9090/api/v1/query?query=up").unwrap();
+        assert_eq!(u.authority, "127.0.0.1:9090");
+        assert_eq!(u.path_and_query, "/api/v1/query?query=up");
+
+        let u = Url::parse("http://node1").unwrap();
+        assert_eq!(u.authority, "node1:80");
+        assert_eq!(u.path_and_query, "/");
+
+        assert!(Url::parse("https://secure").is_err());
+        assert!(Url::parse("ftp://x").is_err());
+        assert!(Url::parse("http://").is_err());
+    }
+}

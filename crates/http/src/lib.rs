@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! Minimal threaded HTTP/1.1 substrate for CEEMS (S5 in `DESIGN.md`).
+//!
+//! The Go CEEMS stack leans on `net/http`; this crate provides the subset
+//! the stack needs, built on `std::net` and a fixed worker pool:
+//!
+//! * [`types`] — request/response representations and status codes.
+//! * [`url`] — percent-coding and query-string parsing.
+//! * [`auth`] — HTTP Basic authentication (with an in-repo base64 codec).
+//! * [`router`] — path routing with `:param` captures.
+//! * [`server`] — a blocking, keep-alive-capable HTTP/1.1 server.
+//! * [`client`] — a blocking HTTP/1.1 client used by the scraper, the API
+//!   server and the load balancer.
+//!
+//! TLS is intentionally out of scope (see the substitution table in
+//! `DESIGN.md`); all the auth-sensitive paths go through [`auth`] instead.
+
+pub mod auth;
+pub mod client;
+pub mod router;
+pub mod server;
+pub mod types;
+pub mod url;
+
+pub use client::{Client, ClientError};
+pub use router::Router;
+pub use server::{HttpServer, ServerConfig};
+pub use types::{Method, Request, Response, Status};

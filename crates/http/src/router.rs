@@ -1,0 +1,205 @@
+//! Path routing with `:param` captures and method dispatch.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::types::{Method, Request, Response, Status};
+
+/// A request handler.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+struct Route {
+    method: Method,
+    segments: Vec<Segment>,
+}
+
+enum Segment {
+    Literal(String),
+    Param(String),
+    /// `*rest` — matches the remainder of the path (used by the proxy).
+    Wildcard(String),
+}
+
+/// Method+path router. Routes are matched in registration order; the first
+/// match wins.
+#[derive(Clone, Default)]
+pub struct Router {
+    routes: Vec<(Arc<Route>, Handler)>,
+}
+
+impl Router {
+    /// Creates an empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a route. Patterns look like `/api/units/:uuid` or
+    /// `/proxy/*rest`.
+    pub fn route(
+        &mut self,
+        method: Method,
+        pattern: &str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> &mut Self {
+        let segments = pattern
+            .trim_start_matches('/')
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                if let Some(name) = s.strip_prefix(':') {
+                    Segment::Param(name.to_string())
+                } else if let Some(name) = s.strip_prefix('*') {
+                    Segment::Wildcard(name.to_string())
+                } else {
+                    Segment::Literal(s.to_string())
+                }
+            })
+            .collect();
+        self.routes.push((
+            Arc::new(Route { method, segments }),
+            Arc::new(handler),
+        ));
+        self
+    }
+
+    /// GET shorthand.
+    pub fn get(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.route(Method::Get, pattern, handler)
+    }
+
+    /// POST shorthand.
+    pub fn post(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.route(Method::Post, pattern, handler)
+    }
+
+    /// DELETE shorthand.
+    pub fn delete(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.route(Method::Delete, pattern, handler)
+    }
+
+    /// Dispatches a request: 404 when no path matches, 405 when a path
+    /// matches under a different method.
+    pub fn dispatch(&self, mut req: Request) -> Response {
+        let path_segments: Vec<&str> = req
+            .path
+            .trim_start_matches('/')
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .collect();
+        let mut path_matched = false;
+        for (route, handler) in &self.routes {
+            if let Some(params) = match_route(&route.segments, &path_segments) {
+                path_matched = true;
+                if route.method == req.method {
+                    req.path_params = params;
+                    return handler(&req);
+                }
+            }
+        }
+        if path_matched {
+            Response::error(Status::METHOD_NOT_ALLOWED, "method not allowed")
+        } else {
+            Response::error(Status::NOT_FOUND, "not found")
+        }
+    }
+}
+
+fn match_route(segments: &[Segment], path: &[&str]) -> Option<BTreeMap<String, String>> {
+    let mut params = BTreeMap::new();
+    let mut i = 0;
+    for seg in segments {
+        match seg {
+            Segment::Literal(lit) => {
+                if path.get(i).copied() != Some(lit.as_str()) {
+                    return None;
+                }
+                i += 1;
+            }
+            Segment::Param(name) => {
+                let v = path.get(i)?;
+                params.insert(name.clone(), v.to_string());
+                i += 1;
+            }
+            Segment::Wildcard(name) => {
+                params.insert(name.clone(), path[i..].join("/"));
+                return Some(params);
+            }
+        }
+    }
+    if i == path.len() {
+        Some(params)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path: &str) -> Request {
+        Request::new(Method::Get, path)
+    }
+
+    #[test]
+    fn literal_and_param_routes() {
+        let mut r = Router::new();
+        r.get("/api/health", |_| Response::text("ok"));
+        r.get("/api/units/:uuid", |req| {
+            Response::text(format!("unit={}", req.path_param("uuid").unwrap()))
+        });
+
+        assert_eq!(r.dispatch(get("/api/health")).body_string(), "ok");
+        assert_eq!(
+            r.dispatch(get("/api/units/job-42")).body_string(),
+            "unit=job-42"
+        );
+        assert_eq!(r.dispatch(get("/api/unknown")).status, Status::NOT_FOUND);
+        assert_eq!(r.dispatch(get("/api/units")).status, Status::NOT_FOUND);
+        assert_eq!(
+            r.dispatch(get("/api/units/a/b")).status,
+            Status::NOT_FOUND
+        );
+    }
+
+    #[test]
+    fn method_not_allowed() {
+        let mut r = Router::new();
+        r.post("/api/units", |_| Response::text("created"));
+        let resp = r.dispatch(get("/api/units"));
+        assert_eq!(resp.status, Status::METHOD_NOT_ALLOWED);
+    }
+
+    #[test]
+    fn wildcard_captures_rest() {
+        let mut r = Router::new();
+        r.get("/proxy/*rest", |req| {
+            Response::text(req.path_param("rest").unwrap().to_string())
+        });
+        assert_eq!(
+            r.dispatch(get("/proxy/api/v1/query")).body_string(),
+            "api/v1/query"
+        );
+        assert_eq!(r.dispatch(get("/proxy")).body_string(), "");
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut r = Router::new();
+        r.get("/a/:x", |_| Response::text("param"));
+        r.get("/a/b", |_| Response::text("literal"));
+        assert_eq!(r.dispatch(get("/a/b")).body_string(), "param");
+    }
+}

@@ -1,0 +1,402 @@
+//! Blocking HTTP/1.1 server with a fixed worker pool and keep-alive.
+//!
+//! One acceptor thread pushes connections into a crossbeam channel; `workers`
+//! threads pull and serve them. Each CEEMS component (exporter, API server,
+//! LB, simulated TSDB endpoints) runs one of these.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::auth::BasicAuth;
+use crate::router::Router;
+use crate::types::{Method, Request, Response, Status};
+use crate::url::{decode_component, parse_query};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker thread count.
+    pub workers: usize,
+    /// Optional basic-auth guard applied to every route.
+    pub basic_auth: Option<BasicAuth>,
+    /// Per-request read timeout.
+    pub read_timeout: Duration,
+    /// Maximum accepted body size in bytes.
+    pub max_body_bytes: usize,
+    /// Maximum requests served per connection before it is closed.
+    pub max_requests_per_conn: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            basic_auth: None,
+            read_timeout: Duration::from_secs(10),
+            max_body_bytes: 16 << 20,
+            max_requests_per_conn: 1024,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Config bound to an ephemeral localhost port.
+    pub fn ephemeral() -> Self {
+        Self::default()
+    }
+
+    /// Sets basic auth.
+    pub fn with_basic_auth(mut self, auth: BasicAuth) -> Self {
+        self.basic_auth = Some(auth);
+        self
+    }
+
+    /// Sets worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+/// A running HTTP server. Dropping the handle shuts the server down.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds and serves `router` in background threads.
+    pub fn serve(config: ServerConfig, router: Router) -> std::io::Result<HttpServer> {
+        let handler: Arc<dyn Fn(Request) -> Response + Send + Sync> =
+            Arc::new(move |req| router.dispatch(req));
+        Self::serve_fn(config, handler)
+    }
+
+    /// Binds and serves an arbitrary handler function.
+    pub fn serve_fn(
+        config: ServerConfig,
+        handler: Arc<dyn Fn(Request) -> Response + Send + Sync>,
+    ) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(1024);
+
+        let mut workers = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers.max(1) {
+            let rx = rx.clone();
+            let handler = handler.clone();
+            let config = config.clone();
+            workers.push(std::thread::spawn(move || {
+                while let Ok(stream) = rx.recv() {
+                    let _ = serve_connection(stream, &config, handler.as_ref());
+                }
+            }));
+        }
+
+        let stop2 = stop.clone();
+        let acceptor = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop2.load(Ordering::Relaxed) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        let _ = tx.send(s);
+                    }
+                    Err(_) => continue,
+                }
+            }
+            drop(tx);
+        });
+
+        Ok(HttpServer {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Base URL, e.g. `http://127.0.0.1:4123`.
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Requests shutdown and joins the threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the acceptor with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    config: &ServerConfig,
+    handler: &(dyn Fn(Request) -> Response + Send + Sync),
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+
+    for _ in 0..config.max_requests_per_conn {
+        let req = match read_request(&mut reader, config.max_body_bytes) {
+            Ok(Some(r)) => r,
+            Ok(None) => return Ok(()), // clean close
+            Err(e) => {
+                let resp = Response::error(Status::BAD_REQUEST, format!("bad request: {e}"));
+                let _ = write_response(&mut writer, &resp, false);
+                return Ok(());
+            }
+        };
+        let keep_alive = req
+            .header("connection")
+            .map(|v| !v.eq_ignore_ascii_case("close"))
+            .unwrap_or(true);
+
+        let resp = if let Some(auth) = &config.basic_auth {
+            if auth.verify(req.header("authorization")) {
+                handler(req)
+            } else {
+                Response::error(Status::UNAUTHORIZED, "authentication required")
+                    .with_header("www-authenticate", "Basic realm=\"ceems\"")
+            }
+        } else {
+            handler(req)
+        };
+
+        write_response(&mut writer, &resp, keep_alive)?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// Reads one request; `Ok(None)` means the peer closed before sending one.
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> std::io::Result<Option<Request>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let line = line.trim_end();
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .and_then(Method::parse)
+        .ok_or_else(|| bad("unsupported method"))?;
+    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("unsupported HTTP version"));
+    }
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut req = Request {
+        method,
+        path: decode_component(raw_path),
+        query: parse_query(raw_query),
+        headers: Default::default(),
+        body: Vec::new(),
+        path_params: Default::default(),
+    };
+
+    loop {
+        let mut hline = String::new();
+        if reader.read_line(&mut hline)? == 0 {
+            return Err(bad("eof in headers"));
+        }
+        let hline = hline.trim_end();
+        if hline.is_empty() {
+            break;
+        }
+        let (name, value) = hline.split_once(':').ok_or_else(|| bad("malformed header"))?;
+        req.headers
+            .insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    if let Some(cl) = req.headers.get("content-length") {
+        let n: usize = cl.parse().map_err(|_| bad("bad content-length"))?;
+        if n > max_body {
+            return Err(bad("body too large"));
+        }
+        let mut body = vec![0u8; n];
+        reader.read_exact(&mut body)?;
+        req.body = body;
+    }
+    Ok(Some(req))
+}
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn write_response(w: &mut TcpStream, resp: &Response, keep_alive: bool) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        resp.status.0,
+        resp.status.reason(),
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
+    );
+    for (k, v) in &resp.headers {
+        if k != "content-length" && k != "connection" {
+            head.push_str(k);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(&resp.body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    fn test_router() -> Router {
+        let mut r = Router::new();
+        r.get("/ping", |_| Response::text("pong"));
+        r.post("/echo", |req| {
+            Response::text(String::from_utf8_lossy(&req.body).into_owned())
+        });
+        r.get("/hdr", |req| {
+            Response::text(req.header("x-grafana-user").unwrap_or("-").to_string())
+        });
+        r
+    }
+
+    #[test]
+    fn end_to_end_get_and_post() {
+        let server = HttpServer::serve(ServerConfig::ephemeral(), test_router()).unwrap();
+        let client = Client::new();
+        let resp = client.get(&format!("{}/ping", server.base_url())).unwrap();
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(resp.body_string(), "pong");
+
+        let resp = client
+            .post(
+                &format!("{}/echo", server.base_url()),
+                b"hello world".to_vec(),
+                "text/plain",
+            )
+            .unwrap();
+        assert_eq!(resp.body_string(), "hello world");
+        server.shutdown();
+    }
+
+    #[test]
+    fn basic_auth_enforced() {
+        let auth = BasicAuth::new("prom", "secret");
+        let server = HttpServer::serve(
+            ServerConfig::ephemeral().with_basic_auth(auth.clone()),
+            test_router(),
+        )
+        .unwrap();
+
+        let unauth = Client::new();
+        let resp = unauth.get(&format!("{}/ping", server.base_url())).unwrap();
+        assert_eq!(resp.status, Status::UNAUTHORIZED);
+        assert!(resp.header("www-authenticate").is_some());
+
+        let authed = Client::new().with_basic_auth(auth);
+        let resp = authed.get(&format!("{}/ping", server.base_url())).unwrap();
+        assert_eq!(resp.status, Status::OK);
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_per_connection() {
+        let server = HttpServer::serve(ServerConfig::ephemeral(), test_router()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let req = b"GET /ping HTTP/1.1\r\nhost: x\r\n\r\n";
+        stream.write_all(req).unwrap();
+        stream.write_all(req).unwrap();
+        stream.write_all(b"GET /ping HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n")
+            .unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert_eq!(buf.matches("HTTP/1.1 200 OK").count(), 3);
+        assert_eq!(buf.matches("pong").count(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn custom_headers_reach_handler() {
+        let server = HttpServer::serve(ServerConfig::ephemeral(), test_router()).unwrap();
+        let client = Client::new().with_header("X-Grafana-User", "alice");
+        let resp = client.get(&format!("{}/hdr", server.base_url())).unwrap();
+        assert_eq!(resp.body_string(), "alice");
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_route_404() {
+        let server = HttpServer::serve(ServerConfig::ephemeral(), test_router()).unwrap();
+        let resp = Client::new()
+            .get(&format!("{}/nope", server.base_url()))
+            .unwrap();
+        assert_eq!(resp.status, Status::NOT_FOUND);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let mut cfg = ServerConfig::ephemeral();
+        cfg.max_body_bytes = 8;
+        let server = HttpServer::serve(cfg, test_router()).unwrap();
+        let resp = Client::new()
+            .post(
+                &format!("{}/echo", server.base_url()),
+                vec![b'x'; 64],
+                "text/plain",
+            )
+            .unwrap();
+        assert_eq!(resp.status, Status::BAD_REQUEST);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,298 @@
+//! HTTP request/response types.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// HTTP method subset used by the stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// GET
+    Get,
+    /// POST
+    Post,
+    /// PUT
+    Put,
+    /// DELETE
+    Delete,
+    /// HEAD
+    Head,
+}
+
+impl Method {
+    /// Parses a request-line method token.
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "PUT" => Some(Method::Put),
+            "DELETE" => Some(Method::Delete),
+            "HEAD" => Some(Method::Head),
+            _ => None,
+        }
+    }
+
+    /// Wire representation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Head => "HEAD",
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Status codes used by the stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Status(pub u16);
+
+impl Status {
+    /// 200
+    pub const OK: Status = Status(200);
+    /// 204
+    pub const NO_CONTENT: Status = Status(204);
+    /// 400
+    pub const BAD_REQUEST: Status = Status(400);
+    /// 401
+    pub const UNAUTHORIZED: Status = Status(401);
+    /// 403
+    pub const FORBIDDEN: Status = Status(403);
+    /// 404
+    pub const NOT_FOUND: Status = Status(404);
+    /// 405
+    pub const METHOD_NOT_ALLOWED: Status = Status(405);
+    /// 422
+    pub const UNPROCESSABLE: Status = Status(422);
+    /// 500
+    pub const INTERNAL: Status = Status(500);
+    /// 502
+    pub const BAD_GATEWAY: Status = Status(502);
+    /// 503
+    pub const UNAVAILABLE: Status = Status(503);
+
+    /// Canonical reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            204 => "No Content",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            422 => "Unprocessable Entity",
+            500 => "Internal Server Error",
+            502 => "Bad Gateway",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// True for 2xx.
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Method.
+    pub method: Method,
+    /// Decoded path (no query string).
+    pub path: String,
+    /// Query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Lower-cased header names to values.
+    pub headers: BTreeMap<String, String>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+    /// Path parameters captured by the router (filled in at dispatch).
+    pub path_params: BTreeMap<String, String>,
+}
+
+impl Request {
+    /// Creates a request for client use / tests.
+    pub fn new(method: Method, path_and_query: &str) -> Request {
+        let (path, query) = match path_and_query.split_once('?') {
+            Some((p, q)) => (p.to_string(), crate::url::parse_query(q)),
+            None => (path_and_query.to_string(), Vec::new()),
+        };
+        Request {
+            method,
+            path,
+            query,
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+            path_params: BTreeMap::new(),
+        }
+    }
+
+    /// Sets a header (names are stored lower-case).
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Request {
+        self.headers.insert(name.to_ascii_lowercase(), value.into());
+        self
+    }
+
+    /// Sets the body.
+    pub fn with_body(mut self, body: impl Into<Vec<u8>>) -> Request {
+        self.body = body.into();
+        self
+    }
+
+    /// Gets a header by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(&name.to_ascii_lowercase()).map(|s| s.as_str())
+    }
+
+    /// First query parameter with the given name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All query parameters with the given name (PromQL APIs repeat `match[]`).
+    pub fn query_params(&self, name: &str) -> Vec<&str> {
+        self.query
+            .iter()
+            .filter(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// Path parameter captured by the router.
+    pub fn path_param(&self, name: &str) -> Option<&str> {
+        self.path_params.get(name).map(|s| s.as_str())
+    }
+
+    /// Reassembles `path?query` with percent-encoding, for proxying.
+    pub fn path_and_query(&self) -> String {
+        if self.query.is_empty() {
+            self.path.clone()
+        } else {
+            format!("{}?{}", self.path, crate::url::encode_query(&self.query))
+        }
+    }
+}
+
+/// An HTTP response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: Status,
+    /// Lower-cased header names to values.
+    pub headers: BTreeMap<String, String>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Empty response with a status.
+    pub fn status(status: Status) -> Response {
+        Response {
+            status,
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// 200 with a `text/plain` body.
+    pub fn text(body: impl Into<String>) -> Response {
+        Response::status(Status::OK)
+            .with_header("content-type", "text/plain; charset=utf-8")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// 200 with an `application/json` body.
+    pub fn json(body: impl Into<Vec<u8>>) -> Response {
+        Response::status(Status::OK)
+            .with_header("content-type", "application/json")
+            .with_body(body)
+    }
+
+    /// Error response with a plain-text message.
+    pub fn error(status: Status, message: impl Into<String>) -> Response {
+        Response::status(status)
+            .with_header("content-type", "text/plain; charset=utf-8")
+            .with_body(message.into().into_bytes())
+    }
+
+    /// Sets a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.insert(name.to_ascii_lowercase(), value.into());
+        self
+    }
+
+    /// Sets the body.
+    pub fn with_body(mut self, body: impl Into<Vec<u8>>) -> Response {
+        self.body = body.into();
+        self
+    }
+
+    /// Gets a header by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(&name.to_ascii_lowercase()).map(|s| s.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn body_string(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_roundtrip() {
+        for m in [Method::Get, Method::Post, Method::Put, Method::Delete, Method::Head] {
+            assert_eq!(Method::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(Method::parse("PATCH"), None);
+    }
+
+    #[test]
+    fn request_query_access() {
+        let r = Request::new(Method::Get, "/api/query?query=up&time=12&match[]=a&match[]=b");
+        assert_eq!(r.path, "/api/query");
+        assert_eq!(r.query_param("query"), Some("up"));
+        assert_eq!(r.query_params("match[]"), vec!["a", "b"]);
+        assert_eq!(r.query_param("missing"), None);
+    }
+
+    #[test]
+    fn header_case_insensitive() {
+        let r = Request::new(Method::Get, "/").with_header("X-Grafana-User", "alice");
+        assert_eq!(r.header("x-grafana-user"), Some("alice"));
+        assert_eq!(r.header("X-GRAFANA-USER"), Some("alice"));
+    }
+
+    #[test]
+    fn path_and_query_roundtrip() {
+        let r = Request::new(Method::Get, "/q?a=1%202&b=x");
+        assert_eq!(r.query_param("a"), Some("1 2"));
+        let pq = r.path_and_query();
+        let r2 = Request::new(Method::Get, &pq);
+        assert_eq!(r2.query_param("a"), Some("1 2"));
+    }
+
+    #[test]
+    fn response_helpers() {
+        let r = Response::text("hello");
+        assert_eq!(r.status, Status::OK);
+        assert_eq!(r.body_string(), "hello");
+        assert!(Status::OK.is_success());
+        assert!(!Status::FORBIDDEN.is_success());
+        assert_eq!(Status::FORBIDDEN.reason(), "Forbidden");
+    }
+}

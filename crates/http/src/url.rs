@@ -1,0 +1,125 @@
+//! Percent-coding and query-string handling.
+
+/// Percent-encodes a query component (RFC 3986 unreserved characters pass
+/// through; space becomes `%20`).
+pub fn encode_component(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{:02X}", b)),
+        }
+    }
+    out
+}
+
+/// Decodes percent-encoding; `+` decodes to space (form encoding).
+/// Invalid escapes are passed through literally.
+pub fn decode_component(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(v) => {
+                        out.push(v);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parses a query string into ordered `(key, value)` pairs.
+pub fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (decode_component(k), decode_component(v)),
+            None => (decode_component(part), String::new()),
+        })
+        .collect()
+}
+
+/// Encodes ordered pairs back into a query string.
+pub fn encode_query(pairs: &[(String, String)]) -> String {
+    pairs
+        .iter()
+        .map(|(k, v)| format!("{}={}", encode_component(k), encode_component(v)))
+        .collect::<Vec<_>>()
+        .join("&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = "rate(job_power{uuid=\"123\"}[5m]) + 1";
+        assert_eq!(decode_component(&encode_component(s)), s);
+    }
+
+    #[test]
+    fn plus_decodes_to_space() {
+        assert_eq!(decode_component("a+b"), "a b");
+        // But encode never emits '+'.
+        assert_eq!(encode_component("a b"), "a%20b");
+    }
+
+    #[test]
+    fn invalid_escapes_pass_through() {
+        assert_eq!(decode_component("100%"), "100%");
+        assert_eq!(decode_component("%zz"), "%zz");
+        assert_eq!(decode_component("%4"), "%4");
+    }
+
+    #[test]
+    fn parse_query_pairs() {
+        let q = parse_query("a=1&b=two%20words&flag&empty=");
+        assert_eq!(
+            q,
+            vec![
+                ("a".into(), "1".into()),
+                ("b".into(), "two words".into()),
+                ("flag".into(), "".into()),
+                ("empty".into(), "".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let pairs = vec![
+            ("query".to_string(), "up{instance=\"n1\"}".to_string()),
+            ("time".to_string(), "123.5".to_string()),
+        ];
+        let parsed = parse_query(&encode_query(&pairs));
+        assert_eq!(parsed, pairs);
+    }
+
+    #[test]
+    fn utf8_decoding() {
+        assert_eq!(decode_component("%C3%A9"), "é");
+        assert_eq!(encode_component("é"), "%C3%A9");
+    }
+}

@@ -1,0 +1,53 @@
+//! Concurrent-load smoke test for the HTTP substrate: many clients, one
+//! worker pool, no lost or corrupted responses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ceems_http::{Client, HttpServer, Response, Router, ServerConfig};
+
+#[test]
+fn many_concurrent_clients() {
+    let mut router = Router::new();
+    router.get("/echo/:n", |req| {
+        Response::text(format!("n={}", req.path_param("n").unwrap()))
+    });
+    router.post("/sum", |req| {
+        let total: u64 = req
+            .body
+            .iter()
+            .map(|&b| b as u64)
+            .sum();
+        Response::text(total.to_string())
+    });
+    let server = HttpServer::serve(
+        ServerConfig::ephemeral().with_workers(4),
+        router,
+    )
+    .unwrap();
+    let base = server.base_url();
+
+    let ok = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..16u64 {
+            let base = base.clone();
+            let ok = &ok;
+            s.spawn(move || {
+                let client = Client::new();
+                for i in 0..25u64 {
+                    let n = t * 1000 + i;
+                    let resp = client.get(&format!("{base}/echo/{n}")).unwrap();
+                    assert_eq!(resp.body_string(), format!("n={n}"), "mismatched response");
+                    let body = vec![(n % 251) as u8; 64];
+                    let want: u64 = body.iter().map(|&b| b as u64).sum();
+                    let resp = client
+                        .post(&format!("{base}/sum"), body, "application/octet-stream")
+                        .unwrap();
+                    assert_eq!(resp.body_string(), want.to_string());
+                    ok.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(ok.load(Ordering::Relaxed), 16 * 25);
+    server.shutdown();
+}

@@ -1,0 +1,85 @@
+//! Ownership verification.
+//!
+//! The LB prefers reading the API server's DB directly when the file is
+//! reachable, and falls back to the `/api/v1/verify` HTTP endpoint
+//! otherwise — exactly the two paths Fig. 1 describes.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ceems_apiserver::updater::{verify_ownership_in_db, Updater};
+use ceems_http::Client;
+
+/// How the LB verifies unit ownership.
+pub enum Authorizer {
+    /// Shared access to the API server's database (same host deployment).
+    DirectDb(Arc<Mutex<Updater>>),
+    /// HTTP calls to the API server.
+    Api {
+        /// HTTP client.
+        client: Client,
+        /// API server base URL.
+        base_url: String,
+    },
+    /// Allow everything (benchmarks measuring pure proxy overhead).
+    AllowAll,
+}
+
+impl Authorizer {
+    /// HTTP authorizer.
+    pub fn api(base_url: impl Into<String>) -> Authorizer {
+        Authorizer::Api {
+            client: Client::new(),
+            base_url: base_url.into(),
+        }
+    }
+
+    /// True when `user` owns every unit in `uuids`.
+    pub fn verify(&self, user: &str, uuids: &[String]) -> bool {
+        match self {
+            Authorizer::AllowAll => true,
+            Authorizer::DirectDb(updater) => {
+                let upd = updater.lock();
+                uuids
+                    .iter()
+                    .all(|uuid| verify_ownership_in_db(upd.db(), user, uuid))
+            }
+            Authorizer::Api { client, base_url } => {
+                if uuids.is_empty() {
+                    return true;
+                }
+                let qs: Vec<String> = uuids
+                    .iter()
+                    .map(|u| format!("uuid={}", ceems_http::url::encode_component(u)))
+                    .collect();
+                let url = format!("{}/api/v1/verify?{}", base_url, qs.join("&"));
+                client
+                    .clone()
+                    .with_header("X-Grafana-User", user)
+                    .get(&url)
+                    .map(|r| r.status.is_success())
+                    .unwrap_or(false)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_all() {
+        let a = Authorizer::AllowAll;
+        assert!(a.verify("anyone", &["slurm-1".into()]));
+    }
+
+    #[test]
+    fn api_authorizer_fails_closed_when_unreachable() {
+        let a = Authorizer::api("http://127.0.0.1:1");
+        assert!(!a.verify("alice", &["slurm-1".into()]));
+        // Empty uuid list never needs the backend.
+        assert!(a.verify("alice", &[]));
+    }
+}

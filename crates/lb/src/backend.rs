@@ -1,0 +1,220 @@
+//! TSDB backend pool and balancing strategies.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ceems_http::Client;
+
+/// One TSDB replica behind the LB.
+pub struct Backend {
+    /// Backend id (for logs/metrics).
+    pub id: String,
+    /// Base URL, e.g. `http://127.0.0.1:9090`.
+    pub base_url: String,
+    healthy: AtomicBool,
+    active: AtomicUsize,
+    served: AtomicU64,
+}
+
+impl Backend {
+    /// Creates a backend assumed healthy.
+    pub fn new(id: impl Into<String>, base_url: impl Into<String>) -> Arc<Backend> {
+        Arc::new(Backend {
+            id: id.into(),
+            base_url: base_url.into(),
+            healthy: AtomicBool::new(true),
+            active: AtomicUsize::new(0),
+            served: AtomicU64::new(0),
+        })
+    }
+
+    /// Health flag.
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Relaxed)
+    }
+
+    /// Sets the health flag.
+    pub fn set_healthy(&self, ok: bool) {
+        self.healthy.store(ok, Ordering::Relaxed);
+    }
+
+    /// In-flight request count.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Total requests served.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Marks a request in flight; the guard releases on drop.
+    pub fn begin(self: &Arc<Self>) -> InFlight {
+        self.active.fetch_add(1, Ordering::Relaxed);
+        self.served.fetch_add(1, Ordering::Relaxed);
+        InFlight {
+            backend: self.clone(),
+        }
+    }
+}
+
+/// RAII guard for an in-flight proxied request.
+pub struct InFlight {
+    backend: Arc<Backend>,
+}
+
+impl Drop for InFlight {
+    fn drop(&mut self) {
+        self.backend.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Balancing strategy (§II.B.c names both).
+#[derive(Debug)]
+pub enum Strategy {
+    /// Rotate through healthy backends.
+    RoundRobin(AtomicUsize),
+    /// Pick the healthy backend with the fewest in-flight requests.
+    LeastConnection,
+}
+
+impl Strategy {
+    /// Round-robin starting at 0.
+    pub fn round_robin() -> Strategy {
+        Strategy::RoundRobin(AtomicUsize::new(0))
+    }
+}
+
+/// The pool.
+pub struct BackendPool {
+    backends: Vec<Arc<Backend>>,
+    strategy: Strategy,
+}
+
+impl BackendPool {
+    /// Creates a pool.
+    pub fn new(backends: Vec<Arc<Backend>>, strategy: Strategy) -> BackendPool {
+        BackendPool { backends, strategy }
+    }
+
+    /// All backends.
+    pub fn backends(&self) -> &[Arc<Backend>] {
+        &self.backends
+    }
+
+    /// Picks a healthy backend, or `None` when all are down.
+    pub fn pick(&self) -> Option<Arc<Backend>> {
+        let healthy: Vec<&Arc<Backend>> =
+            self.backends.iter().filter(|b| b.is_healthy()).collect();
+        if healthy.is_empty() {
+            return None;
+        }
+        match &self.strategy {
+            Strategy::RoundRobin(counter) => {
+                let i = counter.fetch_add(1, Ordering::Relaxed) % healthy.len();
+                Some(healthy[i].clone())
+            }
+            Strategy::LeastConnection => healthy
+                .into_iter()
+                .min_by_key(|b| b.active())
+                .cloned(),
+        }
+    }
+
+    /// Probes every backend's Prometheus API and updates health flags.
+    /// Returns the number of healthy backends.
+    pub fn health_check(&self, client: &Client) -> usize {
+        let mut healthy = 0;
+        for b in &self.backends {
+            let ok = client
+                .get(&format!("{}/api/v1/labels", b.base_url))
+                .map(|r| r.status.is_success())
+                .unwrap_or(false);
+            b.set_healthy(ok);
+            if ok {
+                healthy += 1;
+            }
+        }
+        healthy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(strategy: Strategy) -> BackendPool {
+        BackendPool::new(
+            vec![
+                Backend::new("a", "http://a"),
+                Backend::new("b", "http://b"),
+                Backend::new("c", "http://c"),
+            ],
+            strategy,
+        )
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let p = pool(Strategy::round_robin());
+        let picks: Vec<String> = (0..6).map(|_| p.pick().unwrap().id.clone()).collect();
+        assert_eq!(picks, vec!["a", "b", "c", "a", "b", "c"]);
+    }
+
+    #[test]
+    fn round_robin_skips_unhealthy() {
+        let p = pool(Strategy::round_robin());
+        p.backends()[1].set_healthy(false);
+        let picks: Vec<String> = (0..4).map(|_| p.pick().unwrap().id.clone()).collect();
+        assert!(!picks.contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn all_down_yields_none() {
+        let p = pool(Strategy::round_robin());
+        for b in p.backends() {
+            b.set_healthy(false);
+        }
+        assert!(p.pick().is_none());
+    }
+
+    #[test]
+    fn least_connection_prefers_idle() {
+        let p = pool(Strategy::LeastConnection);
+        let a = p.backends()[0].clone();
+        let _guard1 = a.begin();
+        let _guard2 = a.begin();
+        let b = p.backends()[1].clone();
+        let _guard3 = b.begin();
+        // c has 0 in flight.
+        assert_eq!(p.pick().unwrap().id, "c");
+        drop(_guard3);
+        // After c picks up two, b (1 dropped to 0) wins.
+        let c = p.backends()[2].clone();
+        let _g4 = c.begin();
+        let _g5 = c.begin();
+        assert_eq!(p.pick().unwrap().id, "b");
+    }
+
+    #[test]
+    fn inflight_guard_releases() {
+        let b = Backend::new("x", "http://x");
+        {
+            let _g = b.begin();
+            assert_eq!(b.active(), 1);
+        }
+        assert_eq!(b.active(), 0);
+        assert_eq!(b.served(), 1);
+    }
+
+    #[test]
+    fn health_check_marks_dead_backends() {
+        let p = BackendPool::new(
+            vec![Backend::new("dead", "http://127.0.0.1:1")],
+            Strategy::round_robin(),
+        );
+        let n = p.health_check(&Client::new());
+        assert_eq!(n, 0);
+        assert!(!p.backends()[0].is_healthy());
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! CEEMS load balancer (S13 in `DESIGN.md`).
+//!
+//! §II.B.c: Prometheus + Grafana lack access control — any user with read
+//! access to the data source can query anyone's metrics. The CEEMS LB fixes
+//! that as a reverse proxy in front of the TSDB replicas:
+//!
+//! * [`introspect`] — extracts the compute-unit uuids a PromQL query
+//!   touches.
+//! * [`backend`] — the backend pool with health checks and the two
+//!   balancing strategies the paper names (round-robin, least-connection).
+//! * [`acl`] — ownership verification, either directly against the API
+//!   server's DB or through its `/api/v1/verify` endpoint.
+//! * [`proxy`] — the LB itself: authenticate via `X-Grafana-User`,
+//!   introspect, verify, then proxy.
+
+pub mod acl;
+pub mod backend;
+pub mod introspect;
+pub mod proxy;
+
+pub use backend::{Backend, BackendPool, Strategy};
+pub use proxy::{CeemsLb, LbConfig};

@@ -1,0 +1,393 @@
+//! The reverse proxy.
+//!
+//! Flow per request (§II.B.c): read the user from `X-Grafana-User` → for
+//! query endpoints, introspect the PromQL for unit uuids → verify ownership
+//! (admins skip) → pick a backend by strategy → forward and relay the
+//! response. Unscoped or unverifiable queries are forbidden for non-admins:
+//! the LB fails closed.
+
+use std::sync::Arc;
+
+use ceems_http::{Client, HttpServer, Request, Response, Router, ServerConfig, Status};
+
+use crate::acl::Authorizer;
+use crate::backend::BackendPool;
+use crate::introspect::{introspect, Introspection};
+
+/// LB configuration.
+#[derive(Default)]
+pub struct LbConfig {
+    /// Users allowed to run unscoped queries (operators).
+    pub admin_users: Vec<String>,
+}
+
+
+/// The load balancer.
+pub struct CeemsLb {
+    pool: BackendPool,
+    authorizer: Authorizer,
+    config: LbConfig,
+    client: Client,
+}
+
+impl CeemsLb {
+    /// Creates the LB.
+    pub fn new(pool: BackendPool, authorizer: Authorizer, config: LbConfig) -> CeemsLb {
+        CeemsLb {
+            pool,
+            authorizer,
+            config,
+            client: Client::new(),
+        }
+    }
+
+    /// The backend pool (health checks, stats).
+    pub fn pool(&self) -> &BackendPool {
+        &self.pool
+    }
+
+    fn is_admin(&self, user: &str) -> bool {
+        self.config.admin_users.iter().any(|a| a == user)
+    }
+
+    /// Authorizes one request; returns an error response when denied.
+    fn authorize(&self, req: &Request) -> Result<(), Response> {
+        let Some(user) = req.header("x-grafana-user").map(str::to_string) else {
+            return Err(Response::error(
+                Status::UNAUTHORIZED,
+                "missing X-Grafana-User header",
+            ));
+        };
+        if self.is_admin(&user) {
+            return Ok(());
+        }
+
+        // Which expressions does this request evaluate?
+        let mut exprs: Vec<&str> = Vec::new();
+        if req.path.ends_with("/query") || req.path.ends_with("/query_range") {
+            match req.query_param("query") {
+                Some(q) => exprs.push(q),
+                None => return Ok(()), // no expression; backend will 400
+            }
+        } else if req.path.ends_with("/series") || req.path.ends_with("/delete_series") {
+            exprs.extend(req.query_params("match[]"));
+            if req.path.ends_with("/delete_series") {
+                return Err(Response::error(
+                    Status::FORBIDDEN,
+                    "admin endpoint requires an admin user",
+                ));
+            }
+        } else {
+            // Metadata endpoints (labels, status) carry no per-unit data.
+            return Ok(());
+        }
+
+        let mut uuids = Vec::new();
+        for q in exprs {
+            match introspect(q) {
+                Introspection::Units(u) => uuids.extend(u),
+                Introspection::Unscoped => {
+                    return Err(Response::error(
+                        Status::FORBIDDEN,
+                        "query is not scoped to your compute units (add a uuid matcher)",
+                    ))
+                }
+                Introspection::Unverifiable => {
+                    return Err(Response::error(
+                        Status::FORBIDDEN,
+                        "query ownership could not be verified",
+                    ))
+                }
+            }
+        }
+        uuids.sort();
+        uuids.dedup();
+        if self.authorizer.verify(&user, &uuids) {
+            Ok(())
+        } else {
+            Err(Response::error(
+                Status::FORBIDDEN,
+                "compute unit does not belong to you",
+            ))
+        }
+    }
+
+    /// Handles one request end to end.
+    pub fn handle(&self, req: &Request) -> Response {
+        if let Err(denied) = self.authorize(req) {
+            return denied;
+        }
+        let Some(backend) = self.pool.pick() else {
+            return Response::error(Status::UNAVAILABLE, "no healthy TSDB backend");
+        };
+        let _inflight = backend.begin();
+        let url = format!("{}{}", backend.base_url, req.path_and_query());
+        let mut client = self.client.clone();
+        if let Some(u) = req.header("x-grafana-user") {
+            client = client.with_header("X-Grafana-User", u);
+        }
+        match client.request(req.method, &url, req.body.clone(), req.header("content-type")) {
+            Ok(mut resp) => {
+                resp.headers
+                    .insert("x-ceems-lb-backend".to_string(), backend.id.clone());
+                resp
+            }
+            Err(e) => Response::error(Status::BAD_GATEWAY, format!("backend error: {e}")),
+        }
+    }
+
+    /// Builds the proxy router (`/*rest` → handle).
+    pub fn router(self: &Arc<Self>) -> Router {
+        let mut router = Router::new();
+        for method in [
+            ceems_http::Method::Get,
+            ceems_http::Method::Post,
+            ceems_http::Method::Delete,
+        ] {
+            let me = self.clone();
+            router.route(method, "/*rest", move |req| me.handle(req));
+        }
+        router
+    }
+
+    /// Serves the LB on an ephemeral port.
+    pub fn serve(self: &Arc<Self>) -> std::io::Result<HttpServer> {
+        HttpServer::serve(ServerConfig::ephemeral(), self.router())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Backend, Strategy};
+    use ceems_metrics::labels;
+    use ceems_tsdb::httpapi::api_router;
+    use ceems_tsdb::Tsdb;
+    use parking_lot::Mutex;
+
+    use ceems_apiserver::metrics_source::TsdbLocalSource;
+    use ceems_apiserver::rm::{ResourceManagerClient, UnitInfo};
+    use ceems_apiserver::updater::{Updater, UpdaterConfig};
+    use ceems_relstore::Db;
+
+    struct OneUnitRm;
+
+    impl ResourceManagerClient for OneUnitRm {
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+        fn units_since(&self, _s: i64) -> Vec<UnitInfo> {
+            vec![UnitInfo {
+                uuid: "slurm-1".into(),
+                resource_manager: "slurm".into(),
+                user: "alice".into(),
+                project: "p".into(),
+                partition: "cpu".into(),
+                state: "RUNNING".into(),
+                submitted_at_ms: 0,
+                started_at_ms: Some(0),
+                ended_at_ms: None,
+                nnodes: 1,
+                ncpus: 4,
+                ngpus: 0,
+            }]
+        }
+    }
+
+    fn updater_with_unit() -> Arc<Mutex<Updater>> {
+        let dir = std::env::temp_dir().join(format!(
+            "ceems-lb-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let mut upd = Updater::new(
+            Db::open(&dir).unwrap(),
+            Arc::new(OneUnitRm),
+            Arc::new(TsdbLocalSource::new(Arc::new(Tsdb::default()))),
+            None,
+            UpdaterConfig::default(),
+        )
+        .unwrap();
+        upd.poll(1000).unwrap();
+        Arc::new(Mutex::new(upd))
+    }
+
+    fn tsdb_server() -> (ceems_http::HttpServer, Arc<Tsdb>) {
+        let db = Arc::new(Tsdb::default());
+        for i in 0..10i64 {
+            db.append(
+                &labels! {"__name__" => "watts", "uuid" => "slurm-1"},
+                i * 15_000,
+                100.0,
+            );
+            db.append(
+                &labels! {"__name__" => "watts", "uuid" => "slurm-2"},
+                i * 15_000,
+                200.0,
+            );
+        }
+        let router = api_router(db.clone(), Arc::new(|| 135_000));
+        let server = HttpServer::serve(ServerConfig::ephemeral(), router).unwrap();
+        (server, db)
+    }
+
+    fn lb_over(backends: Vec<Arc<Backend>>, strategy: Strategy) -> Arc<CeemsLb> {
+        Arc::new(CeemsLb::new(
+            BackendPool::new(backends, strategy),
+            Authorizer::DirectDb(updater_with_unit()),
+            LbConfig {
+                admin_users: vec!["root".into()],
+            },
+        ))
+    }
+
+    fn get(url: &str, user: Option<&str>) -> Response {
+        let mut c = Client::new();
+        if let Some(u) = user {
+            c = c.with_header("X-Grafana-User", u);
+        }
+        c.get(url).unwrap()
+    }
+
+    #[test]
+    fn owned_unit_query_passes_through() {
+        let (tsdb_srv, _db) = tsdb_server();
+        let lb = lb_over(
+            vec![Backend::new("b1", tsdb_srv.base_url())],
+            Strategy::round_robin(),
+        );
+        let lb_srv = lb.serve().unwrap();
+        let resp = get(
+            &format!(
+                "{}/api/v1/query?query=watts%7Buuid%3D%22slurm-1%22%7D",
+                lb_srv.base_url()
+            ),
+            Some("alice"),
+        );
+        assert_eq!(resp.status, Status::OK, "body: {}", resp.body_string());
+        assert!(resp.body_string().contains("slurm-1"));
+        assert_eq!(resp.header("x-ceems-lb-backend"), Some("b1"));
+        lb_srv.shutdown();
+        tsdb_srv.shutdown();
+    }
+
+    #[test]
+    fn foreign_unit_forbidden() {
+        let (tsdb_srv, _db) = tsdb_server();
+        let lb = lb_over(
+            vec![Backend::new("b1", tsdb_srv.base_url())],
+            Strategy::round_robin(),
+        );
+        let lb_srv = lb.serve().unwrap();
+        let url = format!(
+            "{}/api/v1/query?query=watts%7Buuid%3D%22slurm-2%22%7D",
+            lb_srv.base_url()
+        );
+        assert_eq!(get(&url, Some("alice")).status, Status::FORBIDDEN);
+        // Admin may read anything.
+        assert_eq!(get(&url, Some("root")).status, Status::OK);
+        // Missing identity → 401.
+        assert_eq!(get(&url, None).status, Status::UNAUTHORIZED);
+        lb_srv.shutdown();
+        tsdb_srv.shutdown();
+    }
+
+    #[test]
+    fn unscoped_and_unverifiable_fail_closed() {
+        let (tsdb_srv, _db) = tsdb_server();
+        let lb = lb_over(
+            vec![Backend::new("b1", tsdb_srv.base_url())],
+            Strategy::round_robin(),
+        );
+        let lb_srv = lb.serve().unwrap();
+        let unscoped = format!("{}/api/v1/query?query=watts", lb_srv.base_url());
+        assert_eq!(get(&unscoped, Some("alice")).status, Status::FORBIDDEN);
+        assert_eq!(get(&unscoped, Some("root")).status, Status::OK);
+        let wild = format!(
+            "{}/api/v1/query?query=watts%7Buuid%3D~%22slurm-.%2A%22%7D",
+            lb_srv.base_url()
+        );
+        assert_eq!(get(&wild, Some("alice")).status, Status::FORBIDDEN);
+        // Admin delete endpoint blocked for non-admins.
+        let del = format!(
+            "{}/api/v1/admin/tsdb/delete_series?match[]=watts",
+            lb_srv.base_url()
+        );
+        let resp = Client::new()
+            .with_header("X-Grafana-User", "alice")
+            .post(&del, Vec::new(), "application/json")
+            .unwrap();
+        assert_eq!(resp.status, Status::FORBIDDEN);
+        lb_srv.shutdown();
+        tsdb_srv.shutdown();
+    }
+
+    #[test]
+    fn round_robin_spreads_load_and_failover() {
+        let (srv1, _d1) = tsdb_server();
+        let (srv2, _d2) = tsdb_server();
+        let lb = lb_over(
+            vec![
+                Backend::new("b1", srv1.base_url()),
+                Backend::new("b2", srv2.base_url()),
+            ],
+            Strategy::round_robin(),
+        );
+        let lb_srv = lb.serve().unwrap();
+        let url = format!(
+            "{}/api/v1/query?query=watts%7Buuid%3D%22slurm-1%22%7D",
+            lb_srv.base_url()
+        );
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..4 {
+            let resp = get(&url, Some("alice"));
+            assert_eq!(resp.status, Status::OK);
+            seen.insert(resp.header("x-ceems-lb-backend").unwrap().to_string());
+        }
+        assert_eq!(seen.len(), 2);
+
+        // Kill one backend; health check should route everything to the other.
+        srv2.shutdown();
+        lb.pool().health_check(&Client::new());
+        for _ in 0..3 {
+            let resp = get(&url, Some("alice"));
+            assert_eq!(resp.status, Status::OK);
+            assert_eq!(resp.header("x-ceems-lb-backend"), Some("b1"));
+        }
+        lb_srv.shutdown();
+        srv1.shutdown();
+    }
+
+    #[test]
+    fn metadata_endpoints_pass_without_uuid() {
+        let (tsdb_srv, _db) = tsdb_server();
+        let lb = lb_over(
+            vec![Backend::new("b1", tsdb_srv.base_url())],
+            Strategy::round_robin(),
+        );
+        let lb_srv = lb.serve().unwrap();
+        let resp = get(&format!("{}/api/v1/labels", lb_srv.base_url()), Some("alice"));
+        assert_eq!(resp.status, Status::OK);
+        lb_srv.shutdown();
+        tsdb_srv.shutdown();
+    }
+
+    #[test]
+    fn all_backends_down_is_503() {
+        let lb = lb_over(vec![Backend::new("b1", "http://127.0.0.1:1")], Strategy::round_robin());
+        lb.pool().backends()[0].set_healthy(false);
+        let lb_srv = lb.serve().unwrap();
+        let resp = get(
+            &format!(
+                "{}/api/v1/query?query=watts%7Buuid%3D%22slurm-1%22%7D",
+                lb_srv.base_url()
+            ),
+            Some("alice"),
+        );
+        assert_eq!(resp.status, Status::UNAVAILABLE);
+        lb_srv.shutdown();
+    }
+}

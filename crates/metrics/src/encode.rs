@@ -1,0 +1,156 @@
+//! Text exposition format encoder (the `/metrics` wire format).
+
+use std::fmt::Write as _;
+
+use crate::model::{MetricFamily, MetricType};
+
+/// Escapes a label value for the exposition format (`\\`, `\"`, `\n`).
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a HELP string (`\\` and `\n` only, per the format spec).
+pub fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a sample value the way Prometheus does.
+pub fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        // Shortest representation that round-trips.
+        let mut s = format!("{}", v);
+        if !s.contains('.') && !s.contains('e') && !s.contains("Inf") && !s.contains("NaN") {
+            // Keep integers unadorned, matching Prometheus output.
+            return s;
+        }
+        if s.ends_with(".0") {
+            s.truncate(s.len() - 2);
+        }
+        s
+    }
+}
+
+/// Encodes families into the text exposition format.
+///
+/// Families are assumed pre-sorted (the registry sorts them); metrics are
+/// emitted in their stored order.
+pub fn encode_families(families: &[MetricFamily]) -> String {
+    let mut out = String::with_capacity(families.len() * 128);
+    encode_families_into(families, &mut out);
+    out
+}
+
+/// Encodes into a caller-provided buffer (lets the exporter reuse its scrape
+/// buffer across requests).
+pub fn encode_families_into(families: &[MetricFamily], out: &mut String) {
+    for fam in families {
+        if !fam.help.is_empty() {
+            let _ = writeln!(out, "# HELP {} {}", fam.name, escape_help(&fam.help));
+        }
+        if fam.metric_type != MetricType::Untyped {
+            let _ = writeln!(out, "# TYPE {} {}", fam.name, fam.metric_type.as_str());
+        }
+        for m in &fam.metrics {
+            out.push_str(&fam.name);
+            out.push_str(m.name_suffix);
+            if !m.labels.is_empty() {
+                out.push('{');
+                let mut first = true;
+                for (k, v) in m.labels.iter() {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    let _ = write!(out, "{}=\"{}\"", k, escape_label_value(v));
+                }
+                out.push('}');
+            }
+            out.push(' ');
+            out.push_str(&format_value(m.sample.value));
+            if let Some(ts) = m.sample.timestamp_ms {
+                let _ = write!(out, " {}", ts);
+            }
+            out.push('\n');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels;
+    use crate::model::{Metric, MetricFamily, MetricType, Sample};
+
+    #[test]
+    fn encode_basic_family() {
+        let fam = MetricFamily::new(
+            "ceems_rapl_package_joules_total",
+            "RAPL package energy",
+            MetricType::Counter,
+        )
+        .with_metric(labels! {"package" => "0"}, 1234.5)
+        .with_metric(labels! {"package" => "1"}, 6789.0);
+        let text = encode_families(&[fam]);
+        assert_eq!(
+            text,
+            "# HELP ceems_rapl_package_joules_total RAPL package energy\n\
+             # TYPE ceems_rapl_package_joules_total counter\n\
+             ceems_rapl_package_joules_total{package=\"0\"} 1234.5\n\
+             ceems_rapl_package_joules_total{package=\"1\"} 6789\n"
+        );
+    }
+
+    #[test]
+    fn encode_no_labels_and_timestamp() {
+        let mut fam = MetricFamily::new("up", "", MetricType::Gauge);
+        fam.metrics
+            .push(Metric::new(labels! {}, Sample::at(1.0, 1700000000000)));
+        let text = encode_families(&[fam]);
+        assert_eq!(text, "# TYPE up gauge\nup 1 1700000000000\n");
+    }
+
+    #[test]
+    fn encode_suffix_and_escapes() {
+        let mut fam = MetricFamily::new("lat", "a\nb\\c", MetricType::Histogram);
+        fam.metrics.push(Metric::suffixed(
+            labels! {"le" => "0.5", "path" => "a\"b"},
+            Sample::now(3.0),
+            "_bucket",
+        ));
+        let text = encode_families(&[fam]);
+        assert!(text.contains("# HELP lat a\\nb\\\\c\n"));
+        assert!(text.contains("lat_bucket{le=\"0.5\",path=\"a\\\"b\"} 3\n"));
+    }
+
+    #[test]
+    fn special_values() {
+        assert_eq!(format_value(f64::NAN), "NaN");
+        assert_eq!(format_value(f64::INFINITY), "+Inf");
+        assert_eq!(format_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(format_value(0.0), "0");
+        assert_eq!(format_value(-2.25), "-2.25");
+    }
+}

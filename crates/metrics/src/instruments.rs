@@ -1,0 +1,651 @@
+//! Thread-safe metric instruments: counters, gauges, histograms and their
+//! labelled variants.
+//!
+//! Values are stored as `f64` bits in `AtomicU64`s so reads never lock and
+//! increments are a short CAS loop, keeping the exporter's hot path (the
+//! paper claims µs-scale scrape CPU cost) allocation- and lock-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+use crate::labels::LabelSet;
+use crate::model::{Metric, MetricFamily, MetricType, Sample};
+use crate::registry::Collector;
+
+/// Lock-free f64 cell.
+#[derive(Debug, Default)]
+struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    fn new(v: f64) -> Self {
+        AtomicF64(AtomicU64::new(v.to_bits()))
+    }
+
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    inner: Arc<AtomicF64>,
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter {
+            inner: Arc::new(AtomicF64::new(0.0)),
+        }
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Increments by `delta`. Negative deltas are ignored (counters are
+    /// monotonic by contract).
+    pub fn add(&self, delta: f64) {
+        if delta >= 0.0 {
+            self.inner.add(delta);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.inner.get()
+    }
+}
+
+/// A gauge that can move in both directions.
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    inner: Arc<AtomicF64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge {
+            inner: Arc::new(AtomicF64::new(0.0)),
+        }
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.inner.set(v);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: f64) {
+        self.inner.add(delta);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.inner.get()
+    }
+}
+
+/// A cumulative histogram with fixed upper bounds.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistogramCore>,
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    sum: AtomicF64,
+    total: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given bucket upper bounds (sorted
+    /// ascending; a `+Inf` bucket is implicit).
+    pub fn new(mut bounds: Vec<f64>) -> Self {
+        bounds.sort_by(|a, b| a.partial_cmp(b).expect("histogram bound must not be NaN"));
+        bounds.dedup();
+        let counts = (0..bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            inner: Arc::new(HistogramCore {
+                bounds,
+                counts,
+                sum: AtomicF64::new(0.0),
+                total: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Exponential bucket helper: `start, start*factor, ...` (`count` bounds).
+    pub fn exponential_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
+        let mut v = Vec::with_capacity(count);
+        let mut b = start;
+        for _ in 0..count {
+            v.push(b);
+            b *= factor;
+        }
+        v
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        for (i, &bound) in self.inner.bounds.iter().enumerate() {
+            if v <= bound {
+                self.inner.counts[i].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.inner.sum.add(v);
+        self.inner.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.inner.sum.get()
+    }
+
+    /// Renders the histogram into `_bucket`/`_sum`/`_count` metrics with the
+    /// given base labels.
+    pub fn render(&self, base: &LabelSet) -> Vec<Metric> {
+        let mut out = Vec::with_capacity(self.inner.bounds.len() + 3);
+        for (i, &bound) in self.inner.bounds.iter().enumerate() {
+            let le = format_bound(bound);
+            out.push(Metric::suffixed(
+                base.with("le", le),
+                Sample::now(self.inner.counts[i].load(Ordering::Relaxed) as f64),
+                "_bucket",
+            ));
+        }
+        out.push(Metric::suffixed(
+            base.with("le", "+Inf"),
+            Sample::now(self.count() as f64),
+            "_bucket",
+        ));
+        out.push(Metric::suffixed(base.clone(), Sample::now(self.sum()), "_sum"));
+        out.push(Metric::suffixed(
+            base.clone(),
+            Sample::now(self.count() as f64),
+            "_count",
+        ));
+        out
+    }
+}
+
+fn format_bound(b: f64) -> String {
+    if b == b.trunc() && b.abs() < 1e15 {
+        format!("{:.1}", b)
+    } else {
+        format!("{}", b)
+    }
+}
+
+/// A family of labelled metrics of type `T`, keyed by label values.
+#[derive(Clone)]
+pub struct MetricVec<T> {
+    name: String,
+    help: String,
+    metric_type: MetricType,
+    label_names: Vec<String>,
+    children: Arc<RwLock<HashMap<Vec<String>, T>>>,
+    make: fn() -> T,
+}
+
+/// Counter family keyed by label values.
+pub type CounterVec = MetricVec<Counter>;
+/// Gauge family keyed by label values.
+pub type GaugeVec = MetricVec<Gauge>;
+
+impl<T: Clone> MetricVec<T> {
+    fn new_inner(
+        name: impl Into<String>,
+        help: impl Into<String>,
+        metric_type: MetricType,
+        label_names: &[&str],
+        make: fn() -> T,
+    ) -> Self {
+        MetricVec {
+            name: name.into(),
+            help: help.into(),
+            metric_type,
+            label_names: label_names.iter().map(|s| s.to_string()).collect(),
+            children: Arc::new(RwLock::new(HashMap::new())),
+            make,
+        }
+    }
+
+    /// Gets or creates the child for the given label values (must match the
+    /// declared label names in number and order).
+    pub fn with_label_values(&self, values: &[&str]) -> T {
+        assert_eq!(
+            values.len(),
+            self.label_names.len(),
+            "label value count mismatch for {}",
+            self.name
+        );
+        let key: Vec<String> = values.iter().map(|s| s.to_string()).collect();
+        if let Some(c) = self.children.read().get(&key) {
+            return c.clone();
+        }
+        let mut w = self.children.write();
+        w.entry(key).or_insert_with(|| (self.make)()).clone()
+    }
+
+    /// Removes the child with the given label values; returns true if it
+    /// existed. Used by collectors when workloads disappear.
+    pub fn remove_label_values(&self, values: &[&str]) -> bool {
+        let key: Vec<String> = values.iter().map(|s| s.to_string()).collect();
+        self.children.write().remove(&key).is_some()
+    }
+
+    /// Drops all children.
+    pub fn reset(&self) {
+        self.children.write().clear();
+    }
+
+    /// Number of live children.
+    pub fn child_count(&self) -> usize {
+        self.children.read().len()
+    }
+
+    fn label_set_for(&self, values: &[String]) -> LabelSet {
+        LabelSet::from_pairs(
+            self.label_names
+                .iter()
+                .zip(values.iter())
+                .map(|(k, v)| (k.clone(), v.clone())),
+        )
+    }
+}
+
+impl CounterVec {
+    /// Creates a counter family.
+    pub fn new(name: impl Into<String>, help: impl Into<String>, label_names: &[&str]) -> Self {
+        MetricVec::new_inner(name, help, MetricType::Counter, label_names, Counter::new)
+    }
+}
+
+impl GaugeVec {
+    /// Creates a gauge family.
+    pub fn new(name: impl Into<String>, help: impl Into<String>, label_names: &[&str]) -> Self {
+        MetricVec::new_inner(name, help, MetricType::Gauge, label_names, Gauge::new)
+    }
+}
+
+impl Collector for CounterVec {
+    fn collect(&self) -> Vec<MetricFamily> {
+        let children = self.children.read();
+        let mut fam = MetricFamily::new(self.name.clone(), self.help.clone(), self.metric_type);
+        for (values, c) in children.iter() {
+            fam.metrics
+                .push(Metric::new(self.label_set_for(values), Sample::now(c.get())));
+        }
+        fam.metrics.sort_by(|a, b| a.labels.cmp(&b.labels));
+        vec![fam]
+    }
+}
+
+impl Collector for GaugeVec {
+    fn collect(&self) -> Vec<MetricFamily> {
+        let children = self.children.read();
+        let mut fam = MetricFamily::new(self.name.clone(), self.help.clone(), self.metric_type);
+        for (values, g) in children.iter() {
+            fam.metrics
+                .push(Metric::new(self.label_set_for(values), Sample::now(g.get())));
+        }
+        fam.metrics.sort_by(|a, b| a.labels.cmp(&b.labels));
+        vec![fam]
+    }
+}
+
+/// Histogram family keyed by label values.
+#[derive(Clone)]
+pub struct HistogramVec {
+    name: String,
+    help: String,
+    label_names: Vec<String>,
+    bounds: Vec<f64>,
+    children: Arc<RwLock<HashMap<Vec<String>, Histogram>>>,
+}
+
+impl HistogramVec {
+    /// Creates a histogram family with shared bucket bounds.
+    pub fn new(
+        name: impl Into<String>,
+        help: impl Into<String>,
+        label_names: &[&str],
+        bounds: Vec<f64>,
+    ) -> Self {
+        HistogramVec {
+            name: name.into(),
+            help: help.into(),
+            label_names: label_names.iter().map(|s| s.to_string()).collect(),
+            bounds,
+            children: Arc::new(RwLock::new(HashMap::new())),
+        }
+    }
+
+    /// Gets or creates the child histogram for the given label values.
+    pub fn with_label_values(&self, values: &[&str]) -> Histogram {
+        assert_eq!(values.len(), self.label_names.len());
+        let key: Vec<String> = values.iter().map(|s| s.to_string()).collect();
+        if let Some(c) = self.children.read().get(&key) {
+            return c.clone();
+        }
+        let mut w = self.children.write();
+        w.entry(key)
+            .or_insert_with(|| Histogram::new(self.bounds.clone()))
+            .clone()
+    }
+}
+
+impl Collector for HistogramVec {
+    fn collect(&self) -> Vec<MetricFamily> {
+        let children = self.children.read();
+        let mut fam = MetricFamily::new(self.name.clone(), self.help.clone(), MetricType::Histogram);
+        let mut keys: Vec<_> = children.keys().cloned().collect();
+        keys.sort();
+        for key in keys {
+            let h = &children[&key];
+            let base = LabelSet::from_pairs(
+                self.label_names
+                    .iter()
+                    .zip(key.iter())
+                    .map(|(k, v)| (k.clone(), v.clone())),
+            );
+            fam.metrics.extend(h.render(&base));
+        }
+        vec![fam]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels;
+
+    #[test]
+    fn counter_monotonic() {
+        let c = Counter::new();
+        c.inc();
+        c.add(2.5);
+        c.add(-5.0); // ignored
+        assert_eq!(c.get(), 3.5);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(10.0);
+        g.add(-3.0);
+        assert_eq!(g.get(), 7.0);
+    }
+
+    #[test]
+    fn concurrent_counter_adds() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000.0);
+    }
+
+    #[test]
+    fn histogram_buckets_cumulative() {
+        let h = Histogram::new(vec![1.0, 5.0, 10.0]);
+        for v in [0.5, 2.0, 7.0, 20.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 29.5).abs() < 1e-9);
+        let rendered = h.render(&labels! {"x" => "y"});
+        // 3 bounds + inf bucket + sum + count
+        assert_eq!(rendered.len(), 6);
+        let bucket_vals: Vec<f64> = rendered[..4].iter().map(|m| m.sample.value).collect();
+        assert_eq!(bucket_vals, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn exponential_buckets() {
+        let b = Histogram::exponential_buckets(1.0, 2.0, 4);
+        assert_eq!(b, vec![1.0, 2.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn vec_children_and_removal() {
+        let cv = CounterVec::new("jobs_total", "jobs", &["user", "state"]);
+        cv.with_label_values(&["alice", "running"]).inc();
+        cv.with_label_values(&["bob", "running"]).add(2.0);
+        assert_eq!(cv.child_count(), 2);
+        assert!(cv.remove_label_values(&["alice", "running"]));
+        assert!(!cv.remove_label_values(&["alice", "running"]));
+        assert_eq!(cv.child_count(), 1);
+
+        let fams = cv.collect();
+        assert_eq!(fams.len(), 1);
+        assert_eq!(fams[0].metrics.len(), 1);
+        assert_eq!(fams[0].metrics[0].labels.get("user"), Some("bob"));
+    }
+
+    #[test]
+    #[should_panic(expected = "label value count mismatch")]
+    fn vec_label_count_mismatch_panics() {
+        let cv = CounterVec::new("x", "x", &["a", "b"]);
+        cv.with_label_values(&["only-one"]);
+    }
+}
+
+/// A sliding-window quantile summary (the fourth exposition metric type).
+///
+/// Keeps the most recent `window` observations in a ring buffer and renders
+/// configured quantiles plus `_sum`/`_count`, matching how client libraries
+/// implement summaries (exact within the window, unlike the bucketed
+/// approximation of a histogram).
+#[derive(Clone)]
+pub struct Summary {
+    inner: Arc<parking_lot::Mutex<SummaryCore>>,
+}
+
+struct SummaryCore {
+    quantiles: Vec<f64>,
+    window: usize,
+    ring: Vec<f64>,
+    next: usize,
+    filled: bool,
+    sum: f64,
+    count: u64,
+}
+
+impl Summary {
+    /// Creates a summary tracking the given quantiles over a window of the
+    /// most recent `window` observations.
+    pub fn new(quantiles: Vec<f64>, window: usize) -> Summary {
+        assert!(window > 0, "summary window must be non-empty");
+        assert!(
+            quantiles.iter().all(|q| (0.0..=1.0).contains(q)),
+            "quantiles must be in [0, 1]"
+        );
+        Summary {
+            inner: Arc::new(parking_lot::Mutex::new(SummaryCore {
+                quantiles,
+                window,
+                ring: Vec::with_capacity(window),
+                next: 0,
+                filled: false,
+                sum: 0.0,
+                count: 0,
+            })),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let mut core = self.inner.lock();
+        if core.ring.len() < core.window && !core.filled {
+            core.ring.push(v);
+            if core.ring.len() == core.window {
+                core.filled = true;
+            }
+        } else {
+            let at = core.next;
+            core.ring[at] = v;
+        }
+        core.next = (core.next + 1) % core.window;
+        core.sum += v;
+        core.count += 1;
+    }
+
+    /// Total observations ever recorded.
+    pub fn count(&self) -> u64 {
+        self.inner.lock().count
+    }
+
+    /// Current value of a quantile over the window (`None` when empty).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let core = self.inner.lock();
+        if core.ring.is_empty() {
+            return None;
+        }
+        let mut sorted = core.ring.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        Some(sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64))
+    }
+
+    /// Renders quantile series plus `_sum`/`_count` with the base labels.
+    pub fn render(&self, base: &LabelSet) -> Vec<Metric> {
+        let core = self.inner.lock();
+        let mut out = Vec::with_capacity(core.quantiles.len() + 2);
+        drop(core);
+        let quantiles = self.inner.lock().quantiles.clone();
+        for q in quantiles {
+            if let Some(v) = self.quantile(q) {
+                out.push(Metric::new(
+                    base.with("quantile", format!("{q}")),
+                    Sample::now(v),
+                ));
+            }
+        }
+        let core = self.inner.lock();
+        out.push(Metric::suffixed(base.clone(), Sample::now(core.sum), "_sum"));
+        out.push(Metric::suffixed(
+            base.clone(),
+            Sample::now(core.count as f64),
+            "_count",
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod summary_tests {
+    use super::*;
+    use crate::labels;
+
+    #[test]
+    fn quantiles_over_window() {
+        let s = Summary::new(vec![0.5, 0.9], 100);
+        for i in 1..=100 {
+            s.observe(i as f64);
+        }
+        assert_eq!(s.count(), 100);
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((p50 - 50.5).abs() < 1.0, "p50={p50}");
+        let p90 = s.quantile(0.9).unwrap();
+        assert!((p90 - 90.1).abs() < 1.0, "p90={p90}");
+        assert_eq!(s.quantile(0.0).unwrap(), 1.0);
+        assert_eq!(s.quantile(1.0).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn window_slides() {
+        let s = Summary::new(vec![0.5], 10);
+        for _ in 0..10 {
+            s.observe(1.0);
+        }
+        assert_eq!(s.quantile(0.5).unwrap(), 1.0);
+        // Overwrite the whole window with a new regime.
+        for _ in 0..10 {
+            s.observe(100.0);
+        }
+        assert_eq!(s.quantile(0.5).unwrap(), 100.0);
+        assert_eq!(s.count(), 20); // count is lifetime, not window
+    }
+
+    #[test]
+    fn render_shape() {
+        let s = Summary::new(vec![0.5, 0.99], 10);
+        s.observe(2.0);
+        s.observe(4.0);
+        let out = s.render(&labels! {"handler" => "/metrics"});
+        // 2 quantiles + sum + count.
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].labels.get("quantile"), Some("0.5"));
+        assert_eq!(out[2].name_suffix, "_sum");
+        assert_eq!(out[2].sample.value, 6.0);
+        assert_eq!(out[3].sample.value, 2.0);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new(vec![0.5], 4);
+        assert!(s.quantile(0.5).is_none());
+        let out = s.render(&labels! {});
+        assert_eq!(out.len(), 2); // just sum + count
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn zero_window_panics() {
+        Summary::new(vec![0.5], 0);
+    }
+}

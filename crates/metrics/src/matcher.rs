@@ -1,0 +1,162 @@
+//! Label matchers (`=`, `!=`, `=~`, `!~`) used by TSDB selectors.
+
+use crate::labels::LabelSet;
+use crate::regexlite::{Regex, RegexError};
+
+/// Matcher operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatchOp {
+    /// `=` exact equality.
+    Eq,
+    /// `!=` inequality.
+    Ne,
+    /// `=~` anchored regex match.
+    Re,
+    /// `!~` anchored regex non-match.
+    Nre,
+}
+
+impl MatchOp {
+    /// Renders the operator as PromQL syntax.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MatchOp::Eq => "=",
+            MatchOp::Ne => "!=",
+            MatchOp::Re => "=~",
+            MatchOp::Nre => "!~",
+        }
+    }
+}
+
+/// A single `name <op> "value"` matcher.
+#[derive(Clone, Debug)]
+pub struct LabelMatcher {
+    /// Label name the matcher applies to.
+    pub name: String,
+    /// Operator.
+    pub op: MatchOp,
+    /// Right-hand side (literal or pattern).
+    pub value: String,
+    regex: Option<Regex>,
+}
+
+impl PartialEq for LabelMatcher {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.op == other.op && self.value == other.value
+    }
+}
+
+impl LabelMatcher {
+    /// Builds a matcher, compiling the pattern for regex ops.
+    pub fn new(name: impl Into<String>, op: MatchOp, value: impl Into<String>) -> Result<Self, RegexError> {
+        let value = value.into();
+        let regex = match op {
+            MatchOp::Re | MatchOp::Nre => Some(Regex::new(&value)?),
+            _ => None,
+        };
+        Ok(LabelMatcher {
+            name: name.into(),
+            op,
+            value,
+            regex,
+        })
+    }
+
+    /// Equality matcher helper.
+    pub fn eq(name: impl Into<String>, value: impl Into<String>) -> Self {
+        LabelMatcher::new(name, MatchOp::Eq, value).expect("eq matcher cannot fail")
+    }
+
+    /// Tests a single label value (absent labels are the empty string, as in
+    /// Prometheus).
+    pub fn matches_value(&self, v: &str) -> bool {
+        match self.op {
+            MatchOp::Eq => v == self.value,
+            MatchOp::Ne => v != self.value,
+            MatchOp::Re => self.regex.as_ref().is_some_and(|r| r.is_match(v)),
+            MatchOp::Nre => self.regex.as_ref().is_none_or(|r| !r.is_match(v)),
+        }
+    }
+
+    /// Tests a full label set.
+    pub fn matches(&self, labels: &LabelSet) -> bool {
+        self.matches_value(labels.get(&self.name).unwrap_or(""))
+    }
+
+    /// True when the matcher can only be satisfied by one exact value —
+    /// usable for index lookups instead of scans.
+    pub fn is_exact(&self) -> bool {
+        self.op == MatchOp::Eq && !self.value.is_empty()
+    }
+}
+
+impl std::fmt::Display for LabelMatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}{}\"{}\"",
+            self.name,
+            self.op.as_str(),
+            crate::encode::escape_label_value(&self.value)
+        )
+    }
+}
+
+/// Tests all matchers against a label set.
+pub fn matches_all(matchers: &[LabelMatcher], labels: &LabelSet) -> bool {
+    matchers.iter().all(|m| m.matches(labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels;
+
+    #[test]
+    fn eq_and_ne() {
+        let ls = labels! {"job" => "ceems", "instance" => "n1"};
+        assert!(LabelMatcher::eq("job", "ceems").matches(&ls));
+        assert!(!LabelMatcher::eq("job", "other").matches(&ls));
+        let ne = LabelMatcher::new("job", MatchOp::Ne, "other").unwrap();
+        assert!(ne.matches(&ls));
+    }
+
+    #[test]
+    fn absent_label_is_empty_string() {
+        let ls = labels! {"a" => "1"};
+        assert!(LabelMatcher::eq("missing", "").matches(&ls));
+        let re = LabelMatcher::new("missing", MatchOp::Re, ".*").unwrap();
+        assert!(re.matches(&ls));
+        let re2 = LabelMatcher::new("missing", MatchOp::Re, ".+").unwrap();
+        assert!(!re2.matches(&ls));
+    }
+
+    #[test]
+    fn regex_ops() {
+        let ls = labels! {"node" => "gpu-a100-17"};
+        let re = LabelMatcher::new("node", MatchOp::Re, "gpu-(v100|a100|h100)-\\d+").unwrap();
+        assert!(re.matches(&ls));
+        let nre = LabelMatcher::new("node", MatchOp::Nre, "cpu-.*").unwrap();
+        assert!(nre.matches(&ls));
+    }
+
+    #[test]
+    fn invalid_regex_rejected() {
+        assert!(LabelMatcher::new("a", MatchOp::Re, "(unclosed").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip_syntax() {
+        let m = LabelMatcher::new("uuid", MatchOp::Re, "123|456").unwrap();
+        assert_eq!(format!("{}", m), "uuid=~\"123|456\"");
+    }
+
+    #[test]
+    fn matches_all_conjunction() {
+        let ls = labels! {"a" => "1", "b" => "2"};
+        let ms = vec![LabelMatcher::eq("a", "1"), LabelMatcher::eq("b", "2")];
+        assert!(matches_all(&ms, &ls));
+        let ms2 = vec![LabelMatcher::eq("a", "1"), LabelMatcher::eq("b", "3")];
+        assert!(!matches_all(&ms2, &ls));
+    }
+}

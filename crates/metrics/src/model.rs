@@ -1,0 +1,172 @@
+//! Metric families, samples and metric types.
+
+use serde::{Deserialize, Serialize};
+
+use crate::labels::LabelSet;
+
+/// The type of a metric family, as declared by `# TYPE` in the exposition
+/// format.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum MetricType {
+    /// Monotonically increasing value (resets to zero on restart).
+    Counter,
+    /// Arbitrary value that can go up and down.
+    Gauge,
+    /// Cumulative histogram exposed as `_bucket`/`_sum`/`_count` series.
+    Histogram,
+    /// Quantile summary exposed as quantile series plus `_sum`/`_count`.
+    Summary,
+    /// Type not declared.
+    Untyped,
+}
+
+impl MetricType {
+    /// The keyword used in the `# TYPE` comment.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricType::Counter => "counter",
+            MetricType::Gauge => "gauge",
+            MetricType::Histogram => "histogram",
+            MetricType::Summary => "summary",
+            MetricType::Untyped => "untyped",
+        }
+    }
+
+    /// Parses a `# TYPE` keyword.
+    pub fn from_str_loose(s: &str) -> MetricType {
+        match s {
+            "counter" => MetricType::Counter,
+            "gauge" => MetricType::Gauge,
+            "histogram" => MetricType::Histogram,
+            "summary" => MetricType::Summary,
+            _ => MetricType::Untyped,
+        }
+    }
+}
+
+/// A single sampled value with an optional millisecond timestamp.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Sample {
+    /// Sample value.
+    pub value: f64,
+    /// Milliseconds since the epoch; `None` means "scrape time".
+    pub timestamp_ms: Option<i64>,
+}
+
+impl Sample {
+    /// A sample without an explicit timestamp.
+    pub fn now(value: f64) -> Self {
+        Sample {
+            value,
+            timestamp_ms: None,
+        }
+    }
+
+    /// A sample at an explicit timestamp.
+    pub fn at(value: f64, timestamp_ms: i64) -> Self {
+        Sample {
+            value,
+            timestamp_ms: Some(timestamp_ms),
+        }
+    }
+}
+
+/// One labelled instance inside a family.
+///
+/// Histograms and summaries are flattened into plain samples by the
+/// instruments layer before they reach this representation (matching the
+/// wire format, where `_bucket`, `_sum` and `_count` are separate series).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Metric {
+    /// Labels excluding the metric name.
+    pub labels: LabelSet,
+    /// The sampled value.
+    pub sample: Sample,
+    /// Optional suffix appended to the family name on the wire
+    /// (e.g. `_bucket`, `_sum`, `_count`). Empty for plain metrics.
+    pub name_suffix: &'static str,
+}
+
+impl Metric {
+    /// Creates a plain metric (no name suffix).
+    pub fn new(labels: LabelSet, sample: Sample) -> Self {
+        Metric {
+            labels,
+            sample,
+            name_suffix: "",
+        }
+    }
+
+    /// Creates a metric whose on-wire name is `family_name + suffix`.
+    pub fn suffixed(labels: LabelSet, sample: Sample, suffix: &'static str) -> Self {
+        Metric {
+            labels,
+            sample,
+            name_suffix: suffix,
+        }
+    }
+}
+
+/// A named group of metrics sharing a type and help string.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MetricFamily {
+    /// Metric family name, e.g. `ceems_compute_unit_cpu_user_seconds_total`.
+    pub name: String,
+    /// Human-readable help text.
+    pub help: String,
+    /// Declared type.
+    pub metric_type: MetricType,
+    /// Labelled instances.
+    pub metrics: Vec<Metric>,
+}
+
+impl MetricFamily {
+    /// Creates an empty family.
+    pub fn new(
+        name: impl Into<String>,
+        help: impl Into<String>,
+        metric_type: MetricType,
+    ) -> Self {
+        MetricFamily {
+            name: name.into(),
+            help: help.into(),
+            metric_type,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Adds a plain metric and returns `self` for chaining.
+    pub fn with_metric(mut self, labels: LabelSet, value: f64) -> Self {
+        self.metrics.push(Metric::new(labels, Sample::now(value)));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels;
+
+    #[test]
+    fn family_builder() {
+        let fam = MetricFamily::new("up", "target up", MetricType::Gauge)
+            .with_metric(labels! {"instance" => "n1"}, 1.0)
+            .with_metric(labels! {"instance" => "n2"}, 0.0);
+        assert_eq!(fam.metrics.len(), 2);
+        assert_eq!(fam.metric_type.as_str(), "gauge");
+    }
+
+    #[test]
+    fn type_roundtrip() {
+        for t in [
+            MetricType::Counter,
+            MetricType::Gauge,
+            MetricType::Histogram,
+            MetricType::Summary,
+            MetricType::Untyped,
+        ] {
+            assert_eq!(MetricType::from_str_loose(t.as_str()), t);
+        }
+        assert_eq!(MetricType::from_str_loose("bogus"), MetricType::Untyped);
+    }
+}

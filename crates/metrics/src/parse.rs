@@ -1,0 +1,322 @@
+//! Text exposition format parser, used by the TSDB scraper.
+//!
+//! The parser is line-oriented and tolerant in the same ways Prometheus'
+//! scrape parser is: unknown comment lines are skipped, families may appear
+//! without HELP/TYPE, and samples are returned flat (histogram `_bucket`
+//! series are just samples with a `le` label).
+
+use std::collections::HashMap;
+
+use crate::labels::{LabelSet, LabelSetBuilder};
+use crate::model::MetricType;
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedSample {
+    /// On-wire metric name (including any `_bucket`-style suffix).
+    pub name: String,
+    /// Labels excluding the name.
+    pub labels: LabelSet,
+    /// Value.
+    pub value: f64,
+    /// Optional explicit timestamp in milliseconds.
+    pub timestamp_ms: Option<i64>,
+}
+
+/// Parse failure with 1-based line number.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exposition parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result of parsing a scrape body.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedScrape {
+    /// All samples in document order.
+    pub samples: Vec<ParsedSample>,
+    /// Declared types by family name.
+    pub types: HashMap<String, MetricType>,
+    /// Declared help strings by family name.
+    pub help: HashMap<String, String>,
+}
+
+/// Parses a full text-format document.
+pub fn parse_text(body: &str) -> Result<ParsedScrape, ParseError> {
+    let mut out = ParsedScrape::default();
+    for (idx, raw) in body.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix("TYPE ") {
+                let mut parts = rest.splitn(2, ' ');
+                let name = parts.next().unwrap_or("").to_string();
+                let ty = parts.next().unwrap_or("untyped").trim();
+                out.types.insert(name, MetricType::from_str_loose(ty));
+            } else if let Some(rest) = rest.strip_prefix("HELP ") {
+                let mut parts = rest.splitn(2, ' ');
+                let name = parts.next().unwrap_or("").to_string();
+                let help = unescape_help(parts.next().unwrap_or(""));
+                out.help.insert(name, help);
+            }
+            continue;
+        }
+        out.samples.push(parse_sample_line(line, lineno)?);
+    }
+    Ok(out)
+}
+
+fn unescape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn parse_sample_line(line: &str, lineno: usize) -> Result<ParsedSample, ParseError> {
+    let err = |m: &str| ParseError {
+        line: lineno,
+        message: m.to_string(),
+    };
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    // Metric name.
+    let start = i;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    if i == start {
+        return Err(err("expected metric name"));
+    }
+    let name = line[start..i].to_string();
+
+    // Optional labels.
+    let mut builder = LabelSetBuilder::new();
+    if i < bytes.len() && bytes[i] == b'{' {
+        i += 1;
+        loop {
+            // Skip whitespace.
+            while i < bytes.len() && bytes[i] == b' ' {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'}' {
+                i += 1;
+                break;
+            }
+            // Label name.
+            let ls = i;
+            while i < bytes.len() {
+                let c = bytes[i] as char;
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            if i == ls {
+                return Err(err("expected label name"));
+            }
+            let lname = line[ls..i].to_string();
+            if i >= bytes.len() || bytes[i] != b'=' {
+                return Err(err("expected '=' after label name"));
+            }
+            i += 1;
+            if i >= bytes.len() || bytes[i] != b'"' {
+                return Err(err("expected '\"' starting label value"));
+            }
+            i += 1;
+            let mut value = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(err("unterminated label value"));
+                }
+                match bytes[i] {
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    b'\\' => {
+                        i += 1;
+                        if i >= bytes.len() {
+                            return Err(err("dangling escape in label value"));
+                        }
+                        match bytes[i] {
+                            b'n' => value.push('\n'),
+                            b'\\' => value.push('\\'),
+                            b'"' => value.push('"'),
+                            other => {
+                                value.push('\\');
+                                value.push(other as char);
+                            }
+                        }
+                        i += 1;
+                    }
+                    _ => {
+                        // Consume one UTF-8 char.
+                        let rest = &line[i..];
+                        let c = rest.chars().next().unwrap();
+                        value.push(c);
+                        i += c.len_utf8();
+                    }
+                }
+            }
+            builder = builder.label(lname, value);
+            // After a pair: ',' or '}'.
+            while i < bytes.len() && bytes[i] == b' ' {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b',' {
+                i += 1;
+                continue;
+            }
+            if i < bytes.len() && bytes[i] == b'}' {
+                i += 1;
+                break;
+            }
+            return Err(err("expected ',' or '}' in label set"));
+        }
+    }
+
+    // Value.
+    let rest = line[i..].trim_start();
+    if rest.is_empty() {
+        return Err(err("missing sample value"));
+    }
+    let mut parts = rest.split_whitespace();
+    let vstr = parts.next().unwrap();
+    let value = parse_value(vstr).ok_or_else(|| err(&format!("bad value {vstr:?}")))?;
+    let timestamp_ms = match parts.next() {
+        None => None,
+        Some(t) => Some(
+            t.parse::<i64>()
+                .map_err(|_| err(&format!("bad timestamp {t:?}")))?,
+        ),
+    };
+    if parts.next().is_some() {
+        return Err(err("trailing garbage after timestamp"));
+    }
+
+    Ok(ParsedSample {
+        name,
+        labels: builder.build(),
+        value,
+        timestamp_ms,
+    })
+}
+
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "NaN" => Some(f64::NAN),
+        "+Inf" | "Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        _ => s.parse::<f64>().ok(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_families;
+    use crate::labels;
+    use crate::model::{Metric, MetricFamily, MetricType, Sample};
+
+    #[test]
+    fn parse_simple() {
+        let doc = "# HELP up is up\n# TYPE up gauge\nup{instance=\"n1\"} 1\nup{instance=\"n2\"} 0 1700000000000\n";
+        let parsed = parse_text(doc).unwrap();
+        assert_eq!(parsed.samples.len(), 2);
+        assert_eq!(parsed.types["up"], MetricType::Gauge);
+        assert_eq!(parsed.help["up"], "is up");
+        assert_eq!(parsed.samples[0].labels.get("instance"), Some("n1"));
+        assert_eq!(parsed.samples[1].timestamp_ms, Some(1700000000000));
+    }
+
+    #[test]
+    fn parse_no_labels_and_special_values() {
+        let doc = "a 1\nb NaN\nc +Inf\nd -Inf\ne 1e3\n";
+        let parsed = parse_text(doc).unwrap();
+        assert_eq!(parsed.samples.len(), 5);
+        assert!(parsed.samples[1].value.is_nan());
+        assert_eq!(parsed.samples[2].value, f64::INFINITY);
+        assert_eq!(parsed.samples[4].value, 1000.0);
+    }
+
+    #[test]
+    fn parse_escaped_label_values() {
+        let doc = "m{p=\"a\\\"b\\nc\\\\d\"} 2\n";
+        let parsed = parse_text(doc).unwrap();
+        assert_eq!(parsed.samples[0].labels.get("p"), Some("a\"b\nc\\d"));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let doc = "good 1\n{oops} 2\n";
+        let e = parse_text(doc).unwrap_err();
+        assert_eq!(e.line, 2);
+
+        assert!(parse_text("m{a=} 1\n").is_err());
+        assert!(parse_text("m{a=\"x} 1\n").is_err());
+        assert!(parse_text("m 1 2 3\n").is_err());
+        assert!(parse_text("m notanumber\n").is_err());
+        assert!(parse_text("m{a=\"x\"\"b\"} 1\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_encoder() {
+        let mut fam = MetricFamily::new("lat", "latency", MetricType::Histogram);
+        fam.metrics.push(Metric::suffixed(
+            labels! {"le" => "0.5"},
+            Sample::now(3.0),
+            "_bucket",
+        ));
+        fam.metrics
+            .push(Metric::suffixed(labels! {}, Sample::now(42.5), "_sum"));
+        let text = encode_families(&[fam]);
+        let parsed = parse_text(&text).unwrap();
+        assert_eq!(parsed.samples.len(), 2);
+        assert_eq!(parsed.samples[0].name, "lat_bucket");
+        assert_eq!(parsed.samples[1].name, "lat_sum");
+        assert_eq!(parsed.samples[1].value, 42.5);
+        assert_eq!(parsed.types["lat"], MetricType::Histogram);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let doc = "\n# arbitrary comment\n# EOF\nx 1\n\n";
+        let parsed = parse_text(doc).unwrap();
+        assert_eq!(parsed.samples.len(), 1);
+    }
+}

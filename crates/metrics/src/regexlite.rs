@@ -1,0 +1,407 @@
+//! A small anchored regular-expression engine for label matching.
+//!
+//! Prometheus anchors `=~`/`!~` patterns at both ends; this engine does the
+//! same: [`Regex::is_match`] is a *full-string* match. Supported syntax:
+//!
+//! * literals, `.` (any char), escapes `\.` `\\` `\*` `\+` `\?` `\(` `\)`
+//!   `\[` `\]` `\|` `\d` `\w` `\s`
+//! * postfix `*`, `+`, `?`
+//! * character classes `[abc]`, ranges `[a-z0-9]`, negation `[^...]`
+//! * grouping `(...)` and alternation `a|b`
+//!
+//! Implementation: recursive-descent parse to an AST, backtracking matcher.
+//! Pathological patterns can backtrack exponentially; CEEMS only feeds it
+//! operator-written selector patterns, the same trust model Prometheus has
+//! for recording rules.
+
+use std::fmt;
+
+/// Parse error for an invalid pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegexError(pub String);
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid pattern: {}", self.0)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Node {
+    /// Sequence of nodes matched in order.
+    Seq(Vec<Node>),
+    /// Alternation.
+    Alt(Vec<Node>),
+    /// One literal char.
+    Char(char),
+    /// Any char.
+    Dot,
+    /// Character class.
+    Class { negated: bool, items: Vec<ClassItem> },
+    /// node{0,∞}
+    Star(Box<Node>),
+    /// node{1,∞}
+    Plus(Box<Node>),
+    /// node{0,1}
+    Opt(Box<Node>),
+    /// Empty match.
+    Empty,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum ClassItem {
+    Single(char),
+    Range(char, char),
+    Digit,
+    Word,
+    Space,
+}
+
+/// A compiled pattern with full-string match semantics.
+#[derive(Clone, Debug)]
+pub struct Regex {
+    root: Node,
+    pattern: String,
+}
+
+impl Regex {
+    /// Compiles a pattern.
+    pub fn new(pattern: &str) -> Result<Regex, RegexError> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut p = Parser { chars, pos: 0 };
+        let root = p.parse_alt()?;
+        if p.pos != p.chars.len() {
+            return Err(RegexError(format!(
+                "unexpected {:?} at offset {}",
+                p.chars[p.pos], p.pos
+            )));
+        }
+        Ok(Regex {
+            root,
+            pattern: pattern.to_string(),
+        })
+    }
+
+    /// The original pattern string.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Full-string match.
+    pub fn is_match(&self, input: &str) -> bool {
+        let chars: Vec<char> = input.chars().collect();
+        match_node(&self.root, &chars, 0, &mut |pos| pos == chars.len())
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alt(&mut self) -> Result<Node, RegexError> {
+        let mut branches = vec![self.parse_seq()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_seq()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().unwrap())
+        } else {
+            Ok(Node::Alt(branches))
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Node, RegexError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        match items.len() {
+            0 => Ok(Node::Empty),
+            1 => Ok(items.pop().unwrap()),
+            _ => Ok(Node::Seq(items)),
+        }
+    }
+
+    fn parse_repeat(&mut self) -> Result<Node, RegexError> {
+        let atom = self.parse_atom()?;
+        match self.peek() {
+            Some('*') => {
+                self.bump();
+                Ok(Node::Star(Box::new(atom)))
+            }
+            Some('+') => {
+                self.bump();
+                Ok(Node::Plus(Box::new(atom)))
+            }
+            Some('?') => {
+                self.bump();
+                Ok(Node::Opt(Box::new(atom)))
+            }
+            _ => Ok(atom),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, RegexError> {
+        match self.bump() {
+            None => Err(RegexError("unexpected end of pattern".into())),
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(RegexError("unclosed group".into()));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.parse_class(),
+            Some('.') => Ok(Node::Dot),
+            Some('\\') => match self.bump() {
+                None => Err(RegexError("dangling escape".into())),
+                Some('d') => Ok(Node::Class {
+                    negated: false,
+                    items: vec![ClassItem::Digit],
+                }),
+                Some('w') => Ok(Node::Class {
+                    negated: false,
+                    items: vec![ClassItem::Word],
+                }),
+                Some('s') => Ok(Node::Class {
+                    negated: false,
+                    items: vec![ClassItem::Space],
+                }),
+                Some(c) => Ok(Node::Char(c)),
+            },
+            Some(c @ ('*' | '+' | '?')) => {
+                Err(RegexError(format!("quantifier {c:?} with nothing to repeat")))
+            }
+            Some(')') => Err(RegexError("unbalanced ')'".into())),
+            Some(']') => Ok(Node::Char(']')),
+            Some(c) => Ok(Node::Char(c)),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Node, RegexError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut items = Vec::new();
+        loop {
+            match self.bump() {
+                None => return Err(RegexError("unclosed character class".into())),
+                Some(']') if !items.is_empty() || negated => break,
+                Some(']') => {
+                    // Leading ']' is a literal.
+                    items.push(ClassItem::Single(']'));
+                }
+                Some('\\') => match self.bump() {
+                    None => return Err(RegexError("dangling escape in class".into())),
+                    Some('d') => items.push(ClassItem::Digit),
+                    Some('w') => items.push(ClassItem::Word),
+                    Some('s') => items.push(ClassItem::Space),
+                    Some(c) => items.push(ClassItem::Single(c)),
+                },
+                Some(c) => {
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).copied().is_some_and(|n| n != ']')
+                    {
+                        self.bump(); // '-'
+                        let hi = self.bump().ok_or_else(|| {
+                            RegexError("unclosed range in character class".into())
+                        })?;
+                        if hi < c {
+                            return Err(RegexError(format!("inverted range {c}-{hi}")));
+                        }
+                        items.push(ClassItem::Range(c, hi));
+                    } else {
+                        items.push(ClassItem::Single(c));
+                    }
+                }
+            }
+        }
+        Ok(Node::Class { negated, items })
+    }
+}
+
+fn class_matches(negated: bool, items: &[ClassItem], c: char) -> bool {
+    let hit = items.iter().any(|item| match *item {
+        ClassItem::Single(s) => s == c,
+        ClassItem::Range(lo, hi) => (lo..=hi).contains(&c),
+        ClassItem::Digit => c.is_ascii_digit(),
+        ClassItem::Word => c.is_ascii_alphanumeric() || c == '_',
+        ClassItem::Space => c.is_whitespace(),
+    });
+    hit != negated
+}
+
+/// Backtracking matcher in continuation-passing style: `k(pos)` is invoked
+/// with every position the node can end at.
+fn match_node(node: &Node, input: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    match node {
+        Node::Empty => k(pos),
+        Node::Char(c) => pos < input.len() && input[pos] == *c && k(pos + 1),
+        Node::Dot => pos < input.len() && k(pos + 1),
+        Node::Class { negated, items } => {
+            pos < input.len() && class_matches(*negated, items, input[pos]) && k(pos + 1)
+        }
+        Node::Seq(nodes) => match_seq(nodes, input, pos, k),
+        Node::Alt(branches) => branches.iter().any(|b| match_node(b, input, pos, k)),
+        Node::Opt(inner) => match_node(inner, input, pos, k) || k(pos),
+        Node::Star(inner) => match_star(inner, input, pos, k),
+        Node::Plus(inner) => {
+            match_node(inner, input, pos, &mut |p| {
+                // Guard against zero-width inner matches looping forever.
+                if p == pos {
+                    return k(p);
+                }
+                match_star(inner, input, p, k)
+            })
+        }
+    }
+}
+
+fn match_star(
+    inner: &Node,
+    input: &[char],
+    pos: usize,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    // Greedy: try consuming more first, then fall back to stopping here.
+    if match_node(inner, input, pos, &mut |p| p != pos && match_star(inner, input, p, k)) {
+        return true;
+    }
+    k(pos)
+}
+
+fn match_seq(
+    nodes: &[Node],
+    input: &[char],
+    pos: usize,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    match nodes.split_first() {
+        None => k(pos),
+        Some((head, rest)) => match_node(head, input, pos, &mut |p| match_seq(rest, input, p, k)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, s: &str) -> bool {
+        Regex::new(pat).unwrap().is_match(s)
+    }
+
+    #[test]
+    fn literals_are_fully_anchored() {
+        assert!(m("abc", "abc"));
+        assert!(!m("abc", "xabc"));
+        assert!(!m("abc", "abcx"));
+        assert!(!m("abc", "ab"));
+    }
+
+    #[test]
+    fn dot_star_plus_opt() {
+        assert!(m("a.c", "abc"));
+        assert!(!m("a.c", "ac"));
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbc"));
+        assert!(m("ab+c", "abc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("ab?c", "abc"));
+        assert!(!m("ab?c", "abbc"));
+        assert!(m(".*", ""));
+        assert!(m(".*", "anything at all"));
+    }
+
+    #[test]
+    fn classes() {
+        assert!(m("[abc]+", "cab"));
+        assert!(!m("[abc]+", "cad"));
+        assert!(m("[a-z0-9_]+", "node_42"));
+        assert!(m("[^0-9]+", "nodigits"));
+        assert!(!m("[^0-9]+", "has5digit"));
+        assert!(m("\\d+", "12345"));
+        assert!(m("\\w+", "a_b9"));
+        assert!(!m("\\d+", "12a"));
+        assert!(m("[-x]", "-"));
+        assert!(m("[]a]", "]"));
+    }
+
+    #[test]
+    fn groups_and_alternation() {
+        assert!(m("gpu(0|1|2)", "gpu1"));
+        assert!(!m("gpu(0|1|2)", "gpu3"));
+        assert!(m("(intel|amd)_node_\\d+", "amd_node_77"));
+        assert!(m("a(bc)*d", "ad"));
+        assert!(m("a(bc)*d", "abcbcd"));
+        assert!(m("", ""));
+        assert!(!m("", "x"));
+        assert!(m("a|", "a"));
+        assert!(m("a|", ""));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m("a\\.b", "a.b"));
+        assert!(!m("a\\.b", "axb"));
+        assert!(m("a\\\\b", "a\\b"));
+        assert!(m("\\(x\\)", "(x)"));
+    }
+
+    #[test]
+    fn slurm_job_patterns() {
+        // The kind of patterns the LB introspection uses.
+        let r = Regex::new("slurm-[0-9]+").unwrap();
+        assert!(r.is_match("slurm-123456"));
+        assert!(!r.is_match("slurm-"));
+        assert!(!r.is_match("openstack-abc"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::new("(a").is_err());
+        assert!(Regex::new("a)").is_err());
+        assert!(Regex::new("[a").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new("a\\").is_err());
+        assert!(Regex::new("[z-a]").is_err());
+    }
+
+    #[test]
+    fn zero_width_star_terminates() {
+        // (a?)* on a non-matching tail must not hang.
+        assert!(m("(a?)*b", "aaab"));
+        assert!(!m("(a?)*b", "aaac"));
+        assert!(m("(a*)*", "aaa"));
+    }
+
+    #[test]
+    fn unicode_input() {
+        assert!(m("héllo", "héllo"));
+        assert!(m(".", "é"));
+        assert!(!m("h.llo", "hllo"));
+    }
+}

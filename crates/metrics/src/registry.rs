@@ -1,0 +1,135 @@
+//! Collector trait and registry.
+//!
+//! The CEEMS exporter is structured as a set of named collectors that can be
+//! enabled or disabled from the command line; the registry mirrors that: it
+//! holds `(name, collector)` pairs and gathers all enabled families on each
+//! scrape.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::model::MetricFamily;
+
+/// Anything that can produce metric families on demand.
+pub trait Collector: Send + Sync {
+    /// Produces the current families. Called once per scrape.
+    fn collect(&self) -> Vec<MetricFamily>;
+}
+
+impl<F> Collector for F
+where
+    F: Fn() -> Vec<MetricFamily> + Send + Sync,
+{
+    fn collect(&self) -> Vec<MetricFamily> {
+        self()
+    }
+}
+
+struct Entry {
+    name: String,
+    enabled: bool,
+    collector: Arc<dyn Collector>,
+}
+
+/// A registry of named collectors.
+#[derive(Clone, Default)]
+pub struct Registry {
+    entries: Arc<RwLock<Vec<Entry>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a collector under a unique name, enabled by default.
+    ///
+    /// # Panics
+    /// Panics if the name is already registered (a registration bug).
+    pub fn register(&self, name: impl Into<String>, collector: Arc<dyn Collector>) {
+        let name = name.into();
+        let mut entries = self.entries.write();
+        assert!(
+            !entries.iter().any(|e| e.name == name),
+            "collector {name:?} registered twice"
+        );
+        entries.push(Entry {
+            name,
+            enabled: true,
+            collector,
+        });
+    }
+
+    /// Enables or disables a collector by name; returns false if unknown.
+    pub fn set_enabled(&self, name: &str, enabled: bool) -> bool {
+        let mut entries = self.entries.write();
+        match entries.iter_mut().find(|e| e.name == name) {
+            Some(e) => {
+                e.enabled = enabled;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Names of all registered collectors with their enabled state.
+    pub fn collector_names(&self) -> Vec<(String, bool)> {
+        self.entries
+            .read()
+            .iter()
+            .map(|e| (e.name.clone(), e.enabled))
+            .collect()
+    }
+
+    /// Gathers families from all enabled collectors, sorted by family name.
+    pub fn gather(&self) -> Vec<MetricFamily> {
+        let entries = self.entries.read();
+        let mut out: Vec<MetricFamily> = Vec::new();
+        for e in entries.iter().filter(|e| e.enabled) {
+            out.extend(e.collector.collect());
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels;
+    use crate::model::{MetricFamily, MetricType};
+
+    fn fam(name: &str, v: f64) -> Vec<MetricFamily> {
+        vec![MetricFamily::new(name, "t", MetricType::Gauge).with_metric(labels! {}, v)]
+    }
+
+    #[test]
+    fn gather_sorted_and_toggleable() {
+        let r = Registry::new();
+        r.register("b", Arc::new(move || fam("metric_b", 2.0)));
+        r.register("a", Arc::new(move || fam("metric_a", 1.0)));
+        let fams = r.gather();
+        assert_eq!(fams.len(), 2);
+        assert_eq!(fams[0].name, "metric_a");
+
+        assert!(r.set_enabled("b", false));
+        assert!(!r.set_enabled("zzz", false));
+        let fams = r.gather();
+        assert_eq!(fams.len(), 1);
+        assert_eq!(fams[0].name, "metric_a");
+        assert_eq!(
+            r.collector_names(),
+            vec![("b".to_string(), false), ("a".to_string(), true)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_name_panics() {
+        let r = Registry::new();
+        r.register("x", Arc::new(move || fam("m", 0.0)));
+        r.register("x", Arc::new(move || fam("m", 0.0)));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests on the exposition wire format: whatever the encoder
+//! emits, the parser must read back exactly (this is the exporter→scraper
+//! contract the whole stack rests on).
+
+use ceems_metrics::encode::encode_families;
+use ceems_metrics::labels::LabelSetBuilder;
+use ceems_metrics::model::{Metric, MetricFamily, MetricType, Sample};
+use ceems_metrics::parse::parse_text;
+use proptest::prelude::*;
+
+fn arb_label_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_]{0,12}"
+}
+
+fn arb_metric_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z_:][a-zA-Z0-9_:]{0,20}"
+}
+
+fn arb_label_value() -> impl Strategy<Value = String> {
+    // Arbitrary UTF-8 including quotes, backslashes and newlines — the
+    // escaping must handle all of it.
+    proptest::string::string_regex("[ -~é\\n\"\\\\]{0,16}").unwrap()
+}
+
+fn arb_family() -> impl Strategy<Value = MetricFamily> {
+    (
+        arb_metric_name(),
+        proptest::collection::vec((arb_label_name(), arb_label_value()), 0..4),
+        proptest::collection::vec(
+            (
+                prop_oneof![
+                    4 => proptest::num::f64::NORMAL,
+                    1 => Just(f64::INFINITY),
+                    1 => Just(f64::NEG_INFINITY),
+                    1 => Just(0.0),
+                ],
+                proptest::option::of(-1_000_000_000i64..1_000_000_000_000),
+            ),
+            1..4,
+        ),
+    )
+        .prop_map(|(name, label_pairs, samples)| {
+            let mut fam = MetricFamily::new(name, "prop test family", MetricType::Gauge);
+            for (i, (v, ts)) in samples.into_iter().enumerate() {
+                let mut b = LabelSetBuilder::new();
+                for (k, val) in &label_pairs {
+                    b = b.label(k.clone(), val.clone());
+                }
+                // Make instances distinct so series are well formed.
+                b = b.label("idx", i.to_string());
+                fam.metrics.push(Metric::new(
+                    b.build(),
+                    Sample {
+                        value: v,
+                        timestamp_ms: ts,
+                    },
+                ));
+            }
+            fam
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn encode_parse_roundtrip(families in proptest::collection::vec(arb_family(), 1..4)) {
+        let text = encode_families(&families);
+        let parsed = parse_text(&text).expect("encoder output must parse");
+
+        let want: usize = families.iter().map(|f| f.metrics.len()).sum();
+        prop_assert_eq!(parsed.samples.len(), want);
+
+        let mut i = 0;
+        for fam in &families {
+            prop_assert_eq!(parsed.types.get(&fam.name), Some(&MetricType::Gauge));
+            for m in &fam.metrics {
+                let got = &parsed.samples[i];
+                i += 1;
+                prop_assert_eq!(&got.name, &fam.name);
+                prop_assert_eq!(got.timestamp_ms, m.sample.timestamp_ms);
+                // Values survive through the shortest-roundtrip formatter.
+                prop_assert!(
+                    got.value == m.sample.value
+                        || (got.value.is_nan() && m.sample.value.is_nan()),
+                    "value {} != {}", got.value, m.sample.value
+                );
+                // Labels: every non-empty original label survives.
+                for (k, v) in m.labels.iter() {
+                    if !v.is_empty() {
+                        prop_assert_eq!(got.labels.get(k), Some(v), "label {}", k);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in "\\PC{0,256}") {
+        let _ = parse_text(&input); // must return, never panic
+    }
+
+    #[test]
+    fn label_matcher_regex_never_panics(pattern in "[ -~]{0,24}", input in "[ -~]{0,24}") {
+        if let Ok(re) = ceems_metrics::regexlite::Regex::new(&pattern) {
+            let _ = re.is_match(&input);
+        }
+    }
+}

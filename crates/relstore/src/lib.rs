@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! Embedded single-writer relational store (S6/S7 in `DESIGN.md`).
+//!
+//! The CEEMS API server stores compute units and their aggregate metrics in
+//! SQLite, continuously backed up by Litestream. This crate is the stand-in:
+//!
+//! * [`value`] / [`schema`] — typed values, rows and table schemas.
+//! * [`table`] — in-memory tables with a primary-key BTree and optional
+//!   secondary indices.
+//! * [`query`] — filter/projection/sort/limit queries and group-by
+//!   aggregation (the rollups behind Fig. 2a/2b).
+//! * [`wal`] — a JSON-lines write-ahead log with CRC-protected records and
+//!   segment rotation.
+//! * [`db`] — the database: single-writer discipline (the paper's stated
+//!   reason SQLite suffices), snapshot + WAL recovery.
+//! * [`backup`] — Litestream-style continuous WAL shipping into backup
+//!   generations, plus the API server's punctual snapshot backups.
+
+pub mod backup;
+pub mod db;
+pub mod query;
+pub mod schema;
+pub mod table;
+pub mod value;
+pub mod wal;
+
+pub use db::{Db, DbError};
+pub use query::{Aggregate, Filter, Order, Query};
+pub use schema::{Column, ColumnType, Schema};
+pub use table::Table;
+pub use value::{Row, Value};

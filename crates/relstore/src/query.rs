@@ -1,0 +1,410 @@
+//! Filters, queries and group-by aggregation.
+//!
+//! This is the slice of SQL the CEEMS API server actually issues: filtered
+//! selects over one table, ordered/limited listings (Fig. 2b), and group-by
+//! aggregates (Fig. 2a and the operator-side rollups).
+
+use std::collections::BTreeMap;
+
+use crate::table::Table;
+use crate::value::{Row, Value};
+
+/// A row predicate.
+#[derive(Clone, Debug)]
+pub enum Filter {
+    /// Always true.
+    True,
+    /// `col = v`
+    Eq(String, Value),
+    /// `col != v`
+    Ne(String, Value),
+    /// `col < v`
+    Lt(String, Value),
+    /// `col <= v`
+    Le(String, Value),
+    /// `col > v`
+    Gt(String, Value),
+    /// `col >= v`
+    Ge(String, Value),
+    /// Conjunction.
+    And(Vec<Filter>),
+    /// Disjunction.
+    Or(Vec<Filter>),
+    /// Negation.
+    Not(Box<Filter>),
+}
+
+impl Filter {
+    /// Evaluates the predicate against a row of `table`'s schema. Unknown
+    /// columns never match (comparisons against a missing column are false).
+    pub fn eval(&self, table: &Table, row: &Row) -> bool {
+        match self {
+            Filter::True => true,
+            Filter::Eq(c, v) => cmp(table, row, c, |o| o == std::cmp::Ordering::Equal, v),
+            Filter::Ne(c, v) => cmp(table, row, c, |o| o != std::cmp::Ordering::Equal, v),
+            Filter::Lt(c, v) => cmp(table, row, c, |o| o == std::cmp::Ordering::Less, v),
+            Filter::Le(c, v) => cmp(table, row, c, |o| o != std::cmp::Ordering::Greater, v),
+            Filter::Gt(c, v) => cmp(table, row, c, |o| o == std::cmp::Ordering::Greater, v),
+            Filter::Ge(c, v) => cmp(table, row, c, |o| o != std::cmp::Ordering::Less, v),
+            Filter::And(fs) => fs.iter().all(|f| f.eval(table, row)),
+            Filter::Or(fs) => fs.iter().any(|f| f.eval(table, row)),
+            Filter::Not(f) => !f.eval(table, row),
+        }
+    }
+
+    /// If the filter pins an indexed column to an exact value, returns it so
+    /// the executor can use the index instead of a scan.
+    fn index_hint<'f>(&'f self, table: &Table) -> Option<(&'f str, &'f Value)> {
+        match self {
+            Filter::Eq(c, v) if table.schema().indexed.iter().any(|i| i == c) => {
+                Some((c.as_str(), v))
+            }
+            Filter::And(fs) => fs.iter().find_map(|f| f.index_hint(table)),
+            _ => None,
+        }
+    }
+}
+
+fn cmp(
+    table: &Table,
+    row: &Row,
+    col: &str,
+    pred: impl Fn(std::cmp::Ordering) -> bool,
+    v: &Value,
+) -> bool {
+    match table.schema().col(col) {
+        Some(i) => pred(row[i].cmp(v)),
+        None => false,
+    }
+}
+
+/// Sort direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Order {
+    /// Ascending.
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// A select query against one table.
+#[derive(Clone, Debug)]
+pub struct Query {
+    /// Row predicate.
+    pub filter: Filter,
+    /// Projected column names; empty means all columns.
+    pub projection: Vec<String>,
+    /// Optional `(column, direction)` sort.
+    pub order_by: Option<(String, Order)>,
+    /// Optional row limit (applied after sorting).
+    pub limit: Option<usize>,
+}
+
+impl Default for Query {
+    fn default() -> Self {
+        Query {
+            filter: Filter::True,
+            projection: Vec::new(),
+            order_by: None,
+            limit: None,
+        }
+    }
+}
+
+impl Query {
+    /// A query returning everything.
+    pub fn all() -> Query {
+        Query::default()
+    }
+
+    /// Sets the filter.
+    pub fn filter(mut self, f: Filter) -> Query {
+        self.filter = f;
+        self
+    }
+
+    /// Sets the projection.
+    pub fn select(mut self, cols: &[&str]) -> Query {
+        self.projection = cols.iter().map(|c| c.to_string()).collect();
+        self
+    }
+
+    /// Sets the ordering.
+    pub fn order_by(mut self, col: &str, order: Order) -> Query {
+        self.order_by = Some((col.to_string(), order));
+        self
+    }
+
+    /// Sets the limit.
+    pub fn limit(mut self, n: usize) -> Query {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Executes against a table.
+    pub fn run(&self, table: &Table) -> Vec<Row> {
+        // Use a secondary index when the filter pins one.
+        let candidates: Vec<&Row> = match self.filter.index_hint(table) {
+            Some((col, v)) => table
+                .index_lookup(col, v)
+                .expect("index_hint only returns indexed columns"),
+            None => table.scan().collect(),
+        };
+        let mut rows: Vec<Row> = candidates
+            .into_iter()
+            .filter(|r| self.filter.eval(table, r))
+            .cloned()
+            .collect();
+
+        if let Some((col, order)) = &self.order_by {
+            if let Some(i) = table.schema().col(col) {
+                rows.sort_by(|a, b| {
+                    let o = a[i].cmp(&b[i]);
+                    match order {
+                        Order::Asc => o,
+                        Order::Desc => o.reverse(),
+                    }
+                });
+            }
+        }
+        if let Some(n) = self.limit {
+            rows.truncate(n);
+        }
+        if self.projection.is_empty() {
+            return rows;
+        }
+        let idxs: Vec<Option<usize>> = self
+            .projection
+            .iter()
+            .map(|c| table.schema().col(c))
+            .collect();
+        rows.into_iter()
+            .map(|r| {
+                idxs.iter()
+                    .map(|i| i.map(|i| r[i].clone()).unwrap_or(Value::Null))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// An aggregate function over a column.
+#[derive(Clone, Debug)]
+pub enum Aggregate {
+    /// Row count (column ignored).
+    Count,
+    /// Sum of a numeric column (NULLs skipped).
+    Sum(String),
+    /// Mean of a numeric column (NULLs skipped).
+    Avg(String),
+    /// Minimum (NULLs skipped).
+    Min(String),
+    /// Maximum (NULLs skipped).
+    Max(String),
+}
+
+/// Runs a group-by aggregation: rows matching `filter` are grouped by the
+/// values of `group_by` columns; each output row is the group key values
+/// followed by one value per aggregate.
+pub fn aggregate(
+    table: &Table,
+    filter: &Filter,
+    group_by: &[&str],
+    aggs: &[Aggregate],
+) -> Vec<Row> {
+    let key_idx: Vec<Option<usize>> = group_by.iter().map(|c| table.schema().col(c)).collect();
+    let mut groups: BTreeMap<Vec<Value>, Vec<&Row>> = BTreeMap::new();
+    for row in table.scan() {
+        if !filter.eval(table, row) {
+            continue;
+        }
+        let key: Vec<Value> = key_idx
+            .iter()
+            .map(|i| i.map(|i| row[i].clone()).unwrap_or(Value::Null))
+            .collect();
+        groups.entry(key).or_default().push(row);
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, rows) in groups {
+        let mut result: Row = key;
+        for agg in aggs {
+            result.push(eval_agg(table, agg, &rows));
+        }
+        out.push(result);
+    }
+    out
+}
+
+fn eval_agg(table: &Table, agg: &Aggregate, rows: &[&Row]) -> Value {
+    let numeric = |col: &str| -> Vec<f64> {
+        match table.schema().col(col) {
+            Some(i) => rows.iter().filter_map(|r| r[i].as_real()).collect(),
+            None => Vec::new(),
+        }
+    };
+    match agg {
+        Aggregate::Count => Value::Int(rows.len() as i64),
+        Aggregate::Sum(c) => Value::Real(numeric(c).iter().sum()),
+        Aggregate::Avg(c) => {
+            let v = numeric(c);
+            if v.is_empty() {
+                Value::Null
+            } else {
+                Value::Real(v.iter().sum::<f64>() / v.len() as f64)
+            }
+        }
+        Aggregate::Min(c) => numeric(c)
+            .into_iter()
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+            .map(Value::Real)
+            .unwrap_or(Value::Null),
+        Aggregate::Max(c) => numeric(c)
+            .into_iter()
+            .max_by(|a, b| a.partial_cmp(b).unwrap())
+            .map(Value::Real)
+            .unwrap_or(Value::Null),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType, Schema};
+
+    fn jobs_table() -> Table {
+        let mut t = Table::new(
+            Schema::new(
+                vec![
+                    Column::required("uuid", ColumnType::Text),
+                    Column::required("user", ColumnType::Text),
+                    Column::required("energy", ColumnType::Real),
+                    Column::required("ncpus", ColumnType::Int),
+                ],
+                "uuid",
+                &["user"],
+            )
+            .unwrap(),
+        );
+        for (uuid, user, energy, ncpus) in [
+            ("j1", "alice", 10.0, 4),
+            ("j2", "alice", 20.0, 8),
+            ("j3", "bob", 5.0, 2),
+            ("j4", "bob", 15.0, 16),
+            ("j5", "carol", 50.0, 32),
+        ] {
+            t.upsert(vec![
+                uuid.into(),
+                user.into(),
+                energy.into(),
+                Value::Int(ncpus),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn filtered_select_with_index() {
+        let t = jobs_table();
+        let rows = Query::all()
+            .filter(Filter::Eq("user".into(), "alice".into()))
+            .run(&t);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn compound_filters() {
+        let t = jobs_table();
+        let rows = Query::all()
+            .filter(Filter::And(vec![
+                Filter::Ge("energy".into(), Value::Real(10.0)),
+                Filter::Not(Box::new(Filter::Eq("user".into(), "carol".into()))),
+            ]))
+            .run(&t);
+        assert_eq!(rows.len(), 3); // j1, j2, j4
+
+        let rows = Query::all()
+            .filter(Filter::Or(vec![
+                Filter::Lt("ncpus".into(), Value::Int(4)),
+                Filter::Gt("ncpus".into(), Value::Int(16)),
+            ]))
+            .run(&t);
+        assert_eq!(rows.len(), 2); // j3, j5
+    }
+
+    #[test]
+    fn order_limit_project() {
+        let t = jobs_table();
+        let rows = Query::all()
+            .order_by("energy", Order::Desc)
+            .limit(2)
+            .select(&["uuid", "energy"])
+            .run(&t);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec![Value::Text("j5".into()), Value::Real(50.0)]);
+        assert_eq!(rows[1], vec![Value::Text("j2".into()), Value::Real(20.0)]);
+    }
+
+    #[test]
+    fn unknown_columns_are_safe() {
+        let t = jobs_table();
+        let rows = Query::all()
+            .filter(Filter::Eq("nope".into(), Value::Int(1)))
+            .run(&t);
+        assert!(rows.is_empty());
+        let rows = Query::all().select(&["uuid", "nope"]).run(&t);
+        assert_eq!(rows[0][1], Value::Null);
+    }
+
+    #[test]
+    fn group_by_aggregation() {
+        let t = jobs_table();
+        let out = aggregate(
+            &t,
+            &Filter::True,
+            &["user"],
+            &[
+                Aggregate::Count,
+                Aggregate::Sum("energy".into()),
+                Aggregate::Avg("ncpus".into()),
+            ],
+        );
+        assert_eq!(out.len(), 3);
+        // BTreeMap ordering: alice, bob, carol.
+        assert_eq!(out[0][0], Value::Text("alice".into()));
+        assert_eq!(out[0][1], Value::Int(2));
+        assert_eq!(out[0][2], Value::Real(30.0));
+        assert_eq!(out[0][3], Value::Real(6.0));
+        assert_eq!(out[2][1], Value::Int(1));
+    }
+
+    #[test]
+    fn global_aggregate_no_groups() {
+        let t = jobs_table();
+        let out = aggregate(
+            &t,
+            &Filter::True,
+            &[],
+            &[
+                Aggregate::Sum("energy".into()),
+                Aggregate::Min("energy".into()),
+                Aggregate::Max("energy".into()),
+            ],
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], vec![Value::Real(100.0), Value::Real(5.0), Value::Real(50.0)]);
+    }
+
+    #[test]
+    fn aggregate_on_empty_selection() {
+        let t = jobs_table();
+        let out = aggregate(
+            &t,
+            &Filter::Eq("user".into(), "nobody".into()),
+            &[],
+            &[Aggregate::Avg("energy".into()), Aggregate::Count],
+        );
+        assert_eq!(out.len(), 0);
+    }
+}

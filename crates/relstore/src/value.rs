@@ -1,0 +1,198 @@
+//! Typed values and rows.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A dynamically typed cell value (the SQLite storage classes we need).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Real(f64),
+    /// UTF-8 text.
+    Text(String),
+}
+
+impl Value {
+    /// Text accessor.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer accessor (Ints only; Reals are not coerced).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Float accessor; Ints coerce to f64.
+    pub fn as_real(&self) -> Option<f64> {
+        match self {
+            Value::Real(r) => Some(*r),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// True for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) | Value::Real(_) => 1,
+            Value::Text(_) => 2,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order following SQLite: NULL < numbers < text; numbers compare
+    /// numerically across Int/Real; NaN sorts below all other reals.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Real(a), Real(b)) => cmp_f64(*a, *b),
+            (Int(a), Real(b)) => cmp_f64(*a as f64, *b),
+            (Real(a), Int(b)) => cmp_f64(*a, *b as f64),
+            (Text(a), Text(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+fn cmp_f64(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        _ => a.partial_cmp(&b).unwrap(),
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Real(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+/// A table row: one value per schema column, in column order.
+pub type Row = Vec<Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_across_types() {
+        let mut vals = vec![
+            Value::Text("b".into()),
+            Value::Int(5),
+            Value::Null,
+            Value::Real(2.5),
+            Value::Text("a".into()),
+            Value::Int(2),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::Int(2),
+                Value::Real(2.5),
+                Value::Int(5),
+                Value::Text("a".into()),
+                Value::Text("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Value::Int(3), Value::Real(3.0));
+        assert_ne!(Value::Int(3), Value::Real(3.5));
+    }
+
+    #[test]
+    fn nan_is_ordered() {
+        assert!(Value::Real(f64::NAN) < Value::Real(0.0));
+        assert_eq!(Value::Real(f64::NAN), Value::Real(f64::NAN));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_real(), Some(7.0));
+        assert_eq!(Value::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(Value::Real(1.0).as_int(), None);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let vals = vec![
+            Value::Null,
+            Value::Int(-3),
+            Value::Real(1.25),
+            Value::Text("job".into()),
+        ];
+        let json = serde_json::to_string(&vals).unwrap();
+        let back: Vec<Value> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, vals);
+    }
+}

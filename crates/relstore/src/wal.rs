@@ -1,0 +1,310 @@
+//! Write-ahead log: JSON-lines records with CRC32 protection and segment
+//! rotation.
+//!
+//! Segment files are named `wal-<seq>.log`. Each line is
+//! `<crc32-hex> <json-record>`; torn tails (a crash mid-write) are detected
+//! by CRC mismatch and replay stops there, exactly like SQLite's WAL
+//! recovery semantics that Litestream piggybacks on.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::{Row, Value};
+
+/// One logical WAL record.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// Insert-or-replace a row in a table.
+    Upsert {
+        /// Table name.
+        table: String,
+        /// Full row.
+        row: Row,
+    },
+    /// Delete by primary key.
+    Delete {
+        /// Table name.
+        table: String,
+        /// Primary key value.
+        pk: Value,
+    },
+    /// Marks that a snapshot covering everything before it exists.
+    Checkpoint,
+}
+
+/// CRC-32 (IEEE 802.3) over bytes.
+pub fn crc32(data: &[u8]) -> u32 {
+    // Bitwise implementation; WAL lines are short so a table is unnecessary.
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// An append-only WAL with size-based segment rotation.
+pub struct Wal {
+    dir: PathBuf,
+    current_seq: u64,
+    current_file: File,
+    current_bytes: u64,
+    max_segment_bytes: u64,
+}
+
+/// WAL error.
+#[derive(Debug)]
+pub struct WalError(pub String);
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wal error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError(e.to_string())
+    }
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:012}.log"))
+}
+
+/// Lists `(seq, path)` of WAL segments in a directory, sorted by seq.
+pub fn list_segments(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok(out);
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(seq) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".log"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+impl Wal {
+    /// Opens (or creates) the WAL in `dir`, appending to the latest segment.
+    pub fn open(dir: &Path, max_segment_bytes: u64) -> Result<Wal, WalError> {
+        fs::create_dir_all(dir)?;
+        let segments = list_segments(dir)?;
+        let current_seq = segments.last().map(|(s, _)| *s).unwrap_or(0);
+        let path = segment_path(dir, current_seq);
+        let current_file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let current_bytes = current_file.metadata()?.len();
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            current_seq,
+            current_file,
+            current_bytes,
+            max_segment_bytes,
+        })
+    }
+
+    /// Appends one record, rotating segments when the current one is full.
+    /// Returns the sequence number of the segment written to.
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64, WalError> {
+        let json = serde_json::to_string(record).map_err(|e| WalError(e.to_string()))?;
+        let line = format!("{:08x} {}\n", crc32(json.as_bytes()), json);
+        if self.current_bytes > 0 && self.current_bytes + line.len() as u64 > self.max_segment_bytes
+        {
+            self.rotate()?;
+        }
+        self.current_file.write_all(line.as_bytes())?;
+        self.current_file.flush()?;
+        self.current_bytes += line.len() as u64;
+        Ok(self.current_seq)
+    }
+
+    fn rotate(&mut self) -> Result<(), WalError> {
+        self.current_seq += 1;
+        let path = segment_path(&self.dir, self.current_seq);
+        self.current_file = OpenOptions::new().create(true).append(true).open(path)?;
+        self.current_bytes = 0;
+        Ok(())
+    }
+
+    /// Current segment sequence number.
+    pub fn current_seq(&self) -> u64 {
+        self.current_seq
+    }
+
+    /// Removes all segments strictly older than `keep_from` (used after a
+    /// checkpointing snapshot).
+    pub fn truncate_before(&mut self, keep_from: u64) -> Result<usize, WalError> {
+        let mut removed = 0;
+        for (seq, path) in list_segments(&self.dir)? {
+            if seq < keep_from {
+                fs::remove_file(path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// Replays all records from all segments in `dir`, stopping cleanly at the
+/// first corrupt line (torn write). Returns the records and how many corrupt
+/// lines were skipped at the tail.
+pub fn replay(dir: &Path) -> Result<(Vec<WalRecord>, usize), WalError> {
+    let mut records = Vec::new();
+    let mut corrupt = 0;
+    for (_, path) in list_segments(dir)? {
+        let reader = BufReader::new(File::open(&path)?);
+        for line in reader.lines() {
+            let line = line?;
+            match parse_line(&line) {
+                Some(rec) => records.push(rec),
+                None => {
+                    corrupt += 1;
+                    // A torn tail ends replay of this segment.
+                    break;
+                }
+            }
+        }
+    }
+    Ok((records, corrupt))
+}
+
+fn parse_line(line: &str) -> Option<WalRecord> {
+    let (crc_hex, json) = line.split_once(' ')?;
+    let expect = u32::from_str_radix(crc_hex, 16).ok()?;
+    if crc32(json.as_bytes()) != expect {
+        return None;
+    }
+    serde_json::from_str(json).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ceems-wal-{}-{}-{}",
+            name,
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn rec(i: i64) -> WalRecord {
+        WalRecord::Upsert {
+            table: "jobs".into(),
+            row: vec![Value::Int(i), Value::Text(format!("job-{i}"))],
+        }
+    }
+
+    #[test]
+    fn crc32_vector() {
+        // Standard test vector.
+        assert_eq!(crc32(b"123456789"), 0xcbf43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let dir = tmpdir("roundtrip");
+        let mut wal = Wal::open(&dir, 1 << 20).unwrap();
+        for i in 0..10 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.append(&WalRecord::Checkpoint).unwrap();
+        drop(wal);
+
+        let (records, corrupt) = replay(&dir).unwrap();
+        assert_eq!(corrupt, 0);
+        assert_eq!(records.len(), 11);
+        assert_eq!(records[3], rec(3));
+        assert_eq!(records[10], WalRecord::Checkpoint);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_produces_multiple_segments() {
+        let dir = tmpdir("rotate");
+        let mut wal = Wal::open(&dir, 256).unwrap();
+        for i in 0..50 {
+            wal.append(&rec(i)).unwrap();
+        }
+        let segs = list_segments(&dir).unwrap();
+        assert!(segs.len() > 1, "expected rotation, got {} segments", segs.len());
+        let (records, _) = replay(&dir).unwrap();
+        assert_eq!(records.len(), 50);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_appends_to_latest_segment() {
+        let dir = tmpdir("reopen");
+        {
+            let mut wal = Wal::open(&dir, 1 << 20).unwrap();
+            wal.append(&rec(1)).unwrap();
+        }
+        {
+            let mut wal = Wal::open(&dir, 1 << 20).unwrap();
+            wal.append(&rec(2)).unwrap();
+        }
+        let (records, _) = replay(&dir).unwrap();
+        assert_eq!(records.len(), 2);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_detected() {
+        let dir = tmpdir("torn");
+        let mut wal = Wal::open(&dir, 1 << 20).unwrap();
+        wal.append(&rec(1)).unwrap();
+        wal.append(&rec(2)).unwrap();
+        drop(wal);
+        // Corrupt the last line.
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        let truncated = &content[..content.len() - 5];
+        fs::write(&path, truncated).unwrap();
+
+        let (records, corrupt) = replay(&dir).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(corrupt, 1);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_before_removes_old_segments() {
+        let dir = tmpdir("trunc");
+        let mut wal = Wal::open(&dir, 128).unwrap();
+        for i in 0..40 {
+            wal.append(&rec(i)).unwrap();
+        }
+        let latest = wal.current_seq();
+        assert!(latest >= 2);
+        let removed = wal.truncate_before(latest).unwrap();
+        assert!(removed >= 1);
+        let segs = list_segments(&dir).unwrap();
+        assert!(segs.iter().all(|(s, _)| *s >= latest));
+        fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,0 +1,80 @@
+//! Shared simulated clock.
+//!
+//! Everything in the simulation — sensors, scrape loops, job lifecycles —
+//! reads one logical clock so experiments are deterministic and a year of
+//! monitoring can be replayed in seconds.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically advancing simulated clock (milliseconds since an
+/// arbitrary epoch). Cloning shares the underlying instant.
+#[derive(Clone, Debug, Default)]
+pub struct SimClock {
+    now_ms: Arc<AtomicI64>,
+}
+
+impl SimClock {
+    /// Clock starting at zero.
+    pub fn new() -> SimClock {
+        Self::default()
+    }
+
+    /// Clock starting at a specific epoch-milliseconds value (useful when
+    /// dashboards want human-looking timestamps).
+    pub fn starting_at(epoch_ms: i64) -> SimClock {
+        SimClock {
+            now_ms: Arc::new(AtomicI64::new(epoch_ms)),
+        }
+    }
+
+    /// Current simulated time in milliseconds.
+    pub fn now_ms(&self) -> i64 {
+        self.now_ms.load(Ordering::Relaxed)
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now_secs(&self) -> f64 {
+        self.now_ms() as f64 / 1000.0
+    }
+
+    /// Advances the clock, returning the new time.
+    pub fn advance_ms(&self, delta_ms: i64) -> i64 {
+        assert!(delta_ms >= 0, "clock cannot go backwards");
+        self.now_ms.fetch_add(delta_ms, Ordering::Relaxed) + delta_ms
+    }
+
+    /// Advances by (fractional) seconds.
+    pub fn advance_secs(&self, delta_s: f64) -> i64 {
+        self.advance_ms((delta_s * 1000.0).round() as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_and_shares() {
+        let c = SimClock::new();
+        let c2 = c.clone();
+        assert_eq!(c.now_ms(), 0);
+        c.advance_ms(1500);
+        assert_eq!(c2.now_ms(), 1500);
+        assert_eq!(c2.now_secs(), 1.5);
+        c2.advance_secs(0.5);
+        assert_eq!(c.now_ms(), 2000);
+    }
+
+    #[test]
+    fn starting_epoch() {
+        let c = SimClock::starting_at(1_700_000_000_000);
+        assert_eq!(c.now_ms(), 1_700_000_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock cannot go backwards")]
+    fn negative_advance_panics() {
+        SimClock::new().advance_ms(-1);
+    }
+}

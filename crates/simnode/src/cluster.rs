@@ -1,0 +1,270 @@
+//! Node fleets, including the Jean-Zay-like configuration from §III.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::clock::SimClock;
+use crate::node::{HardwareProfile, NodeSpec, SimNode};
+use crate::power::{GpuModel, IpmiCoverage};
+
+/// How many nodes of each class to build.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// Intel CPU-only nodes.
+    pub intel_nodes: usize,
+    /// AMD CPU-only nodes.
+    pub amd_nodes: usize,
+    /// 4×V100 nodes (IPMI includes GPU power — "type A" in §III).
+    pub v100_nodes: usize,
+    /// 8×A100 nodes (IPMI excludes GPU power — "type B").
+    pub a100_nodes: usize,
+    /// 4×H100 nodes (type A).
+    pub h100_nodes: usize,
+}
+
+impl ClusterSpec {
+    /// A small mixed cluster for tests and the quickstart example.
+    pub fn small() -> ClusterSpec {
+        ClusterSpec {
+            intel_nodes: 4,
+            amd_nodes: 2,
+            v100_nodes: 1,
+            a100_nodes: 1,
+            h100_nodes: 0,
+        }
+    }
+
+    /// The Jean-Zay-like fleet: ~1,400 heterogeneous nodes and >3,500 GPUs
+    /// (512 Intel + 200 AMD CPU nodes; 396×4 V100 + 208×8 A100 + 84×4 H100
+    /// = 3,584 GPUs), matching the scale claimed in the paper's abstract
+    /// and §III.
+    pub fn jean_zay() -> ClusterSpec {
+        ClusterSpec {
+            intel_nodes: 512,
+            amd_nodes: 200,
+            v100_nodes: 396,
+            a100_nodes: 208,
+            h100_nodes: 84,
+        }
+    }
+
+    /// Total node count.
+    pub fn total_nodes(&self) -> usize {
+        self.intel_nodes + self.amd_nodes + self.v100_nodes + self.a100_nodes + self.h100_nodes
+    }
+
+    /// Total GPU count.
+    pub fn total_gpus(&self) -> usize {
+        self.v100_nodes * 4 + self.a100_nodes * 8 + self.h100_nodes * 4
+    }
+}
+
+/// A shared handle to a node (exporter and scheduler both touch it).
+pub type NodeHandle = Arc<Mutex<SimNode>>;
+
+/// A fleet of simulated nodes sharing a clock.
+pub struct SimCluster {
+    nodes: Vec<NodeHandle>,
+    clock: SimClock,
+}
+
+impl SimCluster {
+    /// Builds the fleet. Node hostnames encode their partition:
+    /// `jz-intel-0001`, `jz-amd-0001`, `jz-v100-0001`, ...
+    pub fn build(spec: &ClusterSpec, clock: SimClock, seed: u64) -> SimCluster {
+        let mut nodes = Vec::with_capacity(spec.total_nodes());
+        let mut idx = 0u64;
+        let mut push = |name: &str, i: usize, profile: HardwareProfile, nodes: &mut Vec<NodeHandle>| {
+            idx += 1;
+            nodes.push(Arc::new(Mutex::new(SimNode::new(
+                NodeSpec {
+                    hostname: format!("jz-{name}-{:04}", i + 1),
+                    profile,
+                },
+                seed.wrapping_add(idx.wrapping_mul(0x9e3779b97f4a7c15)),
+            ))));
+        };
+        for i in 0..spec.intel_nodes {
+            push("intel", i, HardwareProfile::IntelCpu, &mut nodes);
+        }
+        for i in 0..spec.amd_nodes {
+            push("amd", i, HardwareProfile::AmdCpu, &mut nodes);
+        }
+        for i in 0..spec.v100_nodes {
+            push(
+                "v100",
+                i,
+                HardwareProfile::Gpu {
+                    model: GpuModel::V100,
+                    count: 4,
+                    coverage: IpmiCoverage::IncludesGpus,
+                },
+                &mut nodes,
+            );
+        }
+        for i in 0..spec.a100_nodes {
+            push(
+                "a100",
+                i,
+                HardwareProfile::Gpu {
+                    model: GpuModel::A100,
+                    count: 8,
+                    coverage: IpmiCoverage::ExcludesGpus,
+                },
+                &mut nodes,
+            );
+        }
+        for i in 0..spec.h100_nodes {
+            push(
+                "h100",
+                i,
+                HardwareProfile::Gpu {
+                    model: GpuModel::H100,
+                    count: 4,
+                    coverage: IpmiCoverage::IncludesGpus,
+                },
+                &mut nodes,
+            );
+        }
+        SimCluster { nodes, clock }
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// All node handles.
+    pub fn nodes(&self) -> &[NodeHandle] {
+        &self.nodes
+    }
+
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Finds a node by hostname.
+    pub fn node_by_hostname(&self, hostname: &str) -> Option<NodeHandle> {
+        self.nodes
+            .iter()
+            .find(|n| n.lock().hostname() == hostname)
+            .cloned()
+    }
+
+    /// Advances the clock by `dt_s` and steps every node, fanning the work
+    /// out over `threads` OS threads (1,400 nodes step comfortably in
+    /// parallel; this is the hot loop of the Jean-Zay-scale experiment).
+    pub fn step_all(&self, dt_s: f64, threads: usize) {
+        let now_ms = self.clock.advance_secs(dt_s);
+        let threads = threads.max(1);
+        if threads == 1 || self.nodes.len() < 2 * threads {
+            for n in &self.nodes {
+                n.lock().step(now_ms, dt_s);
+            }
+            return;
+        }
+        let chunk = self.nodes.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for nodes in self.nodes.chunks(chunk) {
+                s.spawn(move || {
+                    for n in nodes {
+                        n.lock().step(now_ms, dt_s);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Sums ground-truth wall power across the fleet (W).
+    pub fn total_wall_power(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| n.lock().ground_truth_power().wall_w())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::TaskSpec;
+    use crate::workload::WorkloadProfile;
+
+    #[test]
+    fn jean_zay_scale_matches_paper() {
+        let spec = ClusterSpec::jean_zay();
+        assert_eq!(spec.total_nodes(), 1400);
+        assert!(spec.total_gpus() > 3500);
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let c = SimCluster::build(&ClusterSpec::small(), SimClock::new(), 1);
+        assert_eq!(c.len(), 8);
+        let n = c.node_by_hostname("jz-intel-0001").unwrap();
+        assert_eq!(n.lock().gpu_count(), 0);
+        let g = c.node_by_hostname("jz-a100-0001").unwrap();
+        assert_eq!(g.lock().gpu_count(), 8);
+        assert!(c.node_by_hostname("nope").is_none());
+    }
+
+    #[test]
+    fn step_all_advances_clock_and_nodes() {
+        let c = SimCluster::build(&ClusterSpec::small(), SimClock::new(), 2);
+        c.nodes()[0]
+            .lock()
+            .add_task(
+                TaskSpec {
+                    id: 1,
+                    cores: 8,
+                    memory_bytes: 4 << 30,
+                    gpus: 0,
+                    workload: WorkloadProfile::CpuBound { intensity: 0.8 },
+                },
+                0,
+            )
+            .unwrap();
+        for _ in 0..5 {
+            c.step_all(15.0, 4);
+        }
+        assert_eq!(c.clock().now_ms(), 75_000);
+        let idle_total = c.total_wall_power();
+        assert!(idle_total > 8.0 * 100.0, "fleet power {idle_total}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed: u64| {
+            let c = SimCluster::build(&ClusterSpec::small(), SimClock::new(), seed);
+            c.nodes()[0]
+                .lock()
+                .add_task(
+                    TaskSpec {
+                        id: 1,
+                        cores: 16,
+                        memory_bytes: 8 << 30,
+                        gpus: 0,
+                        workload: WorkloadProfile::Bursty {
+                            period_s: 60.0,
+                            duty: 0.5,
+                        },
+                    },
+                    0,
+                )
+                .unwrap();
+            for _ in 0..10 {
+                c.step_all(5.0, 1);
+            }
+            c.total_wall_power()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

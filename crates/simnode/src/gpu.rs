@@ -1,0 +1,84 @@
+//! DCGM/AMD-SMI-like GPU metric source.
+//!
+//! The real stack deploys NVIDIA's DCGM exporter (or AMD's SMI exporter)
+//! next to the CEEMS exporter; CEEMS itself only contributes the
+//! job→GPU-ordinal map (§II.A.d: ordinals are not recoverable post-mortem,
+//! so they must be recorded while the job runs). This module provides the
+//! per-ordinal metrics a DCGM exporter would.
+
+use crate::power::GpuModel;
+
+/// State of one GPU device.
+#[derive(Clone, Debug)]
+pub struct GpuDevice {
+    /// Device ordinal (the index DCGM labels `gpu`).
+    pub ordinal: usize,
+    /// Model.
+    pub model: GpuModel,
+    /// Instantaneous SM utilisation `[0,1]`.
+    pub util: f64,
+    /// Device memory in use (bytes).
+    pub memory_used: u64,
+    /// Instantaneous board power (W).
+    pub power_w: f64,
+    /// Cumulative energy (J).
+    pub energy_j: f64,
+    /// Job currently bound to this GPU, if any.
+    pub bound_job: Option<u64>,
+}
+
+impl GpuDevice {
+    /// Creates an idle device.
+    pub fn new(ordinal: usize, model: GpuModel) -> GpuDevice {
+        GpuDevice {
+            ordinal,
+            model,
+            util: 0.0,
+            memory_used: 0,
+            power_w: model.idle_watts(),
+            energy_j: 0.0,
+            bound_job: None,
+        }
+    }
+
+    /// Updates the device for a step: utilisation and memory from the bound
+    /// workload, power from the ground-truth model.
+    pub fn update(&mut self, util: f64, mem_frac: f64, power_w: f64, dt_s: f64) {
+        self.util = util.clamp(0.0, 1.0);
+        self.memory_used =
+            (mem_frac.clamp(0.0, 1.0) * self.model.memory_bytes() as f64) as u64;
+        self.power_w = power_w;
+        self.energy_j += power_w * dt_s;
+    }
+
+    /// The UUID DCGM would report (synthetic but stable).
+    pub fn uuid(&self) -> String {
+        format!("GPU-{:08x}-sim-{}", self.ordinal * 2654435761 % 0xffff_ffff, self.ordinal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_update_and_energy() {
+        let mut g = GpuDevice::new(0, GpuModel::A100);
+        assert_eq!(g.power_w, 55.0);
+        g.update(0.5, 0.25, 200.0, 10.0);
+        assert_eq!(g.util, 0.5);
+        assert_eq!(g.memory_used, 20 << 30);
+        assert_eq!(g.energy_j, 2000.0);
+        g.update(1.5, 2.0, 400.0, 1.0);
+        assert_eq!(g.util, 1.0);
+        assert_eq!(g.memory_used, 80 << 30);
+    }
+
+    #[test]
+    fn uuids_are_stable_and_distinct() {
+        let a = GpuDevice::new(0, GpuModel::V100);
+        let b = GpuDevice::new(1, GpuModel::V100);
+        assert_eq!(a.uuid(), GpuDevice::new(0, GpuModel::V100).uuid());
+        assert_ne!(a.uuid(), b.uuid());
+    }
+}

@@ -1,0 +1,158 @@
+//! IPMI-DCMI power readings.
+//!
+//! The BMC measures whole-node power but (per the paper, §II.A.b) "the
+//! IPMI-DCMI command is not suitable to use at a high frequency (even for
+//! every few seconds)". The simulation models that: readings are sampled at
+//! most every `min_interval_ms` of simulated time (callers in between see a
+//! cached value), each reading carries sensor noise and quantisation, and
+//! each invocation has a non-trivial simulated latency cost.
+
+use rand::Rng;
+
+use crate::power::{ComponentPower, IpmiCoverage};
+
+/// A simulated `ipmitool dcmi power reading` source.
+#[derive(Clone, Debug)]
+pub struct IpmiDcmi {
+    coverage: IpmiCoverage,
+    min_interval_ms: i64,
+    noise_frac: f64,
+    last_sample_ms: Option<i64>,
+    cached_watts: f64,
+    reads: u64,
+    samples: u64,
+}
+
+impl IpmiDcmi {
+    /// Creates a DCMI source. `min_interval_ms` is the fastest the BMC will
+    /// refresh; 10 s is a realistic default.
+    pub fn new(coverage: IpmiCoverage, min_interval_ms: i64, noise_frac: f64) -> IpmiDcmi {
+        IpmiDcmi {
+            coverage,
+            min_interval_ms,
+            noise_frac,
+            last_sample_ms: None,
+            cached_watts: 0.0,
+            reads: 0,
+            samples: 0,
+        }
+    }
+
+    /// Default BMC behaviour: 10 s refresh, 3 % noise.
+    pub fn standard(coverage: IpmiCoverage) -> IpmiDcmi {
+        IpmiDcmi::new(coverage, 10_000, 0.03)
+    }
+
+    /// The wiring type.
+    pub fn coverage(&self) -> IpmiCoverage {
+        self.coverage
+    }
+
+    /// Performs a power reading at simulated time `now_ms` given the node's
+    /// ground-truth component power. Returns integer watts (DCMI reports
+    /// whole watts).
+    pub fn power_reading<R: Rng>(
+        &mut self,
+        now_ms: i64,
+        truth: &ComponentPower,
+        rng: &mut R,
+    ) -> u64 {
+        self.reads += 1;
+        let refresh = match self.last_sample_ms {
+            None => true,
+            Some(last) => now_ms - last >= self.min_interval_ms,
+        };
+        if refresh {
+            self.samples += 1;
+            self.last_sample_ms = Some(now_ms);
+            let mut w = truth.cpu_total_w() + truth.dram_w + truth.misc_w + truth.psu_loss_w;
+            if self.coverage == IpmiCoverage::IncludesGpus {
+                w += truth.gpu_total_w();
+            }
+            let noise = 1.0 + rng.gen_range(-self.noise_frac..=self.noise_frac);
+            self.cached_watts = (w * noise).max(0.0);
+        }
+        self.cached_watts.round() as u64
+    }
+
+    /// Simulated cost of one DCMI invocation (BMC round-trip); the exporter
+    /// accounts this when deciding scrape budgets. Real invocations take
+    /// tens of milliseconds — orders of magnitude slower than a RAPL sysfs
+    /// read.
+    pub fn invocation_cost_ms(&self) -> f64 {
+        50.0
+    }
+
+    /// Total reads issued (cached + sampled).
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// BMC-side refreshes actually performed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::{compute_power, GpuModel, PowerSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn truth_with_gpus() -> (ComponentPower, f64) {
+        let spec = PowerSpec::gpu_node(GpuModel::A100, 4, IpmiCoverage::IncludesGpus);
+        let p = compute_power(&spec, 0.5, 0.5, &[0.8; 4]);
+        let wall = p.wall_w();
+        (p, wall)
+    }
+
+    #[test]
+    fn includes_vs_excludes_gpus() {
+        let (truth, wall) = truth_with_gpus();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut a = IpmiDcmi::new(IpmiCoverage::IncludesGpus, 0, 0.0);
+        let mut b = IpmiDcmi::new(IpmiCoverage::ExcludesGpus, 0, 0.0);
+        let ra = a.power_reading(0, &truth, &mut rng) as f64;
+        let rb = b.power_reading(0, &truth, &mut rng) as f64;
+        assert!((ra - wall).abs() < 1.0);
+        assert!((rb - (wall - truth.gpu_total_w())).abs() < 1.0);
+        assert!(ra > rb + 1000.0);
+    }
+
+    #[test]
+    fn caching_between_refreshes() {
+        let (truth, _) = truth_with_gpus();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ipmi = IpmiDcmi::new(IpmiCoverage::IncludesGpus, 10_000, 0.05);
+        let r0 = ipmi.power_reading(0, &truth, &mut rng);
+        let r1 = ipmi.power_reading(3_000, &truth, &mut rng);
+        let r2 = ipmi.power_reading(9_999, &truth, &mut rng);
+        assert_eq!(r0, r1);
+        assert_eq!(r1, r2);
+        assert_eq!(ipmi.samples(), 1);
+        assert_eq!(ipmi.reads(), 3);
+        // After the interval the BMC refreshes (value may or may not differ
+        // due to noise, but the sample counter must advance).
+        let _ = ipmi.power_reading(10_000, &truth, &mut rng);
+        assert_eq!(ipmi.samples(), 2);
+    }
+
+    #[test]
+    fn noise_stays_bounded() {
+        let (truth, wall) = truth_with_gpus();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut ipmi = IpmiDcmi::new(IpmiCoverage::IncludesGpus, 0, 0.03);
+        for t in 0..200 {
+            let r = ipmi.power_reading(t, &truth, &mut rng) as f64;
+            assert!((r - wall).abs() <= wall * 0.031 + 1.0, "r={r} wall={wall}");
+        }
+    }
+
+    #[test]
+    fn dcmi_is_slow_vs_rapl() {
+        let ipmi = IpmiDcmi::standard(IpmiCoverage::IncludesGpus);
+        assert!(ipmi.invocation_cost_ms() >= 10.0);
+    }
+}

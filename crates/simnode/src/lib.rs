@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! Simulated compute nodes (S8 in `DESIGN.md`).
+//!
+//! The paper's evaluation platform is the Jean-Zay supercomputer: ~1,400
+//! heterogeneous nodes with Intel/AMD CPUs and >3,500 NVIDIA GPUs. That
+//! hardware — RAPL MSRs, BMC/IPMI-DCMI power sensors, cgroup accounting —
+//! is the gate this reproduction cannot cross, so this crate simulates it
+//! with the same *interfaces* the CEEMS exporter would consume on a real
+//! node:
+//!
+//! * [`clock`] — a shared, deterministic simulated clock.
+//! * [`power`] — the component power model (CPU sockets, DRAM, GPUs, PSU
+//!   overhead) driving every sensor.
+//! * [`rapl`] — RAPL energy counters in µJ with realistic wraparound,
+//!   rendered through a powercap-sysfs-like tree.
+//! * [`ipmi`] — IPMI-DCMI whole-node power readings: slow, cached, noisy,
+//!   and (per §III of the paper) either including or excluding GPU draw
+//!   depending on the server type.
+//! * [`cgroup`] — per-workload cgroup v2 accounting (cpu.stat,
+//!   memory.current, io.stat) rendered as a pseudo-filesystem.
+//! * [`gpu`] — DCGM/AMD-SMI-like per-GPU utilisation and power metrics.
+//! * [`workload`] — synthetic workload profiles (CPU-bound, memory-bound,
+//!   GPU, bursty, idle) that drive utilisation over time.
+//! * [`node`] — [`node::SimNode`]: hardware spec + running tasks + sensors,
+//!   advanced by [`node::SimNode::step`].
+//! * [`cluster`] — fleets of nodes, including a Jean-Zay-like builder.
+//! * [`pseudofs`] — the read API collectors use (`read file`, `list dir`),
+//!   so the exporter exercises the same parse-text-from-sysfs code path it
+//!   would in production.
+
+pub mod cgroup;
+pub mod clock;
+pub mod cluster;
+pub mod gpu;
+pub mod ipmi;
+pub mod node;
+pub mod perf;
+pub mod power;
+pub mod pseudofs;
+pub mod rapl;
+pub mod workload;
+
+pub use clock::SimClock;
+pub use cluster::{ClusterSpec, SimCluster};
+pub use node::{HardwareProfile, NodeSpec, SimNode, TaskSpec};
+pub use power::{CpuVendor, GpuModel, IpmiCoverage};
+pub use workload::WorkloadProfile;

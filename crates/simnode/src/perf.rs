@@ -1,0 +1,174 @@
+//! Simulated hardware performance counters (the paper's future work:
+//! "adding performance metrics like FLOPS, caching, and memory IO
+//! bandwidth ... from Linux's perf framework").
+//!
+//! Counters are derived deterministically from the workload's utilisation
+//! each step, with per-workload-class characteristics: CPU-bound code runs
+//! high IPC and FLOP rates with a warm cache; memory-bound code stalls
+//! (low IPC, high miss rate, high DRAM bandwidth).
+
+use crate::workload::Usage;
+
+/// Cumulative per-task perf counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PerfCounters {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// CPU cycles.
+    pub cycles: u64,
+    /// Double-precision FLOPs.
+    pub flops: u64,
+    /// Last-level cache references.
+    pub cache_references: u64,
+    /// Last-level cache misses.
+    pub cache_misses: u64,
+    /// Bytes moved to/from DRAM.
+    pub dram_bytes: u64,
+}
+
+/// Per-class perf characteristics.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfProfile {
+    /// Instructions per cycle when running.
+    pub ipc: f64,
+    /// FLOPs per instruction.
+    pub flops_per_insn: f64,
+    /// Cache references per instruction.
+    pub cache_refs_per_insn: f64,
+    /// Miss ratio of those references.
+    pub miss_ratio: f64,
+    /// DRAM bytes per cache miss (line size + prefetch factor).
+    pub bytes_per_miss: f64,
+}
+
+impl PerfProfile {
+    /// Characteristics for a workload kind string (see
+    /// [`crate::workload::WorkloadProfile::kind`]).
+    pub fn for_kind(kind: &str) -> PerfProfile {
+        match kind {
+            "cpu_bound" => PerfProfile {
+                ipc: 2.6,
+                flops_per_insn: 0.45,
+                cache_refs_per_insn: 0.08,
+                miss_ratio: 0.03,
+                bytes_per_miss: 64.0,
+            },
+            "memory_bound" => PerfProfile {
+                ipc: 0.7,
+                flops_per_insn: 0.10,
+                cache_refs_per_insn: 0.30,
+                miss_ratio: 0.35,
+                bytes_per_miss: 128.0,
+            },
+            "gpu_training" => PerfProfile {
+                ipc: 1.2,
+                flops_per_insn: 0.05, // host side only; GPU FLOPs are DCGM's
+                cache_refs_per_insn: 0.15,
+                miss_ratio: 0.12,
+                bytes_per_miss: 64.0,
+            },
+            "bursty" => PerfProfile {
+                ipc: 1.8,
+                flops_per_insn: 0.20,
+                cache_refs_per_insn: 0.12,
+                miss_ratio: 0.08,
+                bytes_per_miss: 64.0,
+            },
+            _ => PerfProfile {
+                ipc: 1.0,
+                flops_per_insn: 0.01,
+                cache_refs_per_insn: 0.05,
+                miss_ratio: 0.05,
+                bytes_per_miss: 64.0,
+            },
+        }
+    }
+}
+
+/// Nominal core clock used for cycle accounting (Hz).
+pub const CORE_HZ: f64 = 2.5e9;
+
+impl PerfCounters {
+    /// Advances counters for `dt_s` seconds of the given usage over
+    /// `cores` allocated cores.
+    pub fn advance(&mut self, profile: &PerfProfile, usage: &Usage, cores: usize, dt_s: f64) {
+        let busy_core_seconds = usage.cpu * cores as f64 * dt_s;
+        let cycles = busy_core_seconds * CORE_HZ;
+        let insns = cycles * profile.ipc;
+        let refs = insns * profile.cache_refs_per_insn;
+        let misses = refs * profile.miss_ratio;
+        self.cycles += cycles as u64;
+        self.instructions += insns as u64;
+        self.flops += (insns * profile.flops_per_insn) as u64;
+        self.cache_references += refs as u64;
+        self.cache_misses += misses as u64;
+        self.dram_bytes += (misses * profile.bytes_per_miss) as u64;
+    }
+
+    /// Achieved IPC so far.
+    pub fn achieved_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cache miss ratio so far.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.cache_references == 0 {
+            0.0
+        } else {
+            self.cache_misses as f64 / self.cache_references as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn usage(cpu: f64) -> Usage {
+        Usage {
+            cpu,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_by_class() {
+        let mut cpu = PerfCounters::default();
+        let mut mem = PerfCounters::default();
+        let u = usage(1.0);
+        cpu.advance(&PerfProfile::for_kind("cpu_bound"), &u, 4, 10.0);
+        mem.advance(&PerfProfile::for_kind("memory_bound"), &u, 4, 10.0);
+
+        // Same cycles, very different instruction/FLOP/bandwidth mixes.
+        assert_eq!(cpu.cycles, mem.cycles);
+        assert!(cpu.instructions > 3 * mem.instructions);
+        assert!(cpu.flops > 10 * mem.flops);
+        assert!(mem.dram_bytes > 5 * cpu.dram_bytes);
+        assert!(mem.miss_ratio() > 0.3);
+        assert!(cpu.miss_ratio() < 0.05);
+        assert!((cpu.achieved_ipc() - 2.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn idle_accumulates_nothing() {
+        let mut c = PerfCounters::default();
+        c.advance(&PerfProfile::for_kind("idle"), &usage(0.0), 8, 100.0);
+        assert_eq!(c.instructions, 0);
+        assert_eq!(c.achieved_ipc(), 0.0);
+        assert_eq!(c.miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn flop_rate_plausible_for_hpc_code() {
+        // 40 cores flat out for 1 s of dense compute.
+        let mut c = PerfCounters::default();
+        c.advance(&PerfProfile::for_kind("cpu_bound"), &usage(1.0), 40, 1.0);
+        let gflops = c.flops as f64 / 1e9;
+        // ~2.5 GHz × 2.6 IPC × 0.45 FLOP/insn × 40 cores ≈ 117 GFLOP/s.
+        assert!((50.0..500.0).contains(&gflops), "gflops={gflops}");
+    }
+}

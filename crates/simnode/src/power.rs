@@ -1,0 +1,298 @@
+//! Component power model.
+//!
+//! Every simulated sensor (RAPL, IPMI, DCGM) derives from one ground-truth
+//! [`ComponentPower`] computed from current utilisation. Because the ground
+//! truth is known, tests can assert that the CEEMS attribution formula
+//! (Eq. (1) in the paper) recovers it.
+
+/// CPU vendor — decides which RAPL domains exist (§III: Intel nodes report
+/// CPU *and* DRAM counters, AMD nodes report CPU only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CpuVendor {
+    /// Intel: package + DRAM RAPL domains.
+    Intel,
+    /// AMD: package RAPL domain only.
+    Amd,
+}
+
+/// GPU model present on Jean-Zay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GpuModel {
+    /// NVIDIA V100 (300 W TDP).
+    V100,
+    /// NVIDIA A100 (400 W TDP).
+    A100,
+    /// NVIDIA H100 (700 W TDP).
+    H100,
+}
+
+impl GpuModel {
+    /// Idle draw in watts.
+    pub fn idle_watts(self) -> f64 {
+        match self {
+            GpuModel::V100 => 40.0,
+            GpuModel::A100 => 55.0,
+            GpuModel::H100 => 70.0,
+        }
+    }
+
+    /// Max (TDP) draw in watts.
+    pub fn max_watts(self) -> f64 {
+        match self {
+            GpuModel::V100 => 300.0,
+            GpuModel::A100 => 400.0,
+            GpuModel::H100 => 700.0,
+        }
+    }
+
+    /// Device memory in bytes.
+    pub fn memory_bytes(self) -> u64 {
+        match self {
+            GpuModel::V100 => 32 << 30,
+            GpuModel::A100 => 80 << 30,
+            GpuModel::H100 => 80 << 30,
+        }
+    }
+
+    /// Marketing name as DCGM reports it.
+    pub fn name(self) -> &'static str {
+        match self {
+            GpuModel::V100 => "Tesla V100-SXM2-32GB",
+            GpuModel::A100 => "NVIDIA A100-SXM4-80GB",
+            GpuModel::H100 => "NVIDIA H100-SXM5-80GB",
+        }
+    }
+}
+
+/// Whether the node's BMC wiring includes GPU power in IPMI-DCMI readings.
+/// §III observes Jean-Zay has both server types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IpmiCoverage {
+    /// Type A: IPMI reading covers the whole node including GPUs.
+    IncludesGpus,
+    /// Type B: GPUs are powered separately; IPMI misses them.
+    ExcludesGpus,
+}
+
+/// Static electrical characteristics of a node.
+#[derive(Clone, Debug)]
+pub struct PowerSpec {
+    /// CPU vendor.
+    pub vendor: CpuVendor,
+    /// Socket count.
+    pub sockets: usize,
+    /// Physical cores per socket.
+    pub cores_per_socket: usize,
+    /// Idle package draw per socket (W).
+    pub cpu_idle_w: f64,
+    /// Max package draw per socket (W).
+    pub cpu_max_w: f64,
+    /// Idle DRAM draw for the whole node (W).
+    pub dram_idle_w: f64,
+    /// Max DRAM draw for the whole node (W).
+    pub dram_max_w: f64,
+    /// Fixed draw of everything else: fans, board, NICs (W).
+    pub misc_w: f64,
+    /// PSU efficiency (0..1]; wall power = component power / efficiency.
+    pub psu_efficiency: f64,
+    /// GPUs on the node.
+    pub gpus: Vec<GpuModel>,
+    /// IPMI wiring type.
+    pub ipmi_coverage: IpmiCoverage,
+}
+
+impl PowerSpec {
+    /// A typical dual-socket Intel CPU node (Cascade Lake-ish).
+    pub fn intel_cpu_node() -> PowerSpec {
+        PowerSpec {
+            vendor: CpuVendor::Intel,
+            sockets: 2,
+            cores_per_socket: 20,
+            cpu_idle_w: 45.0,
+            cpu_max_w: 150.0,
+            dram_idle_w: 12.0,
+            dram_max_w: 60.0,
+            misc_w: 60.0,
+            psu_efficiency: 0.92,
+            gpus: Vec::new(),
+            ipmi_coverage: IpmiCoverage::IncludesGpus,
+        }
+    }
+
+    /// A typical dual-socket AMD CPU node (EPYC-ish). AMD RAPL exposes no
+    /// DRAM domain, but DRAM still draws power — that asymmetry is what the
+    /// paper's per-node-group recording rules handle.
+    pub fn amd_cpu_node() -> PowerSpec {
+        PowerSpec {
+            vendor: CpuVendor::Amd,
+            sockets: 2,
+            cores_per_socket: 64,
+            cpu_idle_w: 65.0,
+            cpu_max_w: 225.0,
+            dram_idle_w: 18.0,
+            dram_max_w: 80.0,
+            misc_w: 70.0,
+            psu_efficiency: 0.93,
+            gpus: Vec::new(),
+            ipmi_coverage: IpmiCoverage::IncludesGpus,
+        }
+    }
+
+    /// A GPU node with `count` GPUs of `model` and the given IPMI wiring.
+    pub fn gpu_node(model: GpuModel, count: usize, coverage: IpmiCoverage) -> PowerSpec {
+        let mut spec = PowerSpec::intel_cpu_node();
+        spec.gpus = vec![model; count];
+        spec.ipmi_coverage = coverage;
+        spec
+    }
+
+    /// Total core count.
+    pub fn total_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+}
+
+/// Instantaneous ground-truth power by component.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ComponentPower {
+    /// Per-socket package power (W).
+    pub cpu_sockets_w: Vec<f64>,
+    /// Whole-node DRAM power (W).
+    pub dram_w: f64,
+    /// Per-GPU power (W).
+    pub gpus_w: Vec<f64>,
+    /// Fixed misc power (W).
+    pub misc_w: f64,
+    /// PSU conversion loss (W).
+    pub psu_loss_w: f64,
+}
+
+impl ComponentPower {
+    /// Total CPU package power.
+    pub fn cpu_total_w(&self) -> f64 {
+        self.cpu_sockets_w.iter().sum()
+    }
+
+    /// Total GPU power.
+    pub fn gpu_total_w(&self) -> f64 {
+        self.gpus_w.iter().sum()
+    }
+
+    /// Wall power including PSU loss (what a watt-meter would show).
+    pub fn wall_w(&self) -> f64 {
+        self.cpu_total_w() + self.dram_w + self.gpu_total_w() + self.misc_w + self.psu_loss_w
+    }
+}
+
+/// Computes ground-truth component power for the given utilisations.
+///
+/// * `cpu_util` — node-wide CPU utilisation in `[0, 1]` (spread evenly
+///   across sockets; the linear idle→max ramp is the standard first-order
+///   server power model).
+/// * `mem_activity` — DRAM activity in `[0, 1]`.
+/// * `gpu_utils` — per-GPU utilisation in `[0, 1]`; length must equal
+///   `spec.gpus.len()`.
+pub fn compute_power(
+    spec: &PowerSpec,
+    cpu_util: f64,
+    mem_activity: f64,
+    gpu_utils: &[f64],
+) -> ComponentPower {
+    assert_eq!(
+        gpu_utils.len(),
+        spec.gpus.len(),
+        "one utilisation value per GPU"
+    );
+    let clamp = |x: f64| x.clamp(0.0, 1.0);
+    let cpu_util = clamp(cpu_util);
+    let mem_activity = clamp(mem_activity);
+
+    let per_socket = spec.cpu_idle_w + (spec.cpu_max_w - spec.cpu_idle_w) * cpu_util;
+    let cpu_sockets_w = vec![per_socket; spec.sockets];
+    let dram_w = spec.dram_idle_w + (spec.dram_max_w - spec.dram_idle_w) * mem_activity;
+    let gpus_w: Vec<f64> = spec
+        .gpus
+        .iter()
+        .zip(gpu_utils.iter())
+        .map(|(g, &u)| g.idle_watts() + (g.max_watts() - g.idle_watts()) * clamp(u))
+        .collect();
+
+    let component_sum: f64 =
+        cpu_sockets_w.iter().sum::<f64>() + dram_w + gpus_w.iter().sum::<f64>() + spec.misc_w;
+    let psu_loss_w = component_sum * (1.0 / spec.psu_efficiency - 1.0);
+
+    ComponentPower {
+        cpu_sockets_w,
+        dram_w,
+        gpus_w,
+        misc_w: spec.misc_w,
+        psu_loss_w,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_power_is_floor() {
+        let spec = PowerSpec::intel_cpu_node();
+        let p = compute_power(&spec, 0.0, 0.0, &[]);
+        assert_eq!(p.cpu_total_w(), 2.0 * 45.0);
+        assert_eq!(p.dram_w, 12.0);
+        assert_eq!(p.gpu_total_w(), 0.0);
+        assert!(p.wall_w() > p.cpu_total_w() + p.dram_w + p.misc_w);
+    }
+
+    #[test]
+    fn full_load_hits_max() {
+        let spec = PowerSpec::intel_cpu_node();
+        let p = compute_power(&spec, 1.0, 1.0, &[]);
+        assert_eq!(p.cpu_total_w(), 2.0 * 150.0);
+        assert_eq!(p.dram_w, 60.0);
+    }
+
+    #[test]
+    fn utilisation_clamped() {
+        let spec = PowerSpec::intel_cpu_node();
+        let hi = compute_power(&spec, 7.0, 2.0, &[]);
+        let max = compute_power(&spec, 1.0, 1.0, &[]);
+        assert_eq!(hi, max);
+    }
+
+    #[test]
+    fn gpu_power_scales_with_util() {
+        let spec = PowerSpec::gpu_node(GpuModel::A100, 4, IpmiCoverage::IncludesGpus);
+        let idle = compute_power(&spec, 0.1, 0.1, &[0.0; 4]);
+        let busy = compute_power(&spec, 0.1, 0.1, &[1.0; 4]);
+        assert_eq!(idle.gpu_total_w(), 4.0 * 55.0);
+        assert_eq!(busy.gpu_total_w(), 4.0 * 400.0);
+        assert!(busy.wall_w() > idle.wall_w() + 1000.0);
+    }
+
+    #[test]
+    fn monotonic_in_cpu_util() {
+        let spec = PowerSpec::amd_cpu_node();
+        let mut last = 0.0;
+        for i in 0..=10 {
+            let p = compute_power(&spec, i as f64 / 10.0, 0.3, &[]);
+            assert!(p.wall_w() > last);
+            last = p.wall_w();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one utilisation value per GPU")]
+    fn gpu_util_arity_checked() {
+        let spec = PowerSpec::gpu_node(GpuModel::V100, 4, IpmiCoverage::ExcludesGpus);
+        compute_power(&spec, 0.0, 0.0, &[0.5]);
+    }
+
+    #[test]
+    fn gpu_model_catalog() {
+        assert!(GpuModel::H100.max_watts() > GpuModel::A100.max_watts());
+        assert!(GpuModel::A100.max_watts() > GpuModel::V100.max_watts());
+        assert_eq!(GpuModel::V100.memory_bytes(), 32 << 30);
+        assert!(GpuModel::A100.name().contains("A100"));
+    }
+}

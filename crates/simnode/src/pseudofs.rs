@@ -1,0 +1,88 @@
+//! The pseudo-filesystem read interface.
+//!
+//! On a real node the CEEMS exporter walks `/sys/fs/cgroup`,
+//! `/sys/class/powercap` and `/proc`. Collectors in this reproduction read
+//! through this trait instead, so the *parsing* code path is identical; the
+//! simulated node renders file contents on demand.
+
+/// Read-only filesystem view.
+pub trait PseudoFs {
+    /// Reads a file's full contents, or `None` if it does not exist.
+    fn read_file(&self, path: &str) -> Option<String>;
+
+    /// Lists directory entry names (not full paths), or `None` if the
+    /// directory does not exist.
+    fn list_dir(&self, path: &str) -> Option<Vec<String>>;
+
+    /// Convenience: reads a file and parses it as a number.
+    fn read_u64(&self, path: &str) -> Option<u64> {
+        self.read_file(path)?.trim().parse().ok()
+    }
+}
+
+/// A static in-memory filesystem for tests.
+#[derive(Default)]
+pub struct MapFs {
+    files: std::collections::BTreeMap<String, String>,
+}
+
+impl MapFs {
+    /// Creates an empty filesystem.
+    pub fn new() -> MapFs {
+        MapFs::default()
+    }
+
+    /// Adds a file.
+    pub fn insert(&mut self, path: &str, content: impl Into<String>) {
+        self.files.insert(path.to_string(), content.into());
+    }
+}
+
+impl PseudoFs for MapFs {
+    fn read_file(&self, path: &str) -> Option<String> {
+        self.files.get(path).cloned()
+    }
+
+    fn list_dir(&self, path: &str) -> Option<Vec<String>> {
+        let prefix = format!("{}/", path.trim_end_matches('/'));
+        let mut entries: Vec<String> = self
+            .files
+            .keys()
+            .filter_map(|k| k.strip_prefix(&prefix))
+            .map(|rest| rest.split('/').next().unwrap().to_string())
+            .collect();
+        entries.sort();
+        entries.dedup();
+        if entries.is_empty() {
+            None
+        } else {
+            Some(entries)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapfs_read_and_list() {
+        let mut fs = MapFs::new();
+        fs.insert("/sys/fs/cgroup/job_1/cpu.stat", "usage_usec 42\n");
+        fs.insert("/sys/fs/cgroup/job_1/memory.current", "1024\n");
+        fs.insert("/sys/fs/cgroup/job_2/cpu.stat", "usage_usec 7\n");
+
+        assert_eq!(
+            fs.read_file("/sys/fs/cgroup/job_1/memory.current").unwrap(),
+            "1024\n"
+        );
+        assert_eq!(fs.read_u64("/sys/fs/cgroup/job_1/memory.current"), Some(1024));
+        assert!(fs.read_file("/nope").is_none());
+
+        let dirs = fs.list_dir("/sys/fs/cgroup").unwrap();
+        assert_eq!(dirs, vec!["job_1", "job_2"]);
+        let files = fs.list_dir("/sys/fs/cgroup/job_1").unwrap();
+        assert_eq!(files, vec!["cpu.stat", "memory.current"]);
+        assert!(fs.list_dir("/empty").is_none());
+    }
+}

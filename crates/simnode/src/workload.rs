@@ -1,0 +1,255 @@
+//! Synthetic workload profiles.
+//!
+//! Each running task samples one of these profiles every simulation step to
+//! decide how hard it drives CPU, memory, GPU and IO. Profiles are
+//! deterministic functions of elapsed time plus bounded RNG noise, so runs
+//! are reproducible under a fixed seed.
+
+use rand::Rng;
+
+/// Instantaneous resource demand of a task, all fractions in `[0, 1]`
+/// relative to the task's *allocation* (not the node).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Usage {
+    /// Fraction of allocated cores busy.
+    pub cpu: f64,
+    /// Fraction of allocated memory resident.
+    pub mem: f64,
+    /// GPU SM utilisation (applies to each bound GPU).
+    pub gpu: f64,
+    /// GPU memory fraction.
+    pub gpu_mem: f64,
+    /// Read throughput (bytes/s).
+    pub io_read_bps: f64,
+    /// Write throughput (bytes/s).
+    pub io_write_bps: f64,
+    /// Network transmit rate (bytes/s) — the eBPF-sourced stat of the
+    /// paper's future-work list.
+    pub net_tx_bps: f64,
+    /// Network receive rate (bytes/s).
+    pub net_rx_bps: f64,
+}
+
+/// A workload shape.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadProfile {
+    /// Dense numerical compute: high steady CPU, moderate memory.
+    CpuBound {
+        /// Mean CPU fraction (e.g. 0.95).
+        intensity: f64,
+    },
+    /// Bandwidth-bound: moderate CPU, high memory residency and IO.
+    MemoryBound {
+        /// Resident-set fraction.
+        resident: f64,
+    },
+    /// GPU training loop: low CPU, high GPU with a periodic dip
+    /// (checkpoint/dataloader stalls).
+    GpuTraining {
+        /// Mean GPU utilisation.
+        intensity: f64,
+        /// Seconds between stalls.
+        period_s: f64,
+    },
+    /// CPU bursts alternating with idle (interactive / staged pipelines).
+    Bursty {
+        /// Cycle length in seconds.
+        period_s: f64,
+        /// Fraction of the cycle spent busy.
+        duty: f64,
+    },
+    /// Near-idle allocation (the inefficient jobs operators hunt with CEEMS).
+    Idle,
+}
+
+impl WorkloadProfile {
+    /// Samples demand at `t_s` seconds since the task started.
+    pub fn sample<R: Rng>(&self, t_s: f64, rng: &mut R) -> Usage {
+        let jitter = |rng: &mut R, base: f64, amp: f64| -> f64 {
+            (base + rng.gen_range(-amp..=amp)).clamp(0.0, 1.0)
+        };
+        match *self {
+            WorkloadProfile::CpuBound { intensity } => Usage {
+                cpu: jitter(rng, intensity, 0.04),
+                mem: jitter(rng, 0.4, 0.02),
+                gpu: 0.0,
+                gpu_mem: 0.0,
+                io_read_bps: 1e5,
+                io_write_bps: 5e4,
+                // MPI-style halo exchanges.
+                net_tx_bps: 2e7,
+                net_rx_bps: 2e7,
+            },
+            WorkloadProfile::MemoryBound { resident } => Usage {
+                cpu: jitter(rng, 0.45, 0.05),
+                mem: jitter(rng, resident, 0.03),
+                gpu: 0.0,
+                gpu_mem: 0.0,
+                io_read_bps: 5e7,
+                io_write_bps: 2e7,
+                net_tx_bps: 5e6,
+                net_rx_bps: 5e6,
+            },
+            WorkloadProfile::GpuTraining { intensity, period_s } => {
+                // Dip to ~20% utilisation for 5% of each period.
+                let phase = (t_s / period_s.max(1.0)).fract();
+                let stalled = phase > 0.95;
+                Usage {
+                    cpu: jitter(rng, 0.15, 0.03),
+                    mem: jitter(rng, 0.5, 0.02),
+                    gpu: if stalled {
+                        jitter(rng, 0.2, 0.05)
+                    } else {
+                        jitter(rng, intensity, 0.05)
+                    },
+                    gpu_mem: jitter(rng, 0.8, 0.02),
+                    io_read_bps: 2e7,
+                    io_write_bps: 1e6,
+                    // Dataset streaming dominates receive traffic.
+                    net_tx_bps: 1e6,
+                    net_rx_bps: 8e7,
+                }
+            }
+            WorkloadProfile::Bursty { period_s, duty } => {
+                let phase = (t_s / period_s.max(1.0)).fract();
+                let busy = phase < duty;
+                Usage {
+                    cpu: if busy {
+                        jitter(rng, 0.9, 0.05)
+                    } else {
+                        jitter(rng, 0.03, 0.02)
+                    },
+                    mem: jitter(rng, 0.3, 0.02),
+                    gpu: 0.0,
+                    gpu_mem: 0.0,
+                    io_read_bps: if busy { 1e6 } else { 1e3 },
+                    io_write_bps: if busy { 1e6 } else { 1e3 },
+                    net_tx_bps: if busy { 5e6 } else { 1e3 },
+                    net_rx_bps: if busy { 5e6 } else { 1e3 },
+                }
+            }
+            WorkloadProfile::Idle => Usage {
+                cpu: jitter(rng, 0.02, 0.01),
+                mem: jitter(rng, 0.1, 0.01),
+                gpu: 0.0,
+                gpu_mem: 0.0,
+                io_read_bps: 1e3,
+                io_write_bps: 1e3,
+                net_tx_bps: 1e3,
+                net_rx_bps: 1e3,
+            },
+        }
+    }
+
+    /// A short machine-readable name (stored in accounting).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WorkloadProfile::CpuBound { .. } => "cpu_bound",
+            WorkloadProfile::MemoryBound { .. } => "memory_bound",
+            WorkloadProfile::GpuTraining { .. } => "gpu_training",
+            WorkloadProfile::Bursty { .. } => "bursty",
+            WorkloadProfile::Idle => "idle",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_cpu(profile: &WorkloadProfile, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 500;
+        (0..n)
+            .map(|i| profile.sample(i as f64, &mut rng).cpu)
+            .sum::<f64>()
+            / n as f64
+    }
+
+    #[test]
+    fn cpu_bound_is_hot_idle_is_cold() {
+        let hot = mean_cpu(&WorkloadProfile::CpuBound { intensity: 0.95 }, 1);
+        let cold = mean_cpu(&WorkloadProfile::Idle, 1);
+        assert!(hot > 0.85, "hot={hot}");
+        assert!(cold < 0.1, "cold={cold}");
+    }
+
+    #[test]
+    fn bursty_duty_cycle_respected() {
+        let mean = mean_cpu(
+            &WorkloadProfile::Bursty {
+                period_s: 100.0,
+                duty: 0.3,
+            },
+            2,
+        );
+        // ~0.3*0.9 + 0.7*0.03 ≈ 0.29
+        assert!((mean - 0.29).abs() < 0.08, "mean={mean}");
+    }
+
+    #[test]
+    fn gpu_training_drives_gpu_not_cpu() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = WorkloadProfile::GpuTraining {
+            intensity: 0.9,
+            period_s: 600.0,
+        };
+        let u = p.sample(10.0, &mut rng);
+        assert!(u.gpu > 0.8);
+        assert!(u.cpu < 0.3);
+        assert!(u.gpu_mem > 0.7);
+        // During the stall window utilisation dips.
+        let stall = p.sample(0.96 * 600.0, &mut rng);
+        assert!(stall.gpu < 0.4);
+    }
+
+    #[test]
+    fn all_fractions_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for p in [
+            WorkloadProfile::CpuBound { intensity: 0.99 },
+            WorkloadProfile::MemoryBound { resident: 0.95 },
+            WorkloadProfile::GpuTraining {
+                intensity: 0.95,
+                period_s: 60.0,
+            },
+            WorkloadProfile::Bursty {
+                period_s: 10.0,
+                duty: 0.5,
+            },
+            WorkloadProfile::Idle,
+        ] {
+            for t in 0..200 {
+                let u = p.sample(t as f64 * 0.7, &mut rng);
+                for v in [u.cpu, u.mem, u.gpu, u.gpu_mem] {
+                    assert!((0.0..=1.0).contains(&v), "{p:?} out of range: {v}");
+                }
+                assert!(u.io_read_bps >= 0.0 && u.io_write_bps >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds: std::collections::BTreeSet<_> = [
+            WorkloadProfile::CpuBound { intensity: 0.5 }.kind(),
+            WorkloadProfile::MemoryBound { resident: 0.5 }.kind(),
+            WorkloadProfile::GpuTraining {
+                intensity: 0.5,
+                period_s: 1.0,
+            }
+            .kind(),
+            WorkloadProfile::Bursty {
+                period_s: 1.0,
+                duty: 0.5,
+            }
+            .kind(),
+            WorkloadProfile::Idle.kind(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(kinds.len(), 5);
+    }
+}

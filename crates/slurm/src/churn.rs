@@ -1,0 +1,294 @@
+//! Job-arrival generator.
+//!
+//! The paper's abstract highlights Jean-Zay's daily job churn as the load
+//! CEEMS must sustain. This generator produces a realistic mix: a
+//! population of users across projects, exponential inter-arrival times
+//! with a diurnal modulation, and job shapes skewed toward small short jobs
+//! with a tail of large long ones.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ceems_simnode::workload::WorkloadProfile;
+
+use crate::types::JobRequest;
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct ChurnConfig {
+    /// Number of distinct users.
+    pub users: usize,
+    /// Number of projects users are spread over.
+    pub projects: usize,
+    /// Mean job arrivals per simulated hour (before diurnal modulation).
+    pub mean_arrivals_per_hour: f64,
+    /// Partitions to target with relative weights.
+    pub partitions: Vec<(String, f64)>,
+    /// Fraction of jobs that are GPU jobs when targeting a GPU partition.
+    pub gpu_fraction: f64,
+}
+
+impl ChurnConfig {
+    /// A small default for tests.
+    pub fn small(partitions: Vec<(String, f64)>) -> ChurnConfig {
+        ChurnConfig {
+            users: 10,
+            projects: 3,
+            mean_arrivals_per_hour: 60.0,
+            partitions,
+            gpu_fraction: 0.5,
+        }
+    }
+}
+
+/// Generates submissions over simulated time.
+pub struct ChurnGenerator {
+    cfg: ChurnConfig,
+    rng: StdRng,
+    next_arrival_ms: i64,
+    generated: u64,
+}
+
+impl ChurnGenerator {
+    /// Creates a generator.
+    pub fn new(cfg: ChurnConfig, seed: u64) -> ChurnGenerator {
+        assert!(!cfg.partitions.is_empty(), "need at least one partition");
+        let mut g = ChurnGenerator {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            next_arrival_ms: 0,
+            generated: 0,
+        };
+        g.next_arrival_ms = g.draw_gap(0);
+        g
+    }
+
+    /// Total jobs generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Returns all submissions that arrive in `(prev, now_ms]`.
+    pub fn poll(&mut self, now_ms: i64) -> Vec<JobRequest> {
+        let mut out = Vec::new();
+        while self.next_arrival_ms <= now_ms {
+            let at = self.next_arrival_ms;
+            out.push(self.draw_job());
+            self.next_arrival_ms = at + self.draw_gap(at);
+        }
+        out
+    }
+
+    /// Exponential inter-arrival gap, modulated by a diurnal cycle
+    /// (arrival rate peaks mid-day at ~1.5×, bottoms out at night ~0.5×).
+    fn draw_gap(&mut self, now_ms: i64) -> i64 {
+        let hour_of_day = (now_ms as f64 / 3.6e6) % 24.0;
+        let diurnal = 1.0 + 0.5 * (std::f64::consts::TAU * (hour_of_day - 14.0) / 24.0).cos();
+        let rate_per_ms = self.cfg.mean_arrivals_per_hour * diurnal / 3.6e6;
+        let u: f64 = self.rng.gen_range(1e-9..1.0);
+        ((-u.ln() / rate_per_ms) as i64).max(1)
+    }
+
+    fn draw_job(&mut self) -> JobRequest {
+        self.generated += 1;
+        let user_id = self.rng.gen_range(0..self.cfg.users);
+        let project_id = user_id % self.cfg.projects;
+
+        // Pick a partition by weight.
+        let total_w: f64 = self.cfg.partitions.iter().map(|(_, w)| w).sum();
+        let mut pick = self.rng.gen_range(0.0..total_w);
+        let mut partition = self.cfg.partitions[0].0.clone();
+        for (name, w) in &self.cfg.partitions {
+            if pick < *w {
+                partition = name.clone();
+                break;
+            }
+            pick -= w;
+        }
+        let is_gpu_part = partition.contains("gpu")
+            || partition.contains("v100")
+            || partition.contains("a100")
+            || partition.contains("h100");
+
+        // Job-size distribution: 70% single-node small, 25% medium, 5%
+        // multi-node large.
+        let shape: f64 = self.rng.gen();
+        let (nodes, cores, mem_gb) = if shape < 0.70 {
+            (1, self.rng.gen_range(1..=8), self.rng.gen_range(2..=16))
+        } else if shape < 0.95 {
+            (1, self.rng.gen_range(8..=32), self.rng.gen_range(16..=64))
+        } else {
+            (
+                self.rng.gen_range(2..=4),
+                self.rng.gen_range(16..=40),
+                self.rng.gen_range(32..=128),
+            )
+        };
+        let gpus = if is_gpu_part && self.rng.gen::<f64>() < self.cfg.gpu_fraction {
+            self.rng.gen_range(1..=4)
+        } else {
+            0
+        };
+
+        // Walltime: log-uniform 10 min .. 20 h.
+        let log_min = (600.0f64).ln();
+        let log_max = (72_000.0f64).ln();
+        let walltime_s = self.rng.gen_range(log_min..log_max).exp() as u64;
+
+        let workload = match self.rng.gen_range(0..10) {
+            0..=3 => WorkloadProfile::CpuBound {
+                intensity: self.rng.gen_range(0.7..0.99),
+            },
+            4..=5 => WorkloadProfile::MemoryBound {
+                resident: self.rng.gen_range(0.5..0.95),
+            },
+            6..=7 if gpus > 0 => WorkloadProfile::GpuTraining {
+                intensity: self.rng.gen_range(0.7..0.98),
+                period_s: self.rng.gen_range(120.0..1200.0),
+            },
+            6..=7 => WorkloadProfile::Bursty {
+                period_s: self.rng.gen_range(30.0..600.0),
+                duty: self.rng.gen_range(0.2..0.8),
+            },
+            8 => WorkloadProfile::Bursty {
+                period_s: self.rng.gen_range(30.0..600.0),
+                duty: self.rng.gen_range(0.2..0.8),
+            },
+            _ => WorkloadProfile::Idle,
+        };
+
+        JobRequest {
+            user: format!("user{:03}", user_id),
+            account: format!("proj{:02}", project_id),
+            partition,
+            nodes,
+            cores_per_node: cores,
+            memory_per_node: (mem_gb as u64) << 30,
+            gpus_per_node: gpus,
+            walltime_s,
+            workload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ChurnConfig {
+        ChurnConfig::small(vec![("cpu".into(), 3.0), ("gpu".into(), 1.0)])
+    }
+
+    #[test]
+    fn arrival_rate_roughly_matches() {
+        let mut g = ChurnGenerator::new(cfg(), 11);
+        // 10 simulated hours at 60/h, diurnal-modulated: expect hundreds.
+        let jobs = g.poll(10 * 3_600_000);
+        let n = jobs.len() as f64;
+        assert!(n > 300.0 && n < 1200.0, "n={n}");
+        assert_eq!(g.generated() as usize, jobs.len());
+    }
+
+    #[test]
+    fn poll_is_incremental() {
+        let mut g = ChurnGenerator::new(cfg(), 12);
+        let first = g.poll(3_600_000).len();
+        let second = g.poll(7_200_000).len();
+        assert!(first > 0 && second > 0);
+        // Re-polling the same instant yields nothing new.
+        assert_eq!(g.poll(7_200_000).len(), 0);
+    }
+
+    #[test]
+    fn job_shapes_valid() {
+        let mut g = ChurnGenerator::new(cfg(), 13);
+        for req in g.poll(24 * 3_600_000) {
+            assert!(req.nodes >= 1 && req.nodes <= 4);
+            assert!(req.cores_per_node >= 1 && req.cores_per_node <= 40);
+            assert!(req.walltime_s >= 600 && req.walltime_s <= 72_000);
+            assert!(req.user.starts_with("user"));
+            assert!(req.account.starts_with("proj"));
+            assert!(req.partition == "cpu" || req.partition == "gpu");
+            if req.gpus_per_node > 0 {
+                assert_eq!(req.partition, "gpu");
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_jobs_only_on_gpu_partitions() {
+        let mut g = ChurnGenerator::new(
+            ChurnConfig {
+                gpu_fraction: 1.0,
+                ..cfg()
+            },
+            14,
+        );
+        let jobs = g.poll(24 * 3_600_000);
+        let gpu_jobs: Vec<_> = jobs.iter().filter(|j| j.gpus_per_node > 0).collect();
+        assert!(!gpu_jobs.is_empty());
+        assert!(gpu_jobs.iter().all(|j| j.partition == "gpu"));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<String> = ChurnGenerator::new(cfg(), 9)
+            .poll(3_600_000)
+            .iter()
+            .map(|j| format!("{}/{}/{}", j.user, j.partition, j.cores_per_node))
+            .collect();
+        let b: Vec<String> = ChurnGenerator::new(cfg(), 9)
+            .poll(3_600_000)
+            .iter()
+            .map(|j| format!("{}/{}/{}", j.user, j.partition, j.cores_per_node))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn empty_partitions_rejected() {
+        ChurnGenerator::new(ChurnConfig::small(vec![]), 1);
+    }
+}
+
+#[cfg(test)]
+mod diurnal_tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_follow_the_diurnal_cycle() {
+        // The generator peaks mid-afternoon and bottoms out at night; count
+        // arrivals in the 02:00-04:00 and 13:00-15:00 windows across 20
+        // simulated days.
+        let mut g = ChurnGenerator::new(
+            ChurnConfig::small(vec![("cpu".into(), 1.0)]),
+            77,
+        );
+        let mut night = 0usize;
+        let mut afternoon = 0usize;
+        let day_ms = 24 * 3_600_000i64;
+        let mut last = 0i64;
+        for day in 0..20 {
+            for (start_h, end_h, bucket) in [(2i64, 4i64, 0usize), (13, 15, 1)] {
+                let from = day * day_ms + start_h * 3_600_000;
+                let to = day * day_ms + end_h * 3_600_000;
+                // Drain up to `from` without counting, then count to `to`.
+                if from > last {
+                    g.poll(from);
+                }
+                let n = g.poll(to).len();
+                if bucket == 0 {
+                    night += n;
+                } else {
+                    afternoon += n;
+                }
+                last = to;
+            }
+        }
+        assert!(
+            afternoon as f64 > 1.5 * night as f64,
+            "afternoon={afternoon} night={night}"
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Accounting database — the `slurmdbd` stand-in the CEEMS API server
+//! polls.
+//!
+//! Every job is recorded at submit and updated at start/finish, with a
+//! last-update watermark so pollers can fetch incrementally ("give me every
+//! unit that changed since T"), which is exactly how the CEEMS API server
+//! keeps its SQLite copy fresh.
+
+use std::collections::BTreeMap;
+
+use ceems_simnode::workload::WorkloadProfile;
+
+use crate::types::{JobPlacement, JobRecord, JobState};
+
+/// The accounting database.
+#[derive(Default)]
+pub struct SlurmDbd {
+    records: BTreeMap<u64, JobRecord>,
+    workloads: BTreeMap<u64, WorkloadProfile>,
+    updated_ms: BTreeMap<u64, i64>,
+}
+
+impl SlurmDbd {
+    /// Empty database.
+    pub fn new() -> SlurmDbd {
+        SlurmDbd::default()
+    }
+
+    /// Records a submitted job.
+    pub fn record(&mut self, record: JobRecord, workload: WorkloadProfile) {
+        let id = record.id;
+        let t = record.submitted_ms;
+        self.records.insert(id, record);
+        self.workloads.insert(id, workload);
+        self.updated_ms.insert(id, t);
+    }
+
+    /// Marks a job started with its placements.
+    pub fn start(&mut self, id: u64, now_ms: i64, placements: Vec<JobPlacement>) {
+        if let Some(rec) = self.records.get_mut(&id) {
+            rec.state = JobState::Running;
+            rec.started_ms = Some(now_ms);
+            rec.placements = placements;
+            self.updated_ms.insert(id, now_ms);
+        }
+    }
+
+    /// Marks a job terminal.
+    pub fn finish(&mut self, id: u64, state: JobState, now_ms: i64) {
+        if let Some(rec) = self.records.get_mut(&id) {
+            rec.state = state;
+            rec.ended_ms = Some(now_ms);
+            self.updated_ms.insert(id, now_ms);
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, id: u64) -> Option<&JobRecord> {
+        self.records.get(&id)
+    }
+
+    /// The workload profile a job was submitted with.
+    pub fn workload_of(&self, id: u64) -> Option<WorkloadProfile> {
+        self.workloads.get(&id).cloned()
+    }
+
+    /// All records (sacct with no filters).
+    pub fn all(&self) -> impl Iterator<Item = &JobRecord> {
+        self.records.values()
+    }
+
+    /// The incremental poll the CEEMS API server issues: records updated at
+    /// or after `since_ms`, plus every non-terminal record (pending and
+    /// running units keep changing — their elapsed time and aggregates must
+    /// refresh on every poll even without a state transition).
+    pub fn jobs_since(&self, since_ms: i64) -> Vec<JobRecord> {
+        self.records
+            .values()
+            .filter(|r| {
+                !r.state.is_terminal()
+                    || self.updated_ms.get(&r.id).copied().unwrap_or(i64::MIN) >= since_ms
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// `sacct -u <user>`-style listing.
+    pub fn jobs_of_user(&self, user: &str) -> Vec<JobRecord> {
+        self.records
+            .values()
+            .filter(|r| r.user == user)
+            .cloned()
+            .collect()
+    }
+
+    /// Job count by state (queue health metrics).
+    pub fn count_by_state(&self) -> BTreeMap<JobState, usize> {
+        let mut out = BTreeMap::new();
+        for r in self.records.values() {
+            *out.entry(r.state).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Total number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no job was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+// JobState as BTreeMap key needs Ord.
+impl Ord for JobState {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (*self as u8).cmp(&(*other as u8))
+    }
+}
+
+impl PartialOrd for JobState {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::job_uuid;
+
+    fn rec(id: u64, user: &str, t: i64) -> JobRecord {
+        JobRecord {
+            id,
+            uuid: job_uuid(id),
+            user: user.into(),
+            account: "p".into(),
+            partition: "cpu".into(),
+            state: JobState::Pending,
+            submitted_ms: t,
+            started_ms: None,
+            ended_ms: None,
+            placements: vec![],
+            nodes: 1,
+            cores_per_node: 1,
+            memory_per_node: 1 << 30,
+            gpus_per_node: 0,
+            walltime_s: 60,
+            workload_kind: "idle",
+        }
+    }
+
+    #[test]
+    fn lifecycle_updates_watermark() {
+        let mut dbd = SlurmDbd::new();
+        dbd.record(rec(1, "alice", 100), WorkloadProfile::Idle);
+        dbd.record(rec(2, "bob", 200), WorkloadProfile::Idle);
+
+        // Non-terminal records always poll (their aggregates keep moving).
+        assert_eq!(dbd.jobs_since(150).len(), 2);
+        dbd.start(1, 300, vec![]);
+        dbd.finish(1, JobState::Completed, 400);
+        let r = dbd.get(1).unwrap();
+        assert_eq!(r.state, JobState::Completed);
+        assert_eq!(r.ended_ms, Some(400));
+        // Terminal records respect the watermark: job 1 finished at 400 so
+        // it shows at since=350 but not since=450; job 2 is still pending.
+        assert_eq!(dbd.jobs_since(350).len(), 2);
+        let later = dbd.jobs_since(450);
+        assert_eq!(later.len(), 1);
+        assert_eq!(later[0].id, 2);
+    }
+
+    #[test]
+    fn user_listing_and_counts() {
+        let mut dbd = SlurmDbd::new();
+        for (id, user) in [(1, "alice"), (2, "alice"), (3, "bob")] {
+            dbd.record(rec(id, user, 0), WorkloadProfile::Idle);
+        }
+        dbd.finish(2, JobState::Failed, 10);
+        assert_eq!(dbd.jobs_of_user("alice").len(), 2);
+        assert_eq!(dbd.jobs_of_user("nobody").len(), 0);
+        let counts = dbd.count_by_state();
+        assert_eq!(counts[&JobState::Pending], 2);
+        assert_eq!(counts[&JobState::Failed], 1);
+        assert_eq!(dbd.len(), 3);
+    }
+
+    #[test]
+    fn workload_retained() {
+        let mut dbd = SlurmDbd::new();
+        dbd.record(
+            rec(5, "u", 0),
+            WorkloadProfile::CpuBound { intensity: 0.5 },
+        );
+        assert_eq!(
+            dbd.workload_of(5),
+            Some(WorkloadProfile::CpuBound { intensity: 0.5 })
+        );
+        assert_eq!(dbd.workload_of(6), None);
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! SLURM-like batch scheduler simulation (S9 in `DESIGN.md`).
+//!
+//! CEEMS is resource-manager agnostic but its reference deployment runs
+//! against SLURM: the API server polls `slurmdbd` for the list of compute
+//! units, and compute nodes carry one cgroup per job. This crate simulates
+//! that contract:
+//!
+//! * [`types`] — users, accounts (projects), partitions, job states and
+//!   records.
+//! * [`sched`] — a FIFO + backfill scheduler that places jobs on
+//!   [`ceems_simnode`] nodes (creating their cgroups and binding GPUs) and
+//!   retires them when their runtime elapses.
+//! * [`dbd`] — the accounting database (`slurmdbd` stand-in) the CEEMS API
+//!   server polls.
+//! * [`churn`] — a job-arrival generator reproducing the daily churn the
+//!   paper reports on Jean-Zay.
+
+pub mod churn;
+pub mod dbd;
+pub mod sched;
+pub mod types;
+
+pub use churn::ChurnGenerator;
+pub use dbd::SlurmDbd;
+pub use sched::Scheduler;
+pub use types::{JobRecord, JobRequest, JobState, Partition};

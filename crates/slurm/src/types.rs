@@ -1,0 +1,222 @@
+//! Job, user and partition types.
+
+use ceems_simnode::cluster::NodeHandle;
+use ceems_simnode::workload::WorkloadProfile;
+
+/// Job lifecycle state (the SLURM states CEEMS cares about).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JobState {
+    /// Queued, not yet placed.
+    Pending,
+    /// Running on one or more nodes.
+    Running,
+    /// Finished normally.
+    Completed,
+    /// Finished with a non-zero exit code.
+    Failed,
+    /// Killed by the user.
+    Cancelled,
+    /// Killed for exceeding its walltime.
+    Timeout,
+}
+
+impl JobState {
+    /// `sacct`-style state string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Pending => "PENDING",
+            JobState::Running => "RUNNING",
+            JobState::Completed => "COMPLETED",
+            JobState::Failed => "FAILED",
+            JobState::Cancelled => "CANCELLED",
+            JobState::Timeout => "TIMEOUT",
+        }
+    }
+
+    /// True for states that can no longer change.
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, JobState::Pending | JobState::Running)
+    }
+}
+
+/// A named group of nodes jobs can target.
+#[derive(Clone)]
+pub struct Partition {
+    /// Partition name, e.g. `gpu-a100`.
+    pub name: String,
+    /// Member nodes.
+    pub nodes: Vec<NodeHandle>,
+    /// Hard walltime cap (seconds).
+    pub max_walltime_s: u64,
+}
+
+impl Partition {
+    /// Builds a partition.
+    pub fn new(name: impl Into<String>, nodes: Vec<NodeHandle>, max_walltime_s: u64) -> Partition {
+        Partition {
+            name: name.into(),
+            nodes,
+            max_walltime_s,
+        }
+    }
+}
+
+/// A job submission.
+#[derive(Clone, Debug)]
+pub struct JobRequest {
+    /// Submitting user.
+    pub user: String,
+    /// Account / project charged.
+    pub account: String,
+    /// Target partition name.
+    pub partition: String,
+    /// Nodes requested.
+    pub nodes: usize,
+    /// Cores per node.
+    pub cores_per_node: usize,
+    /// Memory per node (bytes).
+    pub memory_per_node: u64,
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+    /// Requested walltime (seconds).
+    pub walltime_s: u64,
+    /// Workload shape the job runs.
+    pub workload: WorkloadProfile,
+}
+
+/// One node's share of a running/finished job.
+#[derive(Clone, Debug)]
+pub struct JobPlacement {
+    /// Hostname.
+    pub hostname: String,
+    /// GPU ordinals bound on that node (the map CEEMS persists).
+    pub gpu_ordinals: Vec<usize>,
+}
+
+/// The accounting record of a job (what `sacct` / slurmdbd reports).
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// Numeric job id.
+    pub id: u64,
+    /// The globally unique identifier CEEMS uses (`slurm-<id>`).
+    pub uuid: String,
+    /// Submitting user.
+    pub user: String,
+    /// Account / project.
+    pub account: String,
+    /// Partition name.
+    pub partition: String,
+    /// State.
+    pub state: JobState,
+    /// Submit time (ms, simulated clock).
+    pub submitted_ms: i64,
+    /// Start time (ms), if started.
+    pub started_ms: Option<i64>,
+    /// End time (ms), if terminal.
+    pub ended_ms: Option<i64>,
+    /// Per-node placements, in allocation order.
+    pub placements: Vec<JobPlacement>,
+    /// Nodes requested.
+    pub nodes: usize,
+    /// Cores per node.
+    pub cores_per_node: usize,
+    /// Memory per node (bytes).
+    pub memory_per_node: u64,
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+    /// Requested walltime (s).
+    pub walltime_s: u64,
+    /// Workload kind string (for analysis, not exported).
+    pub workload_kind: &'static str,
+}
+
+impl JobRecord {
+    /// Total cores across nodes.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Total GPUs across nodes.
+    pub fn total_gpus(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// Elapsed runtime in seconds (0 if never started; up to `now` while
+    /// running).
+    pub fn elapsed_s(&self, now_ms: i64) -> f64 {
+        match self.started_ms {
+            None => 0.0,
+            Some(start) => {
+                let end = self.ended_ms.unwrap_or(now_ms);
+                ((end - start).max(0)) as f64 / 1000.0
+            }
+        }
+    }
+}
+
+/// Formats a CEEMS unit uuid from a job id.
+pub fn job_uuid(id: u64) -> String {
+    format!("slurm-{id}")
+}
+
+/// Parses a CEEMS unit uuid back to a job id.
+pub fn parse_job_uuid(uuid: &str) -> Option<u64> {
+    uuid.strip_prefix("slurm-")?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_strings_and_terminality() {
+        assert_eq!(JobState::Running.as_str(), "RUNNING");
+        assert!(!JobState::Running.is_terminal());
+        assert!(!JobState::Pending.is_terminal());
+        for s in [
+            JobState::Completed,
+            JobState::Failed,
+            JobState::Cancelled,
+            JobState::Timeout,
+        ] {
+            assert!(s.is_terminal());
+        }
+    }
+
+    #[test]
+    fn uuid_roundtrip() {
+        assert_eq!(job_uuid(42), "slurm-42");
+        assert_eq!(parse_job_uuid("slurm-42"), Some(42));
+        assert_eq!(parse_job_uuid("openstack-42"), None);
+        assert_eq!(parse_job_uuid("slurm-x"), None);
+    }
+
+    #[test]
+    fn elapsed_accounts_for_state() {
+        let mut rec = JobRecord {
+            id: 1,
+            uuid: job_uuid(1),
+            user: "alice".into(),
+            account: "proj1".into(),
+            partition: "cpu".into(),
+            state: JobState::Pending,
+            submitted_ms: 0,
+            started_ms: None,
+            ended_ms: None,
+            placements: vec![],
+            nodes: 2,
+            cores_per_node: 8,
+            memory_per_node: 1 << 30,
+            gpus_per_node: 1,
+            walltime_s: 600,
+            workload_kind: "idle",
+        };
+        assert_eq!(rec.elapsed_s(10_000), 0.0);
+        rec.started_ms = Some(5_000);
+        assert_eq!(rec.elapsed_s(15_000), 10.0);
+        rec.ended_ms = Some(11_000);
+        assert_eq!(rec.elapsed_s(1_000_000), 6.0);
+        assert_eq!(rec.total_cores(), 16);
+        assert_eq!(rec.total_gpus(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Immutable time-partitioned blocks for the long-term store.
+//!
+//! The hot TSDB replicates sealed time windows into these blocks (the
+//! Thanos role in Fig. 1). Each block holds compressed chunks keyed by
+//! label set; selection is a scan + matcher filter, which is fine for the
+//! cold path.
+
+use ceems_metrics::labels::LabelSet;
+use ceems_metrics::matcher::{matches_all, LabelMatcher};
+
+use crate::chunk::XorChunk;
+use crate::types::{Sample, SeriesData};
+
+/// An immutable block covering `[min_t, max_t]`.
+pub struct Block {
+    min_t: i64,
+    max_t: i64,
+    series: Vec<(LabelSet, XorChunk)>,
+}
+
+impl Block {
+    /// Builds a block from series data. Series out of time order are
+    /// skipped sample-wise (callers hand over sorted data).
+    pub fn from_series(series: Vec<SeriesData>) -> Block {
+        let mut min_t = i64::MAX;
+        let mut max_t = i64::MIN;
+        let mut out = Vec::with_capacity(series.len());
+        for s in series {
+            if s.samples.is_empty() {
+                continue;
+            }
+            let mut chunk = XorChunk::new();
+            for sample in &s.samples {
+                if chunk.append(*sample).is_ok() {
+                    min_t = min_t.min(sample.t_ms);
+                    max_t = max_t.max(sample.t_ms);
+                }
+            }
+            if !chunk.is_empty() {
+                out.push((s.labels, chunk));
+            }
+        }
+        Block {
+            min_t,
+            max_t,
+            series: out,
+        }
+    }
+
+    /// Earliest sample time.
+    pub fn min_time(&self) -> i64 {
+        self.min_t
+    }
+
+    /// Latest sample time.
+    pub fn max_time(&self) -> i64 {
+        self.max_t
+    }
+
+    /// Series count.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Total compressed bytes.
+    pub fn byte_len(&self) -> usize {
+        self.series.iter().map(|(_, c)| c.byte_len()).sum()
+    }
+
+    /// Selects matching series restricted to `[tmin, tmax]`.
+    pub fn select(&self, matchers: &[LabelMatcher], tmin: i64, tmax: i64) -> Vec<SeriesData> {
+        if tmax < self.min_t || tmin > self.max_t {
+            return Vec::new();
+        }
+        self.series
+            .iter()
+            .filter(|(labels, _)| matches_all(matchers, labels))
+            .filter_map(|(labels, chunk)| {
+                let samples: Vec<Sample> = chunk
+                    .iter()
+                    .filter(|s| s.t_ms >= tmin && s.t_ms <= tmax)
+                    .collect();
+                (!samples.is_empty()).then(|| SeriesData {
+                    labels: labels.clone(),
+                    samples,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceems_metrics::labels;
+
+    fn block() -> Block {
+        Block::from_series(vec![
+            SeriesData {
+                labels: labels! {"__name__" => "m", "instance" => "n1"},
+                samples: (0..10).map(|i| Sample::new(i * 1000, i as f64)).collect(),
+            },
+            SeriesData {
+                labels: labels! {"__name__" => "m", "instance" => "n2"},
+                samples: (5..15).map(|i| Sample::new(i * 1000, 0.0)).collect(),
+            },
+            SeriesData {
+                labels: labels! {"__name__" => "empty"},
+                samples: vec![],
+            },
+        ])
+    }
+
+    #[test]
+    fn build_and_bounds() {
+        let b = block();
+        assert_eq!(b.series_count(), 2); // empty series dropped
+        assert_eq!(b.min_time(), 0);
+        assert_eq!(b.max_time(), 14_000);
+        assert!(b.byte_len() > 0);
+    }
+
+    #[test]
+    fn select_with_matchers_and_range() {
+        let b = block();
+        let got = b.select(&[LabelMatcher::eq("instance", "n1")], 2_000, 4_000);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].samples.len(), 3);
+
+        let all = b.select(&[LabelMatcher::eq("__name__", "m")], 0, i64::MAX);
+        assert_eq!(all.len(), 2);
+
+        // Disjoint range short-circuits.
+        assert!(b.select(&[], 100_000, 200_000).is_empty());
+    }
+}

@@ -1,0 +1,361 @@
+//! Prometheus HTTP API subset.
+//!
+//! The endpoints Grafana and the CEEMS load balancer actually use:
+//! `/api/v1/query`, `/api/v1/query_range`, `/api/v1/labels`,
+//! `/api/v1/label/<name>/values`, `/api/v1/series`, plus the admin
+//! `delete_series` the API server's cardinality cleanup calls. Responses
+//! follow the Prometheus JSON envelope (`status`/`data`, values as
+//! `[unix_seconds, "string"]` pairs).
+
+use std::sync::Arc;
+
+use serde_json::{json, Value as Json};
+
+use ceems_http::{Request, Response, Router, Status};
+use ceems_metrics::labels::LabelSet;
+use ceems_metrics::matcher::LabelMatcher;
+
+use crate::promql::{instant_query, parse_expr, range_query, Expr, Value};
+use crate::storage::Tsdb;
+
+/// A clock supplying "now" for queries without an explicit `time` param
+/// (simulated deployments pass the simulation clock).
+pub type NowFn = Arc<dyn Fn() -> i64 + Send + Sync>;
+
+fn ok_json(data: Json) -> Response {
+    Response::json(
+        serde_json::to_vec(&json!({"status": "success", "data": data})).unwrap(),
+    )
+}
+
+fn err_json(status: Status, error: impl Into<String>) -> Response {
+    let body = json!({"status": "error", "error": error.into()});
+    Response::json(serde_json::to_vec(&body).unwrap()).with_status(status)
+}
+
+trait WithStatus {
+    fn with_status(self, s: Status) -> Response;
+}
+
+impl WithStatus for Response {
+    fn with_status(mut self, s: Status) -> Response {
+        self.status = s;
+        self
+    }
+}
+
+fn labels_to_json(labels: &LabelSet) -> Json {
+    let map: serde_json::Map<String, Json> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), Json::String(v.to_string())))
+        .collect();
+    Json::Object(map)
+}
+
+fn sample_pair(t_ms: i64, v: f64) -> Json {
+    json!([t_ms as f64 / 1000.0, format!("{v}")])
+}
+
+/// Parses a `time=`-style parameter (unix seconds, fractional allowed).
+fn parse_time(req: &Request, name: &str, default_ms: i64) -> Result<i64, String> {
+    match req.query_param(name) {
+        None => Ok(default_ms),
+        Some(s) => s
+            .parse::<f64>()
+            .map(|secs| (secs * 1000.0) as i64)
+            .map_err(|_| format!("bad {name} parameter: {s:?}")),
+    }
+}
+
+/// Parses the `match[]` selectors of series/delete endpoints.
+fn parse_matchers(req: &Request) -> Result<Vec<Vec<LabelMatcher>>, String> {
+    let mut out = Vec::new();
+    for m in req.query_params("match[]") {
+        match parse_expr(m) {
+            Ok(Expr::Selector(sel)) if sel.range_ms.is_none() => out.push(sel.matchers),
+            Ok(_) => return Err(format!("match[] must be an instant selector: {m:?}")),
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    if out.is_empty() {
+        return Err("no match[] parameter".into());
+    }
+    Ok(out)
+}
+
+/// Builds the API router over a TSDB.
+pub fn api_router(db: Arc<Tsdb>, now: NowFn) -> Router {
+    let mut router = Router::new();
+
+    {
+        let db = db.clone();
+        let now = now.clone();
+        router.get("/api/v1/query", move |req| {
+            let t = match parse_time(req, "time", now()) {
+                Ok(t) => t,
+                Err(e) => return err_json(Status::BAD_REQUEST, e),
+            };
+            let Some(q) = req.query_param("query") else {
+                return err_json(Status::BAD_REQUEST, "missing query parameter");
+            };
+            let expr = match parse_expr(q) {
+                Ok(e) => e,
+                Err(e) => return err_json(Status::BAD_REQUEST, e.to_string()),
+            };
+            match instant_query(db.as_ref(), &expr, t) {
+                Ok(Value::Scalar(v)) => ok_json(json!({
+                    "resultType": "scalar",
+                    "result": sample_pair(t, v),
+                })),
+                Ok(Value::Vector(vec)) => ok_json(json!({
+                    "resultType": "vector",
+                    "result": vec.iter().map(|(l, v)| json!({
+                        "metric": labels_to_json(l),
+                        "value": sample_pair(t, *v),
+                    })).collect::<Vec<_>>(),
+                })),
+                Ok(Value::Matrix(m)) => ok_json(json!({
+                    "resultType": "matrix",
+                    "result": m.iter().map(|s| json!({
+                        "metric": labels_to_json(&s.labels),
+                        "values": s.samples.iter().map(|x| sample_pair(x.t_ms, x.v)).collect::<Vec<_>>(),
+                    })).collect::<Vec<_>>(),
+                })),
+                Err(e) => err_json(Status::UNPROCESSABLE, e.to_string()),
+            }
+        });
+    }
+
+    {
+        let db = db.clone();
+        router.get("/api/v1/query_range", move |req| {
+            let (start, end) = match (parse_time(req, "start", 0), parse_time(req, "end", 0)) {
+                (Ok(s), Ok(e)) => (s, e),
+                (Err(e), _) | (_, Err(e)) => return err_json(Status::BAD_REQUEST, e),
+            };
+            let step_ms = match req.query_param("step") {
+                Some(s) => match s.parse::<f64>() {
+                    Ok(sec) if sec > 0.0 => (sec * 1000.0) as i64,
+                    _ => return err_json(Status::BAD_REQUEST, "bad step parameter"),
+                },
+                None => return err_json(Status::BAD_REQUEST, "missing step parameter"),
+            };
+            let Some(q) = req.query_param("query") else {
+                return err_json(Status::BAD_REQUEST, "missing query parameter");
+            };
+            let expr = match parse_expr(q) {
+                Ok(e) => e,
+                Err(e) => return err_json(Status::BAD_REQUEST, e.to_string()),
+            };
+            match range_query(db.as_ref(), &expr, start, end, step_ms) {
+                Ok(series) => ok_json(json!({
+                    "resultType": "matrix",
+                    "result": series.iter().map(|s| json!({
+                        "metric": labels_to_json(&s.labels),
+                        "values": s.samples.iter().map(|x| sample_pair(x.t_ms, x.v)).collect::<Vec<_>>(),
+                    })).collect::<Vec<_>>(),
+                })),
+                Err(e) => err_json(Status::UNPROCESSABLE, e.to_string()),
+            }
+        });
+    }
+
+    {
+        let db = db.clone();
+        router.get("/api/v1/labels", move |_req| {
+            ok_json(json!(db.label_names()))
+        });
+    }
+
+    {
+        let db = db.clone();
+        router.get("/api/v1/label/:name/values", move |req| {
+            let name = req.path_param("name").unwrap_or_default();
+            ok_json(json!(db.label_values(name)))
+        });
+    }
+
+    {
+        let db = db.clone();
+        router.get("/api/v1/series", move |req| {
+            let matcher_sets = match parse_matchers(req) {
+                Ok(m) => m,
+                Err(e) => return err_json(Status::BAD_REQUEST, e),
+            };
+            let mut out: Vec<Json> = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for matchers in matcher_sets {
+                for (labels, _) in db.select_latest(&matchers) {
+                    if seen.insert(labels.fingerprint()) {
+                        out.push(labels_to_json(&labels));
+                    }
+                }
+            }
+            ok_json(Json::Array(out))
+        });
+    }
+
+    {
+        let db = db.clone();
+        router.get("/api/v1/status/tsdb", move |_req| {
+            ok_json(json!({
+                "headStats": {
+                    "numSeries": db.series_count(),
+                    "numSamples": db.samples_appended(),
+                    "storageBytes": db.storage_bytes(),
+                }
+            }))
+        });
+    }
+
+    {
+        let db = db.clone();
+        router.post("/api/v1/admin/tsdb/delete_series", move |req| {
+            let matcher_sets = match parse_matchers(req) {
+                Ok(m) => m,
+                Err(e) => return err_json(Status::BAD_REQUEST, e),
+            };
+            let mut deleted = 0;
+            for matchers in matcher_sets {
+                deleted += db.delete_series(&matchers);
+            }
+            ok_json(json!({"deletedSeries": deleted}))
+        });
+    }
+
+    router
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceems_http::{Client, HttpServer, ServerConfig};
+    use ceems_metrics::labels;
+
+    fn serve() -> (HttpServer, Arc<Tsdb>) {
+        let db = Arc::new(Tsdb::default());
+        for i in 0..10i64 {
+            db.append(
+                &labels! {"__name__" => "power_watts", "instance" => "n1"},
+                i * 15_000,
+                100.0,
+            );
+            db.append(
+                &labels! {"__name__" => "power_watts", "instance" => "n2"},
+                i * 15_000,
+                200.0,
+            );
+        }
+        let router = api_router(db.clone(), Arc::new(|| 135_000));
+        let server = HttpServer::serve(ServerConfig::ephemeral(), router).unwrap();
+        (server, db)
+    }
+
+    fn get_json(url: &str) -> serde_json::Value {
+        let resp = Client::new().get(url).unwrap();
+        serde_json::from_slice(&resp.body).unwrap()
+    }
+
+    #[test]
+    fn instant_query_endpoint() {
+        let (server, _db) = serve();
+        let v = get_json(&format!(
+            "{}/api/v1/query?query=sum(power_watts)",
+            server.base_url()
+        ));
+        assert_eq!(v["status"], "success");
+        assert_eq!(v["data"]["resultType"], "vector");
+        assert_eq!(v["data"]["result"][0]["value"][1], "300");
+        // Explicit time param.
+        let v = get_json(&format!(
+            "{}/api/v1/query?query=power_watts&time=135",
+            server.base_url()
+        ));
+        assert_eq!(v["data"]["result"].as_array().unwrap().len(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn range_query_endpoint() {
+        let (server, _db) = serve();
+        let v = get_json(&format!(
+            "{}/api/v1/query_range?query=power_watts&start=0&end=135&step=15",
+            server.base_url()
+        ));
+        assert_eq!(v["status"], "success");
+        let result = v["data"]["result"].as_array().unwrap();
+        assert_eq!(result.len(), 2);
+        assert_eq!(result[0]["values"].as_array().unwrap().len(), 10);
+        server.shutdown();
+    }
+
+    #[test]
+    fn labels_series_and_status() {
+        let (server, _db) = serve();
+        let v = get_json(&format!("{}/api/v1/labels", server.base_url()));
+        assert!(v["data"].as_array().unwrap().iter().any(|x| x == "instance"));
+
+        let v = get_json(&format!(
+            "{}/api/v1/label/instance/values",
+            server.base_url()
+        ));
+        assert_eq!(v["data"], json!(["n1", "n2"]));
+
+        let v = get_json(&format!(
+            "{}/api/v1/series?match[]=power_watts%7Binstance%3D%22n1%22%7D",
+            server.base_url()
+        ));
+        assert_eq!(v["data"].as_array().unwrap().len(), 1);
+
+        let v = get_json(&format!("{}/api/v1/status/tsdb", server.base_url()));
+        assert_eq!(v["data"]["headStats"]["numSeries"], 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn delete_series_endpoint() {
+        let (server, db) = serve();
+        let resp = Client::new()
+            .post(
+                &format!(
+                    "{}/api/v1/admin/tsdb/delete_series?match[]=%7Binstance%3D%22n1%22%7D",
+                    server.base_url()
+                ),
+                Vec::new(),
+                "application/json",
+            )
+            .unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["data"]["deletedSeries"], 1);
+        assert_eq!(db.series_count(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn error_responses() {
+        let (server, _db) = serve();
+        let resp = Client::new()
+            .get(&format!("{}/api/v1/query", server.base_url()))
+            .unwrap();
+        assert_eq!(resp.status, Status::BAD_REQUEST);
+        let resp = Client::new()
+            .get(&format!(
+                "{}/api/v1/query?query=rate(power_watts)",
+                server.base_url()
+            ))
+            .unwrap();
+        assert_eq!(resp.status, Status::UNPROCESSABLE);
+        let resp = Client::new()
+            .get(&format!(
+                "{}/api/v1/query_range?query=up&start=0&end=10&step=0",
+                server.base_url()
+            ))
+            .unwrap();
+        assert_eq!(resp.status, Status::BAD_REQUEST);
+        let resp = Client::new()
+            .get(&format!("{}/api/v1/series", server.base_url()))
+            .unwrap();
+        assert_eq!(resp.status, Status::BAD_REQUEST);
+        server.shutdown();
+    }
+}

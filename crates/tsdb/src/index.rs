@@ -1,0 +1,310 @@
+//! Inverted label index.
+//!
+//! Maps label `name → value → posting list` (sorted series ids). Selectors
+//! with exact matchers intersect posting lists; regex/negative matchers
+//! scan the value space of the label, which is how Prometheus' index works
+//! and why high label cardinality (§II.C of the paper) hurts.
+
+use std::collections::{BTreeMap, HashMap};
+
+use ceems_metrics::labels::LabelSet;
+use ceems_metrics::matcher::{LabelMatcher, MatchOp};
+
+use crate::types::SeriesId;
+
+/// The index plus the series registry.
+#[derive(Debug, Default)]
+pub struct LabelIndex {
+    postings: BTreeMap<String, BTreeMap<String, Vec<SeriesId>>>,
+    series: HashMap<SeriesId, LabelSet>,
+    by_fingerprint: HashMap<u64, Vec<SeriesId>>,
+    next_id: SeriesId,
+}
+
+impl LabelIndex {
+    /// Empty index.
+    pub fn new() -> LabelIndex {
+        LabelIndex::default()
+    }
+
+    /// Number of live series.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Looks up an existing series id for exactly these labels.
+    pub fn lookup(&self, labels: &LabelSet) -> Option<SeriesId> {
+        let fp = labels.fingerprint();
+        self.by_fingerprint
+            .get(&fp)?
+            .iter()
+            .copied()
+            .find(|id| &self.series[id] == labels)
+    }
+
+    /// Gets an existing id or registers a new series.
+    pub fn get_or_create(&mut self, labels: &LabelSet) -> SeriesId {
+        if let Some(id) = self.lookup(labels) {
+            return id;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.series.insert(id, labels.clone());
+        self.by_fingerprint
+            .entry(labels.fingerprint())
+            .or_default()
+            .push(id);
+        for (k, v) in labels.iter() {
+            let list = self
+                .postings
+                .entry(k.to_string())
+                .or_default()
+                .entry(v.to_string())
+                .or_default();
+            // Ids are handed out in increasing order, so push keeps lists sorted.
+            list.push(id);
+        }
+        id
+    }
+
+    /// Removes a series entirely (tombstone purge).
+    pub fn remove(&mut self, id: SeriesId) {
+        let Some(labels) = self.series.remove(&id) else {
+            return;
+        };
+        if let Some(v) = self.by_fingerprint.get_mut(&labels.fingerprint()) {
+            v.retain(|&x| x != id);
+            if v.is_empty() {
+                self.by_fingerprint.remove(&labels.fingerprint());
+            }
+        }
+        for (k, val) in labels.iter() {
+            if let Some(values) = self.postings.get_mut(k) {
+                if let Some(list) = values.get_mut(val) {
+                    list.retain(|&x| x != id);
+                    if list.is_empty() {
+                        values.remove(val);
+                    }
+                }
+                if values.is_empty() {
+                    self.postings.remove(k);
+                }
+            }
+        }
+    }
+
+    /// Labels of a series.
+    pub fn labels(&self, id: SeriesId) -> Option<&LabelSet> {
+        self.series.get(&id)
+    }
+
+    /// All label names present.
+    pub fn label_names(&self) -> Vec<String> {
+        self.postings.keys().cloned().collect()
+    }
+
+    /// All values of a label name.
+    pub fn label_values(&self, name: &str) -> Vec<String> {
+        self.postings
+            .get(name)
+            .map(|m| m.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Resolves matchers to the sorted set of matching series ids.
+    pub fn select(&self, matchers: &[LabelMatcher]) -> Vec<SeriesId> {
+        if matchers.is_empty() {
+            let mut all: Vec<SeriesId> = self.series.keys().copied().collect();
+            all.sort_unstable();
+            return all;
+        }
+
+        // Candidate narrowing: start from the cheapest positive matcher.
+        let mut candidate: Option<Vec<SeriesId>> = None;
+        for m in matchers {
+            let list = match m.op {
+                MatchOp::Eq if m.is_exact() => Some(
+                    self.postings
+                        .get(&m.name)
+                        .and_then(|values| values.get(&m.value))
+                        .cloned()
+                        .unwrap_or_default(),
+                ),
+                MatchOp::Re => {
+                    // Union of posting lists of matching values.
+                    self.postings.get(&m.name).map(|values| {
+                        let mut out: Vec<SeriesId> = values
+                            .iter()
+                            .filter(|(v, _)| m.matches_value(v))
+                            .flat_map(|(_, ids)| ids.iter().copied())
+                            .collect();
+                        out.sort_unstable();
+                        out.dedup();
+                        out
+                    })
+                }
+                _ => None, // negative / empty matchers can't narrow
+            };
+            if let Some(list) = list {
+                candidate = Some(match candidate {
+                    None => list,
+                    Some(prev) => intersect_sorted(&prev, &list),
+                });
+            }
+        }
+
+        let base: Vec<SeriesId> = match candidate {
+            Some(c) => c,
+            None => {
+                let mut all: Vec<SeriesId> = self.series.keys().copied().collect();
+                all.sort_unstable();
+                all
+            }
+        };
+
+        // Final filter applies every matcher (covers negatives and the
+        // absent-label-means-empty rule).
+        base.into_iter()
+            .filter(|id| {
+                let labels = &self.series[id];
+                matchers.iter().all(|m| m.matches(labels))
+            })
+            .collect()
+    }
+}
+
+/// Intersects two sorted id lists.
+pub fn intersect_sorted(a: &[SeriesId], b: &[SeriesId]) -> Vec<SeriesId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceems_metrics::labels;
+
+    fn sample_index() -> LabelIndex {
+        let mut idx = LabelIndex::new();
+        idx.get_or_create(&labels! {"__name__" => "up", "instance" => "n1", "job" => "ceems"});
+        idx.get_or_create(&labels! {"__name__" => "up", "instance" => "n2", "job" => "ceems"});
+        idx.get_or_create(&labels! {"__name__" => "power", "instance" => "n1", "job" => "ceems"});
+        idx.get_or_create(&labels! {"__name__" => "power", "instance" => "gpu-1", "job" => "dcgm"});
+        idx
+    }
+
+    #[test]
+    fn ids_stable_per_label_set() {
+        let mut idx = LabelIndex::new();
+        let a = idx.get_or_create(&labels! {"x" => "1"});
+        let b = idx.get_or_create(&labels! {"x" => "2"});
+        let a2 = idx.get_or_create(&labels! {"x" => "1"});
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(idx.series_count(), 2);
+    }
+
+    #[test]
+    fn exact_select_intersects() {
+        let idx = sample_index();
+        let ids = idx.select(&[
+            LabelMatcher::eq("__name__", "up"),
+            LabelMatcher::eq("instance", "n1"),
+        ]);
+        assert_eq!(ids.len(), 1);
+        assert_eq!(
+            idx.labels(ids[0]).unwrap().get("instance"),
+            Some("n1")
+        );
+    }
+
+    #[test]
+    fn regex_and_negative_matchers() {
+        let idx = sample_index();
+        let re = LabelMatcher::new("instance", MatchOp::Re, "n\\d+").unwrap();
+        let ids = idx.select(&[re]);
+        assert_eq!(ids.len(), 3);
+
+        let ne = LabelMatcher::new("job", MatchOp::Ne, "dcgm").unwrap();
+        let ids = idx.select(&[LabelMatcher::eq("__name__", "power"), ne]);
+        assert_eq!(ids.len(), 1);
+
+        let nre = LabelMatcher::new("instance", MatchOp::Nre, "gpu-.*").unwrap();
+        let ids = idx.select(&[nre]);
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn empty_matcher_set_selects_all() {
+        let idx = sample_index();
+        assert_eq!(idx.select(&[]).len(), 4);
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let idx = sample_index();
+        assert!(idx.select(&[LabelMatcher::eq("__name__", "nope")]).is_empty());
+        assert!(idx
+            .select(&[
+                LabelMatcher::eq("__name__", "up"),
+                LabelMatcher::eq("job", "dcgm")
+            ])
+            .is_empty());
+    }
+
+    #[test]
+    fn label_names_and_values() {
+        let idx = sample_index();
+        assert_eq!(
+            idx.label_names(),
+            vec!["__name__".to_string(), "instance".into(), "job".into()]
+        );
+        assert_eq!(
+            idx.label_values("__name__"),
+            vec!["power".to_string(), "up".into()]
+        );
+        assert!(idx.label_values("none").is_empty());
+    }
+
+    #[test]
+    fn remove_purges_postings() {
+        let mut idx = sample_index();
+        let ids = idx.select(&[LabelMatcher::eq("job", "dcgm")]);
+        assert_eq!(ids.len(), 1);
+        idx.remove(ids[0]);
+        assert!(idx.select(&[LabelMatcher::eq("job", "dcgm")]).is_empty());
+        assert_eq!(idx.series_count(), 3);
+        assert!(!idx.label_values("job").contains(&"dcgm".to_string()));
+        // Removing twice is a no-op.
+        idx.remove(ids[0]);
+        assert_eq!(idx.series_count(), 3);
+    }
+
+    #[test]
+    fn intersect_sorted_works() {
+        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[2, 3, 5, 8]), vec![3, 5]);
+        assert!(intersect_sorted(&[], &[1]).is_empty());
+        assert_eq!(intersect_sorted(&[1, 2], &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn absent_label_matches_empty_pattern() {
+        let mut idx = LabelIndex::new();
+        idx.get_or_create(&labels! {"__name__" => "m"});
+        // instance="" matches series without the label.
+        let ids = idx.select(&[LabelMatcher::eq("instance", "")]);
+        assert_eq!(ids.len(), 1);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Time series database (S2–S4 in `DESIGN.md`).
+//!
+//! CEEMS stores every metric in Prometheus and derives per-job power with
+//! recording rules; Thanos provides long-term storage. This crate is the
+//! from-scratch stand-in:
+//!
+//! * [`chunk`] — Gorilla-style compressed chunks (delta-of-delta
+//!   timestamps, XOR values), the storage hot path.
+//! * [`index`] — inverted label index with posting-list intersection.
+//! * [`head`] — the in-memory write head (striped for concurrent appends).
+//! * [`block`] — sealed immutable blocks + compaction from the head.
+//! * [`storage`] — [`storage::Tsdb`]: appends, selects, tombstone deletes
+//!   (the cardinality cleanup of §II.C), retention.
+//! * [`promql`] — a PromQL-subset engine: selectors, `rate`/`increase` with
+//!   counter-reset handling, arithmetic, aggregations — enough to express
+//!   Eq. (1) exactly as the paper's recording rules do.
+//! * [`rules`] — recording-rule groups that materialise derived series.
+//! * [`scrape`] — the scrape manager pulling exporters (HTTP or in-process)
+//!   into the TSDB.
+//! * [`longterm`] — Thanos-like: replication into a cold store, 5-minute
+//!   downsampling, fan-in queries across hot+cold.
+//! * [`httpapi`] — the Prometheus HTTP API subset Grafana / the LB speak.
+
+pub mod block;
+pub mod chunk;
+pub mod head;
+pub mod httpapi;
+pub mod index;
+pub mod longterm;
+pub mod promql;
+pub mod rules;
+pub mod scrape;
+pub mod storage;
+pub mod types;
+
+pub use storage::{Tsdb, TsdbConfig};
+pub use types::{Sample, SeriesData};

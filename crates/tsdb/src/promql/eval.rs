@@ -1,0 +1,916 @@
+//! Expression evaluation.
+
+use std::collections::HashMap;
+
+use ceems_metrics::labels::{LabelSet, METRIC_NAME_LABEL};
+use ceems_metrics::matcher::LabelMatcher;
+
+use crate::types::{Sample, SeriesData};
+
+use super::{AggOp, BinOp, Expr, Grouping};
+
+/// Anything the engine can read series from (the hot TSDB, or the fan-in
+/// view over hot + long-term storage).
+pub trait Queryable: Send + Sync {
+    /// Series matching `matchers` with samples in `[tmin, tmax]`.
+    fn select(&self, matchers: &[LabelMatcher], tmin: i64, tmax: i64) -> Vec<SeriesData>;
+}
+
+impl Queryable for crate::storage::Tsdb {
+    fn select(&self, matchers: &[LabelMatcher], tmin: i64, tmax: i64) -> Vec<SeriesData> {
+        crate::storage::Tsdb::select(self, matchers, tmin, tmax)
+    }
+}
+
+/// Evaluation result.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A scalar.
+    Scalar(f64),
+    /// An instant vector.
+    Vector(Vec<(LabelSet, f64)>),
+    /// A range vector (only produced by range selectors, only consumed by
+    /// `*_over_time` / `rate`-family functions).
+    Matrix(Vec<SeriesData>),
+}
+
+/// Evaluation error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvalError(pub String);
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "promql eval error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Default instant-selector lookback (Prometheus: 5 minutes).
+pub const DEFAULT_LOOKBACK_MS: i64 = 5 * 60 * 1000;
+
+/// Evaluation context: the data source plus the instant-selector lookback.
+#[derive(Clone, Copy)]
+pub struct EvalCtx<'a> {
+    /// Data source.
+    pub db: &'a dyn Queryable,
+    /// Instant-selector lookback window (Prometheus defaults to 5 m; the
+    /// recording-rule engine uses a much tighter window so series that
+    /// stopped being written — finished jobs — go stale promptly instead
+    /// of being re-recorded with fresh timestamps).
+    pub lookback_ms: i64,
+}
+
+/// Evaluates an expression at one instant with the default lookback.
+pub fn instant_query(db: &dyn Queryable, expr: &Expr, t_ms: i64) -> Result<Value, EvalError> {
+    eval(
+        &EvalCtx {
+            db,
+            lookback_ms: DEFAULT_LOOKBACK_MS,
+        },
+        expr,
+        t_ms,
+    )
+}
+
+/// Evaluates an expression at one instant with a custom lookback.
+pub fn instant_query_with_lookback(
+    db: &dyn Queryable,
+    expr: &Expr,
+    t_ms: i64,
+    lookback_ms: i64,
+) -> Result<Value, EvalError> {
+    eval(&EvalCtx { db, lookback_ms }, expr, t_ms)
+}
+
+/// Evaluates an expression over `[start, end]` at `step` intervals,
+/// returning one series per result label set.
+pub fn range_query(
+    db: &dyn Queryable,
+    expr: &Expr,
+    start_ms: i64,
+    end_ms: i64,
+    step_ms: i64,
+) -> Result<Vec<SeriesData>, EvalError> {
+    if step_ms <= 0 {
+        return Err(EvalError("step must be positive".into()));
+    }
+    let mut acc: HashMap<LabelSet, Vec<Sample>> = HashMap::new();
+    let mut order: Vec<LabelSet> = Vec::new();
+    let ctx = EvalCtx {
+        db,
+        lookback_ms: DEFAULT_LOOKBACK_MS,
+    };
+    let mut t = start_ms;
+    while t <= end_ms {
+        match eval(&ctx, expr, t)? {
+            Value::Scalar(v) => {
+                let key = LabelSet::empty();
+                if !acc.contains_key(&key) {
+                    order.push(key.clone());
+                }
+                acc.entry(key).or_default().push(Sample::new(t, v));
+            }
+            Value::Vector(vec) => {
+                for (labels, v) in vec {
+                    if !acc.contains_key(&labels) {
+                        order.push(labels.clone());
+                    }
+                    acc.entry(labels).or_default().push(Sample::new(t, v));
+                }
+            }
+            Value::Matrix(_) => {
+                return Err(EvalError(
+                    "range query over a range selector is not allowed".into(),
+                ))
+            }
+        }
+        t += step_ms;
+    }
+    Ok(order
+        .into_iter()
+        .map(|labels| {
+            let samples = acc.remove(&labels).unwrap();
+            SeriesData { labels, samples }
+        })
+        .collect())
+}
+
+fn eval(ctx: &EvalCtx<'_>, expr: &Expr, t_ms: i64) -> Result<Value, EvalError> {
+    let db = ctx.db;
+    match expr {
+        Expr::Number(v) => Ok(Value::Scalar(*v)),
+        Expr::Neg(inner) => match eval(ctx, inner, t_ms)? {
+            Value::Scalar(v) => Ok(Value::Scalar(-v)),
+            Value::Vector(v) => Ok(Value::Vector(
+                v.into_iter().map(|(l, x)| (l, -x)).collect(),
+            )),
+            Value::Matrix(_) => Err(EvalError("cannot negate a range vector".into())),
+        },
+        Expr::Selector(sel) => {
+            let at = t_ms - sel.offset_ms;
+            match sel.range_ms {
+                None => {
+                    // Instant: last sample within the lookback window.
+                    let series = db.select(&sel.matchers, at - ctx.lookback_ms, at);
+                    Ok(Value::Vector(
+                        series
+                            .into_iter()
+                            .filter_map(|s| {
+                                s.samples.last().map(|last| (s.labels, last.v))
+                            })
+                            .collect(),
+                    ))
+                }
+                Some(range) => {
+                    let series = db.select(&sel.matchers, at - range, at);
+                    Ok(Value::Matrix(series))
+                }
+            }
+        }
+        Expr::Func { name, args } => eval_func(ctx, name, args, t_ms),
+        Expr::Binary {
+            op,
+            lhs,
+            rhs,
+            matching,
+        } => {
+            let l = eval(ctx, lhs, t_ms)?;
+            let r = eval(ctx, rhs, t_ms)?;
+            eval_binary(*op, l, r, matching)
+        }
+        Expr::Agg {
+            op,
+            grouping,
+            param,
+            expr,
+        } => {
+            let v = eval(ctx, expr, t_ms)?;
+            let Value::Vector(vec) = v else {
+                return Err(EvalError("aggregation expects an instant vector".into()));
+            };
+            let k = match param {
+                Some(p) => match eval(ctx, p, t_ms)? {
+                    Value::Scalar(k) => Some(k as usize),
+                    _ => return Err(EvalError("topk/bottomk k must be a scalar".into())),
+                },
+                None => None,
+            };
+            Ok(Value::Vector(aggregate(*op, grouping, k, vec)?))
+        }
+    }
+}
+
+/// Signature used for grouping / vector matching: restrict or drop labels,
+/// always dropping `__name__`.
+fn signature(labels: &LabelSet, grouping: &Grouping) -> LabelSet {
+    match grouping {
+        Grouping::None => labels.drop_names(&[]),
+        Grouping::By(keep) => labels.restrict_to(keep),
+        Grouping::Without(drop) => labels.drop_names(drop),
+    }
+}
+
+fn aggregate(
+    op: AggOp,
+    grouping: &Grouping,
+    k: Option<usize>,
+    vec: Vec<(LabelSet, f64)>,
+) -> Result<Vec<(LabelSet, f64)>, EvalError> {
+    // topk/bottomk keep original labels and simply filter.
+    if matches!(op, AggOp::Topk | AggOp::Bottomk) {
+        let k = k.ok_or_else(|| EvalError("topk/bottomk need k".into()))?;
+        let mut v = vec;
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        if op == AggOp::Bottomk {
+            v.reverse();
+        }
+        v.truncate(k);
+        return Ok(v);
+    }
+
+    // Grouping collapses to one entry when Grouping::None: signature is the
+    // full label set minus __name__ — not what we want. sum(expr) with no
+    // grouping collapses everything.
+    let mut groups: HashMap<LabelSet, Vec<f64>> = HashMap::new();
+    let mut order = Vec::new();
+    for (labels, v) in vec {
+        let key = match grouping {
+            Grouping::None => LabelSet::empty(),
+            _ => signature(&labels, grouping),
+        };
+        if !groups.contains_key(&key) {
+            order.push(key.clone());
+        }
+        groups.entry(key).or_default().push(v);
+    }
+    Ok(order
+        .into_iter()
+        .map(|key| {
+            let vals = groups.remove(&key).unwrap();
+            let out = match op {
+                AggOp::Sum => vals.iter().sum(),
+                AggOp::Avg => vals.iter().sum::<f64>() / vals.len() as f64,
+                AggOp::Min => vals.iter().copied().fold(f64::INFINITY, f64::min),
+                AggOp::Max => vals.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                AggOp::Count => vals.len() as f64,
+                AggOp::Stddev | AggOp::Stdvar => {
+                    let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+                    let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+                        / vals.len() as f64;
+                    if op == AggOp::Stdvar { var } else { var.sqrt() }
+                }
+                AggOp::Topk | AggOp::Bottomk => unreachable!(),
+            };
+            (key, out)
+        })
+        .collect())
+}
+
+fn eval_binary(
+    op: BinOp,
+    l: Value,
+    r: Value,
+    matching: &Grouping,
+) -> Result<Value, EvalError> {
+    match (l, r) {
+        (Value::Scalar(a), Value::Scalar(b)) => Ok(Value::Scalar(op.apply(a, b))),
+        (Value::Vector(v), Value::Scalar(s)) => Ok(Value::Vector(
+            v.into_iter()
+                .map(|(l, x)| (l.without(METRIC_NAME_LABEL), op.apply(x, s)))
+                .collect(),
+        )),
+        (Value::Scalar(s), Value::Vector(v)) => Ok(Value::Vector(
+            v.into_iter()
+                .map(|(l, x)| (l.without(METRIC_NAME_LABEL), op.apply(s, x)))
+                .collect(),
+        )),
+        (Value::Vector(lv), Value::Vector(rv)) => {
+            // Vector matching: the right side must be unique per signature;
+            // the left side may be many-to-one (Prometheus would demand an
+            // explicit `group_left`; this engine grants it implicitly and
+            // keeps the LEFT labels on the output, which is what the Eq. (1)
+            // rules need to retain `uuid` when dividing by node-level
+            // series).
+            let mut rmap: HashMap<LabelSet, f64> = HashMap::new();
+            for (labels, v) in &rv {
+                let sig = signature(labels, matching);
+                if rmap.insert(sig, *v).is_some() {
+                    return Err(EvalError(
+                        "right operand has duplicate series per matching signature; \
+                         narrow it with on(...)/ignoring(...) or aggregate first"
+                            .into(),
+                    ));
+                }
+            }
+            let mut out = Vec::new();
+            for (labels, lval) in lv {
+                let sig = signature(&labels, matching);
+                if let Some(&rval) = rmap.get(&sig) {
+                    out.push((labels.without(METRIC_NAME_LABEL), op.apply(lval, rval)));
+                }
+            }
+            Ok(Value::Vector(out))
+        }
+        _ => Err(EvalError(
+            "binary operators are not defined on range vectors".into(),
+        )),
+    }
+}
+
+/// Counter-reset-adjusted increase over a window of samples.
+///
+/// Returns `(increase, span_seconds)` or `None` with fewer than 2 samples.
+fn counter_increase(samples: &[Sample]) -> Option<(f64, f64)> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let mut corrections = 0.0;
+    let mut prev = samples[0].v;
+    for s in &samples[1..] {
+        if s.v < prev {
+            corrections += prev; // counter reset (e.g. RAPL wraparound)
+        }
+        prev = s.v;
+    }
+    let increase = samples.last().unwrap().v + corrections - samples[0].v;
+    let span_s = (samples.last().unwrap().t_ms - samples[0].t_ms) as f64 / 1000.0;
+    Some((increase, span_s))
+}
+
+fn eval_func(
+    ctx: &EvalCtx<'_>,
+    name: &str,
+    args: &[Expr],
+    t_ms: i64,
+) -> Result<Value, EvalError> {
+    let matrix_arg = |i: usize| -> Result<Vec<SeriesData>, EvalError> {
+        match eval(ctx, args.get(i).ok_or_else(|| arity(name))?, t_ms)? {
+            Value::Matrix(m) => Ok(m),
+            _ => Err(EvalError(format!("{name} expects a range vector"))),
+        }
+    };
+    let vector_arg = |i: usize| -> Result<Vec<(LabelSet, f64)>, EvalError> {
+        match eval(ctx, args.get(i).ok_or_else(|| arity(name))?, t_ms)? {
+            Value::Vector(v) => Ok(v),
+            Value::Scalar(s) => Ok(vec![(LabelSet::empty(), s)]),
+            _ => Err(EvalError(format!("{name} expects an instant vector"))),
+        }
+    };
+    let scalar_arg = |i: usize| -> Result<f64, EvalError> {
+        match eval(ctx, args.get(i).ok_or_else(|| arity(name))?, t_ms)? {
+            Value::Scalar(s) => Ok(s),
+            _ => Err(EvalError(format!("{name} expects a scalar argument"))),
+        }
+    };
+
+    // Range-vector functions: map each series to one point, dropping name.
+    let over_time = |m: Vec<SeriesData>, f: &dyn Fn(&[Sample]) -> Option<f64>| -> Value {
+        Value::Vector(
+            m.into_iter()
+                .filter_map(|s| {
+                    f(&s.samples).map(|v| (s.labels.without(METRIC_NAME_LABEL), v))
+                })
+                .collect(),
+        )
+    };
+
+    match name {
+        "rate" => Ok(over_time(matrix_arg(0)?, &|s| {
+            counter_increase(s).and_then(|(inc, span)| (span > 0.0).then(|| inc / span))
+        })),
+        "increase" => Ok(over_time(matrix_arg(0)?, &|s| {
+            counter_increase(s).map(|(inc, _)| inc)
+        })),
+        "irate" => Ok(over_time(matrix_arg(0)?, &|s| {
+            if s.len() < 2 {
+                return None;
+            }
+            let a = s[s.len() - 2];
+            let b = s[s.len() - 1];
+            let dv = if b.v >= a.v { b.v - a.v } else { b.v };
+            let dt = (b.t_ms - a.t_ms) as f64 / 1000.0;
+            (dt > 0.0).then(|| dv / dt)
+        })),
+        "delta" => Ok(over_time(matrix_arg(0)?, &|s| {
+            (s.len() >= 2).then(|| s.last().unwrap().v - s[0].v)
+        })),
+        "avg_over_time" => Ok(over_time(matrix_arg(0)?, &|s| {
+            (!s.is_empty()).then(|| s.iter().map(|x| x.v).sum::<f64>() / s.len() as f64)
+        })),
+        "sum_over_time" => Ok(over_time(matrix_arg(0)?, &|s| {
+            (!s.is_empty()).then(|| s.iter().map(|x| x.v).sum())
+        })),
+        "min_over_time" => Ok(over_time(matrix_arg(0)?, &|s| {
+            s.iter().map(|x| x.v).min_by(|a, b| a.total_cmp(b))
+        })),
+        "max_over_time" => Ok(over_time(matrix_arg(0)?, &|s| {
+            s.iter().map(|x| x.v).max_by(|a, b| a.total_cmp(b))
+        })),
+        "count_over_time" => Ok(over_time(matrix_arg(0)?, &|s| {
+            (!s.is_empty()).then_some(s.len() as f64)
+        })),
+        "last_over_time" => Ok(over_time(matrix_arg(0)?, &|s| s.last().map(|x| x.v))),
+        "abs" | "ceil" | "floor" => {
+            let f = match name {
+                "abs" => f64::abs,
+                "ceil" => f64::ceil,
+                _ => f64::floor,
+            };
+            Ok(Value::Vector(
+                vector_arg(0)?
+                    .into_iter()
+                    .map(|(l, v)| (l.without(METRIC_NAME_LABEL), f(v)))
+                    .collect(),
+            ))
+        }
+        "clamp_min" | "clamp_max" => {
+            let bound = scalar_arg(1)?;
+            let is_min = name == "clamp_min";
+            Ok(Value::Vector(
+                vector_arg(0)?
+                    .into_iter()
+                    .map(|(l, v)| {
+                        let v = if is_min { v.max(bound) } else { v.min(bound) };
+                        (l.without(METRIC_NAME_LABEL), v)
+                    })
+                    .collect(),
+            ))
+        }
+        "scalar" => {
+            let v = vector_arg(0)?;
+            Ok(Value::Scalar(if v.len() == 1 { v[0].1 } else { f64::NAN }))
+        }
+        "quantile_over_time" => {
+            let q = scalar_arg(0)?;
+            match eval(ctx, args.get(1).ok_or_else(|| arity(name))?, t_ms)? {
+                Value::Matrix(m) => Ok(over_time(m, &|s| {
+                    if s.is_empty() {
+                        return None;
+                    }
+                    let mut vals: Vec<f64> = s.iter().map(|x| x.v).collect();
+                    vals.sort_by(|a, b| a.total_cmp(b));
+                    Some(quantile_sorted(&vals, q))
+                })),
+                _ => Err(EvalError(
+                    "quantile_over_time expects a range vector".into(),
+                )),
+            }
+        }
+        "histogram_quantile" => {
+            let q = scalar_arg(0)?;
+            let buckets = vector_arg(1)?;
+            Ok(Value::Vector(histogram_quantile(q, buckets)))
+        }
+        other => Err(EvalError(format!("unknown function {other:?}"))),
+    }
+}
+
+/// Linear-interpolated quantile of pre-sorted values.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+}
+
+/// Prometheus `histogram_quantile`: group `_bucket` samples by their
+/// non-`le` labels and interpolate within the bucket holding the quantile.
+fn histogram_quantile(q: f64, buckets: Vec<(LabelSet, f64)>) -> Vec<(LabelSet, f64)> {
+    let mut groups: HashMap<LabelSet, Vec<(f64, f64)>> = HashMap::new();
+    let mut order = Vec::new();
+    for (labels, count) in buckets {
+        let le = match labels.get("le") {
+            Some("+Inf") => f64::INFINITY,
+            Some(v) => match v.parse::<f64>() {
+                Ok(b) => b,
+                Err(_) => continue,
+            },
+            None => continue,
+        };
+        let key = labels.drop_names(&["le".to_string()]);
+        if !groups.contains_key(&key) {
+            order.push(key.clone());
+        }
+        groups.entry(key).or_default().push((le, count));
+    }
+    order
+        .into_iter()
+        .filter_map(|key| {
+            let mut bs = groups.remove(&key)?;
+            bs.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let total = bs.last()?.1;
+            if total <= 0.0 || !bs.last()?.0.is_infinite() {
+                return Some((key, f64::NAN));
+            }
+            let rank = q.clamp(0.0, 1.0) * total;
+            let mut prev_bound = 0.0;
+            let mut prev_count = 0.0;
+            for &(bound, count) in &bs {
+                if count >= rank {
+                    if bound.is_infinite() {
+                        return Some((key, prev_bound));
+                    }
+                    let width = bound - prev_bound;
+                    let in_bucket = count - prev_count;
+                    let frac = if in_bucket > 0.0 {
+                        (rank - prev_count) / in_bucket
+                    } else {
+                        0.0
+                    };
+                    return Some((key, prev_bound + width * frac));
+                }
+                prev_bound = bound;
+                prev_count = count;
+            }
+            Some((key, prev_bound))
+        })
+        .collect()
+}
+
+fn arity(name: &str) -> EvalError {
+    EvalError(format!("wrong number of arguments for {name}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::promql::parse_expr;
+    use crate::storage::Tsdb;
+    use ceems_metrics::labels;
+
+    fn db() -> Tsdb {
+        let db = Tsdb::default();
+        // Counter: 10 J/s on n1, 20 J/s on n2, sampled every 15 s for 10 min.
+        for i in 0..41i64 {
+            let t = i * 15_000;
+            db.append(
+                &labels! {"__name__" => "energy_joules_total", "instance" => "n1"},
+                t,
+                (i * 150) as f64,
+            );
+            db.append(
+                &labels! {"__name__" => "energy_joules_total", "instance" => "n2"},
+                t,
+                (i * 300) as f64,
+            );
+            db.append(
+                &labels! {"__name__" => "mem_bytes", "instance" => "n1"},
+                t,
+                1000.0,
+            );
+            db.append(
+                &labels! {"__name__" => "mem_bytes", "instance" => "n2"},
+                t,
+                3000.0,
+            );
+        }
+        db
+    }
+
+    fn instant(db: &Tsdb, q: &str, t: i64) -> Value {
+        instant_query(db, &parse_expr(q).unwrap(), t).unwrap()
+    }
+
+    fn vector_of(v: Value) -> Vec<(LabelSet, f64)> {
+        match v {
+            Value::Vector(v) => v,
+            other => panic!("expected vector, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn instant_selector_takes_latest_in_lookback() {
+        let db = db();
+        let v = vector_of(instant(&db, "mem_bytes{instance=\"n1\"}", 600_000));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1, 1000.0);
+        // Past the lookback window the series disappears.
+        let v = vector_of(instant(&db, "mem_bytes", 600_000 + DEFAULT_LOOKBACK_MS + 1));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn rate_recovers_watts() {
+        let db = db();
+        let v = vector_of(instant(&db, "rate(energy_joules_total[2m])", 600_000));
+        assert_eq!(v.len(), 2);
+        for (labels, rate) in v {
+            let expect = if labels.get("instance") == Some("n1") { 10.0 } else { 20.0 };
+            assert!((rate - expect).abs() < 1e-9, "rate={rate}");
+            assert_eq!(labels.get(METRIC_NAME_LABEL), None);
+        }
+    }
+
+    #[test]
+    fn rate_handles_counter_reset() {
+        let db = Tsdb::default();
+        let ls = labels! {"__name__" => "wrap_total"};
+        // 100/s counter that wraps at t=45s back to a small value.
+        let vals = [0.0, 1500.0, 3000.0, 200.0, 1700.0];
+        for (i, v) in vals.iter().enumerate() {
+            db.append(&ls, i as i64 * 15_000, *v);
+        }
+        let v = vector_of(instant(&db, "rate(wrap_total[2m])", 60_000));
+        // increase = 1700 + 3000 - 0 = 4700 over 60 s.
+        assert!((v[0].1 - 4700.0 / 60.0).abs() < 1e-9, "got {}", v[0].1);
+    }
+
+    #[test]
+    fn binary_vector_vector_matches_on_labels() {
+        let db = db();
+        let v = vector_of(instant(
+            &db,
+            "rate(energy_joules_total[2m]) * mem_bytes",
+            600_000,
+        ));
+        assert_eq!(v.len(), 2);
+        for (labels, x) in v {
+            let expect = if labels.get("instance") == Some("n1") {
+                10.0 * 1000.0
+            } else {
+                20.0 * 3000.0
+            };
+            assert!((x - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn binary_scalar_forms() {
+        let db = db();
+        assert_eq!(instant(&db, "1 + 2 * 3", 0), Value::Scalar(7.0));
+        let v = vector_of(instant(&db, "mem_bytes / 1000", 600_000));
+        assert_eq!(v.len(), 2);
+        let v = vector_of(instant(&db, "0.9 * mem_bytes", 600_000));
+        assert!(v.iter().any(|(_, x)| *x == 900.0));
+        assert!(v.iter().any(|(_, x)| *x == 2700.0));
+    }
+
+    #[test]
+    fn aggregations() {
+        let db = db();
+        let v = vector_of(instant(&db, "sum(mem_bytes)", 600_000));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1, 4000.0);
+        assert!(v[0].0.is_empty());
+
+        let v = vector_of(instant(&db, "avg(mem_bytes)", 600_000));
+        assert_eq!(v[0].1, 2000.0);
+
+        let v = vector_of(instant(&db, "sum by (instance) (mem_bytes)", 600_000));
+        assert_eq!(v.len(), 2);
+
+        let v = vector_of(instant(&db, "count(mem_bytes)", 600_000));
+        assert_eq!(v[0].1, 2.0);
+
+        let v = vector_of(instant(&db, "topk(1, mem_bytes)", 600_000));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1, 3000.0);
+
+        let v = vector_of(instant(&db, "bottomk(1, mem_bytes)", 600_000));
+        assert_eq!(v[0].1, 1000.0);
+
+        let v = vector_of(instant(&db, "max(mem_bytes)", 600_000));
+        assert_eq!(v[0].1, 3000.0);
+        let v = vector_of(instant(&db, "min(mem_bytes)", 600_000));
+        assert_eq!(v[0].1, 1000.0);
+    }
+
+    #[test]
+    fn over_time_functions() {
+        let db = db();
+        let v = vector_of(instant(
+            &db,
+            "avg_over_time(mem_bytes{instance=\"n1\"}[2m])",
+            600_000,
+        ));
+        assert_eq!(v[0].1, 1000.0);
+        let v = vector_of(instant(
+            &db,
+            "count_over_time(mem_bytes{instance=\"n1\"}[1m])",
+            600_000,
+        ));
+        assert_eq!(v[0].1, 5.0); // 60s window at 15s cadence: t=540..600
+        let v = vector_of(instant(
+            &db,
+            "max_over_time(energy_joules_total{instance=\"n2\"}[2m])",
+            600_000,
+        ));
+        assert_eq!(v[0].1, 12_000.0);
+    }
+
+    #[test]
+    fn clamp_abs_scalar() {
+        let db = db();
+        let v = vector_of(instant(&db, "clamp_max(mem_bytes, 1500)", 600_000));
+        assert!(v.iter().all(|(_, x)| *x <= 1500.0));
+        let v = vector_of(instant(&db, "clamp_min(mem_bytes, 1500)", 600_000));
+        assert!(v.iter().all(|(_, x)| *x >= 1500.0));
+        assert_eq!(
+            instant(&db, "scalar(sum(mem_bytes))", 600_000),
+            Value::Scalar(4000.0)
+        );
+        let v = vector_of(instant(&db, "abs(0 - mem_bytes)", 600_000));
+        assert!(v.iter().all(|(_, x)| *x > 0.0));
+    }
+
+    #[test]
+    fn offset_shifts_evaluation() {
+        let db = db();
+        let v = vector_of(instant(
+            &db,
+            "energy_joules_total{instance=\"n1\"} offset 5m",
+            600_000,
+        ));
+        // At t=300s the counter was 20*150=3000.
+        assert_eq!(v[0].1, 3000.0);
+    }
+
+    #[test]
+    fn range_query_produces_series() {
+        let db = db();
+        let expr = parse_expr("rate(energy_joules_total[2m])").unwrap();
+        let series = range_query(&db, &expr, 200_000, 600_000, 100_000).unwrap();
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            assert_eq!(s.samples.len(), 5);
+            assert!(s.samples.windows(2).all(|w| w[0].t_ms < w[1].t_ms));
+        }
+        // Scalar expression over a range.
+        let series = range_query(&db, &parse_expr("42").unwrap(), 0, 30_000, 10_000).unwrap();
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].samples.len(), 4);
+        assert!(range_query(&db, &parse_expr("1").unwrap(), 0, 10, 0).is_err());
+    }
+
+    #[test]
+    fn eq1_conservation_shape() {
+        // A miniature Eq. (1): two jobs on a node split 0.9*P_ipmi by CPU
+        // time share; per-job powers must sum to 0.9*P_ipmi.
+        let db = Tsdb::default();
+        for i in 0..41i64 {
+            let t = i * 15_000;
+            db.append(&labels! {"__name__" => "ipmi_watts", "instance" => "n1"}, t, 500.0);
+            // job A: 3 cores busy; job B: 1 core busy; node total 4.
+            db.append(
+                &labels! {"__name__" => "job_cpu_seconds_total", "uuid" => "a", "instance" => "n1"},
+                t,
+                (i * 45) as f64,
+            );
+            db.append(
+                &labels! {"__name__" => "job_cpu_seconds_total", "uuid" => "b", "instance" => "n1"},
+                t,
+                (i * 15) as f64,
+            );
+            db.append(
+                &labels! {"__name__" => "node_cpu_seconds_total", "instance" => "n1"},
+                t,
+                (i * 60) as f64,
+            );
+        }
+        let q = "0.9 * scalar(ipmi_watts) * rate(job_cpu_seconds_total[2m]) / scalar(rate(node_cpu_seconds_total[2m]))";
+        let v = vector_of(instant(&db, q, 600_000));
+        assert_eq!(v.len(), 2);
+        let total: f64 = v.iter().map(|(_, x)| x).sum();
+        assert!((total - 450.0).abs() < 1e-6, "total={total}");
+        let a = v.iter().find(|(l, _)| l.get("uuid") == Some("a")).unwrap().1;
+        assert!((a - 337.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn error_cases() {
+        let db = db();
+        let e = instant_query(&db, &parse_expr("rate(mem_bytes)").unwrap(), 0);
+        assert!(e.is_err()); // rate needs a range vector
+        let e = instant_query(&db, &parse_expr("mem_bytes + mem_bytes[5m]").unwrap(), 0);
+        assert!(e.is_err());
+        let e = instant_query(&db, &parse_expr("sum(mem_bytes[5m])").unwrap(), 0);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn on_ignoring_cross_metric_matching() {
+        let db = Tsdb::default();
+        db.append(&labels! {"__name__" => "a", "instance" => "n1", "mode" => "x"}, 0, 10.0);
+        db.append(&labels! {"__name__" => "b", "instance" => "n1"}, 0, 5.0);
+        // Without a modifier, signatures differ (mode label) → empty result.
+        let v = vector_of(instant(&db, "a / b", 1000));
+        assert!(v.is_empty());
+        // on(instance) matches them.
+        let v = vector_of(instant(&db, "a / on (instance) b", 1000));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1, 2.0);
+        // ignoring(mode) does too.
+        let v = vector_of(instant(&db, "a / ignoring (mode) b", 1000));
+        assert_eq!(v.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod quantile_tests {
+    use super::*;
+    use ceems_metrics::labels;
+
+    #[test]
+    fn quantile_sorted_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_sorted(&v, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&v, 1.0), 4.0);
+        assert_eq!(quantile_sorted(&v, 0.5), 2.5);
+        assert!(quantile_sorted(&[], 0.5).is_nan());
+        assert_eq!(quantile_sorted(&[7.0], 0.9), 7.0);
+    }
+
+    #[test]
+    fn histogram_quantile_end_to_end() {
+        let db = crate::storage::Tsdb::default();
+        // A request-latency histogram: buckets 0.1/0.5/1.0/+Inf with
+        // cumulative counts 50/90/99/100.
+        for (le, c) in [("0.1", 50.0), ("0.5", 90.0), ("1.0", 99.0), ("+Inf", 100.0)] {
+            db.append(
+                &labels! {"__name__" => "lat_bucket", "le" => le, "instance" => "n1"},
+                1000,
+                c,
+            );
+        }
+        let expr = crate::promql::parse_expr("histogram_quantile(0.5, lat_bucket)").unwrap();
+        let Value::Vector(v) = instant_query(&db, &expr, 2000).unwrap() else {
+            panic!()
+        };
+        assert_eq!(v.len(), 1);
+        // Median is inside the first bucket: 50/50 of the way to 0.1.
+        assert!((v[0].1 - 0.1).abs() < 1e-9, "p50={}", v[0].1);
+
+        let expr = crate::promql::parse_expr("histogram_quantile(0.95, lat_bucket)").unwrap();
+        let Value::Vector(v) = instant_query(&db, &expr, 2000).unwrap() else {
+            panic!()
+        };
+        // 95th: rank 95 lands in (0.5, 1.0] bucket: 0.5 + (95-90)/9 * 0.5.
+        assert!((v[0].1 - (0.5 + 5.0 / 9.0 * 0.5)).abs() < 1e-9, "p95={}", v[0].1);
+
+        // le label is consumed; instance remains.
+        assert_eq!(v[0].0.get("le"), None);
+        assert_eq!(v[0].0.get("instance"), Some("n1"));
+    }
+
+    #[test]
+    fn quantile_over_time_on_series() {
+        let db = crate::storage::Tsdb::default();
+        let ls = labels! {"__name__" => "g"};
+        for (i, v) in [5.0, 1.0, 3.0, 2.0, 4.0].iter().enumerate() {
+            db.append(&ls, i as i64 * 15_000, *v);
+        }
+        let expr = crate::promql::parse_expr("quantile_over_time(0.5, g[2m])").unwrap();
+        let Value::Vector(v) = instant_query(&db, &expr, 60_000).unwrap() else {
+            panic!()
+        };
+        assert_eq!(v[0].1, 3.0);
+    }
+
+    #[test]
+    fn stddev_and_stdvar() {
+        let db = crate::storage::Tsdb::default();
+        for (i, v) in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().enumerate() {
+            db.append(
+                &labels! {"__name__" => "s", "i" => &format!("{i}")},
+                1000,
+                *v,
+            );
+        }
+        let expr = crate::promql::parse_expr("stddev(s)").unwrap();
+        let Value::Vector(v) = instant_query(&db, &expr, 2000).unwrap() else {
+            panic!()
+        };
+        assert!((v[0].1 - 2.0).abs() < 1e-9); // classic example: σ = 2
+        let expr = crate::promql::parse_expr("stdvar(s)").unwrap();
+        let Value::Vector(v) = instant_query(&db, &expr, 2000).unwrap() else {
+            panic!()
+        };
+        assert!((v[0].1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantile_degenerate_inputs() {
+        // Missing +Inf bucket → NaN; zero total → NaN.
+        let out = histogram_quantile(
+            0.9,
+            vec![(labels! {"le" => "1.0"}, 5.0)],
+        );
+        assert!(out[0].1.is_nan());
+        let out = histogram_quantile(
+            0.9,
+            vec![(labels! {"le" => "+Inf"}, 0.0)],
+        );
+        assert!(out[0].1.is_nan());
+        // Non-numeric le skipped entirely.
+        let out = histogram_quantile(0.9, vec![(labels! {"le" => "bogus"}, 5.0)]);
+        assert!(out.is_empty());
+        // No le label at all.
+        let out = histogram_quantile(0.9, vec![(labels! {"x" => "1"}, 5.0)]);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! PromQL-subset query engine.
+//!
+//! Implements the slice of PromQL that CEEMS actually uses for its
+//! dashboards and recording rules (the Eq. (1) rules in §III are plain
+//! arithmetic over `rate()`s and instant vectors):
+//!
+//! * instant and range vector selectors with label matchers and `offset`
+//! * `rate`, `irate`, `increase`, `delta`, `*_over_time`
+//! * `abs`, `ceil`, `floor`, `clamp_min`, `clamp_max`, `scalar`
+//! * binary arithmetic (`+ - * /`) with one-to-one label matching and
+//!   `on(...)`/`ignoring(...)` modifiers
+//! * aggregations `sum/avg/min/max/count/topk/bottomk` with
+//!   `by(...)`/`without(...)`
+//!
+//! Deviation from Prometheus, documented for honesty: `rate`/`increase` do
+//! not extrapolate to the window boundaries; they divide the
+//! counter-reset-adjusted delta by the observed span. For the steady scrape
+//! intervals of this system the difference is a constant factor ≤
+//! `interval/range`.
+
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+
+use ceems_metrics::matcher::LabelMatcher;
+
+pub use eval::{instant_query, instant_query_with_lookback, range_query, EvalError, Queryable, Value};
+pub use parser::parse_expr;
+
+/// Binary arithmetic operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinOp {
+    /// Applies the operator.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+        }
+    }
+}
+
+/// Aggregation operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggOp {
+    /// `sum`
+    Sum,
+    /// `avg`
+    Avg,
+    /// `min`
+    Min,
+    /// `max`
+    Max,
+    /// `count`
+    Count,
+    /// `topk(k, ...)`
+    Topk,
+    /// `bottomk(k, ...)`
+    Bottomk,
+    /// `stddev` (population standard deviation)
+    Stddev,
+    /// `stdvar` (population variance)
+    Stdvar,
+}
+
+/// Aggregation / vector-matching label grouping.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Grouping {
+    /// Collapse everything.
+    #[default]
+    None,
+    /// Keep only these labels.
+    By(Vec<String>),
+    /// Drop these labels (and `__name__`).
+    Without(Vec<String>),
+}
+
+/// A vector (or range-vector) selector.
+#[derive(Clone, Debug)]
+pub struct VectorSelector {
+    /// Label matchers, including the `__name__` matcher when a metric name
+    /// was written.
+    pub matchers: Vec<LabelMatcher>,
+    /// `[5m]` range in ms, when this is a range selector.
+    pub range_ms: Option<i64>,
+    /// `offset 1h` in ms.
+    pub offset_ms: i64,
+}
+
+/// Parsed expression.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Literal scalar.
+    Number(f64),
+    /// Instant/range vector selector.
+    Selector(VectorSelector),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary arithmetic.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// `on(...)`/`ignoring(...)` vector-matching modifier.
+        matching: Grouping,
+    },
+    /// Aggregation.
+    Agg {
+        /// Operator.
+        op: AggOp,
+        /// `by`/`without` grouping.
+        grouping: Grouping,
+        /// `k` parameter for topk/bottomk.
+        param: Option<Box<Expr>>,
+        /// Aggregated expression.
+        expr: Box<Expr>,
+    },
+    /// Function call.
+    Func {
+        /// Function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}

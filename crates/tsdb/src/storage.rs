@@ -1,0 +1,274 @@
+//! The TSDB facade: append, select, delete, retention.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use ceems_metrics::labels::LabelSet;
+use ceems_metrics::matcher::LabelMatcher;
+
+use crate::head::Head;
+use crate::index::LabelIndex;
+use crate::types::{Sample, SeriesData};
+
+/// TSDB configuration.
+#[derive(Clone, Debug)]
+pub struct TsdbConfig {
+    /// Lock stripes for the head.
+    pub shards: usize,
+    /// Retention window in ms (samples older than `now - retention` are
+    /// dropped by [`Tsdb::enforce_retention`]).
+    pub retention_ms: i64,
+}
+
+impl Default for TsdbConfig {
+    fn default() -> Self {
+        TsdbConfig {
+            shards: 16,
+            retention_ms: 30 * 24 * 3_600_000,
+        }
+    }
+}
+
+/// The time series database.
+pub struct Tsdb {
+    index: RwLock<LabelIndex>,
+    head: Head,
+    config: TsdbConfig,
+    appended: AtomicU64,
+    out_of_order: AtomicU64,
+}
+
+impl Default for Tsdb {
+    fn default() -> Self {
+        Self::new(TsdbConfig::default())
+    }
+}
+
+impl Tsdb {
+    /// Creates an empty TSDB.
+    pub fn new(config: TsdbConfig) -> Tsdb {
+        Tsdb {
+            index: RwLock::new(LabelIndex::new()),
+            head: Head::new(config.shards),
+            config,
+            appended: AtomicU64::new(0),
+            out_of_order: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends one sample for a label set (the set must include
+    /// `__name__`). Out-of-order samples are counted and dropped.
+    pub fn append(&self, labels: &LabelSet, t_ms: i64, v: f64) {
+        let id = {
+            // Fast path: read lock for existing series.
+            let idx = self.index.read();
+            idx.lookup(labels)
+        };
+        let id = match id {
+            Some(id) => id,
+            None => self.index.write().get_or_create(labels),
+        };
+        match self.head.append(id, Sample::new(t_ms, v)) {
+            Ok(()) => {
+                self.appended.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.out_of_order.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Selects series matching `matchers` with samples in `[tmin, tmax]`.
+    /// Series with no samples in range are omitted.
+    pub fn select(&self, matchers: &[LabelMatcher], tmin: i64, tmax: i64) -> Vec<SeriesData> {
+        let idx = self.index.read();
+        let ids = idx.select(matchers);
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            let samples = self.head.read(id, tmin, tmax);
+            if samples.is_empty() {
+                continue;
+            }
+            out.push(SeriesData {
+                labels: idx.labels(id).expect("selected id has labels").clone(),
+                samples,
+            });
+        }
+        out
+    }
+
+    /// Latest sample per matching series (used by instant queries without a
+    /// lookback window and by dashboards).
+    pub fn select_latest(&self, matchers: &[LabelMatcher]) -> Vec<(LabelSet, Sample)> {
+        let idx = self.index.read();
+        idx.select(matchers)
+            .into_iter()
+            .filter_map(|id| {
+                self.head
+                    .last_sample(id)
+                    .map(|s| (idx.labels(id).unwrap().clone(), s))
+            })
+            .collect()
+    }
+
+    /// Deletes matching series outright (the §II.C cardinality cleanup:
+    /// CEEMS removes metrics of workloads shorter than a cutoff).
+    /// Returns how many series were deleted.
+    pub fn delete_series(&self, matchers: &[LabelMatcher]) -> usize {
+        let mut idx = self.index.write();
+        let ids = idx.select(matchers);
+        for &id in &ids {
+            self.head.remove(id);
+            idx.remove(id);
+        }
+        ids.len()
+    }
+
+    /// Drops data older than `now_ms - retention`; unregisters series left
+    /// empty. Returns the number of series removed.
+    pub fn enforce_retention(&self, now_ms: i64) -> usize {
+        let cutoff = now_ms - self.config.retention_ms;
+        let emptied = self.head.drop_before(cutoff);
+        let mut idx = self.index.write();
+        for &id in &emptied {
+            idx.remove(id);
+        }
+        emptied.len()
+    }
+
+    /// Live series count (the cardinality the paper worries about).
+    pub fn series_count(&self) -> usize {
+        self.index.read().series_count()
+    }
+
+    /// Total samples successfully appended.
+    pub fn samples_appended(&self) -> u64 {
+        self.appended.load(Ordering::Relaxed)
+    }
+
+    /// Out-of-order samples dropped.
+    pub fn out_of_order_dropped(&self) -> u64 {
+        self.out_of_order.load(Ordering::Relaxed)
+    }
+
+    /// All label names.
+    pub fn label_names(&self) -> Vec<String> {
+        self.index.read().label_names()
+    }
+
+    /// All values of a label.
+    pub fn label_values(&self, name: &str) -> Vec<String> {
+        self.index.read().label_values(name)
+    }
+
+    /// Approximate compressed bytes held in the head.
+    pub fn storage_bytes(&self) -> usize {
+        self.head.byte_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceems_metrics::labels;
+
+    fn db_with_data() -> Tsdb {
+        let db = Tsdb::default();
+        for i in 0..100i64 {
+            db.append(
+                &labels! {"__name__" => "power", "instance" => "n1"},
+                i * 1000,
+                100.0 + i as f64,
+            );
+            db.append(
+                &labels! {"__name__" => "power", "instance" => "n2"},
+                i * 1000,
+                200.0,
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn append_select_roundtrip() {
+        let db = db_with_data();
+        assert_eq!(db.series_count(), 2);
+        assert_eq!(db.samples_appended(), 200);
+
+        let got = db.select(&[LabelMatcher::eq("__name__", "power")], 0, i64::MAX);
+        assert_eq!(got.len(), 2);
+        let n1 = got
+            .iter()
+            .find(|s| s.labels.get("instance") == Some("n1"))
+            .unwrap();
+        assert_eq!(n1.samples.len(), 100);
+        assert_eq!(n1.samples[10].v, 110.0);
+
+        let ranged = db.select(&[LabelMatcher::eq("instance", "n1")], 5_000, 9_000);
+        assert_eq!(ranged[0].samples.len(), 5);
+    }
+
+    #[test]
+    fn out_of_order_counted_not_stored() {
+        let db = Tsdb::default();
+        let ls = labels! {"__name__" => "m"};
+        db.append(&ls, 1000, 1.0);
+        db.append(&ls, 500, 2.0);
+        assert_eq!(db.out_of_order_dropped(), 1);
+        assert_eq!(db.samples_appended(), 1);
+        let got = db.select(&[LabelMatcher::eq("__name__", "m")], 0, i64::MAX);
+        assert_eq!(got[0].samples.len(), 1);
+    }
+
+    #[test]
+    fn select_latest() {
+        let db = db_with_data();
+        let latest = db.select_latest(&[LabelMatcher::eq("instance", "n1")]);
+        assert_eq!(latest.len(), 1);
+        assert_eq!(latest[0].1.t_ms, 99_000);
+        assert_eq!(latest[0].1.v, 199.0);
+    }
+
+    #[test]
+    fn delete_series_purges() {
+        let db = db_with_data();
+        let n = db.delete_series(&[LabelMatcher::eq("instance", "n1")]);
+        assert_eq!(n, 1);
+        assert_eq!(db.series_count(), 1);
+        assert!(db
+            .select(&[LabelMatcher::eq("instance", "n1")], 0, i64::MAX)
+            .is_empty());
+        // n2 untouched.
+        assert_eq!(
+            db.select(&[LabelMatcher::eq("instance", "n2")], 0, i64::MAX)[0]
+                .samples
+                .len(),
+            100
+        );
+    }
+
+    #[test]
+    fn retention_enforcement() {
+        let db = Tsdb::new(TsdbConfig {
+            shards: 4,
+            retention_ms: 10_000,
+        });
+        let ls = labels! {"__name__" => "old"};
+        for i in 0..500i64 {
+            db.append(&ls, i * 100, 0.0); // 0..50s
+        }
+        // At t=70s with 10s retention, cutoff=60s: all chunks end <=50s.
+        let removed = db.enforce_retention(70_000);
+        assert_eq!(removed, 1);
+        assert_eq!(db.series_count(), 0);
+    }
+
+    #[test]
+    fn label_introspection() {
+        let db = db_with_data();
+        assert!(db.label_names().contains(&"instance".to_string()));
+        assert_eq!(db.label_values("instance"), vec!["n1", "n2"]);
+        assert!(db.storage_bytes() > 0);
+    }
+}

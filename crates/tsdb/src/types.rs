@@ -1,0 +1,48 @@
+//! Shared TSDB types.
+
+use ceems_metrics::labels::LabelSet;
+
+/// One timestamped value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sample {
+    /// Milliseconds since the epoch.
+    pub t_ms: i64,
+    /// Value.
+    pub v: f64,
+}
+
+impl Sample {
+    /// Shorthand constructor.
+    pub fn new(t_ms: i64, v: f64) -> Sample {
+        Sample { t_ms, v }
+    }
+}
+
+/// A selected series: its labels and samples in time order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesData {
+    /// Full label set (including `__name__`).
+    pub labels: LabelSet,
+    /// Samples sorted by timestamp.
+    pub samples: Vec<Sample>,
+}
+
+/// Internal series identifier.
+pub type SeriesId = u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceems_metrics::labels;
+
+    #[test]
+    fn constructors() {
+        let s = Sample::new(5, 1.5);
+        assert_eq!(s.t_ms, 5);
+        let sd = SeriesData {
+            labels: labels! {"__name__" => "up"},
+            samples: vec![s],
+        };
+        assert_eq!(sd.samples.len(), 1);
+    }
+}

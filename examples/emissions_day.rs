@@ -1,0 +1,76 @@
+//! Experiment E9: how the emission-factor source changes reported CO₂e.
+//!
+//! §II.A.c: emission factors follow the live energy mix, so the same kWh
+//! consumed at different hours carries different emissions, and a static
+//! yearly factor (OWID) can disagree with real-time feeds (RTE,
+//! Electricity Maps). This example runs the same 1 kW workload through a
+//! simulated day and prints per-hour and total gCO₂e per provider.
+//!
+//! ```sh
+//! cargo run --release --example emissions_day
+//! ```
+
+use std::sync::Arc;
+
+use ceems::emissions::emaps::{EMapsProvider, EMapsService};
+use ceems::emissions::owid::OwidStatic;
+use ceems::emissions::rte::RteSimulated;
+use ceems::emissions::{EmissionProvider, EmissionsCalculator};
+
+fn main() {
+    let service = Arc::new(EMapsService::new("token", 10_000));
+    let providers: Vec<(&str, Arc<dyn EmissionProvider>)> = vec![
+        ("owid (static)", Arc::new(OwidStatic)),
+        ("rte (real-time)", Arc::new(RteSimulated::default())),
+        ("emaps (real-time)", Arc::new(EMapsProvider::new(service, "token"))),
+    ];
+
+    println!("emission factor for FR through one simulated day (gCO2e/kWh):\n");
+    println!("{:<6} {:>14} {:>14} {:>16}", "HOUR", "owid", "rte", "emaps");
+    for hour in (0..24).step_by(2) {
+        let t = hour * 3_600_000;
+        let row: Vec<String> = providers
+            .iter()
+            .map(|(_, p)| {
+                p.factor("FR", t)
+                    .map(|f| format!("{f:.1}"))
+                    .unwrap_or("-".into())
+            })
+            .collect();
+        println!("{hour:<6} {:>14} {:>14} {:>16}", row[0], row[1], row[2]);
+    }
+
+    // Integrate a constant 1 kW load over the day with each provider.
+    let trace: Vec<(i64, f64)> = (0..=(24 * 60)).map(|m| (m * 60_000, 1000.0)).collect();
+    println!("\nsame 24 kWh (1 kW × 24 h) accounted per provider:");
+    for (name, p) in &providers {
+        let calc = EmissionsCalculator::new(p.clone(), "FR");
+        let g = calc.integrate_trace(&trace).unwrap();
+        println!("  {name:<18} {g:>9.1} gCO2e");
+    }
+
+    // The scheduling-for-carbon argument: run the same 4 kWh burst at night
+    // versus at the evening peak under the real-time provider.
+    let rte = Arc::new(RteSimulated::default());
+    let calc = EmissionsCalculator::new(rte, "FR");
+    let burst = |start_h: i64| -> f64 {
+        let trace: Vec<(i64, f64)> = (0..=240)
+            .map(|m| (start_h * 3_600_000 + m * 60_000, 1000.0))
+            .collect();
+        calc.integrate_trace(&trace).unwrap()
+    };
+    let night = burst(3);
+    let peak = burst(17);
+    println!(
+        "\n4 kWh burst under RTE factors: 03:00 → {night:.1} g, 17:00 → {peak:.1} g ({:+.0}% at the peak)",
+        (peak / night - 1.0) * 100.0
+    );
+
+    // Cross-country comparison for the same energy (static factors).
+    println!("\nsame 24 kWh in other grids (OWID static):");
+    for zone in ["FR", "SE", "DE", "PL", "US"] {
+        let calc = EmissionsCalculator::new(Arc::new(OwidStatic), zone);
+        let g = calc.emissions_g(24.0 * 3.6e6, 0).unwrap();
+        println!("  {zone}: {:>8.0} gCO2e", g);
+    }
+}

@@ -1,0 +1,134 @@
+//! Experiment E7 (qualitative half): the load balancer's access control.
+//!
+//! §II.B.c: nothing stops a Grafana user from querying someone else's
+//! metrics straight from Prometheus; the CEEMS LB closes that hole. This
+//! example stands up TSDB replicas + API server + LB over real HTTP and
+//! shows the allowed/denied matrix, then demonstrates both balancing
+//! strategies.
+//!
+//! ```sh
+//! cargo run --release --example lb_access_control
+//! ```
+
+use std::sync::Arc;
+
+use ceems::http::Client;
+use ceems::lb::{Backend, BackendPool, CeemsLb, Strategy};
+use ceems::lb::acl::Authorizer;
+use ceems::lb::proxy::LbConfig;
+use ceems::prelude::*;
+use ceems::tsdb::httpapi::api_router;
+
+fn main() {
+    // A small stack generates real monitored data.
+    let mut stack = CeemsStack::build_default();
+    for (user, cores) in [("alice", 8), ("bob", 16)] {
+        stack
+            .submit(JobRequest {
+                user: user.into(),
+                account: "demo".into(),
+                partition: "cpu-intel".into(),
+                nodes: 1,
+                cores_per_node: cores,
+                memory_per_node: 8 << 30,
+                gpus_per_node: 0,
+                walltime_s: 7200,
+                workload: WorkloadProfile::CpuBound { intensity: 0.9 },
+            })
+            .unwrap();
+    }
+    stack.run_for(300.0, 15.0);
+    println!(
+        "monitoring data ready: {} series (alice owns slurm-1, bob owns slurm-2)\n",
+        stack.tsdb.series_count()
+    );
+
+    // Two "Prometheus replicas" serving the same TSDB over HTTP.
+    let now = stack.clock.now_ms();
+    let tsdb = stack.tsdb.clone();
+    let mk_replica = || {
+        ceems::http::HttpServer::serve(
+            ceems::http::ServerConfig::ephemeral(),
+            api_router(tsdb.clone(), Arc::new(move || now)),
+        )
+        .unwrap()
+    };
+    let replica1 = mk_replica();
+    let replica2 = mk_replica();
+
+    // The LB checks ownership directly against the API server's DB.
+    let lb = Arc::new(CeemsLb::new(
+        BackendPool::new(
+            vec![
+                Backend::new("replica-1", replica1.base_url()),
+                Backend::new("replica-2", replica2.base_url()),
+            ],
+            Strategy::round_robin(),
+        ),
+        Authorizer::DirectDb(stack.updater.clone()),
+        LbConfig {
+            admin_users: vec!["operator".into()],
+        },
+    ));
+    let lb_srv = lb.serve().unwrap();
+    println!("LB listening at {} in front of 2 replicas\n", lb_srv.base_url());
+
+    let query = |user: &str, q: &str| -> (u16, String) {
+        let url = format!(
+            "{}/api/v1/query?query={}",
+            lb_srv.base_url(),
+            ceems::http::url::encode_component(q)
+        );
+        let resp = Client::new()
+            .with_header("X-Grafana-User", user)
+            .get(&url)
+            .unwrap();
+        (resp.status.0, resp.body_string())
+    };
+
+    println!("{:<10} {:<55} {:>8}", "USER", "QUERY", "RESULT");
+    for (user, q) in [
+        ("alice", "uuid:ceems_power:watts{uuid=\"slurm-1\"}"),
+        ("alice", "uuid:ceems_power:watts{uuid=\"slurm-2\"}"),
+        ("bob", "uuid:ceems_power:watts{uuid=\"slurm-2\"}"),
+        ("alice", "sum(uuid:ceems_power:watts)"),
+        ("alice", "uuid:ceems_power:watts{uuid=~\"slurm-.*\"}"),
+        ("operator", "sum(uuid:ceems_power:watts)"),
+    ] {
+        let (code, _) = query(user, q);
+        let verdict = match code {
+            200 => "200 OK",
+            403 => "403 DENY",
+            other => {
+                println!("unexpected status {other}");
+                "?"
+            }
+        };
+        println!("{user:<10} {q:<55} {verdict:>8}");
+    }
+
+    // Balancing: round-robin alternates replicas.
+    println!("\nround-robin backend assignment for 6 admin queries:");
+    let mut assignment = Vec::new();
+    for _ in 0..6 {
+        let url = format!(
+            "{}/api/v1/query?query={}",
+            lb_srv.base_url(),
+            ceems::http::url::encode_component("sum(up)")
+        );
+        let resp = Client::new()
+            .with_header("X-Grafana-User", "operator")
+            .get(&url)
+            .unwrap();
+        assignment.push(
+            resp.header("x-ceems-lb-backend")
+                .unwrap_or("?")
+                .to_string(),
+        );
+    }
+    println!("  {}", assignment.join(" → "));
+
+    lb_srv.shutdown();
+    replica1.shutdown();
+    replica2.shutdown();
+}

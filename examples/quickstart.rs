@@ -1,0 +1,95 @@
+//! Quickstart: bring up a small CEEMS deployment, run a few jobs, and read
+//! their energy/emissions back from the API server.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ceems::prelude::*;
+
+fn main() {
+    let mut stack = CeemsStack::build_default();
+    println!(
+        "built stack: {} nodes ({} exporters), partitions via SLURM sim",
+        stack.cluster.len(),
+        stack.exporters.len()
+    );
+
+    // Submit three jobs of different shapes.
+    for (user, partition, cores, gpus, workload) in [
+        (
+            "alice",
+            "cpu-intel",
+            16,
+            0,
+            WorkloadProfile::CpuBound { intensity: 0.92 },
+        ),
+        (
+            "bob",
+            "cpu-amd",
+            32,
+            0,
+            WorkloadProfile::MemoryBound { resident: 0.8 },
+        ),
+        (
+            "carol",
+            "gpu-a100",
+            8,
+            4,
+            WorkloadProfile::GpuTraining {
+                intensity: 0.9,
+                period_s: 600.0,
+            },
+        ),
+    ] {
+        let id = stack
+            .submit(JobRequest {
+                user: user.into(),
+                account: "demo".into(),
+                partition: partition.into(),
+                nodes: 1,
+                cores_per_node: cores,
+                memory_per_node: 32 << 30,
+                gpus_per_node: gpus,
+                walltime_s: 7200,
+                workload,
+            })
+            .expect("job fits");
+        println!("submitted slurm-{id} for {user} on {partition}");
+    }
+
+    // Run 20 simulated minutes (the wall-clock cost is a second or two).
+    stack.run_for(1200.0, 15.0);
+
+    let stats = stack.stats();
+    println!(
+        "\nafter 20 simulated minutes: {} scrape passes, {} samples, {} rule series, {} TSDB series",
+        stats.scrape_passes,
+        stats.samples_scraped,
+        stats.rule_series_written,
+        stack.tsdb.series_count()
+    );
+    println!(
+        "total attributed job power right now: {:.0} W\n",
+        stack.total_attributed_power()
+    );
+
+    // What each user would see in their dashboard.
+    let updater = stack.updater.lock();
+    for user in ["alice", "bob", "carol"] {
+        print!("{}", dashboards::render_user_overview(&updater, user));
+    }
+    println!("\n{}", dashboards::render_job_list(&updater, "carol"));
+    drop(updater);
+
+    println!(
+        "{}",
+        dashboards::render_job_timeseries(
+            stack.tsdb.as_ref(),
+            "slurm-1",
+            120_000,
+            stack.clock.now_ms(),
+            30_000,
+        )
+    );
+}

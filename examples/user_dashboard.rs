@@ -1,0 +1,116 @@
+//! Fig. 2 reproduction (experiments E1–E3): renders the three Grafana
+//! dashboards of the paper from a simulated monitoring history — a user's
+//! aggregate usage (2a), their job list with per-job aggregates (2b) and
+//! the time-series CPU metrics of one job (2c).
+//!
+//! The paper shows 3 months of history; to keep this example interactive it
+//! simulates a configurable window (default 2 hours — pass `--hours N` for
+//! more; the shape of the panels is identical, only totals scale).
+//!
+//! ```sh
+//! cargo run --release --example user_dashboard -- --hours 2
+//! ```
+
+use ceems::prelude::*;
+
+fn main() {
+    let hours: f64 = std::env::args()
+        .skip_while(|a| a != "--hours")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+
+    let mut cfg = CeemsConfig::default();
+    cfg.churn = Some(ChurnSettings {
+        users: 8,
+        projects: 3,
+        arrivals_per_hour: 120.0,
+    });
+    let dir = std::env::temp_dir().join(format!("ceems-dash-{}", std::process::id()));
+    let mut stack = CeemsStack::build(cfg, &dir).expect("stack builds");
+
+    println!("simulating {hours} h of churn on {} nodes...", stack.cluster.len());
+    stack.run_for(hours * 3600.0, 15.0);
+    let stats = stack.stats();
+    println!(
+        "done: {} jobs submitted, {} samples ingested, {} series live\n",
+        stats.jobs_submitted,
+        stats.samples_scraped,
+        stack.tsdb.series_count()
+    );
+
+    // Pick the user with the most finished units for an interesting panel.
+    let updater = stack.updater.lock();
+    let usage = updater
+        .db()
+        .query(ceems::apiserver::schema::USAGE_TABLE, &ceems::relstore::Query::all())
+        .unwrap();
+    let busiest = usage
+        .iter()
+        .max_by_key(|r| r[ceems::apiserver::schema::usage_cols::NUM_UNITS].as_int())
+        .map(|r| {
+            r[ceems::apiserver::schema::usage_cols::USER]
+                .as_text()
+                .unwrap()
+                .to_string()
+        })
+        .unwrap_or_else(|| "user000".to_string());
+
+    // --- Fig. 2a ---------------------------------------------------------
+    println!("=== Fig. 2a — aggregate usage metrics ===");
+    print!("{}", dashboards::render_user_overview(&updater, &busiest));
+
+    // --- Fig. 2b ---------------------------------------------------------
+    println!("\n=== Fig. 2b — SLURM jobs with aggregate metrics ===");
+    let list = dashboards::render_job_list(&updater, &busiest);
+    // Show at most 15 rows.
+    for line in list.lines().take(16) {
+        println!("{line}");
+    }
+
+    // The uuid of the user's longest unit, for the time-series panel.
+    let units = updater
+        .db()
+        .query(
+            ceems::apiserver::schema::UNITS_TABLE,
+            &ceems::relstore::Query::all().filter(ceems::relstore::Filter::Eq(
+                "user".into(),
+                busiest.as_str().into(),
+            )),
+        )
+        .unwrap();
+    let longest = units
+        .iter()
+        .max_by(|a, b| {
+            let ea = a[ceems::apiserver::schema::unit_cols::ELAPSED_S]
+                .as_real()
+                .unwrap_or(0.0);
+            let eb = b[ceems::apiserver::schema::unit_cols::ELAPSED_S]
+                .as_real()
+                .unwrap_or(0.0);
+            ea.total_cmp(&eb)
+        })
+        .map(|r| {
+            r[ceems::apiserver::schema::unit_cols::UUID]
+                .as_text()
+                .unwrap()
+                .to_string()
+        })
+        .expect("user has units");
+    drop(updater);
+
+    // --- Fig. 2c ---------------------------------------------------------
+    println!("\n=== Fig. 2c — time series CPU metrics of {longest} ===");
+    println!(
+        "{}",
+        dashboards::render_job_timeseries(
+            stack.tsdb.as_ref(),
+            &longest,
+            0,
+            stack.clock.now_ms(),
+            (stack.clock.now_ms() / 60).max(30_000),
+        )
+    );
+
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -1,0 +1,172 @@
+//! E5 across the remaining node groups: the recording-rule pipeline must
+//! match the closed form not only on Intel nodes (covered in
+//! `ceems-core`'s unit test) but on AMD nodes (no DRAM counters) and GPU
+//! servers of both IPMI wirings.
+
+use ceems::core::attribution::{
+    all_rule_groups, attribute, JobObservables, NodeGroup, NodeObservables,
+};
+use ceems::metrics::labels::LabelSetBuilder;
+use ceems::metrics::matcher::LabelMatcher;
+use ceems::tsdb::rules::RuleEngine;
+use ceems::tsdb::Tsdb;
+
+struct Fixture {
+    group: NodeGroup,
+    ipmi_w: f64,
+    rapl_cpu_w: f64,
+    rapl_dram_w: f64,
+    gpu_w: Vec<f64>, // per GPU ordinal; job i owns ordinal i
+}
+
+/// Loads 10 minutes of steady raw series for one node with two jobs
+/// (5 busy cores and 40 GB memory each; node totals 10 cores / 80 GB).
+fn load(db: &Tsdb, f: &Fixture) {
+    let g = f.group.label();
+    let inst = "node-x:9100";
+    let label = |name: &str| {
+        LabelSetBuilder::new()
+            .label("__name__", name)
+            .label("instance", inst)
+            .label("nodegroup", g)
+            .build()
+    };
+    for i in 0..41i64 {
+        let t = i * 15_000;
+        let secs = (i * 15) as f64;
+        db.append(&label("ceems_ipmi_dcmi_power_current_watts"), t, f.ipmi_w);
+        db.append(&label("ceems_rapl_package_joules_total"), t, f.rapl_cpu_w * secs);
+        if f.rapl_dram_w > 0.0 {
+            db.append(&label("ceems_rapl_dram_joules_total"), t, f.rapl_dram_w * secs);
+        }
+        db.append(&label("ceems_memory_used_bytes"), t, 80e9);
+        for (mode, rate) in [("user", 9.2), ("system", 0.8), ("idle", 30.0)] {
+            db.append(
+                &LabelSetBuilder::new()
+                    .label("__name__", "ceems_cpu_seconds_total")
+                    .label("mode", mode)
+                    .label("instance", inst)
+                    .label("nodegroup", g)
+                    .build(),
+                t,
+                rate * secs,
+            );
+        }
+        for j in 0..2usize {
+            let uuid = format!("slurm-{j}");
+            let jl = |name: &str| {
+                LabelSetBuilder::new()
+                    .label("__name__", name)
+                    .label("uuid", uuid.clone())
+                    .label("instance", inst)
+                    .label("nodegroup", g)
+                    .build()
+            };
+            db.append(&jl("ceems_compute_unit_cpu_user_seconds_total"), t, 4.6 * secs);
+            db.append(&jl("ceems_compute_unit_cpu_system_seconds_total"), t, 0.4 * secs);
+            db.append(&jl("ceems_compute_unit_memory_used_bytes"), t, 40e9);
+            if !f.gpu_w.is_empty() {
+                db.append(
+                    &LabelSetBuilder::new()
+                        .label("__name__", "ceems_compute_unit_gpu_index_flag")
+                        .label("uuid", uuid.clone())
+                        .label("gpu", j.to_string())
+                        .label("index", j.to_string())
+                        .label("instance", inst)
+                        .label("nodegroup", g)
+                        .build(),
+                    t,
+                    1.0,
+                );
+            }
+        }
+        for (ordinal, w) in f.gpu_w.iter().enumerate() {
+            db.append(
+                &LabelSetBuilder::new()
+                    .label("__name__", "DCGM_FI_DEV_POWER_USAGE")
+                    .label("gpu", ordinal.to_string())
+                    .label("instance", inst)
+                    .label("nodegroup", g)
+                    .build(),
+                t,
+                *w,
+            );
+        }
+    }
+}
+
+fn run_case(f: Fixture) {
+    let db = Tsdb::default();
+    load(&db, &f);
+    let mut engine = RuleEngine::new(all_rule_groups("2m", 30_000));
+    engine.force_eval(&db, 600_000);
+    assert_eq!(engine.stats().failures, 0, "{:?} rules failed", f.group);
+
+    let got = db.select_latest(&[LabelMatcher::eq("__name__", "uuid:ceems_power:watts")]);
+    assert_eq!(got.len(), 2, "{:?}: {got:?}", f.group);
+
+    let expected = attribute(&NodeObservables {
+        group: f.group,
+        ipmi_w: f.ipmi_w,
+        rapl_cpu_w: f.rapl_cpu_w,
+        rapl_dram_w: f.rapl_dram_w,
+        node_cpu_rate: 10.0,
+        node_mem_bytes: 80e9,
+        gpu_total_w: f.gpu_w.iter().sum(),
+        jobs: (0..2)
+            .map(|j| JobObservables {
+                uuid: format!("slurm-{j}"),
+                cpu_rate: 5.0,
+                mem_bytes: 40e9,
+                gpu_w: f.gpu_w.get(j).copied().unwrap_or(0.0),
+            })
+            .collect(),
+    });
+    for (uuid, want) in expected {
+        let have = got
+            .iter()
+            .find(|(l, _)| l.get("uuid") == Some(uuid.as_str()))
+            .map(|(_, s)| s.v)
+            .unwrap_or_else(|| panic!("{:?}: missing {uuid}", f.group));
+        assert!(
+            (have - want).abs() / want < 0.02,
+            "{:?} {uuid}: rules={have:.2} closed-form={want:.2}",
+            f.group
+        );
+    }
+}
+
+#[test]
+fn amd_group_pipeline_matches_closed_form() {
+    run_case(Fixture {
+        group: NodeGroup::AmdNoDram,
+        ipmi_w: 640.0,
+        rapl_cpu_w: 380.0,
+        rapl_dram_w: 0.0,
+        gpu_w: vec![],
+    });
+}
+
+#[test]
+fn gpu_type_a_pipeline_matches_closed_form() {
+    // IPMI includes the two GPUs' 350 W each.
+    run_case(Fixture {
+        group: NodeGroup::GpuIpmiInclusive,
+        ipmi_w: 500.0 + 700.0,
+        rapl_cpu_w: 240.0,
+        rapl_dram_w: 60.0,
+        gpu_w: vec![350.0, 350.0],
+    });
+}
+
+#[test]
+fn gpu_type_b_pipeline_matches_closed_form() {
+    // IPMI excludes GPU draw entirely.
+    run_case(Fixture {
+        group: NodeGroup::GpuIpmiExclusive,
+        ipmi_w: 500.0,
+        rapl_cpu_w: 240.0,
+        rapl_dram_w: 60.0,
+        gpu_w: vec![300.0, 420.0],
+    });
+}

@@ -1,0 +1,200 @@
+//! Property-based tests of the Eq. (1) attribution (experiment E5).
+//!
+//! Invariants:
+//! * attributed power is non-negative and finite for any job mix;
+//! * per-node attributed power never exceeds the node's total power, and
+//!   equals it exactly when the jobs' shares exhaust the node;
+//! * attribution is monotone: a job that burns more CPU gets more power;
+//! * the four node-group variants agree on their common sub-expressions.
+
+use ceems::core::attribution::{attribute, JobObservables, NodeGroup, NodeObservables};
+use proptest::prelude::*;
+
+fn arb_jobs() -> impl Strategy<Value = Vec<JobObservables>> {
+    proptest::collection::vec(
+        (0.01f64..16.0, 1e8f64..64e9, 0.0f64..1200.0).prop_map(|(cpu, mem, gpu)| JobObservables {
+            uuid: String::new(), // filled below
+            cpu_rate: cpu,
+            mem_bytes: mem,
+            gpu_w: gpu,
+        }),
+        1..8,
+    )
+    .prop_map(|mut jobs| {
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.uuid = format!("slurm-{i}");
+        }
+        jobs
+    })
+}
+
+fn node_for(group: NodeGroup, mut jobs: Vec<JobObservables>, overhead_cpu: f64) -> NodeObservables {
+    // CPU-only node groups have no GPUs to draw power.
+    if matches!(group, NodeGroup::IntelDram | NodeGroup::AmdNoDram) {
+        for j in &mut jobs {
+            j.gpu_w = 0.0;
+        }
+    }
+    let job_cpu: f64 = jobs.iter().map(|j| j.cpu_rate).sum();
+    let job_mem: f64 = jobs.iter().map(|j| j.mem_bytes).sum();
+    let gpu_total: f64 = jobs.iter().map(|j| j.gpu_w).sum();
+    let ipmi = match group {
+        NodeGroup::GpuIpmiInclusive => 600.0 + gpu_total,
+        _ => 600.0,
+    };
+    NodeObservables {
+        group,
+        ipmi_w: ipmi,
+        rapl_cpu_w: 300.0,
+        rapl_dram_w: 80.0,
+        node_cpu_rate: job_cpu + overhead_cpu,
+        node_mem_bytes: job_mem + 4e9,
+        gpu_total_w: gpu_total,
+        jobs,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn attribution_is_nonnegative_and_bounded(
+        jobs in arb_jobs(),
+        overhead in 0.0f64..4.0,
+    ) {
+        for group in NodeGroup::all() {
+            let node = node_for(group, jobs.clone(), overhead);
+            let out = attribute(&node);
+            prop_assert_eq!(out.len(), node.jobs.len());
+            let total_node_power = match group {
+                NodeGroup::GpuIpmiExclusive => node.ipmi_w + node.gpu_total_w,
+                _ => node.ipmi_w,
+            };
+            let mut sum = 0.0;
+            for (uuid, w) in &out {
+                prop_assert!(w.is_finite(), "{group:?} {uuid} -> {w}");
+                prop_assert!(*w >= 0.0, "{group:?} {uuid} -> {w}");
+                sum += w;
+            }
+            // Never attribute more than the node drew (tiny fp slack).
+            prop_assert!(
+                sum <= total_node_power * (1.0 + 1e-9),
+                "{group:?}: attributed {sum} of {total_node_power}"
+            );
+        }
+    }
+
+    #[test]
+    fn attribution_exact_when_shares_exhaust_node(jobs in arb_jobs()) {
+        // No OS overhead, no extra memory: job shares sum to exactly 1 on
+        // a CPU node, so the 0.9 + 0.1 split hands out everything.
+        let job_cpu: f64 = jobs.iter().map(|j| j.cpu_rate).sum();
+        let job_mem: f64 = jobs.iter().map(|j| j.mem_bytes).sum();
+        let cpu_only: Vec<JobObservables> = jobs
+            .iter()
+            .map(|j| JobObservables { gpu_w: 0.0, ..j.clone() })
+            .collect();
+        let node = NodeObservables {
+            group: NodeGroup::IntelDram,
+            ipmi_w: 500.0,
+            rapl_cpu_w: 250.0,
+            rapl_dram_w: 50.0,
+            node_cpu_rate: job_cpu,
+            node_mem_bytes: job_mem,
+            gpu_total_w: 0.0,
+            jobs: cpu_only,
+        };
+        let total: f64 = attribute(&node).iter().map(|(_, w)| w).sum();
+        prop_assert!((total - 500.0).abs() < 1e-6, "total={total}");
+    }
+
+    #[test]
+    fn more_cpu_means_more_power(
+        base_cpu in 0.5f64..4.0,
+        extra in 0.5f64..8.0,
+    ) {
+        let mk = |cpu: f64, uuid: &str| JobObservables {
+            uuid: uuid.into(),
+            cpu_rate: cpu,
+            mem_bytes: 8e9,
+            gpu_w: 0.0,
+        };
+        let node = node_for(
+            NodeGroup::AmdNoDram,
+            vec![mk(base_cpu, "small"), mk(base_cpu + extra, "big")],
+            1.0,
+        );
+        let out = attribute(&node);
+        let small = out.iter().find(|(u, _)| u == "small").unwrap().1;
+        let big = out.iter().find(|(u, _)| u == "big").unwrap().1;
+        prop_assert!(big > small, "big={big} small={small}");
+    }
+
+    #[test]
+    fn gpu_power_is_passed_through_exactly(gpu_w in 1.0f64..1500.0) {
+        let jobs = vec![JobObservables {
+            uuid: "g".into(),
+            cpu_rate: 1.0,
+            mem_bytes: 8e9,
+            gpu_w,
+        }];
+        for group in [NodeGroup::GpuIpmiInclusive, NodeGroup::GpuIpmiExclusive] {
+            let node = node_for(group, jobs.clone(), 0.5);
+            let without_gpu = {
+                let mut n = node.clone();
+                n.jobs[0].gpu_w = 0.0;
+                n.gpu_total_w = 0.0;
+                if group == NodeGroup::GpuIpmiInclusive {
+                    n.ipmi_w -= gpu_w;
+                }
+                attribute(&n)[0].1
+            };
+            let with_gpu = attribute(&node)[0].1;
+            // The GPU's own watts arrive exactly 1:1 — the network share is
+            // taken from the non-GPU budget, so it does not move.
+            let expected_delta = gpu_w;
+            prop_assert!(
+                (with_gpu - without_gpu - expected_delta).abs() < 1e-6,
+                "{group:?}: delta={} expected={expected_delta}",
+                with_gpu - without_gpu
+            );
+        }
+    }
+}
+
+#[test]
+fn network_share_split_equally() {
+    // Two jobs with wildly different CPU get the identical network share.
+    let jobs = vec![
+        JobObservables {
+            uuid: "a".into(),
+            cpu_rate: 15.0,
+            mem_bytes: 50e9,
+            gpu_w: 0.0,
+        },
+        JobObservables {
+            uuid: "b".into(),
+            cpu_rate: 0.1,
+            mem_bytes: 1e9,
+            gpu_w: 0.0,
+        },
+    ];
+    let node = NodeObservables {
+        group: NodeGroup::AmdNoDram,
+        ipmi_w: 400.0,
+        rapl_cpu_w: 200.0,
+        rapl_dram_w: 0.0,
+        node_cpu_rate: 15.1,
+        node_mem_bytes: 51e9,
+        gpu_total_w: 0.0,
+        jobs,
+    };
+    let out = attribute(&node);
+    // net per job = 0.1 * 400 / 2 = 20 W; subtracting each job's CPU term
+    // must leave exactly that.
+    let cpu_term = |cpu: f64| 0.9 * 400.0 * (cpu / 15.1);
+    let a = out.iter().find(|(u, _)| u == "a").unwrap().1 - cpu_term(15.0);
+    let b = out.iter().find(|(u, _)| u == "b").unwrap().1 - cpu_term(0.1);
+    assert!((a - 20.0).abs() < 1e-9, "a_net={a}");
+    assert!((b - 20.0).abs() < 1e-9, "b_net={b}");
+}

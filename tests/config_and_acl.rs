@@ -1,0 +1,179 @@
+//! Config-file-driven deployments and the LB's HTTP verification path.
+
+use std::sync::Arc;
+
+use ceems::http::Client;
+use ceems::lb::acl::Authorizer;
+use ceems::lb::proxy::LbConfig;
+use ceems::lb::{Backend, BackendPool, CeemsLb, Strategy};
+use ceems::prelude::*;
+use ceems::tsdb::httpapi::api_router;
+
+#[test]
+fn stack_builds_from_single_yaml_file() {
+    // The §II.D single-file configuration, end to end.
+    let yaml = "\
+cluster:
+  intel_nodes: 3
+  amd_nodes: 1
+  v100_nodes: 0
+  a100_nodes: 1
+  h100_nodes: 0
+  seed: 99
+tsdb:
+  scrape_interval_s: 15
+  rule_window: 2m
+  rule_interval_s: 30
+api_server:
+  update_interval_s: 60
+  admin_users:
+    - root
+emissions:
+  zone: FR
+  providers:
+    - rte
+    - owid
+lb:
+  strategy: least_connection
+churn:
+  users: 6
+  projects: 2
+  arrivals_per_hour: 300
+threads: 2
+";
+    let cfg = CeemsConfig::from_yaml(yaml).unwrap();
+    assert_eq!(cfg.cluster.total_nodes(), 5);
+    assert_eq!(cfg.lb_strategy, "least_connection");
+
+    let dir = std::env::temp_dir().join(format!(
+        "ceems-cfg-it-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let mut stack = CeemsStack::build(cfg, &dir).unwrap();
+    stack.run_for(900.0, 15.0);
+
+    let st = stack.stats();
+    assert!(st.jobs_submitted > 10, "churn produced {}", st.jobs_submitted);
+    assert_eq!(st.scrape_failures, 0);
+    assert!(stack.tsdb.series_count() > 100);
+    // Both RTE and OWID factors are being exported.
+    let providers = stack.tsdb.label_values("provider");
+    assert!(providers.contains(&"rte".to_string()), "{providers:?}");
+    assert!(providers.contains(&"owid".to_string()));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn lb_verifies_through_api_server_http() {
+    // Fig. 1's fallback path: the LB cannot read the DB file, so it calls
+    // the API server's /api/v1/verify endpoint over HTTP.
+    let mut stack = CeemsStack::build_default();
+    stack
+        .submit(JobRequest {
+            user: "alice".into(),
+            account: "p".into(),
+            partition: "cpu-intel".into(),
+            nodes: 1,
+            cores_per_node: 8,
+            memory_per_node: 8 << 30,
+            gpus_per_node: 0,
+            walltime_s: 7200,
+            workload: WorkloadProfile::CpuBound { intensity: 0.9 },
+        })
+        .unwrap();
+    stack.run_for(300.0, 15.0);
+
+    // API server over HTTP.
+    let api = Arc::new(ceems::apiserver::ApiServer::new(
+        stack.updater.clone(),
+        vec![],
+    ));
+    let api_srv = api.serve().unwrap();
+
+    // TSDB over HTTP.
+    let now = stack.clock.now_ms();
+    let tsdb_srv = ceems::http::HttpServer::serve(
+        ceems::http::ServerConfig::ephemeral(),
+        api_router(stack.tsdb.clone(), Arc::new(move || now)),
+    )
+    .unwrap();
+
+    // LB with the HTTP authorizer.
+    let lb = Arc::new(CeemsLb::new(
+        BackendPool::new(
+            vec![Backend::new("b1", tsdb_srv.base_url())],
+            Strategy::LeastConnection,
+        ),
+        Authorizer::api(api_srv.base_url()),
+        LbConfig::default(),
+    ));
+    let lb_srv = lb.serve().unwrap();
+
+    let q = |user: &str, uuid: &str| -> u16 {
+        let query = format!("uuid:ceems_power:watts{{uuid=\"{uuid}\"}}");
+        let url = format!(
+            "{}/api/v1/query?query={}",
+            lb_srv.base_url(),
+            ceems::http::url::encode_component(&query)
+        );
+        Client::new()
+            .with_header("X-Grafana-User", user)
+            .get(&url)
+            .unwrap()
+            .status
+            .0
+    };
+
+    assert_eq!(q("alice", "slurm-1"), 200);
+    assert_eq!(q("mallory", "slurm-1"), 403);
+    assert_eq!(q("alice", "slurm-404"), 403);
+
+    // Kill the API server: verification must fail closed, not open.
+    api_srv.shutdown();
+    assert_eq!(q("alice", "slurm-1"), 403);
+
+    lb_srv.shutdown();
+    tsdb_srv.shutdown();
+}
+
+#[test]
+fn fleet_power_conservation_under_churn() {
+    // Attributed job power can never exceed the simulated fleet draw, and
+    // should account for most of it when the fleet is busy.
+    let mut cfg = CeemsConfig::default();
+    cfg.churn = Some(ChurnSettings {
+        users: 10,
+        projects: 3,
+        arrivals_per_hour: 500.0,
+    });
+    let dir = std::env::temp_dir().join(format!(
+        "ceems-conserve-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let mut stack = CeemsStack::build(cfg, &dir).unwrap();
+    stack.run_for(1500.0, 15.0);
+
+    let truth_w = stack.cluster.total_wall_power();
+    let attributed_w = stack.total_attributed_power();
+    assert!(attributed_w > 0.0);
+    // IPMI noise is ±3% per node; allow 10% headroom overall.
+    assert!(
+        attributed_w <= truth_w * 1.10,
+        "attributed {attributed_w:.0} W exceeds fleet truth {truth_w:.0} W"
+    );
+    // With heavy churn most nodes hold jobs, so attribution should cover a
+    // sizeable share of the fleet (idle nodes are never attributed).
+    assert!(
+        attributed_w >= truth_w * 0.3,
+        "attributed only {attributed_w:.0} of {truth_w:.0} W"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -1,0 +1,186 @@
+//! Failure-injection: the monitoring pipeline must degrade gracefully when
+//! sensors or exporters misbehave — flaky BMCs, dead scrape targets,
+//! malformed payloads.
+
+use std::sync::Arc;
+
+use ceems::exporter::{CeemsExporter, ExporterConfig};
+use ceems::metrics::matcher::LabelMatcher;
+use ceems::prelude::*;
+use ceems::simnode::node::{HardwareProfile, NodeSpec, SimNode, TaskSpec};
+use ceems::tsdb::rules::RuleEngine;
+use ceems::tsdb::scrape::{ScrapeManager, ScrapeTarget, TargetSource};
+use parking_lot::Mutex;
+
+fn busy_intel_node(seed: u64) -> ceems::simnode::cluster::NodeHandle {
+    let mut n = SimNode::new(
+        NodeSpec {
+            hostname: format!("n{seed}"),
+            profile: HardwareProfile::IntelCpu,
+        },
+        seed,
+    );
+    n.add_task(
+        TaskSpec {
+            id: seed,
+            cores: 16,
+            memory_bytes: 16 << 30,
+            gpus: 0,
+            workload: WorkloadProfile::CpuBound { intensity: 0.9 },
+        },
+        0,
+    )
+    .unwrap();
+    Arc::new(Mutex::new(n))
+}
+
+#[test]
+fn flaky_bmc_degrades_attribution_gracefully() {
+    // One node's BMC times out on 60% of invocations. The pipeline must
+    // keep producing per-job power whenever a reading is available, and
+    // produce *nothing incorrect* when it is not.
+    let clock = SimClock::new();
+    let node = busy_intel_node(1);
+    let exporter = Arc::new(CeemsExporter::new(
+        node.clone(),
+        clock.clone(),
+        ExporterConfig {
+            ipmi_failure_rate: 0.6,
+            ..Default::default()
+        },
+    ));
+    let mgr = ScrapeManager::new(vec![ScrapeTarget {
+        instance: "n1:9100".into(),
+        job: "ceems".into(),
+        extra_labels: vec![("nodegroup".into(), "intel-dram".into())],
+        source: TargetSource::InProcess(exporter.render_fn()),
+    }]);
+    let db = Tsdb::default();
+    let mut rules = RuleEngine::new(ceems::core::attribution::all_rule_groups("2m", 30_000));
+
+    let mut power_samples = 0;
+    for i in 1..=40 {
+        let now = i * 15_000;
+        clock.advance_ms(15_000);
+        node.lock().step(now, 15.0);
+        let stats = mgr.scrape_once(&db, now, 1);
+        assert_eq!(stats.failed, 0, "scrape itself never fails");
+        rules.tick(&db, now);
+        power_samples += db
+            .select(
+                &[LabelMatcher::eq("__name__", "uuid:ceems_power:watts")],
+                now,
+                now,
+            )
+            .len();
+    }
+    // Some rounds produced power, despite the majority of BMC timeouts
+    // (the IPMI gauge keeps its last scraped value within lookback).
+    assert!(power_samples > 5, "only {power_samples} power evaluations");
+    // Whatever was produced is physical.
+    let all = db.select(
+        &[LabelMatcher::eq("__name__", "uuid:ceems_power:watts")],
+        0,
+        i64::MAX,
+    );
+    for s in &all {
+        for sample in &s.samples {
+            assert!(sample.v >= 0.0 && sample.v < 1000.0, "bad power {}", sample.v);
+        }
+    }
+}
+
+#[test]
+fn mixed_fleet_with_dead_targets_keeps_up_series_honest() {
+    let clock = SimClock::new();
+    let node = busy_intel_node(2);
+    let exporter = Arc::new(CeemsExporter::new(
+        node.clone(),
+        clock.clone(),
+        ExporterConfig::default(),
+    ));
+    let mgr = ScrapeManager::new(vec![
+        ScrapeTarget {
+            instance: "alive:9100".into(),
+            job: "ceems".into(),
+            extra_labels: vec![],
+            source: TargetSource::InProcess(exporter.render_fn()),
+        },
+        ScrapeTarget {
+            instance: "dead:9100".into(),
+            job: "ceems".into(),
+            extra_labels: vec![],
+            source: TargetSource::Http {
+                url: "http://127.0.0.1:1/metrics".into(),
+                auth: None,
+            },
+        },
+        ScrapeTarget {
+            instance: "garbage:9100".into(),
+            job: "ceems".into(),
+            extra_labels: vec![],
+            source: TargetSource::InProcess(Arc::new(|| "{{{not metrics".to_string())),
+        },
+    ]);
+    let db = Tsdb::default();
+    node.lock().step(15_000, 15.0);
+    let stats = mgr.scrape_once(&db, 15_000, 2);
+    assert_eq!(stats.ok, 1);
+    assert_eq!(stats.failed, 2);
+
+    let up = db.select_latest(&[LabelMatcher::eq("__name__", "up")]);
+    assert_eq!(up.len(), 3);
+    for (labels, s) in up {
+        let want = if labels.get("instance") == Some("alive:9100") { 1.0 } else { 0.0 };
+        assert_eq!(s.v, want, "up for {labels:?}");
+    }
+}
+
+#[test]
+fn scheduler_survives_unsatisfiable_and_hostile_submissions() {
+    let mut stack = CeemsStack::build_default();
+    // Rejections must not wedge the queue.
+    assert!(stack
+        .submit(JobRequest {
+            user: "evil".into(),
+            account: "p".into(),
+            partition: "nope".into(),
+            nodes: 1,
+            cores_per_node: 1,
+            memory_per_node: 1 << 30,
+            gpus_per_node: 0,
+            walltime_s: 60,
+            workload: WorkloadProfile::Idle,
+        })
+        .is_err());
+    assert!(stack
+        .submit(JobRequest {
+            user: "evil".into(),
+            account: "p".into(),
+            partition: "cpu-intel".into(),
+            nodes: 999,
+            cores_per_node: 1,
+            memory_per_node: 1 << 30,
+            gpus_per_node: 0,
+            walltime_s: 60,
+            workload: WorkloadProfile::Idle,
+        })
+        .is_err());
+    // A legitimate job still runs end-to-end afterwards.
+    let id = stack
+        .submit(JobRequest {
+            user: "good".into(),
+            account: "p".into(),
+            partition: "cpu-intel".into(),
+            nodes: 1,
+            cores_per_node: 4,
+            memory_per_node: 4 << 30,
+            gpus_per_node: 0,
+            walltime_s: 3600,
+            workload: WorkloadProfile::CpuBound { intensity: 0.8 },
+        })
+        .unwrap();
+    stack.run_for(120.0, 15.0);
+    let sched = stack.scheduler.lock();
+    assert_eq!(sched.dbd().get(id).unwrap().state, JobState::Running);
+}

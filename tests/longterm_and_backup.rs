@@ -1,0 +1,215 @@
+//! Long-term storage (Thanos role) and continuous backup (Litestream role)
+//! integrated with live stack data — the right-hand side of Fig. 1.
+
+use std::sync::Arc;
+
+use ceems::metrics::matcher::LabelMatcher;
+use ceems::prelude::*;
+use ceems::relstore::backup::{restore, Replicator};
+use ceems::tsdb::longterm::{FanInQuerier, LongTermStore};
+use ceems::tsdb::promql::{instant_query, parse_expr, Queryable, Value};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "ceems-it-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ))
+}
+
+#[test]
+fn hot_to_cold_replication_preserves_queries() {
+    let mut stack = CeemsStack::build_default();
+    stack
+        .submit(JobRequest {
+            user: "u".into(),
+            account: "p".into(),
+            partition: "cpu-intel".into(),
+            nodes: 1,
+            cores_per_node: 16,
+            memory_per_node: 32 << 30,
+            gpus_per_node: 0,
+            walltime_s: 7200,
+            workload: WorkloadProfile::CpuBound { intensity: 0.9 },
+        })
+        .unwrap();
+    stack.run_for(1200.0, 15.0);
+    let now = stack.clock.now_ms();
+
+    // Replicate the first half into the cold store (as the hot TSDB's
+    // sidecar would), then pretend hot retention dropped it.
+    let cold = Arc::new(LongTermStore::new());
+    let horizon = now / 2;
+    let replicated = cold.replicate(&stack.tsdb, 0, horizon - 1);
+    assert!(replicated > 10, "replicated {replicated} series");
+    assert!(cold.block_count() == 1);
+    assert!(cold.byte_len() > 0);
+
+    let fan = FanInQuerier::new(stack.tsdb.clone(), cold.clone(), horizon);
+
+    // A range query spanning the horizon returns a continuous series.
+    let matcher = [
+        LabelMatcher::eq("__name__", "ceems_compute_unit_cpu_user_seconds_total"),
+        LabelMatcher::eq("uuid", "slurm-1"),
+    ];
+    let spanning = fan.select(&matcher, 0, now);
+    assert_eq!(spanning.len(), 1);
+    let hot_only = stack.tsdb.select(&matcher, horizon, now);
+    assert!(spanning[0].samples.len() > hot_only[0].samples.len());
+    assert!(spanning[0].samples.windows(2).all(|w| w[0].t_ms < w[1].t_ms));
+
+    // PromQL evaluates against the fan-in view inside the cold window.
+    let v = instant_query(
+        &fan,
+        &parse_expr("rate(ceems_compute_unit_cpu_user_seconds_total{uuid=\"slurm-1\"}[2m])")
+            .unwrap(),
+        horizon - 60_000,
+    )
+    .unwrap();
+    let Value::Vector(v) = v else { panic!("not a vector") };
+    assert_eq!(v.len(), 1);
+    assert!(v[0].1 > 5.0, "cpu rate {}", v[0].1); // ~14 busy cores
+
+    // Downsampled data exists at 5-minute resolution.
+    let ds = cold.select_downsampled(
+        &[LabelMatcher::eq("__name__", "ceems_ipmi_dcmi_power_current_watts")],
+        "avg",
+        0,
+        i64::MAX,
+    );
+    assert!(!ds.is_empty());
+    let raw = cold.select_raw(
+        &[LabelMatcher::eq("__name__", "ceems_ipmi_dcmi_power_current_watts")],
+        0,
+        i64::MAX,
+    );
+    let raw_n: usize = raw.iter().map(|s| s.samples.len()).sum();
+    let ds_n: usize = ds.iter().map(|s| s.samples.len()).sum();
+    assert!(
+        ds_n * 10 < raw_n,
+        "downsampling should shrink sample count (raw={raw_n} ds={ds_n})"
+    );
+}
+
+#[test]
+fn api_db_continuous_backup_survives_crash() {
+    let db_dir = tmpdir("db");
+    let bk_dir = tmpdir("bk");
+    let rs_dir = tmpdir("rs");
+
+    let mut cfg = CeemsConfig::default();
+    cfg.churn = Some(ChurnSettings {
+        users: 6,
+        projects: 2,
+        arrivals_per_hour: 240.0,
+    });
+    let mut stack = CeemsStack::build(cfg, &db_dir).unwrap();
+    let mut replicator = Replicator::new(&db_dir, &bk_dir).unwrap();
+
+    // Run with periodic replication, like the litestream sidecar.
+    for _ in 0..6 {
+        stack.run_for(300.0, 15.0);
+        replicator.sync().unwrap();
+    }
+    let live_units = stack
+        .updater
+        .lock()
+        .db()
+        .table(ceems::apiserver::schema::UNITS_TABLE)
+        .unwrap()
+        .len();
+    assert!(live_units > 5, "only {live_units} units");
+
+    // "Crash": drop the stack, restore from the backup alone.
+    drop(stack);
+    let restored = restore(&bk_dir, &rs_dir).unwrap();
+    let restored_units = restored
+        .table(ceems::apiserver::schema::UNITS_TABLE)
+        .unwrap()
+        .len();
+    assert_eq!(restored_units, live_units);
+
+    // Ownership checks still work on the restored database.
+    let some_row = restored
+        .query(
+            ceems::apiserver::schema::UNITS_TABLE,
+            &ceems::relstore::Query::all().limit(1),
+        )
+        .unwrap();
+    let user = some_row[0][ceems::apiserver::schema::unit_cols::USER]
+        .as_text()
+        .unwrap()
+        .to_string();
+    let uuid = some_row[0][ceems::apiserver::schema::unit_cols::UUID]
+        .as_text()
+        .unwrap()
+        .to_string();
+    assert!(ceems::apiserver::updater::verify_ownership_in_db(
+        &restored, &user, &uuid
+    ));
+    assert!(!ceems::apiserver::updater::verify_ownership_in_db(
+        &restored,
+        "intruder",
+        &uuid
+    ));
+
+    for d in [db_dir, bk_dir, rs_dir] {
+        std::fs::remove_dir_all(d).ok();
+    }
+}
+
+#[test]
+fn cardinality_cleanup_reduces_series() {
+    // E10: short jobs create series churn; the updater purges them.
+    let db_dir = tmpdir("card");
+    let mut cfg = CeemsConfig::default();
+    cfg.cleanup_cutoff_s = 600.0; // purge anything shorter than 10 min
+    cfg.churn = Some(ChurnSettings {
+        users: 8,
+        projects: 2,
+        arrivals_per_hour: 600.0,
+    });
+    let mut stack = CeemsStack::build(cfg, &db_dir).unwrap();
+    stack.run_for(3600.0, 15.0);
+
+    let purged = stack.updater.lock().stats().units_purged;
+    let deleted = stack.updater.lock().stats().series_deleted;
+    assert!(purged > 0, "no short units purged");
+    assert!(deleted >= purged, "deleted {deleted} < purged {purged}");
+
+    // Purged units have no uuid-labelled series left in the TSDB.
+    let upd = stack.updater.lock();
+    let rows = upd
+        .db()
+        .query(
+            ceems::apiserver::schema::UNITS_TABLE,
+            &ceems::relstore::Query::all(),
+        )
+        .unwrap();
+    drop(upd);
+    let mut checked = 0;
+    for r in &rows {
+        let elapsed = r[ceems::apiserver::schema::unit_cols::ELAPSED_S]
+            .as_real()
+            .unwrap_or(0.0);
+        let state = r[ceems::apiserver::schema::unit_cols::STATE]
+            .as_text()
+            .unwrap_or("");
+        let uuid = r[ceems::apiserver::schema::unit_cols::UUID]
+            .as_text()
+            .unwrap();
+        let terminal = matches!(state, "COMPLETED" | "FAILED" | "CANCELLED" | "TIMEOUT");
+        if terminal && elapsed < 600.0 && elapsed > 0.0 {
+            let series = stack
+                .tsdb
+                .select_latest(&[LabelMatcher::eq("uuid", uuid)]);
+            assert!(series.is_empty(), "{uuid} ({elapsed}s) still has series");
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "no purged unit verified");
+    std::fs::remove_dir_all(db_dir).ok();
+}

@@ -1,0 +1,66 @@
+//! Long-running soak tests, excluded from the default run. Execute with:
+//!
+//! ```sh
+//! cargo test --release --test soak -- --ignored --nocapture
+//! ```
+
+use ceems::prelude::*;
+
+/// A simulated day on a mid-size cluster with churn, cleanup and retention:
+/// the monitoring pipeline must stay healthy for the duration — no scrape
+/// failures, bounded cardinality, conservation maintained.
+#[test]
+#[ignore = "multi-minute soak; run explicitly with --ignored"]
+fn one_simulated_day_of_monitoring() {
+    let mut cfg = CeemsConfig::default();
+    cfg.cluster.intel_nodes = 16;
+    cfg.cluster.amd_nodes = 8;
+    cfg.cluster.a100_nodes = 4;
+    cfg.churn = Some(ChurnSettings {
+        users: 40,
+        projects: 8,
+        arrivals_per_hour: 300.0,
+    });
+    cfg.cleanup_cutoff_s = 300.0;
+    let dir = std::env::temp_dir().join(format!("ceems-soak-{}", std::process::id()));
+    let mut stack = CeemsStack::build(cfg, &dir).unwrap();
+
+    let mut max_series = 0usize;
+    for hour in 0..24 {
+        stack.run_for(3600.0, 15.0);
+        max_series = max_series.max(stack.tsdb.series_count());
+        let st = stack.stats();
+        assert_eq!(st.scrape_failures, 0, "scrape failures at hour {hour}");
+
+        let truth = stack.cluster.total_wall_power();
+        let attributed = stack.total_attributed_power();
+        assert!(
+            attributed <= truth * 1.10,
+            "hour {hour}: attributed {attributed:.0} W vs truth {truth:.0} W"
+        );
+        println!(
+            "hour {hour:>2}: jobs={:<6} series={:<7} attributed={:.1}/{:.1} kW purged={}",
+            st.jobs_submitted,
+            stack.tsdb.series_count(),
+            attributed / 1000.0,
+            truth / 1000.0,
+            stack.updater.lock().stats().units_purged,
+        );
+    }
+
+    let st = stack.stats();
+    // A day at 300 arrivals/hour lands in the paper's "daily churn in the
+    // thousands" regime.
+    assert!(st.jobs_submitted > 4000, "only {} jobs in a day", st.jobs_submitted);
+    // Purge-eligible jobs are the short-failure tail (~0.5% of churn).
+    let purged = stack.updater.lock().stats().units_purged;
+    assert!(purged > 15, "only {purged} short units purged in a day");
+    // Cardinality stayed bounded (cleanup + retention at work): the peak
+    // is not 10x the end state.
+    let end_series = stack.tsdb.series_count();
+    assert!(
+        max_series < end_series * 10,
+        "series ballooned: peak {max_series}, end {end_series}"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}

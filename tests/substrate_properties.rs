@@ -1,0 +1,136 @@
+//! Additional cross-substrate property tests: parser robustness, codec
+//! round-trips, power-model monotonicity and dashboard invariants.
+
+use ceems::core::dashboards::sparkline;
+use ceems::core::yaml;
+use ceems::http::url::{decode_component, encode_component, encode_query, parse_query};
+use ceems::simnode::power::{compute_power, PowerSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The YAML parser must never panic, whatever the input.
+    #[test]
+    fn yaml_parser_never_panics(input in "\\PC{0,512}") {
+        let _ = yaml::parse(&input);
+    }
+
+    /// Structured config-like documents parse and expose their keys.
+    #[test]
+    fn yaml_roundtrips_flat_integer_maps(
+        pairs in proptest::collection::btree_map("[a-z][a-z0-9_]{0,10}", -1000i64..1000, 1..10)
+    ) {
+        let doc: String = pairs
+            .iter()
+            .map(|(k, v)| format!("{k}: {v}\n"))
+            .collect();
+        let parsed = yaml::parse(&doc).unwrap();
+        for (k, v) in &pairs {
+            prop_assert_eq!(parsed.get(k).and_then(yaml::Yaml::as_i64), Some(*v), "key {}", k);
+        }
+    }
+
+    /// Percent-encoding round-trips any string.
+    #[test]
+    fn url_component_roundtrip(s in "\\PC{0,64}") {
+        prop_assert_eq!(decode_component(&encode_component(&s)), s);
+    }
+
+    /// Query strings round-trip ordered pairs.
+    #[test]
+    fn query_string_roundtrip(
+        pairs in proptest::collection::vec(("[a-zA-Z0-9_\\[\\]]{1,8}", "\\PC{0,16}"), 0..6)
+    ) {
+        let pairs: Vec<(String, String)> =
+            pairs.into_iter().map(|(k, v)| (k, v)).collect();
+        prop_assert_eq!(parse_query(&encode_query(&pairs)), pairs);
+    }
+
+    /// Node power is monotone in each utilisation dimension and bounded by
+    /// the spec's extremes.
+    #[test]
+    fn power_model_monotone_and_bounded(
+        cpu in 0.0f64..1.0,
+        mem in 0.0f64..1.0,
+        d_cpu in 0.0f64..0.5,
+        d_mem in 0.0f64..0.5,
+    ) {
+        for spec in [PowerSpec::intel_cpu_node(), PowerSpec::amd_cpu_node()] {
+            let base = compute_power(&spec, cpu, mem, &[]);
+            let more_cpu = compute_power(&spec, (cpu + d_cpu).min(1.0), mem, &[]);
+            let more_mem = compute_power(&spec, cpu, (mem + d_mem).min(1.0), &[]);
+            prop_assert!(more_cpu.wall_w() >= base.wall_w() - 1e-9);
+            prop_assert!(more_mem.wall_w() >= base.wall_w() - 1e-9);
+
+            let idle = compute_power(&spec, 0.0, 0.0, &[]);
+            let max = compute_power(&spec, 1.0, 1.0, &[]);
+            prop_assert!(base.wall_w() >= idle.wall_w() - 1e-9);
+            prop_assert!(base.wall_w() <= max.wall_w() + 1e-9);
+            // PSU loss is always positive and proportional.
+            prop_assert!(base.psu_loss_w > 0.0);
+        }
+    }
+
+    /// Sparklines preserve length and only emit known glyphs.
+    #[test]
+    fn sparkline_invariants(values in proptest::collection::vec(proptest::num::f64::ANY, 0..64)) {
+        let s = sparkline(&values);
+        prop_assert_eq!(s.chars().count(), values.len());
+        for c in s.chars() {
+            prop_assert!("▁▂▃▄▅▆▇█·".contains(c), "unexpected glyph {c:?}");
+        }
+    }
+
+    /// The highest finite value always maps to the tallest block.
+    #[test]
+    fn sparkline_peak_is_full_block(values in proptest::collection::vec(-1e9f64..1e9, 2..32)) {
+        let s: Vec<char> = sparkline(&values).chars().collect();
+        let peak_idx = values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        prop_assert_eq!(s[peak_idx], '█');
+    }
+}
+
+#[test]
+fn yaml_config_sample_from_cli_parses() {
+    // The `ceems config-example` document must always parse into a config.
+    let sample = "\
+cluster:
+  intel_nodes: 4
+  amd_nodes: 2
+  v100_nodes: 1
+  a100_nodes: 1
+  h100_nodes: 0
+  seed: 42
+tsdb:
+  scrape_interval_s: 15
+  rule_window: 2m
+  rule_interval_s: 30
+api_server:
+  update_interval_s: 60
+  cleanup_cutoff_s: 120
+  admin_users:
+    - root
+emissions:
+  zone: FR
+  providers:
+    - rte
+    - owid
+lb:
+  strategy: round_robin
+churn:
+  users: 12
+  projects: 4
+  arrivals_per_hour: 180
+threads: 4
+";
+    let cfg = ceems::prelude::CeemsConfig::from_yaml(sample).unwrap();
+    assert_eq!(cfg.cluster.total_nodes(), 8);
+    assert_eq!(cfg.cleanup_cutoff_s, 120.0);
+    assert_eq!(cfg.churn.unwrap().arrivals_per_hour, 180.0);
+}
