@@ -1,0 +1,310 @@
+//! Offline subset implementation of the `criterion` benchmarking API.
+//!
+//! Measures wall-clock time with adaptive iteration counts and prints
+//! `name  time: [median ± spread]` lines. No statistical regression
+//! analysis, plots or report files — just honest timing suitable for
+//! relative comparisons (the only thing this workspace's experiment rows
+//! use benches for).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+/// Total measurement budget per benchmark (split across samples).
+const MEASUREMENT_BUDGET: Duration = Duration::from_millis(400);
+const WARMUP_BUDGET: Duration = Duration::from_millis(120);
+
+/// Identifier for a parameterized benchmark (`group/function/param`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Values convertible into a benchmark label.
+pub trait IntoBenchmarkLabel {
+    /// The printable label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.name
+    }
+}
+
+/// Per-iteration timing collector passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median nanoseconds per iteration, filled by `iter`.
+    result_ns: f64,
+    spread_ns: f64,
+}
+
+impl Bencher {
+    /// Times a routine: warmup, then `sample_size` timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup and iteration-count calibration.
+        let mut iters_per_sample = 1u64;
+        let warmup_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if warmup_start.elapsed() >= WARMUP_BUDGET {
+                // Aim each sample at budget/sample_size.
+                let target = MEASUREMENT_BUDGET.as_secs_f64() / self.sample_size as f64;
+                let per_iter = elapsed.as_secs_f64() / iters_per_sample as f64;
+                if per_iter > 0.0 {
+                    iters_per_sample = ((target / per_iter) as u64).clamp(1, 1_000_000_000);
+                }
+                break;
+            }
+            iters_per_sample = iters_per_sample.saturating_mul(2).min(1_000_000_000);
+        }
+
+        let mut samples_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = samples_ns[samples_ns.len() / 2];
+        let spread = samples_ns[samples_ns.len() - 1] - samples_ns[0];
+        self.result_ns = median;
+        self.spread_ns = spread;
+    }
+
+    /// Times a routine whose input is rebuilt (untimed) before every call.
+    pub fn iter_with_setup<S, O, FS, F>(&mut self, mut setup: FS, mut routine: F)
+    where
+        FS: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        // Setup runs outside the timed region; samples are single-iteration.
+        let warmup = setup();
+        let t = Instant::now();
+        black_box(routine(warmup));
+        let per_iter = t.elapsed();
+        let budget_each = MEASUREMENT_BUDGET / self.sample_size as u32;
+        let _ = (per_iter, budget_each);
+
+        let mut samples_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            samples_ns.push(t.elapsed().as_nanos() as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = samples_ns[samples_ns.len() / 2];
+        self.spread_ns = samples_ns[samples_ns.len() - 1] - samples_ns[0];
+    }
+
+    /// Like `iter_with_setup` (newer criterion name).
+    pub fn iter_batched<S, O, FS, F>(&mut self, setup: FS, routine: F, _size: BatchSize)
+    where
+        FS: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        self.iter_with_setup(setup, routine);
+    }
+}
+
+/// Batch sizing hint (ignored; present for API compatibility).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs.
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        sample_size: sample_size.max(2),
+        result_ns: 0.0,
+        spread_ns: 0.0,
+    };
+    f(&mut bencher);
+    println!(
+        "{label:<60} time: [{} ± {}]",
+        format_ns(bencher.result_ns),
+        format_ns(bencher.spread_ns)
+    );
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// CLI-argument hook (no-op in the shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkLabel, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into_label(), self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A named group of benchmarks (`group/bench` labels).
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkLabel, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_bench(&label, self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkLabel,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_bench(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_time() {
+        let mut c = Criterion::default();
+        // Just ensure the full path runs without panicking and quickly.
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_function("setup", |b| b.iter_with_setup(|| vec![1, 2, 3], |v| v.len()));
+        group.finish();
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline subset implementation of the `crossbeam` API used by this
+//! workspace: multi-producer multi-consumer channels (`crossbeam::channel`)
+//! and scoped threads (`crossbeam::thread::scope`).
+
+pub mod channel;
+pub mod thread;
+
+pub use thread::scope;

@@ -1,0 +1,139 @@
+//! Offline subset implementation of the `proptest` API used by this
+//! workspace.
+//!
+//! Differences from the real crate, by design:
+//! - **No shrinking.** A failing case reports the exact generated inputs
+//!   (which are deterministic per test name) instead of a minimized one.
+//! - **Deterministic seeding.** The RNG is seeded from the test name, so a
+//!   failure always reproduces; there is no persistence file.
+//! - Strategies are generate-only (`Strategy::generate`), not value trees.
+//!
+//! Supported surface: `proptest!` (with `#![proptest_config]`),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, `prop_oneof!`,
+//! `Just`, `any`, `Strategy::prop_map`, ranges as strategies, regex-string
+//! strategies (`&str` literals and `string::string_regex`),
+//! `collection::{vec, btree_map}`, `option::of`, and
+//! `num::f64::{ANY, NORMAL}`.
+
+pub mod collection;
+pub mod num;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// Everything a property test usually needs.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property-test functions: each `fn name(arg in strategy, ...)`
+/// becomes a `fn name()` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not use directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                let __strategy = ($($strat,)+);
+                $crate::test_runner::run(
+                    stringify!($name),
+                    &__cfg,
+                    &__strategy,
+                    |($($arg,)+)| $body,
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            panic!("assertion failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    panic!("assertion failed: `left == right`\n  left: {:?}\n right: {:?}", __l, __r);
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    panic!(
+                        "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n {}",
+                        __l, __r, format!($($fmt)+)
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    panic!("assertion failed: `left != right`\n  both: {:?}", __l);
+                }
+            }
+        }
+    };
+}
+
+/// Picks one of several strategies, optionally weighted
+/// (`prop_oneof![3 => a, 1 => b]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $( (($weight) as u32, $crate::strategy::union_arm($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![ $( 1 => $strat ),+ ]
+    };
+}

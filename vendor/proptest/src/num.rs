@@ -1,0 +1,61 @@
+//! Numeric strategies.
+
+/// Floating-point strategies for `f64`.
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy over every `f64` bit pattern: includes NaN, infinities,
+    /// zeros and subnormals.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Every `f64`, including NaN and infinities.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    /// Strategy over normal (finite, non-zero, non-subnormal) `f64`s.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Normal;
+
+    /// Normal floats only: finite, non-zero, full exponent range.
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let sign = rng.next_u64() & (1 << 63);
+            // Biased exponent in [1, 2046]: excludes zero/subnormal (0)
+            // and inf/NaN (2047).
+            let exponent = 1 + rng.next_u64() % 2046;
+            let mantissa = rng.next_u64() & ((1u64 << 52) - 1);
+            f64::from_bits(sign | (exponent << 52) | mantissa)
+        }
+    }
+}
+
+/// Floating-point strategies for `f32`.
+pub mod f32 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy over every `f32` bit pattern.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Every `f32`, including NaN and infinities.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+}

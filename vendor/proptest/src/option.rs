@@ -1,0 +1,29 @@
+//! `Option` strategies.
+
+use std::fmt;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Option`s (roughly one quarter `None`).
+#[derive(Clone, Debug)]
+pub struct OptionStrategy<S>(S);
+
+/// Wraps a strategy's values in `Option`, generating `None` ~25% of the time.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S>
+where
+    S::Value: fmt::Debug,
+{
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.next_u64() % 4 == 0 {
+            None
+        } else {
+            Some(self.0.generate(rng))
+        }
+    }
+}

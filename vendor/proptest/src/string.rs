@@ -1,0 +1,323 @@
+//! Regex-shaped string generation.
+//!
+//! Supports the subset of regex syntax this workspace's tests use as
+//! generators: character classes with ranges and escapes, `\PC` ("any
+//! non-control character"), counted repetition `{m}`/`{m,n}`, `+`, `*`,
+//! `?`, and literal characters. Anchors, alternation and groups are not
+//! supported.
+
+use std::fmt;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Error produced for unsupported or malformed patterns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "string strategy error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[derive(Clone, Debug)]
+enum Atom {
+    /// Inclusive character ranges (single chars are 1-wide ranges).
+    Class(Vec<(char, char)>),
+    /// Any non-control character (`\PC`).
+    NotControl,
+    /// A literal character.
+    Literal(char),
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// A compiled pattern usable as a string strategy.
+#[derive(Clone, Debug)]
+pub struct RegexGeneratorStrategy {
+    pieces: Vec<Piece>,
+}
+
+/// Compiles a regex-shaped pattern into a string strategy.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    compile(pattern)
+}
+
+pub(crate) fn compile(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0usize;
+    let mut pieces = Vec::new();
+    while pos < chars.len() {
+        let atom = match chars[pos] {
+            '[' => {
+                let (ranges, next) = parse_class(&chars, pos + 1)?;
+                pos = next;
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                let (atom, next) = parse_escape(&chars, pos + 1)?;
+                pos = next;
+                atom
+            }
+            '.' => {
+                pos += 1;
+                Atom::NotControl
+            }
+            '(' | ')' | '|' | '^' | '$' => {
+                return Err(Error(format!(
+                    "unsupported regex construct `{}` in {pattern:?}",
+                    chars[pos]
+                )));
+            }
+            c => {
+                pos += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max, next) = parse_repeat(&chars, pos)?;
+        pos = next;
+        pieces.push(Piece { atom, min, max });
+    }
+    Ok(RegexGeneratorStrategy { pieces })
+}
+
+fn parse_class(chars: &[char], mut pos: usize) -> Result<(Vec<(char, char)>, usize), Error> {
+    let mut ranges = Vec::new();
+    if chars.get(pos) == Some(&'^') {
+        return Err(Error("negated classes are unsupported".into()));
+    }
+    loop {
+        let c = match chars.get(pos) {
+            None => return Err(Error("unterminated character class".into())),
+            Some(']') => return Ok((ranges, pos + 1)),
+            Some('\\') => {
+                pos += 1;
+                let esc = chars
+                    .get(pos)
+                    .ok_or_else(|| Error("trailing backslash in class".into()))?;
+                pos += 1;
+                unescape(*esc)
+            }
+            Some(&c) => {
+                pos += 1;
+                c
+            }
+        };
+        // A `-` between two chars forms a range, unless it ends the class.
+        if chars.get(pos) == Some(&'-') && chars.get(pos + 1).is_some_and(|n| *n != ']') {
+            pos += 1;
+            let hi = match chars.get(pos) {
+                Some('\\') => {
+                    pos += 1;
+                    let esc = chars
+                        .get(pos)
+                        .ok_or_else(|| Error("trailing backslash in class".into()))?;
+                    pos += 1;
+                    unescape(*esc)
+                }
+                Some(&hi) => {
+                    pos += 1;
+                    hi
+                }
+                None => return Err(Error("unterminated range in class".into())),
+            };
+            if hi < c {
+                return Err(Error(format!("inverted range `{c}-{hi}` in class")));
+            }
+            ranges.push((c, hi));
+        } else {
+            ranges.push((c, c));
+        }
+    }
+}
+
+fn parse_escape(chars: &[char], pos: usize) -> Result<(Atom, usize), Error> {
+    match chars.get(pos) {
+        Some('P') | Some('p') => {
+            // Only the `\PC` ("not control") category is supported.
+            match chars.get(pos + 1) {
+                Some('C') => Ok((Atom::NotControl, pos + 2)),
+                other => Err(Error(format!(
+                    "unsupported unicode category escape `\\P{other:?}`"
+                ))),
+            }
+        }
+        Some(&c) => Ok((Atom::Literal(unescape(c)), pos + 1)),
+        None => Err(Error("trailing backslash".into())),
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse_repeat(chars: &[char], pos: usize) -> Result<(u32, u32, usize), Error> {
+    match chars.get(pos) {
+        Some('{') => {
+            let close = chars[pos..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|off| pos + off)
+                .ok_or_else(|| Error("unterminated repetition".into()))?;
+            let body: String = chars[pos + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => {
+                    let lo = lo
+                        .trim()
+                        .parse::<u32>()
+                        .map_err(|_| Error(format!("bad repetition `{body}`")))?;
+                    let hi = hi
+                        .trim()
+                        .parse::<u32>()
+                        .map_err(|_| Error(format!("bad repetition `{body}`")))?;
+                    (lo, hi)
+                }
+                None => {
+                    let n = body
+                        .trim()
+                        .parse::<u32>()
+                        .map_err(|_| Error(format!("bad repetition `{body}`")))?;
+                    (n, n)
+                }
+            };
+            if max < min {
+                return Err(Error(format!("inverted repetition `{body}`")));
+            }
+            Ok((min, max, close + 1))
+        }
+        Some('+') => Ok((1, 8, pos + 1)),
+        Some('*') => Ok((0, 8, pos + 1)),
+        Some('?') => Ok((0, 1, pos + 1)),
+        _ => Ok((1, 1, pos)),
+    }
+}
+
+/// Pool of non-ASCII, non-control characters mixed into `\PC` output.
+const NON_ASCII_POOL: &[char] = &[
+    'é', 'ß', 'Ω', 'λ', '→', '✓', '█', '日', '本', '語', '\u{00A0}', '\u{2028}', 'π', '𝛼',
+];
+
+impl RegexGeneratorStrategy {
+    pub(crate) fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let span = (piece.max - piece.min + 1) as usize;
+            let count = piece.min + rng.below(span) as u32;
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => out.push(pick_from_ranges(ranges, rng)),
+                    Atom::NotControl => out.push(pick_not_control(rng)),
+                }
+            }
+        }
+        out
+    }
+}
+
+fn pick_from_ranges(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges
+        .iter()
+        .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+        .sum();
+    let mut pick = rng.next_u64() % total.max(1);
+    for (lo, hi) in ranges {
+        let width = (*hi as u64) - (*lo as u64) + 1;
+        if pick < width {
+            // Ranges in our patterns never straddle the surrogate gap.
+            return char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo);
+        }
+        pick -= width;
+    }
+    ranges[0].0
+}
+
+fn pick_not_control(rng: &mut TestRng) -> char {
+    if rng.next_u64() % 8 == 0 {
+        NON_ASCII_POOL[rng.below(NON_ASCII_POOL.len())]
+    } else {
+        // Printable ASCII (space through tilde).
+        char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap_or(' ')
+    }
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        RegexGeneratorStrategy::generate(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn sample(pattern: &str, seed: u64) -> String {
+        compile(pattern).unwrap().generate(&mut TestRng::new(seed))
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        for seed in 0..50 {
+            let s = sample("[a-zA-Z_][a-zA-Z0-9_]{0,12}", seed);
+            assert!(!s.is_empty() && s.len() <= 13, "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_', "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_escapes() {
+        for seed in 0..100 {
+            let s = sample("[ -~é\n\"\\\\]{0,16}", seed);
+            for c in s.chars() {
+                assert!(
+                    (' '..='~').contains(&c) || c == 'é' || c == '\n',
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn not_control_excludes_controls() {
+        for seed in 0..100 {
+            let s = sample("\\PC{0,64}", seed);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            assert!(s.chars().count() <= 64);
+        }
+    }
+
+    #[test]
+    fn escaped_brackets_in_class() {
+        for seed in 0..50 {
+            let s = sample("[a-zA-Z0-9_\\[\\]]{1,8}", seed);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            for c in s.chars() {
+                assert!(c.is_ascii_alphanumeric() || "_[]".contains(c), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_repetition_and_literals() {
+        let s = sample("ab[0-9]{3}", 1);
+        assert_eq!(&s[..2], "ab");
+        assert_eq!(s.len(), 5);
+    }
+}

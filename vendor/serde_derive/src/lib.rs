@@ -1,0 +1,431 @@
+//! Offline subset implementation of serde's derive macros.
+//!
+//! Parses the item token stream by hand (no `syn`/`quote` in this offline
+//! build) and emits impls of the vendored `serde::Serialize` /
+//! `serde::Deserialize` tree-based traits.
+//!
+//! Supported shapes — exactly what this workspace derives:
+//! - structs with named fields (externally a JSON object)
+//! - enums with unit variants (`"Variant"`), newtype variants
+//!   (`{"Variant": value}`) and struct variants (`{"Variant": {..}}`)
+//! - the container attribute `#[serde(from = "T", into = "T")]`
+//!
+//! Anything else produces a `compile_error!` naming the unsupported shape.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum ItemKind {
+    Struct(Vec<String>),
+    Enum(Vec<(String, VariantKind)>),
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+    from_ty: Option<String>,
+    into_ty: Option<String>,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, ser: bool) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = if ser {
+        gen_serialize(&item)
+    } else {
+        gen_deserialize(&item)
+    };
+    match code.parse() {
+        Ok(ts) => ts,
+        Err(e) => compile_error(&format!("serde_derive internal error: {e}")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ------------------------------------------------------------------ parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    let mut from_ty = None;
+    let mut into_ty = None;
+    let keyword = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    parse_serde_attr(&g, &mut from_ty, &mut into_ty)?;
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // visibility / other modifiers: skip
+            }
+            Some(_) => {}
+            None => return Err("serde derive: no struct or enum found".into()),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde derive: missing item name".into()),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde derive: generic type `{name}` is unsupported"));
+    }
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!("serde derive: tuple struct `{name}` is unsupported"));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!("serde derive: unit struct `{name}` is unsupported"));
+            }
+            Some(_) => {}
+            None => return Err(format!("serde derive: missing body for `{name}`")),
+        }
+    };
+    let kind = if keyword == "struct" {
+        ItemKind::Struct(parse_named_fields(body.stream())?)
+    } else {
+        ItemKind::Enum(parse_variants(body.stream())?)
+    };
+    Ok(Item {
+        name,
+        kind,
+        from_ty,
+        into_ty,
+    })
+}
+
+fn parse_serde_attr(
+    group: &proc_macro::Group,
+    from_ty: &mut Option<String>,
+    into_ty: &mut Option<String>,
+) -> Result<(), String> {
+    // Expect `[serde(...)]`; everything else (doc comments etc.) is skipped.
+    let mut inner = group.stream().into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(()),
+    }
+    let Some(TokenTree::Group(args)) = inner.next() else {
+        return Ok(());
+    };
+    let mut toks = args.stream().into_iter().peekable();
+    while let Some(tt) = toks.next() {
+        let TokenTree::Ident(key) = tt else { continue };
+        let key = key.to_string();
+        // consume `= "Type"`
+        let mut value = None;
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            toks.next();
+            if let Some(TokenTree::Literal(lit)) = toks.next() {
+                let s = lit.to_string();
+                value = Some(s.trim_matches('"').to_string());
+            }
+        }
+        match (key.as_str(), value) {
+            ("from", Some(v)) => *from_ty = Some(v),
+            ("into", Some(v)) => *into_ty = Some(v),
+            ("from" | "into", None) => {
+                return Err("serde derive: malformed from/into attribute".into())
+            }
+            (other, _) => {
+                return Err(format!("serde derive: unsupported attribute `{other}`"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses `ident: Type, ...` returning field names. Tracks `<`/`>` depth so
+/// commas inside generic arguments don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        tokens.next();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            return Err(format!("serde derive: expected field name, found `{tt}`"));
+        };
+        fields.push(name.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde derive: expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Consume the type: everything until a comma at angle depth 0.
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    } else if c == ',' && depth == 0 {
+                        tokens.next();
+                        break;
+                    }
+                    tokens.next();
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, VariantKind)>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            return Err(format!("serde derive: expected variant name, found `{tt}`"));
+        };
+        let name = name.to_string();
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let payload = g.stream();
+                tokens.next();
+                if count_top_level_commas(payload) > 0 {
+                    return Err(format!(
+                        "serde derive: multi-field tuple variant `{name}` is unsupported"
+                    ));
+                }
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push((name, kind));
+        // Consume trailing comma if present.
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        }
+    }
+    Ok(variants)
+}
+
+/// Counts commas at angle-bracket depth 0, ignoring a single trailing comma.
+fn count_top_level_commas(stream: TokenStream) -> usize {
+    let tokens: Vec<_> = stream.into_iter().collect();
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    for (i, tt) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 && i + 1 < tokens.len() => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    commas
+}
+
+// ------------------------------------------------------------------ codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    if let Some(into_ty) = &item.into_ty {
+        return format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Content {{\n\
+             let __converted: {into_ty} = ::core::clone::Clone::clone(self).into();\n\
+             ::serde::Serialize::serialize(&__converted)\n\
+             }}\n}}\n"
+        );
+    }
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::serialize(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{entries}])")
+        }
+        ItemKind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, kind)| match kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{v} => \
+                         ::serde::Content::Str(::std::string::String::from({v:?})),"
+                    ),
+                    VariantKind::Newtype => format!(
+                        "{name}::{v}(__value) => \
+                         ::serde::Content::Map(::std::vec![(\
+                         ::std::string::String::from({v:?}), \
+                         ::serde::Serialize::serialize(__value))]),"
+                    ),
+                    VariantKind::Struct(fields) => {
+                        let bindings = fields.join(", ");
+                        let entries: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::serialize({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {bindings} }} => \
+                             ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from({v:?}), \
+                             ::serde::Content::Map(::std::vec![{entries}]))]),"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    if let Some(from_ty) = &item.from_ty {
+        return format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__c: &::serde::Content) \
+             -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+             let __converted: {from_ty} = ::serde::Deserialize::deserialize(__c)?;\n\
+             ::core::result::Result::Ok(::core::convert::Into::into(__converted))\n\
+             }}\n}}\n"
+        );
+    }
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(__m, {f:?})?,"))
+                .collect();
+            format!(
+                "let __m = __c.as_map().ok_or_else(|| ::serde::DeError::new(\
+                 ::std::format!(\"expected map for {name}, found {{}}\", __c.kind())))?;\n\
+                 ::core::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, k)| matches!(k, VariantKind::Unit))
+                .map(|(v, _)| format!("{v:?} => ::core::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter_map(|(v, kind)| match kind {
+                    VariantKind::Unit => None,
+                    VariantKind::Newtype => Some(format!(
+                        "{v:?} => ::core::result::Result::Ok(\
+                         {name}::{v}(::serde::Deserialize::deserialize(__value)?)),"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::de_field(__m, {f:?})?,"))
+                            .collect();
+                        Some(format!(
+                            "{v:?} => {{\n\
+                             let __m = __value.as_map().ok_or_else(|| \
+                             ::serde::DeError::new(\"expected map payload for {name}::{v}\"))?;\n\
+                             ::core::result::Result::Ok({name}::{v} {{ {inits} }})\n}},"
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 __other => ::core::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"unknown variant `{{}}` for {name}\", __other))),\n\
+                 }},\n\
+                 ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__key, __value) = &__entries[0];\n\
+                 match __key.as_str() {{\n\
+                 {payload_arms}\n\
+                 __other => ::core::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"unknown variant `{{}}` for {name}\", __other))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::core::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"expected variant of {name}, found {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__c: &::serde::Content) \
+         -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

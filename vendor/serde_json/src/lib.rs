@@ -1,0 +1,569 @@
+//! Offline subset implementation of `serde_json`: a JSON document model
+//! ([`Value`]), a strict parser, a compact printer, the [`json!`] macro and
+//! the `to_string`/`to_vec`/`from_str`/`from_slice` entry points, bridged
+//! through the vendored `serde`'s [`serde::Content`] tree.
+//!
+//! Object keys are stored sorted (`BTreeMap`) rather than in insertion
+//! order; nothing in this workspace depends on key order.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Content, DeError};
+
+mod parse;
+mod print;
+
+pub use parse::Error as ParseError;
+
+/// Object representation (sorted keys).
+pub type Map<K, V> = BTreeMap<K, V>;
+
+/// A JSON number: signed, unsigned or floating point.
+///
+/// Matching real `serde_json` semantics, integer numbers compare equal
+/// across signedness when numerically equal, while floats only compare
+/// equal to floats.
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    /// Negative integers.
+    I(i64),
+    /// Non-negative integers.
+    U(u64),
+    /// Everything with a fraction or exponent.
+    F(f64),
+}
+
+impl Number {
+    /// Signed accessor.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::I(v) => Some(v),
+            Number::U(v) => i64::try_from(v).ok(),
+            Number::F(_) => None,
+        }
+    }
+
+    /// Unsigned accessor.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::I(v) => u64::try_from(v).ok(),
+            Number::U(v) => Some(v),
+            Number::F(_) => None,
+        }
+    }
+
+    /// Lossy float accessor (always succeeds).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::I(v) => Some(v as f64),
+            Number::U(v) => Some(v as f64),
+            Number::F(v) => Some(v),
+        }
+    }
+
+    /// True if the number is a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self, Number::F(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (*self, *other) {
+            (Number::F(a), Number::F(b)) => a == b,
+            (Number::F(_), _) | (_, Number::F(_)) => false,
+            (a, b) => match (a.as_i64(), b.as_i64(), a.as_u64(), b.as_u64()) {
+                (Some(x), Some(y), _, _) => x == y,
+                (_, _, Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::I(v) => write!(f, "{v}"),
+            Number::U(v) => write!(f, "{v}"),
+            Number::F(v) if v.is_finite() => write!(f, "{v:?}"),
+            Number::F(_) => write!(f, "null"),
+        }
+    }
+}
+
+/// A JSON document.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (sorted keys).
+    Object(Map<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Member access by key or array index; `None` on kind mismatch or miss.
+    pub fn get<I: IndexKey>(&self, index: I) -> Option<&Value> {
+        index.index_into(self)
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool accessor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Signed-integer accessor.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer accessor.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Float accessor (integers coerce).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// Array accessor.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object accessor.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&print::to_json_string(self))
+    }
+}
+
+/// Keys usable with [`Value::get`] and `value[key]`.
+pub trait IndexKey {
+    /// Resolves the key against a value.
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value>;
+}
+
+impl IndexKey for str {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        v.as_object().and_then(|o| o.get(self))
+    }
+}
+
+impl IndexKey for &str {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        (*self).index_into(v)
+    }
+}
+
+impl IndexKey for String {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        self.as_str().index_into(v)
+    }
+}
+
+impl IndexKey for usize {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        v.as_array().and_then(|a| a.get(*self))
+    }
+}
+
+impl<I: IndexKey> std::ops::Index<I> for Value {
+    type Output = Value;
+    fn index(&self, index: I) -> &Value {
+        index.index_into(self).unwrap_or(&NULL)
+    }
+}
+
+// ----------------------------------------------------------- conversions
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(Number::F(v))
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Number(Number::F(v as f64))
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl From<Map<String, Value>> for Value {
+    fn from(v: Map<String, Value>) -> Self {
+        Value::Object(v)
+    }
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                let v = v as i64;
+                if v >= 0 { Value::Number(Number::U(v as u64)) }
+                else { Value::Number(Number::I(v)) }
+            }
+        }
+    )*};
+}
+from_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self { Value::Number(Number::U(v as u64)) }
+        }
+    )*};
+}
+from_unsigned!(u8, u16, u32, u64, usize);
+
+// -------------------------------------------------------- eq with scalars
+
+macro_rules! partial_eq_scalar {
+    ($($t:ty => $conv:expr),* $(,)?) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                #[allow(clippy::redundant_closure_call)]
+                { self == &($conv)(other.clone()) }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+        // `&Value == $t` for non-reference scalars; `&Value == &str` is
+        // already covered by std's `PartialEq<&B> for &A` blanket impl via
+        // `PartialEq<str> for Value` below.
+        impl PartialEq<$t> for &Value {
+            fn eq(&self, other: &$t) -> bool {
+                *self == other
+            }
+        }
+    )*};
+}
+partial_eq_scalar! {
+    bool => Value::from,
+    i32 => Value::from,
+    i64 => Value::from,
+    u32 => Value::from,
+    u64 => Value::from,
+    usize => Value::from,
+    f64 => Value::from,
+    String => Value::from,
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Value> for str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+// --------------------------------------------------------- serde bridge
+
+impl serde::Serialize for Value {
+    fn serialize(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Number(Number::I(v)) => Content::I64(*v),
+            Value::Number(Number::U(v)) => Content::U64(*v),
+            Value::Number(Number::F(v)) => Content::F64(*v),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(items) => {
+                Content::Seq(items.iter().map(serde::Serialize::serialize).collect())
+            }
+            Value::Object(entries) => Content::Map(
+                entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), serde::Serialize::serialize(v)))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl serde::Deserialize for Value {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        Ok(content_to_value(content))
+    }
+}
+
+fn content_to_value(content: &Content) -> Value {
+    match content {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(*b),
+        Content::I64(v) => {
+            if *v >= 0 {
+                Value::Number(Number::U(*v as u64))
+            } else {
+                Value::Number(Number::I(*v))
+            }
+        }
+        Content::U64(v) => Value::Number(Number::U(*v)),
+        Content::F64(v) => Value::Number(Number::F(*v)),
+        Content::Str(s) => Value::String(s.clone()),
+        Content::Seq(items) => Value::Array(items.iter().map(content_to_value).collect()),
+        Content::Map(entries) => Value::Object(
+            entries
+                .iter()
+                .map(|(k, v)| (k.clone(), content_to_value(v)))
+                .collect(),
+        ),
+    }
+}
+
+/// Converts any serializable value into a [`Value`].
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    content_to_value(&value.serialize())
+}
+
+/// Converts a [`Value`] into any deserializable type.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::deserialize(&serde::Serialize::serialize(value)).map_err(|e| Error(e.to_string()))
+}
+
+// ----------------------------------------------------------- entry points
+
+/// (De)serialization error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::to_json_string(&to_value(value)))
+}
+
+/// Serializes a value to pretty-printed JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::to_json_string_pretty(&to_value(value)))
+}
+
+/// Serializes a value to compact JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text).map_err(|e| Error(e.to_string()))?;
+    from_value(&value)
+}
+
+/// Parses JSON bytes into any deserializable type.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid utf-8: {e}")))?;
+    from_str(text)
+}
+
+/// Builds a [`Value`] from JSON-looking syntax with interpolated
+/// expressions, like the real `serde_json::json!`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::json_internal!(@array [] $($tt)*) };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __m = $crate::Map::new();
+        $crate::json_internal!(@object __m () $($tt)*);
+        $crate::Value::Object(__m)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`]; do not use directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ----- arrays: accumulate built elements, munch one element at a time
+    (@array [$($elems:expr,)*]) => {
+        $crate::Value::Array(::std::vec![$($elems),*])
+    };
+    (@array [$($elems:expr,)*] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Null,] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!([$($inner)*]),] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!({$($inner)*}),] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::to_value(&$next),] $($($rest)*)?)
+    };
+    // ----- objects: insert into the map binding, munch one entry at a time
+    (@object $m:ident ()) => {};
+    (@object $m:ident () $key:literal : null $(, $($rest:tt)*)?) => {
+        $m.insert($key.to_string(), $crate::Value::Null);
+        $crate::json_internal!(@object $m () $($($rest)*)?);
+    };
+    (@object $m:ident () $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $m.insert($key.to_string(), $crate::json!([$($inner)*]));
+        $crate::json_internal!(@object $m () $($($rest)*)?);
+    };
+    (@object $m:ident () $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $m.insert($key.to_string(), $crate::json!({$($inner)*}));
+        $crate::json_internal!(@object $m () $($($rest)*)?);
+    };
+    (@object $m:ident () $key:literal : $value:expr $(, $($rest:tt)*)?) => {
+        $m.insert($key.to_string(), $crate::to_value(&$value));
+        $crate::json_internal!(@object $m () $($($rest)*)?);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "status": "success",
+            "count": 3,
+            "ratio": 0.5,
+            "items": [1, "two", null, {"nested": true}],
+            "none": null,
+        });
+        assert_eq!(v["status"], "success");
+        assert_eq!(v["count"], 3);
+        assert_eq!(v["ratio"], 0.5);
+        assert_eq!(v["items"].as_array().unwrap().len(), 4);
+        assert_eq!(v["items"][3]["nested"], true);
+        assert!(v["none"].is_null());
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn roundtrip_via_text() {
+        let v = json!({"a": [1, 2.5, "x\n\"y\\"], "b": {"c": -7}});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn numbers_compare_like_serde_json() {
+        let i: Value = from_str("2").unwrap();
+        assert_eq!(i, 2);
+        assert_eq!(i, 2u64);
+        // Floats never equal integers, matching real serde_json.
+        assert_ne!(i, json!(2.0));
+        assert_eq!(json!(2.0), 2.0);
+    }
+
+    #[test]
+    fn parse_escapes_and_unicode() {
+        let v: Value = from_str(r#""a\u00e9\n\t\"\\b\u0041""#).unwrap();
+        assert_eq!(v, "aé\n\t\"\\bA");
+        let round = to_string(&v).unwrap();
+        let back: Value = from_str(&round).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_print_null() {
+        assert_eq!(to_string(&json!(f64::NAN)).unwrap(), "null");
+        assert_eq!(to_string(&json!(f64::INFINITY)).unwrap(), "null");
+    }
+}
