@@ -5,6 +5,7 @@
 use std::sync::Arc;
 
 use ceems_metrics::labels::LabelSetBuilder;
+use ceems_metrics::matcher::{LabelMatcher, MatchOp};
 use ceems_tsdb::scrape::{ScrapeManager, ScrapeTarget, TargetSource};
 use ceems_tsdb::{Tsdb, TsdbConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -148,10 +149,72 @@ fn bench_scrape_transport(c: &mut Criterion) {
     server.shutdown();
 }
 
+/// A TSDB holding `series` series of 20 samples each, under a given read
+/// configuration.
+fn wide_tsdb(series: usize, query_threads: usize, posting_cache_size: usize) -> Tsdb {
+    let db = Tsdb::new(TsdbConfig {
+        shards: 64,
+        query_threads,
+        posting_cache_size,
+        ..Default::default()
+    });
+    for i in 0..series {
+        let l = LabelSetBuilder::new()
+            .label("__name__", "wide")
+            .label("instance", format!("n{i:06}"))
+            .build();
+        for t in 0..20i64 {
+            db.append(&l, t * 15_000, (i + t as usize) as f64);
+        }
+    }
+    db
+}
+
+/// Select materialization: serial (`query_threads: 1`) vs sharded scoped
+/// fan-out, at 10k and 100k series.
+fn bench_select_serial_vs_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_serial_vs_parallel");
+    group.sample_size(10);
+    for series in [10_000usize, 100_000] {
+        for threads in [1usize, 4, 8] {
+            let db = wide_tsdb(series, threads, 0);
+            let m = [LabelMatcher::eq("__name__", "wide")];
+            group.bench_function(
+                BenchmarkId::new(format!("series_{series}_threads"), threads),
+                |b| b.iter(|| db.select(&m, 0, i64::MAX)),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Repeat regex-matcher selects with the posting cache off vs on: the
+/// cached path skips the full value-space scan on every query after the
+/// first. The selector matches 10 of `series` series so resolution cost —
+/// not materialization — dominates.
+fn bench_postings_cache_on_off(c: &mut Criterion) {
+    let mut group = c.benchmark_group("postings_cache_on_off");
+    group.sample_size(10);
+    for series in [10_000usize, 100_000] {
+        for (label, cache) in [("off", 0usize), ("on", 128)] {
+            let db = wide_tsdb(series, 4, cache);
+            let re = LabelMatcher::new("instance", MatchOp::Re, "n00001[0-9]").unwrap();
+            let m = [LabelMatcher::eq("__name__", "wide"), re];
+            group.bench_function(
+                BenchmarkId::new(format!("series_{series}_cache"), label),
+                |b| b.iter(|| db.select(&m, 0, i64::MAX)),
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_head_sharding,
     bench_scrape_threads,
-    bench_scrape_transport
+    bench_scrape_transport,
+    bench_select_serial_vs_parallel,
+    bench_postings_cache_on_off
 );
 criterion_main!(benches);

@@ -48,6 +48,11 @@ pub struct CeemsConfig {
     pub churn: Option<ChurnSettings>,
     /// Worker threads for stepping/scraping.
     pub threads: usize,
+    /// Worker threads for TSDB select materialization and intra-group rule
+    /// evaluation (1 = serial read path).
+    pub query_threads: usize,
+    /// Capacity of the TSDB matcher-result posting cache; 0 disables it.
+    pub posting_cache_size: usize,
 }
 
 impl Default for CeemsConfig {
@@ -66,6 +71,8 @@ impl Default for CeemsConfig {
             lb_strategy: "round_robin".to_string(),
             churn: None,
             threads: 4,
+            query_threads: 4,
+            posting_cache_size: 128,
         }
     }
 }
@@ -103,6 +110,12 @@ impl CeemsConfig {
             }
             if let Some(v) = t.get("rule_interval_s").and_then(Yaml::as_f64) {
                 cfg.rule_interval_s = v;
+            }
+            if let Some(v) = t.get("query_threads").and_then(Yaml::as_i64) {
+                cfg.query_threads = (v as usize).max(1);
+            }
+            if let Some(v) = t.get("posting_cache_size").and_then(Yaml::as_i64) {
+                cfg.posting_cache_size = (v.max(0)) as usize;
             }
         }
         if let Some(a) = doc.get("api_server") {
@@ -181,6 +194,8 @@ tsdb:
   scrape_interval_s: 30
   rule_window: 1m
   rule_interval_s: 60
+  query_threads: 6
+  posting_cache_size: 0
 api_server:
   update_interval_s: 120
   cleanup_cutoff_s: 300
@@ -214,6 +229,15 @@ threads: 8
         assert_eq!(c.lb_strategy, "least_connection");
         assert_eq!(c.churn.as_ref().unwrap().users, 50);
         assert_eq!(c.threads, 8);
+        assert_eq!(c.query_threads, 6);
+        assert_eq!(c.posting_cache_size, 0);
+    }
+
+    #[test]
+    fn query_threads_floor_is_one() {
+        let c = CeemsConfig::from_yaml("tsdb:\n  query_threads: 0\n").unwrap();
+        assert_eq!(c.query_threads, 1);
+        assert_eq!(c.posting_cache_size, CeemsConfig::default().posting_cache_size);
     }
 
     #[test]

@@ -145,11 +145,16 @@ impl CeemsStack {
         }
         let scrape_mgr = ScrapeManager::new(targets);
 
-        let tsdb = Arc::new(Tsdb::new(TsdbConfig::default()));
+        let tsdb = Arc::new(Tsdb::new(TsdbConfig {
+            query_threads: config.query_threads,
+            posting_cache_size: config.posting_cache_size,
+            ..TsdbConfig::default()
+        }));
         let rule_engine = RuleEngine::new(all_rule_groups(
             &config.rule_window,
             (config.rule_interval_s * 1000.0) as i64,
-        ));
+        ))
+        .with_eval_threads(config.query_threads);
 
         let rm = Arc::new(SlurmRmClient::new(scheduler.clone()));
         let metrics = Arc::new(TsdbLocalSource::new(tsdb.clone()));

@@ -5,17 +5,20 @@
 //! label set; selection is a scan + matcher filter, which is fine for the
 //! cold path.
 
+use std::sync::Arc;
+
 use ceems_metrics::labels::LabelSet;
 use ceems_metrics::matcher::{matches_all, LabelMatcher};
 
 use crate::chunk::XorChunk;
 use crate::types::{Sample, SeriesData};
 
-/// An immutable block covering `[min_t, max_t]`.
+/// An immutable block covering `[min_t, max_t]`. Label sets are shared with
+/// the hot TSDB's registry, so sealing a window never copies label strings.
 pub struct Block {
     min_t: i64,
     max_t: i64,
-    series: Vec<(LabelSet, XorChunk)>,
+    series: Vec<(Arc<LabelSet>, XorChunk)>,
 }
 
 impl Block {
@@ -96,18 +99,15 @@ mod tests {
 
     fn block() -> Block {
         Block::from_series(vec![
-            SeriesData {
-                labels: labels! {"__name__" => "m", "instance" => "n1"},
-                samples: (0..10).map(|i| Sample::new(i * 1000, i as f64)).collect(),
-            },
-            SeriesData {
-                labels: labels! {"__name__" => "m", "instance" => "n2"},
-                samples: (5..15).map(|i| Sample::new(i * 1000, 0.0)).collect(),
-            },
-            SeriesData {
-                labels: labels! {"__name__" => "empty"},
-                samples: vec![],
-            },
+            SeriesData::new(
+                labels! {"__name__" => "m", "instance" => "n1"},
+                (0..10).map(|i| Sample::new(i * 1000, i as f64)).collect(),
+            ),
+            SeriesData::new(
+                labels! {"__name__" => "m", "instance" => "n2"},
+                (5..15).map(|i| Sample::new(i * 1000, 0.0)).collect(),
+            ),
+            SeriesData::new(labels! {"__name__" => "empty"}, vec![]),
         ])
     }
 

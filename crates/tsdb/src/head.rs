@@ -104,7 +104,40 @@ impl Head {
     }
 
     fn shard(&self, id: SeriesId) -> &Mutex<HashMap<SeriesId, SeriesStore>> {
-        &self.shards[(id as usize) % self.shards.len()]
+        &self.shards[self.shard_of(id)]
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Stripe a series id lives in. Parallel readers group their id lists by
+    /// this so each worker touches disjoint locks.
+    pub fn shard_of(&self, id: SeriesId) -> usize {
+        (id as usize) % self.shards.len()
+    }
+
+    /// Reads several series of one stripe under a single lock acquisition.
+    /// Returns one sample vector per id, in the order given (empty when the
+    /// series is absent or has nothing in range). Every id must belong to
+    /// `shard` (as reported by [`Head::shard_of`]).
+    pub fn read_shard(
+        &self,
+        shard: usize,
+        ids: &[SeriesId],
+        tmin: i64,
+        tmax: i64,
+    ) -> Vec<Vec<Sample>> {
+        let map = self.shards[shard].lock();
+        ids.iter()
+            .map(|id| {
+                debug_assert_eq!(self.shard_of(*id), shard);
+                map.get(id)
+                    .map(|s| s.samples_in(tmin, tmax))
+                    .unwrap_or_default()
+            })
+            .collect()
     }
 
     /// Appends to a series (creating it on first touch).

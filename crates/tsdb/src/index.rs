@@ -6,6 +6,7 @@
 //! and why high label cardinality (§II.C of the paper) hurts.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use ceems_metrics::labels::LabelSet;
 use ceems_metrics::matcher::{LabelMatcher, MatchOp};
@@ -16,9 +17,14 @@ use crate::types::SeriesId;
 #[derive(Debug, Default)]
 pub struct LabelIndex {
     postings: BTreeMap<String, BTreeMap<String, Vec<SeriesId>>>,
-    series: HashMap<SeriesId, LabelSet>,
+    series: HashMap<SeriesId, Arc<LabelSet>>,
     by_fingerprint: HashMap<u64, Vec<SeriesId>>,
     next_id: SeriesId,
+    /// Bumped on every series creation or removal. Posting-list caches tag
+    /// entries with the generation they were computed at and discard them
+    /// when it moves, so a cache can never serve ids across a membership
+    /// change.
+    generation: u64,
 }
 
 impl LabelIndex {
@@ -32,28 +38,41 @@ impl LabelIndex {
         self.series.len()
     }
 
+    /// Index generation: changes whenever series membership changes.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Looks up an existing series id for exactly these labels.
     pub fn lookup(&self, labels: &LabelSet) -> Option<SeriesId> {
-        let fp = labels.fingerprint();
+        self.lookup_with_fingerprint(labels, labels.fingerprint())
+    }
+
+    /// [`Self::lookup`] with a precomputed fingerprint, so the append path
+    /// hashes a label set once across its lookup + create phases.
+    pub fn lookup_with_fingerprint(&self, labels: &LabelSet, fp: u64) -> Option<SeriesId> {
         self.by_fingerprint
             .get(&fp)?
             .iter()
             .copied()
-            .find(|id| &self.series[id] == labels)
+            .find(|id| self.series[id].as_ref() == labels)
     }
 
     /// Gets an existing id or registers a new series.
     pub fn get_or_create(&mut self, labels: &LabelSet) -> SeriesId {
-        if let Some(id) = self.lookup(labels) {
+        self.get_or_create_with_fingerprint(labels, labels.fingerprint())
+    }
+
+    /// [`Self::get_or_create`] with a precomputed fingerprint.
+    pub fn get_or_create_with_fingerprint(&mut self, labels: &LabelSet, fp: u64) -> SeriesId {
+        if let Some(id) = self.lookup_with_fingerprint(labels, fp) {
             return id;
         }
         let id = self.next_id;
         self.next_id += 1;
-        self.series.insert(id, labels.clone());
-        self.by_fingerprint
-            .entry(labels.fingerprint())
-            .or_default()
-            .push(id);
+        self.generation += 1;
+        self.series.insert(id, Arc::new(labels.clone()));
+        self.by_fingerprint.entry(fp).or_default().push(id);
         for (k, v) in labels.iter() {
             let list = self
                 .postings
@@ -72,6 +91,7 @@ impl LabelIndex {
         let Some(labels) = self.series.remove(&id) else {
             return;
         };
+        self.generation += 1;
         if let Some(v) = self.by_fingerprint.get_mut(&labels.fingerprint()) {
             v.retain(|&x| x != id);
             if v.is_empty() {
@@ -93,8 +113,8 @@ impl LabelIndex {
         }
     }
 
-    /// Labels of a series.
-    pub fn labels(&self, id: SeriesId) -> Option<&LabelSet> {
+    /// Labels of a series, shared with the registry (cheap to clone).
+    pub fn labels(&self, id: SeriesId) -> Option<&Arc<LabelSet>> {
         self.series.get(&id)
     }
 
@@ -173,18 +193,37 @@ impl LabelIndex {
     }
 }
 
-/// Intersects two sorted id lists.
+/// Intersects two sorted id lists with galloping search.
+///
+/// The shorter list drives; each of its ids is located in the longer list by
+/// doubling probes from the last match position, then a binary search over
+/// the bracketed window. Cost is `O(m log(n/m))` for lists of length `m ≤ n`,
+/// which beats the linear merge exactly when one matcher is far more
+/// selective than the other — the common shape for
+/// `{__name__="x", instance=~".+"}` style selectors.
 pub fn intersect_sorted(a: &[SeriesId], b: &[SeriesId]) -> Vec<SeriesId> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(short.len());
+    let mut base = 0; // everything below `base` in `long` is already consumed
+    for &id in short {
+        if base >= long.len() {
+            break;
+        }
+        // Gallop: find an exponent window [base + step/2, base + step]
+        // whose upper bound is >= id.
+        let mut step = 1;
+        while base + step < long.len() && long[base + step] < id {
+            step <<= 1;
+        }
+        let lo = base + step / 2;
+        let hi = (base + step + 1).min(long.len());
+        match long[lo..hi].binary_search(&id) {
+            Ok(pos) => {
+                out.push(id);
+                base = lo + pos + 1;
+            }
+            Err(pos) => {
+                base = lo + pos;
             }
         }
     }
@@ -297,6 +336,43 @@ mod tests {
         assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[2, 3, 5, 8]), vec![3, 5]);
         assert!(intersect_sorted(&[], &[1]).is_empty());
         assert_eq!(intersect_sorted(&[1, 2], &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn intersect_gallops_asymmetric_lists() {
+        let long: Vec<SeriesId> = (0..10_000).collect();
+        let short: Vec<SeriesId> = vec![0, 17, 4096, 9999];
+        assert_eq!(intersect_sorted(&short, &long), short);
+        assert_eq!(intersect_sorted(&long, &short), short);
+        // Ids past the end of the long list.
+        assert_eq!(intersect_sorted(&[5, 20_000], &long), vec![5]);
+        // Disjoint.
+        let evens: Vec<SeriesId> = (0..1000).map(|x| x * 2).collect();
+        let odds: Vec<SeriesId> = (0..1000).map(|x| x * 2 + 1).collect();
+        assert!(intersect_sorted(&evens, &odds).is_empty());
+        // Matches a naive filter on interleaved lists.
+        let a: Vec<SeriesId> = (0..500).map(|x| x * 3).collect();
+        let b: Vec<SeriesId> = (0..500).map(|x| x * 5).collect();
+        let expect: Vec<SeriesId> = a.iter().copied().filter(|x| b.contains(x)).collect();
+        assert_eq!(intersect_sorted(&a, &b), expect);
+    }
+
+    #[test]
+    fn generation_tracks_membership_changes() {
+        let mut idx = LabelIndex::new();
+        let g0 = idx.generation();
+        let id = idx.get_or_create(&labels! {"x" => "1"});
+        let g1 = idx.generation();
+        assert_ne!(g0, g1, "creation must bump the generation");
+        // Re-resolving an existing series is not a membership change.
+        idx.get_or_create(&labels! {"x" => "1"});
+        assert_eq!(idx.generation(), g1);
+        idx.remove(id);
+        assert_ne!(idx.generation(), g1, "removal must bump the generation");
+        let g2 = idx.generation();
+        // Removing a dead id is a no-op.
+        idx.remove(id);
+        assert_eq!(idx.generation(), g2);
     }
 
     #[test]

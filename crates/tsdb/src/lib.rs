@@ -10,8 +10,10 @@
 //! * [`index`] — inverted label index with posting-list intersection.
 //! * [`head`] — the in-memory write head (striped for concurrent appends).
 //! * [`block`] — sealed immutable blocks + compaction from the head.
-//! * [`storage`] — [`storage::Tsdb`]: appends, selects, tombstone deletes
-//!   (the cardinality cleanup of §II.C), retention.
+//! * [`storage`] — [`storage::Tsdb`]: appends, parallel sharded selects,
+//!   tombstone deletes (the cardinality cleanup of §II.C), retention.
+//! * [`cache`] — generation-checked LRU cache of matcher resolutions for
+//!   scan-heavy (regex/negative) selectors.
 //! * [`promql`] — a PromQL-subset engine: selectors, `rate`/`increase` with
 //!   counter-reset handling, arithmetic, aggregations — enough to express
 //!   Eq. (1) exactly as the paper's recording rules do.
@@ -23,6 +25,7 @@
 //! * [`httpapi`] — the Prometheus HTTP API subset Grafana / the LB speak.
 
 pub mod block;
+pub mod cache;
 pub mod chunk;
 pub mod head;
 pub mod httpapi;

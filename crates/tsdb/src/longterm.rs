@@ -134,7 +134,7 @@ impl LongTermStore {
             .select(&ms, tmin, tmax)
             .into_iter()
             .map(|mut s| {
-                s.labels = s.labels.without(ROLLUP_LABEL);
+                s.labels = std::sync::Arc::new(s.labels.without(ROLLUP_LABEL));
                 s
             })
             .collect()
@@ -168,23 +168,42 @@ impl FanInQuerier {
 
 impl Queryable for FanInQuerier {
     fn select(&self, matchers: &[LabelMatcher], tmin: i64, tmax: i64) -> Vec<SeriesData> {
-        let mut out: Vec<SeriesData> = Vec::new();
-        let mut merge = |series: Vec<SeriesData>| {
-            for s in series {
-                match out.iter_mut().find(|e| e.labels == s.labels) {
-                    Some(existing) => existing.samples.extend(s.samples),
-                    None => out.push(s),
-                }
-            }
-        };
-        if tmin < self.hot_horizon_ms {
-            merge(
+        let wants_cold = tmin < self.hot_horizon_ms;
+        let wants_hot = tmax >= self.hot_horizon_ms;
+
+        // When the range straddles the horizon, scan the cold blocks on a
+        // scoped sibling thread while this thread queries the hot TSDB.
+        // Merge order stays cold-then-hot, so results match the sequential
+        // path exactly.
+        let (cold, hot) = if wants_cold && wants_hot {
+            crossbeam::thread::scope(|scope| {
+                let cold_handle = scope.spawn(|_| {
+                    self.cold
+                        .select_raw(matchers, tmin, tmax.min(self.hot_horizon_ms - 1))
+                });
+                let hot = self.hot.select(matchers, tmin.max(self.hot_horizon_ms), tmax);
+                (cold_handle.join().expect("cold fan-in panicked"), hot)
+            })
+            .expect("fan-in scope")
+        } else if wants_cold {
+            (
                 self.cold
                     .select_raw(matchers, tmin, tmax.min(self.hot_horizon_ms - 1)),
-            );
-        }
-        if tmax >= self.hot_horizon_ms {
-            merge(self.hot.select(matchers, tmin.max(self.hot_horizon_ms), tmax));
+                Vec::new(),
+            )
+        } else {
+            (
+                Vec::new(),
+                self.hot.select(matchers, tmin.max(self.hot_horizon_ms), tmax),
+            )
+        };
+
+        let mut out: Vec<SeriesData> = Vec::new();
+        for s in cold.into_iter().chain(hot) {
+            match out.iter_mut().find(|e| e.labels == s.labels) {
+                Some(existing) => existing.samples.extend(s.samples),
+                None => out.push(s),
+            }
         }
         for s in &mut out {
             s.samples.sort_by_key(|x| x.t_ms);

@@ -131,7 +131,7 @@ pub fn range_query(
         .into_iter()
         .map(|labels| {
             let samples = acc.remove(&labels).unwrap();
-            SeriesData { labels, samples }
+            SeriesData::new(labels, samples)
         })
         .collect())
 }
@@ -157,7 +157,7 @@ fn eval(ctx: &EvalCtx<'_>, expr: &Expr, t_ms: i64) -> Result<Value, EvalError> {
                         series
                             .into_iter()
                             .filter_map(|s| {
-                                s.samples.last().map(|last| (s.labels, last.v))
+                                s.samples.last().map(|last| ((*s.labels).clone(), last.v))
                             })
                             .collect(),
                     ))

@@ -71,17 +71,29 @@ pub struct RuleEngine {
     groups: Vec<RuleGroup>,
     last_eval_ms: Vec<i64>,
     stats: RuleStats,
+    eval_threads: usize,
 }
 
 impl RuleEngine {
-    /// Creates an engine.
+    /// Creates an engine (serial evaluation; see
+    /// [`RuleEngine::with_eval_threads`]).
     pub fn new(groups: Vec<RuleGroup>) -> RuleEngine {
         let n = groups.len();
         RuleEngine {
             groups,
             last_eval_ms: vec![i64::MIN; n],
             stats: RuleStats::default(),
+            eval_threads: 1,
         }
+    }
+
+    /// Evaluates rules *within* a due group on up to `threads` scoped
+    /// workers. Groups still run in declaration order, and like Prometheus a
+    /// rule only observes sibling outputs on the *next* evaluation round, so
+    /// intra-group parallelism does not change results.
+    pub fn with_eval_threads(mut self, threads: usize) -> RuleEngine {
+        self.eval_threads = threads.max(1);
+        self
     }
 
     /// Statistics so far.
@@ -107,9 +119,10 @@ impl RuleEngine {
             // stale (its workload ended) and must not be re-recorded with a
             // fresh timestamp — that would keep dead jobs drawing power.
             let lookback_ms = group.interval_ms.saturating_mul(2).saturating_add(15_000);
-            for rule in &group.rules {
+            let results = Self::eval_group(db, group, now_ms, lookback_ms, self.eval_threads);
+            for r in results {
                 self.stats.evaluations += 1;
-                match Self::eval_rule(db, rule, now_ms, lookback_ms) {
+                match r {
                     Ok(n) => {
                         written += n;
                         self.stats.series_written += n;
@@ -119,6 +132,48 @@ impl RuleEngine {
             }
         }
         written
+    }
+
+    /// Evaluates one group's rules, fanning out over scoped workers when
+    /// parallelism is enabled. Results come back in rule order either way.
+    fn eval_group(
+        db: &Tsdb,
+        group: &RuleGroup,
+        now_ms: i64,
+        lookback_ms: i64,
+        threads: usize,
+    ) -> Vec<Result<u64, EvalError>> {
+        let workers = threads.min(group.rules.len());
+        if workers <= 1 {
+            return group
+                .rules
+                .iter()
+                .map(|rule| Self::eval_rule(db, rule, now_ms, lookback_ms))
+                .collect();
+        }
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let rules = &group.rules;
+                    scope.spawn(move |_| {
+                        rules
+                            .iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(workers)
+                            .map(|(i, rule)| (i, Self::eval_rule(db, rule, now_ms, lookback_ms)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut indexed: Vec<(usize, Result<u64, EvalError>)> = handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("rule worker panicked"))
+                .collect();
+            indexed.sort_by_key(|(i, _)| *i);
+            indexed.into_iter().map(|(_, r)| r).collect()
+        })
+        .expect("rule scope")
     }
 
     /// Forces evaluation of every rule right now (used by tests/benches).
@@ -248,6 +303,49 @@ mod tests {
     #[test]
     fn bad_expression_rejected_at_parse() {
         assert!(RecordingRule::new("x", "rate(", &[]).is_err());
+    }
+
+    #[test]
+    fn parallel_group_eval_matches_serial() {
+        let mk_engine = |threads| {
+            let rules: Vec<RecordingRule> = (1..=6)
+                .map(|m| {
+                    RecordingRule::new(
+                        format!("r{m}"),
+                        &format!("rate(energy_joules_total[2m]) * {m}"),
+                        &[],
+                    )
+                    .unwrap()
+                })
+                .collect();
+            RuleEngine::new(vec![RuleGroup {
+                name: "g".into(),
+                interval_ms: 30_000,
+                rules,
+            }])
+            .with_eval_threads(threads)
+        };
+        let serial_db = db();
+        let parallel_db = db();
+        let mut serial = mk_engine(1);
+        let mut parallel = mk_engine(4);
+        assert_eq!(
+            serial.tick(&serial_db, 600_000),
+            parallel.tick(&parallel_db, 600_000)
+        );
+        assert_eq!(serial.stats(), parallel.stats());
+        for m in 1..=6 {
+            let matcher = [LabelMatcher::eq("__name__", format!("r{m}"))];
+            let a = serial_db.select(&matcher, 0, i64::MAX);
+            let b = parallel_db.select(&matcher, 0, i64::MAX);
+            assert_eq!(a.len(), 2);
+            let key = |s: &crate::types::SeriesData| s.labels.get("instance").unwrap().to_string();
+            let mut a = a;
+            let mut b = b;
+            a.sort_by_key(key);
+            b.sort_by_key(key);
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

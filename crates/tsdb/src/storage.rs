@@ -1,15 +1,29 @@
 //! The TSDB facade: append, select, delete, retention.
+//!
+//! The read path is two-phase. **Resolve** runs under the index read lock
+//! just long enough to turn matchers into `(SeriesId, Arc<LabelSet>)` pairs
+//! (consulting the generation-checked posting cache for scan-heavy matcher
+//! shapes). **Materialize** then reads chunk data without any index lock,
+//! fanning out over [`TsdbConfig::query_threads`] scoped workers grouped by
+//! head stripe so parallel readers never contend on the same shard mutex.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use ceems_metrics::labels::LabelSet;
 use ceems_metrics::matcher::LabelMatcher;
 
+use crate::cache::{cache_key, CacheStats, PostingCache};
 use crate::head::Head;
 use crate::index::LabelIndex;
-use crate::types::{Sample, SeriesData};
+use crate::types::{Sample, SeriesData, SeriesId};
+
+/// Below this many resolved series the thread fan-out costs more than it
+/// saves; materialization stays on the calling thread.
+const PARALLEL_SELECT_MIN: usize = 32;
 
 /// TSDB configuration.
 #[derive(Clone, Debug)]
@@ -19,6 +33,12 @@ pub struct TsdbConfig {
     /// Retention window in ms (samples older than `now - retention` are
     /// dropped by [`Tsdb::enforce_retention`]).
     pub retention_ms: i64,
+    /// Worker threads for select materialization. `1` keeps the whole read
+    /// path on the calling thread and reproduces serial output exactly.
+    pub query_threads: usize,
+    /// Capacity of the matcher-result posting cache (entries). `0` disables
+    /// caching entirely.
+    pub posting_cache_size: usize,
 }
 
 impl Default for TsdbConfig {
@@ -26,6 +46,29 @@ impl Default for TsdbConfig {
         TsdbConfig {
             shards: 16,
             retention_ms: 30 * 24 * 3_600_000,
+            query_threads: 4,
+            posting_cache_size: 128,
+        }
+    }
+}
+
+/// Generation-invalidated cache of label-introspection results, so hot
+/// dashboard endpoints (`/api/v1/labels`, `/api/v1/label/:name/values`)
+/// stop re-collecting the whole posting key space per request.
+#[derive(Debug, Default)]
+struct LabelsCache {
+    generation: u64,
+    names: Option<Arc<Vec<String>>>,
+    values: HashMap<String, Arc<Vec<String>>>,
+}
+
+impl LabelsCache {
+    /// Drops cached results when the index generation moved.
+    fn sync(&mut self, generation: u64) {
+        if self.generation != generation {
+            self.names = None;
+            self.values.clear();
+            self.generation = generation;
         }
     }
 }
@@ -35,6 +78,8 @@ pub struct Tsdb {
     index: RwLock<LabelIndex>,
     head: Head,
     config: TsdbConfig,
+    posting_cache: Mutex<PostingCache>,
+    labels_cache: Mutex<LabelsCache>,
     appended: AtomicU64,
     out_of_order: AtomicU64,
 }
@@ -51,6 +96,8 @@ impl Tsdb {
         Tsdb {
             index: RwLock::new(LabelIndex::new()),
             head: Head::new(config.shards),
+            posting_cache: Mutex::new(PostingCache::new(config.posting_cache_size)),
+            labels_cache: Mutex::new(LabelsCache::default()),
             config,
             appended: AtomicU64::new(0),
             out_of_order: AtomicU64::new(0),
@@ -60,14 +107,20 @@ impl Tsdb {
     /// Appends one sample for a label set (the set must include
     /// `__name__`). Out-of-order samples are counted and dropped.
     pub fn append(&self, labels: &LabelSet, t_ms: i64, v: f64) {
+        // Hash the label set once; both the read-path lookup and the
+        // slow-path create reuse the fingerprint.
+        let fp = labels.fingerprint();
         let id = {
             // Fast path: read lock for existing series.
             let idx = self.index.read();
-            idx.lookup(labels)
+            idx.lookup_with_fingerprint(labels, fp)
         };
         let id = match id {
             Some(id) => id,
-            None => self.index.write().get_or_create(labels),
+            None => self
+                .index
+                .write()
+                .get_or_create_with_fingerprint(labels, fp),
         };
         match self.head.append(id, Sample::new(t_ms, v)) {
             Ok(()) => {
@@ -79,36 +132,124 @@ impl Tsdb {
         }
     }
 
+    /// Phase 1 of the read path: matchers → `(id, labels)` pairs, holding
+    /// the index read lock only for id resolution. Label sets are `Arc`
+    /// clones of the registry's, never deep copies.
+    fn resolve(&self, matchers: &[LabelMatcher]) -> Vec<(SeriesId, Arc<LabelSet>)> {
+        let idx = self.index.read();
+        let ids: Arc<Vec<SeriesId>> = match cache_key(matchers) {
+            Some(key) if self.config.posting_cache_size > 0 => {
+                // The generation is read under the same index read lock the
+                // ids are resolved under, so a cached entry is exactly the
+                // resolution the live index would produce.
+                let generation = idx.generation();
+                let cached = self.posting_cache.lock().get(&key, generation);
+                match cached {
+                    Some(ids) => ids,
+                    None => {
+                        let ids = Arc::new(idx.select(matchers));
+                        self.posting_cache
+                            .lock()
+                            .insert(key, generation, Arc::clone(&ids));
+                        ids
+                    }
+                }
+            }
+            _ => Arc::new(idx.select(matchers)),
+        };
+        ids.iter()
+            .filter_map(|&id| idx.labels(id).map(|l| (id, Arc::clone(l))))
+            .collect()
+    }
+
+    /// Phase 2 of the read path: chunk reads, lock-free with respect to the
+    /// index. Output order and contents are identical for the serial and
+    /// parallel paths — results land in per-position slots.
+    fn materialize(
+        &self,
+        resolved: Vec<(SeriesId, Arc<LabelSet>)>,
+        tmin: i64,
+        tmax: i64,
+    ) -> Vec<SeriesData> {
+        if self.config.query_threads <= 1 || resolved.len() < PARALLEL_SELECT_MIN {
+            return resolved
+                .into_iter()
+                .filter_map(|(id, labels)| {
+                    let samples = self.head.read(id, tmin, tmax);
+                    (!samples.is_empty()).then_some(SeriesData { labels, samples })
+                })
+                .collect();
+        }
+
+        // Group result positions by head stripe: each worker drains whole
+        // stripes under one lock acquisition apiece, and no two workers
+        // ever touch the same shard mutex.
+        let mut by_shard: Vec<(Vec<SeriesId>, Vec<usize>)> = (0..self.head.shard_count())
+            .map(|_| (Vec::new(), Vec::new()))
+            .collect();
+        for (pos, (id, _)) in resolved.iter().enumerate() {
+            let s = self.head.shard_of(*id);
+            by_shard[s].0.push(*id);
+            by_shard[s].1.push(pos);
+        }
+        let stripes: Vec<(Vec<SeriesId>, Vec<usize>)> = by_shard
+            .into_iter()
+            .filter(|(ids, _)| !ids.is_empty())
+            .collect();
+        let workers = self.config.query_threads.min(stripes.len()).max(1);
+
+        let mut slots: Vec<Option<Vec<Sample>>> = (0..resolved.len()).map(|_| None).collect();
+        let filled: Vec<(usize, Vec<Sample>)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    // Round-robin stripes over workers.
+                    let mine: Vec<&(Vec<SeriesId>, Vec<usize>)> =
+                        stripes.iter().skip(w).step_by(workers).collect();
+                    let head = &self.head;
+                    scope.spawn(move |_| {
+                        let mut out = Vec::new();
+                        for (ids, positions) in mine {
+                            let shard = head.shard_of(ids[0]);
+                            let read = head.read_shard(shard, ids, tmin, tmax);
+                            out.extend(positions.iter().copied().zip(read));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("select worker panicked"))
+                .collect()
+        })
+        .expect("select scope");
+        for (pos, samples) in filled {
+            slots[pos] = Some(samples);
+        }
+
+        resolved
+            .into_iter()
+            .zip(slots)
+            .filter_map(|((_, labels), samples)| {
+                let samples = samples.unwrap_or_default();
+                (!samples.is_empty()).then_some(SeriesData { labels, samples })
+            })
+            .collect()
+    }
+
     /// Selects series matching `matchers` with samples in `[tmin, tmax]`.
     /// Series with no samples in range are omitted.
     pub fn select(&self, matchers: &[LabelMatcher], tmin: i64, tmax: i64) -> Vec<SeriesData> {
-        let idx = self.index.read();
-        let ids = idx.select(matchers);
-        let mut out = Vec::with_capacity(ids.len());
-        for id in ids {
-            let samples = self.head.read(id, tmin, tmax);
-            if samples.is_empty() {
-                continue;
-            }
-            out.push(SeriesData {
-                labels: idx.labels(id).expect("selected id has labels").clone(),
-                samples,
-            });
-        }
-        out
+        let resolved = self.resolve(matchers);
+        self.materialize(resolved, tmin, tmax)
     }
 
     /// Latest sample per matching series (used by instant queries without a
     /// lookback window and by dashboards).
-    pub fn select_latest(&self, matchers: &[LabelMatcher]) -> Vec<(LabelSet, Sample)> {
-        let idx = self.index.read();
-        idx.select(matchers)
+    pub fn select_latest(&self, matchers: &[LabelMatcher]) -> Vec<(Arc<LabelSet>, Sample)> {
+        self.resolve(matchers)
             .into_iter()
-            .filter_map(|id| {
-                self.head
-                    .last_sample(id)
-                    .map(|s| (idx.labels(id).unwrap().clone(), s))
-            })
+            .filter_map(|(id, labels)| self.head.last_sample(id).map(|s| (labels, s)))
             .collect()
     }
 
@@ -152,14 +293,35 @@ impl Tsdb {
         self.out_of_order.load(Ordering::Relaxed)
     }
 
-    /// All label names.
-    pub fn label_names(&self) -> Vec<String> {
-        self.index.read().label_names()
+    /// All label names, shared from a generation-invalidated cache.
+    pub fn label_names(&self) -> Arc<Vec<String>> {
+        let idx = self.index.read();
+        let mut cache = self.labels_cache.lock();
+        cache.sync(idx.generation());
+        if let Some(names) = &cache.names {
+            return Arc::clone(names);
+        }
+        let names = Arc::new(idx.label_names());
+        cache.names = Some(Arc::clone(&names));
+        names
     }
 
-    /// All values of a label.
-    pub fn label_values(&self, name: &str) -> Vec<String> {
-        self.index.read().label_values(name)
+    /// All values of a label, shared from a generation-invalidated cache.
+    pub fn label_values(&self, name: &str) -> Arc<Vec<String>> {
+        let idx = self.index.read();
+        let mut cache = self.labels_cache.lock();
+        cache.sync(idx.generation());
+        if let Some(values) = cache.values.get(name) {
+            return Arc::clone(values);
+        }
+        let values = Arc::new(idx.label_values(name));
+        cache.values.insert(name.to_string(), Arc::clone(&values));
+        values
+    }
+
+    /// Posting-cache hit/miss counters.
+    pub fn posting_cache_stats(&self) -> CacheStats {
+        self.posting_cache.lock().stats()
     }
 
     /// Approximate compressed bytes held in the head.
@@ -172,6 +334,7 @@ impl Tsdb {
 mod tests {
     use super::*;
     use ceems_metrics::labels;
+    use ceems_metrics::matcher::MatchOp;
 
     fn db_with_data() -> Tsdb {
         let db = Tsdb::default();
@@ -253,6 +416,7 @@ mod tests {
         let db = Tsdb::new(TsdbConfig {
             shards: 4,
             retention_ms: 10_000,
+            ..TsdbConfig::default()
         });
         let ls = labels! {"__name__" => "old"};
         for i in 0..500i64 {
@@ -268,7 +432,109 @@ mod tests {
     fn label_introspection() {
         let db = db_with_data();
         assert!(db.label_names().contains(&"instance".to_string()));
-        assert_eq!(db.label_values("instance"), vec!["n1", "n2"]);
+        assert_eq!(*db.label_values("instance"), vec!["n1", "n2"]);
         assert!(db.storage_bytes() > 0);
+        // Cached results are shared, then invalidated on membership change.
+        let before = db.label_values("instance");
+        assert!(Arc::ptr_eq(&before, &db.label_values("instance")));
+        db.append(&labels! {"__name__" => "power", "instance" => "n3"}, 0, 1.0);
+        assert_eq!(*db.label_values("instance"), vec!["n1", "n2", "n3"]);
+    }
+
+    fn wide_db(series: usize) -> Tsdb {
+        let db = Tsdb::default();
+        for i in 0..series {
+            let ls = labels! {"__name__" => "wide", "instance" => format!("n{i:04}")};
+            for t in 0..20i64 {
+                db.append(&ls, t * 1000, (i as f64) + t as f64);
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn parallel_select_matches_serial_exactly() {
+        let series = 200;
+        let serial_db = Tsdb::new(TsdbConfig {
+            query_threads: 1,
+            ..TsdbConfig::default()
+        });
+        let parallel_db = Tsdb::new(TsdbConfig {
+            query_threads: 8,
+            ..TsdbConfig::default()
+        });
+        for db in [&serial_db, &parallel_db] {
+            for i in 0..series {
+                let ls = labels! {"__name__" => "wide", "instance" => format!("n{i:04}")};
+                for t in 0..20i64 {
+                    db.append(&ls, t * 1000, (i as f64) + t as f64);
+                }
+            }
+        }
+        let m = [LabelMatcher::eq("__name__", "wide")];
+        let serial = serial_db.select(&m, 2_000, 15_000);
+        let parallel = parallel_db.select(&m, 2_000, 15_000);
+        assert_eq!(serial.len(), series);
+        assert_eq!(serial, parallel, "parallel select must be bit-for-bit serial");
+    }
+
+    #[test]
+    fn parallel_select_skips_series_out_of_range() {
+        let db = wide_db(100);
+        // Append one series whose samples all fall outside the queried range.
+        db.append(&labels! {"__name__" => "wide", "instance" => "late"}, 900_000, 1.0);
+        let got = db.select(&[LabelMatcher::eq("__name__", "wide")], 0, 19_000);
+        assert_eq!(got.len(), 100);
+        assert!(got.iter().all(|s| s.labels.get("instance") != Some("late")));
+    }
+
+    #[test]
+    fn posting_cache_serves_and_invalidates() {
+        let db = wide_db(50);
+        let re = LabelMatcher::new("instance", MatchOp::Re, "n00.*").unwrap();
+        let m = [LabelMatcher::eq("__name__", "wide"), re];
+
+        let first = db.select(&m, 0, i64::MAX);
+        let miss_stats = db.posting_cache_stats();
+        assert_eq!(miss_stats.hits, 0);
+        assert!(miss_stats.misses >= 1);
+
+        let second = db.select(&m, 0, i64::MAX);
+        assert_eq!(first, second);
+        assert!(db.posting_cache_stats().hits >= 1, "repeat query must hit");
+
+        // A new series matching the selector must appear despite the cache.
+        let ls = labels! {"__name__" => "wide", "instance" => "n0099"};
+        db.append(&ls, 0, 7.0);
+        let third = db.select(&m, 0, i64::MAX);
+        assert_eq!(third.len(), first.len() + 1);
+
+        // Deletion must propagate too.
+        db.delete_series(&[LabelMatcher::eq("instance", "n0001")]);
+        let fourth = db.select(&m, 0, i64::MAX);
+        assert_eq!(fourth.len(), first.len());
+        assert!(fourth.iter().all(|s| s.labels.get("instance") != Some("n0001")));
+    }
+
+    #[test]
+    fn exact_selectors_bypass_posting_cache() {
+        let db = wide_db(10);
+        db.select(&[LabelMatcher::eq("__name__", "wide")], 0, i64::MAX);
+        db.select(&[LabelMatcher::eq("__name__", "wide")], 0, i64::MAX);
+        let stats = db.posting_cache_stats();
+        assert_eq!(stats.hits + stats.misses, 0, "exact-only sets never touch the cache");
+    }
+
+    #[test]
+    fn zero_cache_size_disables_posting_cache() {
+        let db = Tsdb::new(TsdbConfig {
+            posting_cache_size: 0,
+            ..TsdbConfig::default()
+        });
+        db.append(&labels! {"__name__" => "m", "x" => "1"}, 0, 1.0);
+        let re = LabelMatcher::new("x", MatchOp::Re, ".+").unwrap();
+        db.select(&[re.clone()], 0, i64::MAX);
+        db.select(&[re], 0, i64::MAX);
+        assert_eq!(db.posting_cache_stats().hits, 0);
     }
 }

@@ -1,5 +1,7 @@
 //! Shared TSDB types.
 
+use std::sync::Arc;
+
 use ceems_metrics::labels::LabelSet;
 
 /// One timestamped value.
@@ -19,12 +21,25 @@ impl Sample {
 }
 
 /// A selected series: its labels and samples in time order.
+///
+/// Labels are behind an `Arc` shared with the index, so selecting a series
+/// never deep-copies its label strings.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SeriesData {
     /// Full label set (including `__name__`).
-    pub labels: LabelSet,
+    pub labels: Arc<LabelSet>,
     /// Samples sorted by timestamp.
     pub samples: Vec<Sample>,
+}
+
+impl SeriesData {
+    /// Builds series data from owned or shared labels.
+    pub fn new(labels: impl Into<Arc<LabelSet>>, samples: Vec<Sample>) -> SeriesData {
+        SeriesData {
+            labels: labels.into(),
+            samples,
+        }
+    }
 }
 
 /// Internal series identifier.
@@ -39,10 +54,8 @@ mod tests {
     fn constructors() {
         let s = Sample::new(5, 1.5);
         assert_eq!(s.t_ms, 5);
-        let sd = SeriesData {
-            labels: labels! {"__name__" => "up"},
-            samples: vec![s],
-        };
+        let sd = SeriesData::new(labels! {"__name__" => "up"}, vec![s]);
         assert_eq!(sd.samples.len(), 1);
+        assert_eq!(sd.labels.metric_name(), Some("up"));
     }
 }

@@ -175,6 +175,8 @@ tsdb:
   scrape_interval_s: 15
   rule_window: 2m
   rule_interval_s: 30
+  query_threads: 4            # select/rule-eval fan-out; 1 = serial reads
+  posting_cache_size: 128     # cached regex/negative matcher resolutions; 0 = off
 api_server:
   update_interval_s: 60
   cleanup_cutoff_s: 120       # purge TSDB series of units shorter than this
