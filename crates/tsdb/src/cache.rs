@@ -13,7 +13,10 @@
 //! never serve ids across a membership change.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use ceems_metrics::matcher::LabelMatcher;
 
@@ -125,6 +128,63 @@ impl PostingCache {
     }
 }
 
+/// Number of independently locked [`PostingCache`] shards. Concurrent
+/// selects resolving different keys take different locks, so the cache no
+/// longer serializes the resolve phase the parallel read path depends on.
+const CACHE_SHARDS: usize = 8;
+
+/// A [`PostingCache`] split over [`CACHE_SHARDS`] independently locked
+/// shards, keyed by key hash. Capacity is divided evenly (rounding up) so
+/// the configured total is an upper bound across shards; LRU eviction is
+/// per shard, an acceptable approximation for dashboard-shaped workloads.
+#[derive(Debug)]
+pub struct ShardedPostingCache {
+    shards: Vec<Mutex<PostingCache>>,
+}
+
+impl ShardedPostingCache {
+    /// Sharded cache holding at most ~`capacity` entries in total. Zero
+    /// disables caching in every shard.
+    pub fn new(capacity: usize) -> ShardedPostingCache {
+        let shards = if capacity == 0 { 1 } else { CACHE_SHARDS.min(capacity) };
+        let per_shard = capacity.div_ceil(shards);
+        ShardedPostingCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(PostingCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<PostingCache> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[h.finish() as usize % self.shards.len()]
+    }
+
+    /// Fetches `key`'s ids if cached at `generation` (see
+    /// [`PostingCache::get`]).
+    pub fn get(&self, key: &str, generation: u64) -> Option<Arc<Vec<SeriesId>>> {
+        self.shard(key).lock().get(key, generation)
+    }
+
+    /// Stores a resolution computed at `generation`.
+    pub fn insert(&self, key: String, generation: u64, ids: Arc<Vec<SeriesId>>) {
+        self.shard(&key).lock().insert(key, generation, ids);
+    }
+
+    /// Counters aggregated over all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.len += s.len;
+        }
+        total
+    }
+}
+
 /// Canonical cache key for a matcher set, or `None` when the query is not
 /// worth caching.
 ///
@@ -179,6 +239,32 @@ mod tests {
     #[test]
     fn zero_capacity_disables_caching() {
         let mut c = PostingCache::new(0);
+        c.insert("k".into(), 1, ids(&[1]));
+        assert!(c.get("k", 1).is_none());
+        assert_eq!(c.stats().len, 0);
+    }
+
+    #[test]
+    fn sharded_cache_round_trips_and_aggregates_stats() {
+        // Capacity well above the key count so per-shard LRU never evicts
+        // even under a skewed key→shard hash.
+        let c = ShardedPostingCache::new(256);
+        for i in 0..32u64 {
+            c.insert(format!("k{i}"), 1, ids(&[i]));
+        }
+        for i in 0..32u64 {
+            assert_eq!(c.get(&format!("k{i}"), 1).as_deref(), Some(&vec![i]));
+        }
+        assert!(c.get("k0", 2).is_none(), "stale generation must miss");
+        let s = c.stats();
+        assert_eq!(s.hits, 32);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.len, 31, "stale entry evicted on miss");
+    }
+
+    #[test]
+    fn sharded_cache_zero_capacity_disables() {
+        let c = ShardedPostingCache::new(0);
         c.insert("k".into(), 1, ids(&[1]));
         assert!(c.get("k", 1).is_none());
         assert_eq!(c.stats().len, 0);

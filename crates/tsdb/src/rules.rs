@@ -7,6 +7,7 @@
 //! derived series back into the TSDB under the rule's `record` name.
 
 use ceems_metrics::labels::{LabelSetBuilder, METRIC_NAME_LABEL};
+use ceems_metrics::matcher::MatchOp;
 
 use crate::promql::{instant_query_with_lookback, parse_expr, EvalError, Expr, Value};
 use crate::storage::Tsdb;
@@ -50,8 +51,12 @@ pub struct RuleGroup {
     pub name: String,
     /// Evaluation interval (ms).
     pub interval_ms: i64,
-    /// Rules evaluated in order (later rules can read earlier outputs on
-    /// the *next* evaluation, like Prometheus).
+    /// Rules evaluated in dependency order: a rule whose expression reads
+    /// an earlier rule's `record` name observes the value written *this*
+    /// round (the engine appends each level's outputs before the next level
+    /// runs), which is what lets the attribution chains resolve in one
+    /// evaluation. Rules with no dependency between them may run
+    /// concurrently when parallelism is enabled.
     pub rules: Vec<RecordingRule>,
 }
 
@@ -87,10 +92,18 @@ impl RuleEngine {
         }
     }
 
-    /// Evaluates rules *within* a due group on up to `threads` scoped
-    /// workers. Groups still run in declaration order, and like Prometheus a
-    /// rule only observes sibling outputs on the *next* evaluation round, so
-    /// intra-group parallelism does not change results.
+    /// Evaluates independent rules *within* a due group on up to `threads`
+    /// scoped workers. Rules in this engine — unlike Prometheus, which
+    /// evaluates a group strictly sequentially — may chain within a single
+    /// round (the attribution groups feed RAPL intermediates into per-job
+    /// components into totals), so blind fan-out would race a rule against
+    /// its producer. Instead the engine levels each group by record-name
+    /// dependencies: a rule that reads an earlier rule's `record` is placed
+    /// in a later level, levels run in order with a barrier between them,
+    /// and only rules in the same level run concurrently. This preserves
+    /// serial semantics exactly; a selector whose metric name cannot be
+    /// determined statically is conservatively ordered after every earlier
+    /// rule.
     pub fn with_eval_threads(mut self, threads: usize) -> RuleEngine {
         self.eval_threads = threads.max(1);
         self
@@ -134,7 +147,8 @@ impl RuleEngine {
         written
     }
 
-    /// Evaluates one group's rules, fanning out over scoped workers when
+    /// Evaluates one group's rules level by level: each dependency level is
+    /// a barrier, and rules inside a level fan out over scoped workers when
     /// parallelism is enabled. Results come back in rule order either way.
     fn eval_group(
         db: &Tsdb,
@@ -143,37 +157,59 @@ impl RuleEngine {
         lookback_ms: i64,
         threads: usize,
     ) -> Vec<Result<u64, EvalError>> {
-        let workers = threads.min(group.rules.len());
-        if workers <= 1 {
+        if threads <= 1 || group.rules.len() <= 1 {
             return group
                 .rules
                 .iter()
                 .map(|rule| Self::eval_rule(db, rule, now_ms, lookback_ms))
                 .collect();
         }
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let rules = &group.rules;
-                    scope.spawn(move |_| {
-                        rules
-                            .iter()
-                            .enumerate()
-                            .skip(w)
-                            .step_by(workers)
-                            .map(|(i, rule)| (i, Self::eval_rule(db, rule, now_ms, lookback_ms)))
-                            .collect::<Vec<_>>()
-                    })
+        let mut results: Vec<Option<Result<u64, EvalError>>> =
+            (0..group.rules.len()).map(|_| None).collect();
+        for level in dependency_levels(&group.rules) {
+            let workers = threads.min(level.len());
+            if workers <= 1 {
+                for i in level {
+                    results[i] = Some(Self::eval_rule(db, &group.rules[i], now_ms, lookback_ms));
+                }
+                continue;
+            }
+            let filled: Vec<(usize, Result<u64, EvalError>)> =
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            let rules = &group.rules;
+                            let level = &level;
+                            scope.spawn(move |_| {
+                                // Selects issued from inside a rule worker
+                                // stay serial — the fan-out budget is spent
+                                // here, not multiplied per worker.
+                                crate::storage::mark_nested_query_worker();
+                                level
+                                    .iter()
+                                    .skip(w)
+                                    .step_by(workers)
+                                    .map(|&i| {
+                                        (i, Self::eval_rule(db, &rules[i], now_ms, lookback_ms))
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("rule worker panicked"))
+                        .collect()
                 })
-                .collect();
-            let mut indexed: Vec<(usize, Result<u64, EvalError>)> = handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("rule worker panicked"))
-                .collect();
-            indexed.sort_by_key(|(i, _)| *i);
-            indexed.into_iter().map(|(_, r)| r).collect()
-        })
-        .expect("rule scope")
+                .expect("rule scope");
+            for (i, r) in filled {
+                results[i] = Some(r);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every rule evaluated"))
+            .collect()
     }
 
     /// Forces evaluation of every rule right now (used by tests/benches).
@@ -212,6 +248,88 @@ impl RuleEngine {
         }
         Ok(written)
     }
+}
+
+/// Collects the metric names an expression's selectors read into `out`.
+/// Returns `false` when any selector lacks an exact `__name__` matcher
+/// (regex or nameless selectors), meaning the read set is unknowable
+/// statically and the rule must be ordered after every earlier rule.
+fn referenced_names(expr: &Expr, out: &mut Vec<String>) -> bool {
+    match expr {
+        Expr::Number(_) => true,
+        Expr::Selector(sel) => {
+            let name = sel
+                .matchers
+                .iter()
+                .find(|m| m.name == METRIC_NAME_LABEL && m.op == MatchOp::Eq);
+            match name {
+                Some(m) => {
+                    out.push(m.value.clone());
+                    true
+                }
+                None => false,
+            }
+        }
+        Expr::Neg(e) => referenced_names(e, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            // Evaluate both sides so `out` is complete even when one side
+            // is opaque (the caller still learns what the known side reads).
+            let l = referenced_names(lhs, out);
+            let r = referenced_names(rhs, out);
+            l && r
+        }
+        Expr::Agg { param, expr, .. } => {
+            let p = param
+                .as_ref()
+                .is_none_or(|p| referenced_names(p, out));
+            referenced_names(expr, out) && p
+        }
+        Expr::Func { args, .. } => {
+            let mut known = true;
+            for a in args {
+                known &= referenced_names(a, out);
+            }
+            known
+        }
+    }
+}
+
+/// Topologically levels a group's rules by record-name dependencies.
+///
+/// Rule `i` depends on an earlier rule `j` when `i`'s expression reads
+/// `j`'s `record` name (or when `i`'s read set is statically unknown, in
+/// which case it depends on all earlier rules). `level(i)` is one past the
+/// deepest producer it depends on, so evaluating levels in order with a
+/// barrier between them reproduces serial evaluation exactly: every rule
+/// sees the same-round outputs of everything it reads. Returns the rule
+/// indices grouped by level, levels in ascending order.
+fn dependency_levels(rules: &[RecordingRule]) -> Vec<Vec<usize>> {
+    let reads: Vec<Option<Vec<String>>> = rules
+        .iter()
+        .map(|r| {
+            let mut names = Vec::new();
+            referenced_names(&r.expr, &mut names).then_some(names)
+        })
+        .collect();
+    let mut level = vec![0usize; rules.len()];
+    let mut max_level = 0;
+    for i in 0..rules.len() {
+        for j in 0..i {
+            let depends = match &reads[i] {
+                None => true,
+                Some(names) => names.iter().any(|n| *n == rules[j].record),
+            };
+            if depends {
+                level[i] = level[i].max(level[j] + 1);
+            }
+        }
+        max_level = max_level.max(level[i]);
+    }
+    let mut levels: Vec<Vec<usize>> = (0..=max_level).map(|_| Vec::new()).collect();
+    for (i, &lv) in level.iter().enumerate() {
+        levels[lv].push(i);
+    }
+    levels
 }
 
 #[cfg(test)]
@@ -346,6 +464,121 @@ mod tests {
             b.sort_by_key(key);
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn parallel_eval_preserves_dependent_chains() {
+        // r_base feeds r_mid, which feeds r_top — the shape of the shipped
+        // attribution groups (RAPL intermediates → components → totals).
+        // Serial eval resolves the chain in one round; parallel eval must
+        // produce identical results on the very first tick, not race a rule
+        // against its producer.
+        let mk_engine = |threads| {
+            let rules = vec![
+                RecordingRule::new("r_base", "rate(energy_joules_total[2m])", &[]).unwrap(),
+                // Independent sibling that shares r_base's level.
+                RecordingRule::new("r_side", "rate(energy_joules_total[2m]) * 7", &[]).unwrap(),
+                RecordingRule::new("r_mid", "r_base * 2", &[]).unwrap(),
+                RecordingRule::new("r_top", "r_mid + r_base", &[]).unwrap(),
+            ];
+            RuleEngine::new(vec![RuleGroup {
+                name: "chain".into(),
+                interval_ms: 30_000,
+                rules,
+            }])
+            .with_eval_threads(threads)
+        };
+        let serial_db = db();
+        let parallel_db = db();
+        let mut serial = mk_engine(1);
+        let mut parallel = mk_engine(4);
+        assert_eq!(
+            serial.tick(&serial_db, 600_000),
+            parallel.tick(&parallel_db, 600_000)
+        );
+        assert_eq!(serial.stats(), parallel.stats());
+        for name in ["r_base", "r_side", "r_mid", "r_top"] {
+            let matcher = [LabelMatcher::eq("__name__", name)];
+            let mut a = serial_db.select(&matcher, 0, i64::MAX);
+            let mut b = parallel_db.select(&matcher, 0, i64::MAX);
+            assert_eq!(a.len(), 2, "{name} must resolve on the first tick");
+            let key = |s: &crate::types::SeriesData| s.labels.get("instance").unwrap().to_string();
+            a.sort_by_key(key);
+            b.sort_by_key(key);
+            assert_eq!(a, b, "{name} diverged under parallel eval");
+        }
+        // And the chain actually chained: r_top = r_base*2 + r_base.
+        let top = parallel_db.select(&[LabelMatcher::eq("__name__", "r_top")], 0, i64::MAX);
+        for s in &top {
+            let expect = if s.labels.get("instance") == Some("n1") { 30.0 } else { 60.0 };
+            assert!((s.samples[0].v - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dependency_levels_order_chains() {
+        let rules = vec![
+            RecordingRule::new("a", "rate(raw[2m])", &[]).unwrap(),
+            RecordingRule::new("b", "rate(raw[2m]) * 2", &[]).unwrap(),
+            RecordingRule::new("c", "a / b", &[]).unwrap(),
+            RecordingRule::new("d", "c + a", &[]).unwrap(),
+            RecordingRule::new("e", "rate(other[2m])", &[]).unwrap(),
+        ];
+        let levels = dependency_levels(&rules);
+        // a, b, e are independent of earlier rules; c reads a+b; d reads c.
+        assert_eq!(levels, vec![vec![0, 1, 4], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn dependency_levels_match_attribution_chain_depth() {
+        // The shipped IntelDram group chains rapl → cpufrac → component →
+        // total; every level boundary the closed-form pipeline relies on
+        // must survive the static analysis.
+        let rules = vec![
+            RecordingRule::new(
+                "instance:rapl_cpu:watts",
+                "sum by (instance) (rate(rapl_pkg_joules_total[2m]))",
+                &[],
+            )
+            .unwrap(),
+            RecordingRule::new(
+                "instance:rapl_dram:watts",
+                "sum by (instance) (rate(rapl_dram_joules_total[2m]))",
+                &[],
+            )
+            .unwrap(),
+            RecordingRule::new(
+                "instance:cpufrac:ratio",
+                "instance:rapl_cpu:watts / (instance:rapl_cpu:watts + instance:rapl_dram:watts)",
+                &[],
+            )
+            .unwrap(),
+            RecordingRule::new(
+                "uuid:component:watts",
+                "instance:cpufrac:ratio * 450",
+                &[("component", "cpu")],
+            )
+            .unwrap(),
+            RecordingRule::new(
+                "uuid:power:watts",
+                "sum by (uuid) (uuid:component:watts)",
+                &[],
+            )
+            .unwrap(),
+        ];
+        let levels = dependency_levels(&rules);
+        assert_eq!(levels, vec![vec![0, 1], vec![2], vec![3], vec![4]]);
+    }
+
+    #[test]
+    fn unknown_reads_are_conservatively_ordered_last() {
+        let rules = vec![
+            RecordingRule::new("a", "rate(raw[2m])", &[]).unwrap(),
+            // Nameless selector: read set is unknowable, must follow a.
+            RecordingRule::new("b", "sum by (x) ({job=\"j\"})", &[]).unwrap(),
+        ];
+        let levels = dependency_levels(&rules);
+        assert_eq!(levels, vec![vec![0], vec![1]]);
     }
 
     #[test]

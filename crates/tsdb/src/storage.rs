@@ -7,16 +7,17 @@
 //! fanning out over [`TsdbConfig::query_threads`] scoped workers grouped by
 //! head stripe so parallel readers never contend on the same shard mutex.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 
 use ceems_metrics::labels::LabelSet;
 use ceems_metrics::matcher::LabelMatcher;
 
-use crate::cache::{cache_key, CacheStats, PostingCache};
+use crate::cache::{cache_key, CacheStats, ShardedPostingCache};
 use crate::head::Head;
 use crate::index::LabelIndex;
 use crate::types::{Sample, SeriesData, SeriesId};
@@ -24,6 +25,24 @@ use crate::types::{Sample, SeriesData, SeriesId};
 /// Below this many resolved series the thread fan-out costs more than it
 /// saves; materialization stays on the calling thread.
 const PARALLEL_SELECT_MIN: usize = 32;
+
+thread_local! {
+    /// Set on threads that are themselves one arm of a query fan-out (rule
+    /// evaluation workers). Selects issued from such a thread materialize
+    /// serially, so one rule-group tick never multiplies into
+    /// `query_threads²` transient threads.
+    static NESTED_QUERY_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Marks the current thread as a nested query worker for its lifetime
+/// (called at the top of scoped fan-out workers, which exit with the scope).
+pub(crate) fn mark_nested_query_worker() {
+    NESTED_QUERY_WORKER.with(|f| f.set(true));
+}
+
+fn is_nested_query_worker() -> bool {
+    NESTED_QUERY_WORKER.with(|f| f.get())
+}
 
 /// TSDB configuration.
 #[derive(Clone, Debug)]
@@ -78,8 +97,8 @@ pub struct Tsdb {
     index: RwLock<LabelIndex>,
     head: Head,
     config: TsdbConfig,
-    posting_cache: Mutex<PostingCache>,
-    labels_cache: Mutex<LabelsCache>,
+    posting_cache: ShardedPostingCache,
+    labels_cache: RwLock<LabelsCache>,
     appended: AtomicU64,
     out_of_order: AtomicU64,
 }
@@ -96,8 +115,8 @@ impl Tsdb {
         Tsdb {
             index: RwLock::new(LabelIndex::new()),
             head: Head::new(config.shards),
-            posting_cache: Mutex::new(PostingCache::new(config.posting_cache_size)),
-            labels_cache: Mutex::new(LabelsCache::default()),
+            posting_cache: ShardedPostingCache::new(config.posting_cache_size),
+            labels_cache: RwLock::new(LabelsCache::default()),
             config,
             appended: AtomicU64::new(0),
             out_of_order: AtomicU64::new(0),
@@ -143,14 +162,11 @@ impl Tsdb {
                 // ids are resolved under, so a cached entry is exactly the
                 // resolution the live index would produce.
                 let generation = idx.generation();
-                let cached = self.posting_cache.lock().get(&key, generation);
-                match cached {
+                match self.posting_cache.get(&key, generation) {
                     Some(ids) => ids,
                     None => {
                         let ids = Arc::new(idx.select(matchers));
-                        self.posting_cache
-                            .lock()
-                            .insert(key, generation, Arc::clone(&ids));
+                        self.posting_cache.insert(key, generation, Arc::clone(&ids));
                         ids
                     }
                 }
@@ -171,7 +187,10 @@ impl Tsdb {
         tmin: i64,
         tmax: i64,
     ) -> Vec<SeriesData> {
-        if self.config.query_threads <= 1 || resolved.len() < PARALLEL_SELECT_MIN {
+        if self.config.query_threads <= 1
+            || resolved.len() < PARALLEL_SELECT_MIN
+            || is_nested_query_worker()
+        {
             return resolved
                 .into_iter()
                 .filter_map(|(id, labels)| {
@@ -293,35 +312,61 @@ impl Tsdb {
         self.out_of_order.load(Ordering::Relaxed)
     }
 
-    /// All label names, shared from a generation-invalidated cache.
+    /// All label names, shared from a generation-invalidated cache. The
+    /// cached path takes only shared locks, so concurrent introspection
+    /// requests never serialize on each other.
     pub fn label_names(&self) -> Arc<Vec<String>> {
         let idx = self.index.read();
-        let mut cache = self.labels_cache.lock();
-        cache.sync(idx.generation());
-        if let Some(names) = &cache.names {
-            return Arc::clone(names);
+        let generation = idx.generation();
+        {
+            let cache = self.labels_cache.read();
+            if cache.generation == generation {
+                if let Some(names) = &cache.names {
+                    return Arc::clone(names);
+                }
+            }
         }
         let names = Arc::new(idx.label_names());
+        let mut cache = self.labels_cache.write();
+        cache.sync(generation);
         cache.names = Some(Arc::clone(&names));
         names
     }
 
     /// All values of a label, shared from a generation-invalidated cache.
+    /// Only names that exist in the index are cached: arbitrary client
+    /// queries for bogus label names must not grow the map unboundedly
+    /// between generation bumps.
     pub fn label_values(&self, name: &str) -> Arc<Vec<String>> {
         let idx = self.index.read();
-        let mut cache = self.labels_cache.lock();
-        cache.sync(idx.generation());
-        if let Some(values) = cache.values.get(name) {
-            return Arc::clone(values);
+        let generation = idx.generation();
+        {
+            let cache = self.labels_cache.read();
+            if cache.generation == generation {
+                if let Some(values) = cache.values.get(name) {
+                    return Arc::clone(values);
+                }
+            }
         }
         let values = Arc::new(idx.label_values(name));
-        cache.values.insert(name.to_string(), Arc::clone(&values));
+        if !values.is_empty() {
+            let mut cache = self.labels_cache.write();
+            cache.sync(generation);
+            cache.values.insert(name.to_string(), Arc::clone(&values));
+        }
         values
     }
 
-    /// Posting-cache hit/miss counters.
+    /// Number of label-value result sets currently cached (test hook for
+    /// the bogus-name bound).
+    #[cfg(test)]
+    fn cached_label_value_sets(&self) -> usize {
+        self.labels_cache.read().values.len()
+    }
+
+    /// Posting-cache hit/miss counters (aggregated over shards).
     pub fn posting_cache_stats(&self) -> CacheStats {
-        self.posting_cache.lock().stats()
+        self.posting_cache.stats()
     }
 
     /// Approximate compressed bytes held in the head.
@@ -441,6 +486,23 @@ mod tests {
         assert_eq!(*db.label_values("instance"), vec!["n1", "n2", "n3"]);
     }
 
+    #[test]
+    fn bogus_label_names_do_not_grow_cache() {
+        let db = db_with_data();
+        // Warm the cache with a real name.
+        assert!(!db.label_values("instance").is_empty());
+        assert_eq!(db.cached_label_value_sets(), 1);
+        // A client spraying arbitrary names at /api/v1/label/:name/values
+        // must not grow memory on a quiescent database.
+        for i in 0..1000 {
+            assert!(db.label_values(&format!("no_such_label_{i}")).is_empty());
+        }
+        assert_eq!(db.cached_label_value_sets(), 1);
+        // The real name is still served from cache.
+        let a = db.label_values("instance");
+        assert!(Arc::ptr_eq(&a, &db.label_values("instance")));
+    }
+
     fn wide_db(series: usize) -> Tsdb {
         let db = Tsdb::default();
         for i in 0..series {
@@ -476,6 +538,24 @@ mod tests {
         let parallel = parallel_db.select(&m, 2_000, 15_000);
         assert_eq!(serial.len(), series);
         assert_eq!(serial, parallel, "parallel select must be bit-for-bit serial");
+    }
+
+    #[test]
+    fn nested_query_worker_selects_serially_with_identical_results() {
+        let db = wide_db(100);
+        let m = [LabelMatcher::eq("__name__", "wide")];
+        let parallel = db.select(&m, 0, i64::MAX);
+        let nested = crossbeam::thread::scope(|scope| {
+            scope
+                .spawn(|_| {
+                    super::mark_nested_query_worker();
+                    db.select(&m, 0, i64::MAX)
+                })
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(parallel, nested);
     }
 
     #[test]

@@ -21,19 +21,21 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(10.0);
 
-    let mut cfg = CeemsConfig::default();
-    cfg.cluster = ClusterSpec::jean_zay();
-    cfg.threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(8);
-    cfg.churn = Some(ChurnSettings {
-        users: 300,
-        projects: 60,
-        // The abstract cites a daily churn in the thousands; this arrival
-        // rate yields ~10k jobs/day.
-        arrivals_per_hour: 420.0,
-    });
-    cfg.cleanup_cutoff_s = 120.0;
+    let cfg = CeemsConfig {
+        cluster: ClusterSpec::jean_zay(),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8),
+        churn: Some(ChurnSettings {
+            users: 300,
+            projects: 60,
+            // The abstract cites a daily churn in the thousands; this
+            // arrival rate yields ~10k jobs/day.
+            arrivals_per_hour: 420.0,
+        }),
+        cleanup_cutoff_s: 120.0,
+        ..CeemsConfig::default()
+    };
 
     let dir = std::env::temp_dir().join(format!("ceems-jz-{}", std::process::id()));
     println!(

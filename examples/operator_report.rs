@@ -24,15 +24,17 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(45.0);
 
-    let mut cfg = CeemsConfig::default();
+    let mut cfg = CeemsConfig {
+        churn: Some(ChurnSettings {
+            users: 16,
+            projects: 5,
+            arrivals_per_hour: 240.0,
+        }),
+        ..CeemsConfig::default()
+    };
     cfg.cluster.intel_nodes = 8;
     cfg.cluster.amd_nodes = 4;
     cfg.cluster.a100_nodes = 2;
-    cfg.churn = Some(ChurnSettings {
-        users: 16,
-        projects: 5,
-        arrivals_per_hour: 240.0,
-    });
     let dir = std::env::temp_dir().join(format!("ceems-op-{}", std::process::id()));
     let mut stack = CeemsStack::build(cfg, &dir).unwrap();
     println!("running {minutes:.0} simulated minutes of churn...");

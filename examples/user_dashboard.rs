@@ -20,12 +20,14 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(2.0);
 
-    let mut cfg = CeemsConfig::default();
-    cfg.churn = Some(ChurnSettings {
-        users: 8,
-        projects: 3,
-        arrivals_per_hour: 120.0,
-    });
+    let cfg = CeemsConfig {
+        churn: Some(ChurnSettings {
+            users: 8,
+            projects: 3,
+            arrivals_per_hour: 120.0,
+        }),
+        ..CeemsConfig::default()
+    };
     let dir = std::env::temp_dir().join(format!("ceems-dash-{}", std::process::id()));
     let mut stack = CeemsStack::build(cfg, &dir).expect("stack builds");
 

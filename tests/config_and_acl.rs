@@ -144,12 +144,14 @@ fn lb_verifies_through_api_server_http() {
 fn fleet_power_conservation_under_churn() {
     // Attributed job power can never exceed the simulated fleet draw, and
     // should account for most of it when the fleet is busy.
-    let mut cfg = CeemsConfig::default();
-    cfg.churn = Some(ChurnSettings {
-        users: 10,
-        projects: 3,
-        arrivals_per_hour: 500.0,
-    });
+    let cfg = CeemsConfig {
+        churn: Some(ChurnSettings {
+            users: 10,
+            projects: 3,
+            arrivals_per_hour: 500.0,
+        }),
+        ..CeemsConfig::default()
+    };
     let dir = std::env::temp_dir().join(format!(
         "ceems-conserve-{}-{}",
         std::process::id(),

@@ -100,12 +100,14 @@ fn api_db_continuous_backup_survives_crash() {
     let bk_dir = tmpdir("bk");
     let rs_dir = tmpdir("rs");
 
-    let mut cfg = CeemsConfig::default();
-    cfg.churn = Some(ChurnSettings {
-        users: 6,
-        projects: 2,
-        arrivals_per_hour: 240.0,
-    });
+    let cfg = CeemsConfig {
+        churn: Some(ChurnSettings {
+            users: 6,
+            projects: 2,
+            arrivals_per_hour: 240.0,
+        }),
+        ..CeemsConfig::default()
+    };
     let mut stack = CeemsStack::build(cfg, &db_dir).unwrap();
     let mut replicator = Replicator::new(&db_dir, &bk_dir).unwrap();
 
@@ -165,13 +167,15 @@ fn api_db_continuous_backup_survives_crash() {
 fn cardinality_cleanup_reduces_series() {
     // E10: short jobs create series churn; the updater purges them.
     let db_dir = tmpdir("card");
-    let mut cfg = CeemsConfig::default();
-    cfg.cleanup_cutoff_s = 600.0; // purge anything shorter than 10 min
-    cfg.churn = Some(ChurnSettings {
-        users: 8,
-        projects: 2,
-        arrivals_per_hour: 600.0,
-    });
+    let cfg = CeemsConfig {
+        cleanup_cutoff_s: 600.0, // purge anything shorter than 10 min
+        churn: Some(ChurnSettings {
+            users: 8,
+            projects: 2,
+            arrivals_per_hour: 600.0,
+        }),
+        ..CeemsConfig::default()
+    };
     let mut stack = CeemsStack::build(cfg, &db_dir).unwrap();
     stack.run_for(3600.0, 15.0);
 

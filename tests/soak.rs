@@ -12,16 +12,18 @@ use ceems::prelude::*;
 #[test]
 #[ignore = "multi-minute soak; run explicitly with --ignored"]
 fn one_simulated_day_of_monitoring() {
-    let mut cfg = CeemsConfig::default();
+    let mut cfg = CeemsConfig {
+        churn: Some(ChurnSettings {
+            users: 40,
+            projects: 8,
+            arrivals_per_hour: 300.0,
+        }),
+        cleanup_cutoff_s: 300.0,
+        ..CeemsConfig::default()
+    };
     cfg.cluster.intel_nodes = 16;
     cfg.cluster.amd_nodes = 8;
     cfg.cluster.a100_nodes = 4;
-    cfg.churn = Some(ChurnSettings {
-        users: 40,
-        projects: 8,
-        arrivals_per_hour: 300.0,
-    });
-    cfg.cleanup_cutoff_s = 300.0;
     let dir = std::env::temp_dir().join(format!("ceems-soak-{}", std::process::id()));
     let mut stack = CeemsStack::build(cfg, &dir).unwrap();
 

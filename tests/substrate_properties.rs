@@ -42,8 +42,7 @@ proptest! {
     fn query_string_roundtrip(
         pairs in proptest::collection::vec(("[a-zA-Z0-9_\\[\\]]{1,8}", "\\PC{0,16}"), 0..6)
     ) {
-        let pairs: Vec<(String, String)> =
-            pairs.into_iter().map(|(k, v)| (k, v)).collect();
+        let pairs: Vec<(String, String)> = pairs.into_iter().collect();
         prop_assert_eq!(parse_query(&encode_query(&pairs)), pairs);
     }
 

@@ -20,7 +20,7 @@ where
 {
     type Value = Option<S::Value>;
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
-        if rng.next_u64() % 4 == 0 {
+        if rng.next_u64().is_multiple_of(4) {
             None
         } else {
             Some(self.0.generate(rng))

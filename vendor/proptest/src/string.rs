@@ -247,7 +247,7 @@ fn pick_from_ranges(ranges: &[(char, char)], rng: &mut TestRng) -> char {
 }
 
 fn pick_not_control(rng: &mut TestRng) -> char {
-    if rng.next_u64() % 8 == 0 {
+    if rng.next_u64().is_multiple_of(8) {
         NON_ASCII_POOL[rng.below(NON_ASCII_POOL.len())]
     } else {
         // Printable ASCII (space through tilde).
