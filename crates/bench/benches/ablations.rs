@@ -173,6 +173,10 @@ fn wide_tsdb(series: usize, query_threads: usize, posting_cache_size: usize) -> 
 /// Select materialization: serial (`query_threads: 1`) vs sharded scoped
 /// fan-out, at 10k and 100k series.
 fn bench_select_serial_vs_parallel(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("select_serial_vs_parallel: available parallelism = {cores}");
     let mut group = c.benchmark_group("select_serial_vs_parallel");
     group.sample_size(10);
     for series in [10_000usize, 100_000] {

@@ -1,0 +1,128 @@
+//! WAL ingest overhead (S16): scrape-shaped `append_batch` throughput with
+//! the WAL off vs on under each fsync policy, plus crash-recovery replay
+//! speed. The acceptance bar is WAL-on (group commit, `batch` fsync)
+//! staying within ~2× of the in-memory append path.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ceems_metrics::labels::{LabelSet, LabelSetBuilder};
+use ceems_tsdb::wal::{FsyncMode, WalOptions};
+use ceems_tsdb::{Tsdb, TsdbConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+static DIR_ID: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ceems-walbench-{}-{}",
+        std::process::id(),
+        DIR_ID.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One scrape pass worth of samples: `series` series at one timestamp.
+fn scrape_batches(series: usize, steps: i64) -> Vec<Vec<(LabelSet, i64, f64)>> {
+    let labels: Vec<LabelSet> = (0..series)
+        .map(|i| {
+            LabelSetBuilder::new()
+                .label("__name__", "power")
+                .label("instance", format!("n{i:05}"))
+                .build()
+        })
+        .collect();
+    (0..steps)
+        .map(|step| {
+            labels
+                .iter()
+                .map(|l| (l.clone(), step * 15_000, step as f64))
+                .collect()
+        })
+        .collect()
+}
+
+/// In-memory vs WAL-backed ingest, one group commit per scrape batch.
+fn bench_wal_ingest(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("wal_ingest: available parallelism = {cores}");
+
+    let batches = scrape_batches(256, 40);
+    let samples = 256 * 40;
+    let mut group = c.benchmark_group("wal_ingest");
+    group.sample_size(10);
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for (label, fsync) in [
+        ("off", None),
+        ("on_never", Some(FsyncMode::Never)),
+        ("on_batch", Some(FsyncMode::Batch)),
+        ("on_always", Some(FsyncMode::Always)),
+    ] {
+        group.bench_function(BenchmarkId::new(format!("samples_{samples}"), label), |b| {
+            b.iter_with_setup(
+                || match fsync {
+                    None => Tsdb::new(TsdbConfig::default()),
+                    Some(mode) => {
+                        let dir = temp_dir();
+                        dirs.push(dir.clone());
+                        let opts = WalOptions {
+                            segment_bytes: 4 << 20,
+                            fsync: mode,
+                        };
+                        Tsdb::open(&dir, opts, TsdbConfig::default()).unwrap()
+                    }
+                },
+                |db| {
+                    for batch in &batches {
+                        db.append_batch(batch);
+                    }
+                },
+            );
+        });
+    }
+    group.finish();
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Reopening a crashed database: checkpoint + tail-segment replay.
+fn bench_wal_recovery(c: &mut Criterion) {
+    let batches = scrape_batches(256, 40);
+    let mut group = c.benchmark_group("wal_recovery");
+    group.sample_size(10);
+    let opts = WalOptions {
+        segment_bytes: 4 << 20,
+        fsync: FsyncMode::Never,
+    };
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for (label, checkpointed) in [("segments_only", false), ("with_checkpoint", true)] {
+        group.bench_function(BenchmarkId::new("replay", label), |b| {
+            b.iter_with_setup(
+                || {
+                    let dir = temp_dir();
+                    dirs.push(dir.clone());
+                    let db = Tsdb::open(&dir, opts, TsdbConfig::default()).unwrap();
+                    for (i, batch) in batches.iter().enumerate() {
+                        db.append_batch(batch);
+                        if checkpointed && i == batches.len() / 2 {
+                            db.checkpoint().unwrap();
+                        }
+                    }
+                    dir
+                },
+                |dir| Tsdb::open(&dir, opts, TsdbConfig::default()).unwrap(),
+            );
+        });
+    }
+    group.finish();
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+criterion_group!(benches, bench_wal_ingest, bench_wal_recovery);
+criterion_main!(benches);

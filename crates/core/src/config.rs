@@ -53,6 +53,15 @@ pub struct CeemsConfig {
     pub query_threads: usize,
     /// Capacity of the TSDB matcher-result posting cache; 0 disables it.
     pub posting_cache_size: usize,
+    /// WAL directory for the hot TSDB; `None` (default) keeps the head
+    /// purely in memory with no durability.
+    pub wal_dir: Option<String>,
+    /// WAL segment rotation size in bytes.
+    pub wal_segment_bytes: u64,
+    /// Seconds between WAL checkpoints (covered segments are GC'd).
+    pub wal_checkpoint_interval_s: f64,
+    /// WAL fsync policy: `always`, `batch`, or `never`.
+    pub wal_fsync: String,
 }
 
 impl Default for CeemsConfig {
@@ -73,6 +82,10 @@ impl Default for CeemsConfig {
             threads: 4,
             query_threads: 4,
             posting_cache_size: 128,
+            wal_dir: None,
+            wal_segment_bytes: 4 << 20,
+            wal_checkpoint_interval_s: 300.0,
+            wal_fsync: "batch".to_string(),
         }
     }
 }
@@ -116,6 +129,23 @@ impl CeemsConfig {
             }
             if let Some(v) = t.get("posting_cache_size").and_then(Yaml::as_i64) {
                 cfg.posting_cache_size = (v.max(0)) as usize;
+            }
+            if let Some(v) = t.get("wal_dir").and_then(Yaml::as_str) {
+                cfg.wal_dir = Some(v.to_string());
+            }
+            if let Some(v) = t.get("wal_segment_bytes").and_then(Yaml::as_i64) {
+                cfg.wal_segment_bytes = v.max(1) as u64;
+            }
+            if let Some(v) = t.get("wal_checkpoint_interval_s").and_then(Yaml::as_f64) {
+                cfg.wal_checkpoint_interval_s = v;
+            }
+            if let Some(v) = t.get("wal_fsync").and_then(Yaml::as_str) {
+                if ceems_tsdb::FsyncMode::parse(v).is_none() {
+                    return Err(format!(
+                        "bad tsdb.wal_fsync value {v:?} (expected always|batch|never)"
+                    ));
+                }
+                cfg.wal_fsync = v.to_string();
             }
         }
         if let Some(a) = doc.get("api_server") {

@@ -43,6 +43,8 @@ pub struct StackStats {
     pub updater_polls: u64,
     /// Jobs submitted by the churn generator.
     pub jobs_submitted: u64,
+    /// WAL checkpoints taken (0 unless `wal_dir` is configured).
+    pub wal_checkpoints: u64,
 }
 
 /// The assembled CEEMS deployment.
@@ -67,6 +69,7 @@ pub struct CeemsStack {
     last_scrape_ms: i64,
     last_rule_ms: i64,
     last_update_ms: i64,
+    last_checkpoint_ms: i64,
     stats: StackStats,
 }
 
@@ -145,11 +148,25 @@ impl CeemsStack {
         }
         let scrape_mgr = ScrapeManager::new(targets);
 
-        let tsdb = Arc::new(Tsdb::new(TsdbConfig {
+        let tsdb_config = TsdbConfig {
             query_threads: config.query_threads,
             posting_cache_size: config.posting_cache_size,
             ..TsdbConfig::default()
-        }));
+        };
+        let tsdb = Arc::new(match &config.wal_dir {
+            // Durable head: recover whatever a previous run logged, keep
+            // logging + checkpointing from here on.
+            Some(dir) => {
+                let opts = ceems_tsdb::WalOptions {
+                    segment_bytes: config.wal_segment_bytes,
+                    fsync: ceems_tsdb::FsyncMode::parse(&config.wal_fsync)
+                        .ok_or_else(|| format!("bad wal_fsync {:?}", config.wal_fsync))?,
+                };
+                Tsdb::open(std::path::Path::new(dir), opts, tsdb_config)
+                    .map_err(|e| format!("open WAL dir {dir:?}: {e}"))?
+            }
+            None => Tsdb::new(tsdb_config),
+        });
         let rule_engine = RuleEngine::new(all_rule_groups(
             &config.rule_window,
             (config.rule_interval_s * 1000.0) as i64,
@@ -198,6 +215,7 @@ impl CeemsStack {
             last_scrape_ms: i64::MIN / 2,
             last_rule_ms: i64::MIN / 2,
             last_update_ms: i64::MIN / 2,
+            last_checkpoint_ms: 0,
             stats: StackStats::default(),
         })
     }
@@ -264,6 +282,15 @@ impl CeemsStack {
             self.last_update_ms = now;
             if self.updater.lock().poll(now).is_ok() {
                 self.stats.updater_polls += 1;
+            }
+        }
+        if self.tsdb.wal_enabled()
+            && now - self.last_checkpoint_ms
+                >= (self.config.wal_checkpoint_interval_s * 1000.0) as i64
+        {
+            self.last_checkpoint_ms = now;
+            if self.tsdb.checkpoint().is_ok() {
+                self.stats.wal_checkpoints += 1;
             }
         }
     }

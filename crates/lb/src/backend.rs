@@ -14,6 +14,9 @@ pub struct Backend {
     healthy: AtomicBool,
     active: AtomicUsize,
     served: AtomicU64,
+    /// WAL records behind the most advanced replica at the last health
+    /// check (0 for leaders and non-WAL backends).
+    wal_lag: AtomicU64,
 }
 
 impl Backend {
@@ -25,6 +28,7 @@ impl Backend {
             healthy: AtomicBool::new(true),
             active: AtomicUsize::new(0),
             served: AtomicU64::new(0),
+            wal_lag: AtomicU64::new(0),
         })
     }
 
@@ -36,6 +40,12 @@ impl Backend {
     /// Sets the health flag.
     pub fn set_healthy(&self, ok: bool) {
         self.healthy.store(ok, Ordering::Relaxed);
+    }
+
+    /// WAL records this replica lagged behind the freshest one at the last
+    /// health check.
+    pub fn wal_lag(&self) -> u64 {
+        self.wal_lag.load(Ordering::Relaxed)
     }
 
     /// In-flight request count.
@@ -89,12 +99,29 @@ impl Strategy {
 pub struct BackendPool {
     backends: Vec<Arc<Backend>>,
     strategy: Strategy,
+    /// Demote replicas whose WAL record count trails the freshest replica
+    /// by more than this many records. `None` disables the staleness check
+    /// (plain responsiveness probing).
+    max_wal_lag: Option<u64>,
 }
 
 impl BackendPool {
     /// Creates a pool.
     pub fn new(backends: Vec<Arc<Backend>>, strategy: Strategy) -> BackendPool {
-        BackendPool { backends, strategy }
+        BackendPool {
+            backends,
+            strategy,
+            max_wal_lag: None,
+        }
+    }
+
+    /// Enables WAL-position staleness demotion: a replica answering probes
+    /// but lagging the freshest replica by more than `records` WAL records
+    /// is marked unhealthy (a frozen-but-responsive replica serves stale
+    /// `rate()`s, which silently corrupts energy totals).
+    pub fn with_max_wal_lag(mut self, records: u64) -> BackendPool {
+        self.max_wal_lag = Some(records);
+        self
     }
 
     /// All backends.
@@ -122,14 +149,51 @@ impl BackendPool {
     }
 
     /// Probes every backend's Prometheus API and updates health flags.
+    ///
+    /// A backend is healthy when it answers the labels probe — and, when
+    /// staleness demotion is enabled, when its reported WAL record count is
+    /// within `max_wal_lag` of the most advanced responsive replica. A 200
+    /// alone is not enough: a replica whose ingest froze keeps answering
+    /// queries with ever-staler data.
+    ///
     /// Returns the number of healthy backends.
     pub fn health_check(&self, client: &Client) -> usize {
-        let mut healthy = 0;
+        // Phase 1: responsiveness + WAL position probes.
+        let mut responsive: Vec<bool> = Vec::with_capacity(self.backends.len());
+        let mut wal_records: Vec<Option<u64>> = Vec::with_capacity(self.backends.len());
         for b in &self.backends {
             let ok = client
                 .get(&format!("{}/api/v1/labels", b.base_url))
                 .map(|r| r.status.is_success())
                 .unwrap_or(false);
+            responsive.push(ok);
+            let records = if ok && self.max_wal_lag.is_some() {
+                client
+                    .get(&format!("{}/api/v1/wal/position", b.base_url))
+                    .ok()
+                    .filter(|r| r.status.is_success())
+                    .and_then(|r| serde_json::from_slice::<serde_json::Value>(&r.body).ok())
+                    .filter(|v| v["data"]["walEnabled"] == serde_json::Value::Bool(true))
+                    .and_then(|v| v["data"]["records"].as_u64())
+            } else {
+                None
+            };
+            wal_records.push(records);
+        }
+
+        // Phase 2: staleness — lag is measured against the freshest
+        // responsive replica. Backends without a WAL report no position and
+        // are exempt (nothing to compare).
+        let freshest = wal_records.iter().flatten().copied().max().unwrap_or(0);
+        let mut healthy = 0;
+        for (i, b) in self.backends.iter().enumerate() {
+            let lag = wal_records[i].map_or(0, |r| freshest.saturating_sub(r));
+            b.wal_lag.store(lag, Ordering::Relaxed);
+            let fresh_enough = match self.max_wal_lag {
+                Some(max) => lag <= max,
+                None => true,
+            };
+            let ok = responsive[i] && fresh_enough;
             b.set_healthy(ok);
             if ok {
                 healthy += 1;
@@ -216,5 +280,63 @@ mod tests {
         let n = p.health_check(&Client::new());
         assert_eq!(n, 0);
         assert!(!p.backends()[0].is_healthy());
+    }
+
+    #[test]
+    fn frozen_replica_is_demoted_by_wal_staleness() {
+        use ceems_metrics::labels;
+        use ceems_tsdb::httpapi::api_router;
+        use ceems_tsdb::wal::{FsyncMode, WalOptions};
+        use ceems_tsdb::{Tsdb, TsdbConfig};
+        use std::sync::Arc;
+
+        let opts = WalOptions {
+            segment_bytes: 1 << 20,
+            fsync: FsyncMode::Never,
+        };
+        let serve = |tag: &str, records: i64| {
+            let dir = std::env::temp_dir()
+                .join(format!("ceems-lb-stale-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let db = Arc::new(Tsdb::open(&dir, opts, TsdbConfig::default()).unwrap());
+            for t in 0..records {
+                db.append(&labels! {"__name__" => "power"}, t * 1_000, 1.0);
+            }
+            let server = ceems_http::HttpServer::serve(
+                ceems_http::ServerConfig::ephemeral(),
+                api_router(db, Arc::new(|| 10_000_000)),
+            )
+            .unwrap();
+            (server, dir)
+        };
+        // The frozen replica still answers every probe with 200s — only its
+        // WAL position gives it away.
+        let (fresh, fresh_dir) = serve("fresh", 100);
+        let (frozen, frozen_dir) = serve("frozen", 10);
+
+        let backends = || {
+            vec![
+                Backend::new("fresh", fresh.base_url()),
+                Backend::new("frozen", frozen.base_url()),
+            ]
+        };
+        // Plain responsiveness probing: both look healthy (the old bug).
+        let plain = BackendPool::new(backends(), Strategy::round_robin());
+        assert_eq!(plain.health_check(&Client::new()), 2);
+
+        // With staleness demotion the frozen replica is dropped from rotation.
+        let strict =
+            BackendPool::new(backends(), Strategy::round_robin()).with_max_wal_lag(25);
+        assert_eq!(strict.health_check(&Client::new()), 1);
+        assert!(strict.backends()[0].is_healthy());
+        assert!(!strict.backends()[1].is_healthy());
+        assert_eq!(strict.backends()[0].wal_lag(), 0);
+        assert_eq!(strict.backends()[1].wal_lag(), 90);
+        assert_eq!(strict.pick().unwrap().id, "fresh");
+
+        fresh.shutdown();
+        frozen.shutdown();
+        let _ = std::fs::remove_dir_all(&fresh_dir);
+        let _ = std::fs::remove_dir_all(&frozen_dir);
     }
 }

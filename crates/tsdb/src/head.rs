@@ -182,6 +182,21 @@ impl Head {
         emptied
     }
 
+    /// Snapshot of every series' full sample list, sorted by id (the
+    /// checkpoint writer runs this with appenders gated out, so the result
+    /// is a consistent cut).
+    pub fn snapshot(&self) -> Vec<(SeriesId, Vec<Sample>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let map = shard.lock();
+            for (&id, s) in map.iter() {
+                out.push((id, s.samples_in(i64::MIN, i64::MAX)));
+            }
+        }
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
     /// Total samples held.
     pub fn sample_count(&self) -> u64 {
         self.shards

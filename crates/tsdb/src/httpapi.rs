@@ -208,6 +208,75 @@ pub fn api_router(db: Arc<Tsdb>, now: NowFn) -> Router {
         });
     }
 
+    // -- WAL endpoints (replica catch-up + staleness probes) ---------------
+
+    {
+        let db = db.clone();
+        router.get("/api/v1/wal/position", move |_req| {
+            let pos = db.reported_wal_position();
+            ok_json(json!({
+                "seq": pos.seq,
+                "offset": pos.offset,
+                "records": pos.records,
+                "walEnabled": db.wal_enabled(),
+            }))
+        });
+    }
+
+    {
+        let db = db.clone();
+        router.get("/api/v1/wal/segments", move |_req| {
+            match db.wal_segments() {
+                Ok(segs) => ok_json(json!(segs
+                    .iter()
+                    .map(|(seq, bytes)| json!({"seq": seq, "bytes": bytes}))
+                    .collect::<Vec<_>>())),
+                Err(e) => err_json(Status::NOT_FOUND, e.to_string()),
+            }
+        });
+    }
+
+    {
+        let db = db.clone();
+        router.get("/api/v1/wal/checkpoint", move |_req| {
+            match db.wal_checkpoint_bytes() {
+                Ok(Some((seq, bytes))) => Response::status(Status::OK)
+                    .with_header("content-type", "application/octet-stream")
+                    .with_header("x-wal-checkpoint-seq", seq.to_string())
+                    .with_body(bytes),
+                Ok(None) => err_json(Status::NOT_FOUND, "no checkpoint taken yet"),
+                Err(e) => err_json(Status::NOT_FOUND, e.to_string()),
+            }
+        });
+    }
+
+    {
+        let db = db.clone();
+        router.get("/api/v1/wal/fetch", move |req| {
+            let parse_u64 = |name: &str| -> Result<u64, String> {
+                match req.query_param(name) {
+                    Some(s) => s.parse().map_err(|_| format!("bad {name} parameter")),
+                    None => Ok(0),
+                }
+            };
+            let (seq, offset) = match (parse_u64("seq"), parse_u64("offset")) {
+                (Ok(s), Ok(o)) => (s, o),
+                (Err(e), _) | (_, Err(e)) => return err_json(Status::BAD_REQUEST, e),
+            };
+            let last_seq = db.wal_position().map(|p| p.seq).unwrap_or(0);
+            match db.read_wal_segment(seq, offset) {
+                Ok(Some(bytes)) => Response::status(Status::OK)
+                    .with_header("content-type", "application/octet-stream")
+                    .with_header("x-wal-seq", seq.to_string())
+                    .with_header("x-wal-last-seq", last_seq.to_string())
+                    .with_body(bytes),
+                // Gone: GC'd behind a checkpoint — the follower re-bootstraps.
+                Ok(None) => err_json(Status(410), format!("segment {seq} gone")),
+                Err(e) => err_json(Status::NOT_FOUND, e.to_string()),
+            }
+        });
+    }
+
     {
         let db = db.clone();
         router.post("/api/v1/admin/tsdb/delete_series", move |req| {

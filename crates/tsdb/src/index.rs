@@ -86,6 +86,65 @@ impl LabelIndex {
         id
     }
 
+    /// Registers a series under a fixed id during WAL or checkpoint replay,
+    /// so recovered ids match what logged `Samples` records reference.
+    /// No-op when the id already exists. Unlike [`Self::get_or_create`],
+    /// ids may arrive in any order (a follower bootstraps from a checkpoint
+    /// sorted by id, then replays creates in log order), so posting lists
+    /// insert at the sorted position instead of pushing.
+    pub fn insert_replayed(&mut self, id: SeriesId, labels: &LabelSet) {
+        if self.series.contains_key(&id) {
+            return;
+        }
+        self.generation += 1;
+        self.next_id = self.next_id.max(id + 1);
+        self.series.insert(id, Arc::new(labels.clone()));
+        self.by_fingerprint
+            .entry(labels.fingerprint())
+            .or_default()
+            .push(id);
+        for (k, v) in labels.iter() {
+            let list = self
+                .postings
+                .entry(k.to_string())
+                .or_default()
+                .entry(v.to_string())
+                .or_default();
+            if let Err(pos) = list.binary_search(&id) {
+                list.insert(pos, id);
+            }
+        }
+    }
+
+    /// Forces the generation counter (checkpoint restore: recovered caches
+    /// must invalidate against the same clock the pre-crash index used).
+    pub fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
+    }
+
+    /// The id the next created series would get.
+    pub fn next_id(&self) -> SeriesId {
+        self.next_id
+    }
+
+    /// Forces the next-id counter (checkpoint restore: tombstoned series may
+    /// have held ids above every live one).
+    pub fn set_next_id(&mut self, next_id: SeriesId) {
+        self.next_id = self.next_id.max(next_id);
+    }
+
+    /// Every live series as `(id, labels)`, sorted by id (checkpoint
+    /// snapshots iterate this).
+    pub fn all_series(&self) -> Vec<(SeriesId, Arc<LabelSet>)> {
+        let mut out: Vec<(SeriesId, Arc<LabelSet>)> = self
+            .series
+            .iter()
+            .map(|(&id, labels)| (id, Arc::clone(labels)))
+            .collect();
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
     /// Removes a series entirely (tombstone purge).
     pub fn remove(&mut self, id: SeriesId) {
         let Some(labels) = self.series.remove(&id) else {

@@ -23,6 +23,10 @@
 //! * [`longterm`] — Thanos-like: replication into a cold store, 5-minute
 //!   downsampling, fan-in queries across hot+cold.
 //! * [`httpapi`] — the Prometheus HTTP API subset Grafana / the LB speak.
+//! * [`wal`] — segmented write-ahead log + checkpoints: crash recovery via
+//!   [`storage::Tsdb::open`] (S16).
+//! * [`replica`] — follower catch-up: stream a leader's WAL over HTTP into
+//!   a local (optionally itself durable) TSDB.
 
 pub mod block;
 pub mod cache;
@@ -32,10 +36,13 @@ pub mod httpapi;
 pub mod index;
 pub mod longterm;
 pub mod promql;
+pub mod replica;
 pub mod rules;
 pub mod scrape;
 pub mod storage;
 pub mod types;
+pub mod wal;
 
 pub use storage::{Tsdb, TsdbConfig};
 pub use types::{Sample, SeriesData};
+pub use wal::{FsyncMode, WalOptions, WalPosition};

@@ -14,11 +14,21 @@ use super::{AggOp, BinOp, Expr, Grouping};
 pub trait Queryable: Send + Sync {
     /// Series matching `matchers` with samples in `[tmin, tmax]`.
     fn select(&self, matchers: &[LabelMatcher], tmin: i64, tmax: i64) -> Vec<SeriesData>;
+
+    /// Worker threads [`range_query`] may fan step evaluation out over.
+    /// `1` (the default) keeps evaluation on the calling thread.
+    fn query_threads(&self) -> usize {
+        1
+    }
 }
 
 impl Queryable for crate::storage::Tsdb {
     fn select(&self, matchers: &[LabelMatcher], tmin: i64, tmax: i64) -> Vec<SeriesData> {
         crate::storage::Tsdb::select(self, matchers, tmin, tmax)
+    }
+
+    fn query_threads(&self) -> usize {
+        crate::storage::Tsdb::query_threads(self)
     }
 }
 
@@ -83,8 +93,21 @@ pub fn instant_query_with_lookback(
     eval(&EvalCtx { db, lookback_ms }, expr, t_ms)
 }
 
+/// Below this many steps the thread fan-out costs more than it saves;
+/// evaluation stays on the calling thread.
+const PARALLEL_RANGE_MIN_STEPS: usize = 8;
+
 /// Evaluates an expression over `[start, end]` at `step` intervals,
 /// returning one series per result label set.
+///
+/// Each step is an independent instant evaluation, so steps fan out over
+/// [`Queryable::query_threads`] scoped workers when there are enough of
+/// them. Step results land in order-preserving slots and are merged on the
+/// calling thread in step order — the per-series accumulator maps stay
+/// thread-confined and the output (including first-seen series ordering and
+/// which error surfaces) is bit-for-bit identical to the serial walk.
+/// Workers mark themselves nested so their inner selects don't fan out
+/// again into `query_threads²` threads.
 pub fn range_query(
     db: &dyn Queryable,
     expr: &Expr,
@@ -95,15 +118,70 @@ pub fn range_query(
     if step_ms <= 0 {
         return Err(EvalError("step must be positive".into()));
     }
-    let mut acc: HashMap<LabelSet, Vec<Sample>> = HashMap::new();
-    let mut order: Vec<LabelSet> = Vec::new();
     let ctx = EvalCtx {
         db,
         lookback_ms: DEFAULT_LOOKBACK_MS,
     };
+    let mut steps: Vec<i64> = Vec::new();
     let mut t = start_ms;
     while t <= end_ms {
-        match eval(&ctx, expr, t)? {
+        steps.push(t);
+        t += step_ms;
+    }
+
+    let threads = db.query_threads().min(steps.len());
+    let results: Vec<Result<Value, EvalError>> = if threads <= 1
+        || steps.len() < PARALLEL_RANGE_MIN_STEPS
+        || crate::storage::is_nested_query_worker()
+    {
+        // Serial path: stop at the first error, exactly as the old walk did.
+        let mut out = Vec::with_capacity(steps.len());
+        for &t in &steps {
+            let r = eval(&ctx, expr, t);
+            let failed = r.is_err();
+            out.push(r);
+            if failed {
+                break;
+            }
+        }
+        out
+    } else {
+        let mut slots: Vec<Option<Result<Value, EvalError>>> =
+            steps.iter().map(|_| None).collect();
+        let filled: Vec<(usize, Result<Value, EvalError>)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let steps = &steps;
+                    let expr = &*expr;
+                    scope.spawn(move |_| {
+                        crate::storage::mark_nested_query_worker();
+                        steps
+                            .iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(threads)
+                            .map(|(i, &t)| (i, eval(&ctx, expr, t)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("range step worker panicked"))
+                .collect()
+        })
+        .expect("range step scope");
+        for (i, r) in filled {
+            slots[i] = Some(r);
+        }
+        slots.into_iter().map(|r| r.expect("slot filled")).collect()
+    };
+
+    // Merge on the calling thread, in step order.
+    let mut acc: HashMap<LabelSet, Vec<Sample>> = HashMap::new();
+    let mut order: Vec<LabelSet> = Vec::new();
+    for (&t, result) in steps.iter().zip(results) {
+        match result? {
             Value::Scalar(v) => {
                 let key = LabelSet::empty();
                 if !acc.contains_key(&key) {
@@ -125,7 +203,6 @@ pub fn range_query(
                 ))
             }
         }
-        t += step_ms;
     }
     Ok(order
         .into_iter()
@@ -912,5 +989,92 @@ mod quantile_tests {
         // No le label at all.
         let out = histogram_quantile(0.9, vec![(labels! {"x" => "1"}, 5.0)]);
         assert!(out.is_empty());
+    }
+
+    /// Parallel step evaluation must be bit-for-bit identical to the serial
+    /// walk: same step order, same series ordering (first-seen), same float
+    /// results, same error behaviour.
+    #[test]
+    fn parallel_range_query_matches_serial_exactly() {
+        use crate::storage::{Tsdb, TsdbConfig};
+
+        let fill = |db: &Tsdb| {
+            for i in 0..80i64 {
+                let t = i * 15_000;
+                for n in 0..7 {
+                    db.append(
+                        &labels! {"__name__" => "energy_joules_total", "instance" => format!("n{n}")},
+                        t,
+                        (i * (100 + n)) as f64,
+                    );
+                }
+                db.append(&labels! {"__name__" => "mem_bytes", "instance" => "n1"}, t, 0.1 * i as f64);
+            }
+            // A series that appears only late in the range: step results
+            // differ in series membership, exercising the merge ordering.
+            for i in 50..80i64 {
+                db.append(&labels! {"__name__" => "mem_bytes", "instance" => "late"}, i * 15_000, 7.0);
+            }
+        };
+        let serial = Tsdb::new(TsdbConfig {
+            query_threads: 1,
+            ..TsdbConfig::default()
+        });
+        let parallel = Tsdb::new(TsdbConfig {
+            query_threads: 8,
+            ..TsdbConfig::default()
+        });
+        fill(&serial);
+        fill(&parallel);
+        assert_eq!(serial.query_threads(), 1);
+        assert_eq!(parallel.query_threads(), 8);
+
+        for q in [
+            "rate(energy_joules_total[2m])",
+            "sum(rate(energy_joules_total[2m]))",
+            "mem_bytes",
+            "avg by (instance) (mem_bytes)",
+            "sum(energy_joules_total) / sum(mem_bytes)",
+            "42",
+        ] {
+            let expr = crate::promql::parse_expr(q).unwrap();
+            // Cover the serial fallbacks too: few steps (< the parallel
+            // threshold) and many steps (parallel on `parallel`).
+            for (start, end, step) in [(0, 60_000, 15_000), (0, 1_200_000, 15_000)] {
+                let a = range_query(&serial, &expr, start, end, step);
+                let b = range_query(&parallel, &expr, start, end, step);
+                // Bit-level float equality: NaN (e.g. 0/0 at the first
+                // step) must match NaN, and nothing laxer than exact bits
+                // counts as parity.
+                match (&a, &b) {
+                    (Ok(ma), Ok(mb)) => {
+                        assert_eq!(ma.len(), mb.len(), "{q}: series count diverged");
+                        for (sa, sb) in ma.iter().zip(mb) {
+                            assert_eq!(sa.labels, sb.labels, "{q}: ordering diverged");
+                            assert_eq!(sa.samples.len(), sb.samples.len());
+                            for (pa, pb) in sa.samples.iter().zip(&sb.samples) {
+                                assert_eq!(pa.t_ms, pb.t_ms);
+                                assert_eq!(
+                                    pa.v.to_bits(),
+                                    pb.v.to_bits(),
+                                    "{q} @ {}: float bits differ",
+                                    pa.t_ms
+                                );
+                            }
+                        }
+                    }
+                    (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+                    _ => panic!("{q} over {start}..{end}/{step}: ok/err diverged"),
+                }
+            }
+        }
+
+        // Errors propagate identically.
+        let bad = crate::promql::parse_expr("histogram_quantile(0.9, mem_bytes) + bogus{x=\"1\"}")
+            .unwrap();
+        assert_eq!(
+            range_query(&serial, &bad, 0, 1_200_000, 15_000),
+            range_query(&parallel, &bad, 0, 1_200_000, 15_000),
+        );
     }
 }

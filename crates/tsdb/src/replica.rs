@@ -1,0 +1,204 @@
+//! Replica catch-up: a follower TSDB streams a leader's WAL over HTTP.
+//!
+//! The leader serves its log through the [`crate::httpapi`] WAL endpoints;
+//! a [`WalFollower`] bootstraps from the newest checkpoint (when one
+//! exists), then tails segment bytes from its position, applying decoded
+//! records through [`crate::storage::Tsdb::apply_wal_records`] — so a
+//! follower with its own WAL directory is itself durable. After every
+//! apply the follower records the leader position it has reached; the
+//! load balancer compares that against the leader's to demote stale
+//! replicas.
+
+use std::fmt;
+use std::sync::Arc;
+
+use ceems_http::{Client, Status};
+
+use crate::storage::Tsdb;
+use crate::wal::{decode_frames, WalPosition};
+
+/// HTTP status the leader answers with when a requested segment was
+/// garbage-collected behind a checkpoint.
+pub const STATUS_GONE: Status = Status(410);
+
+/// Why following failed.
+#[derive(Debug)]
+pub enum FollowError {
+    /// Transport-level failure talking to the leader.
+    Http(String),
+    /// The leader answered, but unusably (no WAL, bad payload, or the
+    /// follower fell behind a GC horizon and must restart empty).
+    Leader(String),
+    /// Local I/O failure applying the stream.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FollowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FollowError::Http(e) => write!(f, "leader unreachable: {e}"),
+            FollowError::Leader(e) => write!(f, "leader error: {e}"),
+            FollowError::Io(e) => write!(f, "local apply failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FollowError {}
+
+/// Streams a leader's WAL into a local TSDB.
+pub struct WalFollower {
+    client: Client,
+    leader_base: String,
+    db: Arc<Tsdb>,
+    pos: WalPosition,
+}
+
+impl WalFollower {
+    /// Creates a follower of the leader at `leader_base_url` (no trailing
+    /// slash), starting from position zero. Call [`Self::bootstrap`] before
+    /// tailing so a checkpointed leader's GC'd history is recovered.
+    pub fn new(db: Arc<Tsdb>, leader_base_url: impl Into<String>) -> WalFollower {
+        WalFollower {
+            client: Client::new(),
+            leader_base: leader_base_url.into(),
+            db,
+            pos: WalPosition::default(),
+        }
+    }
+
+    /// The leader position this follower has applied up to.
+    pub fn position(&self) -> WalPosition {
+        self.pos
+    }
+
+    /// Asks the leader for its current position.
+    pub fn leader_position(&self) -> Result<WalPosition, FollowError> {
+        let url = format!("{}/api/v1/wal/position", self.leader_base);
+        let resp = self
+            .client
+            .get(&url)
+            .map_err(|e| FollowError::Http(e.to_string()))?;
+        if !resp.status.is_success() {
+            return Err(FollowError::Leader(format!(
+                "position probe returned {}",
+                resp.status.0
+            )));
+        }
+        let v: serde_json::Value = serde_json::from_slice(&resp.body)
+            .map_err(|e| FollowError::Leader(e.to_string()))?;
+        let data = &v["data"];
+        if data["walEnabled"] != serde_json::Value::Bool(true) {
+            return Err(FollowError::Leader("leader has no WAL attached".into()));
+        }
+        Ok(WalPosition {
+            seq: data["seq"].as_u64().unwrap_or(0),
+            offset: data["offset"].as_u64().unwrap_or(0),
+            records: data["records"].as_u64().unwrap_or(0),
+        })
+    }
+
+    /// Initializes an empty follower: loads the leader's newest checkpoint
+    /// if it has one (recovering history whose segments were GC'd), else
+    /// starts tailing from the leader's oldest segment.
+    pub fn bootstrap(&mut self) -> Result<(), FollowError> {
+        let url = format!("{}/api/v1/wal/checkpoint", self.leader_base);
+        let resp = self
+            .client
+            .get(&url)
+            .map_err(|e| FollowError::Http(e.to_string()))?;
+        if resp.status.is_success() {
+            self.pos = self
+                .db
+                .load_checkpoint_bytes(&resp.body)
+                .map_err(FollowError::Io)?;
+        } else if resp.status == Status::NOT_FOUND {
+            self.pos = WalPosition::default();
+        } else {
+            return Err(FollowError::Leader(format!(
+                "checkpoint fetch returned {}",
+                resp.status.0
+            )));
+        }
+        self.db.set_upstream_wal_position(self.pos);
+        Ok(())
+    }
+
+    /// Fetches and applies one chunk of WAL from the current position.
+    /// Returns the number of records applied (0 when the follower is at the
+    /// leader's tip, or when it raced a partially-written frame — retry).
+    pub fn poll_once(&mut self) -> Result<u64, FollowError> {
+        let url = format!(
+            "{}/api/v1/wal/fetch?seq={}&offset={}",
+            self.leader_base, self.pos.seq, self.pos.offset
+        );
+        let resp = self
+            .client
+            .get(&url)
+            .map_err(|e| FollowError::Http(e.to_string()))?;
+        if resp.status == STATUS_GONE {
+            // The leader checkpointed past us; our partial state cannot be
+            // reconciled record-by-record. Operators restart the follower
+            // with an empty database, which re-bootstraps from the
+            // checkpoint.
+            return Err(FollowError::Leader(format!(
+                "segment {} was garbage-collected; follower must re-sync from empty",
+                self.pos.seq
+            )));
+        }
+        if !resp.status.is_success() {
+            return Err(FollowError::Leader(format!(
+                "fetch returned {}",
+                resp.status.0
+            )));
+        }
+        let last_seq: u64 = resp
+            .header("x-wal-last-seq")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(self.pos.seq);
+
+        let (records, consumed) = decode_frames(&resp.body);
+        let applied = records.len() as u64;
+        if applied > 0 {
+            self.db.apply_wal_records(&records);
+            self.pos.offset += consumed as u64;
+            self.pos.records += applied;
+            self.db.set_upstream_wal_position(self.pos);
+        } else if resp.body.is_empty() && last_seq > self.pos.seq {
+            // Drained this segment and the leader has rotated: move on.
+            self.pos.seq += 1;
+            self.pos.offset = 0;
+            self.db.set_upstream_wal_position(self.pos);
+        }
+        Ok(applied)
+    }
+
+    /// Polls until the follower has applied at least as many records as the
+    /// leader had logged when the loop iteration asked. Returns the total
+    /// records applied. Errors out after `max_stalls` consecutive polls
+    /// with no progress while still behind.
+    pub fn catch_up(&mut self, max_stalls: u32) -> Result<u64, FollowError> {
+        let mut total = 0u64;
+        let mut stalls = 0u32;
+        loop {
+            let target = self.leader_position()?;
+            if self.pos.records >= target.records {
+                return Ok(total);
+            }
+            let pos_before = self.pos;
+            let applied = self.poll_once()?;
+            total += applied;
+            if applied == 0 && self.pos == pos_before {
+                stalls += 1;
+                if stalls > max_stalls {
+                    return Err(FollowError::Leader(format!(
+                        "no progress after {max_stalls} polls at {:?} (leader at {:?})",
+                        self.pos, target
+                    )));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            } else {
+                stalls = 0;
+            }
+        }
+    }
+}

@@ -150,7 +150,9 @@ fn scrape_target(
         }
     };
     let parsed = parse_text(&body).map_err(|e| e.to_string())?;
-    let mut n = 0;
+    // One target pass becomes one batch: with a WAL attached this is one
+    // group commit (one writer lock + one flush) instead of one per sample.
+    let mut batch = Vec::with_capacity(parsed.samples.len());
     for s in parsed.samples {
         let mut b = LabelSetBuilder::from(s.labels)
             .label(METRIC_NAME_LABEL, &s.name)
@@ -159,9 +161,10 @@ fn scrape_target(
         for (k, v) in &target.extra_labels {
             b = b.label(k, v);
         }
-        db.append(&b.build(), s.timestamp_ms.unwrap_or(now_ms), s.value);
-        n += 1;
+        batch.push((b.build(), s.timestamp_ms.unwrap_or(now_ms), s.value));
     }
+    let n = batch.len() as u64;
+    db.append_batch(&batch);
     ingest_up(db, target, now_ms, 1.0);
     Ok(n)
 }

@@ -9,10 +9,13 @@
 
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 
 use ceems_metrics::labels::LabelSet;
 use ceems_metrics::matcher::LabelMatcher;
@@ -21,6 +24,7 @@ use crate::cache::{cache_key, CacheStats, ShardedPostingCache};
 use crate::head::Head;
 use crate::index::LabelIndex;
 use crate::types::{Sample, SeriesData, SeriesId};
+use crate::wal::{self, Checkpoint, Wal, WalOptions, WalPosition, WalRecord};
 
 /// Below this many resolved series the thread fan-out costs more than it
 /// saves; materialization stays on the calling thread.
@@ -40,7 +44,7 @@ pub(crate) fn mark_nested_query_worker() {
     NESTED_QUERY_WORKER.with(|f| f.set(true));
 }
 
-fn is_nested_query_worker() -> bool {
+pub(crate) fn is_nested_query_worker() -> bool {
     NESTED_QUERY_WORKER.with(|f| f.get())
 }
 
@@ -92,6 +96,22 @@ impl LabelsCache {
     }
 }
 
+/// WAL attachment of a durable TSDB: the writer, its directory, and the
+/// checkpoint gate.
+struct WalState {
+    dir: PathBuf,
+    /// The segmented writer. One [`Wal::log`] call under this lock is one
+    /// group commit.
+    wal: Mutex<Wal>,
+    /// Appenders hold `read` across (log record → apply to head) so the
+    /// checkpointer, holding `write`, can never snapshot a state where a
+    /// record is logged but not yet applied (or vice versa).
+    gate: RwLock<()>,
+    /// WAL write failures (the database keeps serving; durability is
+    /// degraded and the counter surfaces it).
+    errors: AtomicU64,
+}
+
 /// The time series database.
 pub struct Tsdb {
     index: RwLock<LabelIndex>,
@@ -101,6 +121,11 @@ pub struct Tsdb {
     labels_cache: RwLock<LabelsCache>,
     appended: AtomicU64,
     out_of_order: AtomicU64,
+    /// Durability attachment; `None` for the in-memory-only database.
+    wal: Option<WalState>,
+    /// A follower's view of the leader position it has applied up to;
+    /// reported to the LB in place of the local WAL position.
+    upstream_pos: Mutex<Option<WalPosition>>,
 }
 
 impl Default for Tsdb {
@@ -110,7 +135,7 @@ impl Default for Tsdb {
 }
 
 impl Tsdb {
-    /// Creates an empty TSDB.
+    /// Creates an empty in-memory TSDB (no WAL).
     pub fn new(config: TsdbConfig) -> Tsdb {
         Tsdb {
             index: RwLock::new(LabelIndex::new()),
@@ -120,34 +145,210 @@ impl Tsdb {
             config,
             appended: AtomicU64::new(0),
             out_of_order: AtomicU64::new(0),
+            wal: None,
+            upstream_pos: Mutex::new(None),
+        }
+    }
+
+    /// Opens (or creates) a durable TSDB backed by a WAL directory.
+    ///
+    /// Recovery loads the newest valid checkpoint, replays every segment at
+    /// or after the sequence it covers, truncates a torn tail if the last
+    /// write was interrupted, and attaches the writer at the replay end —
+    /// head, index (including ids, generation, and tombstone effects), and
+    /// counters come back exactly as they were.
+    pub fn open(dir: impl AsRef<Path>, opts: WalOptions, config: TsdbConfig) -> io::Result<Tsdb> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let mut db = Tsdb::new(config);
+
+        let mut start_seq = 0u64;
+        let mut records = 0u64;
+        if let Some(ckpt) = wal::load_latest_checkpoint(dir)? {
+            start_seq = ckpt.covers_seq;
+            records = ckpt.records;
+            let mut idx = db.index.write();
+            for (id, labels, samples) in &ckpt.series {
+                idx.insert_replayed(*id, labels);
+                for s in samples {
+                    let _ = db.head.append(*id, *s);
+                }
+            }
+            idx.set_next_id(ckpt.next_id);
+            idx.set_generation(ckpt.generation);
+            drop(idx);
+            db.appended.store(ckpt.appended, Ordering::Relaxed);
+            db.out_of_order.store(ckpt.out_of_order, Ordering::Relaxed);
+        }
+
+        // Replay tail segments. A torn frame stops replay: the segment is
+        // truncated to its valid prefix and anything after it discarded, so
+        // the writer resumes on a clean frame boundary.
+        let segments = wal::list_segments(dir)?;
+        let mut end = (start_seq, 0u64);
+        let mut torn: Option<u64> = None;
+        for (seq, path) in &segments {
+            if *seq < start_seq {
+                continue;
+            }
+            let data = fs::read(path)?;
+            let (recs, consumed) = wal::decode_frames(&data);
+            for rec in &recs {
+                db.apply_record(rec);
+            }
+            records += recs.len() as u64;
+            end = (*seq, consumed as u64);
+            if consumed < data.len() {
+                torn = Some(*seq);
+                break;
+            }
+        }
+        if let Some(torn_seq) = torn {
+            for (seq, path) in &segments {
+                if *seq > torn_seq {
+                    fs::remove_file(path)?;
+                }
+            }
+        }
+
+        let writer = Wal::open_at(dir, opts, end.0, end.1, records)?;
+        db.wal = Some(WalState {
+            dir: dir.to_path_buf(),
+            wal: Mutex::new(writer),
+            gate: RwLock::new(()),
+            errors: AtomicU64::new(0),
+        });
+        Ok(db)
+    }
+
+    /// Holds appenders and the checkpointer apart; `None` when no WAL is
+    /// attached (nothing to coordinate with).
+    fn wal_gate_read(&self) -> Option<RwLockReadGuard<'_, ()>> {
+        self.wal.as_ref().map(|w| w.gate.read())
+    }
+
+    /// Exclusive gate hold: used by structural mutations (delete, retention)
+    /// and the checkpointer so no append is mid-flight while they run —
+    /// WAL log order then equals head apply order exactly.
+    fn wal_gate_write(&self) -> Option<parking_lot::RwLockWriteGuard<'_, ()>> {
+        self.wal.as_ref().map(|w| w.gate.write())
+    }
+
+    /// Logs records to the WAL if one is attached. Write errors are counted
+    /// and swallowed: ingest availability beats durability here, and the
+    /// error counter lets operators alarm on it.
+    fn log_wal(&self, recs: &[WalRecord]) {
+        if let Some(ws) = &self.wal {
+            if ws.wal.lock().log(recs).is_err() {
+                ws.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Resolves a label set to its series id, creating (and WAL-logging the
+    /// creation of) the series on first sight. The create record is logged
+    /// *inside* the index write-lock critical section so no concurrent
+    /// appender can log samples for an id before its create record.
+    fn resolve_or_create_id(&self, labels: &LabelSet) -> SeriesId {
+        // Hash the label set once; both the read-path lookup and the
+        // slow-path create reuse the fingerprint.
+        let fp = labels.fingerprint();
+        if let Some(id) = self.index.read().lookup_with_fingerprint(labels, fp) {
+            return id;
+        }
+        let mut idx = self.index.write();
+        if let Some(id) = idx.lookup_with_fingerprint(labels, fp) {
+            return id; // lost the create race; the winner logged it
+        }
+        let id = idx.get_or_create_with_fingerprint(labels, fp);
+        self.log_wal(&[WalRecord::SeriesCreate {
+            id,
+            labels: labels.clone(),
+        }]);
+        id
+    }
+
+    /// Applies resolved samples to the head, maintaining the counters.
+    fn apply_samples(&self, samples: &[(SeriesId, i64, f64)]) {
+        for &(id, t_ms, v) in samples {
+            match self.head.append(id, Sample::new(t_ms, v)) {
+                Ok(()) => {
+                    self.appended.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    self.out_of_order.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
 
     /// Appends one sample for a label set (the set must include
     /// `__name__`). Out-of-order samples are counted and dropped.
     pub fn append(&self, labels: &LabelSet, t_ms: i64, v: f64) {
-        // Hash the label set once; both the read-path lookup and the
-        // slow-path create reuse the fingerprint.
-        let fp = labels.fingerprint();
-        let id = {
-            // Fast path: read lock for existing series.
-            let idx = self.index.read();
-            idx.lookup_with_fingerprint(labels, fp)
+        let _gate = self.wal_gate_read();
+        let id = self.resolve_or_create_id(labels);
+        if self.wal.is_some() {
+            self.log_wal(&[WalRecord::Samples(vec![(id, t_ms, v)])]);
+        }
+        self.apply_samples(&[(id, t_ms, v)]);
+    }
+
+    /// Appends a batch of samples as one group commit: every series id is
+    /// resolved, then the whole batch becomes a single WAL record — one
+    /// writer lock, one `write`, at most one fsync — before being applied
+    /// to the head. The scrape path logs one batch per target pass.
+    pub fn append_batch(&self, batch: &[(LabelSet, i64, f64)]) {
+        if batch.is_empty() {
+            return;
+        }
+        let _gate = self.wal_gate_read();
+        let samples: Vec<(SeriesId, i64, f64)> = batch
+            .iter()
+            .map(|(labels, t_ms, v)| (self.resolve_or_create_id(labels), *t_ms, *v))
+            .collect();
+        let rec = WalRecord::Samples(samples);
+        self.log_wal(std::slice::from_ref(&rec));
+        let WalRecord::Samples(samples) = rec else {
+            unreachable!()
         };
-        let id = match id {
-            Some(id) => id,
-            None => self
-                .index
-                .write()
-                .get_or_create_with_fingerprint(labels, fp),
-        };
-        match self.head.append(id, Sample::new(t_ms, v)) {
-            Ok(()) => {
-                self.appended.fetch_add(1, Ordering::Relaxed);
+        self.apply_samples(&samples);
+    }
+
+    /// Applies one replayed/streamed record without logging it (recovery).
+    fn apply_record(&self, rec: &WalRecord) {
+        match rec {
+            WalRecord::SeriesCreate { id, labels } => {
+                self.index.write().insert_replayed(*id, labels);
             }
-            Err(_) => {
-                self.out_of_order.fetch_add(1, Ordering::Relaxed);
+            WalRecord::Samples(samples) => self.apply_samples(samples),
+            WalRecord::Tombstone(ids) => {
+                let mut idx = self.index.write();
+                for &id in ids {
+                    self.head.remove(id);
+                    idx.remove(id);
+                }
             }
+            WalRecord::Retention { cutoff_ms } => {
+                let emptied = self.head.drop_before(*cutoff_ms);
+                let mut idx = self.index.write();
+                for &id in &emptied {
+                    idx.remove(id);
+                }
+            }
+        }
+    }
+
+    /// Applies records streamed from a leader (replica catch-up). They are
+    /// logged to the local WAL first when one is attached, so a follower is
+    /// itself durable and can serve further followers.
+    pub fn apply_wal_records(&self, recs: &[WalRecord]) {
+        if recs.is_empty() {
+            return;
+        }
+        let _gate = self.wal_gate_read();
+        self.log_wal(recs);
+        for rec in recs {
+            self.apply_record(rec);
         }
     }
 
@@ -276,8 +477,14 @@ impl Tsdb {
     /// CEEMS removes metrics of workloads shorter than a cutoff).
     /// Returns how many series were deleted.
     pub fn delete_series(&self, matchers: &[LabelMatcher]) -> usize {
+        let _gate = self.wal_gate_write();
         let mut idx = self.index.write();
         let ids = idx.select(matchers);
+        if !ids.is_empty() && self.wal.is_some() {
+            // Logged under the index write lock: no appender can interleave
+            // a create/sample record for these ids before the tombstone.
+            self.log_wal(&[WalRecord::Tombstone(ids.clone())]);
+        }
         for &id in &ids {
             self.head.remove(id);
             idx.remove(id);
@@ -289,6 +496,10 @@ impl Tsdb {
     /// empty. Returns the number of series removed.
     pub fn enforce_retention(&self, now_ms: i64) -> usize {
         let cutoff = now_ms - self.config.retention_ms;
+        let _gate = self.wal_gate_write();
+        if self.wal.is_some() {
+            self.log_wal(&[WalRecord::Retention { cutoff_ms: cutoff }]);
+        }
         let emptied = self.head.drop_before(cutoff);
         let mut idx = self.index.write();
         for &id in &emptied {
@@ -372,6 +583,171 @@ impl Tsdb {
     /// Approximate compressed bytes held in the head.
     pub fn storage_bytes(&self) -> usize {
         self.head.byte_len()
+    }
+
+    /// Configured select/eval worker count (the PromQL engine fans range
+    /// steps out over the same budget).
+    pub fn query_threads(&self) -> usize {
+        self.config.query_threads
+    }
+
+    // -- WAL / durability ---------------------------------------------------
+
+    /// Whether a WAL is attached.
+    pub fn wal_enabled(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// WAL write failures since open (0 when no WAL).
+    pub fn wal_errors(&self) -> u64 {
+        self.wal
+            .as_ref()
+            .map_or(0, |w| w.errors.load(Ordering::Relaxed))
+    }
+
+    /// The local writer's position, if a WAL is attached.
+    pub fn wal_position(&self) -> Option<WalPosition> {
+        self.wal.as_ref().map(|w| w.wal.lock().position())
+    }
+
+    /// Records the leader position this follower has applied up to; from
+    /// then on [`Self::reported_wal_position`] reports it instead of the
+    /// local writer's position (whose segment layout differs).
+    pub fn set_upstream_wal_position(&self, pos: WalPosition) {
+        *self.upstream_pos.lock() = Some(pos);
+    }
+
+    /// The position health checks compare across replicas: the upstream
+    /// position a follower has applied up to, else the local WAL position,
+    /// else zeros.
+    pub fn reported_wal_position(&self) -> WalPosition {
+        if let Some(pos) = *self.upstream_pos.lock() {
+            return pos;
+        }
+        self.wal_position().unwrap_or_default()
+    }
+
+    /// Takes a checkpoint: rotates the log, snapshots every live series
+    /// plus the index clocks under the gate (no append can be mid-flight),
+    /// writes the checkpoint durably, and garbage-collects covered segments
+    /// and older checkpoints. Returns the covered sequence number.
+    pub fn checkpoint(&self) -> io::Result<u64> {
+        let ws = self.wal.as_ref().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::Unsupported, "checkpoint requires a WAL")
+        })?;
+        let _gate = ws.gate.write();
+        let (covers_seq, records) = {
+            let mut w = ws.wal.lock();
+            (w.rotate()?, w.position().records)
+        };
+
+        let idx = self.index.read();
+        let mut by_id: HashMap<SeriesId, Vec<Sample>> = self.head.snapshot().into_iter().collect();
+        // Drive off the index: a registered series with no head store yet
+        // still checkpoints (with no samples), and orphan head entries for
+        // unregistered ids are skipped — queries can't see either state
+        // differently, and the restored index matches exactly.
+        let series: Vec<(SeriesId, LabelSet, Vec<Sample>)> = idx
+            .all_series()
+            .into_iter()
+            .map(|(id, labels)| (id, (*labels).clone(), by_id.remove(&id).unwrap_or_default()))
+            .collect();
+        let ckpt = Checkpoint {
+            covers_seq,
+            generation: idx.generation(),
+            next_id: idx.next_id(),
+            appended: self.appended.load(Ordering::Relaxed),
+            out_of_order: self.out_of_order.load(Ordering::Relaxed),
+            records,
+            series,
+        };
+        drop(idx);
+
+        wal::write_checkpoint(&ws.dir, &ckpt)?;
+        wal::gc_covered(&ws.dir, covers_seq)?;
+        Ok(covers_seq)
+    }
+
+    /// On-disk WAL segments as `(seq, bytes)`, oldest first.
+    pub fn wal_segments(&self) -> io::Result<Vec<(u64, u64)>> {
+        let ws = self
+            .wal
+            .as_ref()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::Unsupported, "no WAL attached"))?;
+        let mut out = Vec::new();
+        for (seq, path) in wal::list_segments(&ws.dir)? {
+            out.push((seq, fs::metadata(&path)?.len()));
+        }
+        Ok(out)
+    }
+
+    /// Reads segment `seq` from byte `offset` for a catching-up follower.
+    /// `Ok(None)` means the segment no longer exists (garbage-collected
+    /// behind a checkpoint — the follower must re-bootstrap). The bytes may
+    /// end mid-frame if the writer is racing; [`wal::decode_frames`]
+    /// handles that.
+    pub fn read_wal_segment(&self, seq: u64, offset: u64) -> io::Result<Option<Vec<u8>>> {
+        let ws = self
+            .wal
+            .as_ref()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::Unsupported, "no WAL attached"))?;
+        let path = ws.dir.join(wal::segment_file_name(seq));
+        let data = match fs::read(&path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Ok(Some(
+            data.get(offset as usize..).map(<[u8]>::to_vec).unwrap_or_default(),
+        ))
+    }
+
+    /// The newest checkpoint file as raw bytes plus the sequence it covers
+    /// (follower bootstrap payload). `Ok(None)` when none was taken yet.
+    pub fn wal_checkpoint_bytes(&self) -> io::Result<Option<(u64, Vec<u8>)>> {
+        let ws = self
+            .wal
+            .as_ref()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::Unsupported, "no WAL attached"))?;
+        for (seq, path) in wal::list_checkpoints(&ws.dir)?.into_iter().rev() {
+            let bytes = fs::read(&path)?;
+            if wal::decode_checkpoint(&bytes).is_some() {
+                return Ok(Some((seq, bytes)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Loads a leader's checkpoint into this (empty) database by converting
+    /// it into a record stream — a follower bootstrapping this way is
+    /// itself durable when it has its own WAL. Returns the position the
+    /// checkpoint corresponds to in the leader's log.
+    pub fn load_checkpoint_bytes(&self, bytes: &[u8]) -> io::Result<WalPosition> {
+        let ckpt = wal::decode_checkpoint(bytes)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "corrupt checkpoint"))?;
+        if self.series_count() > 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "checkpoint bootstrap requires an empty database",
+            ));
+        }
+        for (id, labels, samples) in &ckpt.series {
+            let mut recs = vec![WalRecord::SeriesCreate {
+                id: *id,
+                labels: labels.clone(),
+            }];
+            for chunk in samples.chunks(wal::BOOTSTRAP_BATCH) {
+                recs.push(WalRecord::Samples(
+                    chunk.iter().map(|s| (*id, s.t_ms, s.v)).collect(),
+                ));
+            }
+            self.apply_wal_records(&recs);
+        }
+        Ok(WalPosition {
+            seq: ckpt.covers_seq,
+            offset: 0,
+            records: ckpt.records,
+        })
     }
 }
 

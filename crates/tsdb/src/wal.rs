@@ -1,0 +1,840 @@
+//! Segmented write-ahead log + checkpoints (S16 in `DESIGN.md`).
+//!
+//! The hot TSDB head is purely in-memory; this module gives it a durability
+//! and replication substrate, the same shape Prometheus' own WAL has:
+//!
+//! * **Records** ([`WalRecord`]) — series creations, sample batches,
+//!   tombstones, retention cutoffs — encoded compactly (varints, zigzag
+//!   deltas) and framed with a length + CRC32 header so a torn tail is
+//!   detected, never misread.
+//! * **Segments** — append-only `wal-<seq>.seg` files rotated by size. A
+//!   scrape batch is logged as *one* record through a group-commit buffer:
+//!   one lock, one `write`, at most one fsync per batch.
+//! * **Checkpoints** — `checkpoint-<seq>.ckpt` files summarizing all live
+//!   series at a rotation boundary, written tmp+rename. Recovery loads the
+//!   newest valid checkpoint and replays only the segments after it;
+//!   covered segments and older checkpoints are garbage-collected.
+//! * **Positions** ([`WalPosition`]) — `(segment, byte offset, record
+//!   count)` triples; followers stream segment bytes from a position, and
+//!   the load balancer compares record counts as a staleness signal.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use ceems_metrics::labels::LabelSet;
+
+use crate::types::{Sample, SeriesId};
+
+/// Largest frame payload [`decode_frames`] accepts; anything bigger is
+/// treated as corruption (a real record is a few MB at most).
+const MAX_FRAME_LEN: u32 = 1 << 30;
+
+/// Samples per synthetic `Samples` record when a checkpoint is converted
+/// into a record stream for follower bootstrap.
+pub const BOOTSTRAP_BATCH: usize = 8_192;
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE), table-driven
+// ---------------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC32 (IEEE 802.3) of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Varint / zigzag primitives
+// ---------------------------------------------------------------------------
+
+fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+fn put_ivarint(out: &mut Vec<u8>, v: i64) {
+    put_uvarint(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_uvarint(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+/// Bounds-checked reader over an encoded payload. Every accessor returns
+/// `None` past the end instead of panicking — decoding corrupt bytes must
+/// degrade to "torn record", never crash recovery.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.buf.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn uvarint(&mut self) -> Option<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift >= 64 {
+                return None;
+            }
+            v |= ((b & 0x7F) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Some(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn ivarint(&mut self) -> Option<i64> {
+        let u = self.uvarint()?;
+        Some(((u >> 1) as i64) ^ -((u & 1) as i64))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        let end = self.pos.checked_add(8)?;
+        let bytes: [u8; 8] = self.buf.get(self.pos..end)?.try_into().ok()?;
+        self.pos = end;
+        Some(f64::from_le_bytes(bytes))
+    }
+
+    fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.uvarint()? as usize;
+        let end = self.pos.checked_add(len)?;
+        let b = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(b)
+    }
+
+    fn string(&mut self) -> Option<String> {
+        std::str::from_utf8(self.bytes()?).ok().map(str::to_string)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+const TAG_SERIES_CREATE: u8 = 1;
+const TAG_SAMPLES: u8 = 2;
+const TAG_TOMBSTONE: u8 = 3;
+const TAG_RETENTION: u8 = 4;
+
+/// One durable event in the WAL. Replaying the record stream from an empty
+/// database reconstructs the head and index exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A new series was registered under `id`. Always logged before any
+    /// `Samples` record referencing the id (enforced by logging inside the
+    /// index write-lock critical section).
+    SeriesCreate {
+        /// The id the index assigned.
+        id: SeriesId,
+        /// The full label set of the series.
+        labels: LabelSet,
+    },
+    /// A batch of samples, `(series id, timestamp ms, value)`. One scrape
+    /// pass over a target becomes one record (the group commit).
+    Samples(Vec<(SeriesId, i64, f64)>),
+    /// Series deleted by the §II.C cardinality cleanup.
+    Tombstone(Vec<SeriesId>),
+    /// A retention sweep dropped chunks ending before `cutoff_ms`.
+    Retention {
+        /// The cutoff the sweep ran with.
+        cutoff_ms: i64,
+    },
+}
+
+/// Appends one length+CRC framed record to `out`.
+///
+/// Frame layout: `[payload len: u32 LE][crc32(payload): u32 LE][payload]`.
+pub fn encode_record(out: &mut Vec<u8>, rec: &WalRecord) {
+    let mut payload = Vec::with_capacity(64);
+    match rec {
+        WalRecord::SeriesCreate { id, labels } => {
+            payload.push(TAG_SERIES_CREATE);
+            put_uvarint(&mut payload, *id);
+            put_uvarint(&mut payload, labels.len() as u64);
+            for (k, v) in labels.iter() {
+                put_bytes(&mut payload, k.as_bytes());
+                put_bytes(&mut payload, v.as_bytes());
+            }
+        }
+        WalRecord::Samples(samples) => {
+            payload.push(TAG_SAMPLES);
+            put_uvarint(&mut payload, samples.len() as u64);
+            // Ids and timestamps are delta-encoded against the previous
+            // sample: a scrape batch shares one timestamp and ascends in
+            // id, so both deltas are tiny.
+            let (mut prev_id, mut prev_t) = (0i64, 0i64);
+            for &(id, t, v) in samples {
+                put_ivarint(&mut payload, id as i64 - prev_id);
+                put_ivarint(&mut payload, t - prev_t);
+                payload.extend_from_slice(&v.to_le_bytes());
+                prev_id = id as i64;
+                prev_t = t;
+            }
+        }
+        WalRecord::Tombstone(ids) => {
+            payload.push(TAG_TOMBSTONE);
+            put_uvarint(&mut payload, ids.len() as u64);
+            let mut prev = 0i64;
+            for &id in ids {
+                put_ivarint(&mut payload, id as i64 - prev);
+                prev = id as i64;
+            }
+        }
+        WalRecord::Retention { cutoff_ms } => {
+            payload.push(TAG_RETENTION);
+            put_ivarint(&mut payload, *cutoff_ms);
+        }
+    }
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+}
+
+fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+    let mut r = Reader::new(payload);
+    let rec = match r.u8()? {
+        TAG_SERIES_CREATE => {
+            let id = r.uvarint()?;
+            let n = r.uvarint()? as usize;
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = r.string()?;
+                let v = r.string()?;
+                pairs.push((k, v));
+            }
+            WalRecord::SeriesCreate {
+                id,
+                labels: LabelSet::from_pairs(pairs),
+            }
+        }
+        TAG_SAMPLES => {
+            let n = r.uvarint()? as usize;
+            let mut samples = Vec::with_capacity(n.min(1 << 20));
+            let (mut prev_id, mut prev_t) = (0i64, 0i64);
+            for _ in 0..n {
+                let id = prev_id.checked_add(r.ivarint()?)?;
+                let t = prev_t.checked_add(r.ivarint()?)?;
+                let v = r.f64()?;
+                if id < 0 {
+                    return None;
+                }
+                samples.push((id as SeriesId, t, v));
+                prev_id = id;
+                prev_t = t;
+            }
+            WalRecord::Samples(samples)
+        }
+        TAG_TOMBSTONE => {
+            let n = r.uvarint()? as usize;
+            let mut ids = Vec::with_capacity(n.min(1 << 20));
+            let mut prev = 0i64;
+            for _ in 0..n {
+                let id = prev.checked_add(r.ivarint()?)?;
+                if id < 0 {
+                    return None;
+                }
+                ids.push(id as SeriesId);
+                prev = id;
+            }
+            WalRecord::Tombstone(ids)
+        }
+        TAG_RETENTION => WalRecord::Retention {
+            cutoff_ms: r.ivarint()?,
+        },
+        _ => return None,
+    };
+    r.done().then_some(rec)
+}
+
+/// Decodes consecutive frames from `buf`, stopping at the first incomplete
+/// or corrupt frame (the torn tail a crash leaves). Returns the decoded
+/// records and how many bytes of `buf` they cleanly consumed — the caller
+/// truncates (recovery) or retries from there (a follower racing the
+/// leader's writer).
+pub fn decode_frames(buf: &[u8]) -> (Vec<WalRecord>, usize) {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while buf.len() - pos >= 8 {
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            break;
+        }
+        let (start, end) = (pos + 8, pos + 8 + len as usize);
+        if end > buf.len() {
+            break;
+        }
+        let payload = &buf[start..end];
+        if crc32(payload) != crc {
+            break;
+        }
+        match decode_payload(payload) {
+            Some(rec) => out.push(rec),
+            None => break,
+        }
+        pos = end;
+    }
+    (out, pos)
+}
+
+// ---------------------------------------------------------------------------
+// Positions, options
+// ---------------------------------------------------------------------------
+
+/// A durable position in the log: segment sequence number, byte offset
+/// within that segment, and the monotone count of records written so far.
+/// `records` is what the load balancer compares across replicas — it is
+/// comparable even when a follower's segment layout differs from the
+/// leader's.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WalPosition {
+    /// Segment sequence number.
+    pub seq: u64,
+    /// Byte offset within the segment.
+    pub offset: u64,
+    /// Total records logged since the log was created.
+    pub records: u64,
+}
+
+/// When the WAL writer calls `fsync`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncMode {
+    /// Sync after every group commit. Maximum durability, pays a sync per
+    /// scrape batch.
+    Always,
+    /// Sync at segment rotation and checkpoint boundaries only; a crash can
+    /// lose the OS-buffered tail of the current segment but never corrupts
+    /// what recovery reads (frames are CRC-checked).
+    #[default]
+    Batch,
+    /// Never sync explicitly (tests / throwaway stores).
+    Never,
+}
+
+impl FsyncMode {
+    /// Parses the YAML `wal_fsync` value.
+    pub fn parse(s: &str) -> Option<FsyncMode> {
+        match s {
+            "always" => Some(FsyncMode::Always),
+            "batch" => Some(FsyncMode::Batch),
+            "never" => Some(FsyncMode::Never),
+            _ => None,
+        }
+    }
+}
+
+/// WAL tuning knobs (the YAML `tsdb:` keys).
+#[derive(Debug, Clone, Copy)]
+pub struct WalOptions {
+    /// Rotate the active segment once it exceeds this many bytes.
+    pub segment_bytes: u64,
+    /// Fsync policy.
+    pub fsync: FsyncMode,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            segment_bytes: 4 << 20,
+            fsync: FsyncMode::Batch,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segment files
+// ---------------------------------------------------------------------------
+
+/// File name of segment `seq`.
+pub fn segment_file_name(seq: u64) -> String {
+    format!("wal-{seq:012}.seg")
+}
+
+/// File name of the checkpoint covering segments `< seq`.
+pub fn checkpoint_file_name(seq: u64) -> String {
+    format!("checkpoint-{seq:012}.ckpt")
+}
+
+fn numbered(dir: &Path, prefix: &str, suffix: &str) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(num) = name
+            .strip_prefix(prefix)
+            .and_then(|r| r.strip_suffix(suffix))
+        {
+            if let Ok(seq) = num.parse::<u64>() {
+                out.push((seq, entry.path()));
+            }
+        }
+    }
+    out.sort_unstable_by_key(|(seq, _)| *seq);
+    Ok(out)
+}
+
+/// Segment files in `dir`, sorted by sequence number.
+pub fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    numbered(dir, "wal-", ".seg")
+}
+
+/// Checkpoint files in `dir`, sorted by covered sequence number.
+pub fn list_checkpoints(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    numbered(dir, "checkpoint-", ".ckpt")
+}
+
+/// Best-effort directory sync so renames/creates survive a crash.
+fn sync_dir(dir: &Path) {
+    if let Ok(f) = File::open(dir) {
+        let _ = f.sync_all();
+    }
+}
+
+/// The segmented log writer. Callers serialize access (the TSDB wraps it in
+/// a mutex); one [`Wal::log`] call is one group commit.
+pub struct Wal {
+    dir: PathBuf,
+    opts: WalOptions,
+    seq: u64,
+    file: File,
+    offset: u64,
+    records: u64,
+}
+
+impl Wal {
+    /// Opens the writer positioned at `(seq, offset)` with `records` already
+    /// logged (recovery passes the replay end; a fresh directory passes
+    /// zeros). Bytes past `offset` in the segment — a torn tail — are
+    /// truncated away so new appends start on a clean frame boundary.
+    pub fn open_at(
+        dir: &Path,
+        opts: WalOptions,
+        seq: u64,
+        offset: u64,
+        records: u64,
+    ) -> io::Result<Wal> {
+        let path = dir.join(segment_file_name(seq));
+        // Keep existing bytes: the valid prefix up to `offset` is replayed
+        // history; only the torn tail past it is cut below.
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&path)?;
+        let len = file.metadata()?.len();
+        let offset = offset.min(len);
+        if len > offset {
+            file.set_len(offset)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        sync_dir(dir);
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            opts,
+            seq,
+            file,
+            offset,
+            records,
+        })
+    }
+
+    /// Current position.
+    pub fn position(&self) -> WalPosition {
+        WalPosition {
+            seq: self.seq,
+            offset: self.offset,
+            records: self.records,
+        }
+    }
+
+    /// Group commit: encodes all `recs` into one buffer and writes it with
+    /// one syscall (plus at most one fsync, per [`FsyncMode`]). Rotates
+    /// first when the segment would exceed its size budget.
+    pub fn log(&mut self, recs: &[WalRecord]) -> io::Result<()> {
+        if recs.is_empty() {
+            return Ok(());
+        }
+        let mut buf = Vec::with_capacity(256);
+        for r in recs {
+            encode_record(&mut buf, r);
+        }
+        if self.offset > 0 && self.offset + buf.len() as u64 > self.opts.segment_bytes {
+            self.rotate()?;
+        }
+        self.file.write_all(&buf)?;
+        self.offset += buf.len() as u64;
+        self.records += recs.len() as u64;
+        if self.opts.fsync == FsyncMode::Always {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Seals the active segment (syncing it unless `fsync = never`) and
+    /// starts the next one. Returns the new segment's sequence number.
+    pub fn rotate(&mut self) -> io::Result<u64> {
+        if self.opts.fsync != FsyncMode::Never {
+            self.file.sync_data()?;
+        }
+        self.seq += 1;
+        self.offset = 0;
+        self.file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(self.dir.join(segment_file_name(self.seq)))?;
+        sync_dir(&self.dir);
+        Ok(self.seq)
+    }
+
+    /// Forces the active segment to disk (unless `fsync = never`).
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.opts.fsync != FsyncMode::Never {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+// ---------------------------------------------------------------------------
+
+const CKPT_MAGIC: &[u8; 5] = b"CKPT1";
+
+/// A full summary of the live database at a segment rotation boundary.
+/// Recovery = load newest checkpoint + replay segments `>= covers_seq`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Segments with `seq < covers_seq` are fully contained in this
+    /// checkpoint and can be garbage-collected.
+    pub covers_seq: u64,
+    /// Index generation at snapshot time, restored exactly so posting-cache
+    /// invalidation survives a restart.
+    pub generation: u64,
+    /// Next series id the index would assign (ids of tombstoned series must
+    /// not be reused differently after recovery).
+    pub next_id: SeriesId,
+    /// Lifetime appended-samples counter.
+    pub appended: u64,
+    /// Lifetime out-of-order-dropped counter.
+    pub out_of_order: u64,
+    /// Total WAL records logged up to `covers_seq` (seeds the position's
+    /// record count on recovery).
+    pub records: u64,
+    /// Every live series: id, labels, all samples in time order.
+    pub series: Vec<(SeriesId, LabelSet, Vec<Sample>)>,
+}
+
+/// Serializes a checkpoint: magic, varint-packed header + series, and a
+/// trailing CRC32 over everything before it.
+pub fn encode_checkpoint(ckpt: &Checkpoint) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    out.extend_from_slice(CKPT_MAGIC);
+    put_uvarint(&mut out, ckpt.covers_seq);
+    put_uvarint(&mut out, ckpt.generation);
+    put_uvarint(&mut out, ckpt.next_id);
+    put_uvarint(&mut out, ckpt.appended);
+    put_uvarint(&mut out, ckpt.out_of_order);
+    put_uvarint(&mut out, ckpt.records);
+    put_uvarint(&mut out, ckpt.series.len() as u64);
+    for (id, labels, samples) in &ckpt.series {
+        put_uvarint(&mut out, *id);
+        put_uvarint(&mut out, labels.len() as u64);
+        for (k, v) in labels.iter() {
+            put_bytes(&mut out, k.as_bytes());
+            put_bytes(&mut out, v.as_bytes());
+        }
+        put_uvarint(&mut out, samples.len() as u64);
+        let mut prev_t = 0i64;
+        for s in samples {
+            put_ivarint(&mut out, s.t_ms - prev_t);
+            out.extend_from_slice(&s.v.to_le_bytes());
+            prev_t = s.t_ms;
+        }
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Parses checkpoint bytes, validating magic and CRC. `None` means the file
+/// is corrupt or truncated (the loader falls back to an older checkpoint).
+pub fn decode_checkpoint(bytes: &[u8]) -> Option<Checkpoint> {
+    if bytes.len() < CKPT_MAGIC.len() + 4 || !bytes.starts_with(CKPT_MAGIC) {
+        return None;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(tail.try_into().ok()?);
+    if crc32(body) != stored {
+        return None;
+    }
+    let mut r = Reader::new(&body[CKPT_MAGIC.len()..]);
+    let covers_seq = r.uvarint()?;
+    let generation = r.uvarint()?;
+    let next_id = r.uvarint()?;
+    let appended = r.uvarint()?;
+    let out_of_order = r.uvarint()?;
+    let records = r.uvarint()?;
+    let n_series = r.uvarint()? as usize;
+    let mut series = Vec::with_capacity(n_series.min(1 << 20));
+    for _ in 0..n_series {
+        let id = r.uvarint()?;
+        let n_labels = r.uvarint()? as usize;
+        let mut pairs = Vec::with_capacity(n_labels.min(64));
+        for _ in 0..n_labels {
+            let k = r.string()?;
+            let v = r.string()?;
+            pairs.push((k, v));
+        }
+        let n_samples = r.uvarint()? as usize;
+        let mut samples = Vec::with_capacity(n_samples.min(1 << 20));
+        let mut prev_t = 0i64;
+        for _ in 0..n_samples {
+            let t = prev_t.checked_add(r.ivarint()?)?;
+            let v = r.f64()?;
+            samples.push(Sample::new(t, v));
+            prev_t = t;
+        }
+        series.push((id, LabelSet::from_pairs(pairs), samples));
+    }
+    r.done().then_some(Checkpoint {
+        covers_seq,
+        generation,
+        next_id,
+        appended,
+        out_of_order,
+        records,
+        series,
+    })
+}
+
+/// Writes a checkpoint durably: temp file, fsync, atomic rename, directory
+/// sync. A crash at any point leaves either the old state or the new one.
+pub fn write_checkpoint(dir: &Path, ckpt: &Checkpoint) -> io::Result<PathBuf> {
+    let bytes = encode_checkpoint(ckpt);
+    let tmp = dir.join(format!("{}.tmp", checkpoint_file_name(ckpt.covers_seq)));
+    let path = dir.join(checkpoint_file_name(ckpt.covers_seq));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, &path)?;
+    sync_dir(dir);
+    Ok(path)
+}
+
+/// Loads the newest checkpoint that validates, skipping corrupt or
+/// truncated ones (a crash mid-checkpoint leaves a `.tmp` that is never
+/// considered, but defense in depth costs nothing).
+pub fn load_latest_checkpoint(dir: &Path) -> io::Result<Option<Checkpoint>> {
+    for (_, path) in list_checkpoints(dir)?.into_iter().rev() {
+        if let Some(ckpt) = decode_checkpoint(&fs::read(&path)?) {
+            return Ok(Some(ckpt));
+        }
+    }
+    Ok(None)
+}
+
+/// Garbage-collects everything a fresh checkpoint covers: segments with
+/// `seq < covers_seq`, older checkpoints, and stray `.tmp` files. Returns
+/// how many files were removed.
+pub fn gc_covered(dir: &Path, covers_seq: u64) -> io::Result<usize> {
+    let mut removed = 0;
+    for (seq, path) in list_segments(dir)? {
+        if seq < covers_seq {
+            fs::remove_file(&path)?;
+            removed += 1;
+        }
+    }
+    for (seq, path) in list_checkpoints(dir)? {
+        if seq < covers_seq {
+            fs::remove_file(&path)?;
+            removed += 1;
+        }
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == "tmp") {
+            fs::remove_file(&path)?;
+            removed += 1;
+        }
+    }
+    sync_dir(dir);
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceems_metrics::labels;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::SeriesCreate {
+                id: 0,
+                labels: labels! {"__name__" => "power", "instance" => "n1"},
+            },
+            WalRecord::Samples(vec![(0, 15_000, 215.5), (0, 30_000, 220.0)]),
+            WalRecord::Tombstone(vec![0]),
+            WalRecord::Retention { cutoff_ms: -5_000 },
+        ]
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let recs = sample_records();
+        let mut buf = Vec::new();
+        for r in &recs {
+            encode_record(&mut buf, r);
+        }
+        let (got, consumed) = decode_frames(&buf);
+        assert_eq!(consumed, buf.len());
+        assert_eq!(got, recs);
+    }
+
+    #[test]
+    fn torn_tail_stops_cleanly() {
+        let recs = sample_records();
+        let mut buf = Vec::new();
+        for r in &recs {
+            encode_record(&mut buf, r);
+        }
+        let mut whole = Vec::new();
+        encode_record(&mut whole, &recs[0]);
+        let keep = whole.len();
+        // Truncate into the second record: only the first decodes.
+        let (got, consumed) = decode_frames(&buf[..keep + 5]);
+        assert_eq!(got.len(), 1);
+        assert_eq!(consumed, keep);
+        // Corrupt a payload byte of the second record: same stop point.
+        let mut bad = buf.clone();
+        bad[keep + 9] ^= 0xFF;
+        let (got, consumed) = decode_frames(&bad);
+        assert_eq!(got.len(), 1);
+        assert_eq!(consumed, keep);
+    }
+
+    #[test]
+    fn wal_segments_rotate_by_size() {
+        let dir = std::env::temp_dir().join(format!("ceems-wal-rot-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let opts = WalOptions {
+            segment_bytes: 256,
+            fsync: FsyncMode::Never,
+        };
+        let mut wal = Wal::open_at(&dir, opts, 0, 0, 0).unwrap();
+        for i in 0..100 {
+            wal.log(&[WalRecord::Samples(vec![(i, i as i64 * 1000, 1.0)])])
+                .unwrap();
+        }
+        assert!(wal.position().seq > 0, "must have rotated");
+        assert_eq!(wal.position().records, 100);
+        let segs = list_segments(&dir).unwrap();
+        assert_eq!(segs.last().unwrap().0, wal.position().seq);
+        // Every segment replays; total records survive the split.
+        let mut total = 0;
+        for (_, path) in &segs {
+            let data = fs::read(path).unwrap();
+            let (recs, consumed) = decode_frames(&data);
+            assert_eq!(consumed, data.len());
+            total += recs.len();
+        }
+        assert_eq!(total, 100);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_corruption() {
+        let ckpt = Checkpoint {
+            covers_seq: 7,
+            generation: 42,
+            next_id: 3,
+            appended: 100,
+            out_of_order: 2,
+            records: 55,
+            series: vec![
+                (
+                    0,
+                    labels! {"__name__" => "power"},
+                    vec![Sample::new(0, 1.0), Sample::new(15_000, 2.5)],
+                ),
+                (2, labels! {"__name__" => "up"}, vec![]),
+            ],
+        };
+        let bytes = encode_checkpoint(&ckpt);
+        assert_eq!(decode_checkpoint(&bytes).unwrap(), ckpt);
+        // Any flipped byte must fail the CRC.
+        for i in [0, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(decode_checkpoint(&bad).is_none(), "flip at {i} accepted");
+        }
+        assert!(decode_checkpoint(&bytes[..bytes.len() - 3]).is_none());
+    }
+
+    #[test]
+    fn gc_removes_covered_files() {
+        let dir = std::env::temp_dir().join(format!("ceems-wal-gc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        for seq in 0..4u64 {
+            fs::write(dir.join(segment_file_name(seq)), b"x").unwrap();
+        }
+        fs::write(dir.join(checkpoint_file_name(1)), b"old").unwrap();
+        fs::write(dir.join("checkpoint-000000000003.ckpt.tmp"), b"torn").unwrap();
+        gc_covered(&dir, 3).unwrap();
+        let segs: Vec<u64> = list_segments(&dir).unwrap().into_iter().map(|(s, _)| s).collect();
+        assert_eq!(segs, vec![3]);
+        assert!(list_checkpoints(&dir).unwrap().is_empty());
+        assert!(!dir.join("checkpoint-000000000003.ckpt.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

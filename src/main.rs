@@ -177,6 +177,10 @@ tsdb:
   rule_interval_s: 30
   query_threads: 4            # select/rule-eval fan-out; 1 = serial reads
   posting_cache_size: 128     # cached regex/negative matcher resolutions; 0 = off
+  # wal_dir: /var/lib/ceems/wal   # uncomment for a durable head (crash recovery)
+  # wal_segment_bytes: 4194304
+  # wal_checkpoint_interval_s: 300
+  # wal_fsync: batch            # always | batch | never
 api_server:
   update_interval_s: 60
   cleanup_cutoff_s: 120       # purge TSDB series of units shorter than this
