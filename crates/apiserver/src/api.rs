@@ -7,11 +7,13 @@
 //! (§II.B.c).
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use serde_json::{json, Value as Json};
 
 use ceems_http::{HttpServer, Request, Response, Router, ServerConfig, Status};
+use ceems_metrics::{CounterVec, Histogram, HistogramVec, Registry};
 use ceems_relstore::{Filter, Order, Query, Value};
 
 use crate::schema::{unit_cols, UNITS_TABLE, USAGE_TABLE};
@@ -21,6 +23,9 @@ use crate::updater::{usage_row_values, verify_ownership_in_db, Updater};
 pub struct ApiServer {
     updater: Arc<Mutex<Updater>>,
     admin_users: Vec<String>,
+    registry: Registry,
+    requests: CounterVec,
+    duration: HistogramVec,
 }
 
 fn val_to_json(v: &Value) -> Json {
@@ -62,9 +67,26 @@ fn grafana_user(req: &Request) -> Option<String> {
 impl ApiServer {
     /// Creates the server over a shared updater.
     pub fn new(updater: Arc<Mutex<Updater>>, admin_users: Vec<String>) -> ApiServer {
+        let registry = Registry::new();
+        let requests = CounterVec::new(
+            "ceems_api_requests_total",
+            "API server requests by endpoint and status code.",
+            &["endpoint", "code"],
+        );
+        let duration = HistogramVec::new(
+            "ceems_api_request_duration_seconds",
+            "API server request handling wall time, by endpoint.",
+            &["endpoint"],
+            Histogram::duration_buckets(),
+        );
+        registry.register("api_requests", Arc::new(requests.clone()));
+        registry.register("api_request_duration", Arc::new(duration.clone()));
         ApiServer {
             updater,
             admin_users,
+            registry,
+            requests,
+            duration,
         }
     }
 
@@ -72,31 +94,60 @@ impl ApiServer {
         self.admin_users.iter().any(|a| a == user)
     }
 
+    /// The server's metrics registry (served at `/metrics`).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Runs one handler under the request instruments.
+    fn timed(&self, endpoint: &'static str, f: impl FnOnce() -> Response) -> Response {
+        let start = Instant::now();
+        let resp = f();
+        self.duration
+            .with_label_values(&[endpoint])
+            .observe(start.elapsed().as_secs_f64());
+        self.requests
+            .with_label_values(&[endpoint, &resp.status.0.to_string()])
+            .inc();
+        resp
+    }
+
     /// Builds the router.
     pub fn router(self: &Arc<Self>) -> Router {
         let mut router = Router::new();
 
         router.get("/health", |_req| Response::text("ok"));
+        ceems_obs::add_metrics_route(&mut router, self.registry.clone());
 
         {
             let me = self.clone();
-            router.get("/api/v1/units", move |req| me.handle_units(req));
+            router.get("/api/v1/units", move |req| {
+                me.timed("/api/v1/units", || me.handle_units(req))
+            });
         }
         {
             let me = self.clone();
-            router.get("/api/v1/units/:uuid", move |req| me.handle_unit(req));
+            router.get("/api/v1/units/:uuid", move |req| {
+                me.timed("/api/v1/units/:uuid", || me.handle_unit(req))
+            });
         }
         {
             let me = self.clone();
-            router.get("/api/v1/usage/current", move |req| me.handle_usage(req, false));
+            router.get("/api/v1/usage/current", move |req| {
+                me.timed("/api/v1/usage/current", || me.handle_usage(req, false))
+            });
         }
         {
             let me = self.clone();
-            router.get("/api/v1/usage/global", move |req| me.handle_usage(req, true));
+            router.get("/api/v1/usage/global", move |req| {
+                me.timed("/api/v1/usage/global", || me.handle_usage(req, true))
+            });
         }
         {
             let me = self.clone();
-            router.get("/api/v1/verify", move |req| me.handle_verify(req));
+            router.get("/api/v1/verify", move |req| {
+                me.timed("/api/v1/verify", || me.handle_verify(req))
+            });
         }
         router
     }
@@ -394,7 +445,6 @@ mod tests {
 #[cfg(test)]
 mod more_tests {
     use super::tests_support::*;
-    use super::*;
     use ceems_http::Client;
 
     #[test]

@@ -12,16 +12,18 @@ use ceems_simnode::ClusterSpec;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_jean_zay_step(c: &mut Criterion) {
-    let mut cfg = CeemsConfig::default();
-    cfg.cluster = ClusterSpec::jean_zay();
-    cfg.threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(8);
-    cfg.churn = Some(ChurnSettings {
-        users: 200,
-        projects: 40,
-        arrivals_per_hour: 420.0,
-    });
+    let cfg = CeemsConfig {
+        cluster: ClusterSpec::jean_zay(),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8),
+        churn: Some(ChurnSettings {
+            users: 200,
+            projects: 40,
+            arrivals_per_hour: 420.0,
+        }),
+        ..Default::default()
+    };
     let dir = ceems_bench::tmpdir("jz");
     let mut stack = CeemsStack::build(cfg, &dir).expect("jean-zay stack builds");
     // Warm up: get jobs placed and counters moving.

@@ -1,0 +1,88 @@
+//! Cost of the self-monitoring primitives (DESIGN.md S17): one histogram
+//! observation, one labelled-vec observation, one trace stage, and the
+//! thread-local "is a trace active?" probe every select performs.
+//!
+//! These are the per-*batch* / per-*call* costs the instrumented hot paths
+//! pay — `append_batch`, `select`, a WAL group commit, one proxy forward —
+//! so the numbers here divided by the matching operation times in the `wal`
+//! and `ablations` benches bound the instrumentation overhead directly.
+
+use std::time::Instant;
+
+use ceems_metrics::{Histogram, HistogramVec};
+use ceems_obs::trace::{self, QueryTrace};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const BATCH: usize = 1024;
+
+/// Timed histogram observation: the `Instant::now` pair plus the bucket
+/// walk, exactly what `append_batch`/`select` add per call.
+fn bench_histogram_observe(c: &mut Criterion) {
+    let h = Histogram::new(Histogram::duration_buckets());
+    c.bench_function("obs_overhead/histogram_observe_x1024", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                let start = Instant::now();
+                h.observe(start.elapsed().as_secs_f64());
+            }
+            std::hint::black_box(h.count())
+        })
+    });
+}
+
+/// Labelled observation (label lookup + observe), the rule-group and
+/// API-server shape.
+fn bench_histogramvec_observe(c: &mut Criterion) {
+    let v = HistogramVec::new(
+        "bench_seconds",
+        "bench",
+        &["group"],
+        Histogram::duration_buckets(),
+    );
+    c.bench_function("obs_overhead/histogramvec_observe_x1024", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                let start = Instant::now();
+                v.with_label_values(&["g1"]).observe(start.elapsed().as_secs_f64());
+            }
+        })
+    });
+}
+
+/// One trace stage (guard create + drop) while a trace is active.
+fn bench_trace_stage(c: &mut Criterion) {
+    let t = QueryTrace::begin(None);
+    c.bench_function("obs_overhead/trace_stage_x1024", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                let g = t.stage("bench");
+                drop(g);
+            }
+        })
+    });
+}
+
+/// The thread-local probe the select path runs on every call — almost every
+/// query arrives with *no* trace, so the inactive case is the hot one.
+fn bench_trace_probe_inactive(c: &mut Criterion) {
+    c.bench_function("obs_overhead/trace_probe_inactive_x1024", |b| {
+        b.iter(|| {
+            let mut active = 0usize;
+            for _ in 0..BATCH {
+                if trace::current().is_some() {
+                    active += 1;
+                }
+            }
+            std::hint::black_box(active)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_histogram_observe,
+    bench_histogramvec_observe,
+    bench_trace_stage,
+    bench_trace_probe_inactive
+);
+criterion_main!(benches);

@@ -62,6 +62,9 @@ pub struct CeemsConfig {
     pub wal_checkpoint_interval_s: f64,
     /// WAL fsync policy: `always`, `batch`, or `never`.
     pub wal_fsync: String,
+    /// Slow-query log threshold in milliseconds; queries slower than this
+    /// emit one structured log line. Non-positive (the default) disables.
+    pub slow_query_ms: f64,
 }
 
 impl Default for CeemsConfig {
@@ -86,6 +89,7 @@ impl Default for CeemsConfig {
             wal_segment_bytes: 4 << 20,
             wal_checkpoint_interval_s: 300.0,
             wal_fsync: "batch".to_string(),
+            slow_query_ms: 0.0,
         }
     }
 }
@@ -138,6 +142,9 @@ impl CeemsConfig {
             }
             if let Some(v) = t.get("wal_checkpoint_interval_s").and_then(Yaml::as_f64) {
                 cfg.wal_checkpoint_interval_s = v;
+            }
+            if let Some(v) = t.get("slow_query_ms").and_then(Yaml::as_f64) {
+                cfg.slow_query_ms = v;
             }
             if let Some(v) = t.get("wal_fsync").and_then(Yaml::as_str) {
                 if ceems_tsdb::FsyncMode::parse(v).is_none() {
@@ -226,6 +233,7 @@ tsdb:
   rule_interval_s: 60
   query_threads: 6
   posting_cache_size: 0
+  slow_query_ms: 250
 api_server:
   update_interval_s: 120
   cleanup_cutoff_s: 300
@@ -261,6 +269,7 @@ threads: 8
         assert_eq!(c.threads, 8);
         assert_eq!(c.query_threads, 6);
         assert_eq!(c.posting_cache_size, 0);
+        assert_eq!(c.slow_query_ms, 250.0);
     }
 
     #[test]
@@ -279,7 +288,6 @@ threads: 8
     #[test]
     fn bad_strategy_rejected() {
         assert!(CeemsConfig::from_yaml("lb:\n  strategy: random\n").is_err());
-        assert!(CeemsConfig::from_yaml("a: [broken\n").is_err() || true);
     }
 
     #[test]

@@ -238,6 +238,26 @@ impl CeemsStack {
         &self.config
     }
 
+    /// TSDB API-router options wired to this stack's observability
+    /// configuration: the default TSDB metrics registry extended with the
+    /// per-group rule-evaluation histogram, and a slow-query log honoring
+    /// `tsdb.slow_query_ms`. Serve the result with
+    /// [`ceems_tsdb::httpapi::api_router_with`].
+    pub fn tsdb_api_options(
+        &self,
+        now: ceems_tsdb::httpapi::NowFn,
+    ) -> ceems_tsdb::httpapi::ApiOptions {
+        let registry = ceems_tsdb::selfmon::default_registry(self.tsdb.clone());
+        registry.register("tsdb_rule_eval", Arc::new(self.rule_engine.eval_histogram()));
+        let slow_query = (self.config.slow_query_ms > 0.0)
+            .then(|| ceems_obs::slowlog::SlowQueryLog::new(self.config.slow_query_ms));
+        ceems_tsdb::httpapi::ApiOptions {
+            now,
+            registry: Some(registry),
+            slow_query,
+        }
+    }
+
     /// Cumulative statistics.
     pub fn stats(&self) -> StackStats {
         self.stats
@@ -452,12 +472,14 @@ mod tests {
 
     #[test]
     fn churn_driven_stack_sustains_load() {
-        let mut cfg = CeemsConfig::default();
-        cfg.churn = Some(crate::config::ChurnSettings {
-            users: 10,
-            projects: 3,
-            arrivals_per_hour: 400.0,
-        });
+        let cfg = CeemsConfig {
+            churn: Some(crate::config::ChurnSettings {
+                users: 10,
+                projects: 3,
+                arrivals_per_hour: 400.0,
+            }),
+            ..Default::default()
+        };
         let dir = std::env::temp_dir().join(format!(
             "ceems-churnstack-{}-{}",
             std::process::id(),

@@ -9,9 +9,14 @@ use std::sync::Arc;
 use ceems_metrics::labels::LabelSet;
 use ceems_metrics::model::{Metric, MetricFamily, MetricType, Sample};
 use ceems_metrics::registry::Collector;
+use ceems_metrics::Histogram;
 
 /// Shared scrape statistics, updated by the exporter on each render.
-#[derive(Debug, Default)]
+///
+/// The mean-only atomics (`scrapes`, `render_ns`) stay as-is — the E4
+/// experiment consumes them — and a shared [`Histogram`] instrument sits
+/// alongside them so the exposition carries render-latency quantiles too.
+#[derive(Debug)]
 pub struct SelfStats {
     /// Scrapes served.
     pub scrapes: AtomicU64,
@@ -19,6 +24,19 @@ pub struct SelfStats {
     pub render_ns: AtomicU64,
     /// Bytes of the last rendered payload.
     pub last_payload_bytes: AtomicU64,
+    /// Render latency distribution (`_bucket`/`_sum`/`_count`).
+    render_seconds: Histogram,
+}
+
+impl Default for SelfStats {
+    fn default() -> SelfStats {
+        SelfStats {
+            scrapes: AtomicU64::new(0),
+            render_ns: AtomicU64::new(0),
+            last_payload_bytes: AtomicU64::new(0),
+            render_seconds: Histogram::new(Histogram::duration_buckets()),
+        }
+    }
 }
 
 impl SelfStats {
@@ -26,6 +44,7 @@ impl SelfStats {
     pub fn record(&self, elapsed_ns: u64, payload_bytes: usize) {
         self.scrapes.fetch_add(1, Ordering::Relaxed);
         self.render_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+        self.render_seconds.observe(elapsed_ns as f64 / 1e9);
         self.last_payload_bytes
             .store(payload_bytes as u64, Ordering::Relaxed);
     }
@@ -38,6 +57,11 @@ impl SelfStats {
         } else {
             self.render_ns.load(Ordering::Relaxed) as f64 / n as f64
         }
+    }
+
+    /// A clone of the render-latency histogram (shares state).
+    pub fn render_histogram(&self) -> Histogram {
+        self.render_seconds.clone()
     }
 }
 
@@ -82,7 +106,13 @@ impl Collector for SelfCollector {
             LabelSet::empty(),
             Sample::now(self.stats.last_payload_bytes.load(Ordering::Relaxed) as f64),
         ));
-        vec![scrapes, render, payload]
+        let mut render_hist = MetricFamily::new(
+            "ceems_exporter_render_duration_seconds",
+            "Distribution of /metrics render wall time",
+            MetricType::Histogram,
+        );
+        render_hist.metrics = self.stats.render_seconds.render(&LabelSet::empty());
+        vec![scrapes, render, payload, render_hist]
     }
 }
 
@@ -96,9 +126,18 @@ mod tests {
         stats.record(1_000, 512);
         stats.record(3_000, 600);
         assert_eq!(stats.mean_render_ns(), 2_000.0);
-        let fams = SelfCollector::new(stats).collect();
+        let fams = SelfCollector::new(stats.clone()).collect();
         assert_eq!(fams[0].metrics[0].sample.value, 2.0);
         assert_eq!(fams[2].metrics[0].sample.value, 600.0);
+        // The histogram family carries the same observations as quantiles.
+        assert_eq!(fams[3].name, "ceems_exporter_render_duration_seconds");
+        assert_eq!(stats.render_histogram().count(), 2);
+        let count = fams[3]
+            .metrics
+            .iter()
+            .find(|m| m.name_suffix == "_count")
+            .unwrap();
+        assert_eq!(count.sample.value, 2.0);
     }
 
     #[test]

@@ -5,10 +5,22 @@
 //! (admins skip) → pick a backend by strategy → forward and relay the
 //! response. Unscoped or unverifiable queries are forbidden for non-admins:
 //! the LB fails closed.
+//!
+//! Observability (S17): forwards carry a trace ID (minted here or accepted
+//! from the `x-ceems-trace-id` header); `?trace=1` replies come back with
+//! the LB's own `lb_auth`/`lb_forward` stages merged into `data.trace`.
+//! A failed forward marks the backend unhealthy and retries the next pick;
+//! `/metrics` serves forwarding latency and per-backend outcome counters.
 
 use std::sync::Arc;
+use std::time::Instant;
+
+use serde_json::{json, Value as Json};
 
 use ceems_http::{Client, HttpServer, Request, Response, Router, ServerConfig, Status};
+use ceems_metrics::{Counter, CounterVec, Histogram, Registry};
+use ceems_obs::trace::QueryTrace;
+use ceems_obs::{counter_family, histogram_family, HttpInstruments, TRACE_HEADER};
 
 use crate::acl::Authorizer;
 use crate::backend::BackendPool;
@@ -21,6 +33,98 @@ pub struct LbConfig {
     pub admin_users: Vec<String>,
 }
 
+/// The LB's own telemetry: forwarding latency, per-backend outcomes,
+/// retries and denials.
+struct LbInstruments {
+    forward_seconds: Histogram,
+    requests: CounterVec,
+    retries: Counter,
+    denied: Counter,
+    unavailable: Counter,
+}
+
+impl LbInstruments {
+    fn new(registry: &Registry) -> LbInstruments {
+        let ins = LbInstruments {
+            forward_seconds: Histogram::new(Histogram::duration_buckets()),
+            requests: CounterVec::new(
+                "ceems_lb_proxy_requests_total",
+                "Forwarded requests by backend and outcome.",
+                &["backend", "outcome"],
+            ),
+            retries: Counter::new(),
+            denied: Counter::new(),
+            unavailable: Counter::new(),
+        };
+        {
+            let h = ins.forward_seconds.clone();
+            registry.register(
+                "lb_forward_seconds",
+                Arc::new(move || {
+                    vec![histogram_family(
+                        "ceems_lb_forward_duration_seconds",
+                        "One backend forward: connect, request, response.",
+                        &h,
+                    )]
+                }),
+            );
+        }
+        registry.register("lb_proxy_requests", Arc::new(ins.requests.clone()));
+        for (key, name, help, c) in [
+            (
+                "lb_retries",
+                "ceems_lb_retries_total",
+                "Forwards retried on another backend after a failure.",
+                ins.retries.clone(),
+            ),
+            (
+                "lb_denied",
+                "ceems_lb_denied_total",
+                "Requests rejected by access control.",
+                ins.denied.clone(),
+            ),
+            (
+                "lb_unavailable",
+                "ceems_lb_unavailable_total",
+                "Requests refused because no healthy backend existed.",
+                ins.unavailable.clone(),
+            ),
+        ] {
+            registry.register(
+                key,
+                Arc::new(move || vec![counter_family(name, help, &c)]),
+            );
+        }
+        ins
+    }
+}
+
+/// Merges the LB's own overhead into a proxied `data.trace` object: appends
+/// the `lb_auth` stage and an `lb_forward` stage holding the forward wall
+/// time *minus* the TSDB-reported total (network + serialization overhead,
+/// clamped at zero so stages stay disjoint), then replaces `totalMs` with
+/// the LB-measured end-to-end time — `sum(stages) <= totalMs` keeps holding
+/// at the outermost layer. Returns `None` (leave the body alone) when the
+/// payload carries no trace.
+fn rewrite_trace(body: &[u8], auth_ms: f64, forward_ms: f64, total_ms: f64) -> Option<Vec<u8>> {
+    let mut v: Json = serde_json::from_slice(body).ok()?;
+    let Json::Object(root) = &mut v else {
+        return None;
+    };
+    let Some(Json::Object(data)) = root.get_mut("data") else {
+        return None;
+    };
+    let Some(Json::Object(trace)) = data.get_mut("trace") else {
+        return None;
+    };
+    let inner_ms = trace.get("totalMs").and_then(|t| t.as_f64()).unwrap_or(0.0);
+    if let Some(Json::Array(stages)) = trace.get_mut("stages") {
+        stages.push(json!({"name": "lb_auth", "ms": auth_ms}));
+        stages.push(json!({"name": "lb_forward", "ms": (forward_ms - inner_ms).max(0.0)}));
+    }
+    trace.insert("totalMs".to_string(), json!(total_ms));
+    serde_json::to_vec(&v).ok()
+}
 
 /// The load balancer.
 pub struct CeemsLb {
@@ -28,22 +132,36 @@ pub struct CeemsLb {
     authorizer: Authorizer,
     config: LbConfig,
     client: Client,
+    registry: Registry,
+    instruments: LbInstruments,
+    http: HttpInstruments,
 }
 
 impl CeemsLb {
     /// Creates the LB.
     pub fn new(pool: BackendPool, authorizer: Authorizer, config: LbConfig) -> CeemsLb {
+        let registry = Registry::new();
+        let instruments = LbInstruments::new(&registry);
+        let http = HttpInstruments::new("lb", &registry);
         CeemsLb {
             pool,
             authorizer,
             config,
             client: Client::new(),
+            registry,
+            instruments,
+            http,
         }
     }
 
     /// The backend pool (health checks, stats).
     pub fn pool(&self) -> &BackendPool {
         &self.pool
+    }
+
+    /// The LB's metrics registry (served at `/metrics`).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     fn is_admin(&self, user: &str) -> bool {
@@ -114,31 +232,89 @@ impl CeemsLb {
 
     /// Handles one request end to end.
     pub fn handle(&self, req: &Request) -> Response {
+        let total_start = Instant::now();
+        let is_query = req.path.ends_with("/query") || req.path.ends_with("/query_range");
+        let qtrace = if is_query {
+            Some(QueryTrace::begin(req.header(TRACE_HEADER)))
+        } else {
+            None
+        };
+        let trace_requested =
+            is_query && matches!(req.query_param("trace"), Some("1") | Some("true"));
+
+        let auth_start = Instant::now();
         if let Err(denied) = self.authorize(req) {
+            self.instruments.denied.inc();
             return denied;
         }
-        let Some(backend) = self.pool.pick() else {
-            return Response::error(Status::UNAVAILABLE, "no healthy TSDB backend");
-        };
-        let _inflight = backend.begin();
-        let url = format!("{}{}", backend.base_url, req.path_and_query());
-        let mut client = self.client.clone();
-        if let Some(u) = req.header("x-grafana-user") {
-            client = client.with_header("X-Grafana-User", u);
-        }
-        match client.request(req.method, &url, req.body.clone(), req.header("content-type")) {
-            Ok(mut resp) => {
-                resp.headers
-                    .insert("x-ceems-lb-backend".to_string(), backend.id.clone());
-                resp
+        let auth_ms = auth_start.elapsed().as_secs_f64() * 1000.0;
+
+        let max_attempts = self.pool.backends().len().max(1);
+        let mut attempts = 0;
+        loop {
+            let Some(backend) = self.pool.pick() else {
+                self.instruments.unavailable.inc();
+                return Response::error(Status::UNAVAILABLE, "no healthy TSDB backend");
+            };
+            let _inflight = backend.begin();
+            let url = format!("{}{}", backend.base_url, req.path_and_query());
+            let mut client = self.client.clone();
+            if let Some(u) = req.header("x-grafana-user") {
+                client = client.with_header("X-Grafana-User", u);
             }
-            Err(e) => Response::error(Status::BAD_GATEWAY, format!("backend error: {e}")),
+            if let Some(t) = &qtrace {
+                client = client.with_header(TRACE_HEADER, t.id());
+            }
+            let forward_start = Instant::now();
+            let result =
+                client.request(req.method, &url, req.body.clone(), req.header("content-type"));
+            let forward_secs = forward_start.elapsed().as_secs_f64();
+            self.instruments.forward_seconds.observe(forward_secs);
+            match result {
+                Ok(mut resp) => {
+                    self.instruments
+                        .requests
+                        .with_label_values(&[&backend.id, "ok"])
+                        .inc();
+                    resp.headers
+                        .insert("x-ceems-lb-backend".to_string(), backend.id.clone());
+                    if trace_requested {
+                        let total_ms = total_start.elapsed().as_secs_f64() * 1000.0;
+                        if let Some(body) =
+                            rewrite_trace(&resp.body, auth_ms, forward_secs * 1000.0, total_ms)
+                        {
+                            resp.body = body;
+                        }
+                    }
+                    return resp;
+                }
+                Err(e) => {
+                    // The pick looked healthy but the forward failed: demote
+                    // the backend (the periodic health check re-admits it)
+                    // and try the next one before giving up.
+                    self.instruments
+                        .requests
+                        .with_label_values(&[&backend.id, "error"])
+                        .inc();
+                    backend.set_healthy(false);
+                    attempts += 1;
+                    if attempts >= max_attempts {
+                        return Response::error(
+                            Status::BAD_GATEWAY,
+                            format!("backend error: {e}"),
+                        );
+                    }
+                    self.instruments.retries.inc();
+                }
+            }
         }
     }
 
-    /// Builds the proxy router (`/*rest` → handle).
+    /// Builds the proxy router: `/metrics` first (the router is
+    /// first-match-wins), then `/*rest` → handle.
     pub fn router(self: &Arc<Self>) -> Router {
         let mut router = Router::new();
+        ceems_obs::add_metrics_route(&mut router, self.registry.clone());
         for method in [
             ceems_http::Method::Get,
             ceems_http::Method::Post,
@@ -150,9 +326,9 @@ impl CeemsLb {
         router
     }
 
-    /// Serves the LB on an ephemeral port.
+    /// Serves the LB on an ephemeral port, with request instrumentation.
     pub fn serve(self: &Arc<Self>) -> std::io::Result<HttpServer> {
-        HttpServer::serve(ServerConfig::ephemeral(), self.router())
+        HttpServer::serve_fn(ServerConfig::ephemeral(), self.http.wrap(self.router()))
     }
 }
 
@@ -373,6 +549,96 @@ mod tests {
         assert_eq!(resp.status, Status::OK);
         lb_srv.shutdown();
         tsdb_srv.shutdown();
+    }
+
+    #[test]
+    fn trace_flows_through_the_proxy() {
+        let (tsdb_srv, _db) = tsdb_server();
+        let lb = lb_over(
+            vec![Backend::new("b1", tsdb_srv.base_url())],
+            Strategy::round_robin(),
+        );
+        let lb_srv = lb.serve().unwrap();
+        let resp = Client::new()
+            .with_header("X-Grafana-User", "root")
+            .with_header(TRACE_HEADER, "feedc0defeedc0de")
+            .get(&format!(
+                "{}/api/v1/query_range?query=watts&start=0&end=135&step=15&trace=1",
+                lb_srv.base_url()
+            ))
+            .unwrap();
+        assert_eq!(resp.status, Status::OK, "body: {}", resp.body_string());
+        let v: Json = serde_json::from_slice(&resp.body).unwrap();
+        let t = &v["data"]["trace"];
+        // The injected ID survived LB → TSDB → back.
+        assert_eq!(t["traceId"], "feedc0defeedc0de");
+        let stages = t["stages"].as_array().unwrap();
+        let names: Vec<&str> = stages
+            .iter()
+            .map(|s| s["name"].as_str().unwrap())
+            .collect();
+        for expected in ["parse", "eval", "lb_auth", "lb_forward"] {
+            assert!(names.contains(&expected), "missing stage {expected}");
+        }
+        // The LB replaced totalMs with its own end-to-end time, so the
+        // stage sum stays under it even with the LB's overhead appended.
+        let stage_sum: f64 = stages.iter().map(|s| s["ms"].as_f64().unwrap()).sum();
+        assert!(stage_sum <= t["totalMs"].as_f64().unwrap() + 1e-6);
+        lb_srv.shutdown();
+        tsdb_srv.shutdown();
+    }
+
+    #[test]
+    fn failed_forward_retries_next_backend() {
+        let (srv1, _d1) = tsdb_server();
+        let lb = lb_over(
+            vec![
+                Backend::new("dead", "http://127.0.0.1:1"),
+                Backend::new("live", srv1.base_url()),
+            ],
+            Strategy::round_robin(),
+        );
+        let lb_srv = lb.serve().unwrap();
+        let url = format!(
+            "{}/api/v1/query?query=watts%7Buuid%3D%22slurm-1%22%7D",
+            lb_srv.base_url()
+        );
+        // Whenever round-robin lands on the dead backend, the forward fails,
+        // the backend is demoted, and the request retries to the live one —
+        // the client always sees a success.
+        for _ in 0..4 {
+            let resp = get(&url, Some("alice"));
+            assert_eq!(resp.status, Status::OK);
+            assert_eq!(resp.header("x-ceems-lb-backend"), Some("live"));
+        }
+
+        let text = Client::new()
+            .get(&format!("{}/metrics", lb_srv.base_url()))
+            .unwrap()
+            .body_string();
+        let parsed = ceems_metrics::parse_text(&text).expect("LB /metrics must parse");
+        let value = |n: &str| {
+            parsed
+                .samples
+                .iter()
+                .find(|s| s.name == n)
+                .map(|s| s.value)
+        };
+        assert!(value("ceems_lb_retries_total").unwrap() >= 1.0);
+        assert!(value("ceems_lb_forward_duration_seconds_count").unwrap() >= 4.0);
+        assert!(value("ceems_lb_http_requests_total").is_some());
+        let dead_errors = parsed
+            .samples
+            .iter()
+            .find(|s| {
+                s.name == "ceems_lb_proxy_requests_total"
+                    && s.labels.get("backend") == Some("dead")
+                    && s.labels.get("outcome") == Some("error")
+            })
+            .map(|s| s.value);
+        assert!(dead_errors.unwrap() >= 1.0);
+        lb_srv.shutdown();
+        srv1.shutdown();
     }
 
     #[test]

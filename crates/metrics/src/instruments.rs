@@ -164,6 +164,22 @@ impl Histogram {
         v
     }
 
+    /// Default latency bounds in seconds: 1µs → ~4s, ×4 per bucket. Wide
+    /// enough for µs-scale cache hits and multi-second cold selects alike.
+    pub fn duration_buckets() -> Vec<f64> {
+        Self::exponential_buckets(1e-6, 4.0, 11)
+    }
+
+    /// Starts a timer that observes elapsed seconds into this histogram when
+    /// dropped (or via [`HistogramTimer::observe_duration`]).
+    pub fn start_timer(&self) -> HistogramTimer {
+        HistogramTimer {
+            hist: self.clone(),
+            start: std::time::Instant::now(),
+            done: false,
+        }
+    }
+
     /// Records one observation.
     pub fn observe(&self, v: f64) {
         for (i, &bound) in self.inner.bounds.iter().enumerate() {
@@ -209,6 +225,36 @@ impl Histogram {
             "_count",
         ));
         out
+    }
+}
+
+/// Observes elapsed wall time (in seconds) into a [`Histogram`] on drop.
+pub struct HistogramTimer {
+    hist: Histogram,
+    start: std::time::Instant,
+    done: bool,
+}
+
+impl HistogramTimer {
+    /// Ends the timer now and returns the observed seconds.
+    pub fn observe_duration(mut self) -> f64 {
+        self.close()
+    }
+
+    fn close(&mut self) -> f64 {
+        if self.done {
+            return 0.0;
+        }
+        self.done = true;
+        let secs = self.start.elapsed().as_secs_f64();
+        self.hist.observe(secs);
+        secs
+    }
+}
+
+impl Drop for HistogramTimer {
+    fn drop(&mut self) {
+        self.close();
     }
 }
 
@@ -456,6 +502,18 @@ mod tests {
     fn exponential_buckets() {
         let b = Histogram::exponential_buckets(1.0, 2.0, 4);
         assert_eq!(b, vec![1.0, 2.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn timer_observes_on_drop_and_explicitly() {
+        let h = Histogram::new(Histogram::duration_buckets());
+        {
+            let _t = h.start_timer();
+        }
+        let secs = h.start_timer().observe_duration();
+        assert_eq!(h.count(), 2);
+        assert!(secs >= 0.0);
+        assert!(h.sum() >= secs);
     }
 
     #[test]

@@ -28,9 +28,11 @@ pub mod regexlite;
 pub mod registry;
 
 pub use encode::encode_families;
-pub use instruments::{Counter, CounterVec, Gauge, GaugeVec, Histogram, HistogramVec, Summary};
+pub use instruments::{
+    Counter, CounterVec, Gauge, GaugeVec, Histogram, HistogramTimer, HistogramVec, Summary,
+};
 pub use labels::{LabelSet, LabelSetBuilder};
 pub use matcher::{LabelMatcher, MatchOp};
 pub use model::{Metric, MetricFamily, MetricType, Sample};
-pub use parse::{parse_text, ParseError, ParsedSample};
+pub use parse::{parse_text, ParseError, ParsedSample, ParsedScrape};
 pub use registry::{Collector, Registry};

@@ -1,0 +1,109 @@
+//! HTTP server request instrumentation.
+//!
+//! Wraps a [`Router`] into a handler for [`ceems_http::HttpServer::serve_fn`]
+//! that counts requests by method/status class and observes handling latency,
+//! so every component's server exports a uniform
+//! `ceems_<component>_http_requests_total` / `..._http_request_duration_seconds`
+//! pair from the same registry its `/metrics` endpoint serves.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ceems_http::{Request, Response, Router};
+use ceems_metrics::{CounterVec, Histogram, Registry};
+
+use crate::duration_buckets;
+
+/// Request counter + latency histogram for one HTTP server.
+#[derive(Clone)]
+pub struct HttpInstruments {
+    requests: CounterVec,
+    duration: Histogram,
+}
+
+impl HttpInstruments {
+    /// Creates the instruments with `ceems_<component>_http_*` names and
+    /// registers them in the registry.
+    pub fn new(component: &str, registry: &Registry) -> HttpInstruments {
+        let requests = CounterVec::new(
+            format!("ceems_{component}_http_requests_total"),
+            "HTTP requests handled, by method and status class.",
+            &["method", "code"],
+        );
+        let duration = Histogram::new(duration_buckets());
+        registry.register(
+            format!("ceems_{component}_http_requests_total"),
+            Arc::new(requests.clone()),
+        );
+        let name = format!("ceems_{component}_http_request_duration_seconds");
+        let d2 = duration.clone();
+        registry.register(name.clone(), {
+            let help = "HTTP request handling latency in seconds.";
+            Arc::new(move || vec![crate::histogram_family(&name, help, &d2)])
+        });
+        HttpInstruments { requests, duration }
+    }
+
+    /// Records one handled request.
+    pub fn observe(&self, method: &str, status: u16, seconds: f64) {
+        let class = match status {
+            100..=199 => "1xx",
+            200..=299 => "2xx",
+            300..=399 => "3xx",
+            400..=499 => "4xx",
+            _ => "5xx",
+        };
+        self.requests.with_label_values(&[method, class]).inc();
+        self.duration.observe(seconds);
+    }
+
+    /// Wraps a router into an instrumented handler for `serve_fn`.
+    pub fn wrap(&self, router: Router) -> Arc<dyn Fn(Request) -> Response + Send + Sync> {
+        let me = self.clone();
+        Arc::new(move |req: Request| {
+            let method = req.method.as_str();
+            let start = Instant::now();
+            let resp = router.dispatch(req);
+            me.observe(method, resp.status.0, start.elapsed().as_secs_f64());
+            resp
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceems_http::{Method, Status};
+
+    #[test]
+    fn wrapped_router_counts_by_status_class() {
+        let registry = Registry::new();
+        let http = HttpInstruments::new("test", &registry);
+        let mut router = Router::new();
+        router.get("/ok", |_req| Response::text("fine"));
+        let handler = http.wrap(router);
+
+        handler(Request::new(Method::Get, "/ok"));
+        handler(Request::new(Method::Get, "/ok"));
+        handler(Request::new(Method::Get, "/missing"));
+
+        assert_eq!(
+            http.requests.with_label_values(&["GET", "2xx"]).get(),
+            2.0
+        );
+        assert_eq!(
+            http.requests.with_label_values(&["GET", "4xx"]).get(),
+            1.0
+        );
+        assert_eq!(http.duration.count(), 3);
+
+        let fams = registry.gather();
+        assert!(fams
+            .iter()
+            .any(|f| f.name == "ceems_test_http_requests_total"));
+        assert!(fams
+            .iter()
+            .any(|f| f.name == "ceems_test_http_request_duration_seconds"));
+        let _ = Status::OK;
+    }
+}

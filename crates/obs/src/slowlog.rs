@@ -1,0 +1,168 @@
+//! Slow-query log: one structured line per query over a configured threshold.
+//!
+//! The threshold comes from YAML (`tsdb: slow_query_ms:`); a non-positive or
+//! absent threshold disables the log. Lines are `key=value` pairs with the
+//! query expression quoted last, so they grep and parse trivially:
+//!
+//! ```text
+//! slow_query component=tsdb endpoint=/api/v1/query_range trace_id=8f... \
+//!   total_ms=312.44 series=1200 samples=480000 steps=60 query="sum(power)"
+//! ```
+
+use std::sync::Arc;
+
+use crate::trace::TraceReport;
+use ceems_metrics::Counter;
+
+/// Everything one slow-query line carries.
+pub struct SlowQueryRecord<'a> {
+    /// Component emitting the line (`tsdb`, `lb`).
+    pub component: &'a str,
+    /// The HTTP endpoint path.
+    pub endpoint: &'a str,
+    /// The PromQL expression (quoted in the output).
+    pub query: &'a str,
+    /// End-to-end wall time for the request, in milliseconds.
+    pub total_ms: f64,
+    /// The finished trace, when one was active (adds trace_id and counts).
+    pub trace: Option<&'a TraceReport>,
+}
+
+type Sink = Arc<dyn Fn(&str) + Send + Sync>;
+
+/// The slow-query log: threshold + sink + emission counter.
+#[derive(Clone)]
+pub struct SlowQueryLog {
+    threshold_ms: f64,
+    sink: Sink,
+    emitted: Counter,
+}
+
+impl SlowQueryLog {
+    /// Creates a log with the given threshold (milliseconds). A non-positive
+    /// threshold disables it. The default sink writes to stderr.
+    pub fn new(threshold_ms: f64) -> SlowQueryLog {
+        SlowQueryLog {
+            threshold_ms,
+            sink: Arc::new(|line| eprintln!("{line}")),
+            emitted: Counter::new(),
+        }
+    }
+
+    /// Replaces the sink (tests capture lines this way).
+    pub fn with_sink(mut self, sink: impl Fn(&str) + Send + Sync + 'static) -> SlowQueryLog {
+        self.sink = Arc::new(sink);
+        self
+    }
+
+    /// Whether the log is active.
+    pub fn enabled(&self) -> bool {
+        self.threshold_ms > 0.0
+    }
+
+    /// The configured threshold in milliseconds.
+    pub fn threshold_ms(&self) -> f64 {
+        self.threshold_ms
+    }
+
+    /// A clone of the emission counter, for registering as
+    /// `ceems_<component>_slow_queries_total`.
+    pub fn emitted_counter(&self) -> Counter {
+        self.emitted.clone()
+    }
+
+    /// Emits one line if (and only if) the record crosses the threshold;
+    /// returns whether it fired.
+    pub fn observe(&self, rec: &SlowQueryRecord<'_>) -> bool {
+        if !self.enabled() || rec.total_ms < self.threshold_ms {
+            return false;
+        }
+        self.emitted.inc();
+        (self.sink)(&format_line(rec));
+        true
+    }
+}
+
+/// Formats the structured line (public so tests can assert the exact shape).
+pub fn format_line(rec: &SlowQueryRecord<'_>) -> String {
+    let mut line = format!(
+        "slow_query component={} endpoint={}",
+        rec.component, rec.endpoint
+    );
+    if let Some(t) = rec.trace {
+        line.push_str(&format!(" trace_id={}", t.id));
+    }
+    line.push_str(&format!(" total_ms={:.3}", rec.total_ms));
+    if let Some(t) = rec.trace {
+        for (k, v) in &t.counts {
+            line.push_str(&format!(" {k}={v}"));
+        }
+    }
+    line.push_str(&format!(" query={:?}", rec.query));
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::QueryTrace;
+    use parking_lot::Mutex;
+
+    fn capture() -> (SlowQueryLog, Arc<Mutex<Vec<String>>>) {
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let l2 = lines.clone();
+        let log = SlowQueryLog::new(10.0).with_sink(move |l| l2.lock().push(l.to_string()));
+        (log, lines)
+    }
+
+    #[test]
+    fn fires_exactly_over_threshold() {
+        let (log, lines) = capture();
+        let rec = |ms| SlowQueryRecord {
+            component: "tsdb",
+            endpoint: "/api/v1/query",
+            query: "up",
+            total_ms: ms,
+            trace: None,
+        };
+        assert!(!log.observe(&rec(9.99)));
+        assert!(log.observe(&rec(10.0)));
+        assert!(log.observe(&rec(500.0)));
+        assert_eq!(lines.lock().len(), 2);
+        assert_eq!(log.emitted_counter().get(), 2.0);
+    }
+
+    #[test]
+    fn disabled_log_never_fires() {
+        let log = SlowQueryLog::new(0.0).with_sink(|_| panic!("must not fire"));
+        assert!(!log.enabled());
+        assert!(!log.observe(&SlowQueryRecord {
+            component: "tsdb",
+            endpoint: "/q",
+            query: "up",
+            total_ms: 1e9,
+            trace: None,
+        }));
+    }
+
+    #[test]
+    fn line_shape_includes_trace_and_counts() {
+        let t = QueryTrace::begin(Some("cafe0123cafe0123"));
+        t.add_count("series", 3);
+        t.add_count("steps", 7);
+        let report = t.report();
+        let line = format_line(&SlowQueryRecord {
+            component: "tsdb",
+            endpoint: "/api/v1/query_range",
+            query: "sum(power{uuid=\"u1\"})",
+            total_ms: 123.456,
+            trace: Some(&report),
+        });
+        assert!(line.starts_with("slow_query component=tsdb endpoint=/api/v1/query_range"));
+        assert!(line.contains("trace_id=cafe0123cafe0123"));
+        assert!(line.contains("total_ms=123.456"));
+        assert!(line.contains(" series=3"));
+        assert!(line.contains(" steps=7"));
+        assert!(line.ends_with("query=\"sum(power{uuid=\\\"u1\\\"})\""));
+    }
+}

@@ -1,0 +1,286 @@
+//! Span-based query tracing.
+//!
+//! A [`QueryTrace`] is minted at the edge (the LB, or the TSDB HTTP API when
+//! hit directly) and travels across processes as a plain ID in the
+//! `x-ceems-trace-id` header ([`crate::TRACE_HEADER`]). Within a process it is
+//! carried implicitly through a thread-local "current trace" so deep layers
+//! (the PromQL evaluator, the storage select path) can attach stage timings
+//! and work counts without threading a context argument through every
+//! signature. Parallel fan-out sites re-enter the parent trace on their worker
+//! threads via [`enter`].
+//!
+//! All recording is O(1)-ish and lock-held-briefly; when no trace is active
+//! ([`current`] is `None`) the instrumented code paths skip recording
+//! entirely, so untraced queries pay only a thread-local read.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// One completed stage: a named wall-time interval within the trace.
+#[derive(Clone, Debug)]
+pub struct StageReport {
+    /// Stage name (e.g. `parse`, `eval`, `lb_auth`).
+    pub name: String,
+    /// Wall time spent in the stage, in milliseconds.
+    pub ms: f64,
+}
+
+/// A finished-trace snapshot: everything needed to render the breakdown.
+#[derive(Clone, Debug)]
+pub struct TraceReport {
+    /// The trace ID (minted or accepted from the propagation header).
+    pub id: String,
+    /// Total wall time since the trace began, in milliseconds.
+    pub total_ms: f64,
+    /// Completed stages in completion order.
+    pub stages: Vec<StageReport>,
+    /// Work counts accumulated across all stages (series touched, samples
+    /// decoded, steps fanned out, ...).
+    pub counts: BTreeMap<&'static str, u64>,
+}
+
+impl TraceReport {
+    /// Renders the report as the `data.trace` JSON object every traced
+    /// endpoint returns: `traceId`, `totalMs`, `stages` (name/ms pairs in
+    /// completion order) and `counts`.
+    pub fn to_json(&self) -> serde_json::Value {
+        let stages: Vec<serde_json::Value> = self
+            .stages
+            .iter()
+            .map(|s| serde_json::json!({"name": s.name, "ms": s.ms}))
+            .collect();
+        let counts: serde_json::Map<String, serde_json::Value> = self
+            .counts
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), serde_json::json!(*v)))
+            .collect();
+        serde_json::json!({
+            "traceId": self.id,
+            "totalMs": self.total_ms,
+            "stages": stages,
+            "counts": counts,
+        })
+    }
+}
+
+struct TraceInner {
+    id: String,
+    start: Instant,
+    stages: Mutex<Vec<StageReport>>,
+    counts: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+/// A shareable, thread-safe query trace. Clones share state.
+#[derive(Clone)]
+pub struct QueryTrace {
+    inner: Arc<TraceInner>,
+}
+
+impl QueryTrace {
+    /// Starts a trace, accepting an upstream ID or minting a fresh one.
+    pub fn begin(upstream_id: Option<&str>) -> QueryTrace {
+        let id = match upstream_id {
+            Some(s) if !s.is_empty() => s.to_string(),
+            _ => mint_id(),
+        };
+        QueryTrace {
+            inner: Arc::new(TraceInner {
+                id,
+                start: Instant::now(),
+                stages: Mutex::new(Vec::new()),
+                counts: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// The trace ID.
+    pub fn id(&self) -> &str {
+        &self.inner.id
+    }
+
+    /// Opens a named stage; its wall time is recorded when the guard drops.
+    pub fn stage(&self, name: &'static str) -> StageGuard {
+        StageGuard {
+            trace: self.clone(),
+            name,
+            start: Instant::now(),
+            done: false,
+        }
+    }
+
+    /// Records an already-measured stage duration.
+    pub fn record_stage_ms(&self, name: impl Into<String>, ms: f64) {
+        self.inner.stages.lock().push(StageReport {
+            name: name.into(),
+            ms,
+        });
+    }
+
+    /// Adds `n` to a named work count.
+    pub fn add_count(&self, key: &'static str, n: u64) {
+        *self.inner.counts.lock().entry(key).or_insert(0) += n;
+    }
+
+    /// Milliseconds since the trace began.
+    pub fn total_ms(&self) -> f64 {
+        self.inner.start.elapsed().as_secs_f64() * 1000.0
+    }
+
+    /// Snapshots the trace for rendering.
+    pub fn report(&self) -> TraceReport {
+        TraceReport {
+            id: self.inner.id.clone(),
+            total_ms: self.total_ms(),
+            stages: self.inner.stages.lock().clone(),
+            counts: self.inner.counts.lock().clone(),
+        }
+    }
+}
+
+/// Records the stage's wall time into the trace on drop.
+pub struct StageGuard {
+    trace: QueryTrace,
+    name: &'static str,
+    start: Instant,
+    done: bool,
+}
+
+impl StageGuard {
+    /// Ends the stage now (instead of at scope exit).
+    pub fn finish(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        if !self.done {
+            self.done = true;
+            self.trace
+                .record_stage_ms(self.name, self.start.elapsed().as_secs_f64() * 1000.0);
+        }
+    }
+}
+
+impl Drop for StageGuard {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<QueryTrace>> = const { RefCell::new(None) };
+}
+
+/// The trace active on this thread, if any.
+pub fn current() -> Option<QueryTrace> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Makes `trace` the current trace for this thread until the returned guard
+/// drops (the previous current trace, if any, is restored). Fan-out sites
+/// call this on worker threads with the parent's trace.
+pub fn enter(trace: Option<QueryTrace>) -> CurrentGuard {
+    let prev = CURRENT.with(|c| c.borrow_mut().take());
+    CURRENT.with(|c| *c.borrow_mut() = trace);
+    CurrentGuard { prev }
+}
+
+/// Restores the previously-current trace on drop.
+pub struct CurrentGuard {
+    prev: Option<QueryTrace>,
+}
+
+impl Drop for CurrentGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Mints a 16-hex-char trace ID: wall clock + pid + a process-wide counter,
+/// mixed through the std hasher. Unique enough to correlate log lines.
+pub fn mint_id() -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::process::id().hash(&mut h);
+    SEQ.fetch_add(1, Ordering::Relaxed).hash(&mut h);
+    if let Ok(d) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        d.subsec_nanos().hash(&mut h);
+        d.as_secs().hash(&mut h);
+    }
+    format!("{:016x}", h.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_and_counts_accumulate() {
+        let t = QueryTrace::begin(None);
+        {
+            let _s = t.stage("parse");
+        }
+        let s = t.stage("eval");
+        t.add_count("series", 5);
+        t.add_count("series", 2);
+        t.add_count("steps", 10);
+        s.finish();
+        let r = t.report();
+        assert_eq!(r.stages.len(), 2);
+        assert_eq!(r.stages[0].name, "parse");
+        assert_eq!(r.stages[1].name, "eval");
+        assert_eq!(r.counts["series"], 7);
+        assert_eq!(r.counts["steps"], 10);
+        let stage_sum: f64 = r.stages.iter().map(|s| s.ms).sum();
+        assert!(stage_sum <= r.total_ms + 1e-6);
+    }
+
+    #[test]
+    fn upstream_id_is_kept_and_minted_ids_differ() {
+        let t = QueryTrace::begin(Some("deadbeef"));
+        assert_eq!(t.id(), "deadbeef");
+        let a = QueryTrace::begin(None);
+        let b = QueryTrace::begin(None);
+        assert_ne!(a.id(), b.id());
+        assert_eq!(a.id().len(), 16);
+    }
+
+    #[test]
+    fn thread_local_enter_nests_and_restores() {
+        assert!(current().is_none());
+        let outer = QueryTrace::begin(None);
+        let g1 = enter(Some(outer.clone()));
+        assert_eq!(current().unwrap().id(), outer.id());
+        {
+            let inner = QueryTrace::begin(None);
+            let _g2 = enter(Some(inner.clone()));
+            assert_eq!(current().unwrap().id(), inner.id());
+        }
+        assert_eq!(current().unwrap().id(), outer.id());
+        drop(g1);
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn worker_threads_share_the_trace() {
+        let t = QueryTrace::begin(None);
+        let _g = enter(Some(t.clone()));
+        let parent = current();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let parent = parent.clone();
+                s.spawn(move || {
+                    let _g = enter(parent);
+                    current().unwrap().add_count("work", 1);
+                });
+            }
+        });
+        assert_eq!(t.report().counts["work"], 4);
+    }
+}

@@ -293,7 +293,7 @@ mod tests {
     fn key_distinguishes_different_sets() {
         let re1 = LabelMatcher::new("b", MatchOp::Re, "x.*").unwrap();
         let re2 = LabelMatcher::new("b", MatchOp::Re, "y.*").unwrap();
-        assert_ne!(cache_key(&[re1.clone()]), cache_key(&[re2]));
+        assert_ne!(cache_key(std::slice::from_ref(&re1)), cache_key(&[re2]));
         let nre = LabelMatcher::new("b", MatchOp::Nre, "x.*").unwrap();
         assert_ne!(cache_key(&[re1]), cache_key(&[nre]));
     }

@@ -6,6 +6,12 @@
 //! `delete_series` the API server's cardinality cleanup calls. Responses
 //! follow the Prometheus JSON envelope (`status`/`data`, values as
 //! `[unix_seconds, "string"]` pairs).
+//!
+//! Observability (S17): the router also serves `/metrics` from a
+//! [`Registry`] (default: [`selfmon::default_registry`]); the query
+//! endpoints accept `?trace=1` (and the `x-ceems-trace-id` header) to
+//! return a per-stage wall-time breakdown under `data.trace`, and feed a
+//! configurable [`SlowQueryLog`].
 
 use std::sync::Arc;
 
@@ -14,13 +20,57 @@ use serde_json::{json, Value as Json};
 use ceems_http::{Request, Response, Router, Status};
 use ceems_metrics::labels::LabelSet;
 use ceems_metrics::matcher::LabelMatcher;
+use ceems_metrics::Registry;
+use ceems_obs::slowlog::{SlowQueryLog, SlowQueryRecord};
+use ceems_obs::trace::{self, QueryTrace, TraceReport};
+use ceems_obs::{counter_family, TRACE_HEADER};
 
 use crate::promql::{instant_query, parse_expr, range_query, Expr, Value};
+use crate::selfmon;
 use crate::storage::Tsdb;
 
 /// A clock supplying "now" for queries without an explicit `time` param
 /// (simulated deployments pass the simulation clock).
 pub type NowFn = Arc<dyn Fn() -> i64 + Send + Sync>;
+
+/// Options for [`api_router_with`]: the clock plus the observability knobs.
+pub struct ApiOptions {
+    /// Clock supplying "now" for queries without an explicit `time` param.
+    pub now: NowFn,
+    /// Registry served at `/metrics`. `None` builds the default TSDB
+    /// registry ([`selfmon::default_registry`]) over `db`.
+    pub registry: Option<Registry>,
+    /// Slow-query log. `None` (like a non-positive threshold) disables it.
+    pub slow_query: Option<SlowQueryLog>,
+}
+
+impl ApiOptions {
+    /// Options with the given clock, the default registry, and the
+    /// slow-query log disabled — what [`api_router`] uses.
+    pub fn new(now: NowFn) -> ApiOptions {
+        ApiOptions {
+            now,
+            registry: None,
+            slow_query: None,
+        }
+    }
+}
+
+/// `?trace=1` (or `trace=true`) requests the stage breakdown in the reply.
+fn trace_requested(req: &Request) -> bool {
+    matches!(req.query_param("trace"), Some("1") | Some("true"))
+}
+
+/// Inserts `trace` into the (object) data payload.
+fn attach_trace(data: Json, report: &TraceReport) -> Json {
+    match data {
+        Json::Object(mut map) => {
+            map.insert("trace".to_string(), report.to_json());
+            Json::Object(map)
+        }
+        other => other,
+    }
+}
 
 fn ok_json(data: Json) -> Response {
     Response::json(
@@ -83,14 +133,42 @@ fn parse_matchers(req: &Request) -> Result<Vec<Vec<LabelMatcher>>, String> {
     Ok(out)
 }
 
-/// Builds the API router over a TSDB.
+/// Builds the API router over a TSDB (default observability: `/metrics`
+/// from the default registry, no slow-query log).
 pub fn api_router(db: Arc<Tsdb>, now: NowFn) -> Router {
+    api_router_with(db, ApiOptions::new(now))
+}
+
+/// Builds the API router with explicit observability options.
+pub fn api_router_with(db: Arc<Tsdb>, opts: ApiOptions) -> Router {
+    let now = opts.now;
+    let registry = opts
+        .registry
+        .unwrap_or_else(|| selfmon::default_registry(db.clone()));
+    let slow = opts.slow_query.unwrap_or_else(|| SlowQueryLog::new(0.0));
+    {
+        let emitted = slow.emitted_counter();
+        registry.register(
+            "tsdb_slow_queries",
+            Arc::new(move || {
+                vec![counter_family(
+                    "ceems_tsdb_slow_queries_total",
+                    "Queries that crossed the slow-query threshold.",
+                    &emitted,
+                )]
+            }),
+        );
+    }
     let mut router = Router::new();
+    ceems_obs::add_metrics_route(&mut router, registry);
 
     {
         let db = db.clone();
         let now = now.clone();
+        let slow = slow.clone();
         router.get("/api/v1/query", move |req| {
+            let qtrace = QueryTrace::begin(req.header(TRACE_HEADER));
+            let _cur = trace::enter(Some(qtrace.clone()));
             let t = match parse_time(req, "time", now()) {
                 Ok(t) => t,
                 Err(e) => return err_json(Status::BAD_REQUEST, e),
@@ -98,37 +176,58 @@ pub fn api_router(db: Arc<Tsdb>, now: NowFn) -> Router {
             let Some(q) = req.query_param("query") else {
                 return err_json(Status::BAD_REQUEST, "missing query parameter");
             };
+            let parsing = qtrace.stage("parse");
             let expr = match parse_expr(q) {
                 Ok(e) => e,
                 Err(e) => return err_json(Status::BAD_REQUEST, e.to_string()),
             };
-            match instant_query(db.as_ref(), &expr, t) {
-                Ok(Value::Scalar(v)) => ok_json(json!({
+            parsing.finish();
+            let evaling = qtrace.stage("eval");
+            let result = instant_query(db.as_ref(), &expr, t);
+            evaling.finish();
+            let data = match result {
+                Ok(Value::Scalar(v)) => json!({
                     "resultType": "scalar",
                     "result": sample_pair(t, v),
-                })),
-                Ok(Value::Vector(vec)) => ok_json(json!({
+                }),
+                Ok(Value::Vector(vec)) => json!({
                     "resultType": "vector",
                     "result": vec.iter().map(|(l, v)| json!({
                         "metric": labels_to_json(l),
                         "value": sample_pair(t, *v),
                     })).collect::<Vec<_>>(),
-                })),
-                Ok(Value::Matrix(m)) => ok_json(json!({
+                }),
+                Ok(Value::Matrix(m)) => json!({
                     "resultType": "matrix",
                     "result": m.iter().map(|s| json!({
                         "metric": labels_to_json(&s.labels),
                         "values": s.samples.iter().map(|x| sample_pair(x.t_ms, x.v)).collect::<Vec<_>>(),
                     })).collect::<Vec<_>>(),
-                })),
-                Err(e) => err_json(Status::UNPROCESSABLE, e.to_string()),
+                }),
+                Err(e) => return err_json(Status::UNPROCESSABLE, e.to_string()),
+            };
+            let report = qtrace.report();
+            slow.observe(&SlowQueryRecord {
+                component: "tsdb",
+                endpoint: "/api/v1/query",
+                query: q,
+                total_ms: report.total_ms,
+                trace: Some(&report),
+            });
+            if trace_requested(req) {
+                ok_json(attach_trace(data, &report))
+            } else {
+                ok_json(data)
             }
         });
     }
 
     {
         let db = db.clone();
+        let slow = slow.clone();
         router.get("/api/v1/query_range", move |req| {
+            let qtrace = QueryTrace::begin(req.header(TRACE_HEADER));
+            let _cur = trace::enter(Some(qtrace.clone()));
             let (start, end) = match (parse_time(req, "start", 0), parse_time(req, "end", 0)) {
                 (Ok(s), Ok(e)) => (s, e),
                 (Err(e), _) | (_, Err(e)) => return err_json(Status::BAD_REQUEST, e),
@@ -143,19 +242,37 @@ pub fn api_router(db: Arc<Tsdb>, now: NowFn) -> Router {
             let Some(q) = req.query_param("query") else {
                 return err_json(Status::BAD_REQUEST, "missing query parameter");
             };
+            let parsing = qtrace.stage("parse");
             let expr = match parse_expr(q) {
                 Ok(e) => e,
                 Err(e) => return err_json(Status::BAD_REQUEST, e.to_string()),
             };
-            match range_query(db.as_ref(), &expr, start, end, step_ms) {
-                Ok(series) => ok_json(json!({
+            parsing.finish();
+            let evaling = qtrace.stage("eval");
+            let result = range_query(db.as_ref(), &expr, start, end, step_ms);
+            evaling.finish();
+            let data = match result {
+                Ok(series) => json!({
                     "resultType": "matrix",
                     "result": series.iter().map(|s| json!({
                         "metric": labels_to_json(&s.labels),
                         "values": s.samples.iter().map(|x| sample_pair(x.t_ms, x.v)).collect::<Vec<_>>(),
                     })).collect::<Vec<_>>(),
-                })),
-                Err(e) => err_json(Status::UNPROCESSABLE, e.to_string()),
+                }),
+                Err(e) => return err_json(Status::UNPROCESSABLE, e.to_string()),
+            };
+            let report = qtrace.report();
+            slow.observe(&SlowQueryRecord {
+                component: "tsdb",
+                endpoint: "/api/v1/query_range",
+                query: q,
+                total_ms: report.total_ms,
+                trace: Some(&report),
+            });
+            if trace_requested(req) {
+                ok_json(attach_trace(data, &report))
+            } else {
+                ok_json(data)
             }
         });
     }
@@ -398,6 +515,105 @@ mod tests {
         assert_eq!(v["data"]["deletedSeries"], 1);
         assert_eq!(db.series_count(), 1);
         server.shutdown();
+    }
+
+    #[test]
+    fn trace_param_returns_stage_breakdown() {
+        let (server, _db) = serve();
+        let v = get_json(&format!(
+            "{}/api/v1/query_range?query=power_watts&start=0&end=135&step=15&trace=1",
+            server.base_url()
+        ));
+        let t = &v["data"]["trace"];
+        assert_eq!(t["traceId"].as_str().unwrap().len(), 16);
+        let stages = t["stages"].as_array().unwrap();
+        assert!(stages.iter().any(|s| s["name"] == "parse"));
+        assert!(stages.iter().any(|s| s["name"] == "eval"));
+        let stage_sum: f64 = stages.iter().map(|s| s["ms"].as_f64().unwrap()).sum();
+        assert!(stage_sum <= t["totalMs"].as_f64().unwrap() + 1e-6);
+        assert_eq!(t["counts"]["steps"].as_u64(), Some(10));
+        assert!(t["counts"]["series"].as_u64().unwrap() >= 2);
+
+        // An upstream trace ID in the header is kept verbatim.
+        let resp = Client::new()
+            .with_header(TRACE_HEADER, "cafe0123cafe0123")
+            .get(&format!(
+                "{}/api/v1/query?query=power_watts&trace=1",
+                server.base_url()
+            ))
+            .unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["data"]["trace"]["traceId"], "cafe0123cafe0123");
+
+        // Without trace=1 the payload stays untouched.
+        let v = get_json(&format!(
+            "{}/api/v1/query?query=power_watts",
+            server.base_url()
+        ));
+        assert!(v["data"]["trace"].is_null());
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_parseable_text() {
+        let (server, _db) = serve();
+        // Touch the query path so latency histograms have observations.
+        get_json(&format!(
+            "{}/api/v1/query?query=power_watts",
+            server.base_url()
+        ));
+        let resp = Client::new()
+            .get(&format!("{}/metrics", server.base_url()))
+            .unwrap();
+        assert_eq!(resp.status, Status::OK);
+        let text = String::from_utf8(resp.body).unwrap();
+        let parsed = ceems_metrics::parse_text(&text).expect("/metrics must parse");
+        let has = |n: &str| parsed.samples.iter().any(|s| s.name == n);
+        assert!(has("ceems_tsdb_head_series"));
+        assert!(has("ceems_tsdb_select_duration_seconds_count"));
+        assert!(has("ceems_tsdb_slow_queries_total"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_query_log_fires_only_over_threshold() {
+        let db = Arc::new(Tsdb::default());
+        db.append(&labels! {"__name__" => "power_watts"}, 0, 1.0);
+        let serve_with = |log: SlowQueryLog, db: Arc<Tsdb>| {
+            let opts = ApiOptions {
+                now: Arc::new(|| 0),
+                registry: None,
+                slow_query: Some(log),
+            };
+            HttpServer::serve(ServerConfig::ephemeral(), api_router_with(db, opts)).unwrap()
+        };
+
+        // Threshold below any real wall time: every query logs one line.
+        let lines = Arc::new(std::sync::Mutex::new(Vec::<String>::new()));
+        let sink = lines.clone();
+        let log = SlowQueryLog::new(1e-6).with_sink(move |l| sink.lock().unwrap().push(l.into()));
+        let server = serve_with(log, db.clone());
+        get_json(&format!(
+            "{}/api/v1/query?query=power_watts",
+            server.base_url()
+        ));
+        server.shutdown();
+        let lines = Arc::try_unwrap(lines).unwrap().into_inner().unwrap();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with("slow_query component=tsdb endpoint=/api/v1/query "));
+        assert!(lines[0].ends_with("query=\"power_watts\""));
+
+        // Threshold far above anything achievable: never fires.
+        let fired = Arc::new(std::sync::Mutex::new(Vec::<String>::new()));
+        let sink = fired.clone();
+        let log = SlowQueryLog::new(1e12).with_sink(move |l| sink.lock().unwrap().push(l.into()));
+        let server = serve_with(log, db);
+        get_json(&format!(
+            "{}/api/v1/query?query=power_watts",
+            server.base_url()
+        ));
+        server.shutdown();
+        assert!(fired.lock().unwrap().is_empty());
     }
 
     #[test]

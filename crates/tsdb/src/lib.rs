@@ -39,10 +39,11 @@ pub mod promql;
 pub mod replica;
 pub mod rules;
 pub mod scrape;
+pub mod selfmon;
 pub mod storage;
 pub mod types;
 pub mod wal;
 
-pub use storage::{Tsdb, TsdbConfig};
+pub use storage::{Tsdb, TsdbConfig, TsdbInstruments};
 pub use types::{Sample, SeriesData};
 pub use wal::{FsyncMode, WalOptions, WalPosition};

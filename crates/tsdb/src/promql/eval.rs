@@ -129,6 +129,10 @@ pub fn range_query(
         t += step_ms;
     }
 
+    if let Some(t) = ceems_obs::trace::current() {
+        t.add_count("steps", steps.len() as u64);
+    }
+
     let threads = db.query_threads().min(steps.len());
     let results: Vec<Result<Value, EvalError>> = if threads <= 1
         || steps.len() < PARALLEL_RANGE_MIN_STEPS
@@ -148,13 +152,18 @@ pub fn range_query(
     } else {
         let mut slots: Vec<Option<Result<Value, EvalError>>> =
             steps.iter().map(|_| None).collect();
+        // Workers are fresh threads: re-enter the caller's query trace so
+        // their selects keep attributing series/sample counts to it.
+        let parent_trace = ceems_obs::trace::current();
         let filled: Vec<(usize, Result<Value, EvalError>)> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
                     let steps = &steps;
                     let expr = &*expr;
+                    let parent_trace = parent_trace.clone();
                     scope.spawn(move |_| {
                         crate::storage::mark_nested_query_worker();
+                        let _trace = ceems_obs::trace::enter(parent_trace);
                         steps
                             .iter()
                             .enumerate()

@@ -13,6 +13,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use ceems_http::{Client, Status};
+use ceems_metrics::Counter;
 
 use crate::storage::Tsdb;
 use crate::wal::{decode_frames, WalPosition};
@@ -26,8 +27,7 @@ pub const STATUS_GONE: Status = Status(410);
 pub enum FollowError {
     /// Transport-level failure talking to the leader.
     Http(String),
-    /// The leader answered, but unusably (no WAL, bad payload, or the
-    /// follower fell behind a GC horizon and must restart empty).
+    /// The leader answered, but unusably (no WAL, bad payload).
     Leader(String),
     /// Local I/O failure applying the stream.
     Io(std::io::Error),
@@ -51,6 +51,7 @@ pub struct WalFollower {
     leader_base: String,
     db: Arc<Tsdb>,
     pos: WalPosition,
+    resyncs: Counter,
 }
 
 impl WalFollower {
@@ -63,12 +64,25 @@ impl WalFollower {
             leader_base: leader_base_url.into(),
             db,
             pos: WalPosition::default(),
+            resyncs: Counter::new(),
         }
     }
 
     /// The leader position this follower has applied up to.
     pub fn position(&self) -> WalPosition {
         self.pos
+    }
+
+    /// How many times this follower fell behind the leader's GC horizon and
+    /// re-bootstrapped from a checkpoint.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs.get() as u64
+    }
+
+    /// A clone of the resync counter, for registering as
+    /// `ceems_tsdb_follower_resyncs_total`.
+    pub fn resync_counter(&self) -> Counter {
+        self.resyncs.clone()
     }
 
     /// Asks the leader for its current position.
@@ -137,13 +151,14 @@ impl WalFollower {
             .map_err(|e| FollowError::Http(e.to_string()))?;
         if resp.status == STATUS_GONE {
             // The leader checkpointed past us; our partial state cannot be
-            // reconciled record-by-record. Operators restart the follower
-            // with an empty database, which re-bootstraps from the
-            // checkpoint.
-            return Err(FollowError::Leader(format!(
-                "segment {} was garbage-collected; follower must re-sync from empty",
-                self.pos.seq
-            )));
+            // reconciled record-by-record. Drop it and re-bootstrap from the
+            // leader's checkpoint, exactly as a freshly-started follower
+            // would. The next poll tails from the recovered position.
+            self.resyncs.inc();
+            self.db.clear_for_resync();
+            self.pos = WalPosition::default();
+            self.bootstrap()?;
+            return Ok(0);
         }
         if !resp.status.is_success() {
             return Err(FollowError::Leader(format!(

@@ -8,6 +8,7 @@
 
 use ceems_metrics::labels::{LabelSetBuilder, METRIC_NAME_LABEL};
 use ceems_metrics::matcher::MatchOp;
+use ceems_metrics::{Histogram, HistogramVec};
 
 use crate::promql::{instant_query_with_lookback, parse_expr, EvalError, Expr, Value};
 use crate::storage::Tsdb;
@@ -77,6 +78,7 @@ pub struct RuleEngine {
     last_eval_ms: Vec<i64>,
     stats: RuleStats,
     eval_threads: usize,
+    group_eval_seconds: HistogramVec,
 }
 
 impl RuleEngine {
@@ -89,7 +91,19 @@ impl RuleEngine {
             last_eval_ms: vec![i64::MIN; n],
             stats: RuleStats::default(),
             eval_threads: 1,
+            group_eval_seconds: HistogramVec::new(
+                "ceems_tsdb_rule_group_eval_duration_seconds",
+                "One rule-group evaluation round (all levels), by group.",
+                &["group"],
+                Histogram::duration_buckets(),
+            ),
         }
+    }
+
+    /// The per-group evaluation-latency histogram family (shared handle;
+    /// register it in a metrics registry to expose it).
+    pub fn eval_histogram(&self) -> HistogramVec {
+        self.group_eval_seconds.clone()
     }
 
     /// Evaluates independent rules *within* a due group on up to `threads`
@@ -132,6 +146,10 @@ impl RuleEngine {
             // stale (its workload ended) and must not be re-recorded with a
             // fresh timestamp — that would keep dead jobs drawing power.
             let lookback_ms = group.interval_ms.saturating_mul(2).saturating_add(15_000);
+            let _timer = self
+                .group_eval_seconds
+                .with_label_values(&[&group.name])
+                .start_timer();
             let results = Self::eval_group(db, group, now_ms, lookback_ms, self.eval_threads);
             for r in results {
                 self.stats.evaluations += 1;

@@ -14,11 +14,14 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 
 use ceems_metrics::labels::LabelSet;
 use ceems_metrics::matcher::LabelMatcher;
+use ceems_metrics::Histogram;
+use ceems_obs::trace;
 
 use crate::cache::{cache_key, CacheStats, ShardedPostingCache};
 use crate::head::Head;
@@ -96,6 +99,37 @@ impl LabelsCache {
     }
 }
 
+/// Latency instruments for the storage hot paths. Always present and
+/// lock-free to record; a `/metrics` registry renders them via
+/// [`crate::selfmon::TsdbCollector`]. Observation sites are chosen so the
+/// per-sample ingest path pays nothing: ingest is timed per *batch* (one
+/// observation per scrape pass), selects per call.
+#[derive(Clone)]
+pub struct TsdbInstruments {
+    /// `append_batch` wall time (one group commit: WAL log + head apply).
+    pub ingest_seconds: Histogram,
+    /// Whole two-phase select wall time (resolve + materialize).
+    pub select_seconds: Histogram,
+    /// Phase-1 resolve wall time (index lock + posting cache).
+    pub select_resolve_seconds: Histogram,
+    /// One WAL group commit (`Wal::log`: encode + write + fsync policy).
+    pub wal_append_seconds: Histogram,
+    /// Stop-the-world checkpoint wall time.
+    pub checkpoint_seconds: Histogram,
+}
+
+impl Default for TsdbInstruments {
+    fn default() -> Self {
+        TsdbInstruments {
+            ingest_seconds: Histogram::new(Histogram::duration_buckets()),
+            select_seconds: Histogram::new(Histogram::duration_buckets()),
+            select_resolve_seconds: Histogram::new(Histogram::duration_buckets()),
+            wal_append_seconds: Histogram::new(Histogram::duration_buckets()),
+            checkpoint_seconds: Histogram::new(Histogram::duration_buckets()),
+        }
+    }
+}
+
 /// WAL attachment of a durable TSDB: the writer, its directory, and the
 /// checkpoint gate.
 struct WalState {
@@ -126,6 +160,7 @@ pub struct Tsdb {
     /// A follower's view of the leader position it has applied up to;
     /// reported to the LB in place of the local WAL position.
     upstream_pos: Mutex<Option<WalPosition>>,
+    instruments: TsdbInstruments,
 }
 
 impl Default for Tsdb {
@@ -147,7 +182,13 @@ impl Tsdb {
             out_of_order: AtomicU64::new(0),
             wal: None,
             upstream_pos: Mutex::new(None),
+            instruments: TsdbInstruments::default(),
         }
+    }
+
+    /// The storage latency instruments (shared handles; clone freely).
+    pub fn instruments(&self) -> &TsdbInstruments {
+        &self.instruments
     }
 
     /// Opens (or creates) a durable TSDB backed by a WAL directory.
@@ -239,9 +280,13 @@ impl Tsdb {
     /// error counter lets operators alarm on it.
     fn log_wal(&self, recs: &[WalRecord]) {
         if let Some(ws) = &self.wal {
+            let start = Instant::now();
             if ws.wal.lock().log(recs).is_err() {
                 ws.errors.fetch_add(1, Ordering::Relaxed);
             }
+            self.instruments
+                .wal_append_seconds
+                .observe(start.elapsed().as_secs_f64());
         }
     }
 
@@ -301,6 +346,7 @@ impl Tsdb {
         if batch.is_empty() {
             return;
         }
+        let start = Instant::now();
         let _gate = self.wal_gate_read();
         let samples: Vec<(SeriesId, i64, f64)> = batch
             .iter()
@@ -312,6 +358,9 @@ impl Tsdb {
             unreachable!()
         };
         self.apply_samples(&samples);
+        self.instruments
+            .ingest_seconds
+            .observe(start.elapsed().as_secs_f64());
     }
 
     /// Applies one replayed/streamed record without logging it (recovery).
@@ -460,17 +509,37 @@ impl Tsdb {
     /// Selects series matching `matchers` with samples in `[tmin, tmax]`.
     /// Series with no samples in range are omitted.
     pub fn select(&self, matchers: &[LabelMatcher], tmin: i64, tmax: i64) -> Vec<SeriesData> {
+        let t0 = Instant::now();
         let resolved = self.resolve(matchers);
-        self.materialize(resolved, tmin, tmax)
+        let t1 = Instant::now();
+        let out = self.materialize(resolved, tmin, tmax);
+        let t2 = Instant::now();
+        self.instruments
+            .select_resolve_seconds
+            .observe((t1 - t0).as_secs_f64());
+        self.instruments.select_seconds.observe((t2 - t0).as_secs_f64());
+        if let Some(t) = trace::current() {
+            t.add_count("selects", 1);
+            t.add_count("series", out.len() as u64);
+            t.add_count("samples", out.iter().map(|s| s.samples.len() as u64).sum());
+        }
+        out
     }
 
     /// Latest sample per matching series (used by instant queries without a
     /// lookback window and by dashboards).
     pub fn select_latest(&self, matchers: &[LabelMatcher]) -> Vec<(Arc<LabelSet>, Sample)> {
-        self.resolve(matchers)
+        let out: Vec<(Arc<LabelSet>, Sample)> = self
+            .resolve(matchers)
             .into_iter()
             .filter_map(|(id, labels)| self.head.last_sample(id).map(|s| (labels, s)))
-            .collect()
+            .collect();
+        if let Some(t) = trace::current() {
+            t.add_count("selects", 1);
+            t.add_count("series", out.len() as u64);
+            t.add_count("samples", out.len() as u64);
+        }
+        out
     }
 
     /// Deletes matching series outright (the §II.C cardinality cleanup:
@@ -605,6 +674,39 @@ impl Tsdb {
             .map_or(0, |w| w.errors.load(Ordering::Relaxed))
     }
 
+    /// Fsync telemetry since open: `(calls, cumulative_seconds)`; zeros when
+    /// no WAL is attached.
+    pub fn wal_sync_stats(&self) -> (u64, f64) {
+        match &self.wal {
+            Some(ws) => {
+                let (calls, ns) = ws.wal.lock().sync_stats();
+                (calls, ns as f64 / 1e9)
+            }
+            None => (0, 0.0),
+        }
+    }
+
+    /// Drops every live series (tombstoning them in the local WAL when one
+    /// is attached), returning how many were dropped. Used by a follower
+    /// re-bootstrapping after its catch-up segment was garbage-collected on
+    /// the leader: checkpoint bootstrap requires an empty database.
+    pub fn clear_for_resync(&self) -> usize {
+        let _gate = self.wal_gate_write();
+        let mut idx = self.index.write();
+        let ids: Vec<SeriesId> = idx.all_series().into_iter().map(|(id, _)| id).collect();
+        if ids.is_empty() {
+            return 0;
+        }
+        if self.wal.is_some() {
+            self.log_wal(&[WalRecord::Tombstone(ids.clone())]);
+        }
+        for &id in &ids {
+            self.head.remove(id);
+            idx.remove(id);
+        }
+        ids.len()
+    }
+
     /// The local writer's position, if a WAL is attached.
     pub fn wal_position(&self) -> Option<WalPosition> {
         self.wal.as_ref().map(|w| w.wal.lock().position())
@@ -635,6 +737,7 @@ impl Tsdb {
         let ws = self.wal.as_ref().ok_or_else(|| {
             io::Error::new(io::ErrorKind::Unsupported, "checkpoint requires a WAL")
         })?;
+        let _timer = self.instruments.checkpoint_seconds.start_timer();
         let _gate = ws.gate.write();
         let (covers_seq, records) = {
             let mut w = ws.wal.lock();
@@ -989,7 +1092,7 @@ mod tests {
         });
         db.append(&labels! {"__name__" => "m", "x" => "1"}, 0, 1.0);
         let re = LabelMatcher::new("x", MatchOp::Re, ".+").unwrap();
-        db.select(&[re.clone()], 0, i64::MAX);
+        db.select(std::slice::from_ref(&re), 0, i64::MAX);
         db.select(&[re], 0, i64::MAX);
         assert_eq!(db.posting_cache_stats().hits, 0);
     }

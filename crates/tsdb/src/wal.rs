@@ -443,6 +443,10 @@ pub struct Wal {
     file: File,
     offset: u64,
     records: u64,
+    /// Fsync telemetry: calls and cumulative nanoseconds across log/rotate/
+    /// sync, read by the TSDB metrics collector under the writer mutex.
+    syncs: u64,
+    sync_ns: u64,
 }
 
 impl Wal {
@@ -480,6 +484,8 @@ impl Wal {
             file,
             offset,
             records,
+            syncs: 0,
+            sync_ns: 0,
         })
     }
 
@@ -490,6 +496,20 @@ impl Wal {
             offset: self.offset,
             records: self.records,
         }
+    }
+
+    /// Fsync telemetry since open: `(calls, cumulative_nanoseconds)`.
+    pub fn sync_stats(&self) -> (u64, u64) {
+        (self.syncs, self.sync_ns)
+    }
+
+    /// Syncs the active segment's data, accounting the call.
+    fn timed_sync_data(&mut self) -> io::Result<()> {
+        let start = std::time::Instant::now();
+        let res = self.file.sync_data();
+        self.syncs += 1;
+        self.sync_ns += start.elapsed().as_nanos() as u64;
+        res
     }
 
     /// Group commit: encodes all `recs` into one buffer and writes it with
@@ -510,7 +530,7 @@ impl Wal {
         self.offset += buf.len() as u64;
         self.records += recs.len() as u64;
         if self.opts.fsync == FsyncMode::Always {
-            self.file.sync_data()?;
+            self.timed_sync_data()?;
         }
         Ok(())
     }
@@ -519,7 +539,7 @@ impl Wal {
     /// starts the next one. Returns the new segment's sequence number.
     pub fn rotate(&mut self) -> io::Result<u64> {
         if self.opts.fsync != FsyncMode::Never {
-            self.file.sync_data()?;
+            self.timed_sync_data()?;
         }
         self.seq += 1;
         self.offset = 0;
@@ -535,7 +555,7 @@ impl Wal {
     /// Forces the active segment to disk (unless `fsync = never`).
     pub fn sync(&mut self) -> io::Result<()> {
         if self.opts.fsync != FsyncMode::Never {
-            self.file.sync_data()?;
+            self.timed_sync_data()?;
         }
         Ok(())
     }

@@ -40,7 +40,7 @@ proptest! {
         let span_s = (n - 1) as f64 * 15.0;
 
         let db = db_with_series(&[("n1".to_string(), values)], 15_000);
-        let window_s = (n * 15) as i64;
+        let window_s = n * 15;
         let q = format!("rate(m[{window_s}s])");
         let v = vector(instant_query(&db, &parse_expr(&q).unwrap(), (n - 1) * 15_000).unwrap());
         prop_assert_eq!(v.len(), 1);

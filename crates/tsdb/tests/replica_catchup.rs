@@ -13,7 +13,7 @@ use ceems_metrics::labels::LabelSet;
 use ceems_metrics::matcher::LabelMatcher;
 use ceems_tsdb::httpapi::api_router;
 use ceems_tsdb::promql::{instant_query, parse_expr, range_query};
-use ceems_tsdb::replica::{FollowError, WalFollower};
+use ceems_tsdb::replica::WalFollower;
 use ceems_tsdb::wal::{FsyncMode, WalOptions};
 use ceems_tsdb::{Tsdb, TsdbConfig};
 
@@ -150,7 +150,7 @@ fn durable_follower_survives_its_own_crash() {
 }
 
 #[test]
-fn gc_behind_follower_forces_resync() {
+fn gc_behind_follower_auto_resyncs() {
     let leader_dir = temp_dir("leader3");
     let leader = open_leader(&leader_dir);
     ingest(&leader, 0..10);
@@ -160,22 +160,22 @@ fn gc_behind_follower_forces_resync() {
     let mut follower = WalFollower::new(follower_db.clone(), server.base_url());
     follower.bootstrap().unwrap();
     follower.catch_up(50).unwrap();
+    assert_eq!(follower.resyncs(), 0);
 
     // Leader checkpoints and GCs every segment the follower was tailing.
+    // The follower's next fetch gets 410 Gone and it re-bootstraps from
+    // the checkpoint on its own, then converges.
     ingest(&leader, 10..20);
     leader.checkpoint().unwrap();
-    let err = follower.catch_up(50).unwrap_err();
-    assert!(
-        matches!(err, FollowError::Leader(_)),
-        "expected a re-sync error, got {err:?}"
-    );
+    follower.catch_up(50).unwrap();
+    assert_eq!(follower.resyncs(), 1);
+    assert_same_answers(&follower_db, &leader, "post-GC auto-resync");
 
-    // A fresh follower bootstraps from the new checkpoint and converges.
-    let fresh_db = Arc::new(Tsdb::new(config()));
-    let mut fresh = WalFollower::new(fresh_db.clone(), server.base_url());
-    fresh.bootstrap().unwrap();
-    fresh.catch_up(50).unwrap();
-    assert_same_answers(&fresh_db, &leader, "post-GC fresh follower");
+    // The resynced follower keeps tailing normally afterwards.
+    ingest(&leader, 20..30);
+    follower.catch_up(50).unwrap();
+    assert_eq!(follower.resyncs(), 1);
+    assert_same_answers(&follower_db, &leader, "post-resync incremental");
 
     server.shutdown();
     let _ = fs::remove_dir_all(&leader_dir);

@@ -120,14 +120,14 @@ fn stress_concurrent_append_select_delete_retention() {
             let victim_re = victim_re.clone();
             s.spawn(move |_| {
                 while !stop.load(Ordering::Relaxed) {
-                    let stable = db.select(&[stable_re.clone()], 0, i64::MAX);
+                    let stable = db.select(std::slice::from_ref(&stable_re), 0, i64::MAX);
                     // A stable series can never vanish: anything selected is
                     // non-empty and internally ordered.
                     for series in &stable {
                         assert!(!series.samples.is_empty());
                         assert!(series.samples.windows(2).all(|w| w[0].t_ms < w[1].t_ms));
                     }
-                    let _ = db.select(&[victim_re.clone()], 0, i64::MAX);
+                    let _ = db.select(std::slice::from_ref(&victim_re), 0, i64::MAX);
                     let _ = db.label_values("instance");
                 }
             });
@@ -143,7 +143,7 @@ fn stress_concurrent_append_select_delete_retention() {
     .expect("stress scope");
 
     // No lost stable samples: every appended sample is still selectable.
-    let stable = db.select(&[stable_re.clone()], 0, i64::MAX);
+    let stable = db.select(std::slice::from_ref(&stable_re), 0, i64::MAX);
     assert_eq!(stable.len(), 100, "all stable series survive churn");
     let total: u64 = stable.iter().map(|s| s.samples.len() as u64).sum();
     assert_eq!(total, stable_appended, "no stable sample lost");
@@ -152,7 +152,7 @@ fn stress_concurrent_append_select_delete_retention() {
     // Cache coherence after churn: the (cached) regex resolution must agree
     // with an exact-matcher resolution, which bypasses the cache entirely.
     for (re, name) in [(&stable_re, "stress_metric"), (&victim_re, "victim_metric")] {
-        let via_cache = db.select(&[re.clone()], 0, i64::MAX);
+        let via_cache = db.select(std::slice::from_ref(re), 0, i64::MAX);
         let via_index = db.select(&[LabelMatcher::eq("__name__", name)], 0, i64::MAX);
         assert_eq!(
             instances(&via_cache),
@@ -205,7 +205,7 @@ proptest! {
                     live.retain(|_, last| *last >= t - 1_000);
                 }
             }
-            let got = instances(&db.select(&[re.clone()], 0, i64::MAX));
+            let got = instances(&db.select(std::slice::from_ref(&re), 0, i64::MAX));
             let want: BTreeSet<String> = live.keys().map(|i| format!("i{i}")).collect();
             prop_assert_eq!(got, want, "cache/index divergence after op {} on i{}", op, i);
         }

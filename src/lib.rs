@@ -13,6 +13,7 @@
 //! |-------|------|
 //! | [`ceems_metrics`] | metric model, text exposition format, label matching |
 //! | [`ceems_http`] | threaded HTTP/1.1 server/client, basic auth |
+//! | [`ceems_obs`] | self-monitoring: process registries, query tracing, slow-query log |
 //! | [`ceems_relstore`] | embedded relational store + WAL + Litestream-style backup |
 //! | [`ceems_simnode`] | simulated nodes: RAPL, IPMI-DCMI, cgroups, GPUs |
 //! | [`ceems_slurm`] | batch scheduler + accounting (slurmdbd) simulation |
@@ -51,6 +52,7 @@ pub use ceems_exporter as exporter;
 pub use ceems_http as http;
 pub use ceems_lb as lb;
 pub use ceems_metrics as metrics;
+pub use ceems_obs as obs;
 pub use ceems_relstore as relstore;
 pub use ceems_simnode as simnode;
 pub use ceems_slurm as slurm;

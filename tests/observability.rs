@@ -1,0 +1,381 @@
+//! Self-monitoring integration: every long-running component serves its own
+//! `/metrics` in the stack's text exposition format, query traces flow
+//! end-to-end through the load balancer, and the slow-query log fires with
+//! threshold exactness. This is the observability counterpart of
+//! `full_stack_http.rs` — same Fig. 1 wiring, but the assertions are about
+//! the stack watching itself rather than the workload.
+
+use std::sync::Arc;
+
+use ceems::http::{Client, HttpServer, ServerConfig};
+use ceems::lb::acl::Authorizer;
+use ceems::lb::proxy::LbConfig;
+use ceems::lb::{Backend, BackendPool, CeemsLb, Strategy};
+use ceems::metrics::{
+    encode_families, parse_text, Metric, MetricFamily, MetricType, ParsedScrape, Sample,
+};
+use ceems::obs::slowlog::SlowQueryLog;
+use ceems::obs::TRACE_HEADER;
+use ceems::prelude::*;
+use ceems::tsdb::httpapi::api_router_with;
+use parking_lot::Mutex;
+
+/// Builds a small busy deployment: one CPU job, 5 simulated minutes.
+fn busy_stack() -> CeemsStack {
+    let mut stack = CeemsStack::build_default();
+    stack
+        .submit(JobRequest {
+            user: "alice".into(),
+            account: "proj".into(),
+            partition: "cpu-intel".into(),
+            nodes: 1,
+            cores_per_node: 16,
+            memory_per_node: 32 << 30,
+            gpus_per_node: 0,
+            walltime_s: 7200,
+            workload: WorkloadProfile::CpuBound { intensity: 0.9 },
+        })
+        .unwrap();
+    stack.run_for(300.0, 15.0);
+    stack
+}
+
+fn scrape(base_url: String) -> String {
+    Client::new()
+        .get(&format!("{base_url}/metrics"))
+        .unwrap()
+        .body_string()
+}
+
+fn has_sample(parsed: &ParsedScrape, name: &str) -> bool {
+    parsed.samples.iter().any(|s| s.name == name)
+}
+
+/// Lossless parse → re-encode → re-parse round trip: the samples scraped off
+/// a live endpoint survive a pass through our own encoder unchanged.
+fn assert_roundtrip(component: &str, text: &str) -> ParsedScrape {
+    let parsed = parse_text(text)
+        .unwrap_or_else(|e| panic!("{component} /metrics does not parse: {e}\n{text}"));
+    assert!(
+        !parsed.samples.is_empty(),
+        "{component} /metrics served no samples"
+    );
+    let families: Vec<MetricFamily> = parsed
+        .samples
+        .iter()
+        .map(|s| {
+            let mut fam = MetricFamily::new(s.name.clone(), "roundtrip", MetricType::Gauge);
+            let sample = match s.timestamp_ms {
+                Some(ts) => Sample::at(s.value, ts),
+                None => Sample::now(s.value),
+            };
+            fam.metrics.push(Metric::new(s.labels.clone(), sample));
+            fam
+        })
+        .collect();
+    let reencoded = encode_families(&families);
+    let reparsed = parse_text(&reencoded)
+        .unwrap_or_else(|e| panic!("{component} re-encoded text does not parse: {e}"));
+    assert_eq!(
+        parsed.samples.len(),
+        reparsed.samples.len(),
+        "{component} round trip changed sample count"
+    );
+    for (a, b) in parsed.samples.iter().zip(reparsed.samples.iter()) {
+        assert_eq!(a.name, b.name, "{component} round trip changed a name");
+        assert_eq!(a.labels, b.labels, "{component} round trip changed labels");
+        assert_eq!(
+            a.value.to_bits(),
+            b.value.to_bits(),
+            "{component} round trip changed value of {}",
+            a.name
+        );
+        assert_eq!(
+            a.timestamp_ms, b.timestamp_ms,
+            "{component} round trip changed timestamp of {}",
+            a.name
+        );
+    }
+    parsed
+}
+
+/// Satellites 3 + 6: every component's `/metrics` parses, round-trips through
+/// the encoder losslessly, and carries its pinned metric families. The CI
+/// smoke step runs exactly this test.
+#[test]
+fn every_component_serves_parseable_metrics() {
+    let stack = busy_stack();
+
+    // TSDB HTTP API with the stack-derived registry (incl. rule-eval timings).
+    let now = stack.clock.now_ms();
+    let tsdb_srv = HttpServer::serve(
+        ServerConfig::ephemeral(),
+        api_router_with(stack.tsdb.clone(), stack.tsdb_api_options(Arc::new(move || now))),
+    )
+    .unwrap();
+
+    // LB in front of the TSDB, DB-backed ACL.
+    let lb = Arc::new(CeemsLb::new(
+        BackendPool::new(
+            vec![Backend::new("b1", tsdb_srv.base_url())],
+            Strategy::round_robin(),
+        ),
+        Authorizer::DirectDb(stack.updater.clone()),
+        LbConfig {
+            admin_users: vec!["op".into()],
+        },
+    ));
+    let lb_srv = lb.serve().unwrap();
+
+    // API server sharing the updater.
+    let api_server = Arc::new(ceems::apiserver::ApiServer::new(
+        stack.updater.clone(),
+        vec!["op".into()],
+    ));
+    let api_srv = api_server.serve().unwrap();
+
+    // One exporter over HTTP.
+    let exp_srv = stack.exporters[0].clone().serve().unwrap();
+
+    // Generate traffic so request-path instruments have observations:
+    // a query through the LB (hits TSDB select + LB proxy), a unit listing
+    // (hits the API server), and an exporter render.
+    let query_url = format!(
+        "{}/api/v1/query?query={}",
+        lb_srv.base_url(),
+        ceems::http::url::encode_component("uuid:ceems_power:watts{uuid=\"slurm-1\"}")
+    );
+    let resp = Client::new()
+        .with_header("X-Grafana-User", "alice")
+        .get(&query_url)
+        .unwrap();
+    assert_eq!(resp.status.0, 200, "body: {}", resp.body_string());
+    let resp = Client::new()
+        .with_header("X-Grafana-User", "alice")
+        .get(&format!("{}/api/v1/units", api_srv.base_url()))
+        .unwrap();
+    assert_eq!(resp.status.0, 200);
+    let _ = scrape(exp_srv.base_url());
+
+    // TSDB: ingest/select/WAL/rules/slow-query families.
+    let tsdb = assert_roundtrip("tsdb", &scrape(tsdb_srv.base_url()));
+    for family in [
+        "ceems_tsdb_head_series",
+        "ceems_tsdb_samples_appended_total",
+        "ceems_tsdb_ingest_duration_seconds_count",
+        "ceems_tsdb_select_duration_seconds_count",
+        "ceems_tsdb_wal_enabled",
+        "ceems_tsdb_rule_group_eval_duration_seconds_count",
+        "ceems_tsdb_slow_queries_total",
+    ] {
+        assert!(has_sample(&tsdb, family), "tsdb /metrics missing {family}");
+    }
+    let select_count = tsdb
+        .samples
+        .iter()
+        .find(|s| s.name == "ceems_tsdb_select_duration_seconds_count")
+        .unwrap()
+        .value;
+    assert!(select_count >= 1.0, "no selects recorded after a query");
+
+    // LB: proxy forwarding + its own HTTP server instruments.
+    let lbm = assert_roundtrip("lb", &scrape(lb_srv.base_url()));
+    for family in [
+        "ceems_lb_proxy_requests_total",
+        "ceems_lb_forward_duration_seconds_count",
+        "ceems_lb_http_requests_total",
+    ] {
+        assert!(has_sample(&lbm, family), "lb /metrics missing {family}");
+    }
+
+    // API server: request counts + latency by endpoint.
+    let api = assert_roundtrip("apiserver", &scrape(api_srv.base_url()));
+    for family in [
+        "ceems_api_requests_total",
+        "ceems_api_request_duration_seconds_count",
+    ] {
+        assert!(has_sample(&api, family), "api /metrics missing {family}");
+    }
+    assert!(
+        api.samples.iter().any(|s| s.name == "ceems_api_requests_total"
+            && s.labels.get("endpoint") == Some("/api/v1/units")
+            && s.labels.get("code") == Some("200")
+            && s.value >= 1.0),
+        "api request counter missing the /api/v1/units hit"
+    );
+
+    // Exporter: E4 self-stats including the shared render histogram.
+    let exp = assert_roundtrip("exporter", &scrape(exp_srv.base_url()));
+    for family in [
+        "ceems_exporter_scrapes_total",
+        "ceems_exporter_render_duration_seconds_count",
+    ] {
+        assert!(has_sample(&exp, family), "exporter /metrics missing {family}");
+    }
+
+    exp_srv.shutdown();
+    api_srv.shutdown();
+    lb_srv.shutdown();
+    tsdb_srv.shutdown();
+}
+
+/// Satellite 4a: a trace ID injected at the edge survives LB → TSDB → PromQL
+/// and comes back with a stage breakdown whose sum stays under the LB's
+/// end-to-end total.
+#[test]
+fn trace_propagates_through_lb_to_tsdb() {
+    let stack = busy_stack();
+    let now = stack.clock.now_ms();
+    let tsdb_srv = HttpServer::serve(
+        ServerConfig::ephemeral(),
+        api_router_with(stack.tsdb.clone(), stack.tsdb_api_options(Arc::new(move || now))),
+    )
+    .unwrap();
+    let lb = Arc::new(CeemsLb::new(
+        BackendPool::new(
+            vec![Backend::new("b1", tsdb_srv.base_url())],
+            Strategy::round_robin(),
+        ),
+        Authorizer::DirectDb(stack.updater.clone()),
+        LbConfig {
+            admin_users: vec!["op".into()],
+        },
+    ));
+    let lb_srv = lb.serve().unwrap();
+
+    let end_s = now as f64 / 1000.0;
+    let url = format!(
+        "{}/api/v1/query_range?query={}&start=0&end={end_s}&step=15&trace=1",
+        lb_srv.base_url(),
+        ceems::http::url::encode_component("uuid:ceems_power:watts{uuid=\"slurm-1\"}")
+    );
+    let resp = Client::new()
+        .with_header("X-Grafana-User", "alice")
+        .with_header(TRACE_HEADER, "0123456789abcdef")
+        .get(&url)
+        .unwrap();
+    assert_eq!(resp.status.0, 200, "body: {}", resp.body_string());
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    assert_eq!(v["status"], "success");
+
+    let trace = &v["data"]["trace"];
+    assert_eq!(
+        trace["traceId"], "0123456789abcdef",
+        "injected trace ID did not survive the proxy hop"
+    );
+    let stages = trace["stages"].as_array().expect("trace carries stages");
+    let names: Vec<&str> = stages.iter().map(|s| s["name"].as_str().unwrap()).collect();
+    for expected in ["parse", "eval", "lb_auth", "lb_forward"] {
+        assert!(names.contains(&expected), "missing stage {expected}: {names:?}");
+    }
+    let total_ms = trace["totalMs"].as_f64().unwrap();
+    let stage_sum: f64 = stages.iter().map(|s| s["ms"].as_f64().unwrap()).sum();
+    assert!(
+        stage_sum <= total_ms + 1e-6,
+        "stage sum {stage_sum} exceeds end-to-end total {total_ms}"
+    );
+    assert!(trace["counts"]["series"].as_u64().is_some());
+
+    // Without trace=1 the payload stays clean.
+    let url_plain = format!(
+        "{}/api/v1/query_range?query={}&start=0&end={end_s}&step=15",
+        lb_srv.base_url(),
+        ceems::http::url::encode_component("uuid:ceems_power:watts{uuid=\"slurm-1\"}")
+    );
+    let resp = Client::new()
+        .with_header("X-Grafana-User", "alice")
+        .get(&url_plain)
+        .unwrap();
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    assert_eq!(v["data"]["trace"], serde_json::Value::Null);
+
+    lb_srv.shutdown();
+    tsdb_srv.shutdown();
+}
+
+/// Satellite 4b: slow-query threshold exactness behind the LB — a microscopic
+/// threshold logs exactly the queries that ran, a huge one logs nothing.
+#[test]
+fn slow_query_log_exactness_behind_lb() {
+    let stack = busy_stack();
+    let now = stack.clock.now_ms();
+    let lines = Arc::new(Mutex::new(Vec::<String>::new()));
+
+    let serve_with_threshold = |threshold_ms: f64| {
+        let sink_lines = lines.clone();
+        let mut opts = stack.tsdb_api_options(Arc::new(move || now));
+        opts.slow_query = Some(
+            SlowQueryLog::new(threshold_ms)
+                .with_sink(move |l| sink_lines.lock().push(l.to_string())),
+        );
+        HttpServer::serve(
+            ServerConfig::ephemeral(),
+            api_router_with(stack.tsdb.clone(), opts),
+        )
+        .unwrap()
+    };
+
+    // A threshold every query crosses: exactly one line per query, carrying
+    // the trace ID that entered at the LB.
+    let tsdb_srv = serve_with_threshold(1e-9);
+    let lb = Arc::new(CeemsLb::new(
+        BackendPool::new(
+            vec![Backend::new("b1", tsdb_srv.base_url())],
+            Strategy::round_robin(),
+        ),
+        Authorizer::DirectDb(stack.updater.clone()),
+        LbConfig {
+            admin_users: vec!["op".into()],
+        },
+    ));
+    let lb_srv = lb.serve().unwrap();
+    let resp = Client::new()
+        .with_header("X-Grafana-User", "alice")
+        .with_header(TRACE_HEADER, "deadbeefdeadbeef")
+        .get(&format!(
+            "{}/api/v1/query?query={}",
+            lb_srv.base_url(),
+            ceems::http::url::encode_component("uuid:ceems_power:watts{uuid=\"slurm-1\"}")
+        ))
+        .unwrap();
+    assert_eq!(resp.status.0, 200);
+    {
+        let captured = lines.lock();
+        assert_eq!(captured.len(), 1, "expected exactly one slow line: {captured:?}");
+        assert!(
+            captured[0].starts_with("slow_query component=tsdb endpoint=/api/v1/query "),
+            "bad line shape: {}",
+            captured[0]
+        );
+        assert!(
+            captured[0].contains("trace_id=deadbeefdeadbeef"),
+            "slow line lost the trace ID: {}",
+            captured[0]
+        );
+        assert!(
+            captured[0].ends_with("query=\"uuid:ceems_power:watts{uuid=\\\"slurm-1\\\"}\""),
+            "slow line lost the query text: {}",
+            captured[0]
+        );
+    }
+    lb_srv.shutdown();
+    tsdb_srv.shutdown();
+    lines.lock().clear();
+
+    // A threshold nothing crosses: same traffic, zero lines.
+    let quiet_srv = serve_with_threshold(1e12);
+    let resp = Client::new()
+        .get(&format!(
+            "{}/api/v1/query?query={}",
+            quiet_srv.base_url(),
+            ceems::http::url::encode_component("uuid:ceems_power:watts{uuid=\"slurm-1\"}")
+        ))
+        .unwrap();
+    assert_eq!(resp.status.0, 200);
+    assert!(
+        lines.lock().is_empty(),
+        "slow-query log fired under a huge threshold: {:?}",
+        lines.lock()
+    );
+    quiet_srv.shutdown();
+}

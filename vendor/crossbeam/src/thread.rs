@@ -48,7 +48,7 @@ where
 mod tests {
     #[test]
     fn scoped_threads_borrow_and_join() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let total = super::scope(|s| {
             let handles: Vec<_> = data
                 .chunks(2)
