@@ -59,6 +59,7 @@ fn bench_request_path(c: &mut Criterion) {
             Authorizer::DirectDb(stack.updater.clone()),
             LbConfig {
                 admin_users: vec!["op".into()],
+                query_frontend: None,
             },
         ))
     };

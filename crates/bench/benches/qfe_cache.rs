@@ -1,0 +1,105 @@
+//! E14 — query frontend: what the results cache and range splitting buy.
+//!
+//! Renders the Fig. 2c dashboard (5 panels, 10 min of data at 15 s step)
+//! through `ceems-qfe` three ways: cold (every extent fetched from the
+//! TSDB), warm (every extent served from the step-aligned results cache;
+//! the ISSUE acceptance bar is a ≥5× latency reduction), and split vs
+//! unsplit with the cache disabled (the cost/benefit of fanning one range
+//! out over interval-aligned sub-queries).
+
+use std::sync::Arc;
+
+use ceems_bench::small_stack_with_job;
+use ceems_http::{Method, Request, Status};
+use ceems_qfe::{QfeConfig, QueryFrontend, RouterDownstream};
+use ceems_tsdb::httpapi::api_router;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// The Fig. 2c panel expressions (see `ceems_core::dashboards`).
+fn panel_queries(uuid: &str) -> Vec<String> {
+    vec![
+        format!("sum(uuid:ceems_cpu_time:rate{{uuid=\"{uuid}\"}})"),
+        format!("sum(ceems_compute_unit_memory_used_bytes{{uuid=\"{uuid}\"}}) / 1073741824"),
+        format!("sum(uuid:ceems_power:watts{{uuid=\"{uuid}\"}})"),
+        format!("sum(rate(ceems_compute_unit_perf_flops_total{{uuid=\"{uuid}\"}}[2m])) / 1e9"),
+        format!("sum(rate(ceems_compute_unit_net_rx_bytes_total{{uuid=\"{uuid}\"}}[2m])) / 1e6"),
+    ]
+}
+
+fn range_request(query: &str, end_s: i64) -> Request {
+    Request::new(
+        Method::Get,
+        &format!(
+            "/api/v1/query_range?query={}&start=0&end={end_s}&step=15",
+            ceems_http::url::encode_component(query)
+        ),
+    )
+    .with_header("x-grafana-user", "bench")
+}
+
+fn bench_qfe(c: &mut Criterion) {
+    eprintln!(
+        "qfe_cache: detected parallelism = {}",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+
+    let stack = small_stack_with_job();
+    let now_ms = stack.clock.now_ms();
+    let end_s = now_ms / 1000;
+    let queries = panel_queries("slurm-1");
+
+    // Everything is in-process: the downstream is the TSDB's own router, so
+    // the numbers isolate frontend work (split, cache, merge) + evaluation.
+    let downstream = || {
+        let now = now_ms;
+        Arc::new(RouterDownstream::new(api_router(
+            stack.tsdb.clone(),
+            Arc::new(move || now),
+        )))
+    };
+    // Split the 10-minute range into ~5 windows; the clock sits at `now`
+    // with no recent-window holdback so every extent is cacheable.
+    let cfg = |cache_bytes: usize, split_interval_ms: i64| QfeConfig {
+        split_interval_ms,
+        cache_bytes,
+        recent_window_ms: 0,
+        now: Arc::new(move || now_ms),
+        ..QfeConfig::default()
+    };
+    let render = |fe: &Arc<QueryFrontend>| {
+        for q in &queries {
+            let resp = fe.handle(&range_request(q, end_s));
+            assert_eq!(resp.status, Status::OK, "{}", resp.body_string());
+        }
+    };
+
+    let mut group = c.benchmark_group("qfe_dashboard");
+    group.sample_size(30);
+
+    // Cold: a fresh (empty) cache for every render.
+    group.bench_function("cold_render", |b| {
+        b.iter(|| {
+            let fe = QueryFrontend::new(downstream(), cfg(64 << 20, 120_000));
+            render(&fe);
+        })
+    });
+
+    // Warm: the same dashboard re-rendered against a primed cache — the
+    // acceptance bar is ≥5× under cold_render.
+    let warm = QueryFrontend::new(downstream(), cfg(64 << 20, 120_000));
+    render(&warm);
+    group.bench_function("warm_render", |b| b.iter(|| render(&warm)));
+
+    // Splitting without caching: fan-out cost/benefit in isolation.
+    let split = QueryFrontend::new(downstream(), cfg(0, 120_000));
+    group.bench_function("split_nocache_render", |b| b.iter(|| render(&split)));
+    let unsplit = QueryFrontend::new(downstream(), cfg(0, i64::MAX / 4));
+    group.bench_function("unsplit_nocache_render", |b| b.iter(|| render(&unsplit)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_qfe);
+criterion_main!(benches);

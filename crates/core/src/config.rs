@@ -6,6 +6,33 @@ use ceems_simnode::ClusterSpec;
 
 use crate::yaml::{parse, Yaml};
 
+/// Query-frontend (`ceems-qfe`) settings.
+#[derive(Clone, Debug)]
+pub struct QfeSettings {
+    /// Sub-range width for range splitting (seconds). Default: one day.
+    pub split_interval_s: f64,
+    /// Results-cache budget in bytes; 0 disables caching.
+    pub cache_bytes: usize,
+    /// Window before "now" that is never cached (seconds).
+    pub recent_window_s: f64,
+    /// Queued queries allowed per tenant before shedding with 429.
+    pub tenant_queue_depth: usize,
+    /// Concurrent queries allowed per tenant.
+    pub max_tenant_concurrency: usize,
+}
+
+impl Default for QfeSettings {
+    fn default() -> Self {
+        QfeSettings {
+            split_interval_s: 86_400.0,
+            cache_bytes: 64 << 20,
+            recent_window_s: 600.0,
+            tenant_queue_depth: 16,
+            max_tenant_concurrency: 4,
+        }
+    }
+}
+
 /// Churn generator settings.
 #[derive(Clone, Debug)]
 pub struct ChurnSettings {
@@ -65,6 +92,13 @@ pub struct CeemsConfig {
     /// Slow-query log threshold in milliseconds; queries slower than this
     /// emit one structured log line. Non-positive (the default) disables.
     pub slow_query_ms: f64,
+    /// Sustained `/api/v1/wal/fetch` rate allowed per follower (req/s).
+    pub wal_fetch_rate_per_s: f64,
+    /// Token-bucket burst for `/api/v1/wal/fetch`.
+    pub wal_fetch_burst: f64,
+    /// Query-frontend settings (always present; the stack only runs a
+    /// frontend when one is served explicitly).
+    pub qfe: QfeSettings,
 }
 
 impl Default for CeemsConfig {
@@ -90,6 +124,9 @@ impl Default for CeemsConfig {
             wal_checkpoint_interval_s: 300.0,
             wal_fsync: "batch".to_string(),
             slow_query_ms: 0.0,
+            wal_fetch_rate_per_s: 200.0,
+            wal_fetch_burst: 50.0,
+            qfe: QfeSettings::default(),
         }
     }
 }
@@ -153,6 +190,32 @@ impl CeemsConfig {
                     ));
                 }
                 cfg.wal_fsync = v.to_string();
+            }
+            if let Some(v) = t.get("wal_fetch_rate_per_s").and_then(Yaml::as_f64) {
+                cfg.wal_fetch_rate_per_s = v.max(0.001);
+            }
+            if let Some(v) = t.get("wal_fetch_burst").and_then(Yaml::as_f64) {
+                cfg.wal_fetch_burst = v.max(1.0);
+            }
+        }
+        if let Some(q) = doc.get("qfe") {
+            if let Some(v) = q.get("split_interval_s").and_then(Yaml::as_f64) {
+                if v <= 0.0 {
+                    return Err(format!("qfe.split_interval_s must be positive, got {v}"));
+                }
+                cfg.qfe.split_interval_s = v;
+            }
+            if let Some(v) = q.get("cache_bytes").and_then(Yaml::as_i64) {
+                cfg.qfe.cache_bytes = v.max(0) as usize;
+            }
+            if let Some(v) = q.get("recent_window_s").and_then(Yaml::as_f64) {
+                cfg.qfe.recent_window_s = v.max(0.0);
+            }
+            if let Some(v) = q.get("tenant_queue_depth").and_then(Yaml::as_i64) {
+                cfg.qfe.tenant_queue_depth = (v as usize).max(1);
+            }
+            if let Some(v) = q.get("max_tenant_concurrency").and_then(Yaml::as_i64) {
+                cfg.qfe.max_tenant_concurrency = (v as usize).max(1);
             }
         }
         if let Some(a) = doc.get("api_server") {
@@ -247,6 +310,12 @@ emissions:
     - owid
 lb:
   strategy: least_connection
+qfe:
+  split_interval_s: 43200
+  cache_bytes: 1048576
+  recent_window_s: 120
+  tenant_queue_depth: 8
+  max_tenant_concurrency: 2
 churn:
   users: 50
   projects: 10
@@ -270,6 +339,26 @@ threads: 8
         assert_eq!(c.query_threads, 6);
         assert_eq!(c.posting_cache_size, 0);
         assert_eq!(c.slow_query_ms, 250.0);
+        assert_eq!(c.qfe.split_interval_s, 43_200.0);
+        assert_eq!(c.qfe.cache_bytes, 1 << 20);
+        assert_eq!(c.qfe.recent_window_s, 120.0);
+        assert_eq!(c.qfe.tenant_queue_depth, 8);
+        assert_eq!(c.qfe.max_tenant_concurrency, 2);
+    }
+
+    #[test]
+    fn qfe_defaults_and_floors() {
+        let c = CeemsConfig::from_yaml("").unwrap();
+        assert_eq!(c.qfe.split_interval_s, 86_400.0);
+        assert_eq!(c.qfe.cache_bytes, 64 << 20);
+        let c = CeemsConfig::from_yaml(
+            "qfe:\n  tenant_queue_depth: 0\n  max_tenant_concurrency: 0\n  cache_bytes: -5\n",
+        )
+        .unwrap();
+        assert_eq!(c.qfe.tenant_queue_depth, 1);
+        assert_eq!(c.qfe.max_tenant_concurrency, 1);
+        assert_eq!(c.qfe.cache_bytes, 0);
+        assert!(CeemsConfig::from_yaml("qfe:\n  split_interval_s: 0\n").is_err());
     }
 
     #[test]

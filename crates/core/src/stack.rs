@@ -255,6 +255,35 @@ impl CeemsStack {
             now,
             registry: Some(registry),
             slow_query,
+            wal_fetch_limit: Some(ceems_tsdb::httpapi::WalFetchLimiter::new(
+                self.config.wal_fetch_rate_per_s,
+                self.config.wal_fetch_burst,
+            )),
+        }
+    }
+
+    /// Query-frontend configuration mapped from the stack's YAML `qfe:`
+    /// section (seconds → milliseconds, scheduler limits filled in). Pass
+    /// it to [`ceems_qfe::QueryFrontend::new`] over an
+    /// [`ceems_qfe::HttpDownstream`] of the replica URLs (deployments) or a
+    /// [`ceems_qfe::RouterDownstream`] of the TSDB router (single binary).
+    /// The clock should match the one given to [`Self::tsdb_api_options`]
+    /// so the `recent_window` tracks simulated time.
+    pub fn qfe_config(&self, now: ceems_qfe::NowFn) -> ceems_qfe::QfeConfig {
+        let q = &self.config.qfe;
+        ceems_qfe::QfeConfig {
+            split_interval_ms: (q.split_interval_s * 1000.0).max(1.0) as i64,
+            cache_bytes: q.cache_bytes,
+            recent_window_ms: (q.recent_window_s * 1000.0).max(0.0) as i64,
+            scheduler: ceems_qfe::SchedulerConfig {
+                tenant_queue_depth: q.tenant_queue_depth,
+                max_tenant_concurrency: q.max_tenant_concurrency,
+                // Leave headroom for several tenants at their caps.
+                max_concurrency: q.max_tenant_concurrency.saturating_mul(4).max(1),
+                retry_after_s: 1.0,
+            },
+            max_fanout: 8,
+            now,
         }
     }
 

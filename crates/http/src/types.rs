@@ -70,6 +70,8 @@ impl Status {
     pub const METHOD_NOT_ALLOWED: Status = Status(405);
     /// 422
     pub const UNPROCESSABLE: Status = Status(422);
+    /// 429
+    pub const TOO_MANY_REQUESTS: Status = Status(429);
     /// 500
     pub const INTERNAL: Status = Status(500);
     /// 502
@@ -88,6 +90,7 @@ impl Status {
             404 => "Not Found",
             405 => "Method Not Allowed",
             422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
             502 => "Bad Gateway",
             503 => "Service Unavailable",
@@ -247,6 +250,36 @@ impl Response {
     pub fn body_string(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
     }
+
+    /// Sets a `Retry-After` header from delta-seconds. Whole seconds are
+    /// rendered bare (`Retry-After: 2`, the RFC 9110 form); fractional
+    /// delays keep millisecond precision for the in-stack clients that
+    /// understand them.
+    pub fn with_retry_after(self, secs: f64) -> Response {
+        let secs = secs.max(0.0);
+        let value = if secs.fract() == 0.0 {
+            format!("{}", secs as u64)
+        } else {
+            format!("{secs:.3}")
+        };
+        self.with_header("retry-after", value)
+    }
+
+    /// Parses a `Retry-After` header as delta-seconds.
+    ///
+    /// RFC 9110 allows either delta-seconds or an HTTP-date; every
+    /// component in this stack (LB, query frontend, WAL leader) emits
+    /// delta-seconds, so dates and anything else unparseable yield
+    /// `None` and callers fall back to their own backoff.
+    pub fn retry_after_secs(&self) -> Option<f64> {
+        let raw = self.header("retry-after")?.trim();
+        let secs: f64 = raw.parse().ok()?;
+        if secs.is_finite() && secs >= 0.0 {
+            Some(secs)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -294,5 +327,31 @@ mod tests {
         assert!(Status::OK.is_success());
         assert!(!Status::FORBIDDEN.is_success());
         assert_eq!(Status::FORBIDDEN.reason(), "Forbidden");
+    }
+
+    #[test]
+    fn retry_after_roundtrip() {
+        assert_eq!(Status::TOO_MANY_REQUESTS.reason(), "Too Many Requests");
+        let r = Response::status(Status::TOO_MANY_REQUESTS).with_retry_after(2.0);
+        assert_eq!(r.header("retry-after"), Some("2"));
+        assert_eq!(r.retry_after_secs(), Some(2.0));
+        let r = Response::status(Status::TOO_MANY_REQUESTS).with_retry_after(0.25);
+        assert_eq!(r.header("retry-after"), Some("0.250"));
+        assert_eq!(r.retry_after_secs(), Some(0.25));
+        // Negative delays clamp to zero on emit.
+        let r = Response::status(Status::OK).with_retry_after(-3.0);
+        assert_eq!(r.retry_after_secs(), Some(0.0));
+    }
+
+    #[test]
+    fn retry_after_rejects_opaque_values() {
+        let date = Response::status(Status::OK)
+            .with_header("retry-after", "Fri, 07 Aug 2026 12:00:00 GMT");
+        assert_eq!(date.retry_after_secs(), None);
+        let neg = Response::status(Status::OK).with_header("retry-after", "-1");
+        assert_eq!(neg.retry_after_secs(), None);
+        let inf = Response::status(Status::OK).with_header("retry-after", "inf");
+        assert_eq!(inf.retry_after_secs(), None);
+        assert_eq!(Response::status(Status::OK).retry_after_secs(), None);
     }
 }

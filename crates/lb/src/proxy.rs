@@ -31,6 +31,12 @@ use crate::introspect::{introspect, Introspection};
 pub struct LbConfig {
     /// Users allowed to run unscoped queries (operators).
     pub admin_users: Vec<String>,
+    /// Base URL of the query frontend (`ceems-qfe`). When set, authorized
+    /// query traffic goes through the frontend (which splits, caches and
+    /// fans out to the replicas itself); the LB falls back to its own
+    /// backend pool if the frontend is unreachable. Non-query traffic
+    /// always uses the pool.
+    pub query_frontend: Option<String>,
 }
 
 /// The LB's own telemetry: forwarding latency, per-backend outcomes,
@@ -41,6 +47,7 @@ struct LbInstruments {
     retries: Counter,
     denied: Counter,
     unavailable: Counter,
+    frontend_fallbacks: Counter,
 }
 
 impl LbInstruments {
@@ -55,6 +62,7 @@ impl LbInstruments {
             retries: Counter::new(),
             denied: Counter::new(),
             unavailable: Counter::new(),
+            frontend_fallbacks: Counter::new(),
         };
         {
             let h = ins.forward_seconds.clone();
@@ -88,6 +96,12 @@ impl LbInstruments {
                 "ceems_lb_unavailable_total",
                 "Requests refused because no healthy backend existed.",
                 ins.unavailable.clone(),
+            ),
+            (
+                "lb_frontend_fallbacks",
+                "ceems_lb_frontend_fallback_total",
+                "Queries sent straight to the pool after the query frontend failed.",
+                ins.frontend_fallbacks.clone(),
             ),
         ] {
             registry.register(
@@ -248,6 +262,52 @@ impl CeemsLb {
             return denied;
         }
         let auth_ms = auth_start.elapsed().as_secs_f64() * 1000.0;
+
+        // Query traffic prefers the query frontend when one is configured;
+        // an unreachable frontend demotes to the replica pool below.
+        if is_query {
+            if let Some(front) = &self.config.query_frontend {
+                let url = format!("{front}{}", req.path_and_query());
+                let mut client = self.client.clone();
+                if let Some(u) = req.header("x-grafana-user") {
+                    client = client.with_header("X-Grafana-User", u);
+                }
+                if let Some(t) = &qtrace {
+                    client = client.with_header(TRACE_HEADER, t.id());
+                }
+                let forward_start = Instant::now();
+                let result =
+                    client.request(req.method, &url, req.body.clone(), req.header("content-type"));
+                let forward_secs = forward_start.elapsed().as_secs_f64();
+                match result {
+                    Ok(mut resp) => {
+                        self.instruments.forward_seconds.observe(forward_secs);
+                        self.instruments
+                            .requests
+                            .with_label_values(&["qfe", "ok"])
+                            .inc();
+                        resp.headers
+                            .insert("x-ceems-lb-backend".to_string(), "qfe".to_string());
+                        if trace_requested {
+                            let total_ms = total_start.elapsed().as_secs_f64() * 1000.0;
+                            if let Some(body) =
+                                rewrite_trace(&resp.body, auth_ms, forward_secs * 1000.0, total_ms)
+                            {
+                                resp.body = body;
+                            }
+                        }
+                        return resp;
+                    }
+                    Err(_) => {
+                        self.instruments
+                            .requests
+                            .with_label_values(&["qfe", "error"])
+                            .inc();
+                        self.instruments.frontend_fallbacks.inc();
+                    }
+                }
+            }
+        }
 
         let max_attempts = self.pool.backends().len().max(1);
         let mut attempts = 0;
@@ -416,6 +476,7 @@ mod tests {
             Authorizer::DirectDb(updater_with_unit()),
             LbConfig {
                 admin_users: vec!["root".into()],
+                query_frontend: None,
             },
         ))
     }
@@ -639,6 +700,76 @@ mod tests {
         assert!(dead_errors.unwrap() >= 1.0);
         lb_srv.shutdown();
         srv1.shutdown();
+    }
+
+    fn lb_with_frontend(
+        backends: Vec<Arc<Backend>>,
+        frontend: Option<String>,
+    ) -> Arc<CeemsLb> {
+        Arc::new(CeemsLb::new(
+            BackendPool::new(backends, Strategy::round_robin()),
+            Authorizer::DirectDb(updater_with_unit()),
+            LbConfig {
+                admin_users: vec!["root".into()],
+                query_frontend: frontend,
+            },
+        ))
+    }
+
+    #[test]
+    fn query_traffic_routes_through_frontend() {
+        let (tsdb_srv, _db) = tsdb_server();
+        let fe = ceems_qfe::QueryFrontend::new(
+            Arc::new(ceems_qfe::HttpDownstream::new(vec![tsdb_srv.base_url()])),
+            ceems_qfe::QfeConfig::default(),
+        );
+        let fe_srv = fe.serve().unwrap();
+        let lb = lb_with_frontend(
+            vec![Backend::new("b1", tsdb_srv.base_url())],
+            Some(fe_srv.base_url()),
+        );
+        let lb_srv = lb.serve().unwrap();
+
+        // Range query: the frontend handles it (and says so in its header).
+        let resp = get(
+            &format!(
+                "{}/api/v1/query_range?query=watts%7Buuid%3D%22slurm-1%22%7D&start=0&end=135&step=15",
+                lb_srv.base_url()
+            ),
+            Some("alice"),
+        );
+        assert_eq!(resp.status, Status::OK, "body: {}", resp.body_string());
+        assert_eq!(resp.header("x-ceems-lb-backend"), Some("qfe"));
+        assert!(resp.header("x-ceems-qfe-cache").is_some());
+
+        // Non-query traffic still uses the pool directly.
+        let labels = get(&format!("{}/api/v1/labels", lb_srv.base_url()), Some("alice"));
+        assert_eq!(labels.header("x-ceems-lb-backend"), Some("b1"));
+        lb_srv.shutdown();
+        fe_srv.shutdown();
+        tsdb_srv.shutdown();
+    }
+
+    #[test]
+    fn dead_frontend_falls_back_to_pool() {
+        let (tsdb_srv, _db) = tsdb_server();
+        let lb = lb_with_frontend(
+            vec![Backend::new("b1", tsdb_srv.base_url())],
+            Some("http://127.0.0.1:1".to_string()),
+        );
+        let lb_srv = lb.serve().unwrap();
+        let resp = get(
+            &format!(
+                "{}/api/v1/query?query=watts%7Buuid%3D%22slurm-1%22%7D",
+                lb_srv.base_url()
+            ),
+            Some("alice"),
+        );
+        assert_eq!(resp.status, Status::OK, "body: {}", resp.body_string());
+        assert_eq!(resp.header("x-ceems-lb-backend"), Some("b1"));
+        assert_eq!(lb.instruments.frontend_fallbacks.get(), 1.0);
+        lb_srv.shutdown();
+        tsdb_srv.shutdown();
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Where the frontend sends the queries it cannot answer from cache.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ceems_http::{Client, Request, Response, Router};
+
+/// A sink for sub-queries and passthrough requests. Implementations must be
+/// callable from several fan-out threads at once.
+pub trait Downstream: Send + Sync {
+    /// Executes one request and returns the response, or a transport-level
+    /// error message.
+    fn forward(&self, req: &Request) -> Result<Response, String>;
+}
+
+/// HTTP downstream: round-robins requests over TSDB replica base URLs,
+/// retrying the next replica on transport failure.
+pub struct HttpDownstream {
+    client: Client,
+    replicas: Vec<String>,
+    next: AtomicUsize,
+}
+
+impl HttpDownstream {
+    /// Creates a downstream over replica base URLs (no trailing slashes).
+    pub fn new(replicas: Vec<String>) -> HttpDownstream {
+        assert!(!replicas.is_empty(), "need at least one replica URL");
+        HttpDownstream {
+            client: Client::new(),
+            replicas,
+            next: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl Downstream for HttpDownstream {
+    fn forward(&self, req: &Request) -> Result<Response, String> {
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut last_err = String::new();
+        for i in 0..self.replicas.len() {
+            let base = &self.replicas[(start + i) % self.replicas.len()];
+            let url = format!("{base}{}", req.path_and_query());
+            let mut client = self.client.clone();
+            for (name, value) in &req.headers {
+                client = client.with_header(name, value.clone());
+            }
+            match client.request(req.method, &url, req.body.clone(), req.header("content-type")) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => last_err = e.to_string(),
+            }
+        }
+        Err(last_err)
+    }
+}
+
+/// In-process downstream dispatching straight into a [`Router`] — used by
+/// tests and benches to avoid socket round-trips, and by single-binary
+/// deployments embedding the TSDB.
+pub struct RouterDownstream {
+    router: Arc<Router>,
+}
+
+impl RouterDownstream {
+    /// Wraps a router (e.g. `ceems_tsdb::httpapi::api_router`).
+    pub fn new(router: Router) -> RouterDownstream {
+        RouterDownstream { router: Arc::new(router) }
+    }
+}
+
+impl Downstream for RouterDownstream {
+    fn forward(&self, req: &Request) -> Result<Response, String> {
+        Ok(self.router.dispatch(req.clone()))
+    }
+}

@@ -1,0 +1,689 @@
+//! The query frontend proper: request classification, split/cache/merge
+//! orchestration, per-tenant admission, and self-monitoring.
+//!
+//! `query_range` requests whose expression is split-safe are decomposed
+//! into `split_interval`-aligned extents ([`crate::split`]); settled
+//! extents are served from the results cache ([`crate::cache`]) and only
+//! the uncovered remainder is fetched from the TSDB, in parallel. Anything
+//! else — instant queries, label/series lookups, split-unsafe expressions
+//! (`topk`, `offset`, …), malformed parameters — passes through to the
+//! downstream verbatim, so error bodies and edge-case semantics stay
+//! byte-identical to an unfronted deployment.
+//!
+//! Every query first takes a slot from the [`FairScheduler`]; tenants that
+//! overflow their queue get `429 Too Many Requests` with a `Retry-After`
+//! the shared `ceems-http` client knows how to honor.
+
+use std::sync::Arc;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde_json::{json, Value as Json};
+
+use ceems_http::{HttpServer, Request, Response, Router, ServerConfig, Status};
+use ceems_metrics::{Counter, CounterVec, Gauge, GaugeVec, Histogram};
+use ceems_obs::trace::QueryTrace;
+use ceems_obs::{HttpInstruments, Obs, TRACE_HEADER};
+use ceems_tsdb::promql::{normalize, parse_expr, split_safety, SplitSafety};
+
+use crate::cache::{ExtentKey, ResultsCache};
+use crate::downstream::Downstream;
+use crate::sched::{FairScheduler, SchedulerConfig};
+use crate::split::{merge_extents, ms_to_secs_param, split_grid, Extent, ExtentData, StepGrid};
+
+/// Clock supplying "now" in Unix milliseconds (the `recent_window`
+/// reference point). Simulated deployments pass the simulation clock.
+pub type NowFn = Arc<dyn Fn() -> i64 + Send + Sync>;
+
+/// Frontend tuning knobs. Times are milliseconds.
+#[derive(Clone)]
+pub struct QfeConfig {
+    /// Split window width; sub-queries are aligned to multiples of this.
+    pub split_interval_ms: i64,
+    /// Results-cache budget in bytes; `0` disables caching.
+    pub cache_bytes: usize,
+    /// Results newer than `now − recent_window` are never cached (they may
+    /// still change as ingestion catches up).
+    pub recent_window_ms: i64,
+    /// Admission limits.
+    pub scheduler: SchedulerConfig,
+    /// Maximum threads fanning out sub-queries for one request.
+    pub max_fanout: usize,
+    /// Clock for the `recent_window` horizon.
+    pub now: NowFn,
+}
+
+impl Default for QfeConfig {
+    fn default() -> Self {
+        QfeConfig {
+            split_interval_ms: 86_400_000,
+            cache_bytes: 64 << 20,
+            recent_window_ms: 600_000,
+            scheduler: SchedulerConfig::default(),
+            max_fanout: 8,
+            now: system_now(),
+        }
+    }
+}
+
+/// The wall clock as a [`NowFn`].
+pub fn system_now() -> NowFn {
+    Arc::new(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as i64)
+            .unwrap_or(0)
+    })
+}
+
+struct QfeInstruments {
+    cache_requests: CounterVec,
+    cached_steps: Counter,
+    fetched_steps: Counter,
+    split_subqueries: Histogram,
+    shed: Counter,
+    fallbacks: Counter,
+    queue_depth: GaugeVec,
+    cache_bytes: Gauge,
+    cache_extents: Gauge,
+}
+
+impl QfeInstruments {
+    fn new(obs: &Obs) -> QfeInstruments {
+        QfeInstruments {
+            cache_requests: obs.counter_vec(
+                "ceems_qfe_cache_requests_total",
+                "Range queries by cache outcome (hit, partial, miss, bypass, fallback).",
+                &["outcome"],
+            ),
+            cached_steps: obs.counter(
+                "ceems_qfe_cached_steps_total",
+                "Grid steps served from the results cache.",
+            ),
+            fetched_steps: obs.counter(
+                "ceems_qfe_fetched_steps_total",
+                "Grid steps fetched from the TSDB.",
+            ),
+            split_subqueries: obs.histogram(
+                "ceems_qfe_split_subqueries",
+                "Extents per split range query (fan-out width).",
+                vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+            ),
+            shed: obs.counter(
+                "ceems_qfe_shed_total",
+                "Queries refused with 429 because a tenant queue overflowed.",
+            ),
+            fallbacks: obs.counter(
+                "ceems_qfe_downstream_fallback_total",
+                "Split queries re-proxied whole after a sub-query failed.",
+            ),
+            queue_depth: obs.gauge_vec(
+                "ceems_qfe_tenant_queue_depth",
+                "Queries currently queued, per tenant.",
+                &["tenant"],
+            ),
+            cache_bytes: obs.gauge(
+                "ceems_qfe_cache_bytes",
+                "Resident bytes in the results cache.",
+            ),
+            cache_extents: obs.gauge(
+                "ceems_qfe_cache_extents",
+                "Extents resident in the results cache.",
+            ),
+        }
+    }
+}
+
+/// The query frontend. Construct with [`QueryFrontend::new`], then either
+/// mount [`QueryFrontend::router`] behind a server or call
+/// [`QueryFrontend::handle`] directly (in-process deployments, tests).
+pub struct QueryFrontend {
+    downstream: Arc<dyn Downstream>,
+    cfg: QfeConfig,
+    cache: ResultsCache,
+    sched: Arc<FairScheduler>,
+    obs: Obs,
+    ins: QfeInstruments,
+    http: HttpInstruments,
+}
+
+impl QueryFrontend {
+    /// Creates a frontend over a downstream.
+    pub fn new(downstream: Arc<dyn Downstream>, cfg: QfeConfig) -> Arc<QueryFrontend> {
+        let obs = Obs::new();
+        let ins = QfeInstruments::new(&obs);
+        let http = HttpInstruments::new("qfe", obs.registry());
+        Arc::new(QueryFrontend {
+            downstream,
+            cache: ResultsCache::new(cfg.cache_bytes),
+            sched: FairScheduler::new(cfg.scheduler),
+            cfg,
+            obs,
+            ins,
+            http,
+        })
+    }
+
+    /// The frontend's metrics registry (served at `/metrics`).
+    pub fn registry(&self) -> &ceems_metrics::Registry {
+        self.obs.registry()
+    }
+
+    /// The results cache (tests peek at residency).
+    pub fn cache(&self) -> &ResultsCache {
+        &self.cache
+    }
+
+    /// The admission scheduler (tests peek at shed counts).
+    pub fn scheduler(&self) -> &Arc<FairScheduler> {
+        &self.sched
+    }
+
+    /// Handles one request end to end.
+    pub fn handle(self: &Arc<Self>, req: &Request) -> Response {
+        match req.path.as_str() {
+            "/api/v1/query_range" => self.admitted(req, |fe| fe.handle_range(req)),
+            "/api/v1/query" => self.admitted(req, |fe| fe.passthrough(req, None)),
+            _ => self.forward_or_gateway_error(req),
+        }
+    }
+
+    /// Runs `f` under a scheduler permit, or sheds with 429 + Retry-After.
+    fn admitted(
+        self: &Arc<Self>,
+        req: &Request,
+        f: impl FnOnce(&Arc<Self>) -> Response,
+    ) -> Response {
+        let tenant = tenant_of(req);
+        let permit = self.sched.acquire(tenant);
+        self.ins
+            .queue_depth
+            .with_label_values(&[tenant])
+            .set(self.sched.queue_depth(tenant) as f64);
+        match permit {
+            Ok(_permit) => f(self),
+            Err(shed) => {
+                self.ins.shed.inc();
+                Response::error(
+                    Status::TOO_MANY_REQUESTS,
+                    format!("qfe: tenant {tenant:?} queue full, retry later"),
+                )
+                .with_retry_after(shed.retry_after_s)
+            }
+        }
+    }
+
+    /// The split/cache/merge path. Anything it cannot prove it can
+    /// reproduce byte-for-byte falls back to [`Self::passthrough`].
+    fn handle_range(self: &Arc<Self>, req: &Request) -> Response {
+        let started = Instant::now();
+
+        // Mirror the TSDB's own parameter parsing exactly; on any
+        // divergence let the TSDB produce its own (identical) error.
+        let params = (
+            parse_time_param(req, "start"),
+            parse_time_param(req, "end"),
+            parse_step_param(req),
+            req.query_param("query"),
+        );
+        let (Some(start_ms), Some(end_ms), Some(step_ms), Some(query)) = params else {
+            return self.passthrough(req, Some("bypass"));
+        };
+        let expr = match parse_expr(query) {
+            Ok(e) => e,
+            Err(_) => return self.passthrough(req, Some("bypass")),
+        };
+        // Every sub-query re-reads its own lookback window (`rate`,
+        // `increase`, `*_over_time`, the instant-vector staleness window)
+        // from storage, so splitting never changes what a step sees — only
+        // provably split-safe shapes get here at all.
+        if let SplitSafety::Unsafe { .. } = split_safety(&expr) {
+            return self.passthrough(req, Some("bypass"));
+        }
+        let grid = StepGrid { start_ms, end_ms, step_ms };
+        if grid.is_empty() {
+            return self.passthrough(req, Some("bypass"));
+        }
+
+        let qtrace = QueryTrace::begin(req.header(TRACE_HEADER));
+        let extents = split_grid(grid, self.cfg.split_interval_ms);
+        let norm = normalize(&expr);
+        let phase_ms = start_ms.rem_euclid(step_ms);
+        let tenant = tenant_of(req);
+        let horizon_ms = (self.cfg.now)() - self.cfg.recent_window_ms;
+
+        // Cache lookup.
+        let lookup_started = Instant::now();
+        let mut slots: Vec<Option<Arc<ExtentData>>> = Vec::with_capacity(extents.len());
+        let mut cached_steps = 0usize;
+        for e in &extents {
+            let hit = self.cache.get(&extent_key(tenant, &norm, step_ms, phase_ms, e));
+            if hit.is_some() {
+                cached_steps += e.step_count();
+            }
+            slots.push(hit);
+        }
+        let lookup_ms = lookup_started.elapsed().as_secs_f64() * 1e3;
+
+        // Fetch the misses, fanning out across threads.
+        let missing: Vec<usize> =
+            (0..extents.len()).filter(|i| slots[*i].is_none()).collect();
+        let fetched_steps: usize = missing.iter().map(|i| extents[*i].step_count()).sum();
+        let fetch_started = Instant::now();
+        let fetched: Vec<Option<Arc<ExtentData>>> = self.fetch_extents(req, &extents, &missing);
+        let fetch_ms = fetch_started.elapsed().as_secs_f64() * 1e3;
+        for (slot, data) in missing.iter().zip(fetched) {
+            match data {
+                Some(d) => slots[*slot] = Some(d),
+                None => {
+                    // A sub-query failed (transport error, non-success
+                    // status, unexpected shape): re-run the query whole so
+                    // the client sees exactly what the TSDB would say.
+                    self.ins.fallbacks.inc();
+                    return self.passthrough(req, Some("fallback"));
+                }
+            }
+        }
+
+        // Store settled extents for the next request.
+        for (i, e) in extents.iter().enumerate() {
+            if missing.contains(&i) && e.last_step_ms <= horizon_ms {
+                self.cache.put(
+                    extent_key(tenant, &norm, step_ms, phase_ms, e),
+                    slots[i].clone().unwrap(),
+                );
+            }
+        }
+
+        // Merge back into the unsplit response.
+        let merge_started = Instant::now();
+        let pairs: Vec<(Extent, Arc<ExtentData>)> = extents
+            .iter()
+            .copied()
+            .zip(slots.into_iter().map(|s| s.unwrap()))
+            .collect();
+        let result = merge_extents(&pairs);
+        let mut data = json!({"resultType": "matrix", "result": result});
+        let merge_ms = merge_started.elapsed().as_secs_f64() * 1e3;
+
+        let outcome = if missing.is_empty() {
+            "hit"
+        } else if cached_steps > 0 {
+            "partial"
+        } else {
+            "miss"
+        };
+        self.ins.cache_requests.with_label_values(&[outcome]).inc();
+        self.ins.cached_steps.add(cached_steps as f64);
+        self.ins.fetched_steps.add(fetched_steps as f64);
+        self.ins.split_subqueries.observe(extents.len() as f64);
+        self.ins.cache_bytes.set(self.cache.bytes() as f64);
+        self.ins.cache_extents.set(self.cache.len() as f64);
+
+        if trace_requested(req) {
+            qtrace.record_stage_ms("qfe_cache", lookup_ms + merge_ms);
+            qtrace.record_stage_ms("qfe_split", fetch_ms);
+            qtrace.add_count("subqueries", missing.len() as u64);
+            qtrace.add_count("cachedSteps", cached_steps as u64);
+            qtrace.add_count("fetchedSteps", fetched_steps as u64);
+            if let Json::Object(map) = &mut data {
+                map.insert("trace".to_string(), qtrace.report().to_json());
+            }
+        }
+        let body = serde_json::to_vec(&json!({"status": "success", "data": data})).unwrap();
+        let _ = started;
+        Response::json(body)
+            .with_header("x-ceems-qfe-cache", outcome)
+            .with_header("x-ceems-qfe-cached-steps", cached_steps.to_string())
+            .with_header("x-ceems-qfe-fetched-steps", fetched_steps.to_string())
+    }
+
+    /// Fetches `missing` extents from the downstream, at most
+    /// `max_fanout` at a time. Returns results in `missing` order; `None`
+    /// marks a failed sub-query.
+    fn fetch_extents(
+        &self,
+        req: &Request,
+        extents: &[Extent],
+        missing: &[usize],
+    ) -> Vec<Option<Arc<ExtentData>>> {
+        if missing.is_empty() {
+            return Vec::new();
+        }
+        let out: Vec<Mutex<Option<Arc<ExtentData>>>> =
+            missing.iter().map(|_| Mutex::new(None)).collect();
+        let threads = missing.len().min(self.cfg.max_fanout.max(1));
+        let chunk = missing.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for (c, chunk_slots) in missing.chunks(chunk).enumerate() {
+                let out = &out;
+                s.spawn(move || {
+                    for (j, slot) in chunk_slots.iter().enumerate() {
+                        let sub = sub_request(req, &extents[*slot]);
+                        let data = match self.downstream.forward(&sub) {
+                            Ok(resp) if resp.status.is_success() => {
+                                ExtentData::from_response(&resp.body).map(Arc::new)
+                            }
+                            _ => None,
+                        };
+                        *out[c * chunk + j].lock().unwrap() = data;
+                    }
+                });
+            }
+        });
+        out.into_iter().map(|m| m.into_inner().unwrap()).collect()
+    }
+
+    /// Forwards the request verbatim. When this replaces a traced query,
+    /// the inner trace gets a `qfe_proxy` stage accounting for the
+    /// frontend's own overhead, and `totalMs` is re-rooted here.
+    fn passthrough(self: &Arc<Self>, req: &Request, outcome: Option<&str>) -> Response {
+        if let Some(outcome) = outcome {
+            self.ins.cache_requests.with_label_values(&[outcome]).inc();
+        }
+        let started = Instant::now();
+        let mut resp = match self.downstream.forward(req) {
+            Ok(resp) => resp,
+            Err(e) => {
+                return Response::error(
+                    Status::BAD_GATEWAY,
+                    format!("qfe: downstream unavailable: {e}"),
+                )
+            }
+        };
+        if trace_requested(req) && resp.status.is_success() {
+            let total_ms = started.elapsed().as_secs_f64() * 1e3;
+            if let Some(body) = rewrite_passthrough_trace(&resp.body, total_ms) {
+                resp.body = body;
+            }
+        }
+        match outcome {
+            Some(outcome) => resp.with_header("x-ceems-qfe-cache", outcome),
+            None => resp,
+        }
+    }
+
+    /// Non-query traffic (labels, series, federation, …): proxy, no
+    /// scheduling, no rewriting.
+    fn forward_or_gateway_error(&self, req: &Request) -> Response {
+        match self.downstream.forward(req) {
+            Ok(resp) => resp,
+            Err(e) => Response::error(
+                Status::BAD_GATEWAY,
+                format!("qfe: downstream unavailable: {e}"),
+            ),
+        }
+    }
+
+    /// Builds the frontend router: `/metrics` first, then everything else
+    /// into [`Self::handle`].
+    pub fn router(self: &Arc<Self>) -> Router {
+        let mut router = Router::new();
+        ceems_obs::add_metrics_route(&mut router, self.obs.registry().clone());
+        for method in [
+            ceems_http::Method::Get,
+            ceems_http::Method::Post,
+            ceems_http::Method::Delete,
+        ] {
+            let me = self.clone();
+            router.route(method, "/*rest", move |req| me.handle(req));
+        }
+        router
+    }
+
+    /// Serves the frontend on an ephemeral port with request
+    /// instrumentation. Workers are sized past the scheduler's global
+    /// concurrency cap so queued queries (which block their worker) cannot
+    /// starve `/metrics`.
+    pub fn serve(self: &Arc<Self>) -> std::io::Result<HttpServer> {
+        let workers = self.cfg.scheduler.max_concurrency + self.cfg.scheduler.tenant_queue_depth + 4;
+        HttpServer::serve_fn(
+            ServerConfig::ephemeral().with_workers(workers),
+            self.http.wrap(self.router()),
+        )
+    }
+}
+
+/// Tenant identity: the LB forwards the authenticated user in
+/// `X-Grafana-User`; direct/anonymous traffic shares one bucket.
+fn tenant_of(req: &Request) -> &str {
+    req.header("x-grafana-user").unwrap_or("anonymous")
+}
+
+fn extent_key(tenant: &str, norm: &str, step_ms: i64, phase_ms: i64, e: &Extent) -> ExtentKey {
+    ExtentKey {
+        tenant: tenant.to_string(),
+        expr: norm.to_string(),
+        step_ms,
+        phase_ms,
+        first_step_ms: e.first_step_ms,
+        last_step_ms: e.last_step_ms,
+    }
+}
+
+/// `?trace=1` (or `trace=true`), as the TSDB defines it.
+fn trace_requested(req: &Request) -> bool {
+    matches!(req.query_param("trace"), Some("1") | Some("true"))
+}
+
+/// `start`/`end` exactly as `ceems_tsdb::httpapi::parse_time` reads them
+/// (sans defaulting — a missing parameter bypasses splitting).
+fn parse_time_param(req: &Request, name: &str) -> Option<i64> {
+    let raw = req.query_param(name)?;
+    let secs: f64 = raw.parse().ok()?;
+    if secs.is_finite() {
+        Some((secs * 1000.0) as i64)
+    } else {
+        None
+    }
+}
+
+/// `step` exactly as the TSDB reads it.
+fn parse_step_param(req: &Request) -> Option<i64> {
+    let sec: f64 = req.query_param("step")?.parse().ok()?;
+    if sec > 0.0 {
+        Some((sec * 1000.0) as i64)
+    } else {
+        None
+    }
+}
+
+/// Builds the sub-request for one extent: same query string and step
+/// parameter verbatim, `start`/`end` trimmed to the extent, identity and
+/// trace headers forwarded, `trace` param stripped (the frontend reports
+/// its own stages).
+fn sub_request(req: &Request, e: &Extent) -> Request {
+    let mut sub = Request::new(req.method, &req.path);
+    sub.query = vec![
+        ("query".to_string(), req.query_param("query").unwrap_or("").to_string()),
+        ("start".to_string(), ms_to_secs_param(e.first_step_ms)),
+        ("end".to_string(), ms_to_secs_param(e.last_step_ms)),
+        ("step".to_string(), req.query_param("step").unwrap_or("").to_string()),
+    ];
+    for name in ["x-grafana-user", TRACE_HEADER] {
+        if let Some(v) = req.header(name) {
+            sub = sub.with_header(name, v);
+        }
+    }
+    sub
+}
+
+/// Appends a `qfe_proxy` stage to a proxied trace and re-roots `totalMs`
+/// at the frontend, keeping `sum(stages) ≤ totalMs`.
+fn rewrite_passthrough_trace(body: &[u8], total_ms: f64) -> Option<Vec<u8>> {
+    let mut v: Json = serde_json::from_slice(body).ok()?;
+    let Json::Object(root) = &mut v else {
+        return None;
+    };
+    let Some(Json::Object(data)) = root.get_mut("data") else {
+        return None;
+    };
+    let Some(Json::Object(trace)) = data.get_mut("trace") else {
+        return None;
+    };
+    let inner_total = trace.get("totalMs").and_then(|t| t.as_f64()).unwrap_or(0.0);
+    let total_ms = total_ms.max(inner_total);
+    if let Some(Json::Array(stages)) = trace.get_mut("stages") {
+        stages.push(json!({"name": "qfe_proxy", "ms": total_ms - inner_total}));
+    }
+    trace.insert("totalMs".to_string(), json!(total_ms));
+    serde_json::to_vec(&v).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceems_http::Method;
+
+    /// Downstream that records sub-requests and evaluates a fixed series:
+    /// `m` has value `t/1000` at every step.
+    struct FakeDownstream {
+        calls: Mutex<Vec<String>>,
+        fail: bool,
+    }
+
+    impl Downstream for FakeDownstream {
+        fn forward(&self, req: &Request) -> Result<Response, String> {
+            self.calls.lock().unwrap().push(req.path_and_query());
+            if self.fail {
+                return Err("boom".to_string());
+            }
+            let start = (req.query_param("start").unwrap().parse::<f64>().unwrap() * 1000.0) as i64;
+            let end = (req.query_param("end").unwrap().parse::<f64>().unwrap() * 1000.0) as i64;
+            let step = (req.query_param("step").unwrap().parse::<f64>().unwrap() * 1000.0) as i64;
+            let values: Vec<Json> = StepGrid { start_ms: start, end_ms: end, step_ms: step }
+                .steps()
+                .map(|t| json!([t as f64 / 1000.0, format!("{}", t / 1000)]))
+                .collect();
+            let data = json!({
+                "resultType": "matrix",
+                "result": [{"metric": {"__name__": "m"}, "values": values}],
+            });
+            let body = serde_json::to_vec(&json!({"status": "success", "data": data})).unwrap();
+            Ok(Response::json(body))
+        }
+    }
+
+    fn frontend(fail: bool, now_ms: i64) -> (Arc<QueryFrontend>, Arc<FakeDownstream>) {
+        let ds = Arc::new(FakeDownstream { calls: Mutex::new(Vec::new()), fail });
+        let cfg = QfeConfig {
+            split_interval_ms: 60_000,
+            recent_window_ms: 0,
+            now: Arc::new(move || now_ms),
+            ..QfeConfig::default()
+        };
+        (QueryFrontend::new(ds.clone() as Arc<dyn Downstream>, cfg), ds)
+    }
+
+    fn range_req(query: &str, start_s: i64, end_s: i64, step_s: i64) -> Request {
+        Request::new(
+            Method::Get,
+            &format!("/api/v1/query_range?query={query}&start={start_s}&end={end_s}&step={step_s}"),
+        )
+    }
+
+    #[test]
+    fn splits_then_serves_second_request_from_cache() {
+        let (fe, ds) = frontend(false, 10_000_000);
+        let req = range_req("m", 0, 179, 15);
+        let first = fe.handle(&req);
+        assert_eq!(first.status, Status::OK);
+        assert_eq!(first.header("x-ceems-qfe-cache"), Some("miss"));
+        let fanned = ds.calls.lock().unwrap().len();
+        assert_eq!(fanned, 3, "0..179 at 60s windows spans 3 extents");
+
+        let second = fe.handle(&req);
+        assert_eq!(second.header("x-ceems-qfe-cache"), Some("hit"));
+        assert_eq!(ds.calls.lock().unwrap().len(), fanned, "no new sub-queries");
+        assert_eq!(first.body, second.body, "cached render is byte-identical");
+    }
+
+    #[test]
+    fn unsafe_expressions_bypass_split_and_cache() {
+        let (fe, ds) = frontend(false, 10_000_000);
+        let req = range_req("topk(2, m)", 0, 179, 15);
+        let resp = fe.handle(&req);
+        assert_eq!(resp.header("x-ceems-qfe-cache"), Some("bypass"));
+        let calls = ds.calls.lock().unwrap();
+        assert_eq!(calls.len(), 1, "forwarded whole, not split");
+        assert!(calls[0].contains("query=topk"));
+        assert!(fe.cache().is_empty());
+    }
+
+    #[test]
+    fn recent_window_is_never_cached() {
+        // now = 120s; recent_window covers everything ⇒ nothing cacheable.
+        let ds = Arc::new(FakeDownstream { calls: Mutex::new(Vec::new()), fail: false });
+        let cfg = QfeConfig {
+            split_interval_ms: 60_000,
+            recent_window_ms: 1_000_000,
+            now: Arc::new(|| 120_000),
+            ..QfeConfig::default()
+        };
+        let fe = QueryFrontend::new(ds.clone() as Arc<dyn Downstream>, cfg);
+        let resp = fe.handle(&range_req("m", 0, 119, 15));
+        assert_eq!(resp.status, Status::OK);
+        assert!(fe.cache().is_empty(), "recent extents must not be cached");
+        let again = fe.handle(&range_req("m", 0, 119, 15));
+        assert_eq!(again.header("x-ceems-qfe-cache"), Some("miss"));
+    }
+
+    #[test]
+    fn failed_subquery_falls_back_to_whole_proxy() {
+        let (fe, ds) = frontend(true, 10_000_000);
+        let resp = fe.handle(&range_req("m", 0, 179, 15));
+        // Sub-queries failed, then the whole-proxy fallback failed too (the
+        // fake downstream fails everything): a 502 surfaces.
+        assert_eq!(resp.status, Status::BAD_GATEWAY);
+        assert!(ds.calls.lock().unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn trace_reports_qfe_stages() {
+        let (fe, _ds) = frontend(false, 10_000_000);
+        let req = Request::new(
+            Method::Get,
+            "/api/v1/query_range?query=m&start=0&end=179&step=15&trace=1",
+        );
+        let resp = fe.handle(&req);
+        let v: Json = serde_json::from_slice(&resp.body).unwrap();
+        let trace = &v["data"]["trace"];
+        let stages: Vec<&str> = trace["stages"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s["name"].as_str().unwrap())
+            .collect();
+        assert!(stages.contains(&"qfe_cache"), "stages: {stages:?}");
+        assert!(stages.contains(&"qfe_split"));
+        let sum: f64 = trace["stages"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s["ms"].as_f64().unwrap())
+            .sum();
+        assert!(sum <= trace["totalMs"].as_f64().unwrap() + 1e-6);
+        assert_eq!(trace["counts"]["subqueries"], 3);
+    }
+
+    #[test]
+    fn shed_returns_429_with_retry_after() {
+        let ds = Arc::new(FakeDownstream { calls: Mutex::new(Vec::new()), fail: false });
+        let cfg = QfeConfig {
+            scheduler: SchedulerConfig {
+                tenant_queue_depth: 0,
+                max_tenant_concurrency: 1,
+                max_concurrency: 1,
+                retry_after_s: 0.25,
+            },
+            ..QfeConfig::default()
+        };
+        let fe = QueryFrontend::new(ds as Arc<dyn Downstream>, cfg);
+        // Hold the only slot on another thread, then overflow the queue.
+        let _held = fe.scheduler().acquire("alice").unwrap();
+        let resp = fe.handle(&range_req("m", 0, 10, 5).with_header("x-grafana-user", "alice"));
+        assert_eq!(resp.status, Status::TOO_MANY_REQUESTS);
+        assert_eq!(resp.retry_after_secs(), Some(0.25));
+        assert_eq!(fe.scheduler().shed_count(), 1);
+    }
+}

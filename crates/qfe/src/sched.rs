@@ -1,0 +1,306 @@
+//! Per-tenant fair scheduling and load shedding.
+//!
+//! Each tenant gets a bounded FIFO of waiting queries and a concurrency
+//! cap. Freed slots are handed out round-robin *across tenants*, so one
+//! tenant's 90-day panel burst cannot starve another tenant's 15-minute
+//! panels: the flooder is capped at its concurrency limit, its overflow
+//! queues up to `queue_depth`, and anything beyond that is shed with
+//! `429 Too Many Requests` + `Retry-After`. A global cap bounds the total
+//! downstream fan-in (and therefore how many frontend worker threads can
+//! block here at once).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Scheduler limits.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerConfig {
+    /// Waiting queries allowed per tenant before shedding.
+    pub tenant_queue_depth: usize,
+    /// Concurrent queries allowed per tenant.
+    pub max_tenant_concurrency: usize,
+    /// Concurrent queries allowed across all tenants.
+    pub max_concurrency: usize,
+    /// `Retry-After` hint returned with a shed, in seconds.
+    pub retry_after_s: f64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            tenant_queue_depth: 16,
+            max_tenant_concurrency: 4,
+            max_concurrency: 16,
+            retry_after_s: 1.0,
+        }
+    }
+}
+
+/// A query was refused; retry after the embedded delay.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Shed {
+    /// Seconds the client should wait before retrying.
+    pub retry_after_s: f64,
+}
+
+#[derive(Default)]
+struct TenantState {
+    running: usize,
+    waiting: VecDeque<u64>,
+}
+
+#[derive(Default)]
+struct SchedInner {
+    tenants: HashMap<String, TenantState>,
+    /// Tenants with waiters, in round-robin service order.
+    rotation: VecDeque<String>,
+    granted: HashSet<u64>,
+    next_ticket: u64,
+    total_running: usize,
+    shed_count: u64,
+}
+
+/// The fair scheduler. Cloneable via `Arc`; `acquire` blocks the calling
+/// worker until a slot frees (or sheds immediately on queue overflow).
+pub struct FairScheduler {
+    cfg: SchedulerConfig,
+    inner: Mutex<SchedInner>,
+    cv: Condvar,
+}
+
+/// A held execution slot; dropping it releases the slot and dispatches the
+/// next waiter round-robin.
+pub struct Permit {
+    sched: Arc<FairScheduler>,
+    tenant: String,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.sched.release(&self.tenant);
+    }
+}
+
+impl FairScheduler {
+    /// Creates a scheduler.
+    pub fn new(cfg: SchedulerConfig) -> Arc<FairScheduler> {
+        Arc::new(FairScheduler {
+            cfg,
+            inner: Mutex::new(SchedInner::default()),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> SchedulerConfig {
+        self.cfg
+    }
+
+    /// Total queries shed so far.
+    pub fn shed_count(&self) -> u64 {
+        self.inner.lock().unwrap().shed_count
+    }
+
+    /// Queries currently waiting for `tenant`.
+    pub fn queue_depth(&self, tenant: &str) -> usize {
+        let inner = self.inner.lock().unwrap();
+        inner.tenants.get(tenant).map_or(0, |t| t.waiting.len())
+    }
+
+    /// Queries currently running for `tenant`.
+    pub fn running(&self, tenant: &str) -> usize {
+        let inner = self.inner.lock().unwrap();
+        inner.tenants.get(tenant).map_or(0, |t| t.running)
+    }
+
+    /// Acquires an execution slot for `tenant`, blocking while the tenant
+    /// is at its concurrency cap (or the frontend at its global cap) and
+    /// the tenant's queue has room. Sheds when the queue is full.
+    pub fn acquire(self: &Arc<Self>, tenant: &str) -> Result<Permit, Shed> {
+        let mut inner = self.inner.lock().unwrap();
+        let (waiting_len, running) = {
+            let state = inner.tenants.entry(tenant.to_string()).or_default();
+            (state.waiting.len(), state.running)
+        };
+
+        let can_run_now = waiting_len == 0
+            && running < self.cfg.max_tenant_concurrency
+            && inner.total_running < self.cfg.max_concurrency;
+        if can_run_now {
+            inner.tenants.get_mut(tenant).unwrap().running += 1;
+            inner.total_running += 1;
+            return Ok(Permit { sched: self.clone(), tenant: tenant.to_string() });
+        }
+
+        if waiting_len >= self.cfg.tenant_queue_depth {
+            inner.shed_count += 1;
+            return Err(Shed { retry_after_s: self.cfg.retry_after_s });
+        }
+
+        let ticket = inner.next_ticket;
+        inner.next_ticket += 1;
+        let state = inner.tenants.get_mut(tenant).unwrap();
+        state.waiting.push_back(ticket);
+        if !inner.rotation.iter().any(|t| t == tenant) {
+            inner.rotation.push_back(tenant.to_string());
+        }
+        while !inner.granted.remove(&ticket) {
+            inner = self.cv.wait(inner).unwrap();
+        }
+        Ok(Permit { sched: self.clone(), tenant: tenant.to_string() })
+    }
+
+    fn release(&self, tenant: &str) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(state) = inner.tenants.get_mut(tenant) {
+            state.running = state.running.saturating_sub(1);
+        }
+        inner.total_running = inner.total_running.saturating_sub(1);
+        self.dispatch(&mut inner);
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Hands freed capacity to waiters, visiting tenants round-robin.
+    fn dispatch(&self, inner: &mut SchedInner) {
+        let mut skipped: VecDeque<String> = VecDeque::new();
+        while inner.total_running < self.cfg.max_concurrency {
+            let Some(tenant) = inner.rotation.pop_front() else {
+                break;
+            };
+            let Some(state) = inner.tenants.get_mut(&tenant) else {
+                continue;
+            };
+            if state.waiting.is_empty() {
+                continue; // drop from rotation
+            }
+            if state.running >= self.cfg.max_tenant_concurrency {
+                skipped.push_back(tenant);
+                continue;
+            }
+            let ticket = state.waiting.pop_front().unwrap();
+            state.running += 1;
+            inner.total_running += 1;
+            inner.granted.insert(ticket);
+            // Still has waiters? Go to the back of the rotation.
+            if !state.waiting.is_empty() {
+                inner.rotation.push_back(tenant);
+            }
+        }
+        inner.rotation.extend(skipped);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    fn cfg(depth: usize, per_tenant: usize, global: usize) -> SchedulerConfig {
+        SchedulerConfig {
+            tenant_queue_depth: depth,
+            max_tenant_concurrency: per_tenant,
+            max_concurrency: global,
+            retry_after_s: 0.5,
+        }
+    }
+
+    #[test]
+    fn immediate_grant_under_caps() {
+        let s = FairScheduler::new(cfg(4, 2, 8));
+        let p1 = s.acquire("a").unwrap();
+        let _p2 = s.acquire("a").unwrap();
+        assert_eq!(s.running("a"), 2);
+        drop(p1);
+        assert_eq!(s.running("a"), 1);
+    }
+
+    #[test]
+    fn overflow_sheds_with_retry_after() {
+        let s = FairScheduler::new(cfg(0, 1, 8));
+        let _p = s.acquire("a").unwrap();
+        let shed = match s.acquire("a") {
+            Err(shed) => shed,
+            Ok(_) => panic!("queue depth 0 sheds at once"),
+        };
+        assert_eq!(shed.retry_after_s, 0.5);
+        assert_eq!(s.shed_count(), 1);
+    }
+
+    #[test]
+    fn blocked_waiter_wakes_on_release() {
+        let s = FairScheduler::new(cfg(4, 1, 8));
+        let p = s.acquire("a").unwrap();
+        let s2 = s.clone();
+        let done = Arc::new(AtomicUsize::new(0));
+        let done2 = done.clone();
+        let h = std::thread::spawn(move || {
+            let _p = s2.acquire("a").unwrap();
+            done2.fetch_add(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(done.load(Ordering::SeqCst), 0);
+        assert_eq!(s.queue_depth("a"), 1);
+        drop(p);
+        h.join().unwrap();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn round_robin_alternates_between_tenants() {
+        // Global cap 1; tenants a and b each queue two waiters. Releases
+        // must alternate a/b/a/b regardless of enqueue order.
+        let s = FairScheduler::new(cfg(8, 1, 1));
+        let p0 = s.acquire("a").unwrap();
+        let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let mut handles = Vec::new();
+        for (tenant, tag) in [("a", "a1"), ("a", "a2"), ("b", "b1"), ("b", "b2")] {
+            let s = s.clone();
+            let order = order.clone();
+            handles.push(std::thread::spawn(move || {
+                let p = s.acquire(tenant).unwrap();
+                order.lock().unwrap().push(tag);
+                std::thread::sleep(Duration::from_millis(5));
+                drop(p);
+            }));
+            // Deterministic enqueue order: a1, a2, b1, b2.
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        drop(p0);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let order = order.lock().unwrap().clone();
+        // a went first (head of rotation), then strict alternation.
+        assert_eq!(order, vec!["a1", "b1", "a2", "b2"]);
+    }
+
+    #[test]
+    fn flooding_tenant_cannot_starve_another() {
+        let s = FairScheduler::new(cfg(64, 2, 2));
+        // Tenant a saturates the global cap and queues a pile more.
+        let held: Vec<Permit> = (0..2).map(|_| s.acquire("a").unwrap()).collect();
+        let mut floods = Vec::new();
+        for _ in 0..8 {
+            let s = s.clone();
+            floods.push(std::thread::spawn(move || {
+                let _p = s.acquire("a").unwrap();
+                std::thread::sleep(Duration::from_millis(2));
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        // Tenant b enqueues one; after one release, round-robin must pick b
+        // ahead of a's earlier-queued backlog.
+        let s2 = s.clone();
+        let b = std::thread::spawn(move || {
+            let _p = s2.acquire("b").unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(held);
+        b.join().unwrap(); // b completed while a's backlog still drains
+        for f in floods {
+            f.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The frontend's two load-bearing identities, as properties:
+//!
+//! 1. **split + merge ≡ unsplit** — for arbitrary series (counter resets,
+//!    NaN gaps included), arbitrary range/step/phase and arbitrary split
+//!    interval, the frontend's assembled response is byte-for-byte the
+//!    unsplit TSDB response.
+//! 2. **cached ≡ uncached** — re-issuing the same (and overlapping)
+//!    requests against a warm cache returns the same bytes again while
+//!    fetching strictly fewer steps.
+
+use std::sync::Arc;
+
+use ceems_http::{Method, Request, Response};
+use ceems_metrics::labels::LabelSetBuilder;
+use ceems_qfe::{QfeConfig, QueryFrontend, RouterDownstream};
+use ceems_tsdb::httpapi::api_router;
+use ceems_tsdb::Tsdb;
+use proptest::prelude::*;
+
+const SCRAPE_MS: i64 = 15_000;
+
+/// Builds a TSDB from per-series sample plans. Each sample is
+/// `(increment, reset, nan)`: values accumulate like a counter, `reset`
+/// drops the accumulator back to zero (counter restart), `nan` writes a NaN
+/// sample (a scrape that failed to parse).
+fn db_with(series: &[Vec<(f64, bool, bool)>]) -> Arc<Tsdb> {
+    let db = Arc::new(Tsdb::default());
+    for (si, plan) in series.iter().enumerate() {
+        let labels = LabelSetBuilder::new()
+            .label("__name__", "m")
+            .label("instance", format!("n{si}"))
+            .build();
+        let mut acc = 0.0;
+        for (i, (inc, reset, nan)) in plan.iter().enumerate() {
+            if *reset {
+                acc = 0.0;
+            }
+            acc += inc;
+            let v = if *nan { f64::NAN } else { acc };
+            db.append(&labels, i as i64 * SCRAPE_MS, v);
+        }
+    }
+    db
+}
+
+/// A frontend whose downstream is an in-process TSDB router, with
+/// everything cacheable (the clock sits far in the future and
+/// `recent_window` is zero).
+fn frontend_over(db: Arc<Tsdb>, split_interval_ms: i64) -> Arc<QueryFrontend> {
+    let router = api_router(db, Arc::new(|| i64::MAX / 2));
+    QueryFrontend::new(
+        Arc::new(RouterDownstream::new(router)),
+        QfeConfig {
+            split_interval_ms,
+            recent_window_ms: 0,
+            now: Arc::new(|| i64::MAX / 2),
+            ..QfeConfig::default()
+        },
+    )
+}
+
+const QUERIES: &[&str] = &[
+    "m",
+    "sum(m)",
+    "rate(m[45s])",
+    "increase(m[75s])",
+    "avg_over_time(m[30s])",
+    "max_over_time(m[60s])",
+    "sum by (instance) (rate(m[30s]))",
+    "sum(rate(m[2m])) / 1e9",
+];
+
+fn range_request(query: &str, start_ms: i64, end_ms: i64, step_ms: i64) -> Request {
+    // Express the times the way a client would (decimal seconds); the
+    // frontend must cope with whatever lands on the TSDB's ms grid.
+    Request::new(
+        Method::Get,
+        &format!(
+            "/api/v1/query_range?query={}&start={}&end={}&step={}",
+            ceems_http::url::encode_component(query),
+            start_ms as f64 / 1000.0,
+            end_ms as f64 / 1000.0,
+            step_ms as f64 / 1000.0,
+        ),
+    )
+}
+
+fn unsplit(db: Arc<Tsdb>, req: &Request) -> Response {
+    api_router(db, Arc::new(|| i64::MAX / 2)).dispatch(req.clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Identity 1 + 2 over the full random matrix.
+    #[test]
+    fn split_merge_and_cache_are_identities(
+        series in proptest::collection::vec(
+            proptest::collection::vec((0.0f64..50.0, any::<bool>(), any::<bool>()), 8..40),
+            1..4,
+        ),
+        query_idx in 0usize..QUERIES.len(),
+        start_steps in 0i64..6,
+        len_steps in 1i64..30,
+        step_s in 5i64..120,
+        split_s in 30i64..300,
+    ) {
+        let db = db_with(&series);
+        let query = QUERIES[query_idx];
+        let step_ms = step_s * 1000;
+        let start_ms = start_steps * 7_000; // off-grid phases included
+        let end_ms = start_ms + len_steps * step_ms;
+        let req = range_request(query, start_ms, end_ms, step_ms);
+
+        let want = unsplit(db.clone(), &req);
+        prop_assert_eq!(want.status, ceems_http::Status::OK, "baseline failed: {}", want.body_string());
+
+        let fe = frontend_over(db, split_s * 1000);
+        let cold = fe.handle(&req);
+        prop_assert_eq!(cold.status, ceems_http::Status::OK);
+        prop_assert_eq!(
+            cold.body_string(), want.body_string(),
+            "split+merge diverged for {} [{start_ms},{end_ms}] step {step_ms} split {split_s}s",
+            query
+        );
+
+        // Same request again: all extents cached, bytes identical.
+        let warm = fe.handle(&req);
+        prop_assert_eq!(warm.header("x-ceems-qfe-cache"), Some("hit"));
+        prop_assert_eq!(warm.header("x-ceems-qfe-fetched-steps"), Some("0"));
+        prop_assert_eq!(warm.body_string(), want.body_string(), "cached render diverged");
+    }
+
+    /// A *shifted* request over a warm cache reuses interior extents and
+    /// still matches its own unsplit baseline (partial-hit correctness).
+    #[test]
+    fn overlapping_request_serves_partial_hits_exactly(
+        series in proptest::collection::vec(
+            proptest::collection::vec((0.0f64..50.0, any::<bool>(), any::<bool>()), 12..40),
+            1..3,
+        ),
+        query_idx in 0usize..QUERIES.len(),
+        step_s in 5i64..60,
+        shift_windows in 1i64..3,
+    ) {
+        let db = db_with(&series);
+        let query = QUERIES[query_idx];
+        let step_ms = step_s * 1000;
+        let split_ms = 4 * step_ms; // several steps per window
+        let first = range_request(query, 0, 16 * step_ms, step_ms);
+
+        let fe = frontend_over(db.clone(), split_ms);
+        let cold = fe.handle(&first);
+        prop_assert_eq!(cold.status, ceems_http::Status::OK);
+
+        // Slide the range forward by whole windows: the overlap must come
+        // from cache, the remainder from the TSDB, the bytes from both.
+        let shift = shift_windows * split_ms;
+        let second = range_request(query, shift, shift + 16 * step_ms, step_ms);
+        let warm = fe.handle(&second);
+        let want = unsplit(db, &second);
+        prop_assert_eq!(warm.body_string(), want.body_string(), "partial-hit render diverged");
+        prop_assert_eq!(warm.header("x-ceems-qfe-cache"), Some("partial"));
+        let fetched: usize = warm.header("x-ceems-qfe-fetched-steps").unwrap().parse().unwrap();
+        let cached: usize = warm.header("x-ceems-qfe-cached-steps").unwrap().parse().unwrap();
+        prop_assert!(cached > 0, "no extent reused across overlapping requests");
+        prop_assert!(fetched < 17, "warm request re-fetched everything");
+    }
+}

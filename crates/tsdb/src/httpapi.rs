@@ -13,7 +13,9 @@
 //! return a per-stage wall-time breakdown under `data.trace`, and feed a
 //! configurable [`SlowQueryLog`].
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use serde_json::{json, Value as Json};
 
@@ -42,6 +44,9 @@ pub struct ApiOptions {
     pub registry: Option<Registry>,
     /// Slow-query log. `None` (like a non-positive threshold) disables it.
     pub slow_query: Option<SlowQueryLog>,
+    /// Leader-side token bucket over `/api/v1/wal/fetch`, per follower.
+    /// `None` leaves the endpoint unthrottled.
+    pub wal_fetch_limit: Option<Arc<WalFetchLimiter>>,
 }
 
 impl ApiOptions {
@@ -52,6 +57,65 @@ impl ApiOptions {
             now,
             registry: None,
             slow_query: None,
+            wal_fetch_limit: None,
+        }
+    }
+}
+
+/// Per-follower token bucket protecting the WAL leader from fetch storms.
+///
+/// Each follower (identified by its `x-wal-follower` header; followers
+/// without one share a single bucket) gets `burst` tokens refilled at
+/// `rate_per_s`. A denied fetch costs nothing and returns how long until
+/// the next token, which the handler surfaces as `Retry-After`.
+pub struct WalFetchLimiter {
+    rate_per_s: f64,
+    burst: f64,
+    buckets: Mutex<HashMap<String, TokenBucket>>,
+    throttled: ceems_metrics::Counter,
+}
+
+struct TokenBucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+impl WalFetchLimiter {
+    /// A limiter allowing `rate_per_s` sustained fetches per follower with
+    /// a `burst`-token reservoir (both floored at sane minimums).
+    pub fn new(rate_per_s: f64, burst: f64) -> Arc<WalFetchLimiter> {
+        Arc::new(WalFetchLimiter {
+            rate_per_s: rate_per_s.max(0.001),
+            burst: burst.max(1.0),
+            buckets: Mutex::new(HashMap::new()),
+            throttled: ceems_metrics::Counter::new(),
+        })
+    }
+
+    /// Total fetches denied so far (exported as
+    /// `ceems_tsdb_wal_fetch_throttled_total`).
+    pub fn throttled_counter(&self) -> ceems_metrics::Counter {
+        self.throttled.clone()
+    }
+
+    /// Takes one token from `follower`'s bucket, or returns the delay in
+    /// seconds until one becomes available.
+    pub fn try_acquire(&self, follower: &str) -> Result<(), f64> {
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock().unwrap();
+        let bucket = buckets.entry(follower.to_string()).or_insert(TokenBucket {
+            tokens: self.burst,
+            refilled: now,
+        });
+        let elapsed = now.duration_since(bucket.refilled).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.rate_per_s).min(self.burst);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            self.throttled.inc();
+            Err((1.0 - bucket.tokens) / self.rate_per_s)
         }
     }
 }
@@ -146,6 +210,20 @@ pub fn api_router_with(db: Arc<Tsdb>, opts: ApiOptions) -> Router {
         .registry
         .unwrap_or_else(|| selfmon::default_registry(db.clone()));
     let slow = opts.slow_query.unwrap_or_else(|| SlowQueryLog::new(0.0));
+    let wal_limit = opts.wal_fetch_limit;
+    if let Some(limiter) = &wal_limit {
+        let throttled = limiter.throttled_counter();
+        registry.register(
+            "tsdb_wal_fetch_throttled",
+            Arc::new(move || {
+                vec![counter_family(
+                    "ceems_tsdb_wal_fetch_throttled_total",
+                    "WAL fetches denied by the leader-side rate limit.",
+                    &throttled,
+                )]
+            }),
+        );
+    }
     {
         let emitted = slow.emitted_counter();
         registry.register(
@@ -370,6 +448,16 @@ pub fn api_router_with(db: Arc<Tsdb>, opts: ApiOptions) -> Router {
     {
         let db = db.clone();
         router.get("/api/v1/wal/fetch", move |req| {
+            if let Some(limiter) = &wal_limit {
+                let follower = req.header("x-wal-follower").unwrap_or("anonymous");
+                if let Err(wait_s) = limiter.try_acquire(follower) {
+                    return err_json(
+                        Status::TOO_MANY_REQUESTS,
+                        format!("wal fetch rate limit for follower {follower:?}"),
+                    )
+                    .with_retry_after(wait_s);
+                }
+            }
             let parse_u64 = |name: &str| -> Result<u64, String> {
                 match req.query_param(name) {
                     Some(s) => s.parse().map_err(|_| format!("bad {name} parameter")),
@@ -576,6 +664,41 @@ mod tests {
     }
 
     #[test]
+    fn wal_fetch_limiter_buckets_per_follower() {
+        let limiter = WalFetchLimiter::new(1000.0, 2.0);
+        assert!(limiter.try_acquire("a").is_ok());
+        assert!(limiter.try_acquire("a").is_ok());
+        let wait = limiter.try_acquire("a").expect_err("burst of 2 exhausted");
+        assert!(wait > 0.0 && wait <= 1.0 / 1000.0 + 1e-6);
+        // Another follower has its own bucket.
+        assert!(limiter.try_acquire("b").is_ok());
+        assert_eq!(limiter.throttled_counter().get(), 1.0);
+        // The bucket refills with time.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(limiter.try_acquire("a").is_ok());
+    }
+
+    #[test]
+    fn wal_fetch_endpoint_sheds_with_retry_after() {
+        let db = Arc::new(Tsdb::default());
+        let mut opts = ApiOptions::new(Arc::new(|| 0));
+        opts.wal_fetch_limit = Some(WalFetchLimiter::new(0.5, 1.0));
+        let server =
+            HttpServer::serve(ServerConfig::ephemeral(), api_router_with(db, opts)).unwrap();
+        let url = format!("{}/api/v1/wal/fetch?seq=0&offset=0", server.base_url());
+        let client = Client::new().with_header("x-wal-follower", "f1");
+        // First request spends the only token (the un-WAL'd db 404s, but
+        // the limiter sits in front of that).
+        let first = client.get(&url).unwrap();
+        assert_ne!(first.status, Status::TOO_MANY_REQUESTS);
+        let second = client.get(&url).unwrap();
+        assert_eq!(second.status, Status::TOO_MANY_REQUESTS);
+        let retry = second.retry_after_secs().expect("Retry-After present");
+        assert!(retry > 0.0 && retry <= 2.0, "retry_after={retry}");
+        server.shutdown();
+    }
+
+    #[test]
     fn slow_query_log_fires_only_over_threshold() {
         let db = Arc::new(Tsdb::default());
         db.append(&labels! {"__name__" => "power_watts"}, 0, 1.0);
@@ -584,6 +707,7 @@ mod tests {
                 now: Arc::new(|| 0),
                 registry: None,
                 slow_query: Some(log),
+                wal_fetch_limit: None,
             };
             HttpServer::serve(ServerConfig::ephemeral(), api_router_with(db, opts)).unwrap()
         };

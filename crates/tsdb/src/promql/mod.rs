@@ -18,12 +18,14 @@
 //! intervals of this system the difference is a constant factor ≤
 //! `interval/range`.
 
+pub mod analyze;
 pub mod eval;
 pub mod lexer;
 pub mod parser;
 
 use ceems_metrics::matcher::LabelMatcher;
 
+pub use analyze::{max_selector_lookback_ms, normalize, split_safety, SplitSafety};
 pub use eval::{instant_query, instant_query_with_lookback, range_query, EvalError, Queryable, Value};
 pub use parser::parse_expr;
 

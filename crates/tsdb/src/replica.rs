@@ -10,7 +10,9 @@
 //! replicas.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use ceems_http::{Client, Status};
 use ceems_metrics::Counter;
@@ -45,6 +47,11 @@ impl fmt::Display for FollowError {
 
 impl std::error::Error for FollowError {}
 
+/// Longest single backoff a leader-supplied `Retry-After` can impose.
+const MAX_BACKOFF: Duration = Duration::from_secs(5);
+
+static FOLLOWER_SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// Streams a leader's WAL into a local TSDB.
 pub struct WalFollower {
     client: Client,
@@ -52,6 +59,9 @@ pub struct WalFollower {
     db: Arc<Tsdb>,
     pos: WalPosition,
     resyncs: Counter,
+    follower_id: String,
+    backoff_until: Option<Instant>,
+    rate_limited: Counter,
 }
 
 impl WalFollower {
@@ -59,12 +69,42 @@ impl WalFollower {
     /// slash), starting from position zero. Call [`Self::bootstrap`] before
     /// tailing so a checkpointed leader's GC'd history is recovered.
     pub fn new(db: Arc<Tsdb>, leader_base_url: impl Into<String>) -> WalFollower {
+        let n = FOLLOWER_SEQ.fetch_add(1, Ordering::Relaxed);
+        let follower_id = format!("follower-{}-{n}", std::process::id());
         WalFollower {
-            client: Client::new(),
+            client: Client::new().with_header("x-wal-follower", follower_id.clone()),
             leader_base: leader_base_url.into(),
             db,
             pos: WalPosition::default(),
             resyncs: Counter::new(),
+            follower_id,
+            backoff_until: None,
+            rate_limited: Counter::new(),
+        }
+    }
+
+    /// Overrides the `x-wal-follower` identity sent with every fetch (the
+    /// leader's rate limiter buckets per identity).
+    pub fn with_follower_id(mut self, id: impl Into<String>) -> WalFollower {
+        self.follower_id = id.into();
+        self.client = Client::new().with_header("x-wal-follower", self.follower_id.clone());
+        self
+    }
+
+    /// How many fetches the leader has answered with `429 Too Many
+    /// Requests`.
+    pub fn rate_limited(&self) -> u64 {
+        self.rate_limited.get() as u64
+    }
+
+    /// Remaining leader-imposed backoff, when one is active.
+    fn backoff_remaining(&self) -> Option<Duration> {
+        let until = self.backoff_until?;
+        let now = Instant::now();
+        if now < until {
+            Some(until - now)
+        } else {
+            None
         }
     }
 
@@ -141,6 +181,12 @@ impl WalFollower {
     /// Returns the number of records applied (0 when the follower is at the
     /// leader's tip, or when it raced a partially-written frame — retry).
     pub fn poll_once(&mut self) -> Result<u64, FollowError> {
+        if self.backoff_remaining().is_some() {
+            // Still inside a leader-imposed Retry-After window: stay off
+            // the wire entirely.
+            return Ok(0);
+        }
+        self.backoff_until = None;
         let url = format!(
             "{}/api/v1/wal/fetch?seq={}&offset={}",
             self.leader_base, self.pos.seq, self.pos.offset
@@ -149,6 +195,18 @@ impl WalFollower {
             .client
             .get(&url)
             .map_err(|e| FollowError::Http(e.to_string()))?;
+        if resp.status == Status::TOO_MANY_REQUESTS {
+            // The leader is shedding us; honor its Retry-After (parsed as
+            // delta-seconds by ceems-http) and report no progress.
+            let wait = resp
+                .retry_after_secs()
+                .map(Duration::from_secs_f64)
+                .unwrap_or(Duration::from_millis(50))
+                .min(MAX_BACKOFF);
+            self.backoff_until = Some(Instant::now() + wait);
+            self.rate_limited.inc();
+            return Ok(0);
+        }
         if resp.status == STATUS_GONE {
             // The leader checkpointed past us; our partial state cannot be
             // reconciled record-by-record. Drop it and re-bootstrap from the
@@ -210,7 +268,13 @@ impl WalFollower {
                         self.pos, target
                     )));
                 }
-                std::thread::sleep(std::time::Duration::from_millis(2));
+                // Rate-limited polls wait out (a slice of) the leader's
+                // Retry-After instead of hammering it every 2 ms.
+                let wait = self
+                    .backoff_remaining()
+                    .unwrap_or(Duration::from_millis(2))
+                    .min(Duration::from_millis(250));
+                std::thread::sleep(wait);
             } else {
                 stalls = 0;
             }

@@ -191,3 +191,34 @@ fn follower_refuses_leader_without_wal() {
     assert!(follower.leader_position().is_err());
     server.shutdown();
 }
+
+#[test]
+fn rate_limited_follower_backs_off_and_still_converges() {
+    let leader_dir = temp_dir("leader4");
+    let leader = open_leader(&leader_dir);
+    // Many 1 KiB segments force a long poll sequence, so a tiny token
+    // bucket is guaranteed to fire mid-catch-up.
+    ingest(&leader, 0..40);
+
+    let limiter = ceems_tsdb::httpapi::WalFetchLimiter::new(200.0, 2.0);
+    let mut opts = ceems_tsdb::httpapi::ApiOptions::new(Arc::new(|| 10_000_000));
+    opts.wal_fetch_limit = Some(limiter.clone());
+    let router = ceems_tsdb::httpapi::api_router_with(leader.clone(), opts);
+    let server = HttpServer::serve(ServerConfig::ephemeral(), router).unwrap();
+
+    let follower_db = Arc::new(Tsdb::new(config()));
+    let mut follower = WalFollower::new(follower_db.clone(), server.base_url())
+        .with_follower_id("test-follower");
+    follower.bootstrap().unwrap();
+    follower.catch_up(200).unwrap();
+
+    assert!(
+        follower.rate_limited() > 0,
+        "expected the leader's token bucket to shed some fetches"
+    );
+    assert!(limiter.throttled_counter().get() >= follower.rate_limited() as f64);
+    assert_same_answers(&follower_db, &leader, "rate-limited catch-up");
+
+    server.shutdown();
+    let _ = fs::remove_dir_all(&leader_dir);
+}

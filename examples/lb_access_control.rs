@@ -68,6 +68,7 @@ fn main() {
         Authorizer::DirectDb(stack.updater.clone()),
         LbConfig {
             admin_users: vec!["operator".into()],
+            query_frontend: None,
         },
     ));
     let lb_srv = lb.serve().unwrap();

@@ -22,6 +22,7 @@
 //! | [`ceems_exporter`] | the per-node CEEMS exporter and its collectors |
 //! | [`ceems_apiserver`] | the CEEMS API server: unit DB, rollups, ownership |
 //! | [`ceems_lb`] | the access-controlled load balancer |
+//! | [`ceems_qfe`] | query frontend: range splitting, results cache, tenant QoS |
 //! | [`ceems_core`] | Eq. (1) attribution rules, YAML config, stack wiring, dashboards |
 //!
 //! ## Quickstart
@@ -53,6 +54,7 @@ pub use ceems_http as http;
 pub use ceems_lb as lb;
 pub use ceems_metrics as metrics;
 pub use ceems_obs as obs;
+pub use ceems_qfe as qfe;
 pub use ceems_relstore as relstore;
 pub use ceems_simnode as simnode;
 pub use ceems_slurm as slurm;

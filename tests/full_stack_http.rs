@@ -69,6 +69,7 @@ fn full_stack_over_http() {
         Authorizer::DirectDb(stack.updater.clone()),
         LbConfig {
             admin_users: vec!["op".into()],
+            query_frontend: None,
         },
     ));
     let lb_srv = lb.serve().unwrap();

@@ -114,7 +114,14 @@ fn every_component_serves_parseable_metrics() {
     )
     .unwrap();
 
-    // LB in front of the TSDB, DB-backed ACL.
+    // Query frontend between the LB and the TSDB.
+    let fe = ceems::qfe::QueryFrontend::new(
+        Arc::new(ceems::qfe::HttpDownstream::new(vec![tsdb_srv.base_url()])),
+        stack.qfe_config(Arc::new(move || now)),
+    );
+    let fe_srv = fe.serve().unwrap();
+
+    // LB in front of the frontend, DB-backed ACL.
     let lb = Arc::new(CeemsLb::new(
         BackendPool::new(
             vec![Backend::new("b1", tsdb_srv.base_url())],
@@ -123,6 +130,7 @@ fn every_component_serves_parseable_metrics() {
         Authorizer::DirectDb(stack.updater.clone()),
         LbConfig {
             admin_users: vec!["op".into()],
+            query_frontend: Some(fe_srv.base_url()),
         },
     ));
     let lb_srv = lb.serve().unwrap();
@@ -148,6 +156,23 @@ fn every_component_serves_parseable_metrics() {
     let resp = Client::new()
         .with_header("X-Grafana-User", "alice")
         .get(&query_url)
+        .unwrap();
+    assert_eq!(resp.status.0, 200, "body: {}", resp.body_string());
+    assert_eq!(
+        resp.header("x-ceems-lb-backend"),
+        Some("qfe"),
+        "query did not route through the frontend"
+    );
+    // A range query exercises the frontend's split/cache instruments.
+    let range_url = format!(
+        "{}/api/v1/query_range?query={}&start=0&end={}&step=15",
+        lb_srv.base_url(),
+        ceems::http::url::encode_component("uuid:ceems_power:watts{uuid=\"slurm-1\"}"),
+        now / 1000,
+    );
+    let resp = Client::new()
+        .with_header("X-Grafana-User", "alice")
+        .get(&range_url)
         .unwrap();
     assert_eq!(resp.status.0, 200, "body: {}", resp.body_string());
     let resp = Client::new()
@@ -188,6 +213,29 @@ fn every_component_serves_parseable_metrics() {
         assert!(has_sample(&lbm, family), "lb /metrics missing {family}");
     }
 
+    // Query frontend: split/cache/scheduler instruments + HTTP server stats.
+    let qfe = assert_roundtrip("qfe", &scrape(fe_srv.base_url()));
+    for family in [
+        "ceems_qfe_cache_requests_total",
+        "ceems_qfe_cached_steps_total",
+        "ceems_qfe_fetched_steps_total",
+        "ceems_qfe_split_subqueries_count",
+        "ceems_qfe_shed_total",
+        "ceems_qfe_downstream_fallback_total",
+        "ceems_qfe_tenant_queue_depth",
+        "ceems_qfe_cache_bytes",
+        "ceems_qfe_http_requests_total",
+    ] {
+        assert!(has_sample(&qfe, family), "qfe /metrics missing {family}");
+    }
+    let fanout = qfe
+        .samples
+        .iter()
+        .find(|s| s.name == "ceems_qfe_split_subqueries_count")
+        .unwrap()
+        .value;
+    assert!(fanout >= 1.0, "no split fan-out recorded after a range query");
+
     // API server: request counts + latency by endpoint.
     let api = assert_roundtrip("apiserver", &scrape(api_srv.base_url()));
     for family in [
@@ -216,6 +264,7 @@ fn every_component_serves_parseable_metrics() {
     exp_srv.shutdown();
     api_srv.shutdown();
     lb_srv.shutdown();
+    fe_srv.shutdown();
     tsdb_srv.shutdown();
 }
 
@@ -239,6 +288,7 @@ fn trace_propagates_through_lb_to_tsdb() {
         Authorizer::DirectDb(stack.updater.clone()),
         LbConfig {
             admin_users: vec!["op".into()],
+            query_frontend: None,
         },
     ));
     let lb_srv = lb.serve().unwrap();
@@ -326,6 +376,7 @@ fn slow_query_log_exactness_behind_lb() {
         Authorizer::DirectDb(stack.updater.clone()),
         LbConfig {
             admin_users: vec!["op".into()],
+            query_frontend: None,
         },
     ));
     let lb_srv = lb.serve().unwrap();

@@ -1,0 +1,215 @@
+//! Query-frontend integration: a real simulated stack renders a Fig. 2c
+//! dashboard twice through `ceems-qfe` (second render must come ≥90% from
+//! the results cache, byte-identical), and a flooding tenant is shed with
+//! 429s while another tenant's small queries keep completing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ceems::http::{Method, Request, Response, Status};
+use ceems::prelude::*;
+use ceems::qfe::{
+    Downstream, QfeConfig, QueryFrontend, RouterDownstream, SchedulerConfig, StepGrid,
+};
+use ceems::tsdb::httpapi::api_router;
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "ceems-qfe-it-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ))
+}
+
+/// The Fig. 2c panel expressions (see `ceems_core::dashboards`).
+fn panel_queries(uuid: &str) -> Vec<String> {
+    vec![
+        format!("sum(uuid:ceems_cpu_time:rate{{uuid=\"{uuid}\"}})"),
+        format!("sum(ceems_compute_unit_memory_used_bytes{{uuid=\"{uuid}\"}}) / 1073741824"),
+        format!("sum(uuid:ceems_power:watts{{uuid=\"{uuid}\"}})"),
+        format!("sum(rate(ceems_compute_unit_perf_flops_total{{uuid=\"{uuid}\"}}[2m])) / 1e9"),
+        format!("sum(rate(ceems_compute_unit_net_rx_bytes_total{{uuid=\"{uuid}\"}}[2m])) / 1e6"),
+    ]
+}
+
+fn range_request(query: &str, user: &str, start_s: i64, end_s: i64, step_s: i64) -> Request {
+    Request::new(
+        Method::Get,
+        &format!(
+            "/api/v1/query_range?query={}&start={start_s}&end={end_s}&step={step_s}",
+            ceems::http::url::encode_component(query)
+        ),
+    )
+    .with_header("x-grafana-user", user)
+}
+
+#[test]
+fn fig2c_dashboard_second_render_is_cached_and_identical() {
+    // A stack with a short split interval and no recent-window holdback,
+    // straight from the single YAML config.
+    let mut cfg = CeemsConfig::default();
+    cfg.qfe.split_interval_s = 300.0;
+    cfg.qfe.recent_window_s = 0.0;
+    let mut stack = CeemsStack::build(cfg, &tmp_dir("fig2c")).unwrap();
+    let job = stack
+        .submit(JobRequest {
+            user: "alice".into(),
+            account: "proj".into(),
+            partition: "cpu-intel".into(),
+            nodes: 1,
+            cores_per_node: 8,
+            memory_per_node: 16 << 30,
+            gpus_per_node: 0,
+            walltime_s: 7200,
+            workload: WorkloadProfile::CpuBound { intensity: 0.9 },
+        })
+        .unwrap();
+    stack.run_for(1500.0, 15.0);
+    let uuid = format!("slurm-{job}");
+
+    let now_ms = stack.clock.now_ms();
+    let fe = QueryFrontend::new(
+        Arc::new(RouterDownstream::new(api_router(
+            stack.tsdb.clone(),
+            Arc::new(move || now_ms),
+        ))),
+        stack.qfe_config(Arc::new(move || now_ms)),
+    );
+
+    let render = |fe: &Arc<QueryFrontend>| -> (Vec<Vec<u8>>, usize, usize) {
+        let (mut bodies, mut cached, mut fetched) = (Vec::new(), 0usize, 0usize);
+        for q in panel_queries(&uuid) {
+            let resp = fe.handle(&range_request(&q, "alice", 0, now_ms / 1000, 15));
+            assert_eq!(resp.status, Status::OK, "panel failed: {}", resp.body_string());
+            cached += resp
+                .header("x-ceems-qfe-cached-steps")
+                .unwrap()
+                .parse::<usize>()
+                .unwrap();
+            fetched += resp
+                .header("x-ceems-qfe-fetched-steps")
+                .unwrap()
+                .parse::<usize>()
+                .unwrap();
+            bodies.push(resp.body);
+        }
+        (bodies, cached, fetched)
+    };
+
+    let (first_bodies, first_cached, first_fetched) = render(&fe);
+    assert_eq!(first_cached, 0, "cold render found a warm cache");
+    assert!(first_fetched > 0);
+    assert!(
+        !fe.cache().is_empty(),
+        "settled extents were not admitted to the cache"
+    );
+
+    let (second_bodies, second_cached, second_fetched) = render(&fe);
+    assert_eq!(first_bodies, second_bodies, "cached render changed bytes");
+    let total = second_cached + second_fetched;
+    assert!(
+        second_cached as f64 >= 0.9 * total as f64,
+        "second render only {second_cached}/{total} steps from cache"
+    );
+
+    // The frontend's registry exposes the cache counters.
+    let metrics =
+        ceems::metrics::encode_families(&fe.registry().gather());
+    assert!(metrics.contains("ceems_qfe_cache_requests_total"));
+}
+
+/// A downstream that answers every sub-query after a fixed delay — slow
+/// enough that a flooding tenant saturates its concurrency slot and queue.
+struct SlowDownstream {
+    delay: std::time::Duration,
+    calls: AtomicUsize,
+}
+
+impl Downstream for SlowDownstream {
+    fn forward(&self, req: &Request) -> Result<Response, String> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        std::thread::sleep(self.delay);
+        let p = |name: &str| {
+            (req.query_param(name).unwrap().parse::<f64>().unwrap() * 1000.0) as i64
+        };
+        let values: Vec<serde_json::Value> =
+            StepGrid { start_ms: p("start"), end_ms: p("end"), step_ms: p("step") }
+                .steps()
+                .map(|t| serde_json::json!([t as f64 / 1000.0, "1"]))
+                .collect();
+        let body = serde_json::json!({
+            "status": "success",
+            "data": {
+                "resultType": "matrix",
+                "result": [{"metric": {"__name__": "m"}, "values": values}],
+            },
+        });
+        Ok(Response::json(serde_json::to_vec(&body).unwrap()))
+    }
+}
+
+#[test]
+fn flooding_tenant_is_shed_while_other_tenant_completes() {
+    let ds = Arc::new(SlowDownstream {
+        delay: std::time::Duration::from_millis(25),
+        calls: AtomicUsize::new(0),
+    });
+    let fe = QueryFrontend::new(
+        ds.clone() as Arc<dyn Downstream>,
+        QfeConfig {
+            cache_bytes: 0, // every query must hit the slow downstream
+            scheduler: SchedulerConfig {
+                tenant_queue_depth: 1,
+                max_tenant_concurrency: 1,
+                max_concurrency: 2,
+                retry_after_s: 0.1,
+            },
+            ..QfeConfig::default()
+        },
+    );
+
+    // Tenant "flood" fires 8 concurrent long queries: one runs, one queues,
+    // the rest must be shed with 429 + Retry-After.
+    let mut flooders = Vec::new();
+    for _ in 0..8 {
+        let fe = fe.clone();
+        flooders.push(std::thread::spawn(move || {
+            fe.handle(&range_request("m", "flood", 0, 600, 15))
+        }));
+    }
+
+    // Meanwhile tenant "small" keeps issuing little queries; every one of
+    // them must complete (round-robin protects its slot).
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    for _ in 0..4 {
+        let resp = fe.handle(&range_request("m", "small", 0, 60, 15));
+        assert_eq!(resp.status, Status::OK, "small tenant starved: {}", resp.body_string());
+    }
+
+    let flood_results: Vec<Response> =
+        flooders.into_iter().map(|h| h.join().unwrap()).collect();
+    let shed: Vec<&Response> = flood_results
+        .iter()
+        .filter(|r| r.status == Status::TOO_MANY_REQUESTS)
+        .collect();
+    let served = flood_results
+        .iter()
+        .filter(|r| r.status == Status::OK)
+        .count();
+    assert!(!shed.is_empty(), "queue depth 1 never overflowed");
+    assert!(served >= 1, "flooding tenant should still get some work done");
+    for r in &shed {
+        let retry = r.retry_after_secs().expect("429 must carry Retry-After");
+        assert!(retry > 0.0);
+    }
+    assert_eq!(fe.scheduler().shed_count(), shed.len() as u64);
+
+    // The shed queries never reached the downstream.
+    assert_eq!(
+        ds.calls.load(Ordering::SeqCst),
+        flood_results.len() - shed.len() + 4
+    );
+}
