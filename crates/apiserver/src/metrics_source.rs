@@ -55,10 +55,14 @@ impl MetricSource for TsdbLocalSource {
     }
 }
 
-/// HTTP source speaking the Prometheus API.
+/// HTTP source speaking the Prometheus API. Transport failures are retried
+/// under a short jittered backoff (a TSDB restarting between two updater
+/// polls should cost nothing); only when the retries run out does the
+/// source report "no data" and let the updater's next poll try again.
 pub struct PromHttpSource {
     client: Client,
     base_url: String,
+    retry: ceems_http::resilience::RetryPolicy,
 }
 
 impl PromHttpSource {
@@ -67,7 +71,23 @@ impl PromHttpSource {
         PromHttpSource {
             client: Client::new(),
             base_url: base_url.into(),
+            retry: ceems_http::resilience::RetryPolicy::new(2).with_backoff(
+                std::time::Duration::from_millis(20),
+                std::time::Duration::from_millis(100),
+            ),
         }
+    }
+
+    /// Replaces the HTTP client (tests inject fault-plan-wrapped clients).
+    pub fn with_client(mut self, client: Client) -> PromHttpSource {
+        self.client = client;
+        self
+    }
+
+    /// Replaces the retry policy.
+    pub fn with_retry(mut self, retry: ceems_http::resilience::RetryPolicy) -> PromHttpSource {
+        self.retry = retry;
+        self
     }
 }
 
@@ -79,7 +99,7 @@ impl MetricSource for PromHttpSource {
             ceems_http::url::encode_component(query),
             t_ms as f64 / 1000.0
         );
-        let Ok(resp) = self.client.get(&url) else {
+        let Ok(resp) = self.retry.run(|_| self.client.get(&url)) else {
             return Vec::new();
         };
         let Ok(json) = serde_json::from_slice::<serde_json::Value>(&resp.body) else {

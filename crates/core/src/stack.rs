@@ -16,7 +16,7 @@ use ceems_apiserver::updater::{Updater, UpdaterConfig};
 use ceems_emissions::emaps::{EMapsProvider, EMapsService};
 use ceems_emissions::owid::OwidStatic;
 use ceems_emissions::rte::RteSimulated;
-use ceems_emissions::EmissionProvider;
+use ceems_emissions::{EmissionProvider, LastKnownGood, ProviderChain};
 use ceems_exporter::{CeemsExporter, ExporterConfig};
 use ceems_relstore::Db;
 use ceems_simnode::{SimClock, SimCluster};
@@ -74,7 +74,8 @@ pub struct CeemsStack {
 }
 
 fn build_providers(cfg: &CeemsConfig) -> Vec<Arc<dyn EmissionProvider>> {
-    cfg.emission_providers
+    let mut providers: Vec<Arc<dyn EmissionProvider>> = cfg
+        .emission_providers
         .iter()
         .filter_map(|name| -> Option<Arc<dyn EmissionProvider>> {
             match name.as_str() {
@@ -87,7 +88,16 @@ fn build_providers(cfg: &CeemsConfig) -> Vec<Arc<dyn EmissionProvider>> {
                 _ => None,
             }
         })
-        .collect()
+        .collect();
+    // Alongside the raw per-provider factors, expose one resilient series:
+    // the configured chain (priority order) wrapped in last-known-good
+    // retention, so a real-time feed outage degrades to the most recent
+    // factor instead of a gap (S19).
+    if !providers.is_empty() {
+        let chain = ProviderChain::new(providers.clone());
+        providers.push(Arc::new(LastKnownGood::new(Arc::new(chain))));
+    }
+    providers
 }
 
 impl CeemsStack {

@@ -32,4 +32,4 @@ pub trait EmissionProvider: Send + Sync {
     fn factor(&self, zone: &str, now_ms: i64) -> Option<GramsPerKwh>;
 }
 
-pub use registry::{EmissionsCalculator, ProviderChain};
+pub use registry::{EmissionsCalculator, LastKnownGood, ProviderChain};

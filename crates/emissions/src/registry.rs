@@ -1,6 +1,10 @@
-//! Provider chains and the emissions calculator.
+//! Provider chains, last-known-good retention and the emissions calculator.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use crate::{EmissionProvider, GramsPerKwh};
 
@@ -40,6 +44,68 @@ impl EmissionProvider for ProviderChain {
 
     fn factor(&self, zone: &str, now_ms: i64) -> Option<GramsPerKwh> {
         self.resolve(zone, now_ms).map(|(f, _)| f)
+    }
+}
+
+/// Wraps a provider (typically a whole [`ProviderChain`]) with
+/// last-known-good retention: when the inner provider cannot resolve a zone
+/// it resolved before — the real-time feed is down and the static fallback
+/// does not cover the zone — the previously seen factor is served instead
+/// of `None`. A minutes-old emission factor beats dropping the sample, and
+/// every stale serve is counted so the degradation stays visible.
+pub struct LastKnownGood {
+    inner: Arc<dyn EmissionProvider>,
+    retained: Mutex<HashMap<String, (GramsPerKwh, i64)>>,
+    stale_serves: AtomicU64,
+    /// Retained factors older than this stop being served (`None` = no
+    /// limit).
+    max_age_ms: Option<i64>,
+}
+
+impl LastKnownGood {
+    /// Wraps `inner` with unbounded retention.
+    pub fn new(inner: Arc<dyn EmissionProvider>) -> LastKnownGood {
+        LastKnownGood {
+            inner,
+            retained: Mutex::new(HashMap::new()),
+            stale_serves: AtomicU64::new(0),
+            max_age_ms: None,
+        }
+    }
+
+    /// Bounds how stale a retained factor may be before the wrapper gives
+    /// up and reports `None` like the inner provider.
+    pub fn with_max_age_ms(mut self, max_age_ms: i64) -> LastKnownGood {
+        self.max_age_ms = Some(max_age_ms);
+        self
+    }
+
+    /// Times a retained factor was served because the inner provider
+    /// failed.
+    pub fn stale_serves(&self) -> u64 {
+        self.stale_serves.load(Ordering::Relaxed)
+    }
+}
+
+impl EmissionProvider for LastKnownGood {
+    fn name(&self) -> &'static str {
+        "last_known_good"
+    }
+
+    fn factor(&self, zone: &str, now_ms: i64) -> Option<GramsPerKwh> {
+        if let Some(f) = self.inner.factor(zone, now_ms) {
+            self.retained.lock().insert(zone.to_string(), (f, now_ms));
+            return Some(f);
+        }
+        let retained = self.retained.lock();
+        let (f, at_ms) = retained.get(zone)?;
+        if let Some(max) = self.max_age_ms {
+            if now_ms.saturating_sub(*at_ms) > max {
+                return None;
+            }
+        }
+        self.stale_serves.fetch_add(1, Ordering::Relaxed);
+        Some(*f)
     }
 }
 
@@ -111,6 +177,57 @@ mod tests {
         assert_eq!(f_de, 381.0);
         assert!(chain.resolve("XX", 0).is_none());
         assert_eq!(chain.names(), vec!["rte", "owid"]);
+    }
+
+    struct FlakyProvider {
+        up: std::sync::atomic::AtomicBool,
+    }
+
+    impl EmissionProvider for FlakyProvider {
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+        fn factor(&self, zone: &str, now_ms: i64) -> Option<GramsPerKwh> {
+            if self.up.load(Ordering::Relaxed) && zone == "FR" {
+                Some(50.0 + now_ms as f64 / 1e6)
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn last_known_good_retains_factor_across_outage() {
+        use std::sync::atomic::AtomicBool;
+        let flaky = Arc::new(FlakyProvider { up: AtomicBool::new(true) });
+        let lkg = LastKnownGood::new(flaky.clone());
+        let fresh = lkg.factor("FR", 1_000).unwrap();
+
+        // Outage: the retained factor is served and counted as stale.
+        flaky.up.store(false, Ordering::Relaxed);
+        assert_eq!(lkg.factor("FR", 2_000), Some(fresh));
+        assert_eq!(lkg.stale_serves(), 1);
+        // A zone that never resolved stays unresolvable.
+        assert_eq!(lkg.factor("DE", 2_000), None);
+
+        // Recovery refreshes the retained value.
+        flaky.up.store(true, Ordering::Relaxed);
+        let fresh2 = lkg.factor("FR", 3_000_000).unwrap();
+        assert_ne!(fresh2, fresh);
+        flaky.up.store(false, Ordering::Relaxed);
+        assert_eq!(lkg.factor("FR", 3_100_000), Some(fresh2));
+    }
+
+    #[test]
+    fn last_known_good_respects_max_age() {
+        use std::sync::atomic::AtomicBool;
+        let flaky = Arc::new(FlakyProvider { up: AtomicBool::new(true) });
+        let lkg = LastKnownGood::new(flaky.clone()).with_max_age_ms(10_000);
+        lkg.factor("FR", 0).unwrap();
+        flaky.up.store(false, Ordering::Relaxed);
+        assert!(lkg.factor("FR", 5_000).is_some());
+        assert!(lkg.factor("FR", 20_000).is_none(), "past max age");
+        assert_eq!(lkg.stale_serves(), 1);
     }
 
     #[test]

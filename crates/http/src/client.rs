@@ -81,6 +81,8 @@ pub struct Client {
     basic_auth: Option<BasicAuth>,
     headers: Vec<(String, String)>,
     timeout: Option<Duration>,
+    #[cfg(feature = "fault")]
+    fault: Option<std::sync::Arc<crate::fault::FaultPlan>>,
 }
 
 impl Client {
@@ -90,6 +92,8 @@ impl Client {
             basic_auth: None,
             headers: Vec::new(),
             timeout: Some(Duration::from_secs(10)),
+            #[cfg(feature = "fault")]
+            fault: None,
         }
     }
 
@@ -108,6 +112,13 @@ impl Client {
     /// Overrides the socket timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Client {
         self.timeout = Some(timeout);
+        self
+    }
+
+    /// Injects faults on the client side of every request (chaos testing).
+    #[cfg(feature = "fault")]
+    pub fn with_fault_plan(mut self, plan: std::sync::Arc<crate::fault::FaultPlan>) -> Client {
+        self.fault = Some(plan);
         self
     }
 
@@ -140,6 +151,34 @@ impl Client {
         content_type: Option<&str>,
     ) -> Result<Response, ClientError> {
         let url = Url::parse(url)?;
+
+        #[cfg(feature = "fault")]
+        let injected = self.fault.as_ref().and_then(|plan| {
+            let path = url
+                .path_and_query
+                .split('?')
+                .next()
+                .unwrap_or(&url.path_and_query);
+            plan.decide(path)
+        });
+        #[cfg(feature = "fault")]
+        if let Some(kind) = injected {
+            use crate::fault::FaultKind;
+            match kind {
+                FaultKind::Latency { ms } => std::thread::sleep(Duration::from_millis(ms)),
+                FaultKind::ConnReset => {
+                    return Err(ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionReset,
+                        "injected fault: connection reset",
+                    )));
+                }
+                FaultKind::ServerError { status } => {
+                    return Ok(Response::error(Status(status), "injected fault"));
+                }
+                FaultKind::TruncateBody | FaultKind::CorruptBody => {}
+            }
+        }
+
         let stream = TcpStream::connect(&url.authority)?;
         stream.set_read_timeout(self.timeout)?;
         stream.set_write_timeout(self.timeout)?;
@@ -167,7 +206,25 @@ impl Client {
         writer.write_all(&body)?;
         writer.flush()?;
 
-        read_response(BufReader::new(stream))
+        let resp = read_response(BufReader::new(stream))?;
+
+        #[cfg(feature = "fault")]
+        let resp = match injected {
+            Some(crate::fault::FaultKind::TruncateBody) => {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "injected fault: truncated body",
+                )));
+            }
+            Some(crate::fault::FaultKind::CorruptBody) => {
+                let mut r = resp;
+                crate::fault::corrupt_body(&mut r.body);
+                r
+            }
+            _ => resp,
+        };
+
+        Ok(resp)
     }
 }
 

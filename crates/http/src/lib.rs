@@ -11,18 +11,26 @@
 //! * [`server`] — a blocking, keep-alive-capable HTTP/1.1 server.
 //! * [`client`] — a blocking HTTP/1.1 client used by the scraper, the API
 //!   server and the load balancer.
+//! * [`resilience`] — seeded backoff with full jitter, retry policies and
+//!   budgets, and a half-open circuit breaker shared by every hop.
+//! * `fault` (behind the non-default `fault` cargo feature) — deterministic
+//!   fault injection at the client and server boundary.
 //!
 //! TLS is intentionally out of scope (see the substitution table in
 //! `DESIGN.md`); all the auth-sensitive paths go through [`auth`] instead.
 
 pub mod auth;
 pub mod client;
+#[cfg(feature = "fault")]
+pub mod fault;
+pub mod resilience;
 pub mod router;
 pub mod server;
 pub mod types;
 pub mod url;
 
 pub use client::{Client, ClientError};
+pub use resilience::{BreakerConfig, BreakerState, CircuitBreaker, RetryBudget, RetryPolicy};
 pub use router::Router;
 pub use server::{HttpServer, ServerConfig};
 pub use types::{Method, Request, Response, Status};

@@ -33,6 +33,9 @@ pub struct ServerConfig {
     pub max_body_bytes: usize,
     /// Maximum requests served per connection before it is closed.
     pub max_requests_per_conn: usize,
+    /// Fault-injection schedule applied to every request (chaos testing).
+    #[cfg(feature = "fault")]
+    pub fault: Option<Arc<crate::fault::FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -44,6 +47,8 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             max_body_bytes: 16 << 20,
             max_requests_per_conn: 1024,
+            #[cfg(feature = "fault")]
+            fault: None,
         }
     }
 }
@@ -63,6 +68,13 @@ impl ServerConfig {
     /// Sets worker count.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Injects faults on the server side of every request (chaos testing).
+    #[cfg(feature = "fault")]
+    pub fn with_fault_plan(mut self, plan: Arc<crate::fault::FaultPlan>) -> Self {
+        self.fault = Some(plan);
         self
     }
 }
@@ -188,6 +200,27 @@ fn serve_connection(
             .map(|v| !v.eq_ignore_ascii_case("close"))
             .unwrap_or(true);
 
+        #[cfg(feature = "fault")]
+        let injected = config.fault.as_ref().and_then(|plan| plan.decide(&req.path));
+        #[cfg(feature = "fault")]
+        if let Some(kind) = injected {
+            use crate::fault::FaultKind;
+            match kind {
+                FaultKind::Latency { ms } => std::thread::sleep(Duration::from_millis(ms)),
+                // Drop the connection without a byte of response.
+                FaultKind::ConnReset => return Ok(()),
+                FaultKind::ServerError { status } => {
+                    let resp = Response::error(Status(status), "injected fault");
+                    write_response(&mut writer, &resp, keep_alive)?;
+                    if !keep_alive {
+                        return Ok(());
+                    }
+                    continue;
+                }
+                FaultKind::TruncateBody | FaultKind::CorruptBody => {}
+            }
+        }
+
         let resp = if let Some(auth) = &config.basic_auth {
             if auth.verify(req.header("authorization")) {
                 handler(req)
@@ -199,12 +232,40 @@ fn serve_connection(
             handler(req)
         };
 
+        #[cfg(feature = "fault")]
+        let resp = match injected {
+            // Advertise the full body length but cut the write short and
+            // close, so the client observes an unexpected EOF mid-body.
+            Some(crate::fault::FaultKind::TruncateBody) => {
+                return write_truncated(&mut writer, &resp);
+            }
+            Some(crate::fault::FaultKind::CorruptBody) => {
+                let mut r = resp;
+                crate::fault::corrupt_body(&mut r.body);
+                r
+            }
+            _ => resp,
+        };
+
         write_response(&mut writer, &resp, keep_alive)?;
         if !keep_alive {
             return Ok(());
         }
     }
     Ok(())
+}
+
+#[cfg(feature = "fault")]
+fn write_truncated(w: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        resp.status.0,
+        resp.status.reason(),
+        resp.body.len()
+    );
+    w.write_all(head.as_bytes())?;
+    w.write_all(&resp.body[..crate::fault::truncated_len(resp.body.len())])?;
+    w.flush()
 }
 
 /// Reads one request; `Ok(None)` means the peer closed before sending one.

@@ -265,12 +265,20 @@ impl Response {
         self.with_header("retry-after", value)
     }
 
+    /// Sets a `Retry-After` header as an HTTP-date (IMF-fixdate), the other
+    /// form RFC 9110 allows. In-stack components emit delta-seconds; this
+    /// exists for compatibility tests and external callers.
+    pub fn with_retry_after_date(self, at_unix_s: i64) -> Response {
+        self.with_header("retry-after", format_http_date(at_unix_s))
+    }
+
     /// Parses a `Retry-After` header as delta-seconds.
     ///
     /// RFC 9110 allows either delta-seconds or an HTTP-date; every
     /// component in this stack (LB, query frontend, WAL leader) emits
     /// delta-seconds, so dates and anything else unparseable yield
-    /// `None` and callers fall back to their own backoff.
+    /// `None` and callers fall back to their own backoff. Use
+    /// [`Response::retry_after_secs_at`] to also honour HTTP-dates.
     pub fn retry_after_secs(&self) -> Option<f64> {
         let raw = self.header("retry-after")?.trim();
         let secs: f64 = raw.parse().ok()?;
@@ -280,6 +288,88 @@ impl Response {
             None
         }
     }
+
+    /// Parses `Retry-After` accepting both delta-seconds and the IMF-fixdate
+    /// HTTP-date form, evaluated against `now_unix_s`. Dates in the past
+    /// clamp to `0` (retry immediately), matching RFC 9110 semantics.
+    pub fn retry_after_secs_at(&self, now_unix_s: i64) -> Option<f64> {
+        if let Some(s) = self.retry_after_secs() {
+            return Some(s);
+        }
+        let raw = self.header("retry-after")?.trim();
+        let at = parse_http_date(raw)?;
+        Some(at.saturating_sub(now_unix_s).max(0) as f64)
+    }
+}
+
+const MONTHS: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+const WEEKDAYS: [&str; 7] = ["Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"];
+
+/// Civil date → days since the Unix epoch (Howard Hinnant's algorithm).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = if m > 2 { m - 3 } else { m + 9 } as i64;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Days since the Unix epoch → civil date (inverse of [`days_from_civil`]).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Formats a Unix timestamp as an IMF-fixdate (`Sun, 06 Nov 1994 08:49:37 GMT`).
+pub fn format_http_date(unix_s: i64) -> String {
+    let days = unix_s.div_euclid(86_400);
+    let secs = unix_s.rem_euclid(86_400);
+    let (y, m, d) = civil_from_days(days);
+    let weekday = WEEKDAYS[(days.rem_euclid(7) + 4) as usize % 7];
+    format!(
+        "{weekday}, {d:02} {} {y:04} {:02}:{:02}:{:02} GMT",
+        MONTHS[(m - 1) as usize],
+        secs / 3600,
+        (secs / 60) % 60,
+        secs % 60
+    )
+}
+
+/// Parses an IMF-fixdate into a Unix timestamp. Returns `None` for the
+/// obsolete RFC 850 / asctime forms and anything malformed.
+pub fn parse_http_date(s: &str) -> Option<i64> {
+    // "Sun, 06 Nov 1994 08:49:37 GMT"
+    let rest = s.split_once(", ").map(|(_, r)| r)?;
+    let mut parts = rest.split_ascii_whitespace();
+    let day: u32 = parts.next()?.parse().ok()?;
+    let month = parts.next()?;
+    let month = MONTHS.iter().position(|m| *m == month)? as u32 + 1;
+    let year: i64 = parts.next()?.parse().ok()?;
+    let mut hms = parts.next()?.splitn(3, ':');
+    let h: i64 = hms.next()?.parse().ok()?;
+    let min: i64 = hms.next()?.parse().ok()?;
+    let sec: i64 = hms.next()?.parse().ok()?;
+    if parts.next()? != "GMT" || parts.next().is_some() {
+        return None;
+    }
+    if day == 0 || day > 31 || h > 23 || min > 59 || sec > 60 || !(0..=9999).contains(&year) {
+        return None;
+    }
+    days_from_civil(year, month, day)
+        .checked_mul(86_400)?
+        .checked_add(h * 3600 + min * 60 + sec)
 }
 
 #[cfg(test)]
@@ -341,6 +431,73 @@ mod tests {
         // Negative delays clamp to zero on emit.
         let r = Response::status(Status::OK).with_retry_after(-3.0);
         assert_eq!(r.retry_after_secs(), Some(0.0));
+    }
+
+    #[test]
+    fn retry_after_edge_case_table() {
+        // (header value, now_unix_s, expected retry_after_secs_at)
+        let cases: &[(&str, i64, Option<f64>)] = &[
+            // Delta-seconds forms.
+            ("0", 0, Some(0.0)),
+            ("2", 0, Some(2.0)),
+            ("0.250", 0, Some(0.25)),
+            ("-1", 0, None),
+            ("-0.5", 0, None),
+            ("inf", 0, None),
+            ("nan", 0, None),
+            ("1e309", 0, None), // overflows f64 to inf
+            ("99999999999999999999", 0, Some(1e20)), // finite, caller caps
+            ("", 0, None),
+            ("two", 0, None),
+            // HTTP-date forms (784_111_777 = Sun, 06 Nov 1994 08:49:37 GMT).
+            ("Sun, 06 Nov 1994 08:49:37 GMT", 784_111_777, Some(0.0)),
+            ("Sun, 06 Nov 1994 08:49:37 GMT", 784_111_747, Some(30.0)),
+            // Dates in the past clamp to zero instead of going negative.
+            ("Sun, 06 Nov 1994 08:49:37 GMT", 784_200_000, Some(0.0)),
+            // Malformed / unsupported date forms.
+            ("Sunday, 06-Nov-94 08:49:37 GMT", 0, None), // RFC 850
+            ("Sun Nov  6 08:49:37 1994", 0, None),       // asctime
+            ("Sun, 06 Nov 1994 08:49:37 UTC", 0, None),
+            ("Sun, 06 Foo 1994 08:49:37 GMT", 0, None),
+            ("Sun, 32 Nov 1994 08:49:37 GMT", 0, None),
+            ("Sun, 06 Nov 1994 24:00:00 GMT", 0, None),
+            ("Sun, 06 Nov 99999 08:49:37 GMT", 0, None), // year overflow
+        ];
+        for (value, now, want) in cases {
+            let r = Response::status(Status::TOO_MANY_REQUESTS).with_header("retry-after", *value);
+            assert_eq!(
+                r.retry_after_secs_at(*now),
+                *want,
+                "retry-after {value:?} at {now}"
+            );
+        }
+        assert_eq!(Response::status(Status::OK).retry_after_secs_at(0), None);
+    }
+
+    #[test]
+    fn retry_after_http_date_emit_parse_roundtrip() {
+        // Known fixture from RFC 9110.
+        assert_eq!(format_http_date(784_111_777), "Sun, 06 Nov 1994 08:49:37 GMT");
+        assert_eq!(
+            parse_http_date("Sun, 06 Nov 1994 08:49:37 GMT"),
+            Some(784_111_777)
+        );
+        // Round-trips across epochs, leap years and century boundaries.
+        for unix in [
+            0i64,
+            86_399,
+            951_827_696,   // 29 Feb 2000 (leap century)
+            1_078_012_800, // 29 Feb 2004
+            2_147_483_647, // 32-bit rollover
+            4_102_444_800, // 1 Jan 2100 (non-leap century)
+        ] {
+            let s = format_http_date(unix);
+            assert_eq!(parse_http_date(&s), Some(unix), "roundtrip {s}");
+        }
+        // Emitted dates are honoured by the combined parser.
+        let r = Response::status(Status::UNAVAILABLE).with_retry_after_date(1_000_060);
+        assert_eq!(r.retry_after_secs(), None, "dates are opaque to delta-only");
+        assert_eq!(r.retry_after_secs_at(1_000_000), Some(60.0));
     }
 
     #[test]

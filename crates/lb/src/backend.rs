@@ -3,6 +3,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use ceems_http::resilience::{BreakerConfig, CircuitBreaker};
 use ceems_http::Client;
 
 /// One TSDB replica behind the LB.
@@ -17,11 +18,25 @@ pub struct Backend {
     /// WAL records behind the most advanced replica at the last health
     /// check (0 for leaders and non-WAL backends).
     wal_lag: AtomicU64,
+    /// Per-backend circuit breaker: consecutive forward failures open it,
+    /// taking the backend out of rotation until the cooldown admits a
+    /// half-open probe (or an external health probe force-closes it).
+    breaker: CircuitBreaker,
 }
 
 impl Backend {
-    /// Creates a backend assumed healthy.
+    /// Creates a backend assumed healthy, with a default-config breaker.
     pub fn new(id: impl Into<String>, base_url: impl Into<String>) -> Arc<Backend> {
+        Backend::with_breaker(id, base_url, CircuitBreaker::new(BreakerConfig::default()))
+    }
+
+    /// Creates a backend with an explicit breaker (tests inject a manual
+    /// clock; deployments tune thresholds/cooldowns).
+    pub fn with_breaker(
+        id: impl Into<String>,
+        base_url: impl Into<String>,
+        breaker: CircuitBreaker,
+    ) -> Arc<Backend> {
         Arc::new(Backend {
             id: id.into(),
             base_url: base_url.into(),
@@ -29,7 +44,14 @@ impl Backend {
             active: AtomicUsize::new(0),
             served: AtomicU64::new(0),
             wal_lag: AtomicU64::new(0),
+            breaker,
         })
+    }
+
+    /// The backend's circuit breaker. The proxy feeds forward outcomes into
+    /// it; [`BackendPool::pick`] skips backends whose breaker is open.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
     }
 
     /// Health flag.
@@ -129,10 +151,16 @@ impl BackendPool {
         &self.backends
     }
 
-    /// Picks a healthy backend, or `None` when all are down.
+    /// Picks a healthy backend whose circuit breaker admits traffic, or
+    /// `None` when every backend is down or open. `available()` does not
+    /// consume half-open probe slots — the proxy calls `try_acquire` on the
+    /// picked backend's breaker at forward time.
     pub fn pick(&self) -> Option<Arc<Backend>> {
-        let healthy: Vec<&Arc<Backend>> =
-            self.backends.iter().filter(|b| b.is_healthy()).collect();
+        let healthy: Vec<&Arc<Backend>> = self
+            .backends
+            .iter()
+            .filter(|b| b.is_healthy() && b.breaker.available())
+            .collect();
         if healthy.is_empty() {
             return None;
         }
@@ -196,10 +224,40 @@ impl BackendPool {
             let ok = responsive[i] && fresh_enough;
             b.set_healthy(ok);
             if ok {
+                // A passing probe is positive evidence: clear any breaker
+                // state accumulated from earlier forward failures so the
+                // backend re-enters rotation immediately.
+                b.breaker.force_close();
                 healthy += 1;
             }
         }
         healthy
+    }
+
+    /// Probes only the backends currently *out* of rotation (demoted or
+    /// breaker-open) and re-promotes the ones that answer the labels
+    /// endpoint. Cheaper than a full [`BackendPool::health_check`]; the
+    /// proxy calls this before refusing a request with 503 so a recovered
+    /// backend is readmitted by live traffic, not just the periodic probe.
+    ///
+    /// Returns the number of backends re-promoted.
+    pub fn revive(&self, client: &Client) -> usize {
+        let mut revived = 0;
+        for b in &self.backends {
+            if b.is_healthy() && b.breaker.available() {
+                continue;
+            }
+            let ok = client
+                .get(&format!("{}/api/v1/labels", b.base_url))
+                .map(|r| r.status.is_success())
+                .unwrap_or(false);
+            if ok {
+                b.set_healthy(true);
+                b.breaker.force_close();
+                revived += 1;
+            }
+        }
+        revived
     }
 }
 
@@ -269,6 +327,71 @@ mod tests {
         }
         assert_eq!(b.active(), 0);
         assert_eq!(b.served(), 1);
+    }
+
+    #[test]
+    fn open_breaker_excludes_backend_from_pick() {
+        use ceems_http::resilience::BreakerState;
+        use std::sync::atomic::AtomicU64;
+
+        let clock = Arc::new(AtomicU64::new(0));
+        let c = clock.clone();
+        let breaker = CircuitBreaker::with_clock(
+            BreakerConfig::default(),
+            Arc::new(move || c.load(Ordering::Relaxed)),
+        );
+        let p = BackendPool::new(
+            vec![
+                Backend::with_breaker("a", "http://a", breaker),
+                Backend::new("b", "http://b"),
+            ],
+            Strategy::round_robin(),
+        );
+        for _ in 0..3 {
+            p.backends()[0].breaker().on_failure();
+        }
+        assert_eq!(p.backends()[0].breaker().state(), BreakerState::Open);
+        for _ in 0..4 {
+            assert_eq!(p.pick().unwrap().id, "b");
+        }
+        // The cooldown elapses: the breaker becomes available again (the
+        // forward path consumes the half-open probe slot via try_acquire).
+        clock.store(1_500, Ordering::Relaxed);
+        let picks: Vec<String> = (0..4).map(|_| p.pick().unwrap().id.clone()).collect();
+        assert!(picks.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn revive_repromotes_recovered_backend() {
+        let mut router = ceems_http::Router::new();
+        router.route(ceems_http::Method::Get, "/api/v1/labels", |_| {
+            ceems_http::Response::json(br#"{"status":"success","data":[]}"#.to_vec())
+        });
+        let srv =
+            ceems_http::HttpServer::serve(ceems_http::ServerConfig::ephemeral(), router).unwrap();
+
+        let p = BackendPool::new(
+            vec![
+                Backend::new("recovered", srv.base_url()),
+                Backend::new("gone", "http://127.0.0.1:1"),
+            ],
+            Strategy::round_robin(),
+        );
+        // Both out of rotation: one demoted, one with a tripped breaker.
+        p.backends()[0].set_healthy(false);
+        p.backends()[1].set_healthy(false);
+        for _ in 0..3 {
+            p.backends()[1].breaker().on_failure();
+        }
+        assert!(p.pick().is_none());
+
+        // Only the responsive one comes back; its breaker is force-closed.
+        assert_eq!(p.revive(&Client::new()), 1);
+        assert_eq!(p.pick().unwrap().id, "recovered");
+        assert!(p.backends()[0].is_healthy());
+        assert!(p.backends()[0].breaker().available());
+        assert!(!p.backends()[1].is_healthy());
+        srv.shutdown();
     }
 
     #[test]

@@ -9,8 +9,12 @@
 //! Observability (S17): forwards carry a trace ID (minted here or accepted
 //! from the `x-ceems-trace-id` header); `?trace=1` replies come back with
 //! the LB's own `lb_auth`/`lb_forward` stages merged into `data.trace`.
-//! A failed forward marks the backend unhealthy and retries the next pick;
-//! `/metrics` serves forwarding latency and per-backend outcome counters.
+//! Resilience (S19): forward failures, 5xx answers and corrupt 2xx bodies
+//! feed a per-backend circuit breaker (three strikes opens it) and retry the
+//! next pick; when everything is demoted or open, on-demand revival probes
+//! re-promote recovered backends before the LB answers 503. `/metrics`
+//! serves forwarding latency, per-backend outcome counters and breaker
+//! open/rejection events.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -48,6 +52,9 @@ struct LbInstruments {
     denied: Counter,
     unavailable: Counter,
     frontend_fallbacks: Counter,
+    breaker_events: CounterVec,
+    corrupt: Counter,
+    repromotions: Counter,
 }
 
 impl LbInstruments {
@@ -63,6 +70,13 @@ impl LbInstruments {
             denied: Counter::new(),
             unavailable: Counter::new(),
             frontend_fallbacks: Counter::new(),
+            breaker_events: CounterVec::new(
+                "ceems_lb_breaker_events_total",
+                "Circuit-breaker opens and rejections by backend.",
+                &["backend", "event"],
+            ),
+            corrupt: Counter::new(),
+            repromotions: Counter::new(),
         };
         {
             let h = ins.forward_seconds.clone();
@@ -103,12 +117,25 @@ impl LbInstruments {
                 "Queries sent straight to the pool after the query frontend failed.",
                 ins.frontend_fallbacks.clone(),
             ),
+            (
+                "lb_corrupt",
+                "ceems_lb_corrupt_responses_total",
+                "Successful query responses dropped because the body failed to parse.",
+                ins.corrupt.clone(),
+            ),
+            (
+                "lb_repromotions",
+                "ceems_lb_repromotions_total",
+                "Backends re-promoted into rotation by on-demand revival probes.",
+                ins.repromotions.clone(),
+            ),
         ] {
             registry.register(
                 key,
                 Arc::new(move || vec![counter_family(name, help, &c)]),
             );
         }
+        registry.register("lb_breaker_events", Arc::new(ins.breaker_events.clone()));
         ins
     }
 }
@@ -118,9 +145,17 @@ impl LbInstruments {
 /// time *minus* the TSDB-reported total (network + serialization overhead,
 /// clamped at zero so stages stay disjoint), then replaces `totalMs` with
 /// the LB-measured end-to-end time — `sum(stages) <= totalMs` keeps holding
-/// at the outermost layer. Returns `None` (leave the body alone) when the
+/// at the outermost layer. Degradation is visible too: when the forward
+/// needed retries (failed/corrupt backends skipped), the trace carries an
+/// `lbRetries` count. Returns `None` (leave the body alone) when the
 /// payload carries no trace.
-fn rewrite_trace(body: &[u8], auth_ms: f64, forward_ms: f64, total_ms: f64) -> Option<Vec<u8>> {
+fn rewrite_trace(
+    body: &[u8],
+    auth_ms: f64,
+    forward_ms: f64,
+    total_ms: f64,
+    retries: u64,
+) -> Option<Vec<u8>> {
     let mut v: Json = serde_json::from_slice(body).ok()?;
     let Json::Object(root) = &mut v else {
         return None;
@@ -137,6 +172,9 @@ fn rewrite_trace(body: &[u8], auth_ms: f64, forward_ms: f64, total_ms: f64) -> O
         stages.push(json!({"name": "lb_forward", "ms": (forward_ms - inner_ms).max(0.0)}));
     }
     trace.insert("totalMs".to_string(), json!(total_ms));
+    if retries > 0 {
+        trace.insert("lbRetries".to_string(), json!(retries));
+    }
     serde_json::to_vec(&v).ok()
 }
 
@@ -280,6 +318,20 @@ impl CeemsLb {
                     client.request(req.method, &url, req.body.clone(), req.header("content-type"));
                 let forward_secs = forward_start.elapsed().as_secs_f64();
                 match result {
+                    // A frontend 2xx whose body does not parse is as useless
+                    // as a refused connection: count it and fall back to the
+                    // pool rather than relaying garbage.
+                    Ok(resp)
+                        if resp.status.is_success()
+                            && serde_json::from_slice::<Json>(&resp.body).is_err() =>
+                    {
+                        self.instruments.corrupt.inc();
+                        self.instruments
+                            .requests
+                            .with_label_values(&["qfe", "corrupt"])
+                            .inc();
+                        self.instruments.frontend_fallbacks.inc();
+                    }
                     Ok(mut resp) => {
                         self.instruments.forward_seconds.observe(forward_secs);
                         self.instruments
@@ -290,9 +342,13 @@ impl CeemsLb {
                             .insert("x-ceems-lb-backend".to_string(), "qfe".to_string());
                         if trace_requested {
                             let total_ms = total_start.elapsed().as_secs_f64() * 1000.0;
-                            if let Some(body) =
-                                rewrite_trace(&resp.body, auth_ms, forward_secs * 1000.0, total_ms)
-                            {
+                            if let Some(body) = rewrite_trace(
+                                &resp.body,
+                                auth_ms,
+                                forward_secs * 1000.0,
+                                total_ms,
+                                0,
+                            ) {
                                 resp.body = body;
                             }
                         }
@@ -310,12 +366,48 @@ impl CeemsLb {
         }
 
         let max_attempts = self.pool.backends().len().max(1);
-        let mut attempts = 0;
+        let mut attempts: usize = 0;
         loop {
-            let Some(backend) = self.pool.pick() else {
-                self.instruments.unavailable.inc();
-                return Response::error(Status::UNAVAILABLE, "no healthy TSDB backend");
+            let backend = match self.pool.pick() {
+                Some(b) => b,
+                None => {
+                    // Degraded: every backend is demoted or circuit-open.
+                    // Probe the demoted ones before refusing — live traffic
+                    // re-promotes recovered backends without waiting for the
+                    // periodic health check.
+                    let revived = self.pool.revive(&self.client);
+                    for _ in 0..revived {
+                        self.instruments.repromotions.inc();
+                    }
+                    match self.pool.pick() {
+                        Some(b) if revived > 0 => b,
+                        _ => {
+                            self.instruments.unavailable.inc();
+                            return Response::error(
+                                Status::UNAVAILABLE,
+                                "no healthy TSDB backend",
+                            );
+                        }
+                    }
+                }
             };
+            // The pick filtered on `available()`; `try_acquire` claims the
+            // half-open probe slot (or loses a race with another request).
+            if !backend.breaker().try_acquire() {
+                self.instruments
+                    .breaker_events
+                    .with_label_values(&[&backend.id, "rejected"])
+                    .inc();
+                attempts += 1;
+                if attempts >= max_attempts {
+                    self.instruments.unavailable.inc();
+                    return Response::error(
+                        Status::UNAVAILABLE,
+                        "all TSDB backends are circuit-open",
+                    );
+                }
+                continue;
+            }
             let _inflight = backend.begin();
             let url = format!("{}{}", backend.base_url, req.path_and_query());
             let mut client = self.client.clone();
@@ -331,7 +423,46 @@ impl CeemsLb {
             let forward_secs = forward_start.elapsed().as_secs_f64();
             self.instruments.forward_seconds.observe(forward_secs);
             match result {
+                // The LB is the last hop before the client, so it is the
+                // last chance to catch a corrupted success: a 2xx query
+                // response whose body is not JSON is dropped and the request
+                // retried on another backend instead of being relayed.
+                Ok(resp)
+                    if is_query
+                        && resp.status.is_success()
+                        && serde_json::from_slice::<Json>(&resp.body).is_err() =>
+                {
+                    self.instruments.corrupt.inc();
+                    self.instruments
+                        .requests
+                        .with_label_values(&[&backend.id, "corrupt"])
+                        .inc();
+                    self.note_failure(&backend);
+                    attempts += 1;
+                    if attempts >= max_attempts {
+                        return Response::error(
+                            Status::BAD_GATEWAY,
+                            "backend returned a corrupt response",
+                        );
+                    }
+                    self.instruments.retries.inc();
+                }
+                // Server errors are retried on the next backend; only when
+                // every backend says 5xx is the last answer relayed.
+                Ok(resp) if resp.status.0 >= 500 => {
+                    self.instruments
+                        .requests
+                        .with_label_values(&[&backend.id, "5xx"])
+                        .inc();
+                    self.note_failure(&backend);
+                    attempts += 1;
+                    if attempts >= max_attempts {
+                        return resp;
+                    }
+                    self.instruments.retries.inc();
+                }
                 Ok(mut resp) => {
+                    backend.breaker().on_success();
                     self.instruments
                         .requests
                         .with_label_values(&[&backend.id, "ok"])
@@ -340,23 +471,28 @@ impl CeemsLb {
                         .insert("x-ceems-lb-backend".to_string(), backend.id.clone());
                     if trace_requested {
                         let total_ms = total_start.elapsed().as_secs_f64() * 1000.0;
-                        if let Some(body) =
-                            rewrite_trace(&resp.body, auth_ms, forward_secs * 1000.0, total_ms)
-                        {
+                        if let Some(body) = rewrite_trace(
+                            &resp.body,
+                            auth_ms,
+                            forward_secs * 1000.0,
+                            total_ms,
+                            attempts as u64,
+                        ) {
                             resp.body = body;
                         }
                     }
                     return resp;
                 }
                 Err(e) => {
-                    // The pick looked healthy but the forward failed: demote
-                    // the backend (the periodic health check re-admits it)
-                    // and try the next one before giving up.
+                    // The pick looked healthy but the forward failed: feed
+                    // the breaker (three strikes open it, taking the backend
+                    // out of rotation until the cooldown or a health probe)
+                    // and try the next backend before giving up.
                     self.instruments
                         .requests
                         .with_label_values(&[&backend.id, "error"])
                         .inc();
-                    backend.set_healthy(false);
+                    self.note_failure(&backend);
                     attempts += 1;
                     if attempts >= max_attempts {
                         return Response::error(
@@ -367,6 +503,19 @@ impl CeemsLb {
                     self.instruments.retries.inc();
                 }
             }
+        }
+    }
+
+    /// Feeds a forward failure into the backend's breaker and counts the
+    /// open transition if this failure tripped it.
+    fn note_failure(&self, backend: &crate::backend::Backend) {
+        let before = backend.breaker().opens();
+        backend.breaker().on_failure();
+        if backend.breaker().opens() > before {
+            self.instruments
+                .breaker_events
+                .with_label_values(&[&backend.id, "open"])
+                .inc();
         }
     }
 
@@ -768,6 +917,32 @@ mod tests {
         assert_eq!(resp.status, Status::OK, "body: {}", resp.body_string());
         assert_eq!(resp.header("x-ceems-lb-backend"), Some("b1"));
         assert_eq!(lb.instruments.frontend_fallbacks.get(), 1.0);
+        lb_srv.shutdown();
+        tsdb_srv.shutdown();
+    }
+
+    #[test]
+    fn demoted_but_recovered_backend_is_revived_by_traffic() {
+        let (tsdb_srv, _db) = tsdb_server();
+        let lb = lb_over(
+            vec![Backend::new("b1", tsdb_srv.base_url())],
+            Strategy::round_robin(),
+        );
+        // Demoted during a blip; the server is back but no periodic health
+        // check has run yet. The next request probes and re-promotes it.
+        lb.pool().backends()[0].set_healthy(false);
+        let lb_srv = lb.serve().unwrap();
+        let resp = get(
+            &format!(
+                "{}/api/v1/query?query=watts%7Buuid%3D%22slurm-1%22%7D",
+                lb_srv.base_url()
+            ),
+            Some("alice"),
+        );
+        assert_eq!(resp.status, Status::OK, "body: {}", resp.body_string());
+        assert_eq!(resp.header("x-ceems-lb-backend"), Some("b1"));
+        assert!(lb.pool().backends()[0].is_healthy());
+        assert_eq!(lb.instruments.repromotions.get(), 1.0);
         lb_srv.shutdown();
         tsdb_srv.shutdown();
     }

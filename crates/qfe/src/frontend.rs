@@ -83,6 +83,7 @@ struct QfeInstruments {
     split_subqueries: Histogram,
     shed: Counter,
     fallbacks: Counter,
+    stale_serves: Counter,
     queue_depth: GaugeVec,
     cache_bytes: Gauge,
     cache_extents: Gauge,
@@ -93,7 +94,7 @@ impl QfeInstruments {
         QfeInstruments {
             cache_requests: obs.counter_vec(
                 "ceems_qfe_cache_requests_total",
-                "Range queries by cache outcome (hit, partial, miss, bypass, fallback).",
+                "Range queries by cache outcome (hit, partial, miss, bypass, fallback, degraded).",
                 &["outcome"],
             ),
             cached_steps: obs.counter(
@@ -116,6 +117,10 @@ impl QfeInstruments {
             fallbacks: obs.counter(
                 "ceems_qfe_downstream_fallback_total",
                 "Split queries re-proxied whole after a sub-query failed.",
+            ),
+            stale_serves: obs.counter(
+                "ceems_qfe_stale_serves_total",
+                "Degraded answers built from cached extents because every replica was down.",
             ),
             queue_depth: obs.gauge_vec(
                 "ceems_qfe_tenant_queue_depth",
@@ -272,17 +277,27 @@ impl QueryFrontend {
         let fetch_started = Instant::now();
         let fetched: Vec<Option<Arc<ExtentData>>> = self.fetch_extents(req, &extents, &missing);
         let fetch_ms = fetch_started.elapsed().as_secs_f64() * 1e3;
+        let mut failed = false;
         for (slot, data) in missing.iter().zip(fetched) {
             match data {
                 Some(d) => slots[*slot] = Some(d),
-                None => {
-                    // A sub-query failed (transport error, non-success
-                    // status, unexpected shape): re-run the query whole so
-                    // the client sees exactly what the TSDB would say.
-                    self.ins.fallbacks.inc();
-                    return self.passthrough(req, Some("fallback"));
-                }
+                None => failed = true,
             }
+        }
+        if failed {
+            // A sub-query failed (transport error, non-success status,
+            // unexpected shape): re-run the query whole so the client sees
+            // exactly what the TSDB would say. When the whole-query retry
+            // cannot reach any replica either, degrade: answer from the
+            // cached extents (with a warning) rather than failing the
+            // dashboard outright.
+            self.ins.fallbacks.inc();
+            let fallback = self.passthrough(req, Some("fallback"));
+            if fallback.status != Status::BAD_GATEWAY || cached_steps == 0 {
+                return fallback;
+            }
+            self.ins.stale_serves.inc();
+            return self.serve_stale(&extents, &slots, cached_steps);
         }
 
         // Store settled extents for the next request.
@@ -336,6 +351,45 @@ impl QueryFrontend {
             .with_header("x-ceems-qfe-cache", outcome)
             .with_header("x-ceems-qfe-cached-steps", cached_steps.to_string())
             .with_header("x-ceems-qfe-fetched-steps", fetched_steps.to_string())
+    }
+
+    /// Degraded render (S19): every replica is down, but part of the range
+    /// sits in the results cache. Serves the cached extents (with gaps
+    /// where nothing is cached), flags the response with a root-level
+    /// `warnings` array and an `x-ceems-qfe-degraded: stale` header — a
+    /// stale dashboard beats a dead one, and the warning keeps it honest.
+    fn serve_stale(
+        &self,
+        extents: &[Extent],
+        slots: &[Option<Arc<ExtentData>>],
+        cached_steps: usize,
+    ) -> Response {
+        let pairs: Vec<(Extent, Arc<ExtentData>)> = extents
+            .iter()
+            .copied()
+            .zip(slots.iter().cloned())
+            .filter_map(|(e, s)| s.map(|d| (e, d)))
+            .collect();
+        let missing = extents.len() - pairs.len();
+        let result = merge_extents(&pairs);
+        self.ins
+            .cache_requests
+            .with_label_values(&["degraded"])
+            .inc();
+        let body = serde_json::to_vec(&json!({
+            "status": "success",
+            "warnings": [format!(
+                "qfe: {missing} of {} extents unavailable (all replicas down); \
+                 serving {cached_steps} cached steps",
+                extents.len(),
+            )],
+            "data": {"resultType": "matrix", "result": result},
+        }))
+        .unwrap();
+        Response::json(body)
+            .with_header("x-ceems-qfe-cache", "degraded")
+            .with_header("x-ceems-qfe-degraded", "stale")
+            .with_header("x-ceems-qfe-cached-steps", cached_steps.to_string())
     }
 
     /// Fetches `missing` extents from the downstream, at most
@@ -535,17 +589,20 @@ mod tests {
     use super::*;
     use ceems_http::Method;
 
+    use std::sync::atomic::{AtomicBool, Ordering};
+
     /// Downstream that records sub-requests and evaluates a fixed series:
-    /// `m` has value `t/1000` at every step.
+    /// `m` has value `t/1000` at every step. `fail` can be flipped mid-test
+    /// to simulate every replica going down.
     struct FakeDownstream {
         calls: Mutex<Vec<String>>,
-        fail: bool,
+        fail: AtomicBool,
     }
 
     impl Downstream for FakeDownstream {
         fn forward(&self, req: &Request) -> Result<Response, String> {
             self.calls.lock().unwrap().push(req.path_and_query());
-            if self.fail {
+            if self.fail.load(Ordering::Relaxed) {
                 return Err("boom".to_string());
             }
             let start = (req.query_param("start").unwrap().parse::<f64>().unwrap() * 1000.0) as i64;
@@ -565,7 +622,10 @@ mod tests {
     }
 
     fn frontend(fail: bool, now_ms: i64) -> (Arc<QueryFrontend>, Arc<FakeDownstream>) {
-        let ds = Arc::new(FakeDownstream { calls: Mutex::new(Vec::new()), fail });
+        let ds = Arc::new(FakeDownstream {
+            calls: Mutex::new(Vec::new()),
+            fail: AtomicBool::new(fail),
+        });
         let cfg = QfeConfig {
             split_interval_ms: 60_000,
             recent_window_ms: 0,
@@ -613,7 +673,7 @@ mod tests {
     #[test]
     fn recent_window_is_never_cached() {
         // now = 120s; recent_window covers everything ⇒ nothing cacheable.
-        let ds = Arc::new(FakeDownstream { calls: Mutex::new(Vec::new()), fail: false });
+        let ds = Arc::new(FakeDownstream { calls: Mutex::new(Vec::new()), fail: AtomicBool::new(false) });
         let cfg = QfeConfig {
             split_interval_ms: 60_000,
             recent_window_ms: 1_000_000,
@@ -636,6 +696,40 @@ mod tests {
         // fake downstream fails everything): a 502 surfaces.
         assert_eq!(resp.status, Status::BAD_GATEWAY);
         assert!(ds.calls.lock().unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn all_replicas_down_serves_stale_cache_with_warning() {
+        let (fe, ds) = frontend(false, 10_000_000);
+        let warm = fe.handle(&range_req("m", 0, 179, 15));
+        assert_eq!(warm.status, Status::OK);
+        ds.fail.store(true, Ordering::Relaxed);
+
+        // The longer range needs one fresh extent. Every replica is down,
+        // so the frontend serves the three cached extents and says so.
+        let resp = fe.handle(&range_req("m", 0, 239, 15));
+        assert_eq!(resp.status, Status::OK, "body: {}", resp.body_string());
+        assert_eq!(resp.header("x-ceems-qfe-degraded"), Some("stale"));
+        assert_eq!(resp.header("x-ceems-qfe-cache"), Some("degraded"));
+        let v: Json = serde_json::from_slice(&resp.body).unwrap();
+        let warnings = v["warnings"].as_array().unwrap();
+        assert_eq!(warnings.len(), 1);
+        assert!(
+            warnings[0].as_str().unwrap().contains("1 of 4 extents"),
+            "warning: {}",
+            warnings[0]
+        );
+        // The cached 0..179 window is present; the missing extent is a
+        // gap, not an error.
+        let values = v["data"]["result"][0]["values"].as_array().unwrap();
+        assert_eq!(values.first().unwrap()[0].as_f64(), Some(0.0));
+        assert_eq!(values.last().unwrap()[0].as_f64(), Some(165.0));
+        assert_eq!(fe.ins.stale_serves.get(), 1.0);
+
+        // With nothing cached there is nothing to degrade to: plain 502.
+        let miss = fe.handle(&range_req("other", 0, 59, 15));
+        assert_eq!(miss.status, Status::BAD_GATEWAY);
+        assert_eq!(fe.ins.stale_serves.get(), 1.0);
     }
 
     #[test]
@@ -668,7 +762,7 @@ mod tests {
 
     #[test]
     fn shed_returns_429_with_retry_after() {
-        let ds = Arc::new(FakeDownstream { calls: Mutex::new(Vec::new()), fail: false });
+        let ds = Arc::new(FakeDownstream { calls: Mutex::new(Vec::new()), fail: AtomicBool::new(false) });
         let cfg = QfeConfig {
             scheduler: SchedulerConfig {
                 tenant_queue_depth: 0,

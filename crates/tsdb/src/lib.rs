@@ -46,4 +46,4 @@ pub mod wal;
 
 pub use storage::{Tsdb, TsdbConfig, TsdbInstruments};
 pub use types::{Sample, SeriesData};
-pub use wal::{FsyncMode, WalOptions, WalPosition};
+pub use wal::{DiskFaults, FsyncMode, ScriptedDiskFaults, WalOptions, WalPosition};

@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ceems_http::resilience::Backoff;
 use ceems_http::{Client, Status};
 use ceems_metrics::Counter;
 
@@ -62,6 +63,10 @@ pub struct WalFollower {
     follower_id: String,
     backoff_until: Option<Instant>,
     rate_limited: Counter,
+    transport_backoff_base: Duration,
+    transport_backoff_max: Duration,
+    backoff_seed: u64,
+    transport_retries: Counter,
 }
 
 impl WalFollower {
@@ -80,7 +85,31 @@ impl WalFollower {
             follower_id,
             backoff_until: None,
             rate_limited: Counter::new(),
+            transport_backoff_base: Duration::from_millis(5),
+            transport_backoff_max: Duration::from_millis(250),
+            backoff_seed: n,
+            transport_retries: Counter::new(),
         }
+    }
+
+    /// Overrides the jittered backoff range used between retries when the
+    /// leader is unreachable at the transport level.
+    pub fn with_transport_backoff(mut self, base: Duration, max: Duration) -> WalFollower {
+        self.transport_backoff_base = base;
+        self.transport_backoff_max = max.max(base);
+        self
+    }
+
+    /// Fixes the backoff jitter seed (deterministic tests).
+    pub fn with_backoff_seed(mut self, seed: u64) -> WalFollower {
+        self.backoff_seed = seed;
+        self
+    }
+
+    /// How many transport-level failures were retried with backoff during
+    /// [`Self::catch_up`] loops.
+    pub fn transport_retries(&self) -> u64 {
+        self.transport_retries.get() as u64
     }
 
     /// Overrides the `x-wal-follower` identity sent with every fetch (the
@@ -249,16 +278,54 @@ impl WalFollower {
     /// leader had logged when the loop iteration asked. Returns the total
     /// records applied. Errors out after `max_stalls` consecutive polls
     /// with no progress while still behind.
+    ///
+    /// Transport-level failures (leader unreachable) do not kill the loop
+    /// immediately: they are retried up to `max_stalls` times under capped
+    /// exponential backoff with full jitter, so a follower whose leader is
+    /// restarting neither tight-loops on a dead socket nor gives up on the
+    /// first refused connection.
     pub fn catch_up(&mut self, max_stalls: u32) -> Result<u64, FollowError> {
+        let backoff = Backoff::seeded(
+            self.transport_backoff_base,
+            self.transport_backoff_max,
+            self.backoff_seed,
+        );
         let mut total = 0u64;
         let mut stalls = 0u32;
+        let mut transport_failures = 0u32;
         loop {
-            let target = self.leader_position()?;
+            let target = match self.leader_position() {
+                Ok(t) => t,
+                Err(e @ FollowError::Http(_)) => {
+                    transport_failures += 1;
+                    if transport_failures > max_stalls {
+                        return Err(e);
+                    }
+                    self.transport_retries.inc();
+                    std::thread::sleep(backoff.next_delay());
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             if self.pos.records >= target.records {
                 return Ok(total);
             }
             let pos_before = self.pos;
-            let applied = self.poll_once()?;
+            let applied = match self.poll_once() {
+                Ok(a) => a,
+                Err(e @ FollowError::Http(_)) => {
+                    transport_failures += 1;
+                    if transport_failures > max_stalls {
+                        return Err(e);
+                    }
+                    self.transport_retries.inc();
+                    std::thread::sleep(backoff.next_delay());
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            transport_failures = 0;
+            backoff.reset();
             total += applied;
             if applied == 0 && self.pos == pos_before {
                 stalls += 1;
@@ -278,6 +345,45 @@ impl WalFollower {
             } else {
                 stalls = 0;
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{Tsdb, TsdbConfig};
+
+    #[test]
+    fn unreachable_leader_backs_off_then_errors() {
+        let db = Arc::new(Tsdb::new(TsdbConfig::default()));
+        // Port 1 refuses connections immediately on any sane test host.
+        let mut f = WalFollower::new(db, "http://127.0.0.1:1")
+            .with_transport_backoff(Duration::from_millis(1), Duration::from_millis(4))
+            .with_backoff_seed(7);
+        let start = Instant::now();
+        let err = f.catch_up(3).unwrap_err();
+        assert!(
+            matches!(err, FollowError::Http(_)),
+            "expected transport error, got {err}"
+        );
+        // 3 retries happened under backoff before the 4th failure gave up.
+        assert_eq!(f.transport_retries(), 3);
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "backoff must stay capped"
+        );
+    }
+
+    #[test]
+    fn transport_backoff_is_deterministic() {
+        let mk = || {
+            Backoff::seeded(Duration::from_millis(1), Duration::from_millis(64), 42)
+        };
+        let a = mk();
+        let b = mk();
+        for _ in 0..10 {
+            assert_eq!(a.next_delay(), b.next_delay());
         }
     }
 }

@@ -674,6 +674,14 @@ impl Tsdb {
             .map_or(0, |w| w.errors.load(Ordering::Relaxed))
     }
 
+    /// Installs a disk-fault injector on the attached WAL (chaos testing).
+    /// No-op when the database runs without a WAL.
+    pub fn set_wal_disk_faults(&self, faults: std::sync::Arc<dyn crate::wal::DiskFaults>) {
+        if let Some(ws) = &self.wal {
+            ws.wal.lock().set_disk_faults(faults);
+        }
+    }
+
     /// Fsync telemetry since open: `(calls, cumulative_seconds)`; zeros when
     /// no WAL is attached.
     pub fn wal_sync_stats(&self) -> (u64, f64) {

@@ -21,10 +21,134 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use ceems_metrics::labels::LabelSet;
 
 use crate::types::{Sample, SeriesId};
+
+// ---------------------------------------------------------------------------
+// Disk fault injection
+// ---------------------------------------------------------------------------
+
+/// Injectable disk faults behind the WAL's file operations, used by the
+/// chaos harness to model short writes, `fsync` EIO and torn tails without
+/// touching a real flaky disk. The default implementation of every hook is
+/// "no fault", and a `Wal` without an injector pays one `Option` check per
+/// group commit.
+pub trait DiskFaults: Send + Sync {
+    /// Called before a group-commit write of `len` bytes. Return `Some(n)`
+    /// to write only the first `n` bytes and fail with `EIO`.
+    fn before_write(&self, len: usize) -> Option<usize> {
+        let _ = len;
+        None
+    }
+
+    /// Return true to fail the next `fsync` with `EIO`.
+    fn fail_fsync(&self) -> bool {
+        false
+    }
+
+    /// After an injected short write: return true (the default) to repair
+    /// the tail (truncate back to the last commit boundary, as the writer
+    /// does on a real write error), or false to leave the torn bytes on
+    /// disk so recovery has to truncate them.
+    fn repair_after_short_write(&self) -> bool {
+        true
+    }
+}
+
+/// A scripted [`DiskFaults`] implementation: pop-from-front schedules of
+/// short writes and fsync failures, deterministic by construction.
+#[derive(Debug)]
+pub struct ScriptedDiskFaults {
+    short_writes: parking_lot::Mutex<Vec<ScriptedShortWrite>>,
+    fsync_failures: std::sync::atomic::AtomicU64,
+    repair: std::sync::atomic::AtomicBool,
+}
+
+impl Default for ScriptedDiskFaults {
+    fn default() -> Self {
+        ScriptedDiskFaults::new()
+    }
+}
+
+/// One scheduled short write.
+#[derive(Debug, Clone, Copy)]
+pub struct ScriptedShortWrite {
+    /// Group commits to let through before this fault fires.
+    pub after_writes: u64,
+    /// Fraction of the buffer to write before failing, in `[0, 1)`.
+    pub keep_fraction: f64,
+}
+
+impl ScriptedDiskFaults {
+    /// No faults scheduled; add some with the builder methods.
+    pub fn new() -> ScriptedDiskFaults {
+        ScriptedDiskFaults {
+            short_writes: parking_lot::Mutex::new(Vec::new()),
+            fsync_failures: std::sync::atomic::AtomicU64::new(0),
+            repair: std::sync::atomic::AtomicBool::new(true),
+        }
+    }
+
+    /// Schedules a short write after `after_writes` successful commits.
+    pub fn with_short_write(self, after_writes: u64, keep_fraction: f64) -> ScriptedDiskFaults {
+        self.short_writes.lock().push(ScriptedShortWrite {
+            after_writes,
+            keep_fraction: keep_fraction.clamp(0.0, 0.999),
+        });
+        self
+    }
+
+    /// Makes the next `n` fsyncs fail with `EIO`.
+    pub fn with_fsync_failures(self, n: u64) -> ScriptedDiskFaults {
+        self.fsync_failures
+            .store(n, std::sync::atomic::Ordering::Relaxed);
+        self
+    }
+
+    /// Leaves torn bytes on disk after short writes (models a crash before
+    /// the writer could repair the tail).
+    pub fn leaving_torn_tails(self) -> ScriptedDiskFaults {
+        self.repair.store(false, std::sync::atomic::Ordering::Relaxed);
+        self
+    }
+}
+
+impl DiskFaults for ScriptedDiskFaults {
+    fn before_write(&self, len: usize) -> Option<usize> {
+        let mut sw = self.short_writes.lock();
+        if let Some(first) = sw.first_mut() {
+            if first.after_writes == 0 {
+                let keep = (len as f64 * first.keep_fraction) as usize;
+                sw.remove(0);
+                return Some(keep.min(len.saturating_sub(1)));
+            }
+            first.after_writes -= 1;
+        }
+        None
+    }
+
+    fn fail_fsync(&self) -> bool {
+        let n = self.fsync_failures.load(std::sync::atomic::Ordering::Relaxed);
+        if n > 0 {
+            self.fsync_failures
+                .store(n - 1, std::sync::atomic::Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn repair_after_short_write(&self) -> bool {
+        self.repair.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+fn injected_eio(what: &str) -> io::Error {
+    io::Error::other(format!("injected disk fault: {what}"))
+}
 
 /// Largest frame payload [`decode_frames`] accepts; anything bigger is
 /// treated as corruption (a real record is a few MB at most).
@@ -447,6 +571,8 @@ pub struct Wal {
     /// sync, read by the TSDB metrics collector under the writer mutex.
     syncs: u64,
     sync_ns: u64,
+    /// Injected disk faults (chaos testing); `None` in production.
+    faults: Option<Arc<dyn DiskFaults>>,
 }
 
 impl Wal {
@@ -486,7 +612,13 @@ impl Wal {
             records,
             syncs: 0,
             sync_ns: 0,
+            faults: None,
         })
+    }
+
+    /// Installs a disk-fault injector (chaos testing).
+    pub fn set_disk_faults(&mut self, faults: Arc<dyn DiskFaults>) {
+        self.faults = Some(faults);
     }
 
     /// Current position.
@@ -505,6 +637,12 @@ impl Wal {
 
     /// Syncs the active segment's data, accounting the call.
     fn timed_sync_data(&mut self) -> io::Result<()> {
+        if let Some(f) = &self.faults {
+            if f.fail_fsync() {
+                self.syncs += 1;
+                return Err(injected_eio("fsync EIO"));
+            }
+        }
         let start = std::time::Instant::now();
         let res = self.file.sync_data();
         self.syncs += 1;
@@ -525,6 +663,24 @@ impl Wal {
         }
         if self.offset > 0 && self.offset + buf.len() as u64 > self.opts.segment_bytes {
             self.rotate()?;
+        }
+        if let Some(faults) = self.faults.clone() {
+            if let Some(keep) = faults.before_write(buf.len()) {
+                // Short write: part of the commit lands on disk, then EIO.
+                let keep = keep.min(buf.len());
+                self.file.write_all(&buf[..keep])?;
+                if faults.repair_after_short_write() {
+                    // What a real writer does on a write error: truncate the
+                    // torn bytes back to the last commit boundary so the next
+                    // append starts on a clean frame.
+                    self.file.set_len(self.offset)?;
+                    self.file.seek(SeekFrom::End(0))?;
+                } else {
+                    // Leave the torn tail for recovery to cut away.
+                    let _ = self.file.flush();
+                }
+                return Err(injected_eio("short write"));
+            }
         }
         self.file.write_all(&buf)?;
         self.offset += buf.len() as u64;
@@ -779,6 +935,92 @@ mod tests {
         let (got, consumed) = decode_frames(&bad);
         assert_eq!(got.len(), 1);
         assert_eq!(consumed, keep);
+    }
+
+    #[test]
+    fn short_write_fault_repairs_and_recovers() {
+        let dir = std::env::temp_dir().join(format!("ceems-wal-shortw-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let mut wal = Wal::open_at(&dir, WalOptions::default(), 0, 0, 0).unwrap();
+        wal.set_disk_faults(Arc::new(
+            ScriptedDiskFaults::new().with_short_write(1, 0.5),
+        ));
+        wal.log(&[WalRecord::Samples(vec![(1, 1_000, 1.0)])]).unwrap();
+        let pos_before = wal.position();
+        // Second commit hits the scripted short write.
+        let err = wal
+            .log(&[WalRecord::Samples(vec![(1, 2_000, 2.0)])])
+            .unwrap_err();
+        assert!(err.to_string().contains("injected disk fault"));
+        assert_eq!(wal.position(), pos_before, "failed commit must not advance");
+        // The tail was repaired: the next commit lands on a clean boundary.
+        wal.log(&[WalRecord::Samples(vec![(1, 3_000, 3.0)])]).unwrap();
+        let data = fs::read(dir.join(segment_file_name(0))).unwrap();
+        let (recs, consumed) = decode_frames(&data);
+        assert_eq!(consumed, data.len(), "no torn bytes after repair");
+        assert_eq!(
+            recs,
+            vec![
+                WalRecord::Samples(vec![(1, 1_000, 1.0)]),
+                WalRecord::Samples(vec![(1, 3_000, 3.0)]),
+            ]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unrepaired_short_write_leaves_torn_tail_for_recovery() {
+        let dir = std::env::temp_dir().join(format!("ceems-wal-torn-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let mut wal = Wal::open_at(&dir, WalOptions::default(), 0, 0, 0).unwrap();
+        wal.set_disk_faults(Arc::new(
+            ScriptedDiskFaults::new()
+                .with_short_write(1, 0.5)
+                .leaving_torn_tails(),
+        ));
+        wal.log(&[WalRecord::Samples(vec![(1, 1_000, 1.0)])]).unwrap();
+        let pos = wal.position();
+        wal.log(&[WalRecord::Samples(vec![(1, 2_000, 2.0)])])
+            .unwrap_err();
+        drop(wal);
+        let path = dir.join(segment_file_name(0));
+        let len_with_tail = fs::metadata(&path).unwrap().len();
+        assert!(len_with_tail > pos.offset, "torn bytes must be on disk");
+        // Frame decoding stops at the torn frame...
+        let data = fs::read(&path).unwrap();
+        let (recs, consumed) = decode_frames(&data);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(consumed as u64, pos.offset);
+        // ...and re-opening at the valid prefix truncates the tail away.
+        let wal = Wal::open_at(&dir, WalOptions::default(), pos.seq, pos.offset, pos.records)
+            .unwrap();
+        assert_eq!(fs::metadata(&path).unwrap().len(), pos.offset);
+        assert_eq!(wal.position(), pos);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_eio_fault_surfaces_and_clears() {
+        let dir = std::env::temp_dir().join(format!("ceems-wal-eio-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let opts = WalOptions {
+            segment_bytes: 4 << 20,
+            fsync: FsyncMode::Always,
+        };
+        let mut wal = Wal::open_at(&dir, opts, 0, 0, 0).unwrap();
+        wal.set_disk_faults(Arc::new(ScriptedDiskFaults::new().with_fsync_failures(1)));
+        // Write succeeds, fsync fails: the record is on disk but not durable,
+        // and the error reaches the caller to count.
+        let err = wal
+            .log(&[WalRecord::Samples(vec![(1, 1_000, 1.0)])])
+            .unwrap_err();
+        assert!(err.to_string().contains("fsync EIO"));
+        // The schedule is exhausted; the next commit syncs cleanly.
+        wal.log(&[WalRecord::Samples(vec![(1, 2_000, 2.0)])]).unwrap();
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

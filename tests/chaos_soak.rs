@@ -1,0 +1,342 @@
+//! Chaos soak: the full stack driven under seeded, deterministic fault
+//! schedules. The TSDB replicas behind the load balancer reset
+//! connections, return 5xx, corrupt and truncate bodies and add latency;
+//! the invariants are that nothing panics, no corrupt 2xx ever reaches a
+//! client, the stack converges to correct answers once the fault windows
+//! close, the query frontend bounds staleness when every replica is down,
+//! and the same seed replays the exact same fault trace.
+
+use std::sync::Arc;
+
+use ceems::http::fault::{FaultKind, FaultPlan, FaultRule};
+use ceems::http::resilience::RetryPolicy;
+use ceems::http::{Client, HttpServer, ServerConfig};
+use ceems::lb::acl::Authorizer;
+use ceems::lb::proxy::LbConfig;
+use ceems::lb::{Backend, BackendPool, CeemsLb, Strategy};
+use ceems::metrics::labels;
+use ceems::metrics::matcher::LabelMatcher;
+use ceems::prelude::*;
+use ceems::tsdb::httpapi::api_router;
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "ceems-chaos-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ))
+}
+
+/// A monitored stack with one busy CPU job, advanced far enough that the
+/// recording rules have produced per-job power.
+fn monitored_stack() -> CeemsStack {
+    let mut stack = CeemsStack::build_default();
+    stack
+        .submit(JobRequest {
+            user: "alice".into(),
+            account: "proj".into(),
+            partition: "cpu-intel".into(),
+            nodes: 1,
+            cores_per_node: 16,
+            memory_per_node: 32 << 30,
+            gpus_per_node: 0,
+            walltime_s: 7200,
+            workload: WorkloadProfile::CpuBound { intensity: 0.9 },
+        })
+        .unwrap();
+    stack.run_for(300.0, 15.0);
+    stack
+}
+
+/// The soak schedule: every fault kind at once, all bounded to the first
+/// `until` requests per endpoint so the run has a guaranteed quiet tail.
+fn chaos_plan(seed: u64, until: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with_rule(
+            FaultRule::new("/api/v1/query", FaultKind::ServerError { status: 503 }, 0.2)
+                .between(0, until),
+        )
+        .with_rule(FaultRule::new("/api/v1/query", FaultKind::ConnReset, 0.15).between(0, until))
+        .with_rule(FaultRule::new("/api/v1/query", FaultKind::CorruptBody, 0.15).between(0, until))
+        .with_rule(FaultRule::new("/api/v1/query", FaultKind::TruncateBody, 0.1).between(0, until))
+        .with_rule(FaultRule::new("*", FaultKind::Latency { ms: 2 }, 0.2).between(0, until))
+}
+
+#[test]
+fn chaos_soak_converges_and_never_leaks_corruption() {
+    let stack = monitored_stack();
+    let now = stack.clock.now_ms();
+    let query = "uuid:ceems_power:watts{uuid=\"slurm-1\"}";
+    let url_for = |base: &str| {
+        format!(
+            "{base}/api/v1/query?query={}&time={}",
+            ceems::http::url::encode_component(query),
+            now as f64 / 1000.0
+        )
+    };
+
+    // The ground truth: the same query against a fault-free API server.
+    let clean = HttpServer::serve(
+        ServerConfig::ephemeral(),
+        api_router(stack.tsdb.clone(), Arc::new(move || now)),
+    )
+    .unwrap();
+    let truth = Client::new().get(&url_for(&clean.base_url())).unwrap();
+    assert!(truth.status.is_success());
+    let truth_json: serde_json::Value = serde_json::from_slice(&truth.body).unwrap();
+    assert_eq!(truth_json["status"], "success");
+
+    for seed in [11u64, 23, 47] {
+        // Two replicas over the same TSDB, sharing one fault schedule that
+        // goes quiet after 40 requests per endpoint.
+        let plan = chaos_plan(seed, 40).shared();
+        let replicas: Vec<HttpServer> = (0..2)
+            .map(|_| {
+                HttpServer::serve(
+                    ServerConfig::ephemeral().with_fault_plan(plan.clone()),
+                    api_router(stack.tsdb.clone(), Arc::new(move || now)),
+                )
+                .unwrap()
+            })
+            .collect();
+        let lb = Arc::new(CeemsLb::new(
+            BackendPool::new(
+                replicas
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| Backend::new(format!("b{i}"), r.base_url()))
+                    .collect(),
+                Strategy::round_robin(),
+            ),
+            Authorizer::DirectDb(stack.updater.clone()),
+            LbConfig {
+                admin_users: vec!["op".into()],
+                query_frontend: None,
+            },
+        ));
+        let lb_srv = lb.serve().unwrap();
+        let client = Client::new().with_header("X-Grafana-User", "alice");
+        let lb_url = url_for(&lb_srv.base_url());
+
+        let mut ok = 0u32;
+        let mut failed = 0u32;
+        for i in 0..60 {
+            let resp = client.get(&lb_url).unwrap_or_else(|e| {
+                panic!("seed {seed} request {i}: LB itself must stay reachable: {e}")
+            });
+            match resp.status.0 {
+                200 => {
+                    // The hard invariant: whatever the replicas mangled,
+                    // a 2xx from the LB is always intact JSON.
+                    let json: serde_json::Value =
+                        serde_json::from_slice(&resp.body).unwrap_or_else(|e| {
+                            panic!("seed {seed} request {i}: corrupt 2xx escaped the LB: {e}")
+                        });
+                    assert_eq!(json["status"], "success", "seed {seed} request {i}");
+                    ok += 1;
+                }
+                502 | 503 => failed += 1,
+                other => panic!("seed {seed} request {i}: unexpected status {other}"),
+            }
+        }
+        assert!(plan.injected() > 0, "seed {seed}: schedule never fired");
+        assert!(ok > 0, "seed {seed}: nothing succeeded under faults");
+        // The LB's retries + breakers should absorb most of the chaos.
+        assert!(
+            failed < 30,
+            "seed {seed}: {failed}/60 requests failed through the LB"
+        );
+
+        // Convergence: the schedule is quiet now — the next renders must
+        // be byte-identical to the fault-free answer.
+        for i in 0..5 {
+            let resp = client.get(&lb_url).unwrap();
+            assert_eq!(resp.status.0, 200, "seed {seed} post-fault request {i}");
+            assert_eq!(
+                resp.body, truth.body,
+                "seed {seed}: post-fault answer diverges from ground truth"
+            );
+        }
+
+        // The degradation was observable: the LB exported its retry and
+        // per-backend outcome counters the whole time.
+        let metrics = client
+            .get(&format!("{}/metrics", lb_srv.base_url()))
+            .unwrap()
+            .body_string();
+        assert!(metrics.contains("ceems_lb_proxy_requests_total"));
+
+        lb_srv.shutdown();
+        for r in replicas {
+            r.shutdown();
+        }
+    }
+    clean.shutdown();
+}
+
+#[test]
+fn same_seed_replays_the_same_fault_trace() {
+    // Two servers over the same router, each with its own copy of the same
+    // schedule, driven with identical request sequences: the injected
+    // fault traces and the per-request outcomes must match exactly.
+    let db = Arc::new(Tsdb::default());
+    for i in 0..20i64 {
+        db.append(&labels! {"__name__" => "watts", "uuid" => "u1"}, i * 15_000, 100.0);
+    }
+    let run = |seed: u64| {
+        let plan = chaos_plan(seed, u64::MAX).shared();
+        let server = HttpServer::serve(
+            ServerConfig::ephemeral().with_fault_plan(plan.clone()),
+            api_router(db.clone(), Arc::new(|| 300_000)),
+        )
+        .unwrap();
+        let client = Client::new();
+        let mut outcomes = Vec::new();
+        for i in 0..80 {
+            let path = if i % 3 == 0 { "/api/v1/labels" } else { "/api/v1/query" };
+            let url = format!("{}{path}?query=watts&time=300", server.base_url());
+            outcomes.push(match client.get(&url) {
+                Ok(resp) => format!("status={}", resp.status.0),
+                Err(_) => "transport-error".to_string(),
+            });
+        }
+        server.shutdown();
+        (plan.trace(), outcomes)
+    };
+
+    let (trace_a, outcomes_a) = run(7);
+    let (trace_b, outcomes_b) = run(7);
+    assert!(!trace_a.is_empty(), "schedule never fired");
+    assert_eq!(trace_a, trace_b, "same seed must replay the same faults");
+    assert_eq!(outcomes_a, outcomes_b);
+
+    let (trace_c, _) = run(8);
+    assert_ne!(trace_a, trace_c, "different seeds should diverge");
+}
+
+#[test]
+fn qfe_bounds_staleness_when_every_replica_dies() {
+    use ceems::qfe::{HttpDownstream, QueryFrontend};
+
+    // Short split extents and no recent-window holdback, so the warm
+    // render actually populates the cache.
+    let mut cfg = CeemsConfig::default();
+    cfg.qfe.split_interval_s = 300.0;
+    cfg.qfe.recent_window_s = 0.0;
+    let dir = tmp_dir("qfe");
+    let mut stack = CeemsStack::build(cfg, &dir).unwrap();
+    stack
+        .submit(JobRequest {
+            user: "alice".into(),
+            account: "proj".into(),
+            partition: "cpu-intel".into(),
+            nodes: 1,
+            cores_per_node: 16,
+            memory_per_node: 32 << 30,
+            gpus_per_node: 0,
+            walltime_s: 7200,
+            workload: WorkloadProfile::CpuBound { intensity: 0.9 },
+        })
+        .unwrap();
+    stack.run_for(900.0, 15.0);
+    let now = stack.clock.now_ms();
+    let server = HttpServer::serve(
+        ServerConfig::ephemeral(),
+        api_router(stack.tsdb.clone(), Arc::new(move || now)),
+    )
+    .unwrap();
+    let fe = QueryFrontend::new(
+        Arc::new(
+            HttpDownstream::new(vec![server.base_url().to_string()])
+                .with_retry(RetryPolicy::disabled()),
+        ),
+        stack.qfe_config(Arc::new(move || now)),
+    );
+    let req = |q: &str, end_s: i64| {
+        ceems::http::Request::new(
+            ceems::http::Method::Get,
+            &format!(
+                "/api/v1/query_range?query={}&start=0&end={end_s}&step=15",
+                ceems::http::url::encode_component(q)
+            ),
+        )
+        .with_header("x-grafana-user", "alice")
+    };
+
+    // Warm render over the first two extents while the replica is alive.
+    let q = "sum(uuid:ceems_power:watts{uuid=\"slurm-1\"})";
+    let warm = fe.handle(&req(q, 590));
+    assert_eq!(warm.status.0, 200, "warm render failed: {}", warm.body_string());
+
+    // Total outage: every replica gone. A wider render (one extent past
+    // the warm one) must still answer from cache, flagged degraded.
+    server.shutdown();
+    let stale = fe.handle(&req(q, 890));
+    assert_eq!(stale.status.0, 200, "stale serve failed: {}", stale.body_string());
+    assert_eq!(stale.header("x-ceems-qfe-degraded"), Some("stale"));
+    let body: serde_json::Value = serde_json::from_slice(&stale.body).unwrap();
+    assert!(
+        body["warnings"][0].as_str().unwrap().contains("replicas down"),
+        "missing degradation warning: {body}"
+    );
+    // Bounded staleness: the degraded render serves real cached data.
+    assert!(
+        stale
+            .header("x-ceems-qfe-cached-steps")
+            .unwrap()
+            .parse::<usize>()
+            .unwrap()
+            > 0
+    );
+    // A query that was never cached stays a clean error, not a fake answer.
+    let cold = fe.handle(&req("sum(never_seen_metric)", 590));
+    assert_eq!(cold.status.0, 502);
+}
+
+#[test]
+fn wal_survives_scripted_disk_faults() {
+    use ceems::tsdb::wal::{ScriptedDiskFaults, WalOptions};
+
+    let dir = tmp_dir("wal");
+    let series = labels! {"__name__" => "watts", "uuid" => "u1"};
+    let errors;
+    {
+        let db = Tsdb::open(&dir, WalOptions::default(), TsdbConfig::default()).unwrap();
+        // A flaky disk: two short writes (repaired tails) and two EIO
+        // fsyncs across the run.
+        db.set_wal_disk_faults(Arc::new(
+            ScriptedDiskFaults::new()
+                .with_short_write(5, 0.4)
+                .with_short_write(20, 0.7)
+                .with_fsync_failures(2),
+        ));
+        for i in 0..100i64 {
+            db.append(&series, i * 1_000, i as f64);
+        }
+        errors = db.wal_errors();
+        assert!(errors > 0, "the scripted faults never fired");
+    }
+
+    // Recovery: reopen over whatever the flaky disk left behind. The TSDB
+    // swallows WAL write errors (ingest availability beats durability), so
+    // the loss is bounded by the failed commits — never more, and never a
+    // corrupted or unreadable log.
+    let db = Tsdb::open(&dir, WalOptions::default(), TsdbConfig::default()).unwrap();
+    let recovered = db.select(&[LabelMatcher::eq("__name__", "watts")], 0, i64::MAX);
+    assert_eq!(recovered.len(), 1);
+    let samples = &recovered[0].samples;
+    assert!(
+        samples.len() as u64 >= 100 - errors && samples.len() <= 100,
+        "recovered {} of 100 samples with {errors} write errors",
+        samples.len()
+    );
+    assert_eq!(samples.last().unwrap().v, 99.0);
+
+    db.append(&series, 200_000, 123.0);
+    let latest = db.select_latest(&[LabelMatcher::eq("__name__", "watts")]);
+    assert_eq!(latest[0].1.v, 123.0);
+    std::fs::remove_dir_all(&dir).ok();
+}
