@@ -154,7 +154,13 @@ impl ApiServer {
 
     /// Serves on an ephemeral port.
     pub fn serve(self: &Arc<Self>) -> std::io::Result<HttpServer> {
-        HttpServer::serve(ServerConfig::ephemeral(), self.router())
+        self.serve_with(ServerConfig::ephemeral())
+    }
+
+    /// Serves with explicit server tuning (connection caps, idle timeout,
+    /// reactor threads — e.g. from the `http:` config section).
+    pub fn serve_with(self: &Arc<Self>, config: ServerConfig) -> std::io::Result<HttpServer> {
+        HttpServer::serve(config, self.router())
     }
 
     fn handle_units(&self, req: &Request) -> Response {

@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use ceems_bench::report::{time_iters, write_bench_json, LatencySummary};
 use ceems_bench::small_stack_with_job;
 use ceems_http::{Method, Request, Status};
 use ceems_qfe::{QfeConfig, QueryFrontend, RouterDownstream};
@@ -99,6 +100,31 @@ fn bench_qfe(c: &mut Criterion) {
     group.bench_function("unsplit_nocache_render", |b| b.iter(|| render(&unsplit)));
 
     group.finish();
+
+    // Machine-readable artifact: a short measured pass per scenario (the
+    // criterion runs above remain the statistically careful numbers).
+    let iters = 20;
+    let mut cold = time_iters(iters, || {
+        let fe = QueryFrontend::new(downstream(), cfg(64 << 20, 120_000));
+        render(&fe);
+    });
+    let mut warm_s = time_iters(iters, || render(&warm));
+    let mut split_s = time_iters(iters, || render(&split));
+    let mut unsplit_s = time_iters(iters, || render(&unsplit));
+    let cold = LatencySummary::from_samples(&mut cold);
+    let warm_sum = LatencySummary::from_samples(&mut warm_s);
+    write_bench_json(
+        "qfe_cache",
+        &serde_json::json!({
+            "bench": "qfe_cache",
+            "dashboard_panels": queries.len(),
+            "cold_render": cold.to_json(),
+            "warm_render": warm_sum.to_json(),
+            "split_nocache_render": LatencySummary::from_samples(&mut split_s).to_json(),
+            "unsplit_nocache_render": LatencySummary::from_samples(&mut unsplit_s).to_json(),
+            "warm_speedup_p50": cold.p50_us / warm_sum.p50_us.max(1e-9),
+        }),
+    );
 }
 
 criterion_group!(benches, bench_qfe);

@@ -6,6 +6,7 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use ceems_bench::report::{time_iters, write_bench_json, LatencySummary};
 use ceems_metrics::labels::{LabelSet, LabelSetBuilder};
 use ceems_tsdb::wal::{FsyncMode, WalOptions};
 use ceems_tsdb::{Tsdb, TsdbConfig};
@@ -124,5 +125,81 @@ fn bench_wal_recovery(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_wal_ingest, bench_wal_recovery);
+/// Machine-readable artifact: a short measured pass per fsync policy plus
+/// a replay run (the criterion groups remain the careful numbers).
+fn emit_wal_json(_c: &mut Criterion) {
+    let batches = scrape_batches(256, 40);
+    let samples = 256 * 40;
+    let iters = 8;
+    let mut scenarios = serde_json::Map::new();
+    for (label, fsync) in [
+        ("off", None),
+        ("on_never", Some(FsyncMode::Never)),
+        ("on_batch", Some(FsyncMode::Batch)),
+        ("on_always", Some(FsyncMode::Always)),
+    ] {
+        let mut dirs: Vec<PathBuf> = Vec::new();
+        let mut lat = time_iters(iters, || {
+            let db = match fsync {
+                None => Tsdb::new(TsdbConfig::default()),
+                Some(mode) => {
+                    let dir = temp_dir();
+                    dirs.push(dir.clone());
+                    let opts = WalOptions {
+                        segment_bytes: 4 << 20,
+                        fsync: mode,
+                    };
+                    Tsdb::open(&dir, opts, TsdbConfig::default()).unwrap()
+                }
+            };
+            for batch in &batches {
+                db.append_batch(batch);
+            }
+        });
+        let s = LatencySummary::from_samples(&mut lat);
+        let mut obj = s.to_json();
+        if let serde_json::Value::Object(ref mut map) = obj {
+            map.insert(
+                "samples_per_sec_p50".into(),
+                serde_json::json!(samples as f64 / (s.p50_us / 1e6)),
+            );
+        }
+        scenarios.insert(format!("ingest_{label}"), obj);
+        for dir in dirs {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    // Recovery: replay a full (uncheckpointed) WAL.
+    let opts = WalOptions {
+        segment_bytes: 4 << 20,
+        fsync: FsyncMode::Never,
+    };
+    let dir = temp_dir();
+    {
+        let db = Tsdb::open(&dir, opts, TsdbConfig::default()).unwrap();
+        for batch in &batches {
+            db.append_batch(batch);
+        }
+    }
+    let mut lat = time_iters(iters, || {
+        Tsdb::open(&dir, opts, TsdbConfig::default()).unwrap();
+    });
+    scenarios.insert(
+        "recovery_replay".into(),
+        LatencySummary::from_samples(&mut lat).to_json(),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    write_bench_json(
+        "wal",
+        &serde_json::json!({
+            "bench": "wal",
+            "samples_per_run": samples,
+            "scenarios": serde_json::Value::Object(scenarios),
+        }),
+    );
+}
+
+criterion_group!(benches, bench_wal_ingest, bench_wal_recovery, emit_wal_json);
 criterion_main!(benches);

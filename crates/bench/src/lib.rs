@@ -7,6 +7,8 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
+pub mod report;
+
 use ceems_core::config::{CeemsConfig, ChurnSettings};
 use ceems_core::CeemsStack;
 use ceems_metrics::labels::LabelSetBuilder;

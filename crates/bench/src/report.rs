@@ -1,0 +1,128 @@
+//! Machine-readable bench artifacts.
+//!
+//! Benches that feed CI or the paper tables write one `BENCH_<name>.json`
+//! next to the workspace root (override the directory with
+//! `CEEMS_BENCH_DIR`), so runs can be diffed and plotted without scraping
+//! criterion's human output.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Directory bench JSON lands in: `$CEEMS_BENCH_DIR` or the workspace root.
+pub fn bench_dir() -> PathBuf {
+    match std::env::var("CEEMS_BENCH_DIR") {
+        Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    }
+}
+
+/// Writes `BENCH_<name>.json` (pretty-printed) and returns its path.
+pub fn write_bench_json(name: &str, value: &serde_json::Value) -> PathBuf {
+    let path = bench_dir().join(format!("BENCH_{name}.json"));
+    let text = serde_json::to_string_pretty(value).expect("bench json serializes");
+    std::fs::write(&path, text + "\n").expect("bench json writes");
+    eprintln!("wrote {}", path.display());
+    path
+}
+
+/// Latency distribution summary over recorded samples, in microseconds.
+#[derive(Debug, Clone)]
+pub struct LatencySummary {
+    /// Sample count.
+    pub count: usize,
+    /// 50th percentile (µs).
+    pub p50_us: f64,
+    /// 99th percentile (µs).
+    pub p99_us: f64,
+    /// Arithmetic mean (µs).
+    pub mean_us: f64,
+    /// Maximum (µs).
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a set of latency samples (order irrelevant).
+    pub fn from_samples(samples: &mut [Duration]) -> LatencySummary {
+        assert!(!samples.is_empty(), "no latency samples recorded");
+        samples.sort_unstable();
+        let pct = |p: f64| -> f64 {
+            let idx = ((samples.len() as f64 - 1.0) * p).round() as usize;
+            samples[idx].as_secs_f64() * 1e6
+        };
+        let mean =
+            samples.iter().map(Duration::as_secs_f64).sum::<f64>() / samples.len() as f64 * 1e6;
+        LatencySummary {
+            count: samples.len(),
+            p50_us: pct(0.50),
+            p99_us: pct(0.99),
+            mean_us: mean,
+            max_us: samples.last().unwrap().as_secs_f64() * 1e6,
+        }
+    }
+
+    /// This summary as a JSON object.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "count": self.count,
+            "p50_us": self.p50_us,
+            "p99_us": self.p99_us,
+            "mean_us": self.mean_us,
+            "max_us": self.max_us,
+        })
+    }
+}
+
+/// Times `iters` runs of `f` and returns per-iteration latencies — a tiny
+/// measurement loop for emitting JSON alongside criterion's own output.
+pub fn time_iters(iters: usize, mut f: impl FnMut()) -> Vec<Duration> {
+    let mut out = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        out.push(t.elapsed());
+    }
+    out
+}
+
+/// Thread count of the current process per `/proc/self/status`.
+pub fn process_thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Threads:").map(|v| v.trim().to_string()))
+        })
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_percentiles() {
+        let mut samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        let s = LatencySummary::from_samples(&mut samples);
+        assert_eq!(s.count, 100);
+        assert!((s.p50_us - 50.0).abs() <= 1.0, "p50 {}", s.p50_us);
+        assert!((s.p99_us - 99.0).abs() <= 1.0, "p99 {}", s.p99_us);
+        assert_eq!(s.max_us, 100.0);
+    }
+
+    #[test]
+    fn thread_count_reads_procfs() {
+        assert!(process_thread_count() >= 1);
+    }
+
+    #[test]
+    fn bench_json_roundtrip() {
+        let dir = crate::tmpdir("report");
+        std::env::set_var("CEEMS_BENCH_DIR", &dir);
+        let path = write_bench_json("selftest", &serde_json::json!({"ok": true}));
+        std::env::remove_var("CEEMS_BENCH_DIR");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"ok\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

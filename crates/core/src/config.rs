@@ -33,6 +33,56 @@ impl Default for QfeSettings {
     }
 }
 
+/// The `http:` YAML section: tuning for the shared epoll HTTP substrate
+/// (S20) — every served component and every pooled client reads these.
+#[derive(Clone, Debug)]
+pub struct HttpSettings {
+    /// Open-connection cap per server; accepts beyond it are shed so the
+    /// process never exhausts its fd table.
+    pub max_connections: usize,
+    /// Keep-alive connections idle for longer than this are closed (s).
+    pub idle_timeout_s: f64,
+    /// Epoll event-loop threads per server.
+    pub reactor_threads: usize,
+    /// Idle keep-alive connections a client pools per host; 0 disables
+    /// client-side connection reuse.
+    pub pool_per_host: usize,
+    /// Listen backlog for the accept queue.
+    pub backlog: i32,
+}
+
+impl Default for HttpSettings {
+    fn default() -> Self {
+        let sc = ceems_http::ServerConfig::default();
+        HttpSettings {
+            max_connections: sc.max_connections,
+            idle_timeout_s: sc.idle_timeout.as_secs_f64(),
+            reactor_threads: sc.reactor_threads,
+            pool_per_host: ceems_http::pool::DEFAULT_POOL_PER_HOST,
+            backlog: sc.backlog,
+        }
+    }
+}
+
+impl HttpSettings {
+    /// These settings as a [`ceems_http::ServerConfig`] bound to an
+    /// ephemeral port (components override `addr`/`workers`/auth on top).
+    pub fn server_config(&self) -> ceems_http::ServerConfig {
+        ceems_http::ServerConfig::ephemeral()
+            .with_max_connections(self.max_connections)
+            .with_idle_timeout(std::time::Duration::from_secs_f64(
+                self.idle_timeout_s.max(0.001),
+            ))
+            .with_reactor_threads(self.reactor_threads)
+            .with_backlog(self.backlog)
+    }
+
+    /// A pooled [`ceems_http::Client`] honoring `pool_per_host`.
+    pub fn client(&self) -> ceems_http::Client {
+        ceems_http::Client::new().with_pool_per_host(self.pool_per_host)
+    }
+}
+
 /// One fault rule from the `fault:` YAML section. Plain data: it parses in
 /// every build, but only binaries compiled with the `fault` feature turn it
 /// into live injection ([`FaultSettings::build_plan`]).
@@ -222,6 +272,8 @@ pub struct CeemsConfig {
     /// Query-frontend settings (always present; the stack only runs a
     /// frontend when one is served explicitly).
     pub qfe: QfeSettings,
+    /// HTTP substrate tuning shared by every server and client.
+    pub http: HttpSettings,
     /// Fault-injection schedule (inert without the `fault` feature).
     pub fault: FaultSettings,
     /// Retry/deadline/breaker tuning for every client-side hop.
@@ -254,6 +306,7 @@ impl Default for CeemsConfig {
             wal_fetch_rate_per_s: 200.0,
             wal_fetch_burst: 50.0,
             qfe: QfeSettings::default(),
+            http: HttpSettings::default(),
             fault: FaultSettings::default(),
             resilience: ResilienceSettings::default(),
         }
@@ -389,6 +442,26 @@ impl CeemsConfig {
                     .and_then(Yaml::as_f64)
                     .unwrap_or(100.0),
             });
+        }
+        if let Some(h) = doc.get("http") {
+            if let Some(v) = h.get("max_connections").and_then(Yaml::as_i64) {
+                cfg.http.max_connections = (v as usize).max(1);
+            }
+            if let Some(v) = h.get("idle_timeout_s").and_then(Yaml::as_f64) {
+                if v <= 0.0 {
+                    return Err(format!("http.idle_timeout_s must be positive, got {v}"));
+                }
+                cfg.http.idle_timeout_s = v;
+            }
+            if let Some(v) = h.get("reactor_threads").and_then(Yaml::as_i64) {
+                cfg.http.reactor_threads = (v as usize).clamp(1, 64);
+            }
+            if let Some(v) = h.get("pool_per_host").and_then(Yaml::as_i64) {
+                cfg.http.pool_per_host = v.max(0) as usize;
+            }
+            if let Some(v) = h.get("backlog").and_then(Yaml::as_i64) {
+                cfg.http.backlog = (v as i32).max(1);
+            }
         }
         if let Some(f) = doc.get("fault") {
             if let Some(v) = f.get("seed").and_then(Yaml::as_i64) {
@@ -551,6 +624,49 @@ threads: 8
         let c = CeemsConfig::from_yaml("tsdb:\n  query_threads: 0\n").unwrap();
         assert_eq!(c.query_threads, 1);
         assert_eq!(c.posting_cache_size, CeemsConfig::default().posting_cache_size);
+    }
+
+    #[test]
+    fn http_section_parses_and_builds_server_config() {
+        let text = "\
+http:
+  max_connections: 20000
+  idle_timeout_s: 15
+  reactor_threads: 4
+  pool_per_host: 16
+  backlog: 2048
+";
+        let c = CeemsConfig::from_yaml(text).unwrap();
+        assert_eq!(c.http.max_connections, 20_000);
+        assert_eq!(c.http.idle_timeout_s, 15.0);
+        assert_eq!(c.http.reactor_threads, 4);
+        assert_eq!(c.http.pool_per_host, 16);
+        assert_eq!(c.http.backlog, 2048);
+        let sc = c.http.server_config();
+        assert_eq!(sc.max_connections, 20_000);
+        assert_eq!(sc.idle_timeout, std::time::Duration::from_secs(15));
+        assert_eq!(sc.reactor_threads, 4);
+        assert_eq!(sc.backlog, 2048);
+    }
+
+    #[test]
+    fn http_defaults_and_floors() {
+        let c = CeemsConfig::from_yaml("").unwrap();
+        let sc = ceems_http::ServerConfig::default();
+        assert_eq!(c.http.max_connections, sc.max_connections);
+        assert_eq!(c.http.reactor_threads, sc.reactor_threads);
+        assert_eq!(c.http.backlog, sc.backlog);
+        assert_eq!(c.http.pool_per_host, ceems_http::pool::DEFAULT_POOL_PER_HOST);
+
+        let c = CeemsConfig::from_yaml(
+            "http:\n  max_connections: 0\n  reactor_threads: 0\n  backlog: -1\n  pool_per_host: -3\n",
+        )
+        .unwrap();
+        assert_eq!(c.http.max_connections, 1);
+        assert_eq!(c.http.reactor_threads, 1);
+        assert_eq!(c.http.backlog, 1);
+        assert_eq!(c.http.pool_per_host, 0, "negative pool size clamps to disabled");
+        assert!(CeemsConfig::from_yaml("http:\n  idle_timeout_s: 0\n").is_err());
     }
 
     #[test]

@@ -128,7 +128,13 @@ impl CeemsExporter {
 
     /// Serves `/metrics` over HTTP on an ephemeral port.
     pub fn serve(self: Arc<Self>) -> std::io::Result<HttpServer> {
-        let mut cfg = ServerConfig::ephemeral();
+        self.serve_with(ServerConfig::ephemeral())
+    }
+
+    /// Serves `/metrics` with explicit server tuning (connection caps, idle
+    /// timeout, reactor threads — e.g. from the `http:` config section).
+    /// Basic auth from the exporter's own config still takes precedence.
+    pub fn serve_with(self: Arc<Self>, mut cfg: ServerConfig) -> std::io::Result<HttpServer> {
         cfg.basic_auth = self.config.basic_auth.clone();
         let mut router = Router::new();
         let me = self.clone();

@@ -1,15 +1,22 @@
-//! Blocking HTTP/1.1 client.
+//! Blocking HTTP/1.1 client with pooled keep-alive connections.
 //!
-//! One connection per request (`connection: close`), which keeps the client
-//! trivially correct; the scraper amortises cost by scraping many targets in
-//! parallel rather than by connection reuse.
+//! Requests reuse idle per-host connections from a shared [`Pool`]
+//! (clones of a `Client` share one pool, so long-lived components — LB,
+//! query frontend, WAL follower, updater, scraper — amortise connection
+//! setup across every hop). A pooled connection is revalidated at checkout
+//! (age + non-blocking peek) and a request that fails on a *reused*
+//! connection is retried once on a fresh one — the reuse race where the
+//! server closed the socket just after checkout is indistinguishable from
+//! a dead pooled connection, and no response bytes have been committed yet.
 
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::auth::BasicAuth;
+use crate::pool::{Pool, PoolStats};
 use crate::types::{Method, Response, Status};
 
 /// Client errors.
@@ -75,23 +82,26 @@ impl Url {
     }
 }
 
-/// A blocking HTTP client.
+/// A blocking HTTP client with per-host keep-alive pooling.
 #[derive(Clone, Debug, Default)]
 pub struct Client {
     basic_auth: Option<BasicAuth>,
     headers: Vec<(String, String)>,
     timeout: Option<Duration>,
+    pool: Arc<Pool>,
     #[cfg(feature = "fault")]
     fault: Option<std::sync::Arc<crate::fault::FaultPlan>>,
 }
 
 impl Client {
-    /// Creates a client with a 10 s default timeout.
+    /// Creates a client with a 10 s default timeout and a keep-alive pool
+    /// of [`crate::pool::DEFAULT_POOL_PER_HOST`] idle connections per host.
     pub fn new() -> Client {
         Client {
             basic_auth: None,
             headers: Vec::new(),
             timeout: Some(Duration::from_secs(10)),
+            pool: Arc::new(Pool::default()),
             #[cfg(feature = "fault")]
             fault: None,
         }
@@ -113,6 +123,26 @@ impl Client {
     pub fn with_timeout(mut self, timeout: Duration) -> Client {
         self.timeout = Some(timeout);
         self
+    }
+
+    /// Replaces the connection pool with one retaining `n` idle keep-alive
+    /// connections per host. `0` disables reuse: every request opens a
+    /// fresh connection and sends `connection: close`, the pre-S20
+    /// behavior. (The new pool is private to this client and its future
+    /// clones; prior clones keep the old one.)
+    pub fn with_pool_per_host(mut self, n: usize) -> Client {
+        self.pool = Arc::new(Pool::new(n));
+        self
+    }
+
+    /// Pool reuse/miss/discard counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Idle pooled connections held right now (all hosts).
+    pub fn pooled_connections(&self) -> usize {
+        self.pool.idle_count()
     }
 
     /// Injects faults on the client side of every request (chaos testing).
@@ -179,34 +209,15 @@ impl Client {
             }
         }
 
-        let stream = TcpStream::connect(&url.authority)?;
-        stream.set_read_timeout(self.timeout)?;
-        stream.set_write_timeout(self.timeout)?;
-        stream.set_nodelay(true)?;
-        let mut writer = stream.try_clone()?;
-
-        let mut head = format!(
-            "{} {} HTTP/1.1\r\nhost: {}\r\nconnection: close\r\ncontent-length: {}\r\n",
-            method.as_str(),
-            url.path_and_query,
-            url.authority,
-            body.len()
-        );
-        if let Some(ct) = content_type {
-            head.push_str(&format!("content-type: {ct}\r\n"));
-        }
-        if let Some(auth) = &self.basic_auth {
-            head.push_str(&format!("authorization: {}\r\n", auth.header_value()));
-        }
-        for (k, v) in &self.headers {
-            head.push_str(&format!("{k}: {v}\r\n"));
-        }
-        head.push_str("\r\n");
-        writer.write_all(head.as_bytes())?;
-        writer.write_all(&body)?;
-        writer.flush()?;
-
-        let resp = read_response(BufReader::new(stream))?;
+        // Reused connection first; any failure there retries once on a
+        // fresh one (the server may have closed it while idle).
+        let resp = match self.pool.checkout(&url.authority) {
+            Some(stream) => match self.exchange(stream, method, &url, &body, content_type) {
+                Ok(resp) => Ok(resp),
+                Err(_stale) => self.exchange_fresh(method, &url, &body, content_type),
+            },
+            None => self.exchange_fresh(method, &url, &body, content_type),
+        }?;
 
         #[cfg(feature = "fault")]
         let resp = match injected {
@@ -226,9 +237,76 @@ impl Client {
 
         Ok(resp)
     }
+
+    fn exchange_fresh(
+        &self,
+        method: Method,
+        url: &Url,
+        body: &[u8],
+        content_type: Option<&str>,
+    ) -> Result<Response, ClientError> {
+        self.pool.note_fresh();
+        let stream = TcpStream::connect(&url.authority)?;
+        self.exchange(stream, method, url, body, content_type)
+    }
+
+    /// One request/response on one connection; returns the socket to the
+    /// pool when the response leaves it cleanly reusable.
+    fn exchange(
+        &self,
+        stream: TcpStream,
+        method: Method,
+        url: &Url,
+        body: &[u8],
+        content_type: Option<&str>,
+    ) -> Result<Response, ClientError> {
+        stream.set_read_timeout(self.timeout)?;
+        stream.set_write_timeout(self.timeout)?;
+        stream.set_nodelay(true)?;
+
+        let keep_alive = self.pool.max_per_host() > 0;
+        let mut head = format!(
+            "{} {} HTTP/1.1\r\nhost: {}\r\nconnection: {}\r\ncontent-length: {}\r\n",
+            method.as_str(),
+            url.path_and_query,
+            url.authority,
+            if keep_alive { "keep-alive" } else { "close" },
+            body.len()
+        );
+        if let Some(ct) = content_type {
+            head.push_str(&format!("content-type: {ct}\r\n"));
+        }
+        if let Some(auth) = &self.basic_auth {
+            head.push_str(&format!("authorization: {}\r\n", auth.header_value()));
+        }
+        for (k, v) in &self.headers {
+            head.push_str(&format!("{k}: {v}\r\n"));
+        }
+        head.push_str("\r\n");
+        (&stream).write_all(head.as_bytes())?;
+        (&stream).write_all(body)?;
+        (&stream).flush()?;
+
+        let mut reader = BufReader::new(&stream);
+        let (resp, framed) = read_response(&mut reader)?;
+        let reusable = keep_alive
+            && framed
+            && reader.buffer().is_empty()
+            && resp
+                .header("connection")
+                .map(|v| !v.eq_ignore_ascii_case("close"))
+                .unwrap_or(true);
+        drop(reader);
+        if reusable {
+            self.pool.checkin(&url.authority, stream);
+        }
+        Ok(resp)
+    }
 }
 
-fn read_response(mut reader: BufReader<TcpStream>) -> Result<Response, ClientError> {
+/// Reads one response. The `bool` is true when the body was framed by
+/// `content-length` (a read-to-EOF body consumes the connection).
+fn read_response<R: BufRead>(reader: &mut R) -> Result<(Response, bool), ClientError> {
     let mut line = String::new();
     reader.read_line(&mut line)?;
     let mut parts = line.trim_end().splitn(3, ' ');
@@ -258,27 +336,30 @@ fn read_response(mut reader: BufReader<TcpStream>) -> Result<Response, ClientErr
         }
     }
 
-    let body = match headers.get("content-length") {
+    let (body, framed) = match headers.get("content-length") {
         Some(cl) => {
             let n: usize = cl
                 .parse()
                 .map_err(|_| ClientError::BadResponse("bad content-length".into()))?;
             let mut buf = vec![0u8; n];
             reader.read_exact(&mut buf)?;
-            buf
+            (buf, true)
         }
         None => {
             let mut buf = Vec::new();
             reader.read_to_end(&mut buf)?;
-            buf
+            (buf, false)
         }
     };
 
-    Ok(Response {
-        status: Status(code),
-        headers,
-        body,
-    })
+    Ok((
+        Response {
+            status: Status(code),
+            headers,
+            body,
+        },
+        framed,
+    ))
 }
 
 #[cfg(test)]
@@ -298,5 +379,15 @@ mod tests {
         assert!(Url::parse("https://secure").is_err());
         assert!(Url::parse("ftp://x").is_err());
         assert!(Url::parse("http://").is_err());
+    }
+
+    #[test]
+    fn clones_share_one_pool() {
+        let a = Client::new();
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.pool, &b.pool));
+        let c = a.clone().with_pool_per_host(2);
+        assert!(!Arc::ptr_eq(&a.pool, &c.pool));
+        assert_eq!(c.pool.max_per_host(), 2);
     }
 }

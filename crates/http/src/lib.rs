@@ -1,16 +1,25 @@
 #![warn(missing_docs)]
-//! Minimal threaded HTTP/1.1 substrate for CEEMS (S5 in `DESIGN.md`).
+//! Event-driven HTTP/1.1 substrate for CEEMS (S5 + S20 in `DESIGN.md`).
 //!
 //! The Go CEEMS stack leans on `net/http`; this crate provides the subset
-//! the stack needs, built on `std::net` and a fixed worker pool:
+//! the stack needs, built on `std::net` plus a hand-rolled epoll reactor
+//! (raw syscalls, no external async runtime):
 //!
 //! * [`types`] — request/response representations and status codes.
 //! * [`url`] — percent-coding and query-string parsing.
 //! * [`auth`] — HTTP Basic authentication (with an in-repo base64 codec).
 //! * [`router`] — path routing with `:param` captures.
-//! * [`server`] — a blocking, keep-alive-capable HTTP/1.1 server.
+//! * [`server`] — a keep-alive HTTP/1.1 server: a fixed set of epoll
+//!   reactor threads multiplexes every connection (edge-triggered,
+//!   non-blocking, write backpressure, idle timeouts), while handlers run
+//!   on a bounded worker pool, so thread count stays constant no matter
+//!   how many sockets are open.
+//! * [`sys`] — the raw Linux FFI the reactor stands on (`epoll`,
+//!   `eventfd`, listener backlog, `RLIMIT_NOFILE`).
 //! * [`client`] — a blocking HTTP/1.1 client used by the scraper, the API
 //!   server and the load balancer.
+//! * [`pool`] — the client's bounded per-host keep-alive connection pool
+//!   with stale-connection revalidation.
 //! * [`resilience`] — seeded backoff with full jitter, retry policies and
 //!   budgets, and a half-open circuit breaker shared by every hop.
 //! * `fault` (behind the non-default `fault` cargo feature) — deterministic
@@ -23,9 +32,12 @@ pub mod auth;
 pub mod client;
 #[cfg(feature = "fault")]
 pub mod fault;
+pub mod pool;
+mod reactor;
 pub mod resilience;
 pub mod router;
 pub mod server;
+pub mod sys;
 pub mod types;
 pub mod url;
 

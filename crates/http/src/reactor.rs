@@ -1,0 +1,836 @@
+//! The epoll reactor behind [`crate::server::HttpServer`] (S20).
+//!
+//! Thread model: one blocking acceptor distributes accepted sockets
+//! round-robin over `reactor_threads` event loops; each reactor owns its
+//! connections outright (no cross-reactor locking on the hot path) and
+//! drives them through a non-blocking per-connection state machine —
+//! incremental HTTP/1.1 parsing, pipelined keep-alive, write backpressure
+//! via `EPOLLOUT`, idle/slowloris timeouts. Handlers may block (the LB
+//! proxies synchronously, the qfe queues under its scheduler), so parsed
+//! requests are executed on a fixed pool of `workers` handler threads and
+//! the finished responses posted back to the owning reactor through a
+//! completion queue + eventfd wake-up. Thread count is fixed at
+//! `1 + reactor_threads + workers` regardless of connection count.
+//!
+//! Correctness guards: a per-connection generation stamps every job so a
+//! completion for a closed (and fd-reused) connection is dropped instead of
+//! answering the wrong peer; a `max_connections` gate sheds accepts before
+//! fd exhaustion; shutdown drains in-flight requests (bounded by
+//! [`DRAIN_DEADLINE`]) before closing.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::server::ServerConfig;
+use crate::sys::{self, Epoll, EventFd};
+use crate::types::{Method, Request, Response, Status};
+use crate::url::{decode_component, parse_query};
+
+/// How long shutdown waits for in-flight requests and unflushed responses
+/// before force-closing what remains.
+pub(crate) const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Cap on buffered request head bytes (request line + headers).
+const MAX_HEAD_BYTES: usize = 64 << 10;
+
+/// Epoll token reserved for the reactor's wake eventfd.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// A parsed request handed to the worker pool.
+pub(crate) struct Job {
+    reactor: usize,
+    fd: RawFd,
+    gen: u64,
+    req: Request,
+}
+
+/// What the worker decided; applied to the connection by its reactor.
+enum Action {
+    /// Write this response; keep or close per `keep_alive`.
+    Respond { resp: Response, keep_alive: bool },
+    /// Drop the connection without a byte (injected connection reset).
+    #[cfg_attr(not(feature = "fault"), allow(dead_code))]
+    Close,
+    /// Write a head advertising the full body length but cut the body
+    /// short and close (injected truncation).
+    #[cfg(feature = "fault")]
+    Truncate { resp: Response },
+}
+
+struct Completion {
+    fd: RawFd,
+    gen: u64,
+    action: Action,
+}
+
+/// The cross-thread face of one reactor: the acceptor pushes new sockets
+/// into `inbox`, workers push finished responses into `completions`, and
+/// both ring `wake` to pop the reactor out of `epoll_wait`.
+pub(crate) struct ReactorShared {
+    inbox: Mutex<Vec<TcpStream>>,
+    completions: Mutex<Vec<Completion>>,
+    wake: EventFd,
+}
+
+impl ReactorShared {
+    pub(crate) fn new() -> std::io::Result<Arc<ReactorShared>> {
+        Ok(Arc::new(ReactorShared {
+            inbox: Mutex::new(Vec::new()),
+            completions: Mutex::new(Vec::new()),
+            wake: EventFd::new()?,
+        }))
+    }
+
+    /// Hands a freshly accepted socket to this reactor.
+    pub(crate) fn adopt(&self, stream: TcpStream) {
+        self.inbox.lock().push(stream);
+        self.wake.notify();
+    }
+
+    /// Wakes the reactor with nothing queued (used at shutdown).
+    pub(crate) fn kick(&self) {
+        self.wake.notify();
+    }
+}
+
+enum ConnState {
+    /// Reading / waiting for request bytes.
+    Idle,
+    /// A request is running on a worker; `gen` guards the completion.
+    Busy,
+}
+
+struct Conn {
+    stream: TcpStream,
+    gen: u64,
+    state: ConnState,
+    /// Unparsed inbound bytes.
+    buf: Vec<u8>,
+    /// How far `buf` has been scanned for the head terminator.
+    scanned: usize,
+    /// Outbound bytes not yet accepted by the kernel.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// `EPOLLOUT` currently armed.
+    want_write: bool,
+    /// Close once `out` drains.
+    close_after_flush: bool,
+    /// Read side saw EOF; serve what is buffered, then close.
+    peer_closed: bool,
+    /// Requests dispatched on this connection.
+    served: usize,
+    /// Last byte of progress in either direction.
+    last_activity: Instant,
+    /// When the first byte of the current partial request arrived; bounds
+    /// total header+body receive time (slowloris guard).
+    req_started: Option<Instant>,
+}
+
+impl Conn {
+    fn interest(&self) -> u32 {
+        let mut m = sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLET;
+        if self.want_write {
+            m |= sys::EPOLLOUT;
+        }
+        m
+    }
+}
+
+/// One event loop.
+pub(crate) struct Reactor {
+    idx: usize,
+    epoll: Epoll,
+    shared: Arc<ReactorShared>,
+    config: Arc<ServerConfig>,
+    jobs: Sender<Job>,
+    active: Arc<AtomicUsize>,
+    stop: Arc<AtomicBool>,
+    conns: HashMap<RawFd, Conn>,
+    next_gen: u64,
+    drain_deadline: Option<Instant>,
+}
+
+impl Reactor {
+    pub(crate) fn new(
+        idx: usize,
+        shared: Arc<ReactorShared>,
+        config: Arc<ServerConfig>,
+        jobs: Sender<Job>,
+        active: Arc<AtomicUsize>,
+        stop: Arc<AtomicBool>,
+    ) -> std::io::Result<Reactor> {
+        let epoll = Epoll::new()?;
+        epoll.add(shared.wake.fd(), sys::EPOLLIN, WAKE_TOKEN)?;
+        Ok(Reactor {
+            idx,
+            epoll,
+            shared,
+            config,
+            jobs,
+            active,
+            stop,
+            conns: HashMap::new(),
+            next_gen: 0,
+            drain_deadline: None,
+        })
+    }
+
+    pub(crate) fn run(mut self) {
+        let mut events = [sys::epoll_event { events: 0, u64: 0 }; 256];
+        loop {
+            let n = self.epoll.wait(&mut events, 100).unwrap_or_default();
+            for ev in events.iter().take(n) {
+                if ev.u64 == WAKE_TOKEN {
+                    self.shared.wake.drain();
+                    continue;
+                }
+                let fd = ev.u64 as RawFd;
+                let bits = ev.events;
+                if bits & sys::EPOLLERR != 0 {
+                    self.close(fd);
+                    continue;
+                }
+                if bits & (sys::EPOLLIN | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0 {
+                    self.readable(fd);
+                }
+                if bits & sys::EPOLLOUT != 0 {
+                    self.writable(fd);
+                }
+            }
+            self.drain_inbox();
+            self.drain_completions();
+            self.sweep_timeouts();
+            if self.stop.load(Ordering::Relaxed) && self.drain_for_stop() {
+                break;
+            }
+        }
+        // Force-close what remains (drain deadline expired or all drained).
+        let fds: Vec<RawFd> = self.conns.keys().copied().collect();
+        for fd in fds {
+            self.close(fd);
+        }
+    }
+
+    /// At stop: closes idle connections immediately, keeps busy/flushing
+    /// ones until they finish or the drain deadline expires. Returns true
+    /// when the loop should exit.
+    fn drain_for_stop(&mut self) -> bool {
+        let deadline = *self
+            .drain_deadline
+            .get_or_insert_with(|| Instant::now() + DRAIN_DEADLINE);
+        let idle: Vec<RawFd> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| matches!(c.state, ConnState::Idle) && c.out_pos >= c.out.len())
+            .map(|(fd, _)| *fd)
+            .collect();
+        for fd in idle {
+            self.close(fd);
+        }
+        self.conns.is_empty() || Instant::now() >= deadline
+    }
+
+    fn drain_inbox(&mut self) {
+        loop {
+            let Some(stream) = self.shared.inbox.lock().pop() else {
+                break;
+            };
+            if self.stop.load(Ordering::Relaxed) {
+                self.active.fetch_sub(1, Ordering::Relaxed);
+                continue; // dropped: shutting down
+            }
+            let fd = stream.as_raw_fd();
+            self.next_gen += 1;
+            let conn = Conn {
+                stream,
+                gen: self.next_gen,
+                state: ConnState::Idle,
+                buf: Vec::new(),
+                scanned: 0,
+                out: Vec::new(),
+                out_pos: 0,
+                want_write: false,
+                close_after_flush: false,
+                peer_closed: false,
+                served: 0,
+                last_activity: Instant::now(),
+                req_started: None,
+            };
+            if self.epoll.add(fd, conn.interest(), fd as u64).is_err() {
+                self.active.fetch_sub(1, Ordering::Relaxed);
+                continue; // stream drops, fd closes
+            }
+            self.conns.insert(fd, conn);
+            // A pipelined client may have sent bytes before registration;
+            // edge-triggered epoll would stay silent about them.
+            self.readable(fd);
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        let batch: Vec<Completion> = std::mem::take(&mut *self.shared.completions.lock());
+        for c in batch {
+            let Some(conn) = self.conns.get_mut(&c.fd) else {
+                continue;
+            };
+            if conn.gen != c.gen {
+                continue; // connection closed and fd reused since dispatch
+            }
+            match c.action {
+                Action::Respond { resp, keep_alive } => {
+                    serialize_response(&mut conn.out, &resp, keep_alive);
+                    conn.state = ConnState::Idle;
+                    conn.last_activity = Instant::now();
+                    if !keep_alive || conn.served >= self.config.max_requests_per_conn {
+                        conn.close_after_flush = true;
+                    }
+                    self.flush_and_continue(c.fd);
+                }
+                Action::Close => {
+                    self.close(c.fd);
+                }
+                #[cfg(feature = "fault")]
+                Action::Truncate { resp } => {
+                    serialize_truncated(&mut conn.out, &resp);
+                    conn.state = ConnState::Idle;
+                    conn.close_after_flush = true;
+                    self.flush_and_continue(c.fd);
+                }
+            }
+        }
+    }
+
+    fn readable(&mut self, fd: RawFd) {
+        let Some(conn) = self.conns.get_mut(&fd) else {
+            return;
+        };
+        let mut chunk = [0u8; 16 << 10];
+        loop {
+            match (&conn.stream).read(&mut chunk) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    // Don't buffer unboundedly ahead of parsing: the cap is
+                    // one head + one max body + one read chunk.
+                    conn.buf.extend_from_slice(&chunk[..n]);
+                    conn.last_activity = Instant::now();
+                    if conn.req_started.is_none() {
+                        conn.req_started = Some(conn.last_activity);
+                    }
+                    if conn.buf.len() > MAX_HEAD_BYTES + self.config.max_body_bytes + chunk.len() {
+                        self.close(fd);
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(fd);
+                    return;
+                }
+            }
+        }
+        self.try_dispatch(fd);
+        if let Some(conn) = self.conns.get_mut(&fd) {
+            // EOF with nothing runnable: a clean close or an abandoned
+            // partial request — either way the conversation is over.
+            if conn.peer_closed
+                && matches!(conn.state, ConnState::Idle)
+                && conn.out_pos >= conn.out.len()
+                && !conn.close_after_flush
+            {
+                self.close(fd);
+            }
+        }
+    }
+
+    fn writable(&mut self, fd: RawFd) {
+        self.flush_and_continue(fd);
+    }
+
+    /// Pushes pending output to the kernel; arms/disarms `EPOLLOUT`; closes
+    /// or parses the next pipelined request when the buffer drains.
+    fn flush_and_continue(&mut self, fd: RawFd) {
+        let Some(conn) = self.conns.get_mut(&fd) else {
+            return;
+        };
+        while conn.out_pos < conn.out.len() {
+            match (&conn.stream).write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    self.close(fd);
+                    return;
+                }
+                Ok(n) => {
+                    conn.out_pos += n;
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if !conn.want_write {
+                        conn.want_write = true;
+                        let interest = conn.interest();
+                        if self.epoll.modify(fd, interest, fd as u64).is_err() {
+                            self.close(fd);
+                        }
+                    }
+                    return; // backpressure: wait for EPOLLOUT
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(fd);
+                    return;
+                }
+            }
+        }
+        conn.out.clear();
+        conn.out_pos = 0;
+        if conn.want_write {
+            conn.want_write = false;
+            let interest = conn.interest();
+            if self.epoll.modify(fd, interest, fd as u64).is_err() {
+                self.close(fd);
+                return;
+            }
+        }
+        if conn.close_after_flush {
+            self.close(fd);
+            return;
+        }
+        self.try_dispatch(fd);
+        if let Some(conn) = self.conns.get(&fd) {
+            if conn.peer_closed
+                && matches!(conn.state, ConnState::Idle)
+                && conn.out_pos >= conn.out.len()
+                && !conn.close_after_flush
+            {
+                self.close(fd);
+            }
+        }
+    }
+
+    /// Parses and dispatches the next buffered request, if the connection
+    /// is idle and one is complete. Malformed input queues a 400 and a
+    /// close, mirroring the blocking server's behavior.
+    fn try_dispatch(&mut self, fd: RawFd) {
+        let Some(conn) = self.conns.get_mut(&fd) else {
+            return;
+        };
+        if !matches!(conn.state, ConnState::Idle) || conn.close_after_flush {
+            return;
+        }
+        match parse_request(&mut conn.buf, &mut conn.scanned, self.config.max_body_bytes) {
+            Parse::Incomplete => {
+                if conn.buf.is_empty() {
+                    conn.req_started = None;
+                }
+            }
+            Parse::Bad(msg) => {
+                let resp = Response::error(Status::BAD_REQUEST, format!("bad request: {msg}"));
+                serialize_response(&mut conn.out, &resp, false);
+                conn.close_after_flush = true;
+                self.flush_and_continue(fd);
+            }
+            Parse::Done(req) => {
+                conn.served += 1;
+                conn.state = ConnState::Busy;
+                conn.req_started = None;
+                conn.last_activity = Instant::now();
+                let job = Job {
+                    reactor: self.idx,
+                    fd,
+                    gen: conn.gen,
+                    req,
+                };
+                if self.jobs.send(job).is_err() {
+                    self.close(fd);
+                }
+            }
+        }
+    }
+
+    /// Closes idle connections past `idle_timeout` and kills requests whose
+    /// bytes have been trickling in for longer than `read_timeout` total
+    /// (slowloris) or whose response write has stalled.
+    fn sweep_timeouts(&mut self) {
+        let now = Instant::now();
+        let idle = self.config.idle_timeout;
+        let read = self.config.read_timeout;
+        let expired: Vec<RawFd> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| match c.state {
+                ConnState::Busy => false, // handler running; not the conn's fault
+                ConnState::Idle => {
+                    let stalled_write = c.out_pos < c.out.len()
+                        && now.duration_since(c.last_activity) > read;
+                    let slow_request = c
+                        .req_started
+                        .map(|t| now.duration_since(t) > read)
+                        .unwrap_or(false);
+                    let idle_gap = now.duration_since(c.last_activity) > idle;
+                    stalled_write || slow_request || idle_gap
+                }
+            })
+            .map(|(fd, _)| *fd)
+            .collect();
+        for fd in expired {
+            self.close(fd);
+        }
+    }
+
+    fn close(&mut self, fd: RawFd) {
+        if let Some(conn) = self.conns.remove(&fd) {
+            self.epoll.delete(fd);
+            drop(conn); // closes the socket
+            self.active.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The blocking acceptor: guards `max_connections`, sets up the socket
+/// (non-blocking + `TCP_NODELAY`), and deals it to a reactor.
+pub(crate) fn acceptor_loop(
+    listener: TcpListener,
+    reactors: Vec<Arc<ReactorShared>>,
+    active: Arc<AtomicUsize>,
+    max_connections: usize,
+    stop: Arc<AtomicBool>,
+) {
+    let mut next = 0usize;
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if active.load(Ordering::Relaxed) >= max_connections {
+            drop(stream); // shed before fd exhaustion
+            continue;
+        }
+        if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+            continue;
+        }
+        active.fetch_add(1, Ordering::Relaxed);
+        reactors[next].adopt(stream);
+        next = (next + 1) % reactors.len();
+    }
+}
+
+/// One handler worker: runs fault injection, auth and the handler for each
+/// parsed request, then posts the outcome back to the owning reactor.
+pub(crate) fn worker_loop(
+    rx: Receiver<Job>,
+    reactors: Vec<Arc<ReactorShared>>,
+    config: Arc<ServerConfig>,
+    handler: Arc<dyn Fn(Request) -> Response + Send + Sync>,
+) {
+    while let Ok(job) = rx.recv() {
+        let action = run_request(job.req, &config, handler.as_ref());
+        let shared = &reactors[job.reactor];
+        shared.completions.lock().push(Completion {
+            fd: job.fd,
+            gen: job.gen,
+            action,
+        });
+        shared.wake.notify();
+    }
+}
+
+/// Fault injection → auth → handler, in the same order as the blocking
+/// server, so chaos schedules replay identically on the reactor.
+fn run_request(
+    req: Request,
+    config: &ServerConfig,
+    handler: &(dyn Fn(Request) -> Response + Send + Sync),
+) -> Action {
+    let keep_alive = req
+        .header("connection")
+        .map(|v| !v.eq_ignore_ascii_case("close"))
+        .unwrap_or(true);
+
+    #[cfg(feature = "fault")]
+    let injected = config.fault.as_ref().and_then(|plan| plan.decide(&req.path));
+    #[cfg(feature = "fault")]
+    if let Some(kind) = injected {
+        use crate::fault::FaultKind;
+        match kind {
+            FaultKind::Latency { ms } => std::thread::sleep(Duration::from_millis(ms)),
+            FaultKind::ConnReset => return Action::Close,
+            FaultKind::ServerError { status } => {
+                return Action::Respond {
+                    resp: Response::error(Status(status), "injected fault"),
+                    keep_alive,
+                };
+            }
+            FaultKind::TruncateBody | FaultKind::CorruptBody => {}
+        }
+    }
+
+    let resp = if let Some(auth) = &config.basic_auth {
+        if auth.verify(req.header("authorization")) {
+            handler(req)
+        } else {
+            Response::error(Status::UNAUTHORIZED, "authentication required")
+                .with_header("www-authenticate", "Basic realm=\"ceems\"")
+        }
+    } else {
+        handler(req)
+    };
+
+    #[cfg(feature = "fault")]
+    let resp = match injected {
+        Some(crate::fault::FaultKind::TruncateBody) => {
+            return Action::Truncate { resp };
+        }
+        Some(crate::fault::FaultKind::CorruptBody) => {
+            let mut r = resp;
+            crate::fault::corrupt_body(&mut r.body);
+            r
+        }
+        _ => resp,
+    };
+
+    Action::Respond { resp, keep_alive }
+}
+
+/// Incremental parse outcome.
+enum Parse {
+    Incomplete,
+    Done(Request),
+    Bad(&'static str),
+}
+
+/// Finds the end of the request head (index one past the blank line),
+/// accepting both CRLF and bare-LF line endings like the `read_line`-based
+/// parser did. `scanned` persists progress across partial reads.
+fn find_head_end(buf: &[u8], scanned: &mut usize) -> Option<usize> {
+    let start = scanned.saturating_sub(3);
+    let mut i = start;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            if buf.get(i + 1) == Some(&b'\n') {
+                *scanned = 0;
+                return Some(i + 2);
+            }
+            if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+                *scanned = 0;
+                return Some(i + 3);
+            }
+        }
+        i += 1;
+    }
+    *scanned = buf.len();
+    None
+}
+
+/// Parses one request off the front of `buf`, consuming its bytes when
+/// complete. Semantics mirror the blocking server's `read_request`: same
+/// tolerated forms, same error strings.
+fn parse_request(buf: &mut Vec<u8>, scanned: &mut usize, max_body: usize) -> Parse {
+    let Some(head_end) = find_head_end(buf, scanned) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Parse::Bad("request head too large");
+        }
+        return Parse::Incomplete;
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Parse::Bad("request head too large");
+    }
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split('\n').map(|l| l.trim_end());
+    let line = lines.next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let Some(method) = parts.next().and_then(Method::parse) else {
+        return Parse::Bad("unsupported method");
+    };
+    let Some(target) = parts.next() else {
+        return Parse::Bad("missing request target");
+    };
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Parse::Bad("unsupported HTTP version");
+    }
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut req = Request {
+        method,
+        path: decode_component(raw_path),
+        query: parse_query(raw_query),
+        headers: Default::default(),
+        body: Vec::new(),
+        path_params: Default::default(),
+    };
+    for hline in lines {
+        if hline.is_empty() {
+            break;
+        }
+        let Some((name, value)) = hline.split_once(':') else {
+            return Parse::Bad("malformed header");
+        };
+        req.headers
+            .insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    let body_len = match req.headers.get("content-length") {
+        Some(cl) => match cl.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return Parse::Bad("bad content-length"),
+        },
+        None => 0,
+    };
+    if body_len > max_body {
+        return Parse::Bad("body too large");
+    }
+    if buf.len() < head_end + body_len {
+        return Parse::Incomplete; // mid-body; wait for more bytes
+    }
+    req.body = buf[head_end..head_end + body_len].to_vec();
+    buf.drain(..head_end + body_len);
+    *scanned = 0;
+    Parse::Done(req)
+}
+
+/// Serializes a response exactly as the blocking server's `write_response`
+/// did: status line, `content-length`, `connection`, then the response's
+/// own headers (BTreeMap order) minus those two, blank line, body.
+pub(crate) fn serialize_response(out: &mut Vec<u8>, resp: &Response, keep_alive: bool) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        resp.status.0,
+        resp.status.reason(),
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
+    );
+    out.extend_from_slice(head.as_bytes());
+    for (k, v) in &resp.headers {
+        if k != "content-length" && k != "connection" {
+            out.extend_from_slice(k.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(v.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(&resp.body);
+}
+
+/// Serializes the truncated-body fault: full `content-length`, short body.
+#[cfg(feature = "fault")]
+fn serialize_truncated(out: &mut Vec<u8>, resp: &Response) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        resp.status.0,
+        resp.status.reason(),
+        resp.body.len()
+    );
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(&resp.body[..crate::fault::truncated_len(resp.body.len())]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(bytes: &[u8], max_body: usize) -> (Vec<Request>, Option<&'static str>) {
+        let mut buf = bytes.to_vec();
+        let mut scanned = 0;
+        let mut out = Vec::new();
+        loop {
+            match parse_request(&mut buf, &mut scanned, max_body) {
+                Parse::Done(r) => out.push(r),
+                Parse::Incomplete => return (out, None),
+                Parse::Bad(m) => return (out, Some(m)),
+            }
+        }
+    }
+
+    #[test]
+    fn parses_simple_get() {
+        let (reqs, err) = parse_all(b"GET /ping?x=1 HTTP/1.1\r\nhost: a\r\n\r\n", 1024);
+        assert!(err.is_none());
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].path, "/ping");
+        assert_eq!(reqs[0].query_param("x"), Some("1"));
+        assert_eq!(reqs[0].header("host"), Some("a"));
+    }
+
+    #[test]
+    fn parses_lf_only_requests() {
+        let (reqs, err) = parse_all(b"GET /p HTTP/1.1\nhost: a\n\n", 1024);
+        assert!(err.is_none());
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].path, "/p");
+    }
+
+    #[test]
+    fn parses_pipelined_requests_and_bodies() {
+        let bytes = b"POST /a HTTP/1.1\r\ncontent-length: 3\r\n\r\nabcGET /b HTTP/1.1\r\n\r\n";
+        let (reqs, err) = parse_all(bytes, 1024);
+        assert!(err.is_none());
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].body, b"abc");
+        assert_eq!(reqs[1].path, "/b");
+    }
+
+    #[test]
+    fn incremental_split_points_all_succeed() {
+        let bytes: &[u8] = b"POST /a?q=2 HTTP/1.1\r\nhost: x\r\ncontent-length: 5\r\n\r\nhello";
+        for split in 0..bytes.len() {
+            let mut buf = bytes[..split].to_vec();
+            let mut scanned = 0;
+            match parse_request(&mut buf, &mut scanned, 64) {
+                Parse::Incomplete => {}
+                Parse::Done(_) => panic!("complete at split {split}"),
+                Parse::Bad(m) => panic!("bad at split {split}: {m}"),
+            }
+            buf.extend_from_slice(&bytes[split..]);
+            match parse_request(&mut buf, &mut scanned, 64) {
+                Parse::Done(r) => {
+                    assert_eq!(r.body, b"hello");
+                    assert_eq!(r.query_param("q"), Some("2"));
+                }
+                _ => panic!("expected completion after split {split}"),
+            }
+            assert!(buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn rejects_mirror_blocking_server_messages() {
+        let (_, err) = parse_all(b"PATCH /x HTTP/1.1\r\n\r\n", 1024);
+        assert_eq!(err, Some("unsupported method"));
+        let (_, err) = parse_all(b"GET\r\n\r\n", 1024);
+        assert_eq!(err, Some("missing request target"));
+        let (_, err) = parse_all(b"GET /x SPDY/3\r\n\r\n", 1024);
+        assert_eq!(err, Some("unsupported HTTP version"));
+        let (_, err) = parse_all(b"GET /x HTTP/1.1\r\nbadheader\r\n\r\n", 1024);
+        assert_eq!(err, Some("malformed header"));
+        let (_, err) = parse_all(b"GET /x HTTP/1.1\r\ncontent-length: qq\r\n\r\n", 1024);
+        assert_eq!(err, Some("bad content-length"));
+        let (_, err) = parse_all(b"GET /x HTTP/1.1\r\ncontent-length: 99\r\n\r\n", 8);
+        assert_eq!(err, Some("body too large"));
+    }
+
+    #[test]
+    fn serialization_matches_blocking_format() {
+        let resp = Response::text("ok").with_header("x-a", "b");
+        let mut out = Vec::new();
+        serialize_response(&mut out, &resp, true);
+        let s = String::from_utf8(out).unwrap();
+        assert_eq!(
+            s,
+            "HTTP/1.1 200 OK\r\ncontent-length: 2\r\nconnection: keep-alive\r\ncontent-type: text/plain; charset=utf-8\r\nx-a: b\r\n\r\nok"
+        );
+    }
+}

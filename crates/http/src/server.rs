@@ -1,38 +1,57 @@
-//! Blocking HTTP/1.1 server with a fixed worker pool and keep-alive.
+//! Event-driven HTTP/1.1 server on a hand-rolled epoll reactor (S20).
 //!
-//! One acceptor thread pushes connections into a crossbeam channel; `workers`
-//! threads pull and serve them. Each CEEMS component (exporter, API server,
-//! LB, simulated TSDB endpoints) runs one of these.
+//! One acceptor thread deals accepted sockets to `reactor_threads` epoll
+//! event loops (edge-triggered, non-blocking); parsed requests execute on a
+//! fixed pool of `workers` handler threads. The thread count is fixed —
+//! `1 + reactor_threads + workers` — no matter how many connections are
+//! open, which is what lets the stack hold 10k+ concurrent keep-alive
+//! dashboard connections (see `crates/bench/benches/connstorm.rs`). The
+//! public surface (`ServerConfig`, `HttpServer::serve`/`serve_fn`, auth,
+//! fault injection) is unchanged from the blocking thread-per-connection
+//! substrate it replaces, so every component migrates behind the same API.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::unbounded;
 
 use crate::auth::BasicAuth;
+use crate::reactor::{acceptor_loop, worker_loop, Reactor, ReactorShared};
 use crate::router::Router;
-use crate::types::{Method, Request, Response, Status};
-use crate::url::{decode_component, parse_query};
+use crate::sys;
+use crate::types::{Request, Response};
 
 /// Server configuration.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:0` (port 0 picks a free port).
     pub addr: String,
-    /// Worker thread count.
+    /// Handler worker thread count (bounds handler concurrency; handlers
+    /// may block, e.g. the LB proxying or the qfe queueing).
     pub workers: usize,
     /// Optional basic-auth guard applied to every route.
     pub basic_auth: Option<BasicAuth>,
-    /// Per-request read timeout.
+    /// Total time allowed to receive one request (first byte to complete
+    /// body); also bounds a stalled response write. Trickled-header
+    /// (slowloris) connections die at this deadline.
     pub read_timeout: Duration,
     /// Maximum accepted body size in bytes.
     pub max_body_bytes: usize,
     /// Maximum requests served per connection before it is closed.
     pub max_requests_per_conn: usize,
+    /// Listen backlog for the accept queue.
+    pub backlog: i32,
+    /// Open-connection cap; accepts beyond it are shed immediately so the
+    /// process never runs its fd table dry.
+    pub max_connections: usize,
+    /// Keep-alive connections quiet for longer than this are closed, so
+    /// abandoned dashboards can't pin fds forever.
+    pub idle_timeout: Duration,
+    /// Event-loop thread count.
+    pub reactor_threads: usize,
     /// Fault-injection schedule applied to every request (chaos testing).
     #[cfg(feature = "fault")]
     pub fault: Option<Arc<crate::fault::FaultPlan>>,
@@ -47,6 +66,10 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             max_body_bytes: 16 << 20,
             max_requests_per_conn: 1024,
+            backlog: 1024,
+            max_connections: 16_384,
+            idle_timeout: Duration::from_secs(60),
+            reactor_threads: 2,
             #[cfg(feature = "fault")]
             fault: None,
         }
@@ -71,6 +94,36 @@ impl ServerConfig {
         self
     }
 
+    /// Sets the accept backlog.
+    pub fn with_backlog(mut self, backlog: i32) -> Self {
+        self.backlog = backlog.max(1);
+        self
+    }
+
+    /// Sets the open-connection cap.
+    pub fn with_max_connections(mut self, max: usize) -> Self {
+        self.max_connections = max.max(1);
+        self
+    }
+
+    /// Sets the keep-alive idle timeout.
+    pub fn with_idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Sets the reactor (event-loop) thread count.
+    pub fn with_reactor_threads(mut self, n: usize) -> Self {
+        self.reactor_threads = n.max(1);
+        self
+    }
+
+    /// Sets the per-request receive deadline.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
     /// Injects faults on the server side of every request (chaos testing).
     #[cfg(feature = "fault")]
     pub fn with_fault_plan(mut self, plan: Arc<crate::fault::FaultPlan>) -> Self {
@@ -83,8 +136,13 @@ impl ServerConfig {
 pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    reactor_shared: Vec<Arc<ReactorShared>>,
     acceptor: Option<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    job_tx: Option<crossbeam::channel::Sender<crate::reactor::Job>>,
+    thread_count: usize,
 }
 
 impl HttpServer {
@@ -100,44 +158,70 @@ impl HttpServer {
         config: ServerConfig,
         handler: Arc<dyn Fn(Request) -> Response + Send + Sync>,
     ) -> std::io::Result<HttpServer> {
-        let listener = TcpListener::bind(&config.addr)?;
+        let listener = sys::listen_with_backlog(&config.addr, config.backlog)?;
         let addr = listener.local_addr()?;
+        let config = Arc::new(config);
         let stop = Arc::new(AtomicBool::new(false));
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(1024);
+        let active = Arc::new(AtomicUsize::new(0));
+        let (job_tx, job_rx) = unbounded();
 
-        let mut workers = Vec::with_capacity(config.workers);
-        for _ in 0..config.workers.max(1) {
-            let rx = rx.clone();
-            let handler = handler.clone();
-            let config = config.clone();
-            workers.push(std::thread::spawn(move || {
-                while let Ok(stream) = rx.recv() {
-                    let _ = serve_connection(stream, &config, handler.as_ref());
-                }
-            }));
+        let n_reactors = config.reactor_threads.max(1);
+        let mut reactor_shared = Vec::with_capacity(n_reactors);
+        for _ in 0..n_reactors {
+            reactor_shared.push(ReactorShared::new()?);
         }
 
-        let stop2 = stop.clone();
-        let acceptor = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if stop2.load(Ordering::Relaxed) {
-                    break;
-                }
-                match stream {
-                    Ok(s) => {
-                        let _ = tx.send(s);
-                    }
-                    Err(_) => continue,
-                }
-            }
-            drop(tx);
-        });
+        let mut reactors = Vec::with_capacity(n_reactors);
+        for (i, shared) in reactor_shared.iter().enumerate() {
+            let reactor = Reactor::new(
+                i,
+                shared.clone(),
+                config.clone(),
+                job_tx.clone(),
+                active.clone(),
+                stop.clone(),
+            )?;
+            reactors.push(
+                std::thread::Builder::new()
+                    .name(format!("http-reactor-{i}"))
+                    .spawn(move || reactor.run())?,
+            );
+        }
 
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let rx = job_rx.clone();
+            let shared = reactor_shared.clone();
+            let config = config.clone();
+            let handler = handler.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("http-worker-{i}"))
+                    .spawn(move || worker_loop(rx, shared, config, handler))?,
+            );
+        }
+
+        let acceptor = {
+            let reactors = reactor_shared.clone();
+            let active = active.clone();
+            let stop = stop.clone();
+            let max_connections = config.max_connections;
+            std::thread::Builder::new()
+                .name("http-acceptor".to_string())
+                .spawn(move || acceptor_loop(listener, reactors, active, max_connections, stop))?
+        };
+
+        let thread_count = 1 + reactors.len() + workers.len();
         Ok(HttpServer {
             addr,
             stop,
+            active,
+            reactor_shared,
             acceptor: Some(acceptor),
+            reactors,
             workers,
+            job_tx: Some(job_tx),
+            thread_count,
         })
     }
 
@@ -151,7 +235,20 @@ impl HttpServer {
         format!("http://{}", self.addr)
     }
 
-    /// Requests shutdown and joins the threads.
+    /// Currently open connections across all reactors.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Total server threads (acceptor + reactors + workers). Fixed for the
+    /// server's lifetime regardless of connection count.
+    pub fn thread_count(&self) -> usize {
+        self.thread_count
+    }
+
+    /// Requests shutdown and joins the threads. In-flight requests drain
+    /// (handler finishes, response flushes) before their connections close;
+    /// idle connections close immediately.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
@@ -163,6 +260,15 @@ impl HttpServer {
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
+        for shared in &self.reactor_shared {
+            shared.kick();
+        }
+        for r in self.reactors.drain(..) {
+            let _ = r.join();
+        }
+        // Reactors have dropped their job senders; dropping ours closes the
+        // channel and the workers exit.
+        self.job_tx = None;
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -175,189 +281,12 @@ impl Drop for HttpServer {
     }
 }
 
-fn serve_connection(
-    stream: TcpStream,
-    config: &ServerConfig,
-    handler: &(dyn Fn(Request) -> Response + Send + Sync),
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(config.read_timeout))?;
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-
-    for _ in 0..config.max_requests_per_conn {
-        let req = match read_request(&mut reader, config.max_body_bytes) {
-            Ok(Some(r)) => r,
-            Ok(None) => return Ok(()), // clean close
-            Err(e) => {
-                let resp = Response::error(Status::BAD_REQUEST, format!("bad request: {e}"));
-                let _ = write_response(&mut writer, &resp, false);
-                return Ok(());
-            }
-        };
-        let keep_alive = req
-            .header("connection")
-            .map(|v| !v.eq_ignore_ascii_case("close"))
-            .unwrap_or(true);
-
-        #[cfg(feature = "fault")]
-        let injected = config.fault.as_ref().and_then(|plan| plan.decide(&req.path));
-        #[cfg(feature = "fault")]
-        if let Some(kind) = injected {
-            use crate::fault::FaultKind;
-            match kind {
-                FaultKind::Latency { ms } => std::thread::sleep(Duration::from_millis(ms)),
-                // Drop the connection without a byte of response.
-                FaultKind::ConnReset => return Ok(()),
-                FaultKind::ServerError { status } => {
-                    let resp = Response::error(Status(status), "injected fault");
-                    write_response(&mut writer, &resp, keep_alive)?;
-                    if !keep_alive {
-                        return Ok(());
-                    }
-                    continue;
-                }
-                FaultKind::TruncateBody | FaultKind::CorruptBody => {}
-            }
-        }
-
-        let resp = if let Some(auth) = &config.basic_auth {
-            if auth.verify(req.header("authorization")) {
-                handler(req)
-            } else {
-                Response::error(Status::UNAUTHORIZED, "authentication required")
-                    .with_header("www-authenticate", "Basic realm=\"ceems\"")
-            }
-        } else {
-            handler(req)
-        };
-
-        #[cfg(feature = "fault")]
-        let resp = match injected {
-            // Advertise the full body length but cut the write short and
-            // close, so the client observes an unexpected EOF mid-body.
-            Some(crate::fault::FaultKind::TruncateBody) => {
-                return write_truncated(&mut writer, &resp);
-            }
-            Some(crate::fault::FaultKind::CorruptBody) => {
-                let mut r = resp;
-                crate::fault::corrupt_body(&mut r.body);
-                r
-            }
-            _ => resp,
-        };
-
-        write_response(&mut writer, &resp, keep_alive)?;
-        if !keep_alive {
-            return Ok(());
-        }
-    }
-    Ok(())
-}
-
-#[cfg(feature = "fault")]
-fn write_truncated(w: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
-        resp.status.0,
-        resp.status.reason(),
-        resp.body.len()
-    );
-    w.write_all(head.as_bytes())?;
-    w.write_all(&resp.body[..crate::fault::truncated_len(resp.body.len())])?;
-    w.flush()
-}
-
-/// Reads one request; `Ok(None)` means the peer closed before sending one.
-fn read_request(
-    reader: &mut BufReader<TcpStream>,
-    max_body: usize,
-) -> std::io::Result<Option<Request>> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Ok(None);
-    }
-    let line = line.trim_end();
-    let mut parts = line.split_whitespace();
-    let method = parts
-        .next()
-        .and_then(Method::parse)
-        .ok_or_else(|| bad("unsupported method"))?;
-    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
-    let version = parts.next().unwrap_or("HTTP/1.1");
-    if !version.starts_with("HTTP/1.") {
-        return Err(bad("unsupported HTTP version"));
-    }
-
-    let (raw_path, raw_query) = match target.split_once('?') {
-        Some((p, q)) => (p, q),
-        None => (target, ""),
-    };
-    let mut req = Request {
-        method,
-        path: decode_component(raw_path),
-        query: parse_query(raw_query),
-        headers: Default::default(),
-        body: Vec::new(),
-        path_params: Default::default(),
-    };
-
-    loop {
-        let mut hline = String::new();
-        if reader.read_line(&mut hline)? == 0 {
-            return Err(bad("eof in headers"));
-        }
-        let hline = hline.trim_end();
-        if hline.is_empty() {
-            break;
-        }
-        let (name, value) = hline.split_once(':').ok_or_else(|| bad("malformed header"))?;
-        req.headers
-            .insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
-    }
-
-    if let Some(cl) = req.headers.get("content-length") {
-        let n: usize = cl.parse().map_err(|_| bad("bad content-length"))?;
-        if n > max_body {
-            return Err(bad("body too large"));
-        }
-        let mut body = vec![0u8; n];
-        reader.read_exact(&mut body)?;
-        req.body = body;
-    }
-    Ok(Some(req))
-}
-
-fn bad(msg: &str) -> std::io::Error {
-    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
-}
-
-fn write_response(w: &mut TcpStream, resp: &Response, keep_alive: bool) -> std::io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
-        resp.status.0,
-        resp.status.reason(),
-        resp.body.len(),
-        if keep_alive { "keep-alive" } else { "close" }
-    );
-    for (k, v) in &resp.headers {
-        if k != "content-length" && k != "connection" {
-            head.push_str(k);
-            head.push_str(": ");
-            head.push_str(v);
-            head.push_str("\r\n");
-        }
-    }
-    head.push_str("\r\n");
-    w.write_all(head.as_bytes())?;
-    w.write_all(&resp.body)?;
-    w.flush()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::client::Client;
+    use crate::types::Status;
+    use std::io::{Read, Write};
 
     fn test_router() -> Router {
         let mut r = Router::new();
@@ -417,7 +346,8 @@ mod tests {
         let req = b"GET /ping HTTP/1.1\r\nhost: x\r\n\r\n";
         stream.write_all(req).unwrap();
         stream.write_all(req).unwrap();
-        stream.write_all(b"GET /ping HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n")
+        stream
+            .write_all(b"GET /ping HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n")
             .unwrap();
         let mut buf = String::new();
         stream.read_to_string(&mut buf).unwrap();
@@ -458,6 +388,40 @@ mod tests {
             )
             .unwrap();
         assert_eq!(resp.status, Status::BAD_REQUEST);
+        server.shutdown();
+    }
+
+    #[test]
+    fn thread_count_is_fixed_and_reported() {
+        let server = HttpServer::serve(
+            ServerConfig::ephemeral()
+                .with_workers(3)
+                .with_reactor_threads(2),
+            test_router(),
+        )
+        .unwrap();
+        assert_eq!(server.thread_count(), 1 + 2 + 3);
+        let client = Client::new();
+        for _ in 0..8 {
+            let resp = client.get(&format!("{}/ping", server.base_url())).unwrap();
+            assert_eq!(resp.status, Status::OK);
+        }
+        assert_eq!(server.thread_count(), 6, "threads never grow");
+        server.shutdown();
+    }
+
+    #[test]
+    fn max_requests_per_conn_closes_connection() {
+        let mut cfg = ServerConfig::ephemeral();
+        cfg.max_requests_per_conn = 2;
+        let server = HttpServer::serve(cfg, test_router()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let req = b"GET /ping HTTP/1.1\r\nhost: x\r\n\r\n";
+        stream.write_all(req).unwrap();
+        stream.write_all(req).unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert_eq!(buf.matches("pong").count(), 2, "two served, then closed");
         server.shutdown();
     }
 }

@@ -537,7 +537,13 @@ impl CeemsLb {
 
     /// Serves the LB on an ephemeral port, with request instrumentation.
     pub fn serve(self: &Arc<Self>) -> std::io::Result<HttpServer> {
-        HttpServer::serve_fn(ServerConfig::ephemeral(), self.http.wrap(self.router()))
+        self.serve_with(ServerConfig::ephemeral())
+    }
+
+    /// Serves the LB with explicit server tuning (connection caps, idle
+    /// timeout, reactor threads — e.g. from the `http:` config section).
+    pub fn serve_with(self: &Arc<Self>, config: ServerConfig) -> std::io::Result<HttpServer> {
+        HttpServer::serve_fn(config, self.http.wrap(self.router()))
     }
 }
 
