@@ -1,0 +1,107 @@
+//! Built-in rule packs over the stack's own signals.
+//!
+//! Each pack is one rule over series the stack already produces — the S3
+//! attribution records, the emissions exporter's staleness gauge, or the
+//! LB's replica health gauges (the latter two must be scraped into the
+//! TSDB the alert source queries).
+
+use crate::rules::AlertRule;
+
+/// Per-project energy budget: fires per `uuid` whose attributed power
+/// (summed over the nodes it runs on) exceeds `budget_watts`.
+pub fn energy_budget(budget_watts: f64, for_ms: i64) -> AlertRule {
+    AlertRule::new(
+        "ProjectEnergyBudgetExceeded",
+        &format!("sum by(uuid) (uuid:ceems_power:watts) > {budget_watts}"),
+        for_ms,
+    )
+    .expect("built-in rule must parse")
+    .with_label("severity", "warning")
+    .with_label("pack", "energy_budget")
+    .with_annotation(
+        "summary",
+        "project {{ $labels.uuid }} draws {{ $value }} W, over its energy budget",
+    )
+}
+
+/// Emission-factor source down: fires per zone whose factor age exceeds
+/// `max_age_s` seconds — the provider chain has been serving retained
+/// (last-known-good) values for that long.
+pub fn emission_factor_stale(max_age_s: f64, for_ms: i64) -> AlertRule {
+    AlertRule::new(
+        "EmissionFactorSourceDown",
+        &format!("ceems_emissions_factor_age_seconds > {max_age_s}"),
+        for_ms,
+    )
+    .expect("built-in rule must parse")
+    .with_label("severity", "warning")
+    .with_label("pack", "emission_factor")
+    .with_annotation(
+        "summary",
+        "emission factors for {{ $labels.country_code }} are {{ $value }} s stale",
+    )
+}
+
+/// Node power anomaly: fires per node whose total attributed power
+/// exceeds `max_watts`.
+pub fn node_power_anomaly(max_watts: f64, for_ms: i64) -> AlertRule {
+    AlertRule::new(
+        "NodePowerAnomaly",
+        &format!("instance:ceems_total:watts > {max_watts}"),
+        for_ms,
+    )
+    .expect("built-in rule must parse")
+    .with_label("severity", "critical")
+    .with_label("pack", "node_power")
+    .with_annotation(
+        "summary",
+        "node {{ $labels.instance }} draws {{ $value }} W",
+    )
+}
+
+/// Replica WAL lag: fires per LB backend lagging more than `max_records`
+/// WAL records behind the freshest replica.
+pub fn replica_wal_lag(max_records: f64, for_ms: i64) -> AlertRule {
+    AlertRule::new(
+        "ReplicaWalLagHigh",
+        &format!("ceems_lb_backend_wal_lag_records > {max_records}"),
+        for_ms,
+    )
+    .expect("built-in rule must parse")
+    .with_label("severity", "warning")
+    .with_label("pack", "replica_lag")
+    .with_annotation(
+        "summary",
+        "replica {{ $labels.backend }} lags {{ $value }} WAL records",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleSet;
+
+    #[test]
+    fn packs_parse_and_level_flat() {
+        let set = RuleSet::compile(vec![
+            energy_budget(900.0, 60_000),
+            emission_factor_stale(600.0, 0),
+            node_power_anomaly(1200.0, 30_000),
+            replica_wal_lag(100.0, 0),
+        ]);
+        // None of the packs read ALERTS: a single level, four rules.
+        assert_eq!(set.depth(), 1);
+        assert_eq!(set.levels[0].len(), 4);
+        for i in 0..4 {
+            assert!(!set.is_meta(i));
+        }
+    }
+
+    #[test]
+    fn thresholds_land_in_the_expression() {
+        let r = energy_budget(512.0, 0);
+        assert!(r.expr_src.contains("> 512"));
+        assert_eq!(r.name, "ProjectEnergyBudgetExceeded");
+        assert!(r.labels.iter().any(|(k, v)| k == "severity" && v == "warning"));
+    }
+}

@@ -1,0 +1,249 @@
+//! Where alert-rule expressions get their data.
+//!
+//! Mirrors the qfe `Downstream` split: an in-process source over the hot
+//! TSDB for the embedded stack, and an HTTP source for running the
+//! alerting service against the qfe/LB read path — pooled keep-alive
+//! client, retries, and a circuit breaker so a dead read path degrades to
+//! "evaluation errors" instead of a stalled tick.
+
+use std::sync::Arc;
+
+use ceems_http::client::Client;
+use ceems_http::resilience::{BreakerConfig, CircuitBreaker, RetryPolicy};
+use ceems_http::url::encode_component;
+use ceems_metrics::labels::LabelSet;
+use ceems_obs::{trace, TRACE_HEADER};
+use ceems_tsdb::promql::{instant_query_with_lookback, Expr, Value};
+use ceems_tsdb::Tsdb;
+
+/// A source of instant-query results for rule evaluation.
+pub trait QuerySource: Send + Sync {
+    /// Source name, for logs and metrics.
+    fn name(&self) -> &'static str;
+
+    /// Evaluates an expression at `now_ms`, returning the result vector.
+    /// Scalar results become a single sample with empty labels.
+    fn query(&self, expr_src: &str, expr: &Expr, now_ms: i64) -> Result<Vec<(LabelSet, f64)>, String>;
+}
+
+/// Converts an evaluation [`Value`] into the alert result vector.
+pub(crate) fn value_to_vector(v: Value) -> Result<Vec<(LabelSet, f64)>, String> {
+    match v {
+        Value::Vector(v) => Ok(v),
+        Value::Scalar(x) => Ok(vec![(LabelSet::empty(), x)]),
+        Value::Matrix(_) => Err("alert expression returned a range vector; \
+             wrap it in a *_over_time or rate function"
+            .into()),
+    }
+}
+
+/// Evaluates in-process against a [`Tsdb`] — what the embedded stack uses.
+pub struct LocalQuerySource {
+    db: Arc<Tsdb>,
+    lookback_ms: i64,
+}
+
+impl LocalQuerySource {
+    /// A source over `db` with the given instant-selector lookback.
+    /// Like the recording-rule engine, alerting wants a tight lookback so
+    /// series that stopped being written resolve promptly.
+    pub fn new(db: Arc<Tsdb>, lookback_ms: i64) -> LocalQuerySource {
+        LocalQuerySource { db, lookback_ms }
+    }
+}
+
+impl QuerySource for LocalQuerySource {
+    fn name(&self) -> &'static str {
+        "local"
+    }
+
+    fn query(
+        &self,
+        _expr_src: &str,
+        expr: &Expr,
+        now_ms: i64,
+    ) -> Result<Vec<(LabelSet, f64)>, String> {
+        let v = instant_query_with_lookback(self.db.as_ref(), expr, now_ms, self.lookback_ms)
+            .map_err(|e| e.to_string())?;
+        value_to_vector(v)
+    }
+}
+
+/// Evaluates over HTTP against a Prometheus-compatible `/api/v1/query`
+/// endpoint (the TSDB API, the LB, or the query frontend).
+pub struct HttpQuerySource {
+    base_url: String,
+    client: Client,
+    retry: RetryPolicy,
+    breaker: CircuitBreaker,
+}
+
+impl HttpQuerySource {
+    /// A source against `base_url` (e.g. `http://127.0.0.1:9090`) with
+    /// default retry (2 attempts) and breaker settings.
+    pub fn new(base_url: impl Into<String>) -> HttpQuerySource {
+        HttpQuerySource {
+            base_url: base_url.into(),
+            client: Client::new(),
+            retry: RetryPolicy::new(2),
+            breaker: CircuitBreaker::new(BreakerConfig::default()),
+        }
+    }
+
+    /// Replaces the HTTP client (pool size, timeout, fault plan).
+    pub fn with_client(mut self, client: Client) -> HttpQuerySource {
+        self.client = client;
+        self
+    }
+
+    /// Replaces the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> HttpQuerySource {
+        self.retry = retry;
+        self
+    }
+
+    /// Replaces the circuit breaker.
+    pub fn with_breaker(mut self, breaker: CircuitBreaker) -> HttpQuerySource {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Breaker state, for tests and introspection.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+}
+
+impl QuerySource for HttpQuerySource {
+    fn name(&self) -> &'static str {
+        "http"
+    }
+
+    fn query(
+        &self,
+        expr_src: &str,
+        _expr: &Expr,
+        now_ms: i64,
+    ) -> Result<Vec<(LabelSet, f64)>, String> {
+        if !self.breaker.try_acquire() {
+            return Err("read path circuit breaker is open".into());
+        }
+        let url = format!(
+            "{}/api/v1/query?query={}&time={}",
+            self.base_url,
+            encode_component(expr_src),
+            now_ms as f64 / 1000.0,
+        );
+        // Propagate the tick's trace id so the TSDB's per-stage breakdown
+        // joins up with the alert_eval stage.
+        let client = match trace::current() {
+            Some(t) => self.client.clone().with_header(TRACE_HEADER, t.id()),
+            None => self.client.clone(),
+        };
+        let result = self.retry.run(|_attempt| {
+            let resp = client.get(&url).map_err(|e| e.to_string())?;
+            if !resp.status.is_success() {
+                return Err(format!(
+                    "query endpoint returned {}: {}",
+                    resp.status.0,
+                    resp.body_string().chars().take(200).collect::<String>()
+                ));
+            }
+            Ok(resp)
+        });
+        let resp = match result {
+            Ok(r) => {
+                self.breaker.on_success();
+                r
+            }
+            Err(e) => {
+                self.breaker.on_failure();
+                return Err(e);
+            }
+        };
+        parse_query_envelope(&resp.body)
+    }
+}
+
+/// Parses the Prometheus instant-query JSON envelope into a result vector.
+fn parse_query_envelope(body: &[u8]) -> Result<Vec<(LabelSet, f64)>, String> {
+    let v: serde_json::Value =
+        serde_json::from_slice(body).map_err(|e| format!("bad query response JSON: {e}"))?;
+    if v["status"] != "success" {
+        return Err(format!(
+            "query failed: {}",
+            v["error"].as_str().unwrap_or("unknown error")
+        ));
+    }
+    let data = &v["data"];
+    match data["resultType"].as_str() {
+        Some("vector") => {
+            let mut out = Vec::new();
+            for item in data["result"].as_array().into_iter().flatten() {
+                let mut pairs: Vec<(String, String)> = Vec::new();
+                if let Some(metric) = item["metric"].as_object() {
+                    for (k, val) in metric {
+                        if let Some(s) = val.as_str() {
+                            pairs.push((k.clone(), s.to_string()));
+                        }
+                    }
+                }
+                let value = item["value"][1]
+                    .as_str()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .ok_or("missing sample value in query response")?;
+                out.push((LabelSet::from_pairs(pairs), value));
+            }
+            Ok(out)
+        }
+        Some("scalar") => {
+            let value = data["result"][1]
+                .as_str()
+                .and_then(|s| s.parse::<f64>().ok())
+                .ok_or("missing scalar value in query response")?;
+            Ok(vec![(LabelSet::empty(), value)])
+        }
+        other => Err(format!(
+            "unsupported resultType {other:?} for alert evaluation"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceems_metrics::labels;
+    use ceems_tsdb::promql::parse_expr;
+
+    #[test]
+    fn local_source_filters_with_comparisons() {
+        let db = Arc::new(Tsdb::default());
+        db.append(&labels! {"__name__" => "watts", "instance" => "n1"}, 1_000, 100.0);
+        db.append(&labels! {"__name__" => "watts", "instance" => "n2"}, 1_000, 900.0);
+        let src = LocalQuerySource::new(db, 60_000);
+        let expr = parse_expr("watts > 500").unwrap();
+        let v = src.query("watts > 500", &expr, 2_000).unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0.get("instance"), Some("n2"));
+        assert_eq!(v[0].1, 900.0);
+    }
+
+    #[test]
+    fn envelope_parses_vector_and_scalar() {
+        let body = br#"{"status":"success","data":{"resultType":"vector","result":[
+            {"metric":{"instance":"n1"},"value":[12.5,"300"]}]}}"#;
+        let v = parse_query_envelope(body).unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0.get("instance"), Some("n1"));
+        assert_eq!(v[0].1, 300.0);
+
+        let body = br#"{"status":"success","data":{"resultType":"scalar","result":[12.5,"7"]}}"#;
+        let v = parse_query_envelope(body).unwrap();
+        assert_eq!(v[0].1, 7.0);
+
+        assert!(parse_query_envelope(br#"{"status":"error","error":"boom"}"#).is_err());
+        assert!(parse_query_envelope(b"not json").is_err());
+        let matrix = br#"{"status":"success","data":{"resultType":"matrix","result":[]}}"#;
+        assert!(parse_query_envelope(matrix).is_err());
+    }
+}

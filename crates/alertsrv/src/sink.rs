@@ -1,0 +1,279 @@
+//! Notification sinks.
+//!
+//! A sink delivers one grouped notification. The webhook sink posts the
+//! Alertmanager-style JSON payload over the pooled S20 client, retrying
+//! transient failures with backoff; a `Retry-After` from the receiver
+//! short-circuits the retry loop and is surfaced so the service schedules
+//! the next attempt instead of hammering. The log sink records structured
+//! lines in memory — the stack's always-on audit trail and the
+//! determinism tests' observation point.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ceems_http::client::Client;
+use ceems_metrics::labels::LabelSet;
+use parking_lot::Mutex;
+
+use crate::state::{AlertInstance, AlertState};
+
+/// One grouped notification.
+#[derive(Clone, Debug)]
+pub struct Notification {
+    /// Group key the notification covers.
+    pub group_key: String,
+    /// `firing` while any member fires, `resolved` once all resolved.
+    pub status: String,
+    /// Member alerts, sorted by fingerprint.
+    pub alerts: Vec<NotificationAlert>,
+    /// Delivery time (ms, sim clock).
+    pub at_ms: i64,
+}
+
+/// One alert inside a notification.
+#[derive(Clone, Debug)]
+pub struct NotificationAlert {
+    /// Full label set.
+    pub labels: LabelSet,
+    /// Rendered annotations.
+    pub annotations: Vec<(String, String)>,
+    /// Lifecycle state at delivery time.
+    pub state: AlertState,
+    /// Last violating value.
+    pub value: f64,
+    /// When the alert went active.
+    pub active_since_ms: i64,
+}
+
+impl NotificationAlert {
+    /// Builds the payload entry for an alert, with annotations already
+    /// rendered.
+    pub fn from_instance(a: &AlertInstance, annotations: Vec<(String, String)>) -> Self {
+        NotificationAlert {
+            labels: a.labels.clone(),
+            annotations,
+            state: a.state,
+            value: a.value,
+            active_since_ms: a.active_since_ms,
+        }
+    }
+}
+
+impl Notification {
+    /// Alertmanager-shaped JSON payload.
+    pub fn to_json(&self) -> serde_json::Value {
+        let alerts: Vec<serde_json::Value> = self
+            .alerts
+            .iter()
+            .map(|a| {
+                let labels: std::collections::BTreeMap<&str, &str> = a.labels.iter().collect();
+                let annotations: std::collections::BTreeMap<&str, &str> = a
+                    .annotations
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                serde_json::json!({
+                    "labels": labels,
+                    "annotations": annotations,
+                    "status": a.state.as_str(),
+                    "value": a.value,
+                    "activeAt": a.active_since_ms,
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "groupKey": self.group_key,
+            "status": self.status,
+            "alerts": alerts,
+            "at": self.at_ms,
+        })
+    }
+}
+
+/// Why a delivery failed, and when the receiver wants us back.
+#[derive(Clone, Debug)]
+pub struct SinkError {
+    /// Human-readable reason.
+    pub message: String,
+    /// `Retry-After` from the receiver, if it sent one (ms).
+    pub retry_after_ms: Option<i64>,
+}
+
+impl SinkError {
+    fn plain(message: impl Into<String>) -> SinkError {
+        SinkError {
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+}
+
+/// Something that can deliver notifications.
+pub trait NotificationSink: Send + Sync {
+    /// Sink name, referenced by routes.
+    fn name(&self) -> &str;
+
+    /// Delivers one notification.
+    fn deliver(&self, n: &Notification) -> Result<(), SinkError>;
+}
+
+/// In-memory structured log sink. Always succeeds.
+#[derive(Default)]
+pub struct LogSink {
+    delivered: Mutex<Vec<Notification>>,
+}
+
+impl LogSink {
+    /// An empty log sink.
+    pub fn new() -> Arc<LogSink> {
+        Arc::new(LogSink::default())
+    }
+
+    /// Everything delivered so far, in order.
+    pub fn delivered(&self) -> Vec<Notification> {
+        self.delivered.lock().clone()
+    }
+
+    /// Structured one-line-per-notification rendering (the audit trail).
+    pub fn render_lines(&self) -> Vec<String> {
+        self.delivered
+            .lock()
+            .iter()
+            .map(|n| n.to_json().to_string())
+            .collect()
+    }
+}
+
+impl NotificationSink for LogSink {
+    fn name(&self) -> &str {
+        "log"
+    }
+
+    fn deliver(&self, n: &Notification) -> Result<(), SinkError> {
+        self.delivered.lock().push(n.clone());
+        Ok(())
+    }
+}
+
+/// Webhook sink: POSTs the JSON payload, retrying with backoff.
+pub struct WebhookSink {
+    url: String,
+    client: Client,
+    attempts: u32,
+    backoff: Duration,
+}
+
+impl WebhookSink {
+    /// A sink posting to `url` with 3 attempts and 50 ms base backoff.
+    pub fn new(url: impl Into<String>) -> WebhookSink {
+        WebhookSink {
+            url: url.into(),
+            client: Client::new(),
+            attempts: 3,
+            backoff: Duration::from_millis(50),
+        }
+    }
+
+    /// Replaces the HTTP client (pool size, timeout, fault plan).
+    pub fn with_client(mut self, client: Client) -> WebhookSink {
+        self.client = client;
+        self
+    }
+
+    /// Sets the per-delivery attempt count and base backoff.
+    pub fn with_retries(mut self, attempts: u32, backoff: Duration) -> WebhookSink {
+        self.attempts = attempts.max(1);
+        self.backoff = backoff;
+        self
+    }
+}
+
+impl NotificationSink for WebhookSink {
+    fn name(&self) -> &str {
+        "webhook"
+    }
+
+    fn deliver(&self, n: &Notification) -> Result<(), SinkError> {
+        let body = n.to_json().to_string().into_bytes();
+        let mut last = SinkError::plain("no attempts made");
+        for attempt in 0..self.attempts {
+            if attempt > 0 {
+                // Linear backoff is enough here: the outer group timers
+                // bound how often a delivery can even start.
+                std::thread::sleep(self.backoff * attempt);
+            }
+            match self
+                .client
+                .post(&self.url, body.clone(), "application/json")
+            {
+                Ok(resp) if resp.status.is_success() => return Ok(()),
+                Ok(resp) => {
+                    let retry_after_ms =
+                        resp.retry_after_secs().map(|s| (s * 1000.0).ceil() as i64);
+                    last = SinkError {
+                        message: format!("webhook returned {}", resp.status.0),
+                        retry_after_ms,
+                    };
+                    // The receiver told us when to come back; stop
+                    // retrying inline and let the service reschedule.
+                    if retry_after_ms.is_some() {
+                        return Err(last);
+                    }
+                }
+                Err(e) => last = SinkError::plain(format!("webhook: {e}")),
+            }
+        }
+        Err(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceems_metrics::labels;
+
+    fn notification() -> Notification {
+        Notification {
+            group_key: "default:{alertname=\"X\"}".into(),
+            status: "firing".into(),
+            alerts: vec![NotificationAlert {
+                labels: labels! {"alertname" => "X", "instance" => "n1"},
+                annotations: vec![("summary".into(), "n1 hot".into())],
+                state: AlertState::Firing,
+                value: 42.0,
+                active_since_ms: 1_000,
+            }],
+            at_ms: 2_000,
+        }
+    }
+
+    #[test]
+    fn log_sink_records_in_order() {
+        let sink = LogSink::new();
+        sink.deliver(&notification()).unwrap();
+        sink.deliver(&notification()).unwrap();
+        assert_eq!(sink.delivered().len(), 2);
+        let lines = sink.render_lines();
+        assert!(lines[0].contains("\"alertname\":\"X\""));
+        assert!(lines[0].contains("\"status\":\"firing\""));
+    }
+
+    #[test]
+    fn payload_shape_is_alertmanager_like() {
+        let j = notification().to_json();
+        assert_eq!(j["status"], "firing");
+        assert_eq!(j["alerts"][0]["labels"]["instance"], "n1");
+        assert_eq!(j["alerts"][0]["annotations"]["summary"], "n1 hot");
+        assert_eq!(j["alerts"][0]["value"], 42.0);
+    }
+
+    #[test]
+    fn webhook_against_dead_port_reports_failure() {
+        // Port 1 is never listening; all attempts fail fast.
+        let sink = WebhookSink::new("http://127.0.0.1:1/hook")
+            .with_retries(2, Duration::from_millis(1));
+        let err = sink.deliver(&notification()).unwrap_err();
+        assert!(err.message.contains("webhook"), "{}", err.message);
+        assert!(err.retry_after_ms.is_none());
+    }
+}

@@ -206,6 +206,57 @@ impl ResilienceSettings {
     }
 }
 
+/// The `alerting:` YAML section (`ceems-alertsrv`): evaluation cadence,
+/// Alertmanager-style group timers, delivery target, and thresholds for
+/// the built-in rule packs (a non-positive threshold disables its pack).
+#[derive(Clone, Debug)]
+pub struct AlertingSettings {
+    /// Master switch; the stack only builds an alerting service when true.
+    pub enabled: bool,
+    /// Rule-evaluation interval (seconds).
+    pub eval_interval_s: f64,
+    /// Delay before a new group's first notification (seconds).
+    pub group_wait_s: f64,
+    /// Minimum spacing between notifications for a changed group (s).
+    pub group_interval_s: f64,
+    /// Re-notification interval for an unchanged firing group (s).
+    pub repeat_interval_s: f64,
+    /// How long resolved alerts are retained before GC (seconds).
+    pub resolved_retention_s: f64,
+    /// Webhook receiver URL; unset routes everything to the log sink.
+    pub webhook_url: Option<String>,
+    /// Per-project energy budget (W); the pack fires per `uuid` above it.
+    pub energy_budget_watts: f64,
+    /// `for:` hold of the energy-budget pack (seconds).
+    pub energy_budget_for_s: f64,
+    /// Emission-factor staleness bound (seconds) before the
+    /// factor-source-down pack fires.
+    pub factor_max_age_s: f64,
+    /// Per-node power bound (W) for the node-anomaly pack.
+    pub node_power_max_watts: f64,
+    /// Replica WAL-lag bound (records) for the replica-lag pack.
+    pub wal_lag_max_records: f64,
+}
+
+impl Default for AlertingSettings {
+    fn default() -> Self {
+        AlertingSettings {
+            enabled: false,
+            eval_interval_s: 30.0,
+            group_wait_s: 15.0,
+            group_interval_s: 60.0,
+            repeat_interval_s: 4.0 * 3600.0,
+            resolved_retention_s: 300.0,
+            webhook_url: None,
+            energy_budget_watts: 0.0,
+            energy_budget_for_s: 120.0,
+            factor_max_age_s: 0.0,
+            node_power_max_watts: 0.0,
+            wal_lag_max_records: 0.0,
+        }
+    }
+}
+
 /// Churn generator settings.
 #[derive(Clone, Debug)]
 pub struct ChurnSettings {
@@ -278,6 +329,8 @@ pub struct CeemsConfig {
     pub fault: FaultSettings,
     /// Retry/deadline/breaker tuning for every client-side hop.
     pub resilience: ResilienceSettings,
+    /// Alerting service settings (disabled by default).
+    pub alerting: AlertingSettings,
 }
 
 impl Default for CeemsConfig {
@@ -309,6 +362,7 @@ impl Default for CeemsConfig {
             http: HttpSettings::default(),
             fault: FaultSettings::default(),
             resilience: ResilienceSettings::default(),
+            alerting: AlertingSettings::default(),
         }
     }
 }
@@ -519,6 +573,47 @@ impl CeemsConfig {
                 cfg.resilience.breaker_cooldown_ms = v.max(1) as u64;
             }
         }
+        if let Some(a) = doc.get("alerting") {
+            cfg.alerting.enabled = a.get("enabled").and_then(Yaml::as_bool).unwrap_or(true);
+            if let Some(v) = a.get("eval_interval_s").and_then(Yaml::as_f64) {
+                if v <= 0.0 {
+                    return Err(format!(
+                        "alerting.eval_interval_s must be positive, got {v}"
+                    ));
+                }
+                cfg.alerting.eval_interval_s = v;
+            }
+            if let Some(v) = a.get("group_wait_s").and_then(Yaml::as_f64) {
+                cfg.alerting.group_wait_s = v.max(0.0);
+            }
+            if let Some(v) = a.get("group_interval_s").and_then(Yaml::as_f64) {
+                cfg.alerting.group_interval_s = v.max(0.0);
+            }
+            if let Some(v) = a.get("repeat_interval_s").and_then(Yaml::as_f64) {
+                cfg.alerting.repeat_interval_s = v.max(0.0);
+            }
+            if let Some(v) = a.get("resolved_retention_s").and_then(Yaml::as_f64) {
+                cfg.alerting.resolved_retention_s = v.max(0.0);
+            }
+            if let Some(v) = a.get("webhook_url").and_then(Yaml::as_str) {
+                cfg.alerting.webhook_url = Some(v.to_string());
+            }
+            if let Some(v) = a.get("energy_budget_watts").and_then(Yaml::as_f64) {
+                cfg.alerting.energy_budget_watts = v;
+            }
+            if let Some(v) = a.get("energy_budget_for_s").and_then(Yaml::as_f64) {
+                cfg.alerting.energy_budget_for_s = v.max(0.0);
+            }
+            if let Some(v) = a.get("factor_max_age_s").and_then(Yaml::as_f64) {
+                cfg.alerting.factor_max_age_s = v;
+            }
+            if let Some(v) = a.get("node_power_max_watts").and_then(Yaml::as_f64) {
+                cfg.alerting.node_power_max_watts = v;
+            }
+            if let Some(v) = a.get("wal_lag_max_records").and_then(Yaml::as_f64) {
+                cfg.alerting.wal_lag_max_records = v;
+            }
+        }
         if let Some(v) = doc.get("threads").and_then(Yaml::as_i64) {
             cfg.threads = (v as usize).max(1);
         }
@@ -617,6 +712,44 @@ threads: 8
         assert_eq!(c.qfe.max_tenant_concurrency, 1);
         assert_eq!(c.qfe.cache_bytes, 0);
         assert!(CeemsConfig::from_yaml("qfe:\n  split_interval_s: 0\n").is_err());
+    }
+
+    #[test]
+    fn alerting_section_parses_with_floors() {
+        let c = CeemsConfig::from_yaml("").unwrap();
+        assert!(!c.alerting.enabled);
+        assert_eq!(c.alerting.eval_interval_s, 30.0);
+
+        let text = "\
+alerting:
+  eval_interval_s: 10
+  group_wait_s: 5
+  group_interval_s: 30
+  repeat_interval_s: 600
+  webhook_url: http://127.0.0.1:9093/hook
+  energy_budget_watts: 900
+  energy_budget_for_s: 60
+  factor_max_age_s: 900
+  node_power_max_watts: 1500
+  wal_lag_max_records: 200
+";
+        let c = CeemsConfig::from_yaml(text).unwrap();
+        // Presence of the section enables the service.
+        assert!(c.alerting.enabled);
+        assert_eq!(c.alerting.eval_interval_s, 10.0);
+        assert_eq!(c.alerting.group_wait_s, 5.0);
+        assert_eq!(
+            c.alerting.webhook_url.as_deref(),
+            Some("http://127.0.0.1:9093/hook")
+        );
+        assert_eq!(c.alerting.energy_budget_watts, 900.0);
+        assert_eq!(c.alerting.wal_lag_max_records, 200.0);
+
+        let c = CeemsConfig::from_yaml("alerting:\n  enabled: false\n  group_wait_s: -3\n")
+            .unwrap();
+        assert!(!c.alerting.enabled);
+        assert_eq!(c.alerting.group_wait_s, 0.0);
+        assert!(CeemsConfig::from_yaml("alerting:\n  eval_interval_s: 0\n").is_err());
     }
 
     #[test]

@@ -10,6 +10,10 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use ceems_alertsrv::{
+    packs, AlertConfig, AlertRule, AlertService, LocalQuerySource, LogSink, NotificationSink,
+    RoutingTree, RuleSet, WebhookSink,
+};
 use ceems_apiserver::metrics_source::TsdbLocalSource;
 use ceems_apiserver::rm::SlurmRmClient;
 use ceems_apiserver::updater::{Updater, UpdaterConfig};
@@ -45,6 +49,10 @@ pub struct StackStats {
     pub jobs_submitted: u64,
     /// WAL checkpoints taken (0 unless `wal_dir` is configured).
     pub wal_checkpoints: u64,
+    /// Alert-rule evaluation passes (0 unless `alerting:` is enabled).
+    pub alert_ticks: u64,
+    /// Alert notifications delivered.
+    pub alert_notifications: u64,
 }
 
 /// The assembled CEEMS deployment.
@@ -62,6 +70,12 @@ pub struct CeemsStack {
     /// Per-node exporters, index-aligned with `cluster.nodes()`.
     pub exporters: Vec<Arc<CeemsExporter>>,
 
+    /// The alerting service (`None` unless `alerting:` is enabled). Its
+    /// default log sink keeps the notification audit trail in-process.
+    pub alertsrv: Option<Arc<AlertService>>,
+    /// The alerting service's log sink (present iff `alertsrv` is).
+    pub alert_log: Option<Arc<LogSink>>,
+
     scrape_mgr: ScrapeManager,
     rule_engine: RuleEngine,
     churn: Option<ChurnGenerator>,
@@ -70,6 +84,7 @@ pub struct CeemsStack {
     last_rule_ms: i64,
     last_update_ms: i64,
     last_checkpoint_ms: i64,
+    last_alert_ms: i64,
     stats: StackStats,
 }
 
@@ -211,6 +226,61 @@ impl CeemsStack {
             )
         });
 
+        // Alerting service over the hot TSDB (S21). Rules come from the
+        // built-in packs whose thresholds are set; notifications go to the
+        // webhook when one is configured, always mirrored to the log sink.
+        let (alertsrv, alert_log) = if config.alerting.enabled {
+            let a = &config.alerting;
+            let mut rules: Vec<AlertRule> = Vec::new();
+            if a.energy_budget_watts > 0.0 {
+                rules.push(packs::energy_budget(
+                    a.energy_budget_watts,
+                    (a.energy_budget_for_s * 1000.0) as i64,
+                ));
+            }
+            if a.factor_max_age_s > 0.0 {
+                rules.push(packs::emission_factor_stale(a.factor_max_age_s, 0));
+            }
+            if a.node_power_max_watts > 0.0 {
+                rules.push(packs::node_power_anomaly(a.node_power_max_watts, 0));
+            }
+            if a.wal_lag_max_records > 0.0 {
+                rules.push(packs::replica_wal_lag(a.wal_lag_max_records, 0));
+            }
+            let log = LogSink::new();
+            let mut sinks: Vec<Arc<dyn NotificationSink>> = vec![log.clone()];
+            let default_sink = match &a.webhook_url {
+                Some(url) => {
+                    sinks.push(Arc::new(
+                        WebhookSink::new(url.clone()).with_client(config.http.client()),
+                    ));
+                    "webhook"
+                }
+                None => "log",
+            };
+            // Rule queries look back far enough to bridge one recording-rule
+            // interval plus a scrape, so a fresh tick still sees data.
+            let lookback_ms =
+                ((config.rule_interval_s + config.scrape_interval_s) * 2.0 * 1000.0) as i64;
+            let svc = AlertService::new(
+                RuleSet::compile(rules),
+                Arc::new(LocalQuerySource::new(tsdb.clone(), lookback_ms)),
+                sinks,
+                RoutingTree::new(default_sink),
+                AlertConfig {
+                    group_wait_ms: (a.group_wait_s * 1000.0) as i64,
+                    group_interval_ms: (a.group_interval_s * 1000.0) as i64,
+                    repeat_interval_ms: (a.repeat_interval_s * 1000.0) as i64,
+                    resolved_retention_ms: (a.resolved_retention_s * 1000.0) as i64,
+                    lookback_ms,
+                },
+                &db_dir.join("alertsrv"),
+            )?;
+            (Some(Arc::new(svc)), Some(log))
+        } else {
+            (None, None)
+        };
+
         Ok(CeemsStack {
             clock,
             cluster,
@@ -218,6 +288,8 @@ impl CeemsStack {
             tsdb,
             updater: Arc::new(Mutex::new(updater)),
             exporters,
+            alertsrv,
+            alert_log,
             scrape_mgr,
             rule_engine,
             churn,
@@ -226,6 +298,7 @@ impl CeemsStack {
             last_rule_ms: i64::MIN / 2,
             last_update_ms: i64::MIN / 2,
             last_checkpoint_ms: 0,
+            last_alert_ms: i64::MIN / 2,
             stats: StackStats::default(),
         })
     }
@@ -350,6 +423,15 @@ impl CeemsStack {
             self.last_checkpoint_ms = now;
             if self.tsdb.checkpoint().is_ok() {
                 self.stats.wal_checkpoints += 1;
+            }
+        }
+        if let Some(alertsrv) = &self.alertsrv {
+            if now - self.last_alert_ms >= (self.config.alerting.eval_interval_s * 1000.0) as i64
+            {
+                self.last_alert_ms = now;
+                let s = alertsrv.tick(now);
+                self.stats.alert_ticks += 1;
+                self.stats.alert_notifications += s.notifications_sent as u64;
             }
         }
     }

@@ -30,6 +30,15 @@ pub trait EmissionProvider: Send + Sync {
     /// The emission factor for a zone (ISO country code, e.g. `FR`) at a
     /// simulated instant, or `None` if the provider does not cover it.
     fn factor(&self, zone: &str, now_ms: i64) -> Option<GramsPerKwh>;
+
+    /// Age (ms) of each zone's last *fresh* resolution at `now_ms`, sorted
+    /// by zone. Only retention wrappers ([`LastKnownGood`]) report ages;
+    /// plain providers have no staleness notion and return nothing. This
+    /// feeds the `ceems_emissions_factor_age_seconds` gauge the
+    /// "emission-factor source down" alert rule watches.
+    fn factor_ages_ms(&self, _now_ms: i64) -> Vec<(String, i64)> {
+        Vec::new()
+    }
 }
 
 pub use registry::{EmissionsCalculator, LastKnownGood, ProviderChain};

@@ -85,6 +85,21 @@ impl LastKnownGood {
     pub fn stale_serves(&self) -> u64 {
         self.stale_serves.load(Ordering::Relaxed)
     }
+
+    /// Age (ms) of each retained factor at `now_ms`, sorted by zone — the
+    /// signal behind the `ceems_emissions_factor_age_seconds` gauge and the
+    /// "emission-factor source down" alert rule. A zone's age is the time
+    /// since the *inner* chain last resolved it; it keeps growing while the
+    /// wrapper serves retained values.
+    pub fn factor_ages_ms(&self, now_ms: i64) -> Vec<(String, i64)> {
+        let retained = self.retained.lock();
+        let mut out: Vec<(String, i64)> = retained
+            .iter()
+            .map(|(zone, (_, at_ms))| (zone.clone(), now_ms.saturating_sub(*at_ms)))
+            .collect();
+        out.sort();
+        out
+    }
 }
 
 impl EmissionProvider for LastKnownGood {
@@ -106,6 +121,10 @@ impl EmissionProvider for LastKnownGood {
         }
         self.stale_serves.fetch_add(1, Ordering::Relaxed);
         Some(*f)
+    }
+
+    fn factor_ages_ms(&self, now_ms: i64) -> Vec<(String, i64)> {
+        LastKnownGood::factor_ages_ms(self, now_ms)
     }
 }
 

@@ -40,6 +40,14 @@ impl Collector for EmissionsCollector {
             "Current emission factor by provider",
             MetricType::Gauge,
         );
+        // Staleness of each retention wrapper's zones: how long since the
+        // underlying source chain last answered. Scraped into the TSDB so
+        // the "emission-factor source down" alert rule has a real signal.
+        let mut age = MetricFamily::new(
+            "ceems_emissions_factor_age_seconds",
+            "Seconds since the emission-factor source chain last resolved each zone",
+            MetricType::Gauge,
+        );
         for p in &self.providers {
             if let Some(f) = p.factor(&self.zone, now) {
                 fam.metrics.push(Metric::new(
@@ -50,8 +58,20 @@ impl Collector for EmissionsCollector {
                     Sample::now(f),
                 ));
             }
+            for (zone, age_ms) in p.factor_ages_ms(now) {
+                age.metrics.push(Metric::new(
+                    LabelSet::from_pairs([
+                        ("provider", p.name()),
+                        ("country_code", zone.as_str()),
+                    ]),
+                    Sample::now(age_ms as f64 / 1000.0),
+                ));
+            }
         }
-        vec![fam]
+        if age.metrics.is_empty() {
+            return vec![fam];
+        }
+        vec![fam, age]
     }
 }
 

@@ -102,6 +102,10 @@ fn walk(expr: &Expr, f: &mut impl FnMut(&[ceems_metrics::matcher::LabelMatcher])
                 walk(a, f);
             }
         }
+        Expr::Compare { lhs, rhs, .. } => {
+            walk(lhs, f);
+            walk(rhs, f);
+        }
     }
 }
 

@@ -195,6 +195,35 @@ impl CeemsLb {
         let registry = Registry::new();
         let instruments = LbInstruments::new(&registry);
         let http = HttpInstruments::new("lb", &registry);
+        {
+            // Per-replica WAL lag, read at scrape time from the values the
+            // health check already computes for staleness demotion — the
+            // replica-lag alert rule queries this instead of re-deriving it.
+            let backends = pool.backends().to_vec();
+            registry.register(
+                "lb_backend_wal_lag",
+                Arc::new(move || {
+                    let metrics = backends
+                        .iter()
+                        .map(|b| {
+                            ceems_obs::metric(
+                                ceems_metrics::labels::LabelSet::from_pairs([(
+                                    "backend",
+                                    b.id.as_str(),
+                                )]),
+                                b.wal_lag() as f64,
+                            )
+                        })
+                        .collect();
+                    vec![ceems_obs::family_with_metrics(
+                        "ceems_lb_backend_wal_lag_records",
+                        "WAL records each replica lags behind the freshest one, per the last health check.",
+                        ceems_metrics::MetricType::Gauge,
+                        metrics,
+                    )]
+                }),
+            );
+        }
         CeemsLb {
             pool,
             authorizer,

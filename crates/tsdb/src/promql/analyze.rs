@@ -129,6 +129,18 @@ fn render(expr: &Expr, out: &mut String) {
             }
             out.push(')');
         }
+        Expr::Compare { op, bool_mode, lhs, rhs } => {
+            out.push('(');
+            render(lhs, out);
+            out.push(' ');
+            out.push_str(op.as_str());
+            if *bool_mode {
+                out.push_str(" bool");
+            }
+            out.push(' ');
+            render(rhs, out);
+            out.push(')');
+        }
     }
 }
 
@@ -178,6 +190,9 @@ pub fn max_selector_lookback_ms(expr: &Expr) -> i64 {
             p.max(max_selector_lookback_ms(expr))
         }
         Expr::Func { args, .. } => args.iter().map(max_selector_lookback_ms).max().unwrap_or(0),
+        Expr::Compare { lhs, rhs, .. } => {
+            max_selector_lookback_ms(lhs).max(max_selector_lookback_ms(rhs))
+        }
     }
 }
 
@@ -218,6 +233,7 @@ fn check(expr: &Expr) -> Option<String> {
             _ => param.as_deref().and_then(check).or_else(|| check(expr)),
         },
         Expr::Func { args, .. } => args.iter().find_map(check),
+        Expr::Compare { lhs, rhs, .. } => check(lhs).or_else(|| check(rhs)),
     }
 }
 

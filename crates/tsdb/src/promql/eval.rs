@@ -7,7 +7,7 @@ use ceems_metrics::matcher::LabelMatcher;
 
 use crate::types::{Sample, SeriesData};
 
-use super::{AggOp, BinOp, Expr, Grouping};
+use super::{AggOp, BinOp, CmpOp, Expr, Grouping};
 
 /// Anything the engine can read series from (the hot TSDB, or the fan-in
 /// view over hot + long-term storage).
@@ -265,6 +265,16 @@ fn eval(ctx: &EvalCtx<'_>, expr: &Expr, t_ms: i64) -> Result<Value, EvalError> {
             let r = eval(ctx, rhs, t_ms)?;
             eval_binary(*op, l, r, matching)
         }
+        Expr::Compare {
+            op,
+            bool_mode,
+            lhs,
+            rhs,
+        } => {
+            let l = eval(ctx, lhs, t_ms)?;
+            let r = eval(ctx, rhs, t_ms)?;
+            eval_compare(*op, *bool_mode, l, r)
+        }
         Expr::Agg {
             op,
             grouping,
@@ -400,6 +410,80 @@ fn eval_binary(
         }
         _ => Err(EvalError(
             "binary operators are not defined on range vectors".into(),
+        )),
+    }
+}
+
+/// Comparison with Prometheus semantics: filtering by default (surviving
+/// elements keep their labels — including `__name__` — and values), 0/1
+/// per element with the `bool` modifier. Vector-vector comparison matches
+/// on the full label signature like unmodified arithmetic matching.
+fn eval_compare(op: CmpOp, bool_mode: bool, l: Value, r: Value) -> Result<Value, EvalError> {
+    let as_bool = |keep: bool| if keep { 1.0 } else { 0.0 };
+    match (l, r) {
+        (Value::Scalar(a), Value::Scalar(b)) => {
+            if !bool_mode {
+                return Err(EvalError(
+                    "comparison between two scalars needs the bool modifier".into(),
+                ));
+            }
+            Ok(Value::Scalar(as_bool(op.apply(a, b))))
+        }
+        (Value::Vector(v), Value::Scalar(s)) => Ok(Value::Vector(
+            v.into_iter()
+                .filter_map(|(labels, x)| {
+                    let keep = op.apply(x, s);
+                    if bool_mode {
+                        Some((labels.without(METRIC_NAME_LABEL), as_bool(keep)))
+                    } else if keep {
+                        Some((labels, x))
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+        )),
+        (Value::Scalar(s), Value::Vector(v)) => Ok(Value::Vector(
+            v.into_iter()
+                .filter_map(|(labels, x)| {
+                    let keep = op.apply(s, x);
+                    if bool_mode {
+                        Some((labels.without(METRIC_NAME_LABEL), as_bool(keep)))
+                    } else if keep {
+                        Some((labels, x))
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+        )),
+        (Value::Vector(lv), Value::Vector(rv)) => {
+            let mut rmap: HashMap<LabelSet, f64> = HashMap::new();
+            for (labels, v) in &rv {
+                let sig = signature(labels, &Grouping::None);
+                if rmap.insert(sig, *v).is_some() {
+                    return Err(EvalError(
+                        "right operand has duplicate series per matching signature; \
+                         aggregate it first"
+                            .into(),
+                    ));
+                }
+            }
+            let mut out = Vec::new();
+            for (labels, lval) in lv {
+                let sig = signature(&labels, &Grouping::None);
+                let Some(&rval) = rmap.get(&sig) else { continue };
+                let keep = op.apply(lval, rval);
+                if bool_mode {
+                    out.push((labels.without(METRIC_NAME_LABEL), as_bool(keep)));
+                } else if keep {
+                    out.push((labels, lval));
+                }
+            }
+            Ok(Value::Vector(out))
+        }
+        _ => Err(EvalError(
+            "comparisons are not defined on range vectors".into(),
         )),
     }
 }
@@ -704,6 +788,44 @@ mod tests {
         let v = vector_of(instant(&db, "rate(wrap_total[2m])", 60_000));
         // increase = 1700 + 3000 - 0 = 4700 over 60 s.
         assert!((v[0].1 - 4700.0 / 60.0).abs() < 1e-9, "got {}", v[0].1);
+    }
+
+    #[test]
+    fn comparison_filters_and_keeps_labels() {
+        let db = db();
+        // Only n2 (3000 bytes) exceeds 2000; filter keeps labels and value,
+        // including the metric name, like Prometheus.
+        let v = vector_of(instant(&db, "mem_bytes > 2000", 600_000));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0.get("instance"), Some("n2"));
+        assert_eq!(v[0].0.get(METRIC_NAME_LABEL), Some("mem_bytes"));
+        assert_eq!(v[0].1, 3000.0);
+
+        // Nothing violates an impossible threshold: empty vector, no error.
+        let v = vector_of(instant(&db, "mem_bytes > 1e9", 600_000));
+        assert!(v.is_empty());
+
+        // bool mode maps every element to 0/1 and drops the name.
+        let v = vector_of(instant(&db, "mem_bytes > bool 2000", 600_000));
+        assert_eq!(v.len(), 2);
+        for (labels, x) in v {
+            let expect = if labels.get("instance") == Some("n2") { 1.0 } else { 0.0 };
+            assert_eq!(x, expect);
+            assert_eq!(labels.get(METRIC_NAME_LABEL), None);
+        }
+
+        // Comparison binds looser than arithmetic.
+        let v = vector_of(instant(&db, "mem_bytes / 1000 >= 3", 600_000));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1, 3.0);
+
+        // Vector-vector: mem_bytes != mem_bytes is empty.
+        let v = vector_of(instant(&db, "mem_bytes != mem_bytes", 600_000));
+        assert!(v.is_empty());
+
+        // Scalar-scalar without bool is an error.
+        assert!(instant_query(&db, &parse_expr("1 > 2").unwrap(), 0).is_err());
+        assert_eq!(instant(&db, "1 > bool 2", 0), Value::Scalar(0.0));
     }
 
     #[test]

@@ -42,6 +42,16 @@ pub enum Token {
     Re,
     /// `!~`
     Nre,
+    /// `==`
+    EqEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
 }
 
 /// Lexer error with byte offset.
@@ -128,12 +138,35 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 out.push(Token::Slash);
                 i += 1;
             }
-            '=' => {
-                if bytes.get(i + 1) == Some(&b'~') {
+            '=' => match bytes.get(i + 1) {
+                Some(b'~') => {
                     out.push(Token::Re);
                     i += 2;
-                } else {
+                }
+                Some(b'=') => {
+                    out.push(Token::EqEq);
+                    i += 2;
+                }
+                _ => {
                     out.push(Token::Eq);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
                     i += 1;
                 }
             }
@@ -306,6 +339,29 @@ mod tests {
                 Token::Str("x|y".into()),
                 Token::Nre,
                 Token::Str("z".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = lex("a > 1 >= 2 < 3 <= 4 == 5 != 6").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Gt,
+                Token::Number(1.0),
+                Token::Ge,
+                Token::Number(2.0),
+                Token::Lt,
+                Token::Number(3.0),
+                Token::Le,
+                Token::Number(4.0),
+                Token::EqEq,
+                Token::Number(5.0),
+                Token::Ne,
+                Token::Number(6.0),
             ]
         );
     }

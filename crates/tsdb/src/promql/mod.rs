@@ -54,6 +54,50 @@ impl BinOp {
     }
 }
 
+/// Comparison operator (`> < >= <= == !=`), used by alert-rule expressions
+/// to turn a signal into a set of violating series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Applies the comparison.
+    pub fn apply(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+
+    /// Source form of the operator.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        }
+    }
+}
+
 /// Aggregation operator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AggOp {
@@ -138,5 +182,20 @@ pub enum Expr {
         name: String,
         /// Arguments.
         args: Vec<Expr>,
+    },
+    /// Comparison. Prometheus filter semantics by default: the result
+    /// keeps the left-hand elements (labels and values untouched) for
+    /// which the comparison holds — which is exactly the "violating
+    /// series" set an alert rule needs. With the `bool` modifier the
+    /// result maps every element to 0/1 instead of filtering.
+    Compare {
+        /// Operator.
+        op: CmpOp,
+        /// `bool` modifier: return 0/1 instead of filtering.
+        bool_mode: bool,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
     },
 }

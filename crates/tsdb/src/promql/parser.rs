@@ -4,7 +4,7 @@ use ceems_metrics::labels::METRIC_NAME_LABEL;
 use ceems_metrics::matcher::{LabelMatcher, MatchOp};
 
 use super::lexer::{lex, LexError, Token};
-use super::{AggOp, BinOp, Expr, Grouping, VectorSelector};
+use super::{AggOp, BinOp, CmpOp, Expr, Grouping, VectorSelector};
 
 /// Parse error.
 #[derive(Clone, Debug, PartialEq)]
@@ -100,28 +100,60 @@ impl Parser {
     }
 
     fn parse_binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        // Comparisons bind loosest (precedence 1), so `a + b > c * d`
+        // parses as `(a + b) > (c * d)` like Prometheus.
         let mut lhs = self.parse_unary()?;
         loop {
+            enum Op {
+                Arith(BinOp),
+                Cmp(CmpOp),
+            }
             let (op, prec) = match self.peek() {
-                Some(Token::Plus) => (BinOp::Add, 1),
-                Some(Token::Minus) => (BinOp::Sub, 1),
-                Some(Token::Star) => (BinOp::Mul, 2),
-                Some(Token::Slash) => (BinOp::Div, 2),
+                Some(Token::Gt) => (Op::Cmp(CmpOp::Gt), 1),
+                Some(Token::Ge) => (Op::Cmp(CmpOp::Ge), 1),
+                Some(Token::Lt) => (Op::Cmp(CmpOp::Lt), 1),
+                Some(Token::Le) => (Op::Cmp(CmpOp::Le), 1),
+                Some(Token::EqEq) => (Op::Cmp(CmpOp::Eq), 1),
+                Some(Token::Ne) => (Op::Cmp(CmpOp::Ne), 1),
+                Some(Token::Plus) => (Op::Arith(BinOp::Add), 2),
+                Some(Token::Minus) => (Op::Arith(BinOp::Sub), 2),
+                Some(Token::Star) => (Op::Arith(BinOp::Mul), 3),
+                Some(Token::Slash) => (Op::Arith(BinOp::Div), 3),
                 _ => break,
             };
             if prec < min_prec {
                 break;
             }
             self.bump();
-            // Optional on(...)/ignoring(...) vector matching.
-            let matching = self.parse_matching_modifier()?;
-            let rhs = self.parse_binary(prec + 1)?;
-            lhs = Expr::Binary {
-                op,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-                matching,
-            };
+            match op {
+                Op::Arith(op) => {
+                    // Optional on(...)/ignoring(...) vector matching.
+                    let matching = self.parse_matching_modifier()?;
+                    let rhs = self.parse_binary(prec + 1)?;
+                    lhs = Expr::Binary {
+                        op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                        matching,
+                    };
+                }
+                Op::Cmp(op) => {
+                    let mut bool_mode = false;
+                    if let Some(Token::Ident(k)) = self.peek() {
+                        if k == "bool" {
+                            self.bump();
+                            bool_mode = true;
+                        }
+                    }
+                    let rhs = self.parse_binary(prec + 1)?;
+                    lhs = Expr::Compare {
+                        op,
+                        bool_mode,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    };
+                }
+            }
         }
         Ok(lhs)
     }
@@ -407,6 +439,24 @@ mod tests {
         // The §III power-attribution rule shape.
         let q = "0.9 * ipmi_watts * (rate(rapl_cpu_joules_total[2m]) / (rate(rapl_cpu_joules_total[2m]) + rate(rapl_dram_joules_total[2m]))) * (rate(job_cpu_seconds_total[2m]) / rate(node_cpu_seconds_total[2m])) + 0.1 * ipmi_watts / node_jobs_running";
         assert!(parse_expr(q).is_ok());
+    }
+
+    #[test]
+    fn comparisons_bind_loosest() {
+        // a + b > c * 2 parses as (a+b) > (c*2).
+        let e = parse_expr("a + b > c * 2").unwrap();
+        let Expr::Compare { op: CmpOp::Gt, bool_mode: false, lhs, rhs } = e else {
+            panic!("not a comparison")
+        };
+        assert!(matches!(*lhs, Expr::Binary { op: BinOp::Add, .. }));
+        assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
+
+        let e = parse_expr("sum(up) == bool 3").unwrap();
+        assert!(matches!(e, Expr::Compare { op: CmpOp::Eq, bool_mode: true, .. }));
+
+        // `!=` outside braces is a comparison, inside braces a matcher.
+        let e = parse_expr("up{job!=\"a\"} != 1").unwrap();
+        assert!(matches!(e, Expr::Compare { op: CmpOp::Ne, .. }));
     }
 
     #[test]

@@ -272,7 +272,10 @@ impl RuleEngine {
 /// Returns `false` when any selector lacks an exact `__name__` matcher
 /// (regex or nameless selectors), meaning the read set is unknowable
 /// statically and the rule must be ordered after every earlier rule.
-fn referenced_names(expr: &Expr, out: &mut Vec<String>) -> bool {
+///
+/// Public because the alerting service levels its alert-rule DAGs with the
+/// same static analysis (S3 → S21 reuse).
+pub fn referenced_names(expr: &Expr, out: &mut Vec<String>) -> bool {
     match expr {
         Expr::Number(_) => true,
         Expr::Selector(sel) => {
@@ -309,6 +312,11 @@ fn referenced_names(expr: &Expr, out: &mut Vec<String>) -> bool {
             }
             known
         }
+        Expr::Compare { lhs, rhs, .. } => {
+            let l = referenced_names(lhs, out);
+            let r = referenced_names(rhs, out);
+            l && r
+        }
     }
 }
 
@@ -322,6 +330,7 @@ fn referenced_names(expr: &Expr, out: &mut Vec<String>) -> bool {
 /// sees the same-round outputs of everything it reads. Returns the rule
 /// indices grouped by level, levels in ascending order.
 fn dependency_levels(rules: &[RecordingRule]) -> Vec<Vec<usize>> {
+    let produces: Vec<Option<&str>> = rules.iter().map(|r| Some(r.record.as_str())).collect();
     let reads: Vec<Option<Vec<String>>> = rules
         .iter()
         .map(|r| {
@@ -329,13 +338,28 @@ fn dependency_levels(rules: &[RecordingRule]) -> Vec<Vec<usize>> {
             referenced_names(&r.expr, &mut names).then_some(names)
         })
         .collect();
-    let mut level = vec![0usize; rules.len()];
+    dependency_levels_by(&produces, &reads)
+}
+
+/// Generic form of the leveling: item `i` produces `produces[i]` (None for
+/// items that record nothing, e.g. alert rules) and statically reads
+/// `reads[i]` (None when unknowable). Item `i` depends on an earlier item
+/// `j` when its read set is unknown or contains `j`'s produced name.
+/// `produces` and `reads` must have equal length. This is the piece the
+/// alerting service reuses to level alert DAGs.
+pub fn dependency_levels_by(
+    produces: &[Option<&str>],
+    reads: &[Option<Vec<String>>],
+) -> Vec<Vec<usize>> {
+    assert_eq!(produces.len(), reads.len());
+    let n = produces.len();
+    let mut level = vec![0usize; n];
     let mut max_level = 0;
-    for i in 0..rules.len() {
+    for i in 0..n {
         for j in 0..i {
             let depends = match &reads[i] {
                 None => true,
-                Some(names) => names.iter().any(|n| *n == rules[j].record),
+                Some(names) => produces[j].is_some_and(|p| names.iter().any(|n| n == p)),
             };
             if depends {
                 level[i] = level[i].max(level[j] + 1);

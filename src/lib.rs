@@ -23,6 +23,7 @@
 //! | [`ceems_apiserver`] | the CEEMS API server: unit DB, rollups, ownership |
 //! | [`ceems_lb`] | the access-controlled load balancer |
 //! | [`ceems_qfe`] | query frontend: range splitting, results cache, tenant QoS |
+//! | [`ceems_alertsrv`] | alerting: PromQL rules, alert DAGs, dedup/silence/routing, durable state |
 //! | [`ceems_core`] | Eq. (1) attribution rules, YAML config, stack wiring, dashboards |
 //!
 //! ## Quickstart
@@ -46,6 +47,7 @@
 //! assert!(stack.total_attributed_power() > 0.0);
 //! ```
 
+pub use ceems_alertsrv as alertsrv;
 pub use ceems_apiserver as apiserver;
 pub use ceems_core as core;
 pub use ceems_emissions as emissions;
