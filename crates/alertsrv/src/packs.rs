@@ -76,6 +76,58 @@ pub fn replica_wal_lag(max_records: f64, for_ms: i64) -> AlertRule {
     )
 }
 
+/// Meta-monitoring (S22): a stack component stopped answering its own
+/// `/metrics` self-scrape — `ceems_meta_up` (written per target by the
+/// meta-monitor into the `__ceems_meta__` tenant) dropped to zero.
+pub fn component_down(for_ms: i64) -> AlertRule {
+    AlertRule::new("ComponentDown", "ceems_meta_up == 0", for_ms)
+        .expect("built-in rule must parse")
+        .with_label("severity", "critical")
+        .with_label("pack", "meta")
+        .with_annotation(
+            "summary",
+            "component {{ $labels.component }} ({{ $labels.instance }}) is not answering its metrics scrape",
+        )
+}
+
+/// Meta-monitoring (S22): a component's self-scrape data has gone stale —
+/// the last successful scrape is more than `max_age_s` seconds old even
+/// though meta passes keep running.
+pub fn meta_scrape_stale(max_age_s: f64, for_ms: i64) -> AlertRule {
+    AlertRule::new(
+        "MetaScrapeStale",
+        &format!("ceems_meta_scrape_staleness_seconds > {max_age_s}"),
+        for_ms,
+    )
+    .expect("built-in rule must parse")
+    .with_label("severity", "warning")
+    .with_label("pack", "meta")
+    .with_annotation(
+        "summary",
+        "self-scrape of {{ $labels.component }} ({{ $labels.instance }}) is {{ $value }} s stale",
+    )
+}
+
+/// Meta-monitoring (S22): circuit breakers at the LB are opening in a
+/// storm — more than `max_opens` opens over the last five minutes of
+/// self-scraped LB telemetry.
+pub fn breaker_open_storm(max_opens: f64, for_ms: i64) -> AlertRule {
+    AlertRule::new(
+        "BreakerOpenStorm",
+        &format!(
+            "sum by(backend) (increase(ceems_lb_breaker_events_total{{event=\"open\"}}[5m])) > {max_opens}"
+        ),
+        for_ms,
+    )
+    .expect("built-in rule must parse")
+    .with_label("severity", "critical")
+    .with_label("pack", "meta")
+    .with_annotation(
+        "summary",
+        "backend {{ $labels.backend }} breaker opened {{ $value }} times in 5m",
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,11 +140,14 @@ mod tests {
             emission_factor_stale(600.0, 0),
             node_power_anomaly(1200.0, 30_000),
             replica_wal_lag(100.0, 0),
+            component_down(0),
+            meta_scrape_stale(90.0, 0),
+            breaker_open_storm(3.0, 0),
         ]);
-        // None of the packs read ALERTS: a single level, four rules.
+        // None of the packs read ALERTS: a single level, seven rules.
         assert_eq!(set.depth(), 1);
-        assert_eq!(set.levels[0].len(), 4);
-        for i in 0..4 {
+        assert_eq!(set.levels[0].len(), 7);
+        for i in 0..7 {
             assert!(!set.is_meta(i));
         }
     }

@@ -12,7 +12,7 @@ use ceems_metrics::instruments::{Counter, CounterVec, GaugeVec, Histogram};
 use ceems_metrics::labels::{LabelSetBuilder, METRIC_NAME_LABEL};
 use ceems_metrics::matcher::{LabelMatcher, MatchOp};
 use ceems_obs::trace::QueryTrace;
-use ceems_obs::{add_metrics_route, trace, Obs};
+use ceems_obs::{add_metrics_route, trace, Obs, TraceSink};
 use ceems_tsdb::promql::instant_query_with_lookback;
 use ceems_tsdb::Tsdb;
 use parking_lot::Mutex;
@@ -95,6 +95,7 @@ pub struct AlertService {
     alerts_gauge: GaugeVec,
     notifications: CounterVec,
     eval_errors: Counter,
+    trace_sink: Option<Arc<TraceSink>>,
 }
 
 impl AlertService {
@@ -135,6 +136,7 @@ impl AlertService {
             "ceems_alertsrv_rule_eval_failures_total",
             "Alert-rule evaluations that failed.",
         );
+        ceems_obs::register_build_info(obs.registry(), "alertsrv");
         Ok(AlertService {
             rules,
             source,
@@ -154,7 +156,16 @@ impl AlertService {
             alerts_gauge,
             notifications,
             eval_errors,
+            trace_sink: None,
         })
+    }
+
+    /// Attaches a trace sink (S22): every tick's evaluation trace is
+    /// offered to it; head sampling or tail (slow-tick) capture decides
+    /// whether the trace is persisted.
+    pub fn with_trace_sink(mut self, sink: Arc<TraceSink>) -> AlertService {
+        self.trace_sink = Some(sink);
+        self
     }
 
     /// The service's metrics registry (serve with
@@ -344,6 +355,9 @@ impl AlertService {
                 .filter(|a| a.state == AlertState::Resolved)
                 .count() as f64,
         );
+        if let Some(sink) = &self.trace_sink {
+            sink.offer("alertsrv", "tick", "system", &qtrace.report());
+        }
         stats
     }
 

@@ -26,6 +26,7 @@ pub struct ApiServer {
     registry: Registry,
     requests: CounterVec,
     duration: HistogramVec,
+    trace_store: Option<Arc<ceems_obs::TraceStore>>,
 }
 
 fn val_to_json(v: &Value) -> Json {
@@ -81,13 +82,22 @@ impl ApiServer {
         );
         registry.register("api_requests", Arc::new(requests.clone()));
         registry.register("api_request_duration", Arc::new(duration.clone()));
+        ceems_obs::register_build_info(&registry, "apiserver");
         ApiServer {
             updater,
             admin_users,
             registry,
             requests,
             duration,
+            trace_store: None,
         }
+    }
+
+    /// Attaches the stack's trace store (S22), enabling
+    /// `GET /api/v1/traces` and `GET /api/v1/traces/:id`.
+    pub fn with_trace_store(mut self, store: Arc<ceems_obs::TraceStore>) -> ApiServer {
+        self.trace_store = Some(store);
+        self
     }
 
     fn is_admin(&self, user: &str) -> bool {
@@ -148,6 +158,20 @@ impl ApiServer {
             router.get("/api/v1/verify", move |req| {
                 me.timed("/api/v1/verify", || me.handle_verify(req))
             });
+        }
+        if self.trace_store.is_some() {
+            {
+                let me = self.clone();
+                router.get("/api/v1/traces", move |req| {
+                    me.timed("/api/v1/traces", || me.handle_traces(req))
+                });
+            }
+            {
+                let me = self.clone();
+                router.get("/api/v1/traces/:id", move |req| {
+                    me.timed("/api/v1/traces/:id", || me.handle_trace(req))
+                });
+            }
         }
         router
     }
@@ -241,6 +265,70 @@ impl ApiServer {
             }
             Err(e) => Response::error(Status::INTERNAL, e.to_string()),
         }
+    }
+
+    /// `GET /api/v1/traces?endpoint=&min_ms=&tenant=&limit=` — stored
+    /// trace summaries, newest first. Non-admins only see their own tenant.
+    fn handle_traces(&self, req: &Request) -> Response {
+        let Some(store) = &self.trace_store else {
+            return Response::error(Status::NOT_FOUND, "trace store not configured");
+        };
+        let Some(requester) = grafana_user(req) else {
+            return Response::error(Status::UNAUTHORIZED, "missing X-Grafana-User");
+        };
+        let tenant_param = req.query_param("tenant");
+        let tenant = if self.is_admin(&requester) {
+            tenant_param
+        } else {
+            match tenant_param {
+                Some(t) if t != requester => {
+                    return Response::error(Status::FORBIDDEN, "not your traces");
+                }
+                _ => Some(requester.as_str()),
+            }
+        };
+        let min_ms = match req.query_param("min_ms") {
+            Some(raw) => match raw.parse::<f64>() {
+                Ok(v) => Some(v),
+                Err(_) => return Response::error(Status::BAD_REQUEST, "bad min_ms"),
+            },
+            None => None,
+        };
+        let limit = match req.query_param("limit") {
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(v) => v.min(1000),
+                Err(_) => return Response::error(Status::BAD_REQUEST, "bad limit"),
+            },
+            None => 100,
+        };
+        let traces = store.list(req.query_param("endpoint"), min_ms, tenant, limit);
+        Response::json(serde_json::to_vec(&json!({"traces": traces})).unwrap())
+    }
+
+    /// `GET /api/v1/traces/:id` — every component's span for the trace
+    /// (the full stage breakdown). Non-admins may only read traces whose
+    /// spans all belong to their own tenant.
+    fn handle_trace(&self, req: &Request) -> Response {
+        let Some(store) = &self.trace_store else {
+            return Response::error(Status::NOT_FOUND, "trace store not configured");
+        };
+        let Some(requester) = grafana_user(req) else {
+            return Response::error(Status::UNAUTHORIZED, "missing X-Grafana-User");
+        };
+        let id = req.path_param("id").unwrap_or_default().to_string();
+        let Some(doc) = store.get(&id) else {
+            return Response::error(Status::NOT_FOUND, "no such trace (sampled out or evicted)");
+        };
+        if !self.is_admin(&requester) {
+            let owned = doc["spans"].as_array().is_some_and(|spans| {
+                !spans.is_empty()
+                    && spans.iter().all(|s| s["tenant"] == json!(requester))
+            });
+            if !owned {
+                return Response::error(Status::FORBIDDEN, "not your trace");
+            }
+        }
+        Response::json(serde_json::to_vec(&doc).unwrap())
     }
 
     fn handle_verify(&self, req: &Request) -> Response {

@@ -163,6 +163,7 @@ fn main() {
         LbConfig {
             admin_users: vec!["op".into()],
             query_frontend: None,
+            trace_sink: None,
         },
     ));
     let lb_srv = lb

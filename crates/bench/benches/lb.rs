@@ -60,6 +60,7 @@ fn bench_request_path(c: &mut Criterion) {
             LbConfig {
                 admin_users: vec!["op".into()],
                 query_frontend: None,
+                trace_sink: None,
             },
         ))
     };

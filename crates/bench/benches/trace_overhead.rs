@@ -1,0 +1,171 @@
+//! Cost of always-on trace sampling on the query path (DESIGN.md S22).
+//!
+//! S17 budgets instrumentation at < 5% of the operation it wraps. The trace
+//! pipeline adds three things per query on top of that: minting/accepting a
+//! trace ID, the head-sampling hash, and — for kept traces — serialising the
+//! report into the relstore-backed trace store. This bench runs the same
+//! PromQL instant query under three policies and emits `BENCH_trace.json`
+//! with the measured overhead of the default 10% head rate against the 5%
+//! budget:
+//!
+//! * `off`       — no sink; the bare eval the S17 budget is relative to.
+//! * `sampled`   — `TraceSink` at the default `obs.trace_sample_rate` 0.1.
+//! * `always_on` — rate 1.0, every trace persisted (worst case, for scale).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ceems_bench::report::{time_iters, write_bench_json, LatencySummary};
+use ceems_metrics::labels::{LabelSetBuilder, METRIC_NAME_LABEL};
+use ceems_obs::trace::{self, QueryTrace};
+use ceems_obs::{TraceSampler, TraceSink, TraceStore, TraceStoreConfig};
+use ceems_tsdb::promql::{instant_query, parse_expr};
+use ceems_tsdb::Tsdb;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const NODES: usize = 512;
+const SAMPLES_PER_SERIES: i64 = 30;
+const STEP_MS: i64 = 15_000;
+const ITERS: usize = 600;
+const BUDGET_PCT: f64 = 5.0;
+
+fn fleet_db() -> Tsdb {
+    let db = Tsdb::default();
+    for n in 0..NODES {
+        let labels = LabelSetBuilder::new()
+            .label(METRIC_NAME_LABEL, "ceems_ipmi_dcmi_current_watts")
+            .label("instance", &format!("node-{n:04}"))
+            .label("hostname", &format!("node-{n:04}"))
+            .build();
+        for s in 0..SAMPLES_PER_SERIES {
+            db.append(&labels, s * STEP_MS, 180.0 + (n % 17) as f64);
+        }
+    }
+    db
+}
+
+fn open_sink(tag: &str, rate: f64) -> TraceSink {
+    let dir = std::env::temp_dir().join(format!(
+        "ceems-bench-trace-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(
+        TraceStore::open(&dir, TraceStoreConfig::default()).expect("trace store opens"),
+    );
+    TraceSink::new(TraceSampler::new(rate, 0.0), store)
+}
+
+/// One traced query, exactly the shape of the tsdb HTTP handler: mint an ID,
+/// begin + enter the trace, stage the eval, offer the finished report.
+/// Returns whether the sink kept the trace.
+fn traced_query(
+    db: &Tsdb,
+    expr: &ceems_tsdb::promql::Expr,
+    now: i64,
+    sink: Option<&TraceSink>,
+) -> bool {
+    match sink {
+        None => {
+            let v = instant_query(db, expr, now).expect("query evals");
+            std::hint::black_box(v);
+            false
+        }
+        Some(sink) => {
+            let id = trace::mint_id();
+            let t = QueryTrace::begin(Some(&id));
+            let guard = trace::enter(Some(t.clone()));
+            {
+                let _s = t.stage("eval");
+                let v = instant_query(db, expr, now).expect("query evals");
+                std::hint::black_box(v);
+            }
+            drop(guard);
+            sink.offer("tsdb", "/api/v1/query", "bench", &t.report())
+                .is_some()
+        }
+    }
+}
+
+/// Measures the three policies interleaved round-robin, so allocator and
+/// cache warm-up, CPU frequency and scheduler noise land on all of them
+/// equally — back-to-back blocks would charge the whole warm-up to whichever
+/// config runs first.
+fn measure_interleaved(
+    db: &Tsdb,
+    expr: &ceems_tsdb::promql::Expr,
+    sinks: [Option<&TraceSink>; 3],
+) -> ([Vec<Duration>; 3], [u64; 3]) {
+    let now = (SAMPLES_PER_SERIES - 1) * STEP_MS;
+    let mut samples = [const { Vec::new() }; 3];
+    let mut stored = [0u64; 3];
+    for _ in 0..20 {
+        for sink in sinks {
+            traced_query(db, expr, now, sink);
+        }
+    }
+    for _ in 0..ITERS {
+        for (i, sink) in sinks.into_iter().enumerate() {
+            let mut kept = false;
+            let mut t = time_iters(1, || kept = traced_query(db, expr, now, sink));
+            samples[i].push(t.pop().unwrap());
+            if kept {
+                stored[i] += 1;
+            }
+        }
+    }
+    (samples, stored)
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let db = fleet_db();
+    let expr =
+        parse_expr("sum(rate(ceems_ipmi_dcmi_current_watts[60s]))").expect("bench expr parses");
+    let now = (SAMPLES_PER_SERIES - 1) * STEP_MS;
+
+    let sampled = open_sink("sampled", 0.1);
+    let always = open_sink("always", 1.0);
+
+    c.bench_function("trace_overhead/query_untraced", |b| {
+        b.iter(|| traced_query(&db, &expr, now, None))
+    });
+    c.bench_function("trace_overhead/query_sampled_10pct", |b| {
+        b.iter(|| traced_query(&db, &expr, now, Some(&sampled)))
+    });
+    c.bench_function("trace_overhead/query_always_stored", |b| {
+        b.iter(|| traced_query(&db, &expr, now, Some(&always)))
+    });
+
+    let ([mut off, mut rate10, mut rate100], [_, stored10, stored100]) =
+        measure_interleaved(&db, &expr, [None, Some(&sampled), Some(&always)]);
+    let off_sum = LatencySummary::from_samples(&mut off);
+    let rate10_sum = LatencySummary::from_samples(&mut rate10);
+    let rate100_sum = LatencySummary::from_samples(&mut rate100);
+
+    // p50 is the stable basis: the mean folds in scheduler outliers, and the
+    // p99 of short in-process loops is pure noise.
+    let overhead_pct = (rate10_sum.p50_us - off_sum.p50_us) / off_sum.p50_us * 100.0;
+    let always_pct = (rate100_sum.p50_us - off_sum.p50_us) / off_sum.p50_us * 100.0;
+
+    write_bench_json(
+        "trace",
+        &serde_json::json!({
+            "bench": "trace_overhead",
+            "nodes": NODES,
+            "iters": ITERS,
+            "query": "sum(rate(ceems_ipmi_dcmi_current_watts[60s]))",
+            "untraced": off_sum.to_json(),
+            "sampled_10pct": rate10_sum.to_json(),
+            "always_stored": rate100_sum.to_json(),
+            "sampled_overhead_pct": overhead_pct,
+            "always_stored_overhead_pct": always_pct,
+            "budget_pct": BUDGET_PCT,
+            "within_budget": overhead_pct < BUDGET_PCT,
+            "stored_at_default_rate": stored10,
+            "stored_at_full_rate": stored100,
+        }),
+    );
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

@@ -257,6 +257,61 @@ impl Default for AlertingSettings {
     }
 }
 
+/// The `obs:` YAML section (S22): always-on trace sampling and the durable
+/// trace store every component ships finished `TraceReport`s to.
+#[derive(Clone, Debug)]
+pub struct ObsSettings {
+    /// Head-sampling probability for finished traces, in `[0, 1]`. The
+    /// decision hashes the trace ID, so every hop of a request reaches the
+    /// same verdict. 0 disables head sampling (tail capture still applies).
+    pub trace_sample_rate: f64,
+    /// Tail-capture threshold (ms): every trace slower than this is stored
+    /// regardless of the head decision. Non-positive disables tail capture.
+    pub trace_slow_ms: f64,
+    /// Byte bound of the trace ring buffer; oldest spans are evicted first.
+    pub trace_store_max_bytes: u64,
+    /// Age bound (seconds) for stored spans, enforced by GC on
+    /// `CeemsStack::advance`. Non-positive disables age eviction.
+    pub trace_store_max_age_s: f64,
+}
+
+impl Default for ObsSettings {
+    fn default() -> Self {
+        ObsSettings {
+            trace_sample_rate: 0.1,
+            trace_slow_ms: 250.0,
+            trace_store_max_bytes: 4 << 20,
+            trace_store_max_age_s: 3600.0,
+        }
+    }
+}
+
+/// The `meta:` YAML section (S22): self-scrape meta-monitoring — the stack
+/// scrapes every component's own `/metrics` into the reserved
+/// `__ceems_meta__` tenant of its own TSDB.
+#[derive(Clone, Debug)]
+pub struct MetaSettings {
+    /// Master switch; presence of the `meta:` section enables it.
+    pub enabled: bool,
+    /// Self-scrape interval (seconds).
+    pub scrape_interval_s: f64,
+    /// Staleness bound (seconds) before the `MetaScrapeStale` alert fires.
+    pub stale_after_s: f64,
+    /// Breaker opens over 5 minutes before `BreakerOpenStorm` fires.
+    pub breaker_storm_opens: f64,
+}
+
+impl Default for MetaSettings {
+    fn default() -> Self {
+        MetaSettings {
+            enabled: false,
+            scrape_interval_s: 30.0,
+            stale_after_s: 90.0,
+            breaker_storm_opens: 3.0,
+        }
+    }
+}
+
 /// Churn generator settings.
 #[derive(Clone, Debug)]
 pub struct ChurnSettings {
@@ -331,6 +386,10 @@ pub struct CeemsConfig {
     pub resilience: ResilienceSettings,
     /// Alerting service settings (disabled by default).
     pub alerting: AlertingSettings,
+    /// Trace sampling + durable trace-store settings.
+    pub obs: ObsSettings,
+    /// Self-scrape meta-monitoring settings (disabled by default).
+    pub meta: MetaSettings,
 }
 
 impl Default for CeemsConfig {
@@ -363,6 +422,8 @@ impl Default for CeemsConfig {
             fault: FaultSettings::default(),
             resilience: ResilienceSettings::default(),
             alerting: AlertingSettings::default(),
+            obs: ObsSettings::default(),
+            meta: MetaSettings::default(),
         }
     }
 }
@@ -614,6 +675,42 @@ impl CeemsConfig {
                 cfg.alerting.wal_lag_max_records = v;
             }
         }
+        if let Some(o) = doc.get("obs") {
+            if let Some(v) = o.get("trace_sample_rate").and_then(Yaml::as_f64) {
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(format!(
+                        "obs.trace_sample_rate must be in [0, 1], got {v}"
+                    ));
+                }
+                cfg.obs.trace_sample_rate = v;
+            }
+            if let Some(v) = o.get("trace_slow_ms").and_then(Yaml::as_f64) {
+                cfg.obs.trace_slow_ms = v;
+            }
+            if let Some(v) = o.get("trace_store_max_bytes").and_then(Yaml::as_i64) {
+                cfg.obs.trace_store_max_bytes = v.max(1) as u64;
+            }
+            if let Some(v) = o.get("trace_store_max_age_s").and_then(Yaml::as_f64) {
+                cfg.obs.trace_store_max_age_s = v;
+            }
+        }
+        if let Some(m) = doc.get("meta") {
+            cfg.meta.enabled = m.get("enabled").and_then(Yaml::as_bool).unwrap_or(true);
+            if let Some(v) = m.get("scrape_interval_s").and_then(Yaml::as_f64) {
+                if v <= 0.0 {
+                    return Err(format!(
+                        "meta.scrape_interval_s must be positive, got {v}"
+                    ));
+                }
+                cfg.meta.scrape_interval_s = v;
+            }
+            if let Some(v) = m.get("stale_after_s").and_then(Yaml::as_f64) {
+                cfg.meta.stale_after_s = v.max(0.0);
+            }
+            if let Some(v) = m.get("breaker_storm_opens").and_then(Yaml::as_f64) {
+                cfg.meta.breaker_storm_opens = v.max(0.0);
+            }
+        }
         if let Some(v) = doc.get("threads").and_then(Yaml::as_i64) {
             cfg.threads = (v as usize).max(1);
         }
@@ -750,6 +847,44 @@ alerting:
         assert!(!c.alerting.enabled);
         assert_eq!(c.alerting.group_wait_s, 0.0);
         assert!(CeemsConfig::from_yaml("alerting:\n  eval_interval_s: 0\n").is_err());
+    }
+
+    #[test]
+    fn obs_and_meta_sections_parse() {
+        let c = CeemsConfig::from_yaml("").unwrap();
+        assert_eq!(c.obs.trace_sample_rate, 0.1);
+        assert_eq!(c.obs.trace_slow_ms, 250.0);
+        assert_eq!(c.obs.trace_store_max_bytes, 4 << 20);
+        assert_eq!(c.obs.trace_store_max_age_s, 3600.0);
+        assert!(!c.meta.enabled);
+        assert_eq!(c.meta.scrape_interval_s, 30.0);
+
+        let text = "\
+obs:
+  trace_sample_rate: 0.5
+  trace_slow_ms: 100
+  trace_store_max_bytes: 1048576
+  trace_store_max_age_s: 600
+meta:
+  scrape_interval_s: 15
+  stale_after_s: 45
+  breaker_storm_opens: 5
+";
+        let c = CeemsConfig::from_yaml(text).unwrap();
+        assert_eq!(c.obs.trace_sample_rate, 0.5);
+        assert_eq!(c.obs.trace_slow_ms, 100.0);
+        assert_eq!(c.obs.trace_store_max_bytes, 1 << 20);
+        assert_eq!(c.obs.trace_store_max_age_s, 600.0);
+        // Presence of the section enables meta-monitoring.
+        assert!(c.meta.enabled);
+        assert_eq!(c.meta.scrape_interval_s, 15.0);
+        assert_eq!(c.meta.stale_after_s, 45.0);
+        assert_eq!(c.meta.breaker_storm_opens, 5.0);
+
+        let c = CeemsConfig::from_yaml("meta:\n  enabled: false\n").unwrap();
+        assert!(!c.meta.enabled);
+        assert!(CeemsConfig::from_yaml("obs:\n  trace_sample_rate: 1.5\n").is_err());
+        assert!(CeemsConfig::from_yaml("meta:\n  scrape_interval_s: 0\n").is_err());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 pub mod attribution;
 pub mod config;
 pub mod dashboards;
+pub mod meta;
 pub mod stack;
 pub mod yaml;
 

@@ -1,0 +1,307 @@
+//! Self-scrape meta-monitoring (S22).
+//!
+//! The stack watches itself the same way it watches the cluster: every
+//! component's own `/metrics` exposition is scraped on an interval and
+//! ingested — through the normal ingest path — into a reserved
+//! `__ceems_meta__` tenant of the stack's own TSDB. PromQL, the qfe cache
+//! and the S21 alerting DAG then work over the stack's own health series
+//! exactly as they do over job telemetry.
+//!
+//! Per target, every pass also writes three synthetic series:
+//!
+//! * `ceems_meta_up` — 1 when the target answered and parsed, else 0.
+//! * `ceems_meta_scrape_duration_seconds` — wall time of the scrape.
+//! * `ceems_meta_scrape_staleness_seconds` — seconds since the last
+//!   successful scrape (0 while healthy; grows while a target is down).
+//!
+//! Targets are in-process render closures (the single-binary stack) or
+//! HTTP URLs (components served behind real sockets, registered via
+//! [`crate::CeemsStack::register_meta_target`]).
+
+use std::sync::Arc;
+
+use ceems_http::Client;
+use ceems_metrics::labels::{LabelSetBuilder, METRIC_NAME_LABEL};
+use ceems_metrics::parse::parse_text;
+use ceems_tsdb::Tsdb;
+
+/// The reserved tenant meta-monitoring series live under.
+pub const META_TENANT: &str = "__ceems_meta__";
+
+/// The `job` label stamped on every meta series.
+pub const META_JOB: &str = "ceems-meta";
+
+/// Where a meta target's exposition text comes from.
+#[derive(Clone)]
+pub enum MetaSource {
+    /// Call a closure returning exposition text (in-process component).
+    InProcess(Arc<dyn Fn() -> String + Send + Sync>),
+    /// Scrape a `/metrics` URL over HTTP.
+    Http(String),
+}
+
+/// One component under self-scrape.
+pub struct MetaTarget {
+    /// `component` label value (`tsdb`, `lb`, `qfe`, ...).
+    pub component: String,
+    /// `instance` label value.
+    pub instance: String,
+    /// Exposition source.
+    pub source: MetaSource,
+    last_ok_ms: Option<i64>,
+}
+
+impl MetaTarget {
+    /// An in-process target rendering its exposition via `f`.
+    pub fn in_process(
+        component: &str,
+        instance: &str,
+        f: Arc<dyn Fn() -> String + Send + Sync>,
+    ) -> MetaTarget {
+        MetaTarget {
+            component: component.to_string(),
+            instance: instance.to_string(),
+            source: MetaSource::InProcess(f),
+            last_ok_ms: None,
+        }
+    }
+
+    /// An HTTP target scraping `url` (a full `/metrics` URL).
+    pub fn http(component: &str, instance: &str, url: &str) -> MetaTarget {
+        MetaTarget {
+            component: component.to_string(),
+            instance: instance.to_string(),
+            source: MetaSource::Http(url.to_string()),
+            last_ok_ms: None,
+        }
+    }
+}
+
+/// Result of one meta pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetaScrapeStats {
+    /// Targets that answered and parsed.
+    pub ok: u64,
+    /// Targets that were down or unparseable.
+    pub failed: u64,
+    /// Exposition samples ingested (excludes the synthetic health series).
+    pub samples: u64,
+}
+
+/// Scrapes the stack's own components into the meta tenant of a TSDB.
+pub struct MetaMonitor {
+    targets: Vec<MetaTarget>,
+    client: Client,
+}
+
+impl MetaMonitor {
+    /// Creates a monitor over an initial target set.
+    pub fn new(targets: Vec<MetaTarget>) -> MetaMonitor {
+        MetaMonitor {
+            targets,
+            client: Client::new(),
+        }
+    }
+
+    /// Registers another component (components served later, e.g. an LB or
+    /// qfe bound to a real socket).
+    pub fn add_target(&mut self, t: MetaTarget) {
+        self.targets.push(t);
+    }
+
+    /// Target count.
+    pub fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Scrapes every target once at simulated time `now_ms`.
+    ///
+    /// The handful of stack components doesn't warrant a thread fan-out the
+    /// way 1,400 node exporters do, so this is a serial pass.
+    pub fn scrape_once(&mut self, db: &Tsdb, now_ms: i64) -> MetaScrapeStats {
+        let mut stats = MetaScrapeStats::default();
+        for t in &mut self.targets {
+            let started = std::time::Instant::now();
+            let fetched = fetch(&self.client, &t.source);
+            let duration_s = started.elapsed().as_secs_f64();
+            match fetched.and_then(|body| ingest(db, t, now_ms, &body)) {
+                Ok(n) => {
+                    stats.ok += 1;
+                    stats.samples += n;
+                    t.last_ok_ms = Some(now_ms);
+                    write_health(db, t, now_ms, 1.0, duration_s, 0.0);
+                }
+                Err(_) => {
+                    stats.failed += 1;
+                    let staleness = t
+                        .last_ok_ms
+                        .map(|ok| (now_ms - ok).max(0) as f64 / 1000.0)
+                        .unwrap_or(0.0);
+                    write_health(db, t, now_ms, 0.0, duration_s, staleness);
+                }
+            }
+        }
+        stats
+    }
+}
+
+fn fetch(client: &Client, source: &MetaSource) -> Result<String, String> {
+    match source {
+        MetaSource::InProcess(f) => Ok(f()),
+        MetaSource::Http(url) => {
+            let resp = client.get(url).map_err(|e| e.to_string())?;
+            if !resp.status.is_success() {
+                return Err(format!("meta scrape returned {}", resp.status.0));
+            }
+            Ok(resp.body_string())
+        }
+    }
+}
+
+fn meta_labels(t: &MetaTarget, name: &str) -> LabelSetBuilder {
+    LabelSetBuilder::new()
+        .label(METRIC_NAME_LABEL, name)
+        .label("tenant", META_TENANT)
+        .label("component", &t.component)
+        .label("instance", &t.instance)
+        .label("job", META_JOB)
+}
+
+fn ingest(db: &Tsdb, t: &MetaTarget, now_ms: i64, body: &str) -> Result<u64, String> {
+    let parsed = parse_text(body).map_err(|e| e.to_string())?;
+    let mut batch = Vec::with_capacity(parsed.samples.len());
+    for s in parsed.samples {
+        let b = LabelSetBuilder::from(s.labels)
+            .label(METRIC_NAME_LABEL, &s.name)
+            .label("tenant", META_TENANT)
+            .label("component", &t.component)
+            .label("instance", &t.instance)
+            .label("job", META_JOB);
+        batch.push((b.build(), s.timestamp_ms.unwrap_or(now_ms), s.value));
+    }
+    let n = batch.len() as u64;
+    db.append_batch(&batch);
+    Ok(n)
+}
+
+fn write_health(db: &Tsdb, t: &MetaTarget, now_ms: i64, up: f64, duration_s: f64, staleness_s: f64) {
+    db.append(&meta_labels(t, "ceems_meta_up").build(), now_ms, up);
+    db.append(
+        &meta_labels(t, "ceems_meta_scrape_duration_seconds").build(),
+        now_ms,
+        duration_s,
+    );
+    db.append(
+        &meta_labels(t, "ceems_meta_scrape_staleness_seconds").build(),
+        now_ms,
+        staleness_s,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceems_metrics::matcher::LabelMatcher;
+
+    fn render_target(component: &str, body: &'static str) -> MetaTarget {
+        MetaTarget::in_process(
+            component,
+            &format!("{component}:0"),
+            Arc::new(move || body.to_string()),
+        )
+    }
+
+    #[test]
+    fn meta_scrape_ingests_under_meta_tenant() {
+        let db = Tsdb::default();
+        let mut mon = MetaMonitor::new(vec![render_target(
+            "tsdb",
+            "# TYPE ceems_build_info gauge\nceems_build_info{component=\"tsdb\"} 1\ntsdb_head_series 42\n",
+        )]);
+        let s = mon.scrape_once(&db, 30_000);
+        assert_eq!(s.ok, 1);
+        assert_eq!(s.failed, 0);
+        assert_eq!(s.samples, 2);
+
+        let got = db.select(
+            &[LabelMatcher::eq("__name__", "tsdb_head_series")],
+            0,
+            i64::MAX,
+        );
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].labels.get("tenant"), Some(META_TENANT));
+        assert_eq!(got[0].labels.get("component"), Some("tsdb"));
+        assert_eq!(got[0].labels.get("job"), Some(META_JOB));
+
+        let up = db.select(&[LabelMatcher::eq("__name__", "ceems_meta_up")], 0, i64::MAX);
+        assert_eq!(up.len(), 1);
+        assert_eq!(up[0].samples[0].v, 1.0);
+        let dur = db.select(
+            &[LabelMatcher::eq("__name__", "ceems_meta_scrape_duration_seconds")],
+            0,
+            i64::MAX,
+        );
+        assert_eq!(dur.len(), 1);
+    }
+
+    #[test]
+    fn dead_target_drops_up_and_staleness_grows() {
+        let db = Tsdb::default();
+        let mut mon = MetaMonitor::new(vec![MetaTarget::http(
+            "lb",
+            "lb:0",
+            "http://127.0.0.1:1/metrics",
+        )]);
+        // A healthy in-process target first, so last_ok is set.
+        let alive = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let alive2 = alive.clone();
+        let mut mon2 = MetaMonitor::new(vec![MetaTarget::in_process(
+            "qfe",
+            "qfe:0",
+            Arc::new(move || {
+                if alive2.load(std::sync::atomic::Ordering::SeqCst) {
+                    "qfe_cache_hits_total 3\n".to_string()
+                } else {
+                    "{{{ dead".to_string()
+                }
+            }),
+        )]);
+
+        let s = mon.scrape_once(&db, 1000);
+        assert_eq!(s.failed, 1);
+        let up = db.select(
+            &[
+                LabelMatcher::eq("__name__", "ceems_meta_up"),
+                LabelMatcher::eq("component", "lb"),
+            ],
+            0,
+            i64::MAX,
+        );
+        assert_eq!(up[0].samples[0].v, 0.0);
+
+        // Healthy, then killed: staleness counts up from the last success.
+        assert_eq!(mon2.scrape_once(&db, 1000).ok, 1);
+        alive.store(false, std::sync::atomic::Ordering::SeqCst);
+        assert_eq!(mon2.scrape_once(&db, 31_000).failed, 1);
+        assert_eq!(mon2.scrape_once(&db, 61_000).failed, 1);
+        let stale = db.select(
+            &[
+                LabelMatcher::eq("__name__", "ceems_meta_scrape_staleness_seconds"),
+                LabelMatcher::eq("component", "qfe"),
+            ],
+            0,
+            i64::MAX,
+        );
+        let vals: Vec<f64> = stale[0].samples.iter().map(|s| s.v).collect();
+        assert_eq!(vals, vec![0.0, 30.0, 60.0]);
+    }
+
+    #[test]
+    fn unparseable_body_is_a_failure() {
+        let db = Tsdb::default();
+        let mut mon = MetaMonitor::new(vec![render_target("exporter", "{{{ nope")]);
+        let s = mon.scrape_once(&db, 0);
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.samples, 0);
+    }
+}

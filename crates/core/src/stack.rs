@@ -22,6 +22,7 @@ use ceems_emissions::owid::OwidStatic;
 use ceems_emissions::rte::RteSimulated;
 use ceems_emissions::{EmissionProvider, LastKnownGood, ProviderChain};
 use ceems_exporter::{CeemsExporter, ExporterConfig};
+use ceems_obs::{TraceSampler, TraceSink, TraceStore, TraceStoreConfig};
 use ceems_relstore::Db;
 use ceems_simnode::{SimClock, SimCluster};
 use ceems_slurm::{ChurnGenerator, JobRequest, Partition, Scheduler};
@@ -31,6 +32,7 @@ use ceems_tsdb::{Tsdb, TsdbConfig};
 
 use crate::attribution::{all_rule_groups, NodeGroup};
 use crate::config::CeemsConfig;
+use crate::meta::{MetaMonitor, MetaScrapeStats, MetaTarget};
 
 /// Cumulative stack statistics.
 #[derive(Clone, Copy, Debug, Default)]
@@ -53,6 +55,14 @@ pub struct StackStats {
     pub alert_ticks: u64,
     /// Alert notifications delivered.
     pub alert_notifications: u64,
+    /// Self-scrape meta passes (0 unless `meta:` is enabled).
+    pub meta_passes: u64,
+    /// Samples ingested into the `__ceems_meta__` tenant.
+    pub meta_samples: u64,
+    /// Meta targets that failed a pass.
+    pub meta_failures: u64,
+    /// Trace spans evicted by the store's byte/age GC.
+    pub traces_evicted: u64,
 }
 
 /// The assembled CEEMS deployment.
@@ -79,12 +89,15 @@ pub struct CeemsStack {
     scrape_mgr: ScrapeManager,
     rule_engine: RuleEngine,
     churn: Option<ChurnGenerator>,
+    trace_sink: Arc<TraceSink>,
+    meta_mon: Option<MetaMonitor>,
     config: CeemsConfig,
     last_scrape_ms: i64,
     last_rule_ms: i64,
     last_update_ms: i64,
     last_checkpoint_ms: i64,
     last_alert_ms: i64,
+    last_meta_ms: i64,
     stats: StackStats,
 }
 
@@ -198,6 +211,25 @@ impl CeemsStack {
         ))
         .with_eval_threads(config.query_threads);
 
+        // Durable sampled trace store (S22): one store + sampling policy
+        // shared by every component the stack wires. The sim clock stamps
+        // stored spans so eviction is deterministic under a fixed seed.
+        let trace_store = Arc::new(TraceStore::open(
+            &db_dir.join("traces"),
+            TraceStoreConfig {
+                max_bytes: config.obs.trace_store_max_bytes,
+                max_age_ms: (config.obs.trace_store_max_age_s * 1000.0) as i64,
+            },
+        )?);
+        let trace_clock = clock.clone();
+        let trace_sink = Arc::new(
+            TraceSink::new(
+                TraceSampler::new(config.obs.trace_sample_rate, config.obs.trace_slow_ms),
+                trace_store.clone(),
+            )
+            .with_now(Arc::new(move || trace_clock.now_ms())),
+        );
+
         let rm = Arc::new(SlurmRmClient::new(scheduler.clone()));
         let metrics = Arc::new(TsdbLocalSource::new(tsdb.clone()));
         let admin: Arc<dyn ceems_apiserver::updater::TsdbAdmin> = Arc::new(tsdb.clone());
@@ -247,6 +279,19 @@ impl CeemsStack {
             if a.wal_lag_max_records > 0.0 {
                 rules.push(packs::replica_wal_lag(a.wal_lag_max_records, 0));
             }
+            // The meta pack (S22) rides along whenever self-scrape runs:
+            // its rules query the `__ceems_meta__` series the meta monitor
+            // writes into the same TSDB these rules evaluate over.
+            if config.meta.enabled {
+                let m = &config.meta;
+                rules.push(packs::component_down(0));
+                if m.stale_after_s > 0.0 {
+                    rules.push(packs::meta_scrape_stale(m.stale_after_s, 0));
+                }
+                if m.breaker_storm_opens > 0.0 {
+                    rules.push(packs::breaker_open_storm(m.breaker_storm_opens, 0));
+                }
+            }
             let log = LogSink::new();
             let mut sinks: Vec<Arc<dyn NotificationSink>> = vec![log.clone()];
             let default_sink = match &a.webhook_url {
@@ -275,10 +320,51 @@ impl CeemsStack {
                     lookback_ms,
                 },
                 &db_dir.join("alertsrv"),
-            )?;
+            )?
+            .with_trace_sink(trace_sink.clone());
             (Some(Arc::new(svc)), Some(log))
         } else {
             (None, None)
+        };
+
+        // Self-scrape meta monitor (S22): the stack's own components as
+        // scrape targets, ingested into the reserved `__ceems_meta__`
+        // tenant of the same TSDB. In-process components register render
+        // closures here; socket-served ones (LB, qfe, apiserver) join via
+        // [`Self::register_meta_target`].
+        let meta_mon = if config.meta.enabled {
+            let mut targets: Vec<MetaTarget> = Vec::new();
+            // The TSDB's own registry, extended with build identity and the
+            // trace-store health gauges so `ceems_trace_store_bytes` rides
+            // the meta tenant too.
+            let reg = ceems_tsdb::selfmon::default_registry(tsdb.clone());
+            ceems_obs::register_build_info(&reg, "tsdb");
+            trace_store.register_metrics(&reg);
+            targets.push(MetaTarget::in_process(
+                "tsdb",
+                "tsdb:0",
+                Arc::new(move || ceems_metrics::encode_families(&reg.gather())),
+            ));
+            if let Some(svc) = &alertsrv {
+                let reg = svc.registry();
+                targets.push(MetaTarget::in_process(
+                    "alertsrv",
+                    "alertsrv:0",
+                    Arc::new(move || ceems_metrics::encode_families(&reg.gather())),
+                ));
+            }
+            // One representative node exporter; the full fleet is already
+            // scraped as regular `job="ceems"` targets.
+            if let Some(exporter) = exporters.first() {
+                targets.push(MetaTarget::in_process(
+                    "exporter",
+                    "exporter:0",
+                    exporter.render_fn(),
+                ));
+            }
+            Some(MetaMonitor::new(targets))
+        } else {
+            None
         };
 
         Ok(CeemsStack {
@@ -293,12 +379,15 @@ impl CeemsStack {
             scrape_mgr,
             rule_engine,
             churn,
+            trace_sink,
+            meta_mon,
             config,
             last_scrape_ms: i64::MIN / 2,
             last_rule_ms: i64::MIN / 2,
             last_update_ms: i64::MIN / 2,
             last_checkpoint_ms: 0,
             last_alert_ms: i64::MIN / 2,
+            last_meta_ms: i64::MIN / 2,
             stats: StackStats::default(),
         })
     }
@@ -319,6 +408,41 @@ impl CeemsStack {
     /// The configuration.
     pub fn config(&self) -> &CeemsConfig {
         &self.config
+    }
+
+    /// The shared trace sink (sampling policy + durable store + sim clock).
+    /// Hand this to every served component (`LbConfig::trace_sink`,
+    /// `QfeConfig::trace_sink`, [`Self::tsdb_api_options`] wires it itself)
+    /// so all hops of a request reach the same sampling verdict.
+    pub fn trace_sink(&self) -> Arc<TraceSink> {
+        self.trace_sink.clone()
+    }
+
+    /// The durable trace store behind the sink (the apiserver's
+    /// `/api/v1/traces` endpoints serve from this).
+    pub fn trace_store(&self) -> Arc<TraceStore> {
+        self.trace_sink.store().clone()
+    }
+
+    /// Registers a socket-served component for self-scrape by its full
+    /// `/metrics` URL. No-op unless `meta:` is enabled.
+    pub fn register_meta_target(&mut self, component: &str, instance: &str, metrics_url: &str) {
+        if let Some(mon) = &mut self.meta_mon {
+            mon.add_target(MetaTarget::http(component, instance, metrics_url));
+        }
+    }
+
+    /// Registers an in-process component for self-scrape via a render
+    /// closure. No-op unless `meta:` is enabled.
+    pub fn register_meta_render(
+        &mut self,
+        component: &str,
+        instance: &str,
+        render: Arc<dyn Fn() -> String + Send + Sync>,
+    ) {
+        if let Some(mon) = &mut self.meta_mon {
+            mon.add_target(MetaTarget::in_process(component, instance, render));
+        }
     }
 
     /// TSDB API-router options wired to this stack's observability
@@ -342,6 +466,7 @@ impl CeemsStack {
                 self.config.wal_fetch_rate_per_s,
                 self.config.wal_fetch_burst,
             )),
+            trace_sink: Some(self.trace_sink.clone()),
         }
     }
 
@@ -367,6 +492,7 @@ impl CeemsStack {
             },
             max_fanout: 8,
             now,
+            trace_sink: Some(self.trace_sink.clone()),
         }
     }
 
@@ -425,6 +551,15 @@ impl CeemsStack {
                 self.stats.wal_checkpoints += 1;
             }
         }
+        if let Some(meta) = &mut self.meta_mon {
+            if now - self.last_meta_ms >= (self.config.meta.scrape_interval_s * 1000.0) as i64 {
+                self.last_meta_ms = now;
+                let s: MetaScrapeStats = meta.scrape_once(&self.tsdb, now);
+                self.stats.meta_passes += 1;
+                self.stats.meta_samples += s.samples;
+                self.stats.meta_failures += s.failed;
+            }
+        }
         if let Some(alertsrv) = &self.alertsrv {
             if now - self.last_alert_ms >= (self.config.alerting.eval_interval_s * 1000.0) as i64
             {
@@ -434,6 +569,9 @@ impl CeemsStack {
                 self.stats.alert_notifications += s.notifications_sent as u64;
             }
         }
+        // Trace-store GC every step: the age sweep stops at the first young
+        // span and the byte re-check is O(1) when nothing is over bound.
+        self.stats.traces_evicted += self.trace_sink.store().gc(now);
     }
 
     /// Runs the stack for `seconds` of simulated time in `step_s` slices.

@@ -670,6 +670,10 @@ fn parse_request(buf: &mut Vec<u8>, scanned: &mut usize, max_body: usize) -> Par
         headers: Default::default(),
         body: Vec::new(),
         path_params: Default::default(),
+        // Stamped at parse completion (socket readability side); handlers
+        // and instruments measure from dispatch and treat the difference as
+        // queue delay.
+        received_at: Some(std::time::Instant::now()),
     };
     for hline in lines {
         if hline.is_empty() {

@@ -23,8 +23,9 @@ use serde_json::{json, Value as Json};
 
 use ceems_http::{Client, HttpServer, Request, Response, Router, ServerConfig, Status};
 use ceems_metrics::{Counter, CounterVec, Histogram, Registry};
+use ceems_obs::http::TRACE_STORED_HEADER;
 use ceems_obs::trace::QueryTrace;
-use ceems_obs::{counter_family, histogram_family, HttpInstruments, TRACE_HEADER};
+use ceems_obs::{counter_family, histogram_family, HttpInstruments, TraceSink, TRACE_HEADER};
 
 use crate::acl::Authorizer;
 use crate::backend::BackendPool;
@@ -41,6 +42,11 @@ pub struct LbConfig {
     /// backend pool if the frontend is unreachable. Non-query traffic
     /// always uses the pool.
     pub query_frontend: Option<String>,
+    /// Trace sink (S22): every query's finished trace is offered here;
+    /// head sampling or tail (slow) capture decides whether it is stored.
+    /// When a trace is stored the response carries [`TRACE_STORED_HEADER`]
+    /// and the forward histogram gets the trace ID as an exemplar.
+    pub trace_sink: Option<Arc<TraceSink>>,
 }
 
 /// The LB's own telemetry: forwarding latency, per-backend outcomes,
@@ -195,6 +201,7 @@ impl CeemsLb {
         let registry = Registry::new();
         let instruments = LbInstruments::new(&registry);
         let http = HttpInstruments::new("lb", &registry);
+        ceems_obs::register_build_info(&registry, "lb");
         {
             // Per-replica WAL lag, read at scrape time from the values the
             // health check already computes for staleness demotion — the
@@ -362,13 +369,14 @@ impl CeemsLb {
                         self.instruments.frontend_fallbacks.inc();
                     }
                     Ok(mut resp) => {
-                        self.instruments.forward_seconds.observe(forward_secs);
                         self.instruments
                             .requests
                             .with_label_values(&["qfe", "ok"])
                             .inc();
                         resp.headers
                             .insert("x-ceems-lb-backend".to_string(), "qfe".to_string());
+                        let mut resp =
+                            self.finish_query(&qtrace, req, resp, auth_ms, forward_secs, 0);
                         if trace_requested {
                             let total_ms = total_start.elapsed().as_secs_f64() * 1000.0;
                             if let Some(body) = rewrite_trace(
@@ -450,7 +458,6 @@ impl CeemsLb {
             let result =
                 client.request(req.method, &url, req.body.clone(), req.header("content-type"));
             let forward_secs = forward_start.elapsed().as_secs_f64();
-            self.instruments.forward_seconds.observe(forward_secs);
             match result {
                 // The LB is the last hop before the client, so it is the
                 // last chance to catch a corrupted success: a 2xx query
@@ -461,6 +468,7 @@ impl CeemsLb {
                         && resp.status.is_success()
                         && serde_json::from_slice::<Json>(&resp.body).is_err() =>
                 {
+                    self.instruments.forward_seconds.observe(forward_secs);
                     self.instruments.corrupt.inc();
                     self.instruments
                         .requests
@@ -479,6 +487,7 @@ impl CeemsLb {
                 // Server errors are retried on the next backend; only when
                 // every backend says 5xx is the last answer relayed.
                 Ok(resp) if resp.status.0 >= 500 => {
+                    self.instruments.forward_seconds.observe(forward_secs);
                     self.instruments
                         .requests
                         .with_label_values(&[&backend.id, "5xx"])
@@ -498,6 +507,14 @@ impl CeemsLb {
                         .inc();
                     resp.headers
                         .insert("x-ceems-lb-backend".to_string(), backend.id.clone());
+                    let mut resp = self.finish_query(
+                        &qtrace,
+                        req,
+                        resp,
+                        auth_ms,
+                        forward_secs,
+                        attempts as u64,
+                    );
                     if trace_requested {
                         let total_ms = total_start.elapsed().as_secs_f64() * 1000.0;
                         if let Some(body) = rewrite_trace(
@@ -517,6 +534,7 @@ impl CeemsLb {
                     // the breaker (three strikes open it, taking the backend
                     // out of rotation until the cooldown or a health probe)
                     // and try the next backend before giving up.
+                    self.instruments.forward_seconds.observe(forward_secs);
                     self.instruments
                         .requests
                         .with_label_values(&[&backend.id, "error"])
@@ -531,6 +549,48 @@ impl CeemsLb {
                     }
                     self.instruments.retries.inc();
                 }
+            }
+        }
+    }
+
+    /// Finishes the LB's own trace span for a successful query forward:
+    /// records the `lb_auth`/`lb_forward` stages, offers the report to the
+    /// trace sink (head sampling or tail capture decides storage), and —
+    /// when stored — tags the response with [`TRACE_STORED_HEADER`] and
+    /// attaches the trace ID as an exemplar on the forward-latency
+    /// histogram. Non-query requests carry no trace and just observe.
+    fn finish_query(
+        &self,
+        qtrace: &Option<QueryTrace>,
+        req: &Request,
+        resp: Response,
+        auth_ms: f64,
+        forward_secs: f64,
+        retries: u64,
+    ) -> Response {
+        let Some(t) = qtrace else {
+            self.instruments.forward_seconds.observe(forward_secs);
+            return resp;
+        };
+        t.record_stage_ms("lb_auth", auth_ms);
+        t.record_stage_ms("lb_forward", forward_secs * 1000.0);
+        if retries > 0 {
+            t.add_count("lb_retries", retries);
+        }
+        let stored = self.config.trace_sink.as_ref().and_then(|sink| {
+            let tenant = req.header("x-grafana-user").unwrap_or("anonymous");
+            sink.offer("lb", &req.path, tenant, &t.report())
+        });
+        match stored {
+            Some(key) => {
+                self.instruments
+                    .forward_seconds
+                    .observe_with_exemplar(forward_secs, &key);
+                resp.with_header(TRACE_STORED_HEADER, key)
+            }
+            None => {
+                self.instruments.forward_seconds.observe(forward_secs);
+                resp
             }
         }
     }
@@ -661,6 +721,7 @@ mod tests {
             LbConfig {
                 admin_users: vec!["root".into()],
                 query_frontend: None,
+                trace_sink: None,
             },
         ))
     }
@@ -896,6 +957,7 @@ mod tests {
             LbConfig {
                 admin_users: vec!["root".into()],
                 query_frontend: frontend,
+                trace_sink: None,
             },
         ))
     }

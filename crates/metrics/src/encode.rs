@@ -93,6 +93,15 @@ pub fn encode_families_into(families: &[MetricFamily], out: &mut String) {
             if let Some(ts) = m.sample.timestamp_ms {
                 let _ = write!(out, " {}", ts);
             }
+            if let Some(ex) = &m.exemplar {
+                // OpenMetrics exemplar syntax appended to the sample line.
+                let _ = write!(
+                    out,
+                    " # {{trace_id=\"{}\"}} {}",
+                    escape_label_value(&ex.trace_id),
+                    format_value(ex.value)
+                );
+            }
             out.push('\n');
         }
     }
@@ -143,6 +152,21 @@ mod tests {
         let text = encode_families(&[fam]);
         assert!(text.contains("# HELP lat a\\nb\\\\c\n"));
         assert!(text.contains("lat_bucket{le=\"0.5\",path=\"a\\\"b\"} 3\n"));
+    }
+
+    #[test]
+    fn encode_exemplar_suffix() {
+        use crate::model::Exemplar;
+        let mut fam = MetricFamily::new("lat", "", MetricType::Histogram);
+        fam.metrics.push(
+            Metric::suffixed(labels! {"le" => "0.5"}, Sample::now(3.0), "_bucket")
+                .with_exemplar(Some(Exemplar::new("deadbeef", 0.043))),
+        );
+        let text = encode_families(&[fam]);
+        assert!(
+            text.contains("lat_bucket{le=\"0.5\"} 3 # {trace_id=\"deadbeef\"} 0.043\n"),
+            "got: {text}"
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 
 use crate::labels::LabelSet;
-use crate::model::{Metric, MetricFamily, MetricType, Sample};
+use crate::model::{Exemplar, Metric, MetricFamily, MetricType, Sample};
 use crate::registry::Collector;
 
 /// Lock-free f64 cell.
@@ -134,6 +134,9 @@ struct HistogramCore {
     counts: Vec<AtomicU64>,
     sum: AtomicF64,
     total: AtomicU64,
+    // One exemplar slot per bucket (last slot is +Inf): the most recent traced
+    // observation that landed in that bucket.
+    exemplars: Vec<parking_lot::Mutex<Option<Exemplar>>>,
 }
 
 impl Histogram {
@@ -143,12 +146,16 @@ impl Histogram {
         bounds.sort_by(|a, b| a.partial_cmp(b).expect("histogram bound must not be NaN"));
         bounds.dedup();
         let counts = (0..bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        let exemplars = (0..bounds.len() + 1)
+            .map(|_| parking_lot::Mutex::new(None))
+            .collect();
         Histogram {
             inner: Arc::new(HistogramCore {
                 bounds,
                 counts,
                 sum: AtomicF64::new(0.0),
                 total: AtomicU64::new(0),
+                exemplars,
             }),
         }
     }
@@ -191,6 +198,20 @@ impl Histogram {
         self.inner.total.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one observation and remembers `trace_id` as the exemplar for
+    /// the (lowest) bucket the value lands in, so `/metrics` links that bucket
+    /// to a stored trace.
+    pub fn observe_with_exemplar(&self, v: f64, trace_id: &str) {
+        self.observe(v);
+        let slot = self
+            .inner
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.inner.bounds.len());
+        *self.inner.exemplars[slot].lock() = Some(Exemplar::new(trace_id, v));
+    }
+
     /// Total number of observations.
     pub fn count(&self) -> u64 {
         self.inner.total.load(Ordering::Relaxed)
@@ -207,17 +228,23 @@ impl Histogram {
         let mut out = Vec::with_capacity(self.inner.bounds.len() + 3);
         for (i, &bound) in self.inner.bounds.iter().enumerate() {
             let le = format_bound(bound);
-            out.push(Metric::suffixed(
-                base.with("le", le),
-                Sample::now(self.inner.counts[i].load(Ordering::Relaxed) as f64),
-                "_bucket",
-            ));
+            out.push(
+                Metric::suffixed(
+                    base.with("le", le),
+                    Sample::now(self.inner.counts[i].load(Ordering::Relaxed) as f64),
+                    "_bucket",
+                )
+                .with_exemplar(self.inner.exemplars[i].lock().clone()),
+            );
         }
-        out.push(Metric::suffixed(
-            base.with("le", "+Inf"),
-            Sample::now(self.count() as f64),
-            "_bucket",
-        ));
+        out.push(
+            Metric::suffixed(
+                base.with("le", "+Inf"),
+                Sample::now(self.count() as f64),
+                "_bucket",
+            )
+            .with_exemplar(self.inner.exemplars[self.inner.bounds.len()].lock().clone()),
+        );
         out.push(Metric::suffixed(base.clone(), Sample::now(self.sum()), "_sum"));
         out.push(Metric::suffixed(
             base.clone(),
@@ -496,6 +523,26 @@ mod tests {
         assert_eq!(rendered.len(), 6);
         let bucket_vals: Vec<f64> = rendered[..4].iter().map(|m| m.sample.value).collect();
         assert_eq!(bucket_vals, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn histogram_exemplars_attach_to_landing_bucket() {
+        let h = Histogram::new(vec![1.0, 5.0, 10.0]);
+        h.observe(0.5);
+        h.observe_with_exemplar(2.0, "trace-a");
+        h.observe_with_exemplar(99.0, "trace-b"); // +Inf slot
+        let rendered = h.render(&labels! {});
+        // Buckets: le=1 (no exemplar), le=5 (trace-a), le=10 (none), +Inf (trace-b).
+        assert!(rendered[0].exemplar.is_none());
+        let ex = rendered[1].exemplar.as_ref().unwrap();
+        assert_eq!(ex.trace_id, "trace-a");
+        assert_eq!(ex.value, 2.0);
+        assert!(rendered[2].exemplar.is_none());
+        assert_eq!(rendered[3].exemplar.as_ref().unwrap().trace_id, "trace-b");
+        // A later observation in the same bucket replaces the exemplar.
+        h.observe_with_exemplar(3.0, "trace-c");
+        let rendered = h.render(&labels! {});
+        assert_eq!(rendered[1].exemplar.as_ref().unwrap().trace_id, "trace-c");
     }
 
     #[test]

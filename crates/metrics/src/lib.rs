@@ -33,6 +33,6 @@ pub use instruments::{
 };
 pub use labels::{LabelSet, LabelSetBuilder};
 pub use matcher::{LabelMatcher, MatchOp};
-pub use model::{Metric, MetricFamily, MetricType, Sample};
-pub use parse::{parse_text, ParseError, ParsedSample, ParsedScrape};
+pub use model::{Exemplar, Metric, MetricFamily, MetricType, Sample};
+pub use parse::{parse_text, ParseError, ParsedExemplar, ParsedSample, ParsedScrape};
 pub use registry::{Collector, Registry};

@@ -71,6 +71,30 @@ impl Sample {
     }
 }
 
+/// An OpenMetrics exemplar: a reference from a metric sample (typically a
+/// histogram bucket) to one concrete traced event that landed in it.
+///
+/// Rendered on the wire as `# {trace_id="<id>"} <value>` appended to the
+/// sample line, which is how a latency spike in a histogram links to a stored
+/// trace in one click.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Exemplar {
+    /// The trace ID of the exemplified event.
+    pub trace_id: String,
+    /// The observed value of that event (e.g. its latency in seconds).
+    pub value: f64,
+}
+
+impl Exemplar {
+    /// Creates an exemplar for a traced observation.
+    pub fn new(trace_id: impl Into<String>, value: f64) -> Self {
+        Exemplar {
+            trace_id: trace_id.into(),
+            value,
+        }
+    }
+}
+
 /// One labelled instance inside a family.
 ///
 /// Histograms and summaries are flattened into plain samples by the
@@ -85,6 +109,8 @@ pub struct Metric {
     /// Optional suffix appended to the family name on the wire
     /// (e.g. `_bucket`, `_sum`, `_count`). Empty for plain metrics.
     pub name_suffix: &'static str,
+    /// Optional exemplar rendered after the sample in OpenMetrics syntax.
+    pub exemplar: Option<Exemplar>,
 }
 
 impl Metric {
@@ -94,6 +120,7 @@ impl Metric {
             labels,
             sample,
             name_suffix: "",
+            exemplar: None,
         }
     }
 
@@ -103,7 +130,14 @@ impl Metric {
             labels,
             sample,
             name_suffix: suffix,
+            exemplar: None,
         }
+    }
+
+    /// Attaches an exemplar, returning `self` for chaining.
+    pub fn with_exemplar(mut self, exemplar: Option<Exemplar>) -> Self {
+        self.exemplar = exemplar;
+        self
     }
 }
 

@@ -21,6 +21,19 @@ pub struct ParsedSample {
     pub value: f64,
     /// Optional explicit timestamp in milliseconds.
     pub timestamp_ms: Option<i64>,
+    /// Optional OpenMetrics exemplar (`# {trace_id="..."} value`) attached to
+    /// the sample line. Exemplars annotate a sample; they are not samples
+    /// themselves, so ingestion paths may ignore this field.
+    pub exemplar: Option<ParsedExemplar>,
+}
+
+/// An exemplar parsed from the `# {labels} value` suffix of a sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedExemplar {
+    /// Exemplar labels (typically just `trace_id`).
+    pub labels: LabelSet,
+    /// The exemplified observation's value.
+    pub value: f64,
 }
 
 /// Parse failure with 1-based line number.
@@ -124,98 +137,25 @@ fn parse_sample_line(line: &str, lineno: usize) -> Result<ParsedSample, ParseErr
     let name = line[start..i].to_string();
 
     // Optional labels.
-    let mut builder = LabelSetBuilder::new();
-    if i < bytes.len() && bytes[i] == b'{' {
-        i += 1;
-        loop {
-            // Skip whitespace.
-            while i < bytes.len() && bytes[i] == b' ' {
-                i += 1;
-            }
-            if i < bytes.len() && bytes[i] == b'}' {
-                i += 1;
-                break;
-            }
-            // Label name.
-            let ls = i;
-            while i < bytes.len() {
-                let c = bytes[i] as char;
-                if c.is_ascii_alphanumeric() || c == '_' {
-                    i += 1;
-                } else {
-                    break;
-                }
-            }
-            if i == ls {
-                return Err(err("expected label name"));
-            }
-            let lname = line[ls..i].to_string();
-            if i >= bytes.len() || bytes[i] != b'=' {
-                return Err(err("expected '=' after label name"));
-            }
-            i += 1;
-            if i >= bytes.len() || bytes[i] != b'"' {
-                return Err(err("expected '\"' starting label value"));
-            }
-            i += 1;
-            let mut value = String::new();
-            loop {
-                if i >= bytes.len() {
-                    return Err(err("unterminated label value"));
-                }
-                match bytes[i] {
-                    b'"' => {
-                        i += 1;
-                        break;
-                    }
-                    b'\\' => {
-                        i += 1;
-                        if i >= bytes.len() {
-                            return Err(err("dangling escape in label value"));
-                        }
-                        match bytes[i] {
-                            b'n' => value.push('\n'),
-                            b'\\' => value.push('\\'),
-                            b'"' => value.push('"'),
-                            other => {
-                                value.push('\\');
-                                value.push(other as char);
-                            }
-                        }
-                        i += 1;
-                    }
-                    _ => {
-                        // Consume one UTF-8 char.
-                        let rest = &line[i..];
-                        let c = rest.chars().next().unwrap();
-                        value.push(c);
-                        i += c.len_utf8();
-                    }
-                }
-            }
-            builder = builder.label(lname, value);
-            // After a pair: ',' or '}'.
-            while i < bytes.len() && bytes[i] == b' ' {
-                i += 1;
-            }
-            if i < bytes.len() && bytes[i] == b',' {
-                i += 1;
-                continue;
-            }
-            if i < bytes.len() && bytes[i] == b'}' {
-                i += 1;
-                break;
-            }
-            return Err(err("expected ',' or '}' in label set"));
-        }
-    }
+    let labels = if i < bytes.len() && bytes[i] == b'{' {
+        parse_label_block(line, lineno, &mut i)?
+    } else {
+        LabelSetBuilder::new().build()
+    };
 
-    // Value.
-    let rest = line[i..].trim_start();
-    if rest.is_empty() {
+    // Value and timestamp, with an optional OpenMetrics exemplar suffix
+    // (`# {labels} value`). Any '#' after the label block starts the
+    // exemplar: sample values and timestamps cannot contain one.
+    let rest = &line[i..];
+    let (sample_part, exemplar_part) = match rest.find('#') {
+        Some(pos) => (&rest[..pos], Some(&rest[pos + 1..])),
+        None => (rest, None),
+    };
+    let sample_part = sample_part.trim();
+    if sample_part.is_empty() {
         return Err(err("missing sample value"));
     }
-    let mut parts = rest.split_whitespace();
+    let mut parts = sample_part.split_whitespace();
     let vstr = parts.next().unwrap();
     let value = parse_value(vstr).ok_or_else(|| err(&format!("bad value {vstr:?}")))?;
     let timestamp_ms = match parts.next() {
@@ -229,12 +169,140 @@ fn parse_sample_line(line: &str, lineno: usize) -> Result<ParsedSample, ParseErr
         return Err(err("trailing garbage after timestamp"));
     }
 
+    let exemplar = match exemplar_part {
+        None => None,
+        Some(ex) => Some(parse_exemplar(ex, lineno)?),
+    };
+
     Ok(ParsedSample {
         name,
-        labels: builder.build(),
+        labels,
         value,
         timestamp_ms,
+        exemplar,
     })
+}
+
+/// Parses the exemplar suffix after the `#` marker: `{labels} value [ts]`.
+fn parse_exemplar(s: &str, lineno: usize) -> Result<ParsedExemplar, ParseError> {
+    let err = |m: &str| ParseError {
+        line: lineno,
+        message: m.to_string(),
+    };
+    let s = s.trim_start();
+    if !s.starts_with('{') {
+        return Err(err("expected '{' starting exemplar labels"));
+    }
+    let mut i = 0;
+    let labels = parse_label_block(s, lineno, &mut i)?;
+    let mut parts = s[i..].split_whitespace();
+    let vstr = parts.next().ok_or_else(|| err("missing exemplar value"))?;
+    let value = parse_value(vstr).ok_or_else(|| err(&format!("bad exemplar value {vstr:?}")))?;
+    // Optional exemplar timestamp (seconds in OpenMetrics); tolerated and
+    // discarded.
+    if let Some(t) = parts.next() {
+        t.parse::<f64>()
+            .map_err(|_| err(&format!("bad exemplar timestamp {t:?}")))?;
+    }
+    if parts.next().is_some() {
+        return Err(err("trailing garbage after exemplar"));
+    }
+    Ok(ParsedExemplar { labels, value })
+}
+
+/// Parses a `{name="value",...}` block starting at `line[*i]` (which must be
+/// `'{'`), leaving `*i` just past the closing `'}'`.
+fn parse_label_block(line: &str, lineno: usize, i: &mut usize) -> Result<LabelSet, ParseError> {
+    let err = |m: &str| ParseError {
+        line: lineno,
+        message: m.to_string(),
+    };
+    let bytes = line.as_bytes();
+    let mut builder = LabelSetBuilder::new();
+    debug_assert_eq!(bytes[*i], b'{');
+    *i += 1;
+    loop {
+        // Skip whitespace.
+        while *i < bytes.len() && bytes[*i] == b' ' {
+            *i += 1;
+        }
+        if *i < bytes.len() && bytes[*i] == b'}' {
+            *i += 1;
+            break;
+        }
+        // Label name.
+        let ls = *i;
+        while *i < bytes.len() {
+            let c = bytes[*i] as char;
+            if c.is_ascii_alphanumeric() || c == '_' {
+                *i += 1;
+            } else {
+                break;
+            }
+        }
+        if *i == ls {
+            return Err(err("expected label name"));
+        }
+        let lname = line[ls..*i].to_string();
+        if *i >= bytes.len() || bytes[*i] != b'=' {
+            return Err(err("expected '=' after label name"));
+        }
+        *i += 1;
+        if *i >= bytes.len() || bytes[*i] != b'"' {
+            return Err(err("expected '\"' starting label value"));
+        }
+        *i += 1;
+        let mut value = String::new();
+        loop {
+            if *i >= bytes.len() {
+                return Err(err("unterminated label value"));
+            }
+            match bytes[*i] {
+                b'"' => {
+                    *i += 1;
+                    break;
+                }
+                b'\\' => {
+                    *i += 1;
+                    if *i >= bytes.len() {
+                        return Err(err("dangling escape in label value"));
+                    }
+                    match bytes[*i] {
+                        b'n' => value.push('\n'),
+                        b'\\' => value.push('\\'),
+                        b'"' => value.push('"'),
+                        other => {
+                            value.push('\\');
+                            value.push(other as char);
+                        }
+                    }
+                    *i += 1;
+                }
+                _ => {
+                    // Consume one UTF-8 char.
+                    let rest = &line[*i..];
+                    let c = rest.chars().next().unwrap();
+                    value.push(c);
+                    *i += c.len_utf8();
+                }
+            }
+        }
+        builder = builder.label(lname, value);
+        // After a pair: ',' or '}'.
+        while *i < bytes.len() && bytes[*i] == b' ' {
+            *i += 1;
+        }
+        if *i < bytes.len() && bytes[*i] == b',' {
+            *i += 1;
+            continue;
+        }
+        if *i < bytes.len() && bytes[*i] == b'}' {
+            *i += 1;
+            break;
+        }
+        return Err(err("expected ',' or '}' in label set"));
+    }
+    Ok(builder.build())
 }
 
 fn parse_value(s: &str) -> Option<f64> {
@@ -311,6 +379,49 @@ mod tests {
         assert_eq!(parsed.samples[1].name, "lat_sum");
         assert_eq!(parsed.samples[1].value, 42.5);
         assert_eq!(parsed.types["lat"], MetricType::Histogram);
+    }
+
+    #[test]
+    fn parse_exemplar_suffix() {
+        let doc = "lat_bucket{le=\"0.5\"} 3 # {trace_id=\"deadbeef\"} 0.043\n\
+                   lat_bucket{le=\"+Inf\"} 4 1700000000000 # {trace_id=\"cafe\"} 1.5 1700000000.5\n\
+                   plain 7\n";
+        let parsed = parse_text(doc).unwrap();
+        assert_eq!(parsed.samples.len(), 3);
+        let ex = parsed.samples[0].exemplar.as_ref().unwrap();
+        assert_eq!(ex.labels.get("trace_id"), Some("deadbeef"));
+        assert_eq!(ex.value, 0.043);
+        assert_eq!(parsed.samples[0].value, 3.0);
+        let ex2 = parsed.samples[1].exemplar.as_ref().unwrap();
+        assert_eq!(ex2.labels.get("trace_id"), Some("cafe"));
+        assert_eq!(parsed.samples[1].timestamp_ms, Some(1700000000000));
+        assert!(parsed.samples[2].exemplar.is_none());
+
+        // A '#' inside a quoted label value does not start an exemplar.
+        let tricky = parse_text("m{q=\"a # {b}\"} 2\n").unwrap();
+        assert_eq!(tricky.samples[0].labels.get("q"), Some("a # {b}"));
+        assert!(tricky.samples[0].exemplar.is_none());
+
+        // Malformed exemplars are rejected.
+        assert!(parse_text("m 1 # nolabels 2\n").is_err());
+        assert!(parse_text("m 1 # {trace_id=\"x\"}\n").is_err());
+        assert!(parse_text("m 1 # {trace_id=\"x\"} 1 2 3\n").is_err());
+    }
+
+    #[test]
+    fn exemplar_roundtrip_through_encoder() {
+        use crate::model::Exemplar;
+        let mut fam = MetricFamily::new("lat", "", MetricType::Histogram);
+        fam.metrics.push(
+            Metric::suffixed(labels! {"le" => "0.5"}, Sample::now(3.0), "_bucket")
+                .with_exemplar(Some(Exemplar::new("0123456789abcdef", 0.25))),
+        );
+        let text = encode_families(&[fam]);
+        let parsed = parse_text(&text).unwrap();
+        assert_eq!(parsed.samples.len(), 1);
+        let ex = parsed.samples[0].exemplar.as_ref().unwrap();
+        assert_eq!(ex.labels.get("trace_id"), Some("0123456789abcdef"));
+        assert_eq!(ex.value, 0.25);
     }
 
     #[test]

@@ -5,6 +5,16 @@
 //! so every component's server exports a uniform
 //! `ceems_<component>_http_requests_total` / `..._http_request_duration_seconds`
 //! pair from the same registry its `/metrics` endpoint serves.
+//!
+//! Two clocks matter under the epoll reactor: the latency histogram (and any
+//! trace stage clock) starts at **handler dispatch**, while the reactor stamps
+//! `Request::received_at` at **parse completion**. On a pipelined keep-alive
+//! connection a request can sit parsed-but-queued behind its predecessors;
+//! that gap is surfaced separately as `..._http_queue_delay_seconds` instead
+//! of being folded into handler time, which keeps `sum(stages) ≤ totalMs` for
+//! traces. When a handler stores the request's trace (sampled or slow), it
+//! sets [`TRACE_STORED_HEADER`] on the response and the duration histogram
+//! records the trace ID as an OpenMetrics exemplar on the landing bucket.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -14,11 +24,17 @@ use ceems_metrics::{CounterVec, Histogram, Registry};
 
 use crate::duration_buckets;
 
-/// Request counter + latency histogram for one HTTP server.
+/// Response header a handler sets (to the trace ID) when the request's trace
+/// was persisted to the trace store — picked up by [`HttpInstruments::wrap`]
+/// to attach the ID as a histogram exemplar.
+pub const TRACE_STORED_HEADER: &str = "x-ceems-trace-stored";
+
+/// Request counter + latency/queue-delay histograms for one HTTP server.
 #[derive(Clone)]
 pub struct HttpInstruments {
     requests: CounterVec,
     duration: Histogram,
+    queue_delay: Histogram,
 }
 
 impl HttpInstruments {
@@ -31,6 +47,7 @@ impl HttpInstruments {
             &["method", "code"],
         );
         let duration = Histogram::new(duration_buckets());
+        let queue_delay = Histogram::new(duration_buckets());
         registry.register(
             format!("ceems_{component}_http_requests_total"),
             Arc::new(requests.clone()),
@@ -38,14 +55,37 @@ impl HttpInstruments {
         let name = format!("ceems_{component}_http_request_duration_seconds");
         let d2 = duration.clone();
         registry.register(name.clone(), {
-            let help = "HTTP request handling latency in seconds.";
+            let help = "HTTP request handling latency in seconds (from handler dispatch).";
             Arc::new(move || vec![crate::histogram_family(&name, help, &d2)])
         });
-        HttpInstruments { requests, duration }
+        let qname = format!("ceems_{component}_http_queue_delay_seconds");
+        let q2 = queue_delay.clone();
+        registry.register(qname.clone(), {
+            let help = "Seconds between request parse completion and handler dispatch \
+                        (pipelined keep-alive queueing).";
+            Arc::new(move || vec![crate::histogram_family(&qname, help, &q2)])
+        });
+        HttpInstruments {
+            requests,
+            duration,
+            queue_delay,
+        }
     }
 
     /// Records one handled request.
     pub fn observe(&self, method: &str, status: u16, seconds: f64) {
+        self.observe_with_exemplar(method, status, seconds, None)
+    }
+
+    /// Records one handled request, attaching a trace-ID exemplar to the
+    /// duration bucket when the request's trace was stored.
+    pub fn observe_with_exemplar(
+        &self,
+        method: &str,
+        status: u16,
+        seconds: f64,
+        trace_id: Option<&str>,
+    ) {
         let class = match status {
             100..=199 => "1xx",
             200..=299 => "2xx",
@@ -54,7 +94,10 @@ impl HttpInstruments {
             _ => "5xx",
         };
         self.requests.with_label_values(&[method, class]).inc();
-        self.duration.observe(seconds);
+        match trace_id {
+            Some(id) => self.duration.observe_with_exemplar(seconds, id),
+            None => self.duration.observe(seconds),
+        }
     }
 
     /// Wraps a router into an instrumented handler for `serve_fn`.
@@ -62,9 +105,21 @@ impl HttpInstruments {
         let me = self.clone();
         Arc::new(move |req: Request| {
             let method = req.method.as_str();
+            if let Some(received) = req.received_at {
+                me.queue_delay.observe(received.elapsed().as_secs_f64());
+            }
+            // The duration clock anchors here, at dispatch, NOT at socket
+            // readability — queue time on pipelined connections is counted
+            // above, never inside handler latency or trace stages.
             let start = Instant::now();
             let resp = router.dispatch(req);
-            me.observe(method, resp.status.0, start.elapsed().as_secs_f64());
+            let stored = resp.headers.get(TRACE_STORED_HEADER).cloned();
+            me.observe_with_exemplar(
+                method,
+                resp.status.0,
+                start.elapsed().as_secs_f64(),
+                stored.as_deref(),
+            );
             resp
         })
     }
@@ -104,6 +159,44 @@ mod tests {
         assert!(fams
             .iter()
             .any(|f| f.name == "ceems_test_http_request_duration_seconds"));
+        assert!(fams
+            .iter()
+            .any(|f| f.name == "ceems_test_http_queue_delay_seconds"));
         let _ = Status::OK;
+    }
+
+    #[test]
+    fn queue_delay_observed_from_received_at() {
+        let registry = Registry::new();
+        let http = HttpInstruments::new("qd", &registry);
+        let mut router = Router::new();
+        router.get("/ok", |_req| Response::text("fine"));
+        let handler = http.wrap(router);
+
+        let mut req = Request::new(Method::Get, "/ok");
+        req.received_at = Some(Instant::now() - std::time::Duration::from_millis(5));
+        handler(req);
+        // Client-built requests without a parse stamp don't observe.
+        handler(Request::new(Method::Get, "/ok"));
+        assert_eq!(http.queue_delay.count(), 1);
+        assert!(http.queue_delay.sum() >= 0.005);
+    }
+
+    #[test]
+    fn stored_trace_header_becomes_duration_exemplar() {
+        let registry = Registry::new();
+        let http = HttpInstruments::new("ex", &registry);
+        let mut router = Router::new();
+        router.get("/traced", |_req| {
+            Response::text("ok").with_header(TRACE_STORED_HEADER, "feedc0de")
+        });
+        let handler = http.wrap(router);
+        handler(Request::new(Method::Get, "/traced"));
+
+        let text = ceems_metrics::encode_families(&registry.gather());
+        assert!(
+            text.contains("# {trace_id=\"feedc0de\"}"),
+            "exemplar missing from:\n{text}"
+        );
     }
 }

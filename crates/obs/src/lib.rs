@@ -20,6 +20,7 @@
 
 pub mod http;
 pub mod slowlog;
+pub mod store;
 pub mod trace;
 
 use std::sync::Arc;
@@ -171,6 +172,31 @@ pub fn add_metrics_route(router: &mut Router, registry: Registry) {
 // ceems-metrics model types directly.
 pub use ceems_metrics::{Metric as ObsMetric, Sample as ObsSample};
 pub use http::HttpInstruments;
+pub use store::{TraceSampler, TraceSink, TraceStore, TraceStoreConfig};
+
+/// Registers a `ceems_build_info{component,version} 1` gauge on a registry,
+/// the standard "what is running here" identity series that meta-monitoring
+/// scrapes from every component.
+pub fn register_build_info(registry: &Registry, component: &str) {
+    let component = component.to_string();
+    registry.register(
+        "ceems_build_info",
+        Arc::new(move || {
+            vec![MetricFamily::new(
+                "ceems_build_info",
+                "Build identity of this CEEMS component",
+                MetricType::Gauge,
+            )
+            .with_metric(
+                LabelSet::from_pairs([
+                    ("component".to_string(), component.clone()),
+                    ("version".to_string(), env!("CARGO_PKG_VERSION").to_string()),
+                ]),
+                1.0,
+            )]
+        }),
+    );
+}
 
 /// Convenience: a `MetricFamily` for a precomputed histogram-style snapshot
 /// (used by collectors that expose another component's internal histogram).

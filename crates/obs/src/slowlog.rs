@@ -26,6 +26,10 @@ pub struct SlowQueryRecord<'a> {
     pub total_ms: f64,
     /// The finished trace, when one was active (adds trace_id and counts).
     pub trace: Option<&'a TraceReport>,
+    /// The trace-store key when sampling persisted this query's trace (adds
+    /// `trace_stored=true store_key=...` so the log line links straight to
+    /// `GET /api/v1/traces/{key}`).
+    pub store_key: Option<&'a str>,
 }
 
 type Sink = Arc<dyn Fn(&str) + Send + Sync>;
@@ -98,6 +102,10 @@ pub fn format_line(rec: &SlowQueryRecord<'_>) -> String {
             line.push_str(&format!(" {k}={v}"));
         }
     }
+    if let Some(key) = rec.store_key {
+        // Kept before the quoted query so the line still ends with query="...".
+        line.push_str(&format!(" trace_stored=true store_key={key}"));
+    }
     line.push_str(&format!(" query={:?}", rec.query));
     line
 }
@@ -124,6 +132,7 @@ mod tests {
             query: "up",
             total_ms: ms,
             trace: None,
+            store_key: None,
         };
         assert!(!log.observe(&rec(9.99)));
         assert!(log.observe(&rec(10.0)));
@@ -142,6 +151,7 @@ mod tests {
             query: "up",
             total_ms: 1e9,
             trace: None,
+            store_key: None,
         }));
     }
 
@@ -157,12 +167,31 @@ mod tests {
             query: "sum(power{uuid=\"u1\"})",
             total_ms: 123.456,
             trace: Some(&report),
+            store_key: None,
         });
         assert!(line.starts_with("slow_query component=tsdb endpoint=/api/v1/query_range"));
         assert!(line.contains("trace_id=cafe0123cafe0123"));
         assert!(line.contains("total_ms=123.456"));
         assert!(line.contains(" series=3"));
         assert!(line.contains(" steps=7"));
+        assert!(!line.contains("trace_stored"));
         assert!(line.ends_with("query=\"sum(power{uuid=\\\"u1\\\"})\""));
+    }
+
+    #[test]
+    fn stored_trace_links_to_the_store_key() {
+        let t = QueryTrace::begin(Some("cafe0123cafe0123"));
+        let report = t.report();
+        let line = format_line(&SlowQueryRecord {
+            component: "tsdb",
+            endpoint: "/api/v1/query",
+            query: "up",
+            total_ms: 50.0,
+            trace: Some(&report),
+            store_key: Some("cafe0123cafe0123"),
+        });
+        assert!(line.contains(" trace_stored=true store_key=cafe0123cafe0123 "));
+        // The quoted query stays last so existing parsers keep working.
+        assert!(line.ends_with("query=\"up\""));
     }
 }

@@ -22,8 +22,9 @@ use serde_json::{json, Value as Json};
 
 use ceems_http::{HttpServer, Request, Response, Router, ServerConfig, Status};
 use ceems_metrics::{Counter, CounterVec, Gauge, GaugeVec, Histogram};
+use ceems_obs::http::TRACE_STORED_HEADER;
 use ceems_obs::trace::QueryTrace;
-use ceems_obs::{HttpInstruments, Obs, TRACE_HEADER};
+use ceems_obs::{HttpInstruments, Obs, TraceSink, TRACE_HEADER};
 use ceems_tsdb::promql::{normalize, parse_expr, split_safety, SplitSafety};
 
 use crate::cache::{ExtentKey, ResultsCache};
@@ -51,6 +52,10 @@ pub struct QfeConfig {
     pub max_fanout: usize,
     /// Clock for the `recent_window` horizon.
     pub now: NowFn,
+    /// Trace sink (S22): when set, every split range query records its
+    /// `qfe_cache`/`qfe_split` stages and offers the finished report;
+    /// stored traces tag the response with [`TRACE_STORED_HEADER`].
+    pub trace_sink: Option<Arc<TraceSink>>,
 }
 
 impl Default for QfeConfig {
@@ -62,6 +67,7 @@ impl Default for QfeConfig {
             scheduler: SchedulerConfig::default(),
             max_fanout: 8,
             now: system_now(),
+            trace_sink: None,
         }
     }
 }
@@ -158,6 +164,7 @@ impl QueryFrontend {
         let obs = Obs::new();
         let ins = QfeInstruments::new(&obs);
         let http = HttpInstruments::new("qfe", obs.registry());
+        ceems_obs::register_build_info(obs.registry(), "qfe");
         Arc::new(QueryFrontend {
             downstream,
             cache: ResultsCache::new(cfg.cache_bytes),
@@ -335,22 +342,34 @@ impl QueryFrontend {
         self.ins.cache_bytes.set(self.cache.bytes() as f64);
         self.ins.cache_extents.set(self.cache.len() as f64);
 
-        if trace_requested(req) {
+        // Stages are recorded for explicit `?trace=1` requests AND whenever
+        // a trace sink is wired (always-on sampling) — the sink then decides
+        // whether this trace is stored (head sample or slow-query tail).
+        if trace_requested(req) || self.cfg.trace_sink.is_some() {
             qtrace.record_stage_ms("qfe_cache", lookup_ms + merge_ms);
             qtrace.record_stage_ms("qfe_split", fetch_ms);
             qtrace.add_count("subqueries", missing.len() as u64);
             qtrace.add_count("cachedSteps", cached_steps as u64);
             qtrace.add_count("fetchedSteps", fetched_steps as u64);
-            if let Json::Object(map) = &mut data {
-                map.insert("trace".to_string(), qtrace.report().to_json());
+            if trace_requested(req) {
+                if let Json::Object(map) = &mut data {
+                    map.insert("trace".to_string(), qtrace.report().to_json());
+                }
             }
         }
         let body = serde_json::to_vec(&json!({"status": "success", "data": data})).unwrap();
         let _ = started;
-        Response::json(body)
+        let resp = Response::json(body)
             .with_header("x-ceems-qfe-cache", outcome)
             .with_header("x-ceems-qfe-cached-steps", cached_steps.to_string())
-            .with_header("x-ceems-qfe-fetched-steps", fetched_steps.to_string())
+            .with_header("x-ceems-qfe-fetched-steps", fetched_steps.to_string());
+        let stored = self.cfg.trace_sink.as_ref().and_then(|sink| {
+            sink.offer("qfe", "/api/v1/query_range", tenant, &qtrace.report())
+        });
+        match stored {
+            Some(key) => resp.with_header(TRACE_STORED_HEADER, key),
+            None => resp,
+        }
     }
 
     /// Degraded render (S19): every replica is down, but part of the range

@@ -23,9 +23,10 @@ use ceems_http::{Request, Response, Router, Status};
 use ceems_metrics::labels::LabelSet;
 use ceems_metrics::matcher::LabelMatcher;
 use ceems_metrics::Registry;
+use ceems_obs::http::TRACE_STORED_HEADER;
 use ceems_obs::slowlog::{SlowQueryLog, SlowQueryRecord};
 use ceems_obs::trace::{self, QueryTrace, TraceReport};
-use ceems_obs::{counter_family, TRACE_HEADER};
+use ceems_obs::{counter_family, TraceSink, TRACE_HEADER};
 
 use crate::promql::{instant_query, parse_expr, range_query, Expr, Value};
 use crate::selfmon;
@@ -47,6 +48,10 @@ pub struct ApiOptions {
     /// Leader-side token bucket over `/api/v1/wal/fetch`, per follower.
     /// `None` leaves the endpoint unthrottled.
     pub wal_fetch_limit: Option<Arc<WalFetchLimiter>>,
+    /// Always-on trace sampling: finished query traces are offered here and
+    /// persisted when head-sampled or slow. `None` keeps traces
+    /// response-inline only (the pre-S22 behaviour).
+    pub trace_sink: Option<Arc<TraceSink>>,
 }
 
 impl ApiOptions {
@@ -58,6 +63,7 @@ impl ApiOptions {
             registry: None,
             slow_query: None,
             wal_fetch_limit: None,
+            trace_sink: None,
         }
     }
 }
@@ -211,6 +217,7 @@ pub fn api_router_with(db: Arc<Tsdb>, opts: ApiOptions) -> Router {
         .unwrap_or_else(|| selfmon::default_registry(db.clone()));
     let slow = opts.slow_query.unwrap_or_else(|| SlowQueryLog::new(0.0));
     let wal_limit = opts.wal_fetch_limit;
+    let trace_sink = opts.trace_sink;
     if let Some(limiter) = &wal_limit {
         let throttled = limiter.throttled_counter();
         registry.register(
@@ -237,6 +244,10 @@ pub fn api_router_with(db: Arc<Tsdb>, opts: ApiOptions) -> Router {
             }),
         );
     }
+    ceems_obs::register_build_info(&registry, "tsdb");
+    if let Some(sink) = &trace_sink {
+        sink.store().register_metrics(&registry);
+    }
     let mut router = Router::new();
     ceems_obs::add_metrics_route(&mut router, registry);
 
@@ -244,6 +255,7 @@ pub fn api_router_with(db: Arc<Tsdb>, opts: ApiOptions) -> Router {
         let db = db.clone();
         let now = now.clone();
         let slow = slow.clone();
+        let sink = trace_sink.clone();
         router.get("/api/v1/query", move |req| {
             let qtrace = QueryTrace::begin(req.header(TRACE_HEADER));
             let _cur = trace::enter(Some(qtrace.clone()));
@@ -285,17 +297,26 @@ pub fn api_router_with(db: Arc<Tsdb>, opts: ApiOptions) -> Router {
                 Err(e) => return err_json(Status::UNPROCESSABLE, e.to_string()),
             };
             let report = qtrace.report();
+            let tenant = req.header("x-grafana-user").unwrap_or("anonymous");
+            let store_key = sink
+                .as_ref()
+                .and_then(|s| s.offer("tsdb", "/api/v1/query", tenant, &report));
             slow.observe(&SlowQueryRecord {
                 component: "tsdb",
                 endpoint: "/api/v1/query",
                 query: q,
                 total_ms: report.total_ms,
                 trace: Some(&report),
+                store_key: store_key.as_deref(),
             });
-            if trace_requested(req) {
+            let resp = if trace_requested(req) {
                 ok_json(attach_trace(data, &report))
             } else {
                 ok_json(data)
+            };
+            match store_key {
+                Some(key) => resp.with_header(TRACE_STORED_HEADER, key),
+                None => resp,
             }
         });
     }
@@ -303,6 +324,7 @@ pub fn api_router_with(db: Arc<Tsdb>, opts: ApiOptions) -> Router {
     {
         let db = db.clone();
         let slow = slow.clone();
+        let sink = trace_sink.clone();
         router.get("/api/v1/query_range", move |req| {
             let qtrace = QueryTrace::begin(req.header(TRACE_HEADER));
             let _cur = trace::enter(Some(qtrace.clone()));
@@ -340,17 +362,26 @@ pub fn api_router_with(db: Arc<Tsdb>, opts: ApiOptions) -> Router {
                 Err(e) => return err_json(Status::UNPROCESSABLE, e.to_string()),
             };
             let report = qtrace.report();
+            let tenant = req.header("x-grafana-user").unwrap_or("anonymous");
+            let store_key = sink
+                .as_ref()
+                .and_then(|s| s.offer("tsdb", "/api/v1/query_range", tenant, &report));
             slow.observe(&SlowQueryRecord {
                 component: "tsdb",
                 endpoint: "/api/v1/query_range",
                 query: q,
                 total_ms: report.total_ms,
                 trace: Some(&report),
+                store_key: store_key.as_deref(),
             });
-            if trace_requested(req) {
+            let resp = if trace_requested(req) {
                 ok_json(attach_trace(data, &report))
             } else {
                 ok_json(data)
+            };
+            match store_key {
+                Some(key) => resp.with_header(TRACE_STORED_HEADER, key),
+                None => resp,
             }
         });
     }
@@ -708,6 +739,7 @@ mod tests {
                 registry: None,
                 slow_query: Some(log),
                 wal_fetch_limit: None,
+                trace_sink: None,
             };
             HttpServer::serve(ServerConfig::ephemeral(), api_router_with(db, opts)).unwrap()
         };

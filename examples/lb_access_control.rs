@@ -69,6 +69,7 @@ fn main() {
         LbConfig {
             admin_users: vec!["operator".into()],
             query_frontend: None,
+            trace_sink: None,
         },
     ));
     let lb_srv = lb.serve().unwrap();

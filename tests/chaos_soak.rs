@@ -115,6 +115,7 @@ fn chaos_soak_converges_and_never_leaks_corruption() {
             LbConfig {
                 admin_users: vec!["op".into()],
                 query_frontend: None,
+                trace_sink: None,
             },
         ));
         let lb_srv = lb.serve().unwrap();

@@ -70,6 +70,7 @@ fn full_stack_over_http() {
         LbConfig {
             admin_users: vec!["op".into()],
             query_frontend: None,
+            trace_sink: None,
         },
     ));
     let lb_srv = lb.serve().unwrap();

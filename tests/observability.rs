@@ -7,13 +7,16 @@
 
 use std::sync::Arc;
 
-use ceems::http::{Client, HttpServer, ServerConfig};
+use ceems::core::config::{AlertingSettings, MetaSettings, ObsSettings};
+use ceems::http::{Client, HttpServer, Response, Router, ServerConfig};
 use ceems::lb::acl::Authorizer;
 use ceems::lb::proxy::LbConfig;
 use ceems::lb::{Backend, BackendPool, CeemsLb, Strategy};
+use ceems::metrics::matcher::LabelMatcher;
 use ceems::metrics::{
     encode_families, parse_text, Metric, MetricFamily, MetricType, ParsedScrape, Sample,
 };
+use ceems::obs::http::TRACE_STORED_HEADER;
 use ceems::obs::slowlog::SlowQueryLog;
 use ceems::obs::TRACE_HEADER;
 use ceems::prelude::*;
@@ -38,6 +41,19 @@ fn busy_stack() -> CeemsStack {
         .unwrap();
     stack.run_for(300.0, 15.0);
     stack
+}
+
+/// Builds a stack from an explicit config in a fresh temp DB dir.
+fn stack_with(cfg: CeemsConfig) -> CeemsStack {
+    let dir = std::env::temp_dir().join(format!(
+        "ceems-obs-it-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    CeemsStack::build(cfg, &dir).expect("stack builds")
 }
 
 fn scrape(base_url: String) -> String {
@@ -131,6 +147,7 @@ fn every_component_serves_parseable_metrics() {
         LbConfig {
             admin_users: vec!["op".into()],
             query_frontend: Some(fe_srv.base_url()),
+            trace_sink: None,
         },
     ));
     let lb_srv = lb.serve().unwrap();
@@ -289,6 +306,7 @@ fn trace_propagates_through_lb_to_tsdb() {
         LbConfig {
             admin_users: vec!["op".into()],
             query_frontend: None,
+            trace_sink: None,
         },
     ));
     let lb_srv = lb.serve().unwrap();
@@ -377,6 +395,7 @@ fn slow_query_log_exactness_behind_lb() {
         LbConfig {
             admin_users: vec!["op".into()],
             query_frontend: None,
+            trace_sink: None,
         },
     ));
     let lb_srv = lb.serve().unwrap();
@@ -429,4 +448,342 @@ fn slow_query_log_exactness_behind_lb() {
         lines.lock()
     );
     quiet_srv.shutdown();
+}
+
+/// S22 satellite 1: the stage clock starts at handler dispatch, not at
+/// socket readability — on a pipelined keep-alive connection the queue delay
+/// between requests must not leak into any request's stage accounting, so
+/// `sum(stages) <= totalMs` holds for every request on the connection.
+#[test]
+fn stage_accounting_holds_on_pipelined_keepalive_connections() {
+    let stack = busy_stack();
+    let now = stack.clock.now_ms();
+    let tsdb_srv = HttpServer::serve(
+        ServerConfig::ephemeral(),
+        api_router_with(stack.tsdb.clone(), stack.tsdb_api_options(Arc::new(move || now))),
+    )
+    .unwrap();
+    let lb = Arc::new(CeemsLb::new(
+        BackendPool::new(
+            vec![Backend::new("b1", tsdb_srv.base_url())],
+            Strategy::round_robin(),
+        ),
+        Authorizer::DirectDb(stack.updater.clone()),
+        LbConfig {
+            admin_users: vec!["op".into()],
+            query_frontend: None,
+            trace_sink: None,
+        },
+    ));
+    let lb_srv = lb.serve().unwrap();
+
+    // One pooled connection, reused for every request in the burst.
+    let client = Client::new().with_pool_per_host(1);
+    let end_s = now as f64 / 1000.0;
+    for i in 0..10 {
+        let url = format!(
+            "{}/api/v1/query_range?query={}&start=0&end={end_s}&step=15&trace=1",
+            lb_srv.base_url(),
+            ceems::http::url::encode_component("uuid:ceems_power:watts{uuid=\"slurm-1\"}")
+        );
+        let resp = client
+            .clone()
+            .with_header("X-Grafana-User", "alice")
+            .with_header(TRACE_HEADER, format!("{i:016x}"))
+            .get(&url)
+            .unwrap();
+        assert_eq!(resp.status.0, 200);
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        let trace = &v["data"]["trace"];
+        assert_eq!(trace["traceId"], format!("{i:016x}"));
+        let total_ms = trace["totalMs"].as_f64().unwrap();
+        let stage_sum: f64 = trace["stages"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s["ms"].as_f64().unwrap())
+            .sum();
+        assert!(
+            stage_sum <= total_ms + 1e-6,
+            "request {i}: stage sum {stage_sum} exceeds total {total_ms} on a keep-alive connection"
+        );
+    }
+    lb_srv.shutdown();
+    tsdb_srv.shutdown();
+}
+
+/// S22 satellite 3a: meta self-scrape round trip — metrics ingested into the
+/// `__ceems_meta__` tenant and re-queried via PromQL are value-identical to
+/// a direct parse of the component's exposition text.
+#[test]
+fn meta_self_scrape_round_trips_through_promql() {
+    let mut stack = stack_with(CeemsConfig {
+        meta: MetaSettings {
+            enabled: true,
+            scrape_interval_s: 15.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    const BODY: &str = "\
+# TYPE demo_requests_total counter
+demo_requests_total{path=\"/a\"} 41
+demo_requests_total{path=\"/b\"} 1.5
+";
+    stack.register_meta_render("custom", "custom:0", Arc::new(|| BODY.to_string()));
+    stack.run_for(60.0, 15.0);
+    assert!(stack.stats().meta_passes >= 3);
+    assert_eq!(stack.stats().meta_failures, 0);
+
+    let now = stack.clock.now_ms();
+    let tsdb_srv = HttpServer::serve(
+        ServerConfig::ephemeral(),
+        api_router_with(stack.tsdb.clone(), stack.tsdb_api_options(Arc::new(move || now))),
+    )
+    .unwrap();
+    let query = |expr: &str| -> serde_json::Value {
+        let resp = Client::new()
+            .get(&format!(
+                "{}/api/v1/query?query={}",
+                tsdb_srv.base_url(),
+                ceems::http::url::encode_component(expr)
+            ))
+            .unwrap();
+        assert_eq!(resp.status.0, 200, "body: {}", resp.body_string());
+        serde_json::from_slice(&resp.body).unwrap()
+    };
+
+    // Every sample of the direct parse comes back through PromQL with the
+    // exact same value, now carrying the meta-tenant target labels.
+    let direct = parse_text(BODY).unwrap();
+    let v = query("demo_requests_total{component=\"custom\"}");
+    let result = v["data"]["result"].as_array().unwrap();
+    assert_eq!(result.len(), direct.samples.len());
+    for s in &direct.samples {
+        let path = s.labels.get("path").unwrap();
+        let m = result
+            .iter()
+            .find(|r| r["metric"]["path"] == path)
+            .unwrap_or_else(|| panic!("PromQL lost the series with path={path}"));
+        assert_eq!(m["metric"]["tenant"], "__ceems_meta__");
+        assert_eq!(m["metric"]["job"], "ceems-meta");
+        let got: f64 = m["value"][1].as_str().unwrap().parse().unwrap();
+        assert_eq!(
+            got.to_bits(),
+            s.value.to_bits(),
+            "PromQL value for path={path} differs from the direct parse"
+        );
+    }
+
+    // The synthetic health series and the TSDB's own build identity are
+    // queryable the same way.
+    let v = query("ceems_meta_up{component=\"custom\"}");
+    assert_eq!(v["data"]["result"][0]["value"][1], "1");
+    let v = query("ceems_build_info{component=\"tsdb\",tenant=\"__ceems_meta__\"}");
+    assert_eq!(v["data"]["result"][0]["value"][1], "1");
+    tsdb_srv.shutdown();
+}
+
+/// S22 satellite 3b: when a component dies, its `ceems_meta_up` drops to 0
+/// within one scrape interval.
+#[test]
+fn meta_up_drops_within_one_interval_when_component_dies() {
+    let mut stack = stack_with(CeemsConfig {
+        meta: MetaSettings {
+            enabled: true,
+            scrape_interval_s: 15.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let mut router = Router::new();
+    router.get("/metrics", |_| Response::text("victim_metric 1\n"));
+    let victim = HttpServer::serve(ServerConfig::ephemeral(), router).unwrap();
+    stack.register_meta_target("victim", "victim:0", &format!("{}/metrics", victim.base_url()));
+
+    stack.run_for(30.0, 15.0);
+    let up = stack.tsdb.select_latest(&[
+        LabelMatcher::eq("__name__", "ceems_meta_up"),
+        LabelMatcher::eq("component", "victim"),
+    ]);
+    assert_eq!(up.len(), 1);
+    assert_eq!(up[0].1.v, 1.0, "victim should start healthy");
+
+    victim.shutdown();
+    stack.run_for(15.0, 15.0);
+    let up = stack.tsdb.select_latest(&[
+        LabelMatcher::eq("__name__", "ceems_meta_up"),
+        LabelMatcher::eq("component", "victim"),
+    ]);
+    assert_eq!(up[0].1.v, 0.0, "up did not drop within one interval");
+    assert!(stack.stats().meta_failures >= 1);
+}
+
+/// The S22 acceptance demo, end to end under a fixed seed: self-scrape on,
+/// always-on sampling stores a query's trace, the trace ID shows up as an
+/// exemplar on the LB latency histogram, the apiserver serves the stage
+/// breakdown for that ID, and killing a replica fires the meta alert pack.
+#[test]
+fn e2e_trace_exemplars_and_meta_alerting() {
+    let mut stack = stack_with(CeemsConfig {
+        obs: ObsSettings {
+            trace_sample_rate: 1.0,
+            ..Default::default()
+        },
+        meta: MetaSettings {
+            enabled: true,
+            scrape_interval_s: 15.0,
+            ..Default::default()
+        },
+        alerting: AlertingSettings {
+            enabled: true,
+            eval_interval_s: 15.0,
+            group_wait_s: 0.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    stack
+        .submit(JobRequest {
+            user: "alice".into(),
+            account: "proj".into(),
+            partition: "cpu-intel".into(),
+            nodes: 1,
+            cores_per_node: 16,
+            memory_per_node: 32 << 30,
+            gpus_per_node: 0,
+            walltime_s: 7200,
+            workload: WorkloadProfile::CpuBound { intensity: 0.9 },
+        })
+        .unwrap();
+    stack.run_for(120.0, 15.0);
+
+    let now = stack.clock.now_ms();
+    let tsdb_srv = HttpServer::serve(
+        ServerConfig::ephemeral(),
+        api_router_with(stack.tsdb.clone(), stack.tsdb_api_options(Arc::new(move || now))),
+    )
+    .unwrap();
+    // A "replica" whose only job is to die later.
+    let mut rrouter = Router::new();
+    rrouter.get("/metrics", |_| Response::text("replica_metric 1\n"));
+    let replica = HttpServer::serve(ServerConfig::ephemeral(), rrouter).unwrap();
+
+    let lb = Arc::new(CeemsLb::new(
+        BackendPool::new(
+            vec![Backend::new("b1", tsdb_srv.base_url())],
+            Strategy::round_robin(),
+        ),
+        Authorizer::DirectDb(stack.updater.clone()),
+        LbConfig {
+            admin_users: vec!["op".into()],
+            query_frontend: None,
+            trace_sink: Some(stack.trace_sink()),
+        },
+    ));
+    let lb_srv = lb.serve().unwrap();
+    stack.register_meta_target("lb", "lb:0", &format!("{}/metrics", lb_srv.base_url()));
+    stack.register_meta_target(
+        "tsdb-replica",
+        "replica:0",
+        &format!("{}/metrics", replica.base_url()),
+    );
+    stack.run_for(30.0, 15.0);
+
+    // Fire a query; at sample rate 1.0 its trace is always stored and the
+    // response names the store key.
+    let resp = Client::new()
+        .with_header("X-Grafana-User", "alice")
+        .get(&format!(
+            "{}/api/v1/query?query={}",
+            lb_srv.base_url(),
+            ceems::http::url::encode_component("uuid:ceems_power:watts{uuid=\"slurm-1\"}")
+        ))
+        .unwrap();
+    assert_eq!(resp.status.0, 200, "body: {}", resp.body_string());
+    let stored_id = resp
+        .header(TRACE_STORED_HEADER)
+        .expect("rate-1.0 sampling must store the trace")
+        .to_string();
+
+    // The stored trace ID rides the LB latency histogram as an OpenMetrics
+    // exemplar.
+    let lbm_text = scrape(lb_srv.base_url());
+    let ex_line = lbm_text
+        .lines()
+        .find(|l| {
+            l.starts_with("ceems_lb_forward_duration_seconds_bucket") && l.contains("# {trace_id=")
+        })
+        .unwrap_or_else(|| panic!("no exemplar on the forward histogram:\n{lbm_text}"));
+    assert!(
+        ex_line.contains(&format!("trace_id=\"{stored_id}\"")),
+        "exemplar does not carry the stored trace ID: {ex_line}"
+    );
+
+    // The apiserver serves the stage breakdown for that ID: one span per
+    // hop, both keyed by the same trace.
+    let api_server = Arc::new(
+        ceems::apiserver::ApiServer::new(stack.updater.clone(), vec!["op".into()])
+            .with_trace_store(stack.trace_store()),
+    );
+    let api_srv = api_server.serve().unwrap();
+    let resp = Client::new()
+        .with_header("X-Grafana-User", "op")
+        .get(&format!("{}/api/v1/traces/{stored_id}", api_srv.base_url()))
+        .unwrap();
+    assert_eq!(resp.status.0, 200, "body: {}", resp.body_string());
+    let doc: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    assert_eq!(doc["traceId"], stored_id.as_str());
+    let spans = doc["spans"].as_array().unwrap();
+    let components: Vec<&str> = spans
+        .iter()
+        .map(|s| s["component"].as_str().unwrap())
+        .collect();
+    assert!(components.contains(&"lb"), "spans: {components:?}");
+    assert!(components.contains(&"tsdb"), "spans: {components:?}");
+    let lb_span = spans.iter().find(|s| s["component"] == "lb").unwrap();
+    let stage_names: Vec<&str> = lb_span["report"]["stages"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|s| s["name"].as_str().unwrap())
+        .collect();
+    assert!(stage_names.contains(&"lb_forward"), "stages: {stage_names:?}");
+    // The list endpoint filters by endpoint.
+    let resp = Client::new()
+        .with_header("X-Grafana-User", "op")
+        .get(&format!(
+            "{}/api/v1/traces?endpoint=/api/v1/query",
+            api_srv.base_url()
+        ))
+        .unwrap();
+    assert_eq!(resp.status.0, 200);
+    let listing: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    assert!(
+        listing["traces"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|t| t["traceId"] == stored_id.as_str()),
+        "stored trace missing from the listing: {listing}"
+    );
+
+    // Kill the replica: within one meta interval `ceems_meta_up` drops to 0
+    // and the meta alert pack fires ComponentDown.
+    replica.shutdown();
+    stack.run_for(60.0, 15.0);
+    let up = stack.tsdb.select_latest(&[
+        LabelMatcher::eq("__name__", "ceems_meta_up"),
+        LabelMatcher::eq("component", "tsdb-replica"),
+    ]);
+    assert_eq!(up[0].1.v, 0.0, "replica still reports up after shutdown");
+    let lines = stack.alert_log.as_ref().unwrap().render_lines();
+    assert!(
+        lines.iter().any(|l| l.contains("ComponentDown")),
+        "ComponentDown never fired: {lines:?}"
+    );
+
+    api_srv.shutdown();
+    lb_srv.shutdown();
+    tsdb_srv.shutdown();
 }
