@@ -1,0 +1,261 @@
+//! S23 — streaming ingest bus vs pull-mode scraping.
+//!
+//! Two claims ride on the stream subsystem: (1) pushing exporter renders
+//! over the bus ingests at least as fast as the scrape path it replaces
+//! (both traverse one HTTP hop and the identical exposition-parse +
+//! append-batch sink), and (2) a live `query_live` subscriber sees a pushed
+//! sample as a rendered delta quickly — the end-to-end freshness win over
+//! poll-mode dashboards. Emits `BENCH_stream.json` with per-path ingest
+//! throughput and the sample→live-delta latency distribution.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ceems_bench::busy_node;
+use ceems_bench::report::{write_bench_json, LatencySummary};
+use ceems_exporter::{CeemsExporter, ExporterConfig};
+use ceems_http::{Client, HttpServer, Router, ServerConfig};
+use ceems_qfe::{QfeConfig, QueryFrontend, RouterDownstream};
+use ceems_simnode::SimClock;
+use ceems_stream::{SampleFrame, SinkReceipt, StreamBus, StreamBusConfig, StreamPublisher};
+use ceems_tsdb::httpapi::api_router;
+use ceems_tsdb::scrape::exposition_to_batch;
+use ceems_tsdb::Tsdb;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const JOBS: usize = 8;
+const STEP_MS: i64 = 15_000;
+const INGEST_ITERS: usize = 200;
+const LATENCY_ITERS: usize = 150;
+
+fn exporter() -> Arc<CeemsExporter> {
+    Arc::new(CeemsExporter::new(
+        busy_node(JOBS, 0),
+        SimClock::starting_at(60_000),
+        ExporterConfig::default(),
+    ))
+}
+
+/// A bus over the production sink shape: parse the exposition body with
+/// scrape-identical label stamping, append as one batch.
+fn ingesting_bus(db: Arc<Tsdb>, ring: usize) -> Arc<StreamBus> {
+    Arc::new(StreamBus::new(
+        StreamBusConfig {
+            ring_capacity: ring,
+            ..Default::default()
+        },
+        Arc::new(move |f: &SampleFrame| {
+            let batch =
+                exposition_to_batch(&f.body, &f.instance, &f.job, &f.extra_labels, f.produced_ms)?;
+            let samples = batch.len() as u64;
+            db.append_batch(&batch);
+            Ok(SinkReceipt {
+                samples,
+                names: vec![],
+            })
+        }),
+    ))
+}
+
+fn serve_bus(bus: Arc<StreamBus>, now: Arc<AtomicI64>) -> HttpServer {
+    let mut router = Router::new();
+    ceems_stream::http::mount(
+        &mut router,
+        bus,
+        Arc::new(move || now.load(Ordering::SeqCst)),
+        None,
+    );
+    HttpServer::serve(ServerConfig::ephemeral(), router).unwrap()
+}
+
+/// One pull-mode ingest pass: GET `/metrics`, parse, append.
+fn scrape_once(client: &Client, url: &str, db: &Tsdb, t: i64) -> u64 {
+    let resp = client.get(url).expect("scrape GET");
+    let body = std::str::from_utf8(&resp.body).expect("utf8 exposition");
+    let batch = exposition_to_batch(
+        body,
+        "n0:9100",
+        "ceems",
+        &[("nodegroup".to_string(), "bench".to_string())],
+        t,
+    )
+    .expect("exposition parses");
+    let n = batch.len() as u64;
+    db.append_batch(&batch);
+    n
+}
+
+fn samples_per_sec(samples_per_iter: u64, s: &LatencySummary) -> f64 {
+    samples_per_iter as f64 / (s.p50_us / 1e6)
+}
+
+fn bench_ingest_paths(c: &mut Criterion) {
+    let exp = exporter();
+
+    // Pull mode: the exporter serves /metrics, we scrape-parse-append.
+    let scrape_db = Tsdb::default();
+    let exp_srv = Arc::clone(&exp).serve().unwrap();
+    let metrics_url = format!("{}/metrics", exp_srv.base_url());
+    let scrape_client = Client::new();
+
+    // Push mode: the exporter's render is published over the bus.
+    let push_db = Arc::new(Tsdb::default());
+    let now = Arc::new(AtomicI64::new(0));
+    let bus = ingesting_bus(Arc::clone(&push_db), 4);
+    let bus_srv = serve_bus(Arc::clone(&bus), Arc::clone(&now));
+    let mut publisher = StreamPublisher::new(
+        &bus_srv.base_url(),
+        "node-metrics",
+        "n0",
+        "n0:9100",
+        "ceems",
+        vec![("nodegroup".to_string(), "bench".to_string())],
+    );
+
+    let probe = exposition_to_batch(&exp.render_for_push(), "n0:9100", "ceems", &[], 0)
+        .expect("probe parses");
+    let samples_per_iter = probe.len() as u64;
+    eprintln!(
+        "[S23] {JOBS}-job node render: {} samples per batch",
+        samples_per_iter
+    );
+
+    let mut t = 0i64;
+    c.bench_function("stream_ingest/scrape_pull", |b| {
+        b.iter(|| {
+            t += STEP_MS;
+            scrape_once(&scrape_client, &metrics_url, &scrape_db, t)
+        })
+    });
+    c.bench_function("stream_ingest/stream_push", |b| {
+        b.iter(|| {
+            t += STEP_MS;
+            publisher
+                .publish(exp.render_for_push(), t)
+                .expect("push succeeds")
+        })
+    });
+
+    // Interleaved measurement for the JSON artifact: alternate paths so
+    // warm-up and scheduler noise land on both equally.
+    let mut scrape_lat: Vec<Duration> = Vec::with_capacity(INGEST_ITERS);
+    let mut push_lat: Vec<Duration> = Vec::with_capacity(INGEST_ITERS);
+    for _ in 0..INGEST_ITERS {
+        t += STEP_MS;
+        let started = Instant::now();
+        scrape_once(&scrape_client, &metrics_url, &scrape_db, t);
+        scrape_lat.push(started.elapsed());
+
+        t += STEP_MS;
+        let render = exp.render_for_push();
+        let started = Instant::now();
+        publisher.publish(render, t).expect("push succeeds");
+        push_lat.push(started.elapsed());
+    }
+    let scrape_sum = LatencySummary::from_samples(&mut scrape_lat);
+    let push_sum = LatencySummary::from_samples(&mut push_lat);
+
+    // End-to-end freshness: one pushed sample until its rendered delta is
+    // fully received by a live SSE subscriber.
+    let live_db = Arc::new(Tsdb::default());
+    let live_now = Arc::new(AtomicI64::new(0));
+    let live_bus = ingesting_bus(Arc::clone(&live_db), 4);
+    let live_srv = serve_bus(Arc::clone(&live_bus), Arc::clone(&live_now));
+    let mut live_pub =
+        StreamPublisher::new(&live_srv.base_url(), "bench", "n0", "n0:9100", "ceems", vec![]);
+
+    let qnow = Arc::clone(&live_now);
+    let rnow = Arc::clone(&live_now);
+    let fe = QueryFrontend::new(
+        Arc::new(RouterDownstream::new(api_router(
+            Arc::clone(&live_db),
+            Arc::new(move || rnow.load(Ordering::SeqCst)),
+        ))),
+        QfeConfig {
+            now: Arc::new(move || qnow.load(Ordering::SeqCst)),
+            ..Default::default()
+        },
+    );
+    let fe_srv = fe.serve().unwrap();
+
+    let mut lt = 0i64;
+    let mut seed_step = |lt: i64, v: i64| {
+        live_now.store(lt, Ordering::SeqCst);
+        live_pub
+            .publish(format!("stream_bench_watts {v}\n"), lt)
+            .expect("seed push");
+    };
+    for k in 1..=4 {
+        seed_step(k * STEP_MS, 200 + k);
+        lt = k * STEP_MS;
+    }
+    let sub_client = Client::new();
+    let mut sub = sub_client
+        .get_stream(&format!(
+            "{}/api/v1/query_live?query={}&step=15&since=60",
+            fe_srv.base_url(),
+            ceems_http::url::encode_component("sum(stream_bench_watts)")
+        ))
+        .expect("live subscribe");
+    assert_eq!(sub.status.0, 200);
+
+    let mut buf = String::new();
+    let read_event = |buf: &mut String, sub: &mut ceems_http::StreamingResponse| {
+        loop {
+            if let Some(end) = buf.find("\n\n") {
+                buf.drain(..end + 2);
+                return;
+            }
+            let chunk = sub
+                .next_chunk()
+                .expect("live stream read")
+                .expect("live stream stays open");
+            buf.push_str(std::str::from_utf8(&chunk).expect("utf8 sse"));
+        }
+    };
+    read_event(&mut buf, &mut sub); // the full render
+
+    let mut delta_lat: Vec<Duration> = Vec::with_capacity(LATENCY_ITERS);
+    for i in 0..LATENCY_ITERS {
+        lt += STEP_MS;
+        let body = format!("stream_bench_watts {}\n", 200 + (i as i64 % 17));
+        let started = Instant::now();
+        live_now.store(lt, Ordering::SeqCst);
+        live_pub.publish(body, lt).expect("live push");
+        fe.push_live(lt + 500);
+        read_event(&mut buf, &mut sub);
+        delta_lat.push(started.elapsed());
+    }
+    let delta_sum = LatencySummary::from_samples(&mut delta_lat);
+
+    write_bench_json(
+        "stream",
+        &serde_json::json!({
+            "bench": "stream_ingest",
+            "jobs": JOBS,
+            "samples_per_batch": samples_per_iter,
+            "ingest_iters": INGEST_ITERS,
+            "scrape_pull": {
+                "latency": scrape_sum.to_json(),
+                "samples_per_sec": samples_per_sec(samples_per_iter, &scrape_sum),
+            },
+            "stream_push": {
+                "latency": push_sum.to_json(),
+                "samples_per_sec": samples_per_sec(samples_per_iter, &push_sum),
+            },
+            "push_over_scrape_throughput": scrape_sum.p50_us / push_sum.p50_us,
+            "live_delta_iters": LATENCY_ITERS,
+            "sample_to_live_delta": delta_sum.to_json(),
+            "bus_frames_published": live_bus.stats().published + bus.stats().published,
+        }),
+    );
+
+    fe_srv.shutdown();
+    live_srv.shutdown();
+    bus_srv.shutdown();
+    exp_srv.shutdown();
+}
+
+criterion_group!(benches, bench_ingest_paths);
+criterion_main!(benches);

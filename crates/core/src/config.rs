@@ -265,6 +265,11 @@ pub struct ObsSettings {
     /// decision hashes the trace ID, so every hop of a request reaches the
     /// same verdict. 0 disables head sampling (tail capture still applies).
     pub trace_sample_rate: f64,
+    /// Per-tenant overrides of `trace_sample_rate`, each in `[0, 1]`. The
+    /// query frontend resolves the effective rate and propagates it
+    /// downstream; the reserved `__ceems_meta__` tenant is always pinned
+    /// to 1.0 regardless of this map.
+    pub tenant_sample_rates: std::collections::BTreeMap<String, f64>,
     /// Tail-capture threshold (ms): every trace slower than this is stored
     /// regardless of the head decision. Non-positive disables tail capture.
     pub trace_slow_ms: f64,
@@ -279,9 +284,41 @@ impl Default for ObsSettings {
     fn default() -> Self {
         ObsSettings {
             trace_sample_rate: 0.1,
+            tenant_sample_rates: Default::default(),
             trace_slow_ms: 250.0,
             trace_store_max_bytes: 4 << 20,
             trace_store_max_age_s: 3600.0,
+        }
+    }
+}
+
+/// The `stream:` YAML section (S23): push-mode sample ingest over the
+/// streaming bus plus live query push. Presence of the section enables it;
+/// exporters then publish renders instead of being scraped, recording rules
+/// re-evaluate incrementally, and `query_live` subscriptions are served.
+#[derive(Clone, Debug)]
+pub struct StreamSettings {
+    /// Master switch; presence of the `stream:` section enables it.
+    pub enabled: bool,
+    /// Topic exporter renders are published on.
+    pub topic: String,
+    /// Replay-ring capacity per (tenant, topic); subscribers resuming from
+    /// an offset older than the ring receive a gap record.
+    pub ring_capacity: usize,
+    /// Raw-frame subscriber cap per tenant on `/api/v1/stream/subscribe`.
+    pub max_subscribers_per_tenant: usize,
+    /// Live `query_live` subscription cap per tenant at the frontend.
+    pub max_live_per_tenant: usize,
+}
+
+impl Default for StreamSettings {
+    fn default() -> Self {
+        StreamSettings {
+            enabled: false,
+            topic: "node-metrics".to_string(),
+            ring_capacity: 256,
+            max_subscribers_per_tenant: 64,
+            max_live_per_tenant: 16,
         }
     }
 }
@@ -390,6 +427,8 @@ pub struct CeemsConfig {
     pub obs: ObsSettings,
     /// Self-scrape meta-monitoring settings (disabled by default).
     pub meta: MetaSettings,
+    /// Streaming ingest bus + live query push (disabled by default).
+    pub stream: StreamSettings,
 }
 
 impl Default for CeemsConfig {
@@ -424,6 +463,7 @@ impl Default for CeemsConfig {
             alerting: AlertingSettings::default(),
             obs: ObsSettings::default(),
             meta: MetaSettings::default(),
+            stream: StreamSettings::default(),
         }
     }
 }
@@ -684,6 +724,19 @@ impl CeemsConfig {
                 }
                 cfg.obs.trace_sample_rate = v;
             }
+            if let Some(Yaml::Map(rates)) = o.get("tenant_sample_rates") {
+                for (tenant, rate) in rates {
+                    let v = rate.as_f64().ok_or_else(|| {
+                        format!("obs.tenant_sample_rates.{tenant} must be a number")
+                    })?;
+                    if !(0.0..=1.0).contains(&v) {
+                        return Err(format!(
+                            "obs.tenant_sample_rates.{tenant} must be in [0, 1], got {v}"
+                        ));
+                    }
+                    cfg.obs.tenant_sample_rates.insert(tenant.clone(), v);
+                }
+            }
             if let Some(v) = o.get("trace_slow_ms").and_then(Yaml::as_f64) {
                 cfg.obs.trace_slow_ms = v;
             }
@@ -709,6 +762,27 @@ impl CeemsConfig {
             }
             if let Some(v) = m.get("breaker_storm_opens").and_then(Yaml::as_f64) {
                 cfg.meta.breaker_storm_opens = v.max(0.0);
+            }
+        }
+        if let Some(s) = doc.get("stream") {
+            cfg.stream.enabled = s.get("enabled").and_then(Yaml::as_bool).unwrap_or(true);
+            if let Some(v) = s.get("topic").and_then(Yaml::as_str) {
+                if v.is_empty() {
+                    return Err("stream.topic must be non-empty".to_string());
+                }
+                cfg.stream.topic = v.to_string();
+            }
+            if let Some(v) = s.get("ring_capacity").and_then(Yaml::as_i64) {
+                if v <= 0 {
+                    return Err(format!("stream.ring_capacity must be positive, got {v}"));
+                }
+                cfg.stream.ring_capacity = v as usize;
+            }
+            if let Some(v) = s.get("max_subscribers_per_tenant").and_then(Yaml::as_i64) {
+                cfg.stream.max_subscribers_per_tenant = v.max(0) as usize;
+            }
+            if let Some(v) = s.get("max_live_per_tenant").and_then(Yaml::as_i64) {
+                cfg.stream.max_live_per_tenant = v.max(0) as usize;
             }
         }
         if let Some(v) = doc.get("threads").and_then(Yaml::as_i64) {
@@ -885,6 +959,63 @@ meta:
         assert!(!c.meta.enabled);
         assert!(CeemsConfig::from_yaml("obs:\n  trace_sample_rate: 1.5\n").is_err());
         assert!(CeemsConfig::from_yaml("meta:\n  scrape_interval_s: 0\n").is_err());
+    }
+
+    #[test]
+    fn obs_tenant_sample_rate_overrides_parse() {
+        let c = CeemsConfig::from_yaml("").unwrap();
+        assert!(c.obs.tenant_sample_rates.is_empty());
+
+        let text = "\
+obs:
+  trace_sample_rate: 0.1
+  tenant_sample_rates:
+    prj-alpha: 1.0
+    prj-beta: 0.02
+";
+        let c = CeemsConfig::from_yaml(text).unwrap();
+        assert_eq!(c.obs.tenant_sample_rates.get("prj-alpha"), Some(&1.0));
+        assert_eq!(c.obs.tenant_sample_rates.get("prj-beta"), Some(&0.02));
+        assert_eq!(c.obs.tenant_sample_rates.len(), 2);
+
+        assert!(CeemsConfig::from_yaml(
+            "obs:\n  tenant_sample_rates:\n    prj-x: 2.0\n"
+        )
+        .is_err());
+        assert!(CeemsConfig::from_yaml(
+            "obs:\n  tenant_sample_rates:\n    prj-x: nope\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn stream_section_parses_with_presence_enabling() {
+        let c = CeemsConfig::from_yaml("").unwrap();
+        assert!(!c.stream.enabled);
+        assert_eq!(c.stream.topic, "node-metrics");
+        assert_eq!(c.stream.ring_capacity, 256);
+        assert_eq!(c.stream.max_subscribers_per_tenant, 64);
+        assert_eq!(c.stream.max_live_per_tenant, 16);
+
+        let text = "\
+stream:
+  topic: gpu-metrics
+  ring_capacity: 512
+  max_subscribers_per_tenant: 8
+  max_live_per_tenant: 4
+";
+        let c = CeemsConfig::from_yaml(text).unwrap();
+        // Presence of the section enables streaming.
+        assert!(c.stream.enabled);
+        assert_eq!(c.stream.topic, "gpu-metrics");
+        assert_eq!(c.stream.ring_capacity, 512);
+        assert_eq!(c.stream.max_subscribers_per_tenant, 8);
+        assert_eq!(c.stream.max_live_per_tenant, 4);
+
+        let c = CeemsConfig::from_yaml("stream:\n  enabled: false\n").unwrap();
+        assert!(!c.stream.enabled);
+        assert!(CeemsConfig::from_yaml("stream:\n  ring_capacity: 0\n").is_err());
+        assert!(CeemsConfig::from_yaml("stream:\n  topic: \"\"\n").is_err());
     }
 
     #[test]

@@ -26,6 +26,7 @@ use ceems_obs::{TraceSampler, TraceSink, TraceStore, TraceStoreConfig};
 use ceems_relstore::Db;
 use ceems_simnode::{SimClock, SimCluster};
 use ceems_slurm::{ChurnGenerator, JobRequest, Partition, Scheduler};
+use ceems_stream::{PublishOutcome, SampleFrame, SinkReceipt, StreamBus, StreamBusConfig};
 use ceems_tsdb::rules::RuleEngine;
 use ceems_tsdb::scrape::{ScrapeManager, ScrapeStats, ScrapeTarget, TargetSource};
 use ceems_tsdb::{Tsdb, TsdbConfig};
@@ -63,6 +64,14 @@ pub struct StackStats {
     pub meta_failures: u64,
     /// Trace spans evicted by the store's byte/age GC.
     pub traces_evicted: u64,
+    /// Push passes over the stream bus (0 unless `stream:` is enabled).
+    pub stream_pushes: u64,
+    /// Samples ingested through the stream bus.
+    pub samples_pushed: u64,
+    /// Publish attempts the bus's sink rejected.
+    pub stream_failures: u64,
+    /// Recording rules evaluated incrementally (stream mode).
+    pub incremental_rule_evals: u64,
 }
 
 /// The assembled CEEMS deployment.
@@ -91,6 +100,8 @@ pub struct CeemsStack {
     churn: Option<ChurnGenerator>,
     trace_sink: Arc<TraceSink>,
     meta_mon: Option<MetaMonitor>,
+    stream_bus: Option<Arc<StreamBus>>,
+    push_sources: Vec<PushSource>,
     config: CeemsConfig,
     last_scrape_ms: i64,
     last_rule_ms: i64,
@@ -99,6 +110,16 @@ pub struct CeemsStack {
     last_alert_ms: i64,
     last_meta_ms: i64,
     stats: StackStats,
+}
+
+/// Push-mode identity of one exporter: who it publishes as and the target
+/// labels its samples get stamped with (same as its scrape target, so a
+/// push-mode run lands byte-identical series).
+struct PushSource {
+    publisher: String,
+    instance: String,
+    extra_labels: Vec<(String, String)>,
+    next_seq: u64,
 }
 
 fn build_providers(cfg: &CeemsConfig) -> Vec<Arc<dyn EmissionProvider>> {
@@ -164,6 +185,7 @@ impl CeemsStack {
         let providers = build_providers(&config);
         let mut exporters = Vec::with_capacity(cluster.len());
         let mut targets = Vec::with_capacity(cluster.len());
+        let mut push_sources = Vec::with_capacity(cluster.len());
         for node in cluster.nodes() {
             let group = NodeGroup::for_profile(&node.lock().spec().profile);
             let hostname = node.lock().hostname().to_string();
@@ -176,11 +198,19 @@ impl CeemsStack {
                     ..Default::default()
                 },
             ));
+            let instance = format!("{hostname}:9100");
+            let extra_labels = vec![("nodegroup".to_string(), group.label().to_string())];
             targets.push(ScrapeTarget {
-                instance: format!("{hostname}:9100"),
+                instance: instance.clone(),
                 job: "ceems".to_string(),
-                extra_labels: vec![("nodegroup".to_string(), group.label().to_string())],
+                extra_labels: extra_labels.clone(),
                 source: TargetSource::InProcess(exporter.render_fn()),
+            });
+            push_sources.push(PushSource {
+                publisher: hostname,
+                instance,
+                extra_labels,
+                next_seq: 1,
             });
             exporters.push(exporter);
         }
@@ -229,6 +259,44 @@ impl CeemsStack {
             )
             .with_now(Arc::new(move || trace_clock.now_ms())),
         );
+
+        // Streaming ingest bus (S23): exporters publish renders instead of
+        // being scraped. The sink parses the exposition text through the
+        // same label-stamping path as a scrape and appends synchronously —
+        // one acked frame is one TSDB batch (and one WAL group commit when
+        // durability is on) — returning the metric names that arrived so
+        // the rule engine can re-evaluate just the affected sub-DAG.
+        let stream_bus = if config.stream.enabled {
+            let sink_db = tsdb.clone();
+            let sink: ceems_stream::IngestSink = Arc::new(move |f: &SampleFrame| {
+                let batch = ceems_tsdb::scrape::exposition_to_batch(
+                    &f.body,
+                    &f.instance,
+                    &f.job,
+                    &f.extra_labels,
+                    f.produced_ms,
+                )?;
+                let names: std::collections::BTreeSet<String> = batch
+                    .iter()
+                    .filter_map(|(ls, _, _)| ls.metric_name().map(str::to_string))
+                    .collect();
+                let samples = batch.len() as u64;
+                sink_db.append_batch(&batch);
+                Ok(SinkReceipt {
+                    samples,
+                    names: names.into_iter().collect(),
+                })
+            });
+            Some(Arc::new(StreamBus::new(
+                StreamBusConfig {
+                    ring_capacity: config.stream.ring_capacity,
+                    max_subscribers_per_tenant: config.stream.max_subscribers_per_tenant,
+                },
+                sink,
+            )))
+        } else {
+            None
+        };
 
         let rm = Arc::new(SlurmRmClient::new(scheduler.clone()));
         let metrics = Arc::new(TsdbLocalSource::new(tsdb.clone()));
@@ -362,6 +430,19 @@ impl CeemsStack {
                     exporter.render_fn(),
                 ));
             }
+            // The stream bus's health gauges (ring occupancy, publisher
+            // lag, subscriber counts) join the meta tenant when streaming
+            // is on.
+            if let Some(bus) = &stream_bus {
+                let reg = ceems_metrics::registry::Registry::new();
+                bus.register_metrics(&reg);
+                ceems_obs::register_build_info(&reg, "stream");
+                targets.push(MetaTarget::in_process(
+                    "stream",
+                    "stream:0",
+                    Arc::new(move || ceems_metrics::encode_families(&reg.gather())),
+                ));
+            }
             Some(MetaMonitor::new(targets))
         } else {
             None
@@ -381,6 +462,8 @@ impl CeemsStack {
             churn,
             trace_sink,
             meta_mon,
+            stream_bus,
+            push_sources,
             config,
             last_scrape_ms: i64::MIN / 2,
             last_rule_ms: i64::MIN / 2,
@@ -493,12 +576,64 @@ impl CeemsStack {
             max_fanout: 8,
             now,
             trace_sink: Some(self.trace_sink.clone()),
+            max_live_per_tenant: self.config.stream.max_live_per_tenant,
+            tenant_sample_rates: self.config.obs.tenant_sample_rates.clone(),
         }
+    }
+
+    /// The streaming ingest bus (`None` unless `stream:` is enabled).
+    /// Mount its HTTP surface with [`ceems_stream::http::mount`] to accept
+    /// out-of-process publishers and raw-frame subscribers.
+    pub fn stream_bus(&self) -> Option<Arc<StreamBus>> {
+        self.stream_bus.clone()
     }
 
     /// Cumulative statistics.
     pub fn stats(&self) -> StackStats {
         self.stats
+    }
+
+    /// One push pass (stream mode): every exporter publishes its render
+    /// onto the bus, then the rule engine re-evaluates only the sub-DAG
+    /// whose input series actually arrived.
+    fn push_pass(&mut self, now: i64) {
+        let Some(bus) = self.stream_bus.clone() else {
+            return;
+        };
+        let mut arrived: std::collections::HashSet<String> = Default::default();
+        for (i, exporter) in self.exporters.iter().enumerate() {
+            let src = &mut self.push_sources[i];
+            let frame = SampleFrame {
+                topic: self.config.stream.topic.clone(),
+                publisher: src.publisher.clone(),
+                seq: src.next_seq,
+                instance: src.instance.clone(),
+                job: "ceems".to_string(),
+                extra_labels: src.extra_labels.clone(),
+                body: exporter.render_for_push(),
+                produced_ms: now,
+            };
+            match bus.publish("anonymous", frame, now) {
+                Ok(PublishOutcome::Ingested { receipt, .. }) => {
+                    src.next_seq += 1;
+                    self.stats.samples_pushed += receipt.samples;
+                    arrived.extend(receipt.names);
+                }
+                Ok(PublishOutcome::Duplicate { .. }) => {
+                    src.next_seq += 1;
+                }
+                Err(_) => {
+                    self.stats.stream_failures += 1;
+                }
+            }
+        }
+        self.stats.stream_pushes += 1;
+        if !arrived.is_empty() {
+            let before = self.rule_engine.total_evals();
+            self.stats.rule_series_written +=
+                self.rule_engine.tick_incremental(&self.tsdb, now, &arrived);
+            self.stats.incremental_rule_evals += self.rule_engine.total_evals() - before;
+        }
     }
 
     /// Submits a job by hand (examples/tests that do not use churn).
@@ -527,12 +662,22 @@ impl CeemsStack {
 
         if now - self.last_scrape_ms >= (self.config.scrape_interval_s * 1000.0) as i64 {
             self.last_scrape_ms = now;
-            let s: ScrapeStats = self.scrape_mgr.scrape_once(&self.tsdb, now, self.config.threads);
-            self.stats.scrape_passes += 1;
-            self.stats.samples_scraped += s.samples;
-            self.stats.scrape_failures += s.failed;
+            if self.stream_bus.is_some() {
+                self.push_pass(now);
+            } else {
+                let s: ScrapeStats =
+                    self.scrape_mgr.scrape_once(&self.tsdb, now, self.config.threads);
+                self.stats.scrape_passes += 1;
+                self.stats.samples_scraped += s.samples;
+                self.stats.scrape_failures += s.failed;
+            }
         }
-        if now - self.last_rule_ms >= (self.config.rule_interval_s * 1000.0) as i64 {
+        // In stream mode rule evaluation is event-driven: `push_pass` ticks
+        // the affected sub-DAG as samples arrive, so the timer-driven full
+        // tick only runs in pull mode.
+        if self.stream_bus.is_none()
+            && now - self.last_rule_ms >= (self.config.rule_interval_s * 1000.0) as i64
+        {
             self.last_rule_ms = now;
             self.stats.rule_series_written += self.rule_engine.tick(&self.tsdb, now);
         }
@@ -727,6 +872,75 @@ mod tests {
             LabelMatcher::eq("uuid", "slurm-1"),
         ]);
         assert!(total[0].1.v > comp[0].1.v);
+    }
+
+    #[test]
+    fn stream_mode_pushes_samples_and_matches_pull_mode() {
+        let dir = |tag: &str| {
+            std::env::temp_dir().join(format!(
+                "ceems-streamstack-{tag}-{}-{}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            ))
+        };
+        let push_dir = dir("push");
+        let pull_dir = dir("pull");
+        let stream_cfg = CeemsConfig {
+            stream: crate::config::StreamSettings {
+                enabled: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut push = CeemsStack::build(stream_cfg, &push_dir).unwrap();
+        let mut pull = CeemsStack::build(CeemsConfig::default(), &pull_dir).unwrap();
+        for stack in [&mut push, &mut pull] {
+            stack.submit(cpu_job("alice", 16)).unwrap();
+            stack.run_for(600.0, 15.0);
+        }
+
+        let st = push.stats();
+        assert_eq!(st.scrape_passes, 0, "stream mode must not scrape");
+        assert!(st.stream_pushes >= 35, "pushes={}", st.stream_pushes);
+        assert!(st.samples_pushed > 1000);
+        assert_eq!(st.stream_failures, 0);
+        assert!(st.incremental_rule_evals > 0);
+        assert!(st.rule_series_written > 0);
+        let bus = push.stream_bus().expect("bus present in stream mode");
+        assert_eq!(bus.stats().published, st.stream_pushes * 8);
+
+        // Push-mode ingest lands the same series a pull-mode run does:
+        // same sample count and same values at the same timestamps.
+        for stack in [&push, &pull] {
+            let power = stack.tsdb.select_latest(&[
+                LabelMatcher::eq("__name__", "uuid:ceems_power:watts"),
+                LabelMatcher::eq("uuid", "slurm-1"),
+            ]);
+            assert_eq!(power.len(), 1);
+        }
+        let series = |stack: &CeemsStack| {
+            stack.tsdb.select(
+                &[
+                    LabelMatcher::eq("__name__", "ceems_compute_unit_cpu_user_seconds_total"),
+                    LabelMatcher::eq("uuid", "slurm-1"),
+                ],
+                0,
+                i64::MAX,
+            )
+        };
+        let (a, b) = (series(&push), series(&pull));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(a[0].samples.len(), b[0].samples.len());
+        for (sa, sb) in a[0].samples.iter().zip(&b[0].samples) {
+            assert_eq!(sa.t_ms, sb.t_ms);
+            assert_eq!(sa.v, sb.v);
+        }
+        std::fs::remove_dir_all(push_dir).ok();
+        std::fs::remove_dir_all(pull_dir).ok();
     }
 
     #[test]

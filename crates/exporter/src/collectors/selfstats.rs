@@ -24,6 +24,10 @@ pub struct SelfStats {
     pub render_ns: AtomicU64,
     /// Bytes of the last rendered payload.
     pub last_payload_bytes: AtomicU64,
+    /// Samples served to pull-mode scrapes.
+    pub samples_scraped: AtomicU64,
+    /// Samples published over the streaming push path (S23).
+    pub samples_pushed: AtomicU64,
     /// Render latency distribution (`_bucket`/`_sum`/`_count`).
     render_seconds: Histogram,
 }
@@ -34,9 +38,21 @@ impl Default for SelfStats {
             scrapes: AtomicU64::new(0),
             render_ns: AtomicU64::new(0),
             last_payload_bytes: AtomicU64::new(0),
+            samples_scraped: AtomicU64::new(0),
+            samples_pushed: AtomicU64::new(0),
             render_seconds: Histogram::new(Histogram::duration_buckets()),
         }
     }
+}
+
+/// How a render left the exporter: pulled by a scraper or pushed onto the
+/// streaming bus. Distinguished in `ceems_exporter_samples_total{mode=}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RenderMode {
+    /// Pull: a scraper fetched `/metrics` (or the in-process equivalent).
+    Scrape,
+    /// Push: the exporter published the render onto the stream bus.
+    Push,
 }
 
 impl SelfStats {
@@ -47,6 +63,14 @@ impl SelfStats {
         self.render_seconds.observe(elapsed_ns as f64 / 1e9);
         self.last_payload_bytes
             .store(payload_bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records `n` samples leaving by `mode`.
+    pub fn record_samples(&self, mode: RenderMode, n: u64) {
+        match mode {
+            RenderMode::Scrape => self.samples_scraped.fetch_add(n, Ordering::Relaxed),
+            RenderMode::Push => self.samples_pushed.fetch_add(n, Ordering::Relaxed),
+        };
     }
 
     /// Mean render time in nanoseconds.
@@ -106,13 +130,27 @@ impl Collector for SelfCollector {
             LabelSet::empty(),
             Sample::now(self.stats.last_payload_bytes.load(Ordering::Relaxed) as f64),
         ));
+        let mut samples = MetricFamily::new(
+            "ceems_exporter_samples_total",
+            "Samples leaving this exporter, by transport mode",
+            MetricType::Counter,
+        );
+        for (mode, v) in [
+            ("scrape", self.stats.samples_scraped.load(Ordering::Relaxed)),
+            ("push", self.stats.samples_pushed.load(Ordering::Relaxed)),
+        ] {
+            samples.metrics.push(Metric::new(
+                LabelSet::from_pairs([("mode", mode)]),
+                Sample::now(v as f64),
+            ));
+        }
         let mut render_hist = MetricFamily::new(
             "ceems_exporter_render_duration_seconds",
             "Distribution of /metrics render wall time",
             MetricType::Histogram,
         );
         render_hist.metrics = self.stats.render_seconds.render(&LabelSet::empty());
-        vec![scrapes, render, payload, render_hist]
+        vec![scrapes, render, payload, samples, render_hist]
     }
 }
 
@@ -130,9 +168,9 @@ mod tests {
         assert_eq!(fams[0].metrics[0].sample.value, 2.0);
         assert_eq!(fams[2].metrics[0].sample.value, 600.0);
         // The histogram family carries the same observations as quantiles.
-        assert_eq!(fams[3].name, "ceems_exporter_render_duration_seconds");
+        assert_eq!(fams[4].name, "ceems_exporter_render_duration_seconds");
         assert_eq!(stats.render_histogram().count(), 2);
-        let count = fams[3]
+        let count = fams[4]
             .metrics
             .iter()
             .find(|m| m.name_suffix == "_count")
@@ -143,5 +181,25 @@ mod tests {
     #[test]
     fn empty_stats_mean_is_zero() {
         assert_eq!(SelfStats::default().mean_render_ns(), 0.0);
+    }
+
+    #[test]
+    fn samples_total_distinguishes_push_from_scrape() {
+        let stats = Arc::new(SelfStats::default());
+        stats.record_samples(RenderMode::Scrape, 10);
+        stats.record_samples(RenderMode::Push, 3);
+        stats.record_samples(RenderMode::Push, 4);
+        let fams = SelfCollector::new(stats).collect();
+        let samples = fams
+            .iter()
+            .find(|f| f.name == "ceems_exporter_samples_total")
+            .unwrap();
+        let by_mode: std::collections::BTreeMap<&str, f64> = samples
+            .metrics
+            .iter()
+            .map(|m| (m.labels.get("mode").unwrap(), m.sample.value))
+            .collect();
+        assert_eq!(by_mode["scrape"], 10.0);
+        assert_eq!(by_mode["push"], 7.0);
     }
 }

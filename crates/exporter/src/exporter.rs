@@ -18,7 +18,7 @@ use crate::collectors::ipmi::IpmiCollector;
 use crate::collectors::node::NodeCollector;
 use crate::collectors::perf::{NetCollector, PerfCollector};
 use crate::collectors::rapl::RaplCollector;
-use crate::collectors::selfstats::{SelfCollector, SelfStats};
+use crate::collectors::selfstats::{RenderMode, SelfCollector, SelfStats};
 
 /// Exporter configuration (mirrors the real exporter's CLI flags).
 #[derive(Clone)]
@@ -111,12 +111,24 @@ impl CeemsExporter {
 
     /// Renders the `/metrics` payload (the scrape hot path).
     pub fn render(&self) -> String {
+        self.render_as(RenderMode::Scrape)
+    }
+
+    /// Renders a payload for the streaming push path; counted separately in
+    /// `ceems_exporter_samples_total{mode="push"}`.
+    pub fn render_for_push(&self) -> String {
+        self.render_as(RenderMode::Push)
+    }
+
+    fn render_as(&self, mode: RenderMode) -> String {
         let started = std::time::Instant::now();
         let families = self.registry.gather();
+        let samples: usize = families.iter().map(|f| f.metrics.len()).sum();
         let mut out = String::with_capacity(4096);
         encode_families_into(&families, &mut out);
         self.stats
             .record(started.elapsed().as_nanos() as u64, out.len());
+        self.stats.record_samples(mode, samples as u64);
         out
     }
 

@@ -21,4 +21,5 @@
 pub mod collectors;
 pub mod exporter;
 
+pub use collectors::selfstats::{RenderMode, SelfStats};
 pub use exporter::{CeemsExporter, ExporterConfig};

@@ -10,7 +10,7 @@
 //! a dead pooled connection, and no response bytes have been committed yet.
 
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
@@ -155,6 +155,59 @@ impl Client {
     /// Issues a GET.
     pub fn get(&self, url: &str) -> Result<Response, ClientError> {
         self.request(Method::Get, url, Vec::new(), None)
+    }
+
+    /// Issues a GET expecting a streaming (chunked) response and returns it
+    /// with the body unread, to be consumed incrementally via
+    /// [`StreamingResponse::next_chunk`]. The connection is always fresh
+    /// and never pooled: a stream consumes its connection. The client's
+    /// timeout bounds each chunk read, so a subscription quiet for longer
+    /// than that errors out — raise it via [`Client::with_timeout`] for
+    /// long-lived subscriptions.
+    pub fn get_stream(&self, url: &str) -> Result<StreamingResponse, ClientError> {
+        let url = Url::parse(url)?;
+        let stream = TcpStream::connect(&url.authority)?;
+        stream.set_read_timeout(self.timeout)?;
+        stream.set_write_timeout(self.timeout)?;
+        stream.set_nodelay(true)?;
+
+        let mut head = format!(
+            "GET {} HTTP/1.1\r\nhost: {}\r\nconnection: close\r\n",
+            url.path_and_query, url.authority,
+        );
+        if let Some(auth) = &self.basic_auth {
+            head.push_str(&format!("authorization: {}\r\n", auth.header_value()));
+        }
+        for (k, v) in &self.headers {
+            head.push_str(&format!("{k}: {v}\r\n"));
+        }
+        head.push_str("\r\n");
+        (&stream).write_all(head.as_bytes())?;
+        (&stream).flush()?;
+
+        let mut reader = BufReader::new(stream);
+        let (status, headers) = read_head(&mut reader)?;
+        let mode = if headers
+            .get("transfer-encoding")
+            .map(|v| v.eq_ignore_ascii_case("chunked"))
+            .unwrap_or(false)
+        {
+            BodyMode::Chunked
+        } else {
+            match headers.get("content-length") {
+                Some(cl) => BodyMode::Length(
+                    cl.parse()
+                        .map_err(|_| ClientError::BadResponse("bad content-length".into()))?,
+                ),
+                None => BodyMode::ToEof,
+            }
+        };
+        Ok(StreamingResponse {
+            status,
+            headers,
+            reader,
+            mode,
+        })
     }
 
     /// Issues a POST with a body.
@@ -304,9 +357,92 @@ impl Client {
     }
 }
 
-/// Reads one response. The `bool` is true when the body was framed by
-/// `content-length` (a read-to-EOF body consumes the connection).
-fn read_response<R: BufRead>(reader: &mut R) -> Result<(Response, bool), ClientError> {
+/// How a [`StreamingResponse`] body is framed.
+enum BodyMode {
+    /// `transfer-encoding: chunked`; decoded incrementally.
+    Chunked,
+    /// `content-length` remaining; delivered as one chunk.
+    Length(usize),
+    /// Unframed; read to EOF as one chunk.
+    ToEof,
+    /// Fully consumed.
+    Done,
+}
+
+/// A response whose body is consumed incrementally — the read side of a
+/// long-lived chunked stream (live query subscriptions, bus subscribes).
+pub struct StreamingResponse {
+    /// Status code.
+    pub status: Status,
+    /// Lower-cased header names to values.
+    pub headers: BTreeMap<String, String>,
+    reader: BufReader<TcpStream>,
+    mode: BodyMode,
+}
+
+impl StreamingResponse {
+    /// Gets a header by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(|s| s.as_str())
+    }
+
+    /// Reads the next body chunk, blocking until one arrives (bounded by
+    /// the client's timeout). `Ok(None)` is the clean end of the stream.
+    /// Non-chunked bodies (an error response shed with `content-length`,
+    /// say) come back as a single chunk followed by `None`.
+    pub fn next_chunk(&mut self) -> Result<Option<Vec<u8>>, ClientError> {
+        match self.mode {
+            BodyMode::Done => Ok(None),
+            BodyMode::Chunked => {
+                let mut line = String::new();
+                if self.reader.read_line(&mut line)? == 0 {
+                    return Err(ClientError::BadResponse("eof mid-stream".into()));
+                }
+                let size_str = line.trim().split(';').next().unwrap_or("").trim();
+                let size = usize::from_str_radix(size_str, 16)
+                    .map_err(|_| ClientError::BadResponse(format!("bad chunk size {line:?}")))?;
+                if size == 0 {
+                    // Terminating chunk; consume the trailing CRLF.
+                    let mut end = String::new();
+                    let _ = self.reader.read_line(&mut end);
+                    self.mode = BodyMode::Done;
+                    return Ok(None);
+                }
+                let mut buf = vec![0u8; size];
+                self.reader.read_exact(&mut buf)?;
+                let mut crlf = [0u8; 2];
+                self.reader.read_exact(&mut crlf)?;
+                Ok(Some(buf))
+            }
+            BodyMode::Length(n) => {
+                let mut buf = vec![0u8; n];
+                self.reader.read_exact(&mut buf)?;
+                self.mode = BodyMode::Done;
+                Ok(Some(buf))
+            }
+            BodyMode::ToEof => {
+                let mut buf = Vec::new();
+                self.reader.read_to_end(&mut buf)?;
+                self.mode = BodyMode::Done;
+                Ok(if buf.is_empty() { None } else { Some(buf) })
+            }
+        }
+    }
+
+    /// Overrides the per-chunk read deadline (e.g. a live subscription
+    /// expecting minutes of quiet between deltas).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+}
+
+/// Reads a status line + headers off a response.
+fn read_head<R: BufRead>(
+    reader: &mut R,
+) -> Result<(Status, BTreeMap<String, String>), ClientError> {
     let mut line = String::new();
     reader.read_line(&mut line)?;
     let mut parts = line.trim_end().splitn(3, ' ');
@@ -335,6 +471,13 @@ fn read_response<R: BufRead>(reader: &mut R) -> Result<(Response, bool), ClientE
             headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
         }
     }
+    Ok((Status(code), headers))
+}
+
+/// Reads one response. The `bool` is true when the body was framed by
+/// `content-length` (a read-to-EOF body consumes the connection).
+fn read_response<R: BufRead>(reader: &mut R) -> Result<(Response, bool), ClientError> {
+    let (status, headers) = read_head(reader)?;
 
     let (body, framed) = match headers.get("content-length") {
         Some(cl) => {
@@ -354,9 +497,10 @@ fn read_response<R: BufRead>(reader: &mut R) -> Result<(Response, bool), ClientE
 
     Ok((
         Response {
-            status: Status(code),
+            status,
             headers,
             body,
+            stream: None,
         },
         framed,
     ))

@@ -16,6 +16,9 @@
 //!   how many sockets are open.
 //! * [`sys`] — the raw Linux FFI the reactor stands on (`epoll`,
 //!   `eventfd`, listener backlog, `RLIMIT_NOFILE`).
+//! * [`stream`] — streaming response bodies over chunked transfer-encoding
+//!   (live query subscriptions and the S23 sample bus hold responses open
+//!   through these).
 //! * [`client`] — a blocking HTTP/1.1 client used by the scraper, the API
 //!   server and the load balancer.
 //! * [`pool`] — the client's bounded per-host keep-alive connection pool
@@ -37,12 +40,14 @@ mod reactor;
 pub mod resilience;
 pub mod router;
 pub mod server;
+pub mod stream;
 pub mod sys;
 pub mod types;
 pub mod url;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, StreamingResponse};
 pub use resilience::{BreakerConfig, BreakerState, CircuitBreaker, RetryBudget, RetryPolicy};
 pub use router::Router;
 pub use server::{HttpServer, ServerConfig};
+pub use stream::{stream_pair, BodyStream, StreamWriter};
 pub use types::{Method, Request, Response, Status};

@@ -41,6 +41,11 @@ pub(crate) const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
 /// Cap on buffered request head bytes (request line + headers).
 const MAX_HEAD_BYTES: usize = 64 << 10;
 
+/// Cap on unflushed outbound bytes of a streaming connection before the
+/// consumer is shed (closed) instead of buffering further (S23). Matches
+/// the writer-side queue cap in [`crate::stream`].
+const STREAM_OUT_CAP: usize = 4 << 20;
+
 /// Epoll token reserved for the reactor's wake eventfd.
 const WAKE_TOKEN: u64 = u64::MAX;
 
@@ -106,6 +111,10 @@ enum ConnState {
     Idle,
     /// A request is running on a worker; `gen` guards the completion.
     Busy,
+    /// A chunked streaming response is open (S23): the reactor drains the
+    /// connection's [`crate::stream::BodyStream`] until the producer closes
+    /// it, then closes the connection.
+    Streaming,
 }
 
 struct Conn {
@@ -132,6 +141,8 @@ struct Conn {
     /// When the first byte of the current partial request arrived; bounds
     /// total header+body receive time (slowloris guard).
     req_started: Option<Instant>,
+    /// The open streaming body while in [`ConnState::Streaming`].
+    body_stream: Option<crate::stream::BodyStream>,
 }
 
 impl Conn {
@@ -207,6 +218,7 @@ impl Reactor {
             }
             self.drain_inbox();
             self.drain_completions();
+            self.pump_streams();
             self.sweep_timeouts();
             if self.stop.load(Ordering::Relaxed) && self.drain_for_stop() {
                 break;
@@ -229,7 +241,12 @@ impl Reactor {
         let idle: Vec<RawFd> = self
             .conns
             .iter()
-            .filter(|(_, c)| matches!(c.state, ConnState::Idle) && c.out_pos >= c.out.len())
+            .filter(|(_, c)| {
+                // Streams are unbounded; shutdown aborts them immediately
+                // (the producer sees the abort) instead of waiting them out.
+                matches!(c.state, ConnState::Streaming)
+                    || (matches!(c.state, ConnState::Idle) && c.out_pos >= c.out.len())
+            })
             .map(|(fd, _)| *fd)
             .collect();
         for fd in idle {
@@ -263,6 +280,7 @@ impl Reactor {
                 served: 0,
                 last_activity: Instant::now(),
                 req_started: None,
+                body_stream: None,
             };
             if self.epoll.add(fd, conn.interest(), fd as u64).is_err() {
                 self.active.fetch_sub(1, Ordering::Relaxed);
@@ -286,13 +304,28 @@ impl Reactor {
             }
             match c.action {
                 Action::Respond { resp, keep_alive } => {
-                    serialize_response(&mut conn.out, &resp, keep_alive);
-                    conn.state = ConnState::Idle;
-                    conn.last_activity = Instant::now();
-                    if !keep_alive || conn.served >= self.config.max_requests_per_conn {
-                        conn.close_after_flush = true;
+                    if let Some(body) = resp.stream.clone() {
+                        // Streaming response: chunked head now, body drained
+                        // by pump_stream until the producer closes. The
+                        // connection always closes at stream end, so
+                        // keep_alive is moot.
+                        serialize_stream_head(&mut conn.out, &resp);
+                        conn.state = ConnState::Streaming;
+                        conn.last_activity = Instant::now();
+                        let shared = self.shared.clone();
+                        body.set_waker(Arc::new(move || shared.kick()));
+                        conn.body_stream = Some(body);
+                        self.flush_and_continue(c.fd);
+                        self.pump_stream(c.fd);
+                    } else {
+                        serialize_response(&mut conn.out, &resp, keep_alive);
+                        conn.state = ConnState::Idle;
+                        conn.last_activity = Instant::now();
+                        if !keep_alive || conn.served >= self.config.max_requests_per_conn {
+                            conn.close_after_flush = true;
+                        }
+                        self.flush_and_continue(c.fd);
                     }
-                    self.flush_and_continue(c.fd);
                 }
                 Action::Close => {
                     self.close(c.fd);
@@ -305,6 +338,59 @@ impl Reactor {
                     self.flush_and_continue(c.fd);
                 }
             }
+        }
+    }
+
+    /// Drains every open streaming body into its connection. Runs each loop
+    /// pass: a writer's `send` kicks the eventfd for immediacy, and the
+    /// 100 ms epoll timeout bounds latency even without a waker.
+    fn pump_streams(&mut self) {
+        let fds: Vec<RawFd> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| matches!(c.state, ConnState::Streaming))
+            .map(|(fd, _)| *fd)
+            .collect();
+        for fd in fds {
+            self.pump_stream(fd);
+        }
+    }
+
+    /// Moves queued chunks of one streaming connection into its outbound
+    /// buffer (chunk-encoded) and flushes. Sheds the consumer when the
+    /// unflushed backlog passes [`STREAM_OUT_CAP`]; ends the connection with
+    /// the terminating chunk once the producer closes.
+    fn pump_stream(&mut self, fd: RawFd) {
+        let Some(conn) = self.conns.get_mut(&fd) else {
+            return;
+        };
+        if !matches!(conn.state, ConnState::Streaming) {
+            return;
+        }
+        let Some(stream) = conn.body_stream.clone() else {
+            self.close(fd);
+            return;
+        };
+        if conn.out.len() - conn.out_pos > STREAM_OUT_CAP {
+            // Consumer can't keep up with the producer: shed it.
+            self.close(fd);
+            return;
+        }
+        let (chunks, closed) = stream.take_chunks();
+        for chunk in &chunks {
+            if !chunk.is_empty() {
+                encode_chunk(&mut conn.out, chunk);
+            }
+        }
+        if closed {
+            conn.out.extend_from_slice(b"0\r\n\r\n");
+            conn.state = ConnState::Idle;
+            conn.close_after_flush = true;
+            conn.body_stream = None;
+        }
+        if !chunks.is_empty() || closed {
+            conn.last_activity = Instant::now();
+            self.flush_and_continue(fd);
         }
     }
 
@@ -341,6 +427,14 @@ impl Reactor {
             }
         }
         self.try_dispatch(fd);
+        if let Some(conn) = self.conns.get_mut(&fd) {
+            // A subscriber that closed its read side is done consuming the
+            // stream; tear the connection down so the producer sees it.
+            if conn.peer_closed && matches!(conn.state, ConnState::Streaming) {
+                self.close(fd);
+                return;
+            }
+        }
         if let Some(conn) = self.conns.get_mut(&fd) {
             // EOF with nothing runnable: a clean close or an abandoned
             // partial request — either way the conversation is over.
@@ -469,6 +563,12 @@ impl Reactor {
             .iter()
             .filter(|(_, c)| match c.state {
                 ConnState::Busy => false, // handler running; not the conn's fault
+                // A quiet stream is legitimate (live queries idle between
+                // deltas); only a stalled response write — the consumer has
+                // stopped reading — kills a streaming connection.
+                ConnState::Streaming => {
+                    c.out_pos < c.out.len() && now.duration_since(c.last_activity) > read
+                }
                 ConnState::Idle => {
                     let stalled_write = c.out_pos < c.out.len()
                         && now.duration_since(c.last_activity) > read;
@@ -489,6 +589,9 @@ impl Reactor {
 
     fn close(&mut self, fd: RawFd) {
         if let Some(conn) = self.conns.remove(&fd) {
+            if let Some(stream) = &conn.body_stream {
+                stream.abort(); // producer observes the disconnect
+            }
             self.epoll.delete(fd);
             drop(conn); // closes the socket
             self.active.fetch_sub(1, Ordering::Relaxed);
@@ -727,6 +830,34 @@ pub(crate) fn serialize_response(out: &mut Vec<u8>, resp: &Response, keep_alive:
     }
     out.extend_from_slice(b"\r\n");
     out.extend_from_slice(&resp.body);
+}
+
+/// Serializes the head of a streaming response: no `content-length`,
+/// `transfer-encoding: chunked`, and `connection: close` — a stream's end
+/// is the connection's end, so it never returns to keep-alive rotation.
+fn serialize_stream_head(out: &mut Vec<u8>, resp: &Response) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ntransfer-encoding: chunked\r\nconnection: close\r\n",
+        resp.status.0,
+        resp.status.reason(),
+    );
+    out.extend_from_slice(head.as_bytes());
+    for (k, v) in &resp.headers {
+        if k != "content-length" && k != "connection" && k != "transfer-encoding" {
+            out.extend_from_slice(k.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(v.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+    }
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Appends one HTTP/1.1 chunk (`<hex len>\r\n<data>\r\n`).
+fn encode_chunk(out: &mut Vec<u8>, data: &[u8]) {
+    out.extend_from_slice(format!("{:x}\r\n", data.len()).as_bytes());
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
 }
 
 /// Serializes the truncated-body fault: full `content-length`, short body.

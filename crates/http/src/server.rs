@@ -411,6 +411,88 @@ mod tests {
     }
 
     #[test]
+    fn streaming_response_round_trip() {
+        let writers: Arc<parking_lot::Mutex<Vec<crate::stream::StreamWriter>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut r = Router::new();
+        let w = writers.clone();
+        r.get("/sub", move |_| {
+            let (resp, writer) = Response::streaming(Status::OK);
+            let resp = resp.with_header("content-type", "text/event-stream");
+            w.lock().push(writer);
+            resp
+        });
+        let server = HttpServer::serve(ServerConfig::ephemeral(), r).unwrap();
+        let client = Client::new();
+        let mut resp = client
+            .get_stream(&format!("{}/sub", server.base_url()))
+            .unwrap();
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(resp.header("content-type"), Some("text/event-stream"));
+        assert_eq!(resp.header("transfer-encoding"), Some("chunked"));
+
+        // Producer sends after the response head is already on the wire.
+        let writer = loop {
+            if let Some(w) = writers.lock().last().cloned() {
+                break w;
+            }
+        };
+        assert!(writer.send(b"alpha".to_vec()));
+        assert_eq!(resp.next_chunk().unwrap().unwrap(), b"alpha");
+        assert!(writer.send(b"beta".to_vec()));
+        assert!(writer.send(b"gamma".to_vec()));
+        assert_eq!(resp.next_chunk().unwrap().unwrap(), b"beta");
+        assert_eq!(resp.next_chunk().unwrap().unwrap(), b"gamma");
+        writer.close();
+        assert!(resp.next_chunk().unwrap().is_none(), "clean end of stream");
+        server.shutdown();
+    }
+
+    #[test]
+    fn streaming_consumer_disconnect_aborts_writer() {
+        let writers: Arc<parking_lot::Mutex<Vec<crate::stream::StreamWriter>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut r = Router::new();
+        let w = writers.clone();
+        r.get("/sub", move |_| {
+            let (resp, writer) = Response::streaming(Status::OK);
+            w.lock().push(writer);
+            resp
+        });
+        let server = HttpServer::serve(ServerConfig::ephemeral(), r).unwrap();
+        let client = Client::new();
+        let mut resp = client
+            .get_stream(&format!("{}/sub", server.base_url()))
+            .unwrap();
+        let writer = loop {
+            if let Some(w) = writers.lock().last().cloned() {
+                break w;
+            }
+        };
+        assert!(writer.send(b"first".to_vec()));
+        assert_eq!(resp.next_chunk().unwrap().unwrap(), b"first");
+        drop(resp); // client hangs up mid-stream
+
+        // The reactor observes the close and aborts the stream; sends start
+        // failing. Bounded wait: sends keep succeeding into the queue until
+        // the reactor notices, so poll.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let ok = writer.send(b"more".to_vec());
+            if !ok {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "writer never observed the disconnect"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(writer.is_aborted());
+        server.shutdown();
+    }
+
+    #[test]
     fn max_requests_per_conn_closes_connection() {
         let mut cfg = ServerConfig::ephemeral();
         cfg.max_requests_per_conn = 2;

@@ -203,6 +203,12 @@ pub struct Response {
     pub headers: BTreeMap<String, String>,
     /// Body bytes.
     pub body: Vec<u8>,
+    /// Streaming body (S23). When set, `body` is ignored: the server
+    /// serializes the head with `transfer-encoding: chunked`, keeps the
+    /// connection open, and drains whatever the paired
+    /// [`crate::stream::StreamWriter`] queues until it closes. Streaming
+    /// connections never re-enter keep-alive rotation.
+    pub stream: Option<crate::stream::BodyStream>,
 }
 
 impl Response {
@@ -212,7 +218,19 @@ impl Response {
             status,
             headers: BTreeMap::new(),
             body: Vec::new(),
+            stream: None,
         }
+    }
+
+    /// A streaming response: the returned writer queues body chunks for as
+    /// long as it lives; [`crate::stream::StreamWriter::close`] ends the
+    /// stream (and the connection). The handler returns the `Response`
+    /// immediately and hands the writer to whatever produces data later.
+    pub fn streaming(status: Status) -> (Response, crate::stream::StreamWriter) {
+        let (body, writer) = crate::stream::stream_pair(crate::stream::DEFAULT_STREAM_BUFFER);
+        let mut resp = Response::status(status);
+        resp.stream = Some(body);
+        (resp, writer)
     }
 
     /// 200 with a `text/plain` body.

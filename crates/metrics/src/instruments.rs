@@ -134,10 +134,17 @@ struct HistogramCore {
     counts: Vec<AtomicU64>,
     sum: AtomicF64,
     total: AtomicU64,
-    // One exemplar slot per bucket (last slot is +Inf): the most recent traced
-    // observation that landed in that bucket.
-    exemplars: Vec<parking_lot::Mutex<Option<Exemplar>>>,
+    // One exemplar slot per bucket (last slot is +Inf), rotated by recency
+    // window: the first traced observation of each window is kept until the
+    // window expires, so a hot bucket can't churn its exemplar faster than
+    // any scraper can see it.
+    exemplars: Vec<parking_lot::Mutex<Option<(Exemplar, i64)>>>,
+    exemplar_window_ms: std::sync::atomic::AtomicI64,
 }
+
+/// Default exemplar rotation window: one exemplar per bucket per 10 s, about
+/// one scrape interval.
+pub const DEFAULT_EXEMPLAR_WINDOW_MS: i64 = 10_000;
 
 impl Histogram {
     /// Creates a histogram with the given bucket upper bounds (sorted
@@ -156,8 +163,20 @@ impl Histogram {
                 sum: AtomicF64::new(0.0),
                 total: AtomicU64::new(0),
                 exemplars,
+                exemplar_window_ms: std::sync::atomic::AtomicI64::new(
+                    DEFAULT_EXEMPLAR_WINDOW_MS,
+                ),
             }),
         }
+    }
+
+    /// Sets the exemplar rotation window (milliseconds). Non-positive means
+    /// every traced observation replaces the slot (last-write-wins).
+    pub fn with_exemplar_window_ms(self, window_ms: i64) -> Self {
+        self.inner
+            .exemplar_window_ms
+            .store(window_ms, Ordering::Relaxed);
+        self
     }
 
     /// Exponential bucket helper: `start, start*factor, ...` (`count` bounds).
@@ -200,8 +219,21 @@ impl Histogram {
 
     /// Records one observation and remembers `trace_id` as the exemplar for
     /// the (lowest) bucket the value lands in, so `/metrics` links that bucket
-    /// to a stored trace.
+    /// to a stored trace. Stamped with wall time; use
+    /// [`Histogram::observe_with_exemplar_at`] under a simulated clock.
     pub fn observe_with_exemplar(&self, v: f64, trace_id: &str) {
+        let now_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as i64)
+            .unwrap_or(0);
+        self.observe_with_exemplar_at(v, trace_id, now_ms);
+    }
+
+    /// [`Histogram::observe_with_exemplar`] with an explicit timestamp. The
+    /// bucket keeps its current exemplar until a full rotation window has
+    /// elapsed since that exemplar was stamped; the first observation after
+    /// expiry takes the slot.
+    pub fn observe_with_exemplar_at(&self, v: f64, trace_id: &str, now_ms: i64) {
         self.observe(v);
         let slot = self
             .inner
@@ -209,7 +241,15 @@ impl Histogram {
             .iter()
             .position(|&b| v <= b)
             .unwrap_or(self.inner.bounds.len());
-        *self.inner.exemplars[slot].lock() = Some(Exemplar::new(trace_id, v));
+        let window = self.inner.exemplar_window_ms.load(Ordering::Relaxed);
+        let mut guard = self.inner.exemplars[slot].lock();
+        let replace = match &*guard {
+            Some((_, stamped_ms)) => window <= 0 || now_ms - stamped_ms >= window,
+            None => true,
+        };
+        if replace {
+            *guard = Some((Exemplar::new(trace_id, v), now_ms));
+        }
     }
 
     /// Total number of observations.
@@ -234,7 +274,9 @@ impl Histogram {
                     Sample::now(self.inner.counts[i].load(Ordering::Relaxed) as f64),
                     "_bucket",
                 )
-                .with_exemplar(self.inner.exemplars[i].lock().clone()),
+                .with_exemplar(
+                    self.inner.exemplars[i].lock().as_ref().map(|(e, _)| e.clone()),
+                ),
             );
         }
         out.push(
@@ -243,7 +285,12 @@ impl Histogram {
                 Sample::now(self.count() as f64),
                 "_bucket",
             )
-            .with_exemplar(self.inner.exemplars[self.inner.bounds.len()].lock().clone()),
+            .with_exemplar(
+                self.inner.exemplars[self.inner.bounds.len()]
+                    .lock()
+                    .as_ref()
+                    .map(|(e, _)| e.clone()),
+            ),
         );
         out.push(Metric::suffixed(base.clone(), Sample::now(self.sum()), "_sum"));
         out.push(Metric::suffixed(
@@ -529,8 +576,8 @@ mod tests {
     fn histogram_exemplars_attach_to_landing_bucket() {
         let h = Histogram::new(vec![1.0, 5.0, 10.0]);
         h.observe(0.5);
-        h.observe_with_exemplar(2.0, "trace-a");
-        h.observe_with_exemplar(99.0, "trace-b"); // +Inf slot
+        h.observe_with_exemplar_at(2.0, "trace-a", 1_000);
+        h.observe_with_exemplar_at(99.0, "trace-b", 1_000); // +Inf slot
         let rendered = h.render(&labels! {});
         // Buckets: le=1 (no exemplar), le=5 (trace-a), le=10 (none), +Inf (trace-b).
         assert!(rendered[0].exemplar.is_none());
@@ -539,10 +586,49 @@ mod tests {
         assert_eq!(ex.value, 2.0);
         assert!(rendered[2].exemplar.is_none());
         assert_eq!(rendered[3].exemplar.as_ref().unwrap().trace_id, "trace-b");
-        // A later observation in the same bucket replaces the exemplar.
-        h.observe_with_exemplar(3.0, "trace-c");
+        // A later observation in the same bucket within the rotation window
+        // does NOT replace the exemplar; after the window expires it does.
+        h.observe_with_exemplar_at(3.0, "trace-c", 2_000);
         let rendered = h.render(&labels! {});
-        assert_eq!(rendered[1].exemplar.as_ref().unwrap().trace_id, "trace-c");
+        assert_eq!(rendered[1].exemplar.as_ref().unwrap().trace_id, "trace-a");
+        h.observe_with_exemplar_at(3.0, "trace-d", 1_000 + DEFAULT_EXEMPLAR_WINDOW_MS);
+        let rendered = h.render(&labels! {});
+        assert_eq!(rendered[1].exemplar.as_ref().unwrap().trace_id, "trace-d");
+    }
+
+    #[test]
+    fn exemplar_rotation_boundary() {
+        let h = Histogram::new(vec![1.0]).with_exemplar_window_ms(100);
+        h.observe_with_exemplar_at(0.5, "first", 1_000);
+        // One tick before expiry: the window holds.
+        h.observe_with_exemplar_at(0.6, "early", 1_099);
+        let ex = h.render(&labels! {})[0].exemplar.clone().unwrap();
+        assert_eq!(ex.trace_id, "first");
+        assert_eq!(ex.value, 0.5);
+        // Exactly at the boundary (stamped + window): rotates.
+        h.observe_with_exemplar_at(0.7, "boundary", 1_100);
+        let ex = h.render(&labels! {})[0].exemplar.clone().unwrap();
+        assert_eq!(ex.trace_id, "boundary");
+        // The rotation re-stamps: the next window is measured from 1_100.
+        h.observe_with_exemplar_at(0.8, "again", 1_199);
+        assert_eq!(
+            h.render(&labels! {})[0].exemplar.clone().unwrap().trace_id,
+            "boundary"
+        );
+        // Buckets are independent: +Inf rotates on its own schedule.
+        h.observe_with_exemplar_at(5.0, "inf-a", 1_150);
+        h.observe_with_exemplar_at(6.0, "inf-b", 1_200);
+        let rendered = h.render(&labels! {});
+        assert_eq!(rendered[1].exemplar.clone().unwrap().trace_id, "inf-a");
+
+        // Non-positive window restores last-write-wins.
+        let h = Histogram::new(vec![1.0]).with_exemplar_window_ms(0);
+        h.observe_with_exemplar_at(0.1, "a", 500);
+        h.observe_with_exemplar_at(0.2, "b", 500);
+        assert_eq!(
+            h.render(&labels! {})[0].exemplar.clone().unwrap().trace_id,
+            "b"
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod registry;
 pub use encode::encode_families;
 pub use instruments::{
     Counter, CounterVec, Gauge, GaugeVec, Histogram, HistogramTimer, HistogramVec, Summary,
+    DEFAULT_EXEMPLAR_WINDOW_MS,
 };
 pub use labels::{LabelSet, LabelSetBuilder};
 pub use matcher::{LabelMatcher, MatchOp};

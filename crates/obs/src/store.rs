@@ -76,15 +76,23 @@ impl TraceSampler {
     /// so every component reaches the same verdict for the same request and
     /// reruns with a pinned trace ID reproduce exactly.
     pub fn head_sample(&self, trace_id: &str) -> bool {
-        if self.rate >= 1.0 {
+        self.head_sample_at(trace_id, self.rate)
+    }
+
+    /// Head decision against an explicit rate — the per-tenant override
+    /// path (`obs.tenant_sample_rates`). Same hash, so a tenant pinned to
+    /// the global rate decides identically to [`TraceSampler::head_sample`].
+    pub fn head_sample_at(&self, trace_id: &str, rate: f64) -> bool {
+        let rate = rate.clamp(0.0, 1.0);
+        if rate >= 1.0 {
             return true;
         }
-        if self.rate <= 0.0 {
+        if rate <= 0.0 {
             return false;
         }
         let mut h = DefaultHasher::new();
         trace_id.hash(&mut h);
-        (h.finish() as f64 / u64::MAX as f64) < self.rate
+        (h.finish() as f64 / u64::MAX as f64) < rate
     }
 
     /// Tail decision: keep every slow trace.
@@ -485,7 +493,25 @@ impl TraceSink {
         tenant: &str,
         report: &TraceReport,
     ) -> Option<String> {
-        if self.sampler.head_sample(&report.id) || self.sampler.tail_capture(report.total_ms) {
+        self.offer_at_rate(component, endpoint, tenant, report, None)
+    }
+
+    /// [`TraceSink::offer`] with an optional per-tenant head-sampling rate
+    /// override; `None` uses the sampler's global rate. Tail capture (slow
+    /// queries) applies either way.
+    pub fn offer_at_rate(
+        &self,
+        component: &str,
+        endpoint: &str,
+        tenant: &str,
+        report: &TraceReport,
+        rate: Option<f64>,
+    ) -> Option<String> {
+        let head = match rate {
+            Some(r) => self.sampler.head_sample_at(&report.id, r),
+            None => self.sampler.head_sample(&report.id),
+        };
+        if head || self.sampler.tail_capture(report.total_ms) {
             let now_ms = (self.now)();
             Some(self.store.store(component, endpoint, tenant, report, now_ms))
         } else {

@@ -20,7 +20,7 @@ use std::time::Instant;
 
 use serde_json::{json, Value as Json};
 
-use ceems_http::{HttpServer, Request, Response, Router, ServerConfig, Status};
+use ceems_http::{HttpServer, Request, Response, Router, ServerConfig, Status, StreamWriter};
 use ceems_metrics::{Counter, CounterVec, Gauge, GaugeVec, Histogram};
 use ceems_obs::http::TRACE_STORED_HEADER;
 use ceems_obs::trace::QueryTrace;
@@ -56,6 +56,15 @@ pub struct QfeConfig {
     /// `qfe_cache`/`qfe_split` stages and offers the finished report;
     /// stored traces tag the response with [`TRACE_STORED_HEADER`].
     pub trace_sink: Option<Arc<TraceSink>>,
+    /// Live `query_live` subscriptions allowed per tenant (S23); excess
+    /// subscribers shed with `429 Too Many Requests`.
+    pub max_live_per_tenant: usize,
+    /// Per-tenant head-sampling rate overrides (`obs.tenant_sample_rates`).
+    /// The effective rate is forwarded downstream in
+    /// `x-ceems-trace-sample-rate` so every hop reaches the same sampling
+    /// verdict. The reserved `__ceems_meta__` tenant is always pinned to
+    /// 1.0 — self-monitoring traces are never sampled away.
+    pub tenant_sample_rates: std::collections::BTreeMap<String, f64>,
 }
 
 impl Default for QfeConfig {
@@ -68,6 +77,8 @@ impl Default for QfeConfig {
             max_fanout: 8,
             now: system_now(),
             trace_sink: None,
+            max_live_per_tenant: 16,
+            tenant_sample_rates: Default::default(),
         }
     }
 }
@@ -93,6 +104,9 @@ struct QfeInstruments {
     queue_depth: GaugeVec,
     cache_bytes: Gauge,
     cache_extents: Gauge,
+    live_subscribers: Gauge,
+    live_deltas: Counter,
+    live_shed: Counter,
 }
 
 impl QfeInstruments {
@@ -141,6 +155,18 @@ impl QfeInstruments {
                 "ceems_qfe_cache_extents",
                 "Extents resident in the results cache.",
             ),
+            live_subscribers: obs.gauge(
+                "ceems_qfe_live_subscribers",
+                "Open query_live subscriptions.",
+            ),
+            live_deltas: obs.counter(
+                "ceems_qfe_live_deltas_total",
+                "Step deltas pushed to live subscribers.",
+            ),
+            live_shed: obs.counter(
+                "ceems_qfe_live_shed_total",
+                "query_live subscriptions refused at the per-tenant cap.",
+            ),
         }
     }
 }
@@ -156,6 +182,18 @@ pub struct QueryFrontend {
     obs: Obs,
     ins: QfeInstruments,
     http: HttpInstruments,
+    live: Mutex<Vec<LiveSubscription>>,
+}
+
+/// One open `query_live` stream: the query re-renders on the step grid the
+/// initial full render established, and each completed step past
+/// `last_sent_step_ms` goes out as an SSE `delta` event.
+struct LiveSubscription {
+    tenant: String,
+    query: String,
+    step_ms: i64,
+    last_sent_step_ms: i64,
+    writer: StreamWriter,
 }
 
 impl QueryFrontend {
@@ -173,6 +211,7 @@ impl QueryFrontend {
             obs,
             ins,
             http,
+            live: Mutex::new(Vec::new()),
         })
     }
 
@@ -196,8 +235,193 @@ impl QueryFrontend {
         match req.path.as_str() {
             "/api/v1/query_range" => self.admitted(req, |fe| fe.handle_range(req)),
             "/api/v1/query" => self.admitted(req, |fe| fe.passthrough(req, None)),
+            "/api/v1/query_live" => self.admitted(req, |fe| fe.handle_live(req)),
             _ => self.forward_or_gateway_error(req),
         }
+    }
+
+    /// The per-tenant head-sampling rate override, if any. The reserved
+    /// meta tenant is pinned to 1.0 (self-monitoring traces always kept).
+    fn effective_sample_rate(&self, tenant: &str) -> Option<f64> {
+        if tenant == "__ceems_meta__" {
+            return Some(1.0);
+        }
+        self.cfg.tenant_sample_rates.get(tenant).copied()
+    }
+
+    /// Opens a live query subscription (S23): one full render of the
+    /// trailing window, then the response is held open as an SSE stream and
+    /// [`QueryFrontend::push_live`] appends per-step `delta` events as
+    /// samples arrive. `query` and `step` are required; `since` (seconds of
+    /// history in the initial render) defaults to 300.
+    fn handle_live(self: &Arc<Self>, req: &Request) -> Response {
+        let (Some(query), Some(step_ms)) = (req.query_param("query"), parse_step_param(req))
+        else {
+            return Response::error(
+                Status::BAD_REQUEST,
+                "query_live requires query and step parameters",
+            );
+        };
+        let since_ms = req
+            .query_param("since")
+            .and_then(|v| v.parse::<f64>().ok())
+            .map(|s| (s * 1000.0) as i64)
+            .filter(|s| *s > 0)
+            .unwrap_or(300_000);
+        let tenant = tenant_of(req).to_string();
+
+        {
+            let live = self.live.lock().unwrap();
+            let held = live.iter().filter(|s| s.tenant == tenant).count();
+            if held >= self.cfg.max_live_per_tenant {
+                self.ins.live_shed.inc();
+                return Response::error(
+                    Status::TOO_MANY_REQUESTS,
+                    format!(
+                        "qfe: tenant {tenant:?} at live subscription cap ({})",
+                        self.cfg.max_live_per_tenant
+                    ),
+                )
+                .with_retry_after(1.0);
+            }
+        }
+
+        // Full render over the phase-0 step grid ending at the last
+        // completed step; deltas continue the same grid, so assembling
+        // full+deltas reproduces a poll-mode render byte-for-byte.
+        let now_ms = (self.cfg.now)();
+        let end_ms = now_ms.div_euclid(step_ms) * step_ms;
+        let start_ms = end_ms - (since_ms.div_euclid(step_ms).max(1)) * step_ms;
+        let full = self.render_window(req, query, start_ms, end_ms, step_ms);
+        if full.status != Status::OK {
+            return full;
+        }
+
+        let (resp, writer) = Response::streaming(Status::OK);
+        if !writer.send(sse_event("full", &full.body)) {
+            return Response::error(Status::INTERNAL, "qfe: live stream closed at open");
+        }
+        self.live.lock().unwrap().push(LiveSubscription {
+            tenant,
+            query: query.to_string(),
+            step_ms,
+            last_sent_step_ms: end_ms,
+            writer,
+        });
+        self.ins
+            .live_subscribers
+            .set(self.live.lock().unwrap().len() as f64);
+        resp.with_header("content-type", "text/event-stream")
+            .with_header("x-ceems-qfe-live-from", ms_to_secs_param(end_ms))
+    }
+
+    /// Pushes newly completed steps to every live subscriber. Called by the
+    /// ingest path (the stream bus wires this up after each push batch);
+    /// polling deployments may also drive it off a timer. Returns the
+    /// number of delta events sent; dead subscribers are dropped.
+    pub fn push_live(self: &Arc<Self>, now_ms: i64) -> u64 {
+        // Snapshot due work without holding the lock across renders.
+        let due: Vec<(usize, String, String, i64, i64, i64)> = {
+            let live = self.live.lock().unwrap();
+            live.iter()
+                .enumerate()
+                .filter_map(|(i, s)| {
+                    let latest = now_ms.div_euclid(s.step_ms) * s.step_ms;
+                    (latest > s.last_sent_step_ms).then(|| {
+                        (
+                            i,
+                            s.tenant.clone(),
+                            s.query.clone(),
+                            s.last_sent_step_ms + s.step_ms,
+                            latest,
+                            s.step_ms,
+                        )
+                    })
+                })
+                .collect()
+        };
+        if due.is_empty() {
+            return 0;
+        }
+
+        let mut sent = 0u64;
+        let mut dead: Vec<usize> = Vec::new();
+        for (idx, tenant, query, from_ms, to_ms, step_ms) in due {
+            let qtrace = QueryTrace::begin(None);
+            let stage = qtrace.stage("live_delta");
+            let mut sub = Request::new(ceems_http::Method::Get, "/api/v1/query_live");
+            sub = sub.with_header("x-grafana-user", &tenant);
+            let delta = self.render_window(&sub, &query, from_ms, to_ms, step_ms);
+            stage.finish();
+            if let Some(sink) = &self.cfg.trace_sink {
+                sink.offer_at_rate(
+                    "qfe",
+                    "/api/v1/query_live",
+                    &tenant,
+                    &qtrace.report(),
+                    self.effective_sample_rate(&tenant),
+                );
+            }
+            if delta.status != Status::OK {
+                continue; // transient downstream trouble; retry next push
+            }
+            let mut live = self.live.lock().unwrap();
+            let Some(sub) = live.get_mut(idx) else { continue };
+            // A concurrent subscribe may have shifted indices; re-check
+            // identity before updating state.
+            if sub.query != query || sub.tenant != tenant {
+                continue;
+            }
+            if sub.writer.send(sse_event("delta", &delta.body)) {
+                sub.last_sent_step_ms = to_ms;
+                sent += 1;
+                self.ins.live_deltas.inc();
+            } else {
+                dead.push(idx);
+            }
+        }
+        if !dead.is_empty() {
+            let mut live = self.live.lock().unwrap();
+            dead.sort_unstable_by(|a, b| b.cmp(a));
+            for idx in dead {
+                if idx < live.len() {
+                    live.remove(idx);
+                }
+            }
+            self.ins.live_subscribers.set(live.len() as f64);
+        }
+        sent
+    }
+
+    /// Open live subscriptions (tests and status endpoints).
+    pub fn live_subscriber_count(&self) -> usize {
+        self.live.lock().unwrap().len()
+    }
+
+    /// Renders one aligned window through the split/cache path by
+    /// synthesizing an internal `query_range` request — live full renders
+    /// and deltas therefore hit the same extent cache as polled queries.
+    fn render_window(
+        self: &Arc<Self>,
+        req: &Request,
+        query: &str,
+        start_ms: i64,
+        end_ms: i64,
+        step_ms: i64,
+    ) -> Response {
+        let mut sub = Request::new(ceems_http::Method::Get, "/api/v1/query_range");
+        sub.query = vec![
+            ("query".to_string(), query.to_string()),
+            ("start".to_string(), ms_to_secs_param(start_ms)),
+            ("end".to_string(), ms_to_secs_param(end_ms)),
+            ("step".to_string(), ms_to_secs_param(step_ms)),
+        ];
+        for name in ["x-grafana-user", TRACE_HEADER] {
+            if let Some(v) = req.header(name) {
+                sub = sub.with_header(name, v);
+            }
+        }
+        self.handle_range(&sub)
     }
 
     /// Runs `f` under a scheduler permit, or sheds with 429 + Retry-After.
@@ -364,7 +588,13 @@ impl QueryFrontend {
             .with_header("x-ceems-qfe-cached-steps", cached_steps.to_string())
             .with_header("x-ceems-qfe-fetched-steps", fetched_steps.to_string());
         let stored = self.cfg.trace_sink.as_ref().and_then(|sink| {
-            sink.offer("qfe", "/api/v1/query_range", tenant, &qtrace.report())
+            sink.offer_at_rate(
+                "qfe",
+                "/api/v1/query_range",
+                tenant,
+                &qtrace.report(),
+                self.effective_sample_rate(tenant),
+            )
         });
         match stored {
             Some(key) => resp.with_header(TRACE_STORED_HEADER, key),
@@ -432,7 +662,10 @@ impl QueryFrontend {
                 let out = &out;
                 s.spawn(move || {
                     for (j, slot) in chunk_slots.iter().enumerate() {
-                        let sub = sub_request(req, &extents[*slot]);
+                        let mut sub = sub_request(req, &extents[*slot]);
+                        if let Some(rate) = self.effective_sample_rate(tenant_of(req)) {
+                            sub = sub.with_header(SAMPLE_RATE_HEADER, format!("{rate}"));
+                        }
                         let data = match self.downstream.forward(&sub) {
                             Ok(resp) if resp.status.is_success() => {
                                 ExtentData::from_response(&resp.body).map(Arc::new)
@@ -455,6 +688,14 @@ impl QueryFrontend {
             self.ins.cache_requests.with_label_values(&[outcome]).inc();
         }
         let started = Instant::now();
+        let forwarded;
+        let req = match self.effective_sample_rate(tenant_of(req)) {
+            Some(rate) if req.header(SAMPLE_RATE_HEADER).is_none() => {
+                forwarded = req.clone().with_header(SAMPLE_RATE_HEADER, format!("{rate}"));
+                &forwarded
+            }
+            _ => req,
+        };
         let mut resp = match self.downstream.forward(req) {
             Ok(resp) => resp,
             Err(e) => {
@@ -526,6 +767,21 @@ impl QueryFrontend {
 /// `X-Grafana-User`; direct/anonymous traffic shares one bucket.
 fn tenant_of(req: &Request) -> &str {
     req.header("x-grafana-user").unwrap_or("anonymous")
+}
+
+/// Header carrying the effective head-sampling rate to downstream hops.
+pub const SAMPLE_RATE_HEADER: &str = "x-ceems-trace-sample-rate";
+
+/// Serializes one SSE event. Bodies are single-line JSON, so one `data:`
+/// line suffices.
+fn sse_event(event: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + event.len() + 16);
+    out.extend_from_slice(b"event: ");
+    out.extend_from_slice(event.as_bytes());
+    out.extend_from_slice(b"\ndata: ");
+    out.extend_from_slice(body);
+    out.extend_from_slice(b"\n\n");
+    out
 }
 
 fn extent_key(tenant: &str, norm: &str, step_ms: i64, phase_ms: i64, e: &Extent) -> ExtentKey {
@@ -782,6 +1038,152 @@ mod tests {
             .sum();
         assert!(sum <= trace["totalMs"].as_f64().unwrap() + 1e-6);
         assert_eq!(trace["counts"]["subqueries"], 3);
+    }
+
+    fn sse_events(chunks: &[Vec<u8>]) -> Vec<(String, Json)> {
+        let text: String = chunks
+            .iter()
+            .map(|c| String::from_utf8_lossy(c).into_owned())
+            .collect();
+        text.split("\n\n")
+            .filter(|e| !e.trim().is_empty())
+            .map(|e| {
+                let mut event = String::new();
+                let mut data = Json::Null;
+                for line in e.lines() {
+                    if let Some(v) = line.strip_prefix("event: ") {
+                        event = v.to_string();
+                    } else if let Some(v) = line.strip_prefix("data: ") {
+                        data = serde_json::from_str(v).unwrap();
+                    }
+                }
+                (event, data)
+            })
+            .collect()
+    }
+
+    fn values_of(data: &Json) -> Vec<Json> {
+        data["data"]["result"][0]["values"]
+            .as_array()
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn query_live_pushes_step_deltas_matching_poll_mode() {
+        use std::sync::atomic::AtomicI64;
+        let ds = Arc::new(FakeDownstream {
+            calls: Mutex::new(Vec::new()),
+            fail: AtomicBool::new(false),
+        });
+        let clock = Arc::new(AtomicI64::new(100_000));
+        let c = clock.clone();
+        let cfg = QfeConfig {
+            split_interval_ms: 60_000,
+            recent_window_ms: 0,
+            now: Arc::new(move || c.load(Ordering::Relaxed)),
+            ..QfeConfig::default()
+        };
+        let fe = QueryFrontend::new(ds as Arc<dyn Downstream>, cfg);
+
+        let req = Request::new(Method::Get, "/api/v1/query_live?query=m&step=15&since=60");
+        let resp = fe.handle(&req);
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(resp.header("content-type"), Some("text/event-stream"));
+        let stream = resp.stream.clone().expect("live response streams");
+        let (chunks, _) = stream.take_chunks();
+        let events = sse_events(&chunks);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].0, "full");
+        // Full render: steps 30..=90 (end floored to the 15s grid).
+        let full_values = values_of(&events[0].1);
+        assert_eq!(full_values.first().unwrap()[0].as_f64(), Some(30.0));
+        assert_eq!(full_values.last().unwrap()[0].as_f64(), Some(90.0));
+        assert_eq!(fe.live_subscriber_count(), 1);
+
+        // Nothing new yet: same step, no delta.
+        assert_eq!(fe.push_live(101_000), 0);
+
+        // Two steps complete: one delta carrying both.
+        clock.store(121_000, Ordering::Relaxed);
+        assert_eq!(fe.push_live(121_000), 1);
+        let (chunks, _) = stream.take_chunks();
+        let events = sse_events(&chunks);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].0, "delta");
+        let delta_values = values_of(&events[0].1);
+        assert_eq!(delta_values.first().unwrap()[0].as_f64(), Some(105.0));
+        assert_eq!(delta_values.last().unwrap()[0].as_f64(), Some(120.0));
+
+        // Assembled full+delta equals a poll-mode render of the same grid.
+        let poll = fe.handle(&range_req("m", 30, 120, 15));
+        let poll_v: Json = serde_json::from_slice(&poll.body).unwrap();
+        let mut assembled = full_values.clone();
+        assembled.extend(delta_values);
+        assert_eq!(
+            serde_json::to_vec(&assembled).unwrap(),
+            serde_json::to_vec(&poll_v["data"]["result"][0]["values"]).unwrap(),
+            "live assembly must be byte-identical to poll mode"
+        );
+
+        // Consumer disconnect: the subscription is dropped at next push.
+        stream.abort();
+        clock.store(136_000, Ordering::Relaxed);
+        assert_eq!(fe.push_live(136_000), 0);
+        assert_eq!(fe.live_subscriber_count(), 0);
+    }
+
+    #[test]
+    fn query_live_caps_subscriptions_per_tenant() {
+        let ds = Arc::new(FakeDownstream {
+            calls: Mutex::new(Vec::new()),
+            fail: AtomicBool::new(false),
+        });
+        let cfg = QfeConfig {
+            split_interval_ms: 60_000,
+            recent_window_ms: 0,
+            now: Arc::new(|| 100_000),
+            max_live_per_tenant: 1,
+            ..QfeConfig::default()
+        };
+        let fe = QueryFrontend::new(ds as Arc<dyn Downstream>, cfg);
+        let req = Request::new(Method::Get, "/api/v1/query_live?query=m&step=15");
+        let first = fe.handle(&req);
+        assert_eq!(first.status, Status::OK);
+        let second = fe.handle(&req);
+        assert_eq!(second.status, Status::TOO_MANY_REQUESTS);
+        assert!(second.header("retry-after").is_some());
+        // Another tenant still fits.
+        let other = fe.handle(&req.clone().with_header("x-grafana-user", "bob"));
+        assert_eq!(other.status, Status::OK);
+        assert_eq!(fe.ins.live_shed.get(), 1.0);
+    }
+
+    #[test]
+    fn tenant_sample_rate_propagates_downstream() {
+        let ds = Arc::new(FakeDownstream {
+            calls: Mutex::new(Vec::new()),
+            fail: AtomicBool::new(false),
+        });
+        let mut rates = std::collections::BTreeMap::new();
+        rates.insert("alice".to_string(), 0.25);
+        let cfg = QfeConfig {
+            split_interval_ms: 60_000,
+            recent_window_ms: 0,
+            now: Arc::new(|| 10_000_000),
+            tenant_sample_rates: rates,
+            ..QfeConfig::default()
+        };
+        let fe = QueryFrontend::new(ds as Arc<dyn Downstream>, cfg);
+        assert_eq!(fe.effective_sample_rate("alice"), Some(0.25));
+        assert_eq!(fe.effective_sample_rate("bob"), None);
+        assert_eq!(
+            fe.effective_sample_rate("__ceems_meta__"),
+            Some(1.0),
+            "meta tenant pinned to full sampling"
+        );
+        let resp = fe.handle(&range_req("m", 0, 59, 15).with_header("x-grafana-user", "alice"));
+        assert_eq!(resp.status, Status::OK);
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Wire format for the sample bus (S23).
+//!
+//! A *frame* is one exporter render: exposition text plus the target labels
+//! a scrape pass would have stamped (`instance`, `job`, extra group labels)
+//! and a per-publisher monotonic sequence number. Frames ride HTTP bodies as
+//! `[u32 big-endian length][JSON]` records — several per `POST
+//! /api/v1/stream/push` body, one per chunk on the subscribe stream.
+//!
+//! Why length-prefixed records inside ordinary keep-alive POSTs rather than
+//! one long-lived chunked *request*? Chunked request bodies pin a reactor
+//! connection in a half-open state for the publisher's lifetime and make
+//! retry semantics murky (how much of an infinite body was "received"?).
+//! Batched POSTs reuse the pooled keep-alive connection (S20), give the
+//! publisher a crisp ack unit to resume from, and let the server treat one
+//! push body as one WAL group commit. Server→client paths (subscribe, live
+//! queries) *do* use true chunked streaming — there the server controls the
+//! framing and a dropped consumer is just shed.
+
+use serde_json::{json, Value};
+
+/// One published exporter render.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampleFrame {
+    /// Topic the frame is published to (per-tenant namespace).
+    pub topic: String,
+    /// Publisher identity; sequence numbers are monotonic per publisher.
+    pub publisher: String,
+    /// Monotonic sequence number, starting at 1. The bus acks the highest
+    /// contiguous seq it has ingested; `seq <= last_acked` is a duplicate
+    /// (acknowledged again, not re-ingested) so resend-after-reconnect is
+    /// idempotent.
+    pub seq: u64,
+    /// `instance` label stamped on every sample (as a scrape would).
+    pub instance: String,
+    /// `job` label stamped on every sample.
+    pub job: String,
+    /// Extra target-group labels (e.g. `nodegroup`).
+    pub extra_labels: Vec<(String, String)>,
+    /// Exposition text payload.
+    pub body: String,
+    /// Producer timestamp (ms) — used for samples without explicit
+    /// timestamps and for the publisher-lag gauge.
+    pub produced_ms: i64,
+}
+
+impl SampleFrame {
+    /// JSON value for the wire. `offset` is the bus-assigned topic offset,
+    /// present only on the subscribe stream (publishers don't know it).
+    pub fn to_json(&self, offset: Option<u64>) -> Value {
+        let mut v = json!({
+            "topic": self.topic,
+            "publisher": self.publisher,
+            "seq": self.seq,
+            "instance": self.instance,
+            "job": self.job,
+            "extra_labels": self.extra_labels.iter()
+                .map(|(k, val)| json!([k, val]))
+                .collect::<Vec<_>>(),
+            "body": self.body,
+            "produced_ms": self.produced_ms,
+        });
+        if let Some(off) = offset {
+            if let Value::Object(m) = &mut v {
+                m.insert("offset".to_string(), json!(off));
+            }
+        }
+        v
+    }
+
+    /// Parses a wire JSON object back into a frame (ignores `offset`).
+    pub fn from_json(v: &Value) -> Result<SampleFrame, String> {
+        let s = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(|x| x.as_str())
+                .map(|x| x.to_string())
+                .ok_or_else(|| format!("frame missing string field {key:?}"))
+        };
+        let mut extra_labels = Vec::new();
+        if let Some(arr) = v.get("extra_labels").and_then(|x| x.as_array()) {
+            for pair in arr {
+                let p = pair.as_array().ok_or("extra_labels entry not a pair")?;
+                match (p.first().and_then(|x| x.as_str()), p.get(1).and_then(|x| x.as_str())) {
+                    (Some(k), Some(val)) => extra_labels.push((k.to_string(), val.to_string())),
+                    _ => return Err("extra_labels entry not a string pair".into()),
+                }
+            }
+        }
+        Ok(SampleFrame {
+            topic: s("topic")?,
+            publisher: s("publisher")?,
+            seq: v
+                .get("seq")
+                .and_then(|x| x.as_u64())
+                .ok_or("frame missing seq")?,
+            instance: s("instance")?,
+            job: s("job")?,
+            extra_labels,
+            body: s("body")?,
+            produced_ms: v.get("produced_ms").and_then(|x| x.as_i64()).unwrap_or(0),
+        })
+    }
+
+    /// Appends this frame as a length-prefixed record.
+    pub fn encode_into(&self, out: &mut Vec<u8>, offset: Option<u64>) {
+        encode_record(out, &self.to_json(offset));
+    }
+}
+
+/// Appends one `[u32 BE length][JSON]` record.
+pub fn encode_record(out: &mut Vec<u8>, v: &Value) {
+    let bytes = v.to_string().into_bytes();
+    out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    out.extend_from_slice(&bytes);
+}
+
+/// A control record on the subscribe stream: the ring no longer holds the
+/// offset the subscriber asked to resume from, so a gap exists.
+pub fn gap_record(requested_from: u64, oldest_available: u64) -> Value {
+    json!({
+        "control": "gap",
+        "requested_from": requested_from,
+        "oldest_available": oldest_available,
+    })
+}
+
+/// Incremental decoder over length-prefixed records; tolerates records
+/// arriving split across arbitrary chunk boundaries (the subscribe stream
+/// re-chunks at the transport layer).
+#[derive(Debug, Default)]
+pub struct RecordDecoder {
+    buf: Vec<u8>,
+}
+
+impl RecordDecoder {
+    /// Empty decoder.
+    pub fn new() -> RecordDecoder {
+        RecordDecoder::default()
+    }
+
+    /// Feeds bytes; returns every complete record now available.
+    pub fn feed(&mut self, data: &[u8]) -> Result<Vec<Value>, String> {
+        self.buf.extend_from_slice(data);
+        let mut out = Vec::new();
+        loop {
+            if self.buf.len() < 4 {
+                break;
+            }
+            let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
+                as usize;
+            if len > MAX_RECORD_BYTES {
+                return Err(format!("record length {len} exceeds cap"));
+            }
+            if self.buf.len() < 4 + len {
+                break;
+            }
+            let v: Value = serde_json::from_slice(&self.buf[4..4 + len])
+                .map_err(|e| format!("bad record JSON: {e}"))?;
+            self.buf.drain(..4 + len);
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    /// Bytes buffered awaiting a record's remainder.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Upper bound on one record's JSON payload — matches the HTTP server's
+/// body cap order of magnitude; a frame past this is a protocol error, not
+/// a bigger buffer.
+pub const MAX_RECORD_BYTES: usize = 8 << 20;
+
+/// Decodes a complete buffer of records (push bodies arrive whole).
+pub fn decode_records(body: &[u8]) -> Result<Vec<Value>, String> {
+    let mut dec = RecordDecoder::new();
+    let out = dec.feed(body)?;
+    if dec.pending_bytes() > 0 {
+        return Err(format!(
+            "trailing {} bytes after last complete record",
+            dec.pending_bytes()
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(seq: u64) -> SampleFrame {
+        SampleFrame {
+            topic: "node-metrics".into(),
+            publisher: "n1".into(),
+            seq,
+            instance: "n1:9100".into(),
+            job: "ceems".into(),
+            extra_labels: vec![("nodegroup".into(), "intel-dram".into())],
+            body: "power_watts 250\n".into(),
+            produced_ms: 15_000,
+        }
+    }
+
+    #[test]
+    fn frame_roundtrips_through_wire_encoding() {
+        let f = frame(7);
+        let mut buf = Vec::new();
+        f.encode_into(&mut buf, Some(42));
+        frame(8).encode_into(&mut buf, None);
+        let records = decode_records(&buf).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].get("offset").and_then(|v| v.as_u64()), Some(42));
+        assert_eq!(SampleFrame::from_json(&records[0]).unwrap(), f);
+        assert_eq!(SampleFrame::from_json(&records[1]).unwrap(), frame(8));
+    }
+
+    #[test]
+    fn decoder_handles_split_chunk_boundaries() {
+        let mut buf = Vec::new();
+        frame(1).encode_into(&mut buf, Some(1));
+        frame(2).encode_into(&mut buf, Some(2));
+        let mut dec = RecordDecoder::new();
+        let mut got = Vec::new();
+        // Feed one byte at a time — worst-case re-chunking.
+        for b in &buf {
+            got.extend(dec.feed(std::slice::from_ref(b)).unwrap());
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn truncated_body_is_rejected() {
+        let mut buf = Vec::new();
+        frame(1).encode_into(&mut buf, None);
+        buf.truncate(buf.len() - 3);
+        assert!(decode_records(&buf).is_err());
+    }
+
+    #[test]
+    fn oversized_record_is_rejected() {
+        let mut buf = ((MAX_RECORD_BYTES + 1) as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"xx");
+        assert!(RecordDecoder::new().feed(&buf).is_err());
+    }
+}

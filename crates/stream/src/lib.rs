@@ -1,0 +1,32 @@
+//! # ceems-stream — streaming ingest bus and live sample fan-out (S23)
+//!
+//! The paper's stack is pull-based: exporters are scraped, rules re-evaluate
+//! wholesale on a timer, dashboards poll. This crate adds the push path:
+//!
+//! * [`frame`] — the wire format: length-prefixed JSON frames carrying one
+//!   exporter render plus target labels and a per-publisher sequence number.
+//! * [`bus`] — the [`bus::StreamBus`]: per-tenant topics, synchronous
+//!   ingest through a sink (one frame = one WAL group commit), per-publisher
+//!   ack/dedup for idempotent resume, bounded replay rings, and live
+//!   fan-out to subscriber stream writers.
+//! * [`publisher`] — the exporter-side client: buffers unacked frames,
+//!   flushes them over the pooled keep-alive HTTP client, resumes by
+//!   re-sending after reconnect (the bus dedups).
+//! * [`http`] — `POST /api/v1/stream/push` and
+//!   `GET /api/v1/stream/subscribe` mounted on the S20 router, with a
+//!   `stream_push` trace stage.
+//!
+//! Downstream, the TSDB consumes pushed batches exactly like scraped ones
+//! (same label stamping via `exposition_to_batch`), the rule engine
+//! re-evaluates only the sub-DAG whose inputs arrived
+//! (`RuleEngine::tick_incremental`), and the query frontend pushes per-step
+//! deltas to live `query_live` subscribers.
+
+pub mod bus;
+pub mod frame;
+pub mod http;
+pub mod publisher;
+
+pub use bus::{BusStats, IngestSink, PublishOutcome, SinkReceipt, StreamBus, StreamBusConfig, SubscribeError};
+pub use frame::{RecordDecoder, SampleFrame};
+pub use publisher::{PushReport, StreamPublisher};

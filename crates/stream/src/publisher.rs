@@ -1,0 +1,178 @@
+//! Publisher-side client for the sample bus.
+//!
+//! A [`StreamPublisher`] wraps the pooled keep-alive [`Client`] (S20) and
+//! owns the resume protocol: frames are assigned monotonic sequence numbers
+//! at enqueue time and buffered until the bus acknowledges them. A flush
+//! batches every unacked frame into one `POST /api/v1/stream/push` body —
+//! after a reconnect that naturally *re-sends* previously delivered frames,
+//! which the bus re-acks as duplicates without re-ingesting. The publisher
+//! therefore needs no connection-level state at all: "resume" is just
+//! "flush again".
+
+use std::collections::VecDeque;
+
+use ceems_http::Client;
+
+use crate::frame::SampleFrame;
+
+/// Result of one successful flush.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PushReport {
+    /// Highest sequence the bus has acknowledged for this publisher.
+    pub acked_seq: u64,
+    /// Frames carried in the push body.
+    pub sent_frames: usize,
+    /// Frames the bus had already seen (resume overlap).
+    pub duplicates: u64,
+    /// Samples ingested by this push.
+    pub samples: u64,
+}
+
+/// Buffering publisher for one `(topic, publisher)` identity.
+pub struct StreamPublisher {
+    client: Client,
+    push_url: String,
+    topic: String,
+    publisher: String,
+    instance: String,
+    job: String,
+    extra_labels: Vec<(String, String)>,
+    next_seq: u64,
+    unacked: VecDeque<SampleFrame>,
+    max_buffered: usize,
+    /// Highest seq ever included in an attempted push body; a later flush
+    /// whose oldest frame is at or below this is a resume (re-send).
+    attempted_through: u64,
+    /// Frames dropped because the unacked buffer hit its cap while the bus
+    /// was unreachable (oldest-first; visible data loss, counted).
+    pub dropped_frames: u64,
+    /// Flushes that carried previously sent frames (i.e. resumes).
+    pub resumed_flushes: u64,
+}
+
+/// Default cap on frames buffered while the bus is unreachable.
+pub const DEFAULT_PUBLISHER_BUFFER: usize = 512;
+
+impl StreamPublisher {
+    /// Publisher pushing to `base_url` (e.g. `http://host:port`), tagged
+    /// with the target labels a scrape of this exporter would stamp.
+    pub fn new(
+        base_url: &str,
+        topic: &str,
+        publisher: &str,
+        instance: &str,
+        job: &str,
+        extra_labels: Vec<(String, String)>,
+    ) -> StreamPublisher {
+        StreamPublisher {
+            client: Client::new(),
+            push_url: format!("{}/api/v1/stream/push", base_url.trim_end_matches('/')),
+            topic: topic.to_string(),
+            publisher: publisher.to_string(),
+            instance: instance.to_string(),
+            job: job.to_string(),
+            extra_labels,
+            next_seq: 1,
+            unacked: VecDeque::new(),
+            max_buffered: DEFAULT_PUBLISHER_BUFFER,
+            attempted_through: 0,
+            dropped_frames: 0,
+            resumed_flushes: 0,
+        }
+    }
+
+    /// Replaces the HTTP client (to attach auth, fault plans, headers).
+    pub fn with_client(mut self, client: Client) -> StreamPublisher {
+        self.client = client;
+        self
+    }
+
+    /// Caps the unacked buffer.
+    pub fn with_max_buffered(mut self, n: usize) -> StreamPublisher {
+        self.max_buffered = n.max(1);
+        self
+    }
+
+    /// Frames awaiting acknowledgement.
+    pub fn pending(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Next sequence number to be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Buffers one exporter render for delivery. Oldest frames are dropped
+    /// (and counted) once the buffer cap is hit.
+    pub fn enqueue(&mut self, body: String, produced_ms: i64) {
+        let frame = SampleFrame {
+            topic: self.topic.clone(),
+            publisher: self.publisher.clone(),
+            seq: self.next_seq,
+            instance: self.instance.clone(),
+            job: self.job.clone(),
+            extra_labels: self.extra_labels.clone(),
+            body,
+            produced_ms,
+        };
+        self.next_seq += 1;
+        self.unacked.push_back(frame);
+        while self.unacked.len() > self.max_buffered {
+            self.unacked.pop_front();
+            self.dropped_frames += 1;
+        }
+    }
+
+    /// Sends every unacked frame in one push body and drops the acked
+    /// prefix. On transport error the frames stay buffered for the next
+    /// flush (the resume path).
+    pub fn flush(&mut self) -> Result<PushReport, String> {
+        if self.unacked.is_empty() {
+            return Ok(PushReport {
+                acked_seq: self.next_seq.saturating_sub(1),
+                ..PushReport::default()
+            });
+        }
+        let oldest = self.unacked.front().map(|f| f.seq).unwrap_or(0);
+        if oldest != 0 && oldest <= self.attempted_through {
+            self.resumed_flushes += 1;
+        }
+        self.attempted_through = self.unacked.back().map(|f| f.seq).unwrap_or(0);
+
+        let mut body = Vec::new();
+        let sent_frames = self.unacked.len();
+        for f in &self.unacked {
+            f.encode_into(&mut body, None);
+        }
+        let resp = self
+            .client
+            .post(&self.push_url, body, "application/x-ceems-frames")
+            .map_err(|e| format!("push failed: {e}"))?;
+        if !resp.status.is_success() {
+            return Err(format!("push returned {}", resp.status.0));
+        }
+        let v: serde_json::Value = serde_json::from_slice(&resp.body)
+            .map_err(|e| format!("bad push ack: {e}"))?;
+        let acked = v
+            .get("acked")
+            .and_then(|a| a.get(self.publisher.as_str()))
+            .and_then(|s| s.as_u64())
+            .ok_or("push ack missing publisher seq")?;
+        while self.unacked.front().map(|f| f.seq <= acked).unwrap_or(false) {
+            self.unacked.pop_front();
+        }
+        Ok(PushReport {
+            acked_seq: acked,
+            sent_frames,
+            duplicates: v.get("duplicates").and_then(|d| d.as_u64()).unwrap_or(0),
+            samples: v.get("ingested").and_then(|d| d.as_u64()).unwrap_or(0),
+        })
+    }
+
+    /// Enqueue + flush in one call — the common per-interval push.
+    pub fn publish(&mut self, body: String, produced_ms: i64) -> Result<PushReport, String> {
+        self.enqueue(body, produced_ms);
+        self.flush()
+    }
+}

@@ -129,6 +129,32 @@ fn ingest_up(db: &Tsdb, target: &ScrapeTarget, now_ms: i64, v: f64) {
     db.append(&b.build(), now_ms, v);
 }
 
+/// Parses exposition text into an ingestable batch with target labels
+/// stamped — the exact transformation a scrape pass applies. Public so the
+/// S23 push path (exporters publishing over the stream bus) produces
+/// series byte-identical to poll-mode scraping of the same payload.
+pub fn exposition_to_batch(
+    body: &str,
+    instance: &str,
+    job: &str,
+    extra_labels: &[(String, String)],
+    now_ms: i64,
+) -> Result<Vec<(ceems_metrics::labels::LabelSet, i64, f64)>, String> {
+    let parsed = parse_text(body).map_err(|e| e.to_string())?;
+    let mut batch = Vec::with_capacity(parsed.samples.len());
+    for s in parsed.samples {
+        let mut b = LabelSetBuilder::from(s.labels)
+            .label(METRIC_NAME_LABEL, &s.name)
+            .label("instance", instance)
+            .label("job", job);
+        for (k, v) in extra_labels {
+            b = b.label(k, v);
+        }
+        batch.push((b.build(), s.timestamp_ms.unwrap_or(now_ms), s.value));
+    }
+    Ok(batch)
+}
+
 fn scrape_target(
     client: &Client,
     target: &ScrapeTarget,
@@ -149,20 +175,15 @@ fn scrape_target(
             resp.body_string()
         }
     };
-    let parsed = parse_text(&body).map_err(|e| e.to_string())?;
     // One target pass becomes one batch: with a WAL attached this is one
     // group commit (one writer lock + one flush) instead of one per sample.
-    let mut batch = Vec::with_capacity(parsed.samples.len());
-    for s in parsed.samples {
-        let mut b = LabelSetBuilder::from(s.labels)
-            .label(METRIC_NAME_LABEL, &s.name)
-            .label("instance", &target.instance)
-            .label("job", &target.job);
-        for (k, v) in &target.extra_labels {
-            b = b.label(k, v);
-        }
-        batch.push((b.build(), s.timestamp_ms.unwrap_or(now_ms), s.value));
-    }
+    let batch = exposition_to_batch(
+        &body,
+        &target.instance,
+        &target.job,
+        &target.extra_labels,
+        now_ms,
+    )?;
     let n = batch.len() as u64;
     db.append_batch(&batch);
     ingest_up(db, target, now_ms, 1.0);

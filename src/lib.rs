@@ -24,6 +24,7 @@
 //! | [`ceems_lb`] | the access-controlled load balancer |
 //! | [`ceems_qfe`] | query frontend: range splitting, results cache, tenant QoS |
 //! | [`ceems_alertsrv`] | alerting: PromQL rules, alert DAGs, dedup/silence/routing, durable state |
+//! | [`ceems_stream`] | streaming ingest bus: push frames, ack/resume, replay rings, live fan-out |
 //! | [`ceems_core`] | Eq. (1) attribution rules, YAML config, stack wiring, dashboards |
 //!
 //! ## Quickstart
@@ -60,6 +61,7 @@ pub use ceems_qfe as qfe;
 pub use ceems_relstore as relstore;
 pub use ceems_simnode as simnode;
 pub use ceems_slurm as slurm;
+pub use ceems_stream as stream;
 pub use ceems_tsdb as tsdb;
 
 /// The common imports for building and driving a stack.

@@ -1,0 +1,434 @@
+//! Streaming ingest end-to-end (S23): an exporter pushes sample batches
+//! over the bus's HTTP surface, the recording-rule engine re-evaluates only
+//! the sub-DAG whose inputs arrived, and a live `query_live` subscriber
+//! receives per-step deltas that assemble to the byte-identical series a
+//! poll-mode range query returns. A second test kills the stream
+//! mid-subscription under seeded fault injection and proves resume from the
+//! last acked offset replays with no gaps and no duplicates.
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use ceems::exporter::{CeemsExporter, ExporterConfig};
+use ceems::http::fault::{FaultKind, FaultPlan, FaultRule};
+use ceems::http::{Client, HttpServer, Router, ServerConfig};
+use ceems::prelude::*;
+use ceems::qfe::{QfeConfig, QueryFrontend, RouterDownstream};
+use ceems::simnode::cluster::NodeHandle;
+use ceems::simnode::node::{HardwareProfile, NodeSpec, SimNode, TaskSpec};
+use ceems::stream::{
+    RecordDecoder, SampleFrame, SinkReceipt, StreamBus, StreamBusConfig, StreamPublisher,
+};
+use ceems::tsdb::httpapi::api_router;
+use ceems::tsdb::rules::{RecordingRule, RuleEngine, RuleGroup};
+use parking_lot::Mutex;
+
+fn busy_intel_node(seed: u64) -> NodeHandle {
+    let mut n = SimNode::new(
+        NodeSpec {
+            hostname: format!("n{seed}"),
+            profile: HardwareProfile::IntelCpu,
+        },
+        seed,
+    );
+    n.add_task(
+        TaskSpec {
+            id: seed,
+            cores: 16,
+            memory_bytes: 16 << 30,
+            gpus: 0,
+            workload: WorkloadProfile::CpuBound { intensity: 0.9 },
+        },
+        0,
+    )
+    .unwrap();
+    Arc::new(Mutex::new(n))
+}
+
+/// A bus whose sink ingests frames into `db` through the scrape-identical
+/// label-stamping path, recording which metric names arrived.
+fn ingesting_bus(
+    db: Arc<Tsdb>,
+    arrived: Arc<Mutex<HashSet<String>>>,
+    cfg: StreamBusConfig,
+) -> Arc<StreamBus> {
+    Arc::new(StreamBus::new(
+        cfg,
+        Arc::new(move |f: &SampleFrame| {
+            let batch = ceems::tsdb::scrape::exposition_to_batch(
+                &f.body,
+                &f.instance,
+                &f.job,
+                &f.extra_labels,
+                f.produced_ms,
+            )?;
+            let mut names: Vec<String> = batch
+                .iter()
+                .filter_map(|(ls, _, _)| ls.metric_name().map(str::to_string))
+                .collect();
+            names.sort_unstable();
+            names.dedup();
+            arrived.lock().extend(names.iter().cloned());
+            let samples = batch.len() as u64;
+            db.append_batch(&batch);
+            Ok(SinkReceipt { samples, names })
+        }),
+    ))
+}
+
+fn stream_router(bus: Arc<StreamBus>, now: Arc<AtomicI64>) -> Router {
+    let mut router = Router::new();
+    ceems::stream::http::mount(
+        &mut router,
+        bus,
+        Arc::new(move || now.load(Ordering::SeqCst)),
+        None,
+    );
+    router
+}
+
+/// Splits accumulated SSE bytes into complete `(event, data)` pairs,
+/// leaving any trailing partial event in the buffer.
+fn drain_sse(buf: &mut String) -> Vec<(String, serde_json::Value)> {
+    let mut out = Vec::new();
+    while let Some(end) = buf.find("\n\n") {
+        let block: String = buf.drain(..end + 2).collect();
+        let mut event = String::new();
+        let mut data = String::new();
+        for line in block.lines() {
+            if let Some(v) = line.strip_prefix("event: ") {
+                event = v.to_string();
+            } else if let Some(v) = line.strip_prefix("data: ") {
+                data = v.to_string();
+            }
+        }
+        if !event.is_empty() {
+            out.push((event, serde_json::from_str(&data).unwrap()));
+        }
+    }
+    out
+}
+
+/// `data.result[0].values` of a query_range-shaped JSON body.
+fn values_of(body: &serde_json::Value) -> Vec<serde_json::Value> {
+    body.get("data")
+        .and_then(|d| d.get("result"))
+        .and_then(|r| r.as_array())
+        .and_then(|r| r.first())
+        .and_then(|s| s.get("values"))
+        .and_then(|v| v.as_array())
+        .cloned()
+        .unwrap_or_default()
+}
+
+/// One exporter render pushed over HTTP, ingested, and fed to the
+/// incremental rule engine — the streaming replacement for a scrape pass.
+struct PushHarness {
+    node: NodeHandle,
+    exporter: Arc<CeemsExporter>,
+    publisher: StreamPublisher,
+    engine: RuleEngine,
+    db: Arc<Tsdb>,
+    arrived: Arc<Mutex<HashSet<String>>>,
+    now: Arc<AtomicI64>,
+}
+
+impl PushHarness {
+    fn push_step(&mut self, t: i64) {
+        self.node.lock().step(t, 15.0);
+        self.now.store(t, Ordering::SeqCst);
+        self.publisher
+            .publish(self.exporter.render_for_push(), t)
+            .unwrap_or_else(|e| panic!("push at {t} failed: {e}"));
+        let names: HashSet<String> = self.arrived.lock().drain().collect();
+        assert!(
+            names.contains("ceems_rapl_package_joules_total"),
+            "pushed render did not carry RAPL energy counters"
+        );
+        self.engine.tick_incremental(&self.db, t, &names);
+    }
+}
+
+#[test]
+fn push_ingest_incremental_rules_and_live_delta_match_poll_mode() {
+    let db = Arc::new(Tsdb::default());
+    let arrived = Arc::new(Mutex::new(HashSet::new()));
+    let now = Arc::new(AtomicI64::new(0));
+    let bus = ingesting_bus(db.clone(), arrived.clone(), StreamBusConfig::default());
+    let server = HttpServer::serve(
+        ServerConfig::ephemeral(),
+        stream_router(bus.clone(), now.clone()),
+    )
+    .unwrap();
+
+    // A real exporter publishes its renders; rules re-evaluate on arrival.
+    // `r_cold` reads a metric that never arrives, so incremental evaluation
+    // must leave it untouched.
+    let node = busy_intel_node(7);
+    let mut h = PushHarness {
+        exporter: Arc::new(CeemsExporter::new(
+            node.clone(),
+            SimClock::new(),
+            ExporterConfig::default(),
+        )),
+        node,
+        publisher: StreamPublisher::new(
+            &server.base_url(),
+            "node-metrics",
+            "n7",
+            "n7:9100",
+            "ceems",
+            vec![("nodegroup".to_string(), "intel-dram".to_string())],
+        ),
+        engine: RuleEngine::new(vec![RuleGroup {
+            name: "g".into(),
+            interval_ms: 15_000,
+            rules: vec![
+                RecordingRule::new("r_power", "rate(ceems_rapl_package_joules_total[2m])", &[])
+                    .unwrap(),
+                RecordingRule::new("r_cold", "rate(never_seen_total[2m])", &[]).unwrap(),
+            ],
+        }]),
+        db: db.clone(),
+        arrived,
+        now: now.clone(),
+    };
+    for k in 1..=20 {
+        h.push_step(k * 15_000);
+    }
+    assert_eq!(h.engine.eval_count("r_power"), 20);
+    assert_eq!(
+        h.engine.eval_count("r_cold"),
+        0,
+        "rule with no arrived inputs must stay cold"
+    );
+
+    // Live subscription through a served frontend over the same TSDB.
+    let qnow = now.clone();
+    let rnow = now.clone();
+    let fe = QueryFrontend::new(
+        Arc::new(RouterDownstream::new(api_router(
+            db,
+            Arc::new(move || rnow.load(Ordering::SeqCst)),
+        ))),
+        QfeConfig {
+            now: Arc::new(move || qnow.load(Ordering::SeqCst)),
+            ..Default::default()
+        },
+    );
+    let fe_srv = fe.serve().unwrap();
+    let client = Client::new().with_header("x-grafana-user", "alice");
+    let query = ceems::http::url::encode_component("sum(r_power)");
+    let mut sub = client
+        .get_stream(&format!(
+            "{}/api/v1/query_live?query={query}&step=15&since=120",
+            fe_srv.base_url()
+        ))
+        .unwrap();
+    assert_eq!(sub.status.0, 200);
+    assert_eq!(fe.live_subscriber_count(), 1);
+
+    let mut buf = String::new();
+    let mut events: Vec<(String, serde_json::Value)> = Vec::new();
+    while events.is_empty() {
+        match sub.next_chunk().unwrap() {
+            Some(chunk) => {
+                buf.push_str(std::str::from_utf8(&chunk).unwrap());
+                events.extend(drain_sse(&mut buf));
+            }
+            None => panic!("stream closed before the full render arrived"),
+        }
+    }
+    assert_eq!(events[0].0, "full");
+    let mut live_values = values_of(&events[0].1);
+    assert_eq!(
+        live_values.len(),
+        9,
+        "full render must cover the trailing 120s grid"
+    );
+
+    // One more pushed batch: the subscriber gets exactly the new step.
+    h.push_step(315_000);
+    now.store(315_500, Ordering::SeqCst);
+    assert_eq!(fe.push_live(315_500), 1, "one delta should be pushed");
+    let mut deltas: Vec<(String, serde_json::Value)> = Vec::new();
+    while deltas.is_empty() {
+        match sub.next_chunk().unwrap() {
+            Some(chunk) => {
+                buf.push_str(std::str::from_utf8(&chunk).unwrap());
+                deltas.extend(drain_sse(&mut buf));
+            }
+            None => panic!("stream closed before the delta arrived"),
+        }
+    }
+    assert_eq!(deltas[0].0, "delta");
+    let delta_values = values_of(&deltas[0].1);
+    assert_eq!(delta_values.len(), 1, "delta must carry exactly one step");
+    live_values.extend(delta_values);
+
+    // Poll-mode ground truth over the same grid: byte-identical values.
+    let poll = client
+        .get(&format!(
+            "{}/api/v1/query_range?query={query}&start=180&end=315&step=15",
+            fe_srv.base_url()
+        ))
+        .unwrap();
+    assert_eq!(poll.status.0, 200);
+    let poll_json: serde_json::Value = serde_json::from_slice(&poll.body).unwrap();
+    let poll_values = values_of(&poll_json);
+    assert_eq!(
+        serde_json::to_string(&live_values).unwrap(),
+        serde_json::to_string(&poll_values).unwrap(),
+        "assembled live series diverged from the poll-mode render"
+    );
+
+    fe_srv.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn resume_after_faulted_stream_replays_without_gaps_or_duplicates() {
+    let db = Arc::new(Tsdb::default());
+    let arrived = Arc::new(Mutex::new(HashSet::new()));
+    let now = Arc::new(AtomicI64::new(0));
+    let bus = ingesting_bus(db, arrived, StreamBusConfig::default());
+
+    // Seeded faults, per-endpoint request index: the third push (#2) is
+    // reset mid-flight — and so is the pooled client's automatic
+    // fresh-connection retry (#3) — so the publisher must buffer and
+    // re-flush. The first *re*-subscribe attempt (#1 — #0 is the initial
+    // subscription) is reset so the consumer must retry before it resumes.
+    let plan = FaultPlan::new(4242)
+        .with_rule(FaultRule::new("/api/v1/stream/push", FaultKind::ConnReset, 1.0).between(2, 4))
+        .with_rule(
+            FaultRule::new("/api/v1/stream/subscribe", FaultKind::ConnReset, 1.0).between(1, 2),
+        )
+        .shared();
+    let server = HttpServer::serve(
+        ServerConfig::ephemeral().with_fault_plan(plan),
+        stream_router(bus.clone(), now),
+    )
+    .unwrap();
+    let sub_url = |from: u64| {
+        format!(
+            "{}/api/v1/stream/subscribe?topic=t&from_offset={from}",
+            server.base_url()
+        )
+    };
+    let client = Client::new();
+
+    // Ground truth: every exposition body we will publish, in order. The
+    // streamed copy must assemble to exactly this, byte for byte.
+    let truth: Vec<String> = (1..=6).map(|i| format!("m {i}\n")).collect();
+    let mut publisher =
+        StreamPublisher::new(&server.base_url(), "t", "p1", "p1:9100", "ceems", vec![]);
+
+    // Live subscription (request #0, clean).
+    let mut sub = client.get_stream(&sub_url(0)).unwrap();
+    assert_eq!(sub.status.0, 200);
+
+    // Frames 1-3 pushed one request each; request #2 is reset before the
+    // handler runs, so frame 3 stays buffered and the next flush resumes.
+    for body in &truth[..2] {
+        publisher.publish(body.clone(), 1_000).unwrap();
+    }
+    assert!(
+        publisher.publish(truth[2].clone(), 1_000).is_err(),
+        "the faulted push must surface as a transport error"
+    );
+    assert_eq!(publisher.pending(), 1);
+    let report = publisher.flush().unwrap();
+    assert_eq!(report.acked_seq, 3);
+    assert_eq!(publisher.pending(), 0);
+    assert!(
+        publisher.resumed_flushes >= 1,
+        "re-flush must count as a resume"
+    );
+    assert_eq!(publisher.dropped_frames, 0);
+
+    // Collect what arrived live, then kill the stream mid-subscription.
+    let mut got: BTreeMap<u64, String> = BTreeMap::new();
+    let mut dec = RecordDecoder::new();
+    fn ingest(records: Vec<serde_json::Value>, got: &mut BTreeMap<u64, String>) {
+        for record in records {
+            assert!(
+                record.get("control").is_none(),
+                "unexpected control record (gap?): {record}"
+            );
+            let offset = record.get("offset").and_then(|v| v.as_u64()).unwrap();
+            let frame = SampleFrame::from_json(&record).unwrap();
+            assert!(
+                got.insert(offset, frame.body).is_none(),
+                "offset {offset} delivered twice"
+            );
+        }
+    }
+    while got.len() < 3 {
+        let chunk = sub
+            .next_chunk()
+            .unwrap()
+            .expect("stream ended before the first three frames");
+        ingest(dec.feed(&chunk).unwrap(), &mut got);
+    }
+    drop(sub); // the consumer dies mid-subscription
+
+    // Frames 4-5 flow while nobody is listening; the replay ring keeps them.
+    for body in &truth[3..5] {
+        publisher.publish(body.clone(), 2_000).unwrap();
+    }
+
+    // Resume from the last offset we saw. The first attempt lands in the
+    // fault window and is reset; the retry must replay 4-5 with no gap and
+    // no repeat of 1-3.
+    let last_seen = *got.keys().next_back().unwrap();
+    assert_eq!(last_seen, 3);
+    let mut attempts = 0;
+    let mut sub = loop {
+        attempts += 1;
+        assert!(
+            attempts <= 5,
+            "resume subscribe kept failing past the fault window"
+        );
+        match client.get_stream(&sub_url(last_seen)) {
+            Ok(s) if s.status.0 == 200 => break s,
+            _ => continue,
+        }
+    };
+    assert!(
+        attempts >= 2,
+        "the seeded fault should reset the first resume attempt"
+    );
+    let mut dec = RecordDecoder::new();
+    while got.len() < 5 {
+        let chunk = sub
+            .next_chunk()
+            .unwrap()
+            .expect("resumed stream ended before replay finished");
+        ingest(dec.feed(&chunk).unwrap(), &mut got);
+    }
+
+    // One live frame after the resume proves the subscription is current.
+    publisher.publish(truth[5].clone(), 3_000).unwrap();
+    while got.len() < 6 {
+        let chunk = sub
+            .next_chunk()
+            .unwrap()
+            .expect("stream ended before the live frame");
+        ingest(dec.feed(&chunk).unwrap(), &mut got);
+    }
+
+    // No gaps, no duplicates: offsets are exactly 1..=6 and the assembled
+    // payload byte-equals the unsubscribed ground truth.
+    let offsets: Vec<u64> = got.keys().copied().collect();
+    assert_eq!(offsets, (1..=6).collect::<Vec<u64>>());
+    let assembled: String = got.values().cloned().collect();
+    assert_eq!(assembled, truth.concat());
+
+    let stats = bus.stats();
+    assert_eq!(stats.published, 6);
+    assert_eq!(stats.duplicates, 0, "the faulted push died before ingest");
+    assert_eq!(stats.resumed, 1, "exactly the successful resume is counted");
+
+    server.shutdown();
+}
