@@ -69,10 +69,16 @@ impl QuerySource for LocalQuerySource {
     }
 }
 
+/// Resolves the query endpoint per request — e.g. following a failover
+/// routing table so evaluation re-targets the new leader without rebuilding
+/// the source. `None` means "no endpoint known right now".
+pub type UrlResolver = Arc<dyn Fn() -> Option<String> + Send + Sync>;
+
 /// Evaluates over HTTP against a Prometheus-compatible `/api/v1/query`
 /// endpoint (the TSDB API, the LB, or the query frontend).
 pub struct HttpQuerySource {
     base_url: String,
+    resolver: Option<UrlResolver>,
     client: Client,
     retry: RetryPolicy,
     breaker: CircuitBreaker,
@@ -84,10 +90,20 @@ impl HttpQuerySource {
     pub fn new(base_url: impl Into<String>) -> HttpQuerySource {
         HttpQuerySource {
             base_url: base_url.into(),
+            resolver: None,
             client: Client::new(),
             retry: RetryPolicy::new(2),
             breaker: CircuitBreaker::new(BreakerConfig::default()),
         }
+    }
+
+    /// Resolves the endpoint per query instead of pinning `base_url` — the
+    /// S24 failover hook: hand it the replication group's routing table and
+    /// rule evaluation follows the elected leader. A `None` resolution
+    /// falls back to the pinned `base_url`.
+    pub fn with_resolver(mut self, resolver: UrlResolver) -> HttpQuerySource {
+        self.resolver = Some(resolver);
+        self
     }
 
     /// Replaces the HTTP client (pool size, timeout, fault plan).
@@ -128,9 +144,14 @@ impl QuerySource for HttpQuerySource {
         if !self.breaker.try_acquire() {
             return Err("read path circuit breaker is open".into());
         }
+        let base = self
+            .resolver
+            .as_ref()
+            .and_then(|r| r())
+            .unwrap_or_else(|| self.base_url.clone());
         let url = format!(
             "{}/api/v1/query?query={}&time={}",
-            self.base_url,
+            base,
             encode_component(expr_src),
             now_ms as f64 / 1000.0,
         );
@@ -226,6 +247,38 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].0.get("instance"), Some("n2"));
         assert_eq!(v[0].1, 900.0);
+    }
+
+    #[test]
+    fn http_source_follows_a_url_resolver() {
+        use ceems_http::{HttpServer, ServerConfig};
+        use ceems_tsdb::httpapi::api_router;
+        use parking_lot::Mutex;
+
+        let serve = |value: f64| {
+            let db = Arc::new(Tsdb::default());
+            db.append(&labels! {"__name__" => "watts", "instance" => "n1"}, 1_000, value);
+            HttpServer::serve(ServerConfig::ephemeral(), api_router(db, Arc::new(|| 2_000)))
+                .unwrap()
+        };
+        let old_leader = serve(100.0);
+        let new_leader = serve(200.0);
+
+        let target = Arc::new(Mutex::new(old_leader.base_url()));
+        let t = target.clone();
+        let src = HttpQuerySource::new("http://127.0.0.1:1")
+            .with_resolver(Arc::new(move || Some(t.lock().clone())));
+        let expr = parse_expr("watts").unwrap();
+        let v = src.query("watts", &expr, 2_000).unwrap();
+        assert_eq!(v[0].1, 100.0);
+
+        // Failover: the routing table now points at the new leader; the
+        // same source follows it without being rebuilt.
+        *target.lock() = new_leader.base_url();
+        let v = src.query("watts", &expr, 2_000).unwrap();
+        assert_eq!(v[0].1, 200.0);
+        old_leader.shutdown();
+        new_leader.shutdown();
     }
 
     #[test]

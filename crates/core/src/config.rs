@@ -19,6 +19,10 @@ pub struct QfeSettings {
     pub tenant_queue_depth: usize,
     /// Concurrent queries allowed per tenant.
     pub max_tenant_concurrency: usize,
+    /// Staleness bound (seconds) for degraded stale-cache serves: a cached
+    /// answer older than this is a 502, not a silently ancient "success".
+    /// 0 (the default) keeps the bound off — any cached extent may serve.
+    pub max_stale_s: f64,
 }
 
 impl Default for QfeSettings {
@@ -29,6 +33,53 @@ impl Default for QfeSettings {
             recent_window_s: 600.0,
             tenant_queue_depth: 16,
             max_tenant_concurrency: 4,
+            max_stale_s: 0.0,
+        }
+    }
+}
+
+/// The `failover:` YAML section (S24): automatic leader failover for the
+/// TSDB replication group. Presence of the section enables it; the stack
+/// then runs `replicas` TSDB nodes under a [`ceems_tsdb::ReplicationGroup`]
+/// with epoch-fenced writes and deterministic elections.
+#[derive(Clone, Debug)]
+pub struct FailoverSettings {
+    /// Master switch; presence of the `failover:` section enables it.
+    pub enabled: bool,
+    /// TSDB nodes in the replication group (one leader + followers).
+    pub replicas: usize,
+    /// Leader liveness probe interval (seconds).
+    pub probe_interval_s: f64,
+    /// Missed-probe window before the leader is deposed and an election
+    /// runs (seconds).
+    pub election_timeout_s: f64,
+    /// Catch-up gate: a follower lagging the dead leader's last known
+    /// position by more than this many WAL records is not promotable.
+    /// `u64::MAX` (the default) promotes the most-caught-up candidate
+    /// unconditionally.
+    pub min_catchup_records: u64,
+}
+
+impl Default for FailoverSettings {
+    fn default() -> Self {
+        FailoverSettings {
+            enabled: false,
+            replicas: 3,
+            probe_interval_s: 1.0,
+            election_timeout_s: 3.0,
+            min_catchup_records: u64::MAX,
+        }
+    }
+}
+
+impl FailoverSettings {
+    /// These settings as the TSDB crate's [`ceems_tsdb::FailoverConfig`].
+    pub fn failover_config(&self) -> ceems_tsdb::FailoverConfig {
+        ceems_tsdb::FailoverConfig {
+            probe_interval_ms: (self.probe_interval_s * 1000.0).max(1.0) as i64,
+            election_timeout_ms: (self.election_timeout_s * 1000.0).max(1.0) as i64,
+            min_catchup_records: self.min_catchup_records,
+            ..Default::default()
         }
     }
 }
@@ -429,6 +480,8 @@ pub struct CeemsConfig {
     pub meta: MetaSettings,
     /// Streaming ingest bus + live query push (disabled by default).
     pub stream: StreamSettings,
+    /// TSDB leader failover (disabled by default).
+    pub failover: FailoverSettings,
 }
 
 impl Default for CeemsConfig {
@@ -464,6 +517,7 @@ impl Default for CeemsConfig {
             obs: ObsSettings::default(),
             meta: MetaSettings::default(),
             stream: StreamSettings::default(),
+            failover: FailoverSettings::default(),
         }
     }
 }
@@ -553,6 +607,12 @@ impl CeemsConfig {
             }
             if let Some(v) = q.get("max_tenant_concurrency").and_then(Yaml::as_i64) {
                 cfg.qfe.max_tenant_concurrency = (v as usize).max(1);
+            }
+            if let Some(v) = q.get("max_stale_s").and_then(Yaml::as_f64) {
+                if v < 0.0 {
+                    return Err(format!("qfe.max_stale_s must be non-negative, got {v}"));
+                }
+                cfg.qfe.max_stale_s = v;
             }
         }
         if let Some(a) = doc.get("api_server") {
@@ -783,6 +843,42 @@ impl CeemsConfig {
             }
             if let Some(v) = s.get("max_live_per_tenant").and_then(Yaml::as_i64) {
                 cfg.stream.max_live_per_tenant = v.max(0) as usize;
+            }
+        }
+        if let Some(f) = doc.get("failover") {
+            cfg.failover.enabled = f.get("enabled").and_then(Yaml::as_bool).unwrap_or(true);
+            if let Some(v) = f.get("replicas").and_then(Yaml::as_i64) {
+                if v < 2 {
+                    return Err(format!(
+                        "failover.replicas must be at least 2, got {v}"
+                    ));
+                }
+                cfg.failover.replicas = v as usize;
+            }
+            if let Some(v) = f.get("probe_interval_s").and_then(Yaml::as_f64) {
+                if v <= 0.0 {
+                    return Err(format!(
+                        "failover.probe_interval_s must be positive, got {v}"
+                    ));
+                }
+                cfg.failover.probe_interval_s = v;
+            }
+            if let Some(v) = f.get("election_timeout_s").and_then(Yaml::as_f64) {
+                if v <= 0.0 {
+                    return Err(format!(
+                        "failover.election_timeout_s must be positive, got {v}"
+                    ));
+                }
+                cfg.failover.election_timeout_s = v;
+            }
+            if cfg.failover.election_timeout_s < cfg.failover.probe_interval_s {
+                return Err(format!(
+                    "failover.election_timeout_s ({}) must be at least probe_interval_s ({})",
+                    cfg.failover.election_timeout_s, cfg.failover.probe_interval_s
+                ));
+            }
+            if let Some(v) = f.get("min_catchup_records").and_then(Yaml::as_i64) {
+                cfg.failover.min_catchup_records = v.max(0) as u64;
             }
         }
         if let Some(v) = doc.get("threads").and_then(Yaml::as_i64) {
@@ -1016,6 +1112,57 @@ stream:
         assert!(!c.stream.enabled);
         assert!(CeemsConfig::from_yaml("stream:\n  ring_capacity: 0\n").is_err());
         assert!(CeemsConfig::from_yaml("stream:\n  topic: \"\"\n").is_err());
+    }
+
+    #[test]
+    fn failover_section_parses_with_presence_enabling() {
+        let c = CeemsConfig::from_yaml("").unwrap();
+        assert!(!c.failover.enabled);
+        assert_eq!(c.failover.replicas, 3);
+        assert_eq!(c.failover.probe_interval_s, 1.0);
+        assert_eq!(c.failover.election_timeout_s, 3.0);
+        assert_eq!(c.failover.min_catchup_records, u64::MAX);
+
+        let text = "\
+failover:
+  replicas: 5
+  probe_interval_s: 0.5
+  election_timeout_s: 2
+  min_catchup_records: 100
+";
+        let c = CeemsConfig::from_yaml(text).unwrap();
+        // Presence of the section enables failover.
+        assert!(c.failover.enabled);
+        assert_eq!(c.failover.replicas, 5);
+        assert_eq!(c.failover.probe_interval_s, 0.5);
+        assert_eq!(c.failover.election_timeout_s, 2.0);
+        assert_eq!(c.failover.min_catchup_records, 100);
+        let fc = c.failover.failover_config();
+        assert_eq!(fc.probe_interval_ms, 500);
+        assert_eq!(fc.election_timeout_ms, 2_000);
+        assert_eq!(fc.min_catchup_records, 100);
+
+        let c = CeemsConfig::from_yaml("failover:\n  enabled: false\n").unwrap();
+        assert!(!c.failover.enabled);
+        assert!(CeemsConfig::from_yaml("failover:\n  replicas: 1\n").is_err());
+        assert!(CeemsConfig::from_yaml("failover:\n  probe_interval_s: 0\n").is_err());
+        assert!(CeemsConfig::from_yaml("failover:\n  election_timeout_s: 0\n").is_err());
+        assert!(
+            CeemsConfig::from_yaml(
+                "failover:\n  probe_interval_s: 5\n  election_timeout_s: 2\n"
+            )
+            .is_err(),
+            "election timeout shorter than the probe interval must be rejected"
+        );
+    }
+
+    #[test]
+    fn qfe_max_stale_parses_with_zero_meaning_unbounded() {
+        let c = CeemsConfig::from_yaml("").unwrap();
+        assert_eq!(c.qfe.max_stale_s, 0.0);
+        let c = CeemsConfig::from_yaml("qfe:\n  max_stale_s: 900\n").unwrap();
+        assert_eq!(c.qfe.max_stale_s, 900.0);
+        assert!(CeemsConfig::from_yaml("qfe:\n  max_stale_s: -1\n").is_err());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use parking_lot::Mutex;
 
 use ceems_alertsrv::{
     packs, AlertConfig, AlertRule, AlertService, LocalQuerySource, LogSink, NotificationSink,
-    RoutingTree, RuleSet, WebhookSink,
+    QuerySource, RoutingTree, RuleSet, WebhookSink,
 };
 use ceems_apiserver::metrics_source::TsdbLocalSource;
 use ceems_apiserver::rm::SlurmRmClient;
@@ -29,7 +29,7 @@ use ceems_slurm::{ChurnGenerator, JobRequest, Partition, Scheduler};
 use ceems_stream::{PublishOutcome, SampleFrame, SinkReceipt, StreamBus, StreamBusConfig};
 use ceems_tsdb::rules::RuleEngine;
 use ceems_tsdb::scrape::{ScrapeManager, ScrapeStats, ScrapeTarget, TargetSource};
-use ceems_tsdb::{Tsdb, TsdbConfig};
+use ceems_tsdb::{ReplicationGroup, Tsdb, TsdbConfig, WriteRouter};
 
 use crate::attribution::{all_rule_groups, NodeGroup};
 use crate::config::CeemsConfig;
@@ -72,6 +72,9 @@ pub struct StackStats {
     pub stream_failures: u64,
     /// Recording rules evaluated incrementally (stream mode).
     pub incremental_rule_evals: u64,
+    /// Leader failovers completed by the replication group (0 unless
+    /// `failover:` is enabled).
+    pub tsdb_failovers: u64,
 }
 
 /// The assembled CEEMS deployment.
@@ -97,6 +100,7 @@ pub struct CeemsStack {
 
     scrape_mgr: ScrapeManager,
     rule_engine: RuleEngine,
+    replication: Option<FailoverState>,
     churn: Option<ChurnGenerator>,
     trace_sink: Arc<TraceSink>,
     meta_mon: Option<MetaMonitor>,
@@ -120,6 +124,42 @@ struct PushSource {
     instance: String,
     extra_labels: Vec<(String, String)>,
     next_seq: u64,
+}
+
+/// The S24 failover machinery when `failover:` is enabled: the
+/// deterministic election coordinator plus the shared write route that
+/// every in-process writer follows across leader changes.
+struct FailoverState {
+    group: Arc<Mutex<ReplicationGroup>>,
+    router: WriteRouter,
+}
+
+/// Alert evaluation that follows the write route: each query resolves the
+/// current leader's database, so rule evaluation re-targets within one
+/// probe interval of a failover instead of pinning the original leader.
+struct RoutedQuerySource {
+    router: WriteRouter,
+    fallback: Arc<Tsdb>,
+    lookback_ms: i64,
+}
+
+impl QuerySource for RoutedQuerySource {
+    fn name(&self) -> &'static str {
+        "routed-local"
+    }
+
+    fn query(
+        &self,
+        expr_src: &str,
+        expr: &ceems_tsdb::promql::Expr,
+        now_ms: i64,
+    ) -> Result<Vec<(ceems_metrics::labels::LabelSet, f64)>, String> {
+        let db = self
+            .router
+            .leader_db()
+            .unwrap_or_else(|| self.fallback.clone());
+        LocalQuerySource::new(db, self.lookback_ms).query(expr_src, expr, now_ms)
+    }
 }
 
 fn build_providers(cfg: &CeemsConfig) -> Vec<Arc<dyn EmissionProvider>> {
@@ -221,26 +261,6 @@ impl CeemsStack {
             posting_cache_size: config.posting_cache_size,
             ..TsdbConfig::default()
         };
-        let tsdb = Arc::new(match &config.wal_dir {
-            // Durable head: recover whatever a previous run logged, keep
-            // logging + checkpointing from here on.
-            Some(dir) => {
-                let opts = ceems_tsdb::WalOptions {
-                    segment_bytes: config.wal_segment_bytes,
-                    fsync: ceems_tsdb::FsyncMode::parse(&config.wal_fsync)
-                        .ok_or_else(|| format!("bad wal_fsync {:?}", config.wal_fsync))?,
-                };
-                Tsdb::open(std::path::Path::new(dir), opts, tsdb_config)
-                    .map_err(|e| format!("open WAL dir {dir:?}: {e}"))?
-            }
-            None => Tsdb::new(tsdb_config),
-        });
-        let rule_engine = RuleEngine::new(all_rule_groups(
-            &config.rule_window,
-            (config.rule_interval_s * 1000.0) as i64,
-        ))
-        .with_eval_threads(config.query_threads);
-
         // Durable sampled trace store (S22): one store + sampling policy
         // shared by every component the stack wires. The sim clock stamps
         // stored spans so eviction is deterministic under a fixed seed.
@@ -260,6 +280,57 @@ impl CeemsStack {
             .with_now(Arc::new(move || trace_clock.now_ms())),
         );
 
+        let wal_opts = ceems_tsdb::WalOptions {
+            segment_bytes: config.wal_segment_bytes,
+            fsync: ceems_tsdb::FsyncMode::parse(&config.wal_fsync)
+                .ok_or_else(|| format!("bad wal_fsync {:?}", config.wal_fsync))?,
+        };
+        // Leader failover (S24): a replication group replaces the single
+        // durable head. Node WAL directories live under `wal_dir`; the sim
+        // clock paces probes and elections so a fixed seed replays the same
+        // failover trace.
+        let replication = if config.failover.enabled {
+            let dir = config.wal_dir.as_ref().ok_or(
+                "failover: requires tsdb.wal_dir (replicas elect on WAL position)",
+            )?;
+            let fo_clock = clock.clone();
+            let group = ReplicationGroup::new(
+                std::path::Path::new(dir),
+                config.failover.replicas,
+                wal_opts,
+                tsdb_config.clone(),
+                config.failover.failover_config(),
+                Arc::new(move || fo_clock.now_ms()),
+            )
+            .map_err(|e| format!("build replication group under {dir:?}: {e}"))?
+            .with_trace_sink(trace_sink.clone());
+            let router = group.write_router();
+            Some(FailoverState {
+                group: Arc::new(Mutex::new(group)),
+                router,
+            })
+        } else {
+            None
+        };
+        let tsdb = match &replication {
+            // `tsdb` tracks the elected leader; `advance` re-points it
+            // after every failover so scrape/rule/checkpoint traffic
+            // follows the route.
+            Some(f) => f.router.leader_db().expect("a fresh group elects node-0"),
+            None => Arc::new(match &config.wal_dir {
+                // Durable head: recover whatever a previous run logged,
+                // keep logging + checkpointing from here on.
+                Some(dir) => Tsdb::open(std::path::Path::new(dir), wal_opts, tsdb_config)
+                    .map_err(|e| format!("open WAL dir {dir:?}: {e}"))?,
+                None => Tsdb::new(tsdb_config),
+            }),
+        };
+        let rule_engine = RuleEngine::new(all_rule_groups(
+            &config.rule_window,
+            (config.rule_interval_s * 1000.0) as i64,
+        ))
+        .with_eval_threads(config.query_threads);
+
         // Streaming ingest bus (S23): exporters publish renders instead of
         // being scraped. The sink parses the exposition text through the
         // same label-stamping path as a scrape and appends synchronously —
@@ -268,6 +339,7 @@ impl CeemsStack {
         // the rule engine can re-evaluate just the affected sub-DAG.
         let stream_bus = if config.stream.enabled {
             let sink_db = tsdb.clone();
+            let sink_router = replication.as_ref().map(|f| f.router.clone());
             let sink: ceems_stream::IngestSink = Arc::new(move |f: &SampleFrame| {
                 let batch = ceems_tsdb::scrape::exposition_to_batch(
                     &f.body,
@@ -281,7 +353,14 @@ impl CeemsStack {
                     .filter_map(|(ls, _, _)| ls.metric_name().map(str::to_string))
                     .collect();
                 let samples = batch.len() as u64;
-                sink_db.append_batch(&batch);
+                match &sink_router {
+                    // Failover mode: append through the write route, fenced
+                    // with the route's epoch. A leaderless window or a stale
+                    // epoch rejects the frame; the publisher keeps it
+                    // buffered and resumes after the election.
+                    Some(router) => router.append_batch(&batch)?,
+                    None => sink_db.append_batch(&batch),
+                }
                 Ok(SinkReceipt {
                     samples,
                     names: names.into_iter().collect(),
@@ -375,9 +454,17 @@ impl CeemsStack {
             // interval plus a scrape, so a fresh tick still sees data.
             let lookback_ms =
                 ((config.rule_interval_s + config.scrape_interval_s) * 2.0 * 1000.0) as i64;
+            let source: Arc<dyn QuerySource> = match &replication {
+                Some(f) => Arc::new(RoutedQuerySource {
+                    router: f.router.clone(),
+                    fallback: tsdb.clone(),
+                    lookback_ms,
+                }),
+                None => Arc::new(LocalQuerySource::new(tsdb.clone(), lookback_ms)),
+            };
             let svc = AlertService::new(
                 RuleSet::compile(rules),
-                Arc::new(LocalQuerySource::new(tsdb.clone(), lookback_ms)),
+                source,
                 sinks,
                 RoutingTree::new(default_sink),
                 AlertConfig {
@@ -408,6 +495,9 @@ impl CeemsStack {
             let reg = ceems_tsdb::selfmon::default_registry(tsdb.clone());
             ceems_obs::register_build_info(&reg, "tsdb");
             trace_store.register_metrics(&reg);
+            if let Some(f) = &replication {
+                Self::register_failover_metrics(&reg, &f.group);
+            }
             targets.push(MetaTarget::in_process(
                 "tsdb",
                 "tsdb:0",
@@ -459,6 +549,7 @@ impl CeemsStack {
             alert_log,
             scrape_mgr,
             rule_engine,
+            replication,
             churn,
             trace_sink,
             meta_mon,
@@ -539,6 +630,9 @@ impl CeemsStack {
     ) -> ceems_tsdb::httpapi::ApiOptions {
         let registry = ceems_tsdb::selfmon::default_registry(self.tsdb.clone());
         registry.register("tsdb_rule_eval", Arc::new(self.rule_engine.eval_histogram()));
+        if let Some(f) = &self.replication {
+            Self::register_failover_metrics(&registry, &f.group);
+        }
         let slow_query = (self.config.slow_query_ms > 0.0)
             .then(|| ceems_obs::slowlog::SlowQueryLog::new(self.config.slow_query_ms));
         ceems_tsdb::httpapi::ApiOptions {
@@ -578,7 +672,59 @@ impl CeemsStack {
             trace_sink: Some(self.trace_sink.clone()),
             max_live_per_tenant: self.config.stream.max_live_per_tenant,
             tenant_sample_rates: self.config.obs.tenant_sample_rates.clone(),
+            max_stale_ms: (q.max_stale_s * 1000.0).max(0.0) as i64,
         }
+    }
+
+    /// The replication group coordinator (`None` unless `failover:` is
+    /// enabled). Chaos tests drive kills and rejoins through this; its
+    /// event log is the deterministic failover trace.
+    pub fn replication_group(&self) -> Option<Arc<Mutex<ReplicationGroup>>> {
+        self.replication.as_ref().map(|f| f.group.clone())
+    }
+
+    /// The shared write route (`None` unless `failover:` is enabled).
+    /// Every clone follows failovers; out-of-process writers consult
+    /// `route().leader_url` instead.
+    pub fn write_router(&self) -> Option<WriteRouter> {
+        self.replication.as_ref().map(|f| f.router.clone())
+    }
+
+    /// Registers the S24 failover gauges on a component registry: the
+    /// group's write epoch, fenced (stale-epoch) write rejections, and
+    /// completed failovers.
+    fn register_failover_metrics(
+        registry: &ceems_metrics::registry::Registry,
+        group: &Arc<Mutex<ReplicationGroup>>,
+    ) {
+        let g = group.clone();
+        registry.register(
+            "tsdb_failover",
+            Arc::new(move || {
+                let g = g.lock();
+                let point = |v: f64| vec![ceems_obs::metric(ceems_metrics::labels::LabelSet::empty(), v)];
+                vec![
+                    ceems_obs::family_with_metrics(
+                        "ceems_tsdb_epoch",
+                        "Current write epoch of the TSDB replication group.",
+                        ceems_metrics::MetricType::Gauge,
+                        point(g.epoch() as f64),
+                    ),
+                    ceems_obs::family_with_metrics(
+                        "ceems_tsdb_fenced_writes_total",
+                        "Writes rejected by stale-epoch fencing across the group.",
+                        ceems_metrics::MetricType::Counter,
+                        point(g.fenced_writes() as f64),
+                    ),
+                    ceems_obs::family_with_metrics(
+                        "ceems_tsdb_failovers_total",
+                        "Completed leader failovers.",
+                        ceems_metrics::MetricType::Counter,
+                        point(g.failovers() as f64),
+                    ),
+                ]
+            }),
+        );
     }
 
     /// The streaming ingest bus (`None` unless `stream:` is enabled).
@@ -648,6 +794,21 @@ impl CeemsStack {
     pub fn advance(&mut self, dt_s: f64) {
         self.cluster.step_all(dt_s, self.config.threads);
         let now = self.clock.now_ms();
+
+        // Drive the failover state machine first, then re-point `tsdb` at
+        // the elected leader so everything below this line (ingest, rules,
+        // checkpoints, meta) already writes to the new route this step.
+        if let Some(f) = &self.replication {
+            let mut g = f.group.lock();
+            g.tick(now);
+            self.stats.tsdb_failovers = g.failovers();
+            drop(g);
+            if let Some(db) = f.router.leader_db() {
+                if !Arc::ptr_eq(&db, &self.tsdb) {
+                    self.tsdb = db;
+                }
+            }
+        }
 
         if let Some(churn) = &mut self.churn {
             let reqs = churn.poll(now);
@@ -941,6 +1102,72 @@ mod tests {
         }
         std::fs::remove_dir_all(push_dir).ok();
         std::fs::remove_dir_all(pull_dir).ok();
+    }
+
+    #[test]
+    fn failover_reroutes_ingest_to_a_new_leader() {
+        let dir = std::env::temp_dir().join(format!(
+            "ceems-fostack-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let cfg = CeemsConfig {
+            wal_dir: Some(dir.join("wal").to_string_lossy().into_owned()),
+            failover: crate::config::FailoverSettings {
+                enabled: true,
+                replicas: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut stack = CeemsStack::build(cfg, &dir.join("db")).unwrap();
+        stack.submit(cpu_job("alice", 16)).unwrap();
+        stack.run_for(300.0, 15.0);
+
+        let group = stack.replication_group().expect("failover enabled");
+        {
+            let g = group.lock();
+            assert_eq!(g.epoch(), 1);
+            assert_eq!(g.leader_id(), Some("node-0"));
+        }
+        let kill_ms = stack.clock.now_ms();
+        group.lock().kill("node-0");
+        stack.run_for(300.0, 15.0);
+
+        {
+            let g = group.lock();
+            assert_eq!(g.leader_id(), Some("node-1"), "events: {:?}", g.events());
+            assert_eq!(g.epoch(), 2);
+        }
+        assert_eq!(stack.stats().tsdb_failovers, 1);
+        // `tsdb` re-pointed at the new leader, and ingest + rules kept
+        // flowing: attributed power exists with post-kill timestamps.
+        assert!(Arc::ptr_eq(
+            &stack.tsdb,
+            &group.lock().node_db("node-1").unwrap()
+        ));
+        let power = stack.tsdb.select_latest(&[
+            LabelMatcher::eq("__name__", "uuid:ceems_power:watts"),
+            LabelMatcher::eq("uuid", "slurm-1"),
+        ]);
+        assert_eq!(power.len(), 1);
+        assert!(
+            power[0].1.t_ms > kill_ms,
+            "no post-failover rule writes: t={} kill={kill_ms}",
+            power[0].1.t_ms
+        );
+        // The failover gauges ride the TSDB registry.
+        let reg = stack
+            .tsdb_api_options(Arc::new(|| 0))
+            .registry
+            .expect("registry wired");
+        let text = ceems_metrics::encode_families(&reg.gather());
+        assert!(text.contains("ceems_tsdb_epoch 2"), "{text}");
+        assert!(text.contains("ceems_tsdb_failovers_total 1"), "{text}");
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

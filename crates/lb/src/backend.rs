@@ -18,6 +18,10 @@ pub struct Backend {
     /// WAL records behind the most advanced replica at the last health
     /// check (0 for leaders and non-WAL backends).
     wal_lag: AtomicU64,
+    /// Reported leadership at the last health check (S24 write routing).
+    leader: AtomicBool,
+    /// Reported epoch at the last health check.
+    epoch: AtomicU64,
     /// Per-backend circuit breaker: consecutive forward failures open it,
     /// taking the backend out of rotation until the cooldown admits a
     /// half-open probe (or an external health probe force-closes it).
@@ -44,6 +48,8 @@ impl Backend {
             active: AtomicUsize::new(0),
             served: AtomicU64::new(0),
             wal_lag: AtomicU64::new(0),
+            leader: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
             breaker,
         })
     }
@@ -68,6 +74,16 @@ impl Backend {
     /// health check.
     pub fn wal_lag(&self) -> u64 {
         self.wal_lag.load(Ordering::Relaxed)
+    }
+
+    /// Whether the backend reported itself leader at the last health check.
+    pub fn is_leader(&self) -> bool {
+        self.leader.load(Ordering::Relaxed)
+    }
+
+    /// The epoch the backend reported at the last health check.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
     }
 
     /// In-flight request count.
@@ -125,6 +141,13 @@ pub struct BackendPool {
     /// by more than this many records. `None` disables the staleness check
     /// (plain responsiveness probing).
     max_wal_lag: Option<u64>,
+    /// Learn an epoch-keyed write route from health probes (S24 failover).
+    route_writes: bool,
+    /// The write route learned at the last health check: the id of the
+    /// backend reporting itself leader, at which epoch.
+    write_leader: std::sync::Mutex<Option<(String, u64)>>,
+    /// Leader changes observed across health checks (failovers seen).
+    failovers: AtomicU64,
 }
 
 impl BackendPool {
@@ -134,7 +157,19 @@ impl BackendPool {
             backends,
             strategy,
             max_wal_lag: None,
+            route_writes: false,
+            write_leader: std::sync::Mutex::new(None),
+            failovers: AtomicU64::new(0),
         }
+    }
+
+    /// Enables write routing: health checks learn which backend reports
+    /// itself leader (and at which epoch) from `/api/v1/wal/position`, and
+    /// [`BackendPool::write_backend`] pins write traffic to it. A leader
+    /// change between checks counts one failover.
+    pub fn with_write_routing(mut self) -> BackendPool {
+        self.route_writes = true;
+        self
     }
 
     /// Enables WAL-position staleness demotion: a replica answering probes
@@ -195,18 +230,43 @@ impl BackendPool {
                 .map(|r| r.status.is_success())
                 .unwrap_or(false);
             responsive.push(ok);
-            let records = if ok && self.max_wal_lag.is_some() {
-                client
+            let records = if ok && (self.max_wal_lag.is_some() || self.route_writes) {
+                let position = client
                     .get(&format!("{}/api/v1/wal/position", b.base_url))
                     .ok()
                     .filter(|r| r.status.is_success())
-                    .and_then(|r| serde_json::from_slice::<serde_json::Value>(&r.body).ok())
+                    .and_then(|r| serde_json::from_slice::<serde_json::Value>(&r.body).ok());
+                if self.route_writes {
+                    // Role and epoch are meaningful even without a WAL (an
+                    // in-memory replica can still hold leadership).
+                    let is_leader = position
+                        .as_ref()
+                        .is_some_and(|v| v["data"]["role"] == "leader");
+                    let epoch = position
+                        .as_ref()
+                        .and_then(|v| v["data"]["epoch"].as_u64())
+                        .unwrap_or(0);
+                    b.leader.store(is_leader, Ordering::Relaxed);
+                    b.epoch.store(epoch, Ordering::Relaxed);
+                }
+                // Lag comparison only makes sense for durable replicas.
+                position
                     .filter(|v| v["data"]["walEnabled"] == serde_json::Value::Bool(true))
                     .and_then(|v| v["data"]["records"].as_u64())
             } else {
                 None
             };
             wal_records.push(records);
+        }
+        // An unresponsive backend cannot claim leadership; forget whatever
+        // it reported before it died.
+        if self.route_writes {
+            for (i, b) in self.backends.iter().enumerate() {
+                if !responsive[i] {
+                    b.leader.store(false, Ordering::Relaxed);
+                }
+            }
+            self.update_write_route();
         }
 
         // Phase 2: staleness — lag is measured against the freshest
@@ -232,6 +292,54 @@ impl BackendPool {
             }
         }
         healthy
+    }
+
+    /// Re-derives the write route from the backends' last-probed leader
+    /// claims. The table is epoch-keyed: when two backends both claim
+    /// leadership (a deposed leader that never saw the bump), the higher
+    /// epoch wins — exactly the fencing rule the TSDB itself enforces.
+    fn update_write_route(&self) {
+        let new = self
+            .backends
+            .iter()
+            .filter(|b| b.is_leader())
+            .max_by_key(|b| (b.epoch(), std::cmp::Reverse(b.id.clone())))
+            .map(|b| (b.id.clone(), b.epoch()));
+        let mut cur = self.write_leader.lock().unwrap();
+        if *cur != new {
+            if let (Some((old_id, _)), Some((new_id, _))) = (cur.as_ref(), new.as_ref()) {
+                if old_id != new_id {
+                    self.failovers.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            *cur = new;
+        }
+    }
+
+    /// The backend write traffic routes to: the highest-epoch leader
+    /// claimant from the last health check, while it stays healthy. `None`
+    /// while leaderless (writes should fail fast, not land on a stale
+    /// replica).
+    pub fn write_backend(&self) -> Option<Arc<Backend>> {
+        let (id, _) = self.write_leader.lock().unwrap().clone()?;
+        self.backends
+            .iter()
+            .find(|b| b.id == id && b.is_healthy() && b.breaker.available())
+            .cloned()
+    }
+
+    /// The epoch of the current write route (0 while unknown).
+    pub fn write_epoch(&self) -> u64 {
+        self.write_leader
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map_or(0, |(_, e)| *e)
+    }
+
+    /// Leader changes observed across health checks.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
     }
 
     /// Probes only the backends currently *out* of rotation (demoted or

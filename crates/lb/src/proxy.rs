@@ -186,7 +186,7 @@ fn rewrite_trace(
 
 /// The load balancer.
 pub struct CeemsLb {
-    pool: BackendPool,
+    pool: Arc<BackendPool>,
     authorizer: Authorizer,
     config: LbConfig,
     client: Client,
@@ -198,10 +198,42 @@ pub struct CeemsLb {
 impl CeemsLb {
     /// Creates the LB.
     pub fn new(pool: BackendPool, authorizer: Authorizer, config: LbConfig) -> CeemsLb {
+        let pool = Arc::new(pool);
         let registry = Registry::new();
         let instruments = LbInstruments::new(&registry);
         let http = HttpInstruments::new("lb", &registry);
         ceems_obs::register_build_info(&registry, "lb");
+        {
+            // Failover visibility (S24): how many times the epoch-keyed write
+            // route moved to a different leader, and the epoch it currently
+            // trusts. Both are read from the pool at scrape time.
+            let p = pool.clone();
+            registry.register(
+                "lb_failovers",
+                Arc::new(move || {
+                    vec![
+                        ceems_obs::family_with_metrics(
+                            "ceems_lb_failovers_total",
+                            "Write-route leader changes observed by health checks.",
+                            ceems_metrics::MetricType::Counter,
+                            vec![ceems_obs::metric(
+                                ceems_metrics::labels::LabelSet::empty(),
+                                p.failovers() as f64,
+                            )],
+                        ),
+                        ceems_obs::family_with_metrics(
+                            "ceems_lb_write_epoch",
+                            "Epoch of the leader the write route currently targets.",
+                            ceems_metrics::MetricType::Gauge,
+                            vec![ceems_obs::metric(
+                                ceems_metrics::labels::LabelSet::empty(),
+                                p.write_epoch() as f64,
+                            )],
+                        ),
+                    ]
+                }),
+            );
+        }
         {
             // Per-replica WAL lag, read at scrape time from the values the
             // health check already computes for staleness demotion — the
@@ -336,6 +368,14 @@ impl CeemsLb {
             return denied;
         }
         let auth_ms = auth_start.elapsed().as_secs_f64() * 1000.0;
+
+        // Ingest writes must land on the leader, not on an arbitrary replica
+        // pick: follow the epoch-keyed write route learned by health checks
+        // (S24). A fenced 409 from a deposed leader is relayed untouched so
+        // the writer re-resolves instead of silently losing the append.
+        if req.method == ceems_http::Method::Post && req.path.ends_with("/api/v1/write") {
+            return self.forward_write(req);
+        }
 
         // Query traffic prefers the query frontend when one is configured;
         // an unreachable frontend demotes to the replica pool below.
@@ -549,6 +589,58 @@ impl CeemsLb {
                     }
                     self.instruments.retries.inc();
                 }
+            }
+        }
+    }
+
+    /// Forwards one write to the current leader per the epoch-keyed routing
+    /// table. No leader known (no health check ran yet, or no backend claims
+    /// leadership) → 503 so the writer backs off and retries; fenced writes
+    /// (409 from a backend that lost its epoch) are relayed as-is.
+    fn forward_write(&self, req: &Request) -> Response {
+        let Some(backend) = self.pool.write_backend() else {
+            self.instruments.unavailable.inc();
+            return Response::error(Status::UNAVAILABLE, "no write leader known");
+        };
+        let _inflight = backend.begin();
+        let url = format!("{}{}", backend.base_url, req.path_and_query());
+        let mut client = self.client.clone();
+        if let Some(u) = req.header("x-grafana-user") {
+            client = client.with_header("X-Grafana-User", u);
+        }
+        let forward_start = Instant::now();
+        let result =
+            client.request(req.method, &url, req.body.clone(), req.header("content-type"));
+        self.instruments
+            .forward_seconds
+            .observe(forward_start.elapsed().as_secs_f64());
+        match result {
+            Ok(mut resp) => {
+                let outcome = match resp.status.0 {
+                    409 => "fenced",
+                    s if s >= 500 => "5xx",
+                    _ => "ok",
+                };
+                if resp.status.0 >= 500 {
+                    self.note_failure(&backend);
+                } else {
+                    backend.breaker().on_success();
+                }
+                self.instruments
+                    .requests
+                    .with_label_values(&[&backend.id, outcome])
+                    .inc();
+                resp.headers
+                    .insert("x-ceems-lb-backend".to_string(), backend.id.clone());
+                resp
+            }
+            Err(e) => {
+                self.instruments
+                    .requests
+                    .with_label_values(&[&backend.id, "error"])
+                    .inc();
+                self.note_failure(&backend);
+                Response::error(Status::BAD_GATEWAY, format!("write forward error: {e}"))
             }
         }
     }
@@ -1042,6 +1134,64 @@ mod tests {
         assert_eq!(lb.instruments.repromotions.get(), 1.0);
         lb_srv.shutdown();
         tsdb_srv.shutdown();
+    }
+
+    #[test]
+    fn writes_follow_the_epoch_keyed_route() {
+        let (srv1, db1) = tsdb_server();
+        let (srv2, db2) = tsdb_server();
+        let pool = BackendPool::new(
+            vec![
+                Backend::new("b1", srv1.base_url()),
+                Backend::new("b2", srv2.base_url()),
+            ],
+            Strategy::round_robin(),
+        )
+        .with_write_routing();
+        let lb = Arc::new(CeemsLb::new(
+            pool,
+            Authorizer::DirectDb(updater_with_unit()),
+            LbConfig::default(),
+        ));
+        lb.pool().health_check(&Client::new());
+        let lb_srv = lb.serve().unwrap();
+        let url = format!("{}/api/v1/write", lb_srv.base_url());
+        let body = |epoch: u64| {
+            format!(
+                "{{\"epoch\":{epoch},\"samples\":[{{\"labels\":{{\"__name__\":\"ingest\",\"uuid\":\"slurm-1\"}},\"t_ms\":1000,\"v\":7.0}}]}}"
+            )
+            .into_bytes()
+        };
+        // Both replicas claim leadership at epoch 0; the route breaks the tie
+        // deterministically on the lowest backend id.
+        let post = |b: Vec<u8>| {
+            Client::new()
+                .with_header("X-Grafana-User", "alice")
+                .post(&url, b, "application/json")
+                .unwrap()
+        };
+        let resp = post(body(0));
+        assert_eq!(resp.status, Status::OK, "body: {}", resp.body_string());
+        assert_eq!(resp.header("x-ceems-lb-backend"), Some("b1"));
+        assert!(resp.body_string().contains("\"appended\":1"));
+
+        // b2 wins an election: higher epoch takes over the write route and
+        // the move is counted as a failover.
+        db1.set_leader(false);
+        db2.bump_epoch(1, 0).unwrap();
+        lb.pool().health_check(&Client::new());
+        assert_eq!(lb.pool().failovers(), 1);
+        let resp = post(body(1));
+        assert_eq!(resp.status, Status::OK, "body: {}", resp.body_string());
+        assert_eq!(resp.header("x-ceems-lb-backend"), Some("b2"));
+
+        // A write stamped with the fenced-off old epoch is rejected with 409.
+        let stale = post(body(0));
+        assert_eq!(stale.status, Status(409), "body: {}", stale.body_string());
+        assert!(stale.body_string().contains("stale-epoch"));
+        lb_srv.shutdown();
+        srv1.shutdown();
+        srv2.shutdown();
     }
 
     #[test]

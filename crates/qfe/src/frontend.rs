@@ -65,6 +65,11 @@ pub struct QfeConfig {
     /// verdict. The reserved `__ceems_meta__` tenant is always pinned to
     /// 1.0 — self-monitoring traces are never sampled away.
     pub tenant_sample_rates: std::collections::BTreeMap<String, f64>,
+    /// Staleness bound for degraded stale-cache serves (S24): when every
+    /// replica is down and the freshest cached step is older than this,
+    /// the frontend answers 502 instead of a silently ancient "success".
+    /// `0` (the default) keeps the bound off.
+    pub max_stale_ms: i64,
 }
 
 impl Default for QfeConfig {
@@ -79,6 +84,7 @@ impl Default for QfeConfig {
             trace_sink: None,
             max_live_per_tenant: 16,
             tenant_sample_rates: Default::default(),
+            max_stale_ms: 0,
         }
     }
 }
@@ -605,8 +611,12 @@ impl QueryFrontend {
     /// Degraded render (S19): every replica is down, but part of the range
     /// sits in the results cache. Serves the cached extents (with gaps
     /// where nothing is cached), flags the response with a root-level
-    /// `warnings` array and an `x-ceems-qfe-degraded: stale` header — a
-    /// stale dashboard beats a dead one, and the warning keeps it honest.
+    /// `warnings` array and an `x-ceems-qfe-degraded: stale; age=<s>s`
+    /// header — a stale dashboard beats a dead one, and the stamped age
+    /// keeps it honest. When `max_stale_ms` bounds staleness (S24) and the
+    /// freshest cached step is older than that, the degraded serve itself
+    /// is refused with 502: past the bound, "no answer" is more truthful
+    /// than an ancient one.
     fn serve_stale(
         &self,
         extents: &[Extent],
@@ -619,6 +629,25 @@ impl QueryFrontend {
             .zip(slots.iter().cloned())
             .filter_map(|(e, s)| s.map(|d| (e, d)))
             .collect();
+        // Age of the answer = distance from "now" to the freshest step we
+        // can actually serve.
+        let freshest_ms = pairs.iter().map(|(e, _)| e.last_step_ms).max().unwrap_or(0);
+        let age_ms = ((self.cfg.now)() - freshest_ms).max(0);
+        let age_s = age_ms / 1000;
+        if self.cfg.max_stale_ms > 0 && age_ms > self.cfg.max_stale_ms {
+            self.ins
+                .cache_requests
+                .with_label_values(&["too-stale"])
+                .inc();
+            return Response::error(
+                Status::BAD_GATEWAY,
+                format!(
+                    "qfe: all replicas down and cached data is {age_s}s stale \
+                     (max_stale {}s)",
+                    self.cfg.max_stale_ms / 1000,
+                ),
+            );
+        }
         let missing = extents.len() - pairs.len();
         let result = merge_extents(&pairs);
         self.ins
@@ -629,7 +658,7 @@ impl QueryFrontend {
             "status": "success",
             "warnings": [format!(
                 "qfe: {missing} of {} extents unavailable (all replicas down); \
-                 serving {cached_steps} cached steps",
+                 serving {cached_steps} cached steps ({age_s}s stale)",
                 extents.len(),
             )],
             "data": {"resultType": "matrix", "result": result},
@@ -637,7 +666,7 @@ impl QueryFrontend {
         .unwrap();
         Response::json(body)
             .with_header("x-ceems-qfe-cache", "degraded")
-            .with_header("x-ceems-qfe-degraded", "stale")
+            .with_header("x-ceems-qfe-degraded", format!("stale; age={age_s}s"))
             .with_header("x-ceems-qfe-cached-steps", cached_steps.to_string())
     }
 
@@ -989,7 +1018,9 @@ mod tests {
         // so the frontend serves the three cached extents and says so.
         let resp = fe.handle(&range_req("m", 0, 239, 15));
         assert_eq!(resp.status, Status::OK, "body: {}", resp.body_string());
-        assert_eq!(resp.header("x-ceems-qfe-degraded"), Some("stale"));
+        // now = 10_000s and the freshest cached step is 165s: the stamped
+        // age is the distance between them.
+        assert_eq!(resp.header("x-ceems-qfe-degraded"), Some("stale; age=9835s"));
         assert_eq!(resp.header("x-ceems-qfe-cache"), Some("degraded"));
         let v: Json = serde_json::from_slice(&resp.body).unwrap();
         let warnings = v["warnings"].as_array().unwrap();
@@ -1010,6 +1041,35 @@ mod tests {
         let miss = fe.handle(&range_req("other", 0, 59, 15));
         assert_eq!(miss.status, Status::BAD_GATEWAY);
         assert_eq!(fe.ins.stale_serves.get(), 1.0);
+    }
+
+    #[test]
+    fn stale_serves_beyond_max_stale_are_refused() {
+        let ds = Arc::new(FakeDownstream {
+            calls: Mutex::new(Vec::new()),
+            fail: AtomicBool::new(false),
+        });
+        let cfg = QfeConfig {
+            split_interval_ms: 60_000,
+            recent_window_ms: 0,
+            now: Arc::new(|| 10_000_000),
+            // Freshest cacheable step is 165s; 10_000s − 165s ≫ 900s.
+            max_stale_ms: 900_000,
+            ..QfeConfig::default()
+        };
+        let fe = QueryFrontend::new(ds.clone() as Arc<dyn Downstream>, cfg);
+        let warm = fe.handle(&range_req("m", 0, 179, 15));
+        assert_eq!(warm.status, Status::OK);
+        ds.fail.store(true, Ordering::Relaxed);
+
+        let resp = fe.handle(&range_req("m", 0, 239, 15));
+        assert_eq!(
+            resp.status,
+            Status::BAD_GATEWAY,
+            "a degraded answer older than max_stale must be refused"
+        );
+        assert!(resp.body_string().contains("stale"), "body: {}", resp.body_string());
+        assert!(resp.header("x-ceems-qfe-degraded").is_none());
     }
 
     #[test]

@@ -29,4 +29,4 @@ pub mod publisher;
 
 pub use bus::{BusStats, IngestSink, PublishOutcome, SinkReceipt, StreamBus, StreamBusConfig, SubscribeError};
 pub use frame::{RecordDecoder, SampleFrame};
-pub use publisher::{PushReport, StreamPublisher};
+pub use publisher::{register_publisher_metrics, PublisherStats, PushReport, StreamPublisher};

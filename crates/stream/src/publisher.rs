@@ -10,10 +10,102 @@
 //! "flush again".
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use ceems_http::Client;
+use ceems_metrics::Registry;
 
 use crate::frame::SampleFrame;
+
+/// Shared delivery stats for one publisher, registrable on the exporter's
+/// `/metrics`: buffer pressure and loss stay visible even while the bus is
+/// unreachable (exactly when they matter).
+#[derive(Debug, Default)]
+pub struct PublisherStats {
+    dropped: AtomicU64,
+    resumed: AtomicU64,
+    unacked: AtomicU64,
+    high_watermark: AtomicU64,
+}
+
+impl PublisherStats {
+    /// Frames dropped oldest-first because the unacked buffer hit its cap.
+    pub fn dropped_frames(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Flushes that re-sent previously attempted frames (resumes).
+    pub fn resumed_flushes(&self) -> u64 {
+        self.resumed.load(Ordering::Relaxed)
+    }
+
+    /// Frames currently awaiting acknowledgement.
+    pub fn unacked(&self) -> u64 {
+        self.unacked.load(Ordering::Relaxed)
+    }
+
+    /// Largest unacked-buffer depth ever observed.
+    pub fn unacked_high_watermark(&self) -> u64 {
+        self.high_watermark.load(Ordering::Relaxed)
+    }
+
+    fn set_unacked(&self, n: u64) {
+        self.unacked.store(n, Ordering::Relaxed);
+        self.high_watermark.fetch_max(n, Ordering::Relaxed);
+    }
+}
+
+/// Registers one publisher's delivery stats on `registry` (served from the
+/// exporter's `/metrics`), labelled with the publisher identity.
+pub fn register_publisher_metrics(
+    registry: &Registry,
+    publisher: &str,
+    stats: Arc<PublisherStats>,
+) {
+    let id = publisher.to_string();
+    registry.register(
+        format!("stream_publisher_{publisher}"),
+        Arc::new(move || {
+            let labels =
+                ceems_metrics::labels::LabelSet::from_pairs([("publisher", id.as_str())]);
+            let fam = |name, help, kind, v: u64| {
+                ceems_obs::family_with_metrics(
+                    name,
+                    help,
+                    kind,
+                    vec![ceems_obs::metric(labels.clone(), v as f64)],
+                )
+            };
+            vec![
+                fam(
+                    "ceems_stream_publisher_unacked_frames",
+                    "Frames buffered awaiting bus acknowledgement.",
+                    ceems_metrics::MetricType::Gauge,
+                    stats.unacked(),
+                ),
+                fam(
+                    "ceems_stream_publisher_unacked_high_watermark",
+                    "Largest unacked-buffer depth ever observed.",
+                    ceems_metrics::MetricType::Gauge,
+                    stats.unacked_high_watermark(),
+                ),
+                fam(
+                    "ceems_stream_publisher_dropped_frames_total",
+                    "Frames dropped oldest-first at the unacked-buffer cap.",
+                    ceems_metrics::MetricType::Counter,
+                    stats.dropped_frames(),
+                ),
+                fam(
+                    "ceems_stream_publisher_resumed_flushes_total",
+                    "Flushes that re-sent previously attempted frames.",
+                    ceems_metrics::MetricType::Counter,
+                    stats.resumed_flushes(),
+                ),
+            ]
+        }),
+    );
+}
 
 /// Result of one successful flush.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -43,11 +135,8 @@ pub struct StreamPublisher {
     /// Highest seq ever included in an attempted push body; a later flush
     /// whose oldest frame is at or below this is a resume (re-send).
     attempted_through: u64,
-    /// Frames dropped because the unacked buffer hit its cap while the bus
-    /// was unreachable (oldest-first; visible data loss, counted).
-    pub dropped_frames: u64,
-    /// Flushes that carried previously sent frames (i.e. resumes).
-    pub resumed_flushes: u64,
+    /// Delivery stats, shared with `/metrics` registrations.
+    stats: Arc<PublisherStats>,
 }
 
 /// Default cap on frames buffered while the bus is unreachable.
@@ -76,9 +165,24 @@ impl StreamPublisher {
             unacked: VecDeque::new(),
             max_buffered: DEFAULT_PUBLISHER_BUFFER,
             attempted_through: 0,
-            dropped_frames: 0,
-            resumed_flushes: 0,
+            stats: Arc::new(PublisherStats::default()),
         }
+    }
+
+    /// This publisher's delivery stats (for `/metrics` registration via
+    /// [`register_publisher_metrics`]).
+    pub fn stats(&self) -> Arc<PublisherStats> {
+        self.stats.clone()
+    }
+
+    /// Frames dropped at the buffer cap (visible data loss).
+    pub fn dropped_frames(&self) -> u64 {
+        self.stats.dropped_frames()
+    }
+
+    /// Flushes that re-sent previously attempted frames.
+    pub fn resumed_flushes(&self) -> u64 {
+        self.stats.resumed_flushes()
     }
 
     /// Replaces the HTTP client (to attach auth, fault plans, headers).
@@ -120,8 +224,9 @@ impl StreamPublisher {
         self.unacked.push_back(frame);
         while self.unacked.len() > self.max_buffered {
             self.unacked.pop_front();
-            self.dropped_frames += 1;
+            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
         }
+        self.stats.set_unacked(self.unacked.len() as u64);
     }
 
     /// Sends every unacked frame in one push body and drops the acked
@@ -136,7 +241,7 @@ impl StreamPublisher {
         }
         let oldest = self.unacked.front().map(|f| f.seq).unwrap_or(0);
         if oldest != 0 && oldest <= self.attempted_through {
-            self.resumed_flushes += 1;
+            self.stats.resumed.fetch_add(1, Ordering::Relaxed);
         }
         self.attempted_through = self.unacked.back().map(|f| f.seq).unwrap_or(0);
 
@@ -162,6 +267,7 @@ impl StreamPublisher {
         while self.unacked.front().map(|f| f.seq <= acked).unwrap_or(false) {
             self.unacked.pop_front();
         }
+        self.stats.set_unacked(self.unacked.len() as u64);
         Ok(PushReport {
             acked_seq: acked,
             sent_frames,

@@ -445,7 +445,86 @@ pub fn api_router_with(db: Arc<Tsdb>, opts: ApiOptions) -> Router {
                 "offset": pos.offset,
                 "records": pos.records,
                 "walEnabled": db.wal_enabled(),
+                "epoch": db.current_epoch(),
+                "role": if db.is_leader() { "leader" } else { "follower" },
             }))
+        });
+    }
+
+    {
+        let db = db.clone();
+        router.get("/api/v1/wal/epochs", move |_req| {
+            let history: Vec<Json> = db
+                .epoch_history()
+                .iter()
+                .map(|s| json!({"epoch": s.epoch, "startRecords": s.start_records}))
+                .collect();
+            ok_json(json!({
+                "epoch": db.current_epoch(),
+                "history": history,
+            }))
+        });
+    }
+
+    {
+        // Maps a replicated record count to this leader's own (seq, offset)
+        // so a rejoining ex-leader (whose segment layout differs) can resume
+        // `/api/v1/wal/fetch` from the right place. 410 means the count
+        // predates the newest checkpoint: the rejoiner must re-bootstrap.
+        let db = db.clone();
+        router.get("/api/v1/wal/locate", move |req| {
+            let records: u64 = match req.query_param("records").map(str::parse) {
+                Some(Ok(n)) => n,
+                _ => return err_json(Status::BAD_REQUEST, "bad records parameter"),
+            };
+            match db.locate_records(records) {
+                Ok(Some(pos)) => ok_json(json!({
+                    "seq": pos.seq,
+                    "offset": pos.offset,
+                    "records": pos.records,
+                })),
+                Ok(None) => err_json(Status(410), format!("records {records} not locatable")),
+                Err(e) => err_json(Status::NOT_FOUND, e.to_string()),
+            }
+        });
+    }
+
+    {
+        // Epoch-fenced remote write: JSON `{"epoch": N, "samples":
+        // [{"labels": {..}, "t_ms": .., "v": ..}, ..]}`. A stale epoch (or a
+        // demoted node) answers 409 so a deposed leader can never accept
+        // writes the cluster has moved past.
+        let db = db.clone();
+        router.post("/api/v1/write", move |req| {
+            let body: Json = match serde_json::from_slice(&req.body) {
+                Ok(v) => v,
+                Err(e) => return err_json(Status::BAD_REQUEST, format!("bad body: {e}")),
+            };
+            let Some(epoch) = body["epoch"].as_u64() else {
+                return err_json(Status::BAD_REQUEST, "missing epoch");
+            };
+            let Some(samples) = body["samples"].as_array() else {
+                return err_json(Status::BAD_REQUEST, "missing samples");
+            };
+            let mut batch = Vec::with_capacity(samples.len());
+            for s in samples {
+                let Some(obj) = s["labels"].as_object() else {
+                    return err_json(Status::BAD_REQUEST, "sample missing labels");
+                };
+                let labels = LabelSet::from_pairs(
+                    obj.iter()
+                        .map(|(k, v)| (k.as_str(), v.as_str().unwrap_or_default())),
+                );
+                let (Some(t_ms), Some(v)) = (s["t_ms"].as_i64(), s["v"].as_f64()) else {
+                    return err_json(Status::BAD_REQUEST, "sample missing t_ms/v");
+                };
+                batch.push((labels, t_ms, v));
+            }
+            match db.append_batch_fenced(epoch, &batch) {
+                Ok(()) => ok_json(json!({"appended": batch.len()})),
+                // 409: the write carried a fenced-off epoch.
+                Err(e) => err_json(Status(409), e.to_string()),
+            }
         });
     }
 

@@ -27,10 +27,14 @@
 //!   [`storage::Tsdb::open`] (S16).
 //! * [`replica`] — follower catch-up: stream a leader's WAL over HTTP into
 //!   a local (optionally itself durable) TSDB.
+//! * [`election`] — leader failover (S24): epoch-fenced deterministic
+//!   election, write re-routing via [`election::WriteRouter`], and
+//!   divergence-safe rejoin of a deposed leader.
 
 pub mod block;
 pub mod cache;
 pub mod chunk;
+pub mod election;
 pub mod head;
 pub mod httpapi;
 pub mod index;
@@ -44,6 +48,7 @@ pub mod storage;
 pub mod types;
 pub mod wal;
 
-pub use storage::{Tsdb, TsdbConfig, TsdbInstruments};
+pub use election::{FailoverConfig, NodeRole, ReplicationGroup, WriteRouter};
+pub use storage::{StaleEpoch, Tsdb, TsdbConfig, TsdbInstruments};
 pub use types::{Sample, SeriesData};
 pub use wal::{DiskFaults, FsyncMode, ScriptedDiskFaults, WalOptions, WalPosition};

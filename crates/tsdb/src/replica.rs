@@ -19,7 +19,7 @@ use ceems_http::{Client, Status};
 use ceems_metrics::Counter;
 
 use crate::storage::Tsdb;
-use crate::wal::{decode_frames, WalPosition};
+use crate::wal::{decode_frames, EpochSpan, WalPosition};
 
 /// HTTP status the leader answers with when a requested segment was
 /// garbage-collected behind a checkpoint.
@@ -178,6 +178,89 @@ impl WalFollower {
             offset: data["offset"].as_u64().unwrap_or(0),
             records: data["records"].as_u64().unwrap_or(0),
         })
+    }
+
+    /// Asks the leader for its epoch and epoch history
+    /// (`/api/v1/wal/epochs`). A rejoining ex-leader compares this against
+    /// its own WAL tail to find where the logs diverged.
+    pub fn leader_epochs(&self) -> Result<(u64, Vec<EpochSpan>), FollowError> {
+        let url = format!("{}/api/v1/wal/epochs", self.leader_base);
+        let resp = self
+            .client
+            .get(&url)
+            .map_err(|e| FollowError::Http(e.to_string()))?;
+        if !resp.status.is_success() {
+            return Err(FollowError::Leader(format!(
+                "epochs probe returned {}",
+                resp.status.0
+            )));
+        }
+        let v: serde_json::Value = serde_json::from_slice(&resp.body)
+            .map_err(|e| FollowError::Leader(e.to_string()))?;
+        let data = &v["data"];
+        let epoch = data["epoch"].as_u64().unwrap_or(0);
+        let history = data["history"]
+            .as_array()
+            .map(|spans| {
+                spans
+                    .iter()
+                    .map(|s| EpochSpan {
+                        epoch: s["epoch"].as_u64().unwrap_or(0),
+                        start_records: s["startRecords"].as_u64().unwrap_or(0),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok((epoch, history))
+    }
+
+    /// Maps a replicated record count onto the leader's own segment layout
+    /// (`/api/v1/wal/locate`). `Ok(None)` means the leader has checkpointed
+    /// past that count — the rejoiner must re-bootstrap instead.
+    pub fn locate_on_leader(&self, records: u64) -> Result<Option<WalPosition>, FollowError> {
+        let url = format!("{}/api/v1/wal/locate?records={records}", self.leader_base);
+        let resp = self
+            .client
+            .get(&url)
+            .map_err(|e| FollowError::Http(e.to_string()))?;
+        if resp.status == STATUS_GONE {
+            return Ok(None);
+        }
+        if !resp.status.is_success() {
+            return Err(FollowError::Leader(format!(
+                "locate returned {}",
+                resp.status.0
+            )));
+        }
+        let v: serde_json::Value = serde_json::from_slice(&resp.body)
+            .map_err(|e| FollowError::Leader(e.to_string()))?;
+        let data = &v["data"];
+        Ok(Some(WalPosition {
+            seq: data["seq"].as_u64().unwrap_or(0),
+            offset: data["offset"].as_u64().unwrap_or(0),
+            records: data["records"].as_u64().unwrap_or(records),
+        }))
+    }
+
+    /// Resumes tailing at a known replicated record count: locates it on
+    /// the leader (whose segment layout differs from any local one) and
+    /// tails from there. Falls back to a full checkpoint re-bootstrap when
+    /// the leader GC'd that far back — the divergence-safe rejoin path for
+    /// a truncated ex-leader that kept its prefix.
+    pub fn resume_from_records(&mut self, records: u64) -> Result<(), FollowError> {
+        match self.locate_on_leader(records)? {
+            Some(pos) => {
+                self.pos = pos;
+                self.db.set_upstream_wal_position(pos);
+                Ok(())
+            }
+            None => {
+                self.resyncs.inc();
+                self.db.clear_for_resync();
+                self.pos = WalPosition::default();
+                self.bootstrap()
+            }
+        }
     }
 
     /// Initializes an empty follower: loads the leader's newest checkpoint

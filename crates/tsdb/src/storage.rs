@@ -27,7 +27,7 @@ use crate::cache::{cache_key, CacheStats, ShardedPostingCache};
 use crate::head::Head;
 use crate::index::LabelIndex;
 use crate::types::{Sample, SeriesData, SeriesId};
-use crate::wal::{self, Checkpoint, Wal, WalOptions, WalPosition, WalRecord};
+use crate::wal::{self, Checkpoint, EpochSpan, Wal, WalOptions, WalPosition, WalRecord};
 
 /// Below this many resolved series the thread fan-out costs more than it
 /// saves; materialization stays on the calling thread.
@@ -146,6 +146,44 @@ struct WalState {
     errors: AtomicU64,
 }
 
+/// Leadership-epoch state (S24): the current epoch plus the history of
+/// `(epoch, start_records)` spans, durable via `EpochBump` WAL records and
+/// checkpoint fields.
+#[derive(Debug, Clone)]
+struct EpochState {
+    epoch: u64,
+    history: Vec<EpochSpan>,
+}
+
+impl Default for EpochState {
+    fn default() -> Self {
+        EpochState {
+            epoch: 0,
+            history: vec![EpochSpan { epoch: 0, start_records: 0 }],
+        }
+    }
+}
+
+/// An append was rejected because it carried a stale leadership epoch —
+/// the writer was fenced by a newer leader's durable epoch bump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleEpoch {
+    /// The epoch the write carried.
+    pub write_epoch: u64,
+    /// The database's current epoch.
+    pub current_epoch: u64,
+}
+
+impl std::fmt::Display for StaleEpoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stale-epoch: write at epoch {} fenced by epoch {}",
+            self.write_epoch, self.current_epoch
+        )
+    }
+}
+
 /// The time series database.
 pub struct Tsdb {
     index: RwLock<LabelIndex>,
@@ -160,6 +198,14 @@ pub struct Tsdb {
     /// A follower's view of the leader position it has applied up to;
     /// reported to the LB in place of the local WAL position.
     upstream_pos: Mutex<Option<WalPosition>>,
+    /// Leadership epoch + history (S24).
+    epoch_state: Mutex<EpochState>,
+    /// Whether this node currently serves writes. A standalone database is
+    /// its own leader; the failover coordinator flips this on promotion and
+    /// demotion.
+    leader: std::sync::atomic::AtomicBool,
+    /// Appends rejected for carrying a stale epoch.
+    fenced_writes: AtomicU64,
     instruments: TsdbInstruments,
 }
 
@@ -182,6 +228,9 @@ impl Tsdb {
             out_of_order: AtomicU64::new(0),
             wal: None,
             upstream_pos: Mutex::new(None),
+            epoch_state: Mutex::new(EpochState::default()),
+            leader: std::sync::atomic::AtomicBool::new(true),
+            fenced_writes: AtomicU64::new(0),
             instruments: TsdbInstruments::default(),
         }
     }
@@ -220,6 +269,11 @@ impl Tsdb {
             drop(idx);
             db.appended.store(ckpt.appended, Ordering::Relaxed);
             db.out_of_order.store(ckpt.out_of_order, Ordering::Relaxed);
+            let mut es = db.epoch_state.lock();
+            es.epoch = ckpt.epoch;
+            if !ckpt.epoch_history.is_empty() {
+                es.history = ckpt.epoch_history.clone();
+            }
         }
 
         // Replay tail segments. A torn frame stops replay: the segment is
@@ -234,8 +288,14 @@ impl Tsdb {
             }
             let data = fs::read(path)?;
             let (recs, consumed) = wal::decode_frames(&data);
-            for rec in &recs {
-                db.apply_record(rec);
+            for (i, rec) in recs.iter().enumerate() {
+                // Epoch bumps replay with their exact log position so the
+                // restored history matches what the leader wrote.
+                if let WalRecord::EpochBump { epoch } = rec {
+                    db.observe_epoch(*epoch, records + i as u64);
+                } else {
+                    db.apply_record(rec);
+                }
             }
             records += recs.len() as u64;
             end = (*seq, consumed as u64);
@@ -363,6 +423,27 @@ impl Tsdb {
             .observe(start.elapsed().as_secs_f64());
     }
 
+    /// Appends a batch stamped with the writer's believed leadership epoch
+    /// (S24). Rejected — and counted — when the stamp does not match the
+    /// database's current epoch, so a deposed leader (or traffic still
+    /// routed through one) can never land writes past the fence.
+    pub fn append_batch_fenced(
+        &self,
+        epoch: u64,
+        batch: &[(LabelSet, i64, f64)],
+    ) -> Result<(), StaleEpoch> {
+        let current = self.current_epoch();
+        if epoch != current || !self.is_leader() {
+            self.fenced_writes.fetch_add(1, Ordering::Relaxed);
+            return Err(StaleEpoch {
+                write_epoch: epoch,
+                current_epoch: current,
+            });
+        }
+        self.append_batch(batch);
+        Ok(())
+    }
+
     /// Applies one replayed/streamed record without logging it (recovery).
     fn apply_record(&self, rec: &WalRecord) {
         match rec {
@@ -384,6 +465,12 @@ impl Tsdb {
                     idx.remove(id);
                 }
             }
+            WalRecord::EpochBump { epoch } => {
+                // Streamed from a leader: adopt the epoch at the position
+                // this follower has applied up to (leader record units).
+                let at = self.reported_wal_position().records;
+                self.observe_epoch(*epoch, at);
+            }
         }
     }
 
@@ -395,9 +482,18 @@ impl Tsdb {
             return;
         }
         let _gate = self.wal_gate_read();
+        // Streamed epoch bumps are pinned to their exact position in leader
+        // record units (record `i` of this batch is leader record `base+i`)
+        // so a promoted follower's epoch history is byte-accurate for
+        // rejoin truncation.
+        let base = self.reported_wal_position().records;
         self.log_wal(recs);
-        for rec in recs {
-            self.apply_record(rec);
+        for (i, rec) in recs.iter().enumerate() {
+            if let WalRecord::EpochBump { epoch } = rec {
+                self.observe_epoch(*epoch, base + i as u64);
+            } else {
+                self.apply_record(rec);
+            }
         }
     }
 
@@ -660,6 +756,130 @@ impl Tsdb {
         self.config.query_threads
     }
 
+    // -- Leadership epochs / failover (S24) ---------------------------------
+
+    /// The current leadership epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch_state.lock().epoch
+    }
+
+    /// The epoch history: each epoch and the monotone record count at which
+    /// it began. A rejoining old leader truncates its WAL to the successor
+    /// epoch's `start_records` — everything past it was never replicated
+    /// (never acknowledged) and is divergent.
+    pub fn epoch_history(&self) -> Vec<EpochSpan> {
+        self.epoch_state.lock().history.clone()
+    }
+
+    /// Whether this node currently serves writes.
+    pub fn is_leader(&self) -> bool {
+        self.leader.load(Ordering::Relaxed)
+    }
+
+    /// Flips the leader flag (failover coordinator only).
+    pub fn set_leader(&self, leader: bool) {
+        self.leader.store(leader, Ordering::Relaxed);
+    }
+
+    /// Appends rejected for carrying a stale epoch.
+    pub fn fenced_writes(&self) -> u64 {
+        self.fenced_writes.load(Ordering::Relaxed)
+    }
+
+    /// Adopts a newer epoch observed in the record stream (replay or
+    /// follower catch-up). Older or equal epochs are ignored.
+    fn observe_epoch(&self, epoch: u64, start_records: u64) {
+        let mut es = self.epoch_state.lock();
+        if epoch > es.epoch {
+            es.epoch = epoch;
+            es.history.push(EpochSpan {
+                epoch,
+                start_records,
+            });
+        }
+    }
+
+    /// Durably advances the leadership epoch (promotion). The bump record
+    /// is logged and fsynced *before* the state flips, so the fence
+    /// survives a crash: a rejoining deposed leader always finds the bump
+    /// in the successor's history. `start_records` is the replicated
+    /// record count the new epoch begins at (the promoted follower's
+    /// caught-up position). Errors if `new_epoch` does not advance.
+    pub fn bump_epoch(&self, new_epoch: u64, start_records: u64) -> io::Result<u64> {
+        let _gate = self.wal_gate_write();
+        {
+            let es = self.epoch_state.lock();
+            if new_epoch <= es.epoch {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("epoch must advance: {} -> {new_epoch}", es.epoch),
+                ));
+            }
+        }
+        if let Some(ws) = &self.wal {
+            let mut w = ws.wal.lock();
+            w.log(&[WalRecord::EpochBump { epoch: new_epoch }])?;
+            w.sync()?;
+        }
+        let mut es = self.epoch_state.lock();
+        es.epoch = new_epoch;
+        es.history.push(EpochSpan {
+            epoch: new_epoch,
+            start_records,
+        });
+        Ok(new_epoch)
+    }
+
+    /// Maps a monotone record count to this node's on-disk WAL position
+    /// (S24 rejoin: a truncated old leader resumes catch-up at the record
+    /// count it kept, but the new leader's segment layout differs). `None`
+    /// when the count predates the newest checkpoint (segments GC'd — the
+    /// rejoiner must re-bootstrap) or lies past the log end.
+    pub fn locate_records(&self, target: u64) -> io::Result<Option<WalPosition>> {
+        let ws = self
+            .wal
+            .as_ref()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::Unsupported, "no WAL attached"))?;
+        let _gate = ws.gate.write();
+        let base = wal::load_latest_checkpoint(&ws.dir)?;
+        let (mut count, start_seq) = base.map_or((0, 0), |c| (c.records, c.covers_seq));
+        if count > target {
+            return Ok(None);
+        }
+        let mut at: Option<(u64, u64)> = None;
+        for (seq, path) in wal::list_segments(&ws.dir)? {
+            if seq < start_seq {
+                continue;
+            }
+            let data = fs::read(&path)?;
+            let mut pos = 0usize;
+            loop {
+                if count == target {
+                    at = Some((seq, pos as u64));
+                    break;
+                }
+                if data.len() - pos < 8 {
+                    break;
+                }
+                let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
+                let end = pos + 8 + len as usize;
+                if len > (1 << 30) || end > data.len() {
+                    break;
+                }
+                pos = end;
+                count += 1;
+            }
+            if at.is_some() {
+                break;
+            }
+        }
+        Ok(at.map(|(seq, offset)| WalPosition {
+            seq,
+            offset,
+            records: target,
+        }))
+    }
+
     // -- WAL / durability ---------------------------------------------------
 
     /// Whether a WAL is attached.
@@ -727,6 +947,12 @@ impl Tsdb {
         *self.upstream_pos.lock() = Some(pos);
     }
 
+    /// Clears the recorded upstream position: a follower promoted to leader
+    /// reports its own WAL position from here on.
+    pub fn clear_upstream_wal_position(&self) {
+        *self.upstream_pos.lock() = None;
+    }
+
     /// The position health checks compare across replicas: the upstream
     /// position a follower has applied up to, else the local WAL position,
     /// else zeros.
@@ -763,6 +989,10 @@ impl Tsdb {
             .into_iter()
             .map(|(id, labels)| (id, (*labels).clone(), by_id.remove(&id).unwrap_or_default()))
             .collect();
+        let (epoch, epoch_history) = {
+            let es = self.epoch_state.lock();
+            (es.epoch, es.history.clone())
+        };
         let ckpt = Checkpoint {
             covers_seq,
             generation: idx.generation(),
@@ -770,6 +1000,8 @@ impl Tsdb {
             appended: self.appended.load(Ordering::Relaxed),
             out_of_order: self.out_of_order.load(Ordering::Relaxed),
             records,
+            epoch,
+            epoch_history,
             series,
         };
         drop(idx);
@@ -853,6 +1085,15 @@ impl Tsdb {
                 ));
             }
             self.apply_wal_records(&recs);
+        }
+        {
+            let mut es = self.epoch_state.lock();
+            if ckpt.epoch > es.epoch {
+                es.epoch = ckpt.epoch;
+                if !ckpt.epoch_history.is_empty() {
+                    es.history = ckpt.epoch_history.clone();
+                }
+            }
         }
         Ok(WalPosition {
             seq: ckpt.covers_seq,

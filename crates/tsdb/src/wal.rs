@@ -282,6 +282,7 @@ const TAG_SERIES_CREATE: u8 = 1;
 const TAG_SAMPLES: u8 = 2;
 const TAG_TOMBSTONE: u8 = 3;
 const TAG_RETENTION: u8 = 4;
+const TAG_EPOCH_BUMP: u8 = 5;
 
 /// One durable event in the WAL. Replaying the record stream from an empty
 /// database reconstructs the head and index exactly.
@@ -305,6 +306,14 @@ pub enum WalRecord {
     Retention {
         /// The cutoff the sweep ran with.
         cutoff_ms: i64,
+    },
+    /// The leadership epoch advanced (S24). Every record after this bump
+    /// (until the next one) belongs to `epoch` — the Raft-style "term
+    /// marker in the log" shape. A durable bump fences the previous
+    /// leader: appends carrying an older epoch are rejected.
+    EpochBump {
+        /// The new epoch.
+        epoch: u64,
     },
 }
 
@@ -350,6 +359,10 @@ pub fn encode_record(out: &mut Vec<u8>, rec: &WalRecord) {
         WalRecord::Retention { cutoff_ms } => {
             payload.push(TAG_RETENTION);
             put_ivarint(&mut payload, *cutoff_ms);
+        }
+        WalRecord::EpochBump { epoch } => {
+            payload.push(TAG_EPOCH_BUMP);
+            put_uvarint(&mut payload, *epoch);
         }
     }
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -408,6 +421,7 @@ fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
         TAG_RETENTION => WalRecord::Retention {
             cutoff_ms: r.ivarint()?,
         },
+        TAG_EPOCH_BUMP => WalRecord::EpochBump { epoch: r.uvarint()? },
         _ => return None,
     };
     r.done().then_some(rec)
@@ -723,6 +737,20 @@ impl Wal {
 
 const CKPT_MAGIC: &[u8; 5] = b"CKPT1";
 
+/// One entry of the leadership-epoch history (S24): `epoch` began once
+/// `start_records` records had been logged. The history is what a
+/// rejoining old leader compares its WAL tail against — everything it
+/// logged at or past the successor epoch's start is a divergent (never
+/// acknowledged) suffix and must be truncated before re-entering as a
+/// follower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochSpan {
+    /// The epoch number.
+    pub epoch: u64,
+    /// Monotone record count at which this epoch began.
+    pub start_records: u64,
+}
+
 /// A full summary of the live database at a segment rotation boundary.
 /// Recovery = load newest checkpoint + replay segments `>= covers_seq`.
 #[derive(Debug, Clone, PartialEq)]
@@ -743,6 +771,11 @@ pub struct Checkpoint {
     /// Total WAL records logged up to `covers_seq` (seeds the position's
     /// record count on recovery).
     pub records: u64,
+    /// Leadership epoch at snapshot time (S24).
+    pub epoch: u64,
+    /// Epoch history up to the snapshot; survives segment GC so rejoin
+    /// divergence checks work long after the bump records are collected.
+    pub epoch_history: Vec<EpochSpan>,
     /// Every live series: id, labels, all samples in time order.
     pub series: Vec<(SeriesId, LabelSet, Vec<Sample>)>,
 }
@@ -758,6 +791,12 @@ pub fn encode_checkpoint(ckpt: &Checkpoint) -> Vec<u8> {
     put_uvarint(&mut out, ckpt.appended);
     put_uvarint(&mut out, ckpt.out_of_order);
     put_uvarint(&mut out, ckpt.records);
+    put_uvarint(&mut out, ckpt.epoch);
+    put_uvarint(&mut out, ckpt.epoch_history.len() as u64);
+    for span in &ckpt.epoch_history {
+        put_uvarint(&mut out, span.epoch);
+        put_uvarint(&mut out, span.start_records);
+    }
     put_uvarint(&mut out, ckpt.series.len() as u64);
     for (id, labels, samples) in &ckpt.series {
         put_uvarint(&mut out, *id);
@@ -797,6 +836,15 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Option<Checkpoint> {
     let appended = r.uvarint()?;
     let out_of_order = r.uvarint()?;
     let records = r.uvarint()?;
+    let epoch = r.uvarint()?;
+    let n_spans = r.uvarint()? as usize;
+    let mut epoch_history = Vec::with_capacity(n_spans.min(1 << 16));
+    for _ in 0..n_spans {
+        epoch_history.push(EpochSpan {
+            epoch: r.uvarint()?,
+            start_records: r.uvarint()?,
+        });
+    }
     let n_series = r.uvarint()? as usize;
     let mut series = Vec::with_capacity(n_series.min(1 << 20));
     for _ in 0..n_series {
@@ -826,6 +874,8 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Option<Checkpoint> {
         appended,
         out_of_order,
         records,
+        epoch,
+        epoch_history,
         series,
     })
 }
@@ -856,6 +906,82 @@ pub fn load_latest_checkpoint(dir: &Path) -> io::Result<Option<Checkpoint>> {
         }
     }
     Ok(None)
+}
+
+/// Outcome of [`truncate_to_records`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruncateOutcome {
+    /// The log held no records past the target — nothing was cut.
+    AlreadyShort,
+    /// The divergent suffix was cut: this many records were dropped.
+    Truncated {
+        /// Records removed from the tail.
+        dropped_records: u64,
+    },
+    /// The newest checkpoint already covers records past the target, so a
+    /// surgical cut is impossible — the caller must clear and re-bootstrap
+    /// from the leader instead.
+    NeedsResync,
+}
+
+/// Truncates the WAL in `dir` so it holds exactly `target` records (S24
+/// rejoin): an old leader cutting the unacknowledged suffix it wrote past
+/// the successor epoch's start. Walks frames without decoding payloads,
+/// truncates the segment holding record `target`, and deletes every later
+/// segment. Must only be called with no live writer on the directory.
+pub fn truncate_to_records(dir: &Path, target: u64) -> io::Result<TruncateOutcome> {
+    let base = load_latest_checkpoint(dir)?;
+    let (mut count, start_seq) = base.map_or((0, 0), |c| (c.records, c.covers_seq));
+    if count > target {
+        return Ok(TruncateOutcome::NeedsResync);
+    }
+    let mut cut = false;
+    let mut dropped = 0u64;
+    for (seq, path) in list_segments(dir)? {
+        if seq < start_seq {
+            continue;
+        }
+        if cut {
+            // Count the records in the doomed segment before removing it.
+            let data = fs::read(&path)?;
+            let (recs, _) = decode_frames(&data);
+            dropped += recs.len() as u64;
+            fs::remove_file(&path)?;
+            continue;
+        }
+        let data = fs::read(&path)?;
+        let mut pos = 0usize;
+        while data.len() - pos >= 8 {
+            if count == target {
+                break;
+            }
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
+            if len > MAX_FRAME_LEN {
+                break; // torn/corrupt tail: nothing real past here
+            }
+            let end = pos + 8 + len as usize;
+            if end > data.len() {
+                break;
+            }
+            pos = end;
+            count += 1;
+        }
+        if count == target && (pos as u64) < data.len() as u64 {
+            let (tail, _) = decode_frames(&data[pos..]);
+            dropped += tail.len() as u64;
+            let f = OpenOptions::new().write(true).open(&path)?;
+            f.set_len(pos as u64)?;
+            f.sync_data()?;
+            cut = true;
+        }
+    }
+    sync_dir(dir);
+    if dropped == 0 {
+        return Ok(TruncateOutcome::AlreadyShort);
+    }
+    Ok(TruncateOutcome::Truncated {
+        dropped_records: dropped,
+    })
 }
 
 /// Garbage-collects everything a fresh checkpoint covers: segments with
@@ -900,6 +1026,7 @@ mod tests {
             WalRecord::Samples(vec![(0, 15_000, 215.5), (0, 30_000, 220.0)]),
             WalRecord::Tombstone(vec![0]),
             WalRecord::Retention { cutoff_ms: -5_000 },
+            WalRecord::EpochBump { epoch: 3 },
         ]
     }
 
@@ -1062,6 +1189,11 @@ mod tests {
             appended: 100,
             out_of_order: 2,
             records: 55,
+            epoch: 4,
+            epoch_history: vec![
+                EpochSpan { epoch: 1, start_records: 0 },
+                EpochSpan { epoch: 4, start_records: 40 },
+            ],
             series: vec![
                 (
                     0,

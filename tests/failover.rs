@@ -1,0 +1,175 @@
+//! Property tests for S24 leader failover: epoch fencing and
+//! divergence-safe rejoin under arbitrary interleavings of replicated
+//! ("acked") and unreplicated appends around a leader kill.
+//!
+//! The invariants, whatever the interleaving:
+//!
+//! * an acked write (appended through the route and replicated before the
+//!   leader died) is never lost by the failover;
+//! * a truncated write (the dead leader's divergent WAL tail) is never
+//!   resurrected by the rejoin — the rejoiner converges byte-identically
+//!   onto the new leader;
+//! * the old epoch is fenced everywhere live, and the old leader rejects
+//!   the new epoch it never saw.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use ceems::metrics::labels;
+use ceems::metrics::matcher::LabelMatcher;
+use ceems::tsdb::{FailoverConfig, ReplicationGroup, TsdbConfig, WalOptions};
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "ceems-failover-prop-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ))
+}
+
+fn group(dir: &std::path::Path, now: ceems::tsdb::httpapi::NowFn) -> ReplicationGroup {
+    ReplicationGroup::new(
+        dir,
+        2,
+        WalOptions::default(),
+        TsdbConfig::default(),
+        FailoverConfig {
+            probe_interval_ms: 100,
+            election_timeout_ms: 300,
+            min_catchup_records: u64::MAX,
+            catchup_polls: 64,
+        },
+        now,
+    )
+    .unwrap()
+}
+
+/// Divergent-tail values are offset into their own band so a resurrected
+/// one is unmistakable in the converged series.
+const TAIL_BAND: f64 = 10_000.0;
+const POST_BAND: f64 = 20_000.0;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `ops` drives the pre-kill schedule: 0 = coordinator tick (pumps
+    /// replication, so everything appended so far becomes acked), 1..=3 =
+    /// append that many samples through the write route. `tail` is the
+    /// dead leader's divergent suffix, `post` the post-failover appends
+    /// the rejoiner must converge onto.
+    #[test]
+    fn acked_writes_survive_and_truncated_tails_stay_dead(
+        ops in proptest::collection::vec(0u8..4, 1..24),
+        tail in 0usize..6,
+        post in 1usize..8,
+    ) {
+        let dir = tmp("case");
+        let t = Arc::new(AtomicI64::new(0));
+        let t2 = t.clone();
+        let mut g = group(&dir, Arc::new(move || t2.load(Ordering::Relaxed)));
+        let router = g.write_router();
+        let series = labels! {"__name__" => "watts", "uuid" => "u1"};
+        let old_epoch = g.epoch();
+
+        // Pre-kill schedule. A sample is acked once a tick replicated it.
+        let mut seq = 0i64;
+        let mut pending: Vec<(i64, f64)> = Vec::new();
+        let mut acked: Vec<(i64, f64)> = Vec::new();
+        for op in &ops {
+            if *op == 0 {
+                t.fetch_add(100, Ordering::Relaxed);
+                g.tick(t.load(Ordering::Relaxed));
+                acked.append(&mut pending);
+            } else {
+                for _ in 0..*op {
+                    let sample = (seq * 1000, seq as f64);
+                    router.append_batch(&[(series.clone(), sample.0, sample.1)]).unwrap();
+                    pending.push(sample);
+                    seq += 1;
+                }
+            }
+        }
+
+        // The leader dies; its divergent tail was never replicated.
+        g.kill("node-0");
+        let old_db = g.node_db("node-0").unwrap();
+        let mut tail_ts: Vec<i64> = Vec::new();
+        for _ in 0..tail {
+            old_db
+                .append_batch_fenced(old_epoch, &[(series.clone(), seq * 1000, TAIL_BAND + seq as f64)])
+                .unwrap();
+            tail_ts.push(seq * 1000);
+            seq += 1;
+        }
+        for _ in 0..6 {
+            t.fetch_add(100, Ordering::Relaxed);
+            g.tick(t.load(Ordering::Relaxed));
+        }
+        prop_assert_eq!(g.failovers(), 1, "events: {:?}", g.events());
+        prop_assert_eq!(g.epoch(), old_epoch + 1);
+        prop_assert_eq!(router.epoch(), old_epoch + 1);
+
+        // Never lose an acked write.
+        let leader_db = router.leader_db().unwrap();
+        let got = leader_db.select(&[LabelMatcher::eq("__name__", "watts")], 0, i64::MAX);
+        let have: Vec<(i64, f64)> = got
+            .first()
+            .map(|s| s.samples.iter().map(|p| (p.t_ms, p.v)).collect())
+            .unwrap_or_default();
+        for sample in &acked {
+            prop_assert!(
+                have.contains(sample),
+                "acked write {sample:?} lost by failover; events: {:?}",
+                g.events()
+            );
+        }
+
+        // The fence: the old epoch is dead on the new leader, and the old
+        // leader rejects the epoch it never saw.
+        prop_assert!(leader_db
+            .append_batch_fenced(old_epoch, &[(series.clone(), 1, 1.0)])
+            .is_err());
+        prop_assert!(old_db
+            .append_batch_fenced(g.epoch(), &[(series.clone(), 2, 2.0)])
+            .is_err());
+
+        // Post-failover writes, then the old leader rejoins: its divergent
+        // tail must be truncated, never resurrected.
+        for _ in 0..post {
+            router
+                .append_batch(&[(series.clone(), seq * 1000, POST_BAND + seq as f64)])
+                .unwrap();
+            seq += 1;
+        }
+        g.rejoin("node-0").unwrap();
+        for _ in 0..4 {
+            t.fetch_add(100, Ordering::Relaxed);
+            g.tick(t.load(Ordering::Relaxed));
+        }
+        let rejoined = g.node_db("node-0").unwrap();
+        let got = rejoined.select(&[LabelMatcher::eq("__name__", "watts")], 0, i64::MAX);
+        prop_assert_eq!(got.len(), 1);
+        for p in &got[0].samples {
+            prop_assert!(
+                !(TAIL_BAND..POST_BAND).contains(&p.v),
+                "truncated write resurrected at t={} v={}; events: {:?}",
+                p.t_ms,
+                p.v,
+                g.events()
+            );
+        }
+        // Convergence: byte-identical to the new leader's view.
+        let want = router
+            .leader_db()
+            .unwrap()
+            .select(&[LabelMatcher::eq("__name__", "watts")], 0, i64::MAX);
+        prop_assert_eq!(&got[0].samples, &want[0].samples);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

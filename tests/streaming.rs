@@ -342,10 +342,28 @@ fn resume_after_faulted_stream_replays_without_gaps_or_duplicates() {
     assert_eq!(report.acked_seq, 3);
     assert_eq!(publisher.pending(), 0);
     assert!(
-        publisher.resumed_flushes >= 1,
+        publisher.resumed_flushes() >= 1,
         "re-flush must count as a resume"
     );
-    assert_eq!(publisher.dropped_frames, 0);
+    assert_eq!(publisher.dropped_frames(), 0);
+    assert!(
+        publisher.stats().unacked_high_watermark() >= 1,
+        "buffered frames must register in the high watermark"
+    );
+
+    // Delivery stats render on a registry as the exporter's /metrics would.
+    let registry = ceems_metrics::Registry::new();
+    ceems_stream::register_publisher_metrics(&registry, "p1", publisher.stats());
+    let text = ceems_metrics::encode_families(&registry.gather());
+    for metric in [
+        "ceems_stream_publisher_unacked_frames",
+        "ceems_stream_publisher_unacked_high_watermark",
+        "ceems_stream_publisher_dropped_frames_total",
+        "ceems_stream_publisher_resumed_flushes_total",
+    ] {
+        assert!(text.contains(metric), "missing {metric} in:\n{text}");
+    }
+    assert!(text.contains("publisher=\"p1\""));
 
     // Collect what arrived live, then kill the stream mid-subscription.
     let mut got: BTreeMap<u64, String> = BTreeMap::new();
